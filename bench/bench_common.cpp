@@ -1,0 +1,102 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace dnj::bench {
+
+namespace {
+
+jpeg::EncoderConfig quality_config(int quality) {
+  jpeg::EncoderConfig cfg;
+  cfg.quality = quality;
+  cfg.subsampling = jpeg::Subsampling::k444;
+  return cfg;
+}
+
+}  // namespace
+
+ExperimentEnv make_env(int train_per_class, int test_per_class, std::uint64_t seed) {
+  ExperimentEnv env;
+  env.gen_config.width = 32;
+  env.gen_config.height = 32;
+  env.gen_config.channels = 1;
+  env.gen_config.num_classes = 8;
+  env.gen_config.seed = seed;
+  const data::SyntheticDatasetGenerator gen(env.gen_config);
+  std::tie(env.train_raw, env.test_raw) = gen.generate_split(train_per_class, test_per_class);
+
+  // The paper's CR = 1 reference: everything stored as QF-100 JPEG.
+  core::TranscodeResult tr = core::transcode(env.train_raw, quality_config(100));
+  env.train = std::move(tr.dataset);
+  env.reference_train_bytes = tr.scan_bytes;
+  core::TranscodeResult te = core::transcode(env.test_raw, quality_config(100));
+  env.test = std::move(te.dataset);
+  env.reference_test_bytes = te.scan_bytes;
+  env.reference_bytes = env.reference_train_bytes + env.reference_test_bytes;
+  return env;
+}
+
+nn::TrainConfig default_train_config(int epochs) {
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.lr = 0.03f;
+  cfg.lr_decay = 0.92f;
+  cfg.momentum = 0.9f;
+  cfg.weight_decay = 1e-4f;
+  cfg.seed = 0xBEEF;
+  return cfg;
+}
+
+nn::LayerPtr train_model(nn::ModelKind kind, const data::Dataset& train, int epochs,
+                         std::uint64_t seed) {
+  nn::LayerPtr model =
+      nn::make_model(kind, train.channels(), train.width(), train.num_classes, seed);
+  nn::TrainConfig cfg = default_train_config(epochs);
+  nn::train(*model, train, nullptr, cfg);
+  return model;
+}
+
+data::Dataset recompress_quality(const data::Dataset& ds, int quality,
+                                 std::size_t* bytes_out) {
+  core::TranscodeResult res = core::transcode(ds, quality_config(quality));
+  if (bytes_out) *bytes_out = res.scan_bytes;
+  return std::move(res.dataset);
+}
+
+data::Dataset recompress_table(const data::Dataset& ds, const jpeg::QuantTable& table,
+                               std::size_t* bytes_out) {
+  core::TranscodeResult res = core::transcode(ds, core::custom_table_config(table));
+  if (bytes_out) *bytes_out = res.scan_bytes;
+  return std::move(res.dataset);
+}
+
+CsvWriter::CsvWriter(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  path_ = "bench_results/" + name + ".csv";
+  file_ = std::fopen(path_.c_str(), "w");
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path_);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) { row(cols); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    std::fprintf(f, "%s%s", cells[i].c_str(), i + 1 < cells.size() ? "," : "\n");
+  std::fflush(f);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dnj::bench

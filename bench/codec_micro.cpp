@@ -1,0 +1,165 @@
+// Codec micro-benchmarks (google-benchmark). Two purposes:
+//  1. Stage-level costs of the from-scratch codec (DCT variants, quantize,
+//     entropy coding, full encode/decode).
+//  2. The paper's "same hardware cost" claim: encoding with the DeepN-JPEG
+//     table must cost the same as encoding with the stock JPEG table —
+//     only table *contents* differ, the datapath is identical.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/deepnjpeg.hpp"
+#include "data/synthetic.hpp"
+#include "jpeg/block_coder.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/dct_int.hpp"
+
+using namespace dnj;
+
+namespace {
+
+image::BlockF random_block(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-128.0f, 127.0f);
+  image::BlockF b{};
+  for (float& v : b) v = dist(rng);
+  return b;
+}
+
+image::Image test_image(int dim, int channels) {
+  data::GeneratorConfig cfg;
+  cfg.width = dim;
+  cfg.height = dim;
+  cfg.channels = channels;
+  cfg.seed = 7;
+  return data::SyntheticDatasetGenerator(cfg).render(data::ClassKind::kBandNoise, 0);
+}
+
+jpeg::QuantTable deepn_table() {
+  data::GeneratorConfig cfg;
+  cfg.seed = 7;
+  const data::Dataset ds = data::SyntheticDatasetGenerator(cfg).generate(4);
+  return core::DeepNJpeg::design(ds).table;
+}
+
+void BM_FdctRef(benchmark::State& state) {
+  const image::BlockF b = random_block(1);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::fdct_ref(b));
+}
+BENCHMARK(BM_FdctRef);
+
+void BM_FdctAan(benchmark::State& state) {
+  const image::BlockF b = random_block(1);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::fdct_aan(b));
+}
+BENCHMARK(BM_FdctAan);
+
+void BM_FdctInt(benchmark::State& state) {
+  std::int16_t in[64];
+  std::mt19937_64 rng(9);
+  for (std::int16_t& v : in) v = static_cast<std::int16_t>(static_cast<int>(rng() % 256) - 128);
+  std::int32_t out[64];
+  for (auto _ : state) {
+    jpeg::fdct_int(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FdctInt);
+
+void BM_IdctFast(benchmark::State& state) {
+  const image::BlockF b = random_block(2);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::idct_fast(b));
+}
+BENCHMARK(BM_IdctFast);
+
+void BM_Quantize(benchmark::State& state) {
+  const image::BlockF coeffs = random_block(3);
+  const jpeg::QuantTable table = jpeg::QuantTable::annex_k_luma();
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::quantize(coeffs, table));
+}
+BENCHMARK(BM_Quantize);
+
+void BM_HuffmanEncodeBlock(benchmark::State& state) {
+  const jpeg::QuantizedBlock blk =
+      jpeg::quantize(random_block(4), jpeg::QuantTable::annex_k_luma());
+  const jpeg::HuffmanEncoder dc(jpeg::HuffmanSpec::default_dc_luma());
+  const jpeg::HuffmanEncoder ac(jpeg::HuffmanSpec::default_ac_luma());
+  std::vector<std::uint8_t> out;
+  out.reserve(1 << 16);
+  for (auto _ : state) {
+    out.clear();
+    jpeg::BitWriter bw(out);
+    int pred = 0;
+    jpeg::encode_block(bw, blk, pred, dc, ac);
+    bw.flush();
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_HuffmanEncodeBlock);
+
+void BM_EncodeGray(benchmark::State& state) {
+  const image::Image img = test_image(static_cast<int>(state.range(0)), 1);
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 75;
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::encode(img, cfg));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * img.byte_size());
+}
+BENCHMARK(BM_EncodeGray)->Arg(32)->Arg(128);
+
+void BM_EncodeColor420(benchmark::State& state) {
+  const image::Image img = test_image(static_cast<int>(state.range(0)), 3);
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 75;
+  cfg.subsampling = jpeg::Subsampling::k420;
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::encode(img, cfg));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * img.byte_size());
+}
+BENCHMARK(BM_EncodeColor420)->Arg(64);
+
+void BM_Decode(benchmark::State& state) {
+  const image::Image img = test_image(static_cast<int>(state.range(0)), 1);
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 75;
+  const auto bytes = jpeg::encode(img, cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::decode(bytes));
+}
+BENCHMARK(BM_Decode)->Arg(32)->Arg(128);
+
+void BM_EncodeOptimizedHuffman(benchmark::State& state) {
+  const image::Image img = test_image(128, 1);
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 75;
+  cfg.optimize_huffman = true;
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::encode(img, cfg));
+}
+BENCHMARK(BM_EncodeOptimizedHuffman);
+
+// --- iso-cost pair: stock JPEG table vs DeepN-JPEG table ---
+
+void BM_EncodeJpegTable(benchmark::State& state) {
+  const image::Image img = test_image(128, 1);
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 50;
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::encode(img, cfg));
+}
+BENCHMARK(BM_EncodeJpegTable);
+
+void BM_EncodeDeepNTable(benchmark::State& state) {
+  const image::Image img = test_image(128, 1);
+  const jpeg::EncoderConfig cfg = core::custom_table_config(deepn_table());
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::encode(img, cfg));
+}
+BENCHMARK(BM_EncodeDeepNTable);
+
+void BM_TableDesign(benchmark::State& state) {
+  data::GeneratorConfig cfg;
+  cfg.seed = 7;
+  const data::Dataset ds = data::SyntheticDatasetGenerator(cfg).generate(8);
+  for (auto _ : state) benchmark::DoNotOptimize(core::DeepNJpeg::design(ds));
+}
+BENCHMARK(BM_TableDesign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Fig. 2(a): top-1 accuracy vs JPEG compression for the two training/testing
+// regimes of Section 2.3.
+//   CASE 1: train on high-quality (QF 100) images, test at QF 100/50/20.
+//   CASE 2: train at QF 100/50/20, test on high-quality images.
+// Paper shape: both curves fall as CR grows (QF drops); CASE 2 degrades
+// less than CASE 1 at every CR.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dnj;
+
+int main() {
+  std::printf("=== Fig 2(a): accuracy vs JPEG compression (CASE 1 / CASE 2) ===\n");
+  bench::ExperimentEnv env = bench::make_env();
+
+  const int kQualities[] = {100, 50, 20};
+
+  // CASE 1: one model trained on the original (QF 100) training set.
+  nn::LayerPtr case1_model = bench::train_model(nn::ModelKind::kMiniAlexNet, env.train);
+
+  bench::CsvWriter csv("fig2a_case_study");
+  csv.header({"qf", "cr", "case1_acc", "case2_acc"});
+  std::printf("%6s %8s %12s %12s\n", "QF", "CR", "CASE1 acc", "CASE2 acc");
+
+  for (int qf : kQualities) {
+    // QF 100 is the original dataset itself — no re-encode.
+    std::size_t test_bytes = env.reference_test_bytes;
+    std::size_t train_bytes = env.reference_train_bytes;
+    const data::Dataset test_q =
+        qf == 100 ? env.test : bench::recompress_quality(env.test, qf, &test_bytes);
+    const data::Dataset train_q =
+        qf == 100 ? env.train : bench::recompress_quality(env.train, qf, &train_bytes);
+    const double cr = core::compression_rate(env.reference_bytes, train_bytes + test_bytes);
+
+    // CASE 1: fixed model, compressed test set.
+    const double case1 = nn::evaluate(*case1_model, test_q);
+
+    // CASE 2: train on the compressed training set, test on originals.
+    nn::LayerPtr case2_model = bench::train_model(nn::ModelKind::kMiniAlexNet, train_q);
+    const double case2 = nn::evaluate(*case2_model, env.test);
+
+    std::printf("%6d %8.2f %12.4f %12.4f\n", qf, cr, case1, case2);
+    csv.row({std::to_string(qf), bench::fmt(cr, 2), bench::fmt(case1, 4), bench::fmt(case2, 4)});
+  }
+  std::printf("(expect: accuracy falls with CR; CASE 2 falls less than CASE 1)\n");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return 0;
+}

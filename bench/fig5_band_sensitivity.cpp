@@ -1,0 +1,70 @@
+// Fig. 5: DNN accuracy sensitivity to the quantization step applied to one
+// frequency band group at a time (all other bands kept at Q = 1), comparing
+// the paper's magnitude-based segmentation against the conventional
+// position-based one. Paper shape: magnitude-based tolerates larger steps in
+// MF/HF without accuracy loss; LF accuracy starts dropping at small Q
+// (=> Qmin = 5).
+#include <cstdio>
+
+#include "core/frequency_edit.hpp"
+#include "bench_common.hpp"
+
+using namespace dnj;
+
+namespace {
+
+double eval_band_quant(nn::Layer& model, const data::Dataset& test,
+                       const core::BandSplit& split, core::Band band, int q) {
+  data::Dataset edited;
+  edited.num_classes = test.num_classes;
+  edited.samples.reserve(test.size());
+  for (const data::Sample& s : test.samples)
+    edited.samples.push_back({core::quantize_band_only(s.image, split, band, q), s.label});
+  return nn::evaluate(model, edited);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig 5: band sensitivity, magnitude-based vs position-based ===\n");
+  bench::ExperimentEnv env = bench::make_env();
+  nn::LayerPtr model = bench::train_model(nn::ModelKind::kMiniAlexNet, env.train);
+  const double base_acc = nn::evaluate(*model, env.test);
+  std::printf("baseline accuracy (no band quantization): %.4f\n\n", base_acc);
+
+  const core::FrequencyProfile profile = core::analyze(env.train);
+  const core::BandSplit magnitude = core::magnitude_based(profile);
+  const core::BandSplit position = core::position_based();
+
+  struct Sweep {
+    core::Band band;
+    const char* name;
+    std::vector<int> steps;
+  };
+  // Step sweeps span to the point where quantization actually zeroes the
+  // strongest coefficients of our 32x32 synthetic classes; the paper's
+  // ImageNet axes (LF to 40, MF to 60, HF to 80) scale correspondingly.
+  const Sweep sweeps[] = {
+      {core::Band::kLF, "LF", {1, 5, 20, 60, 120, 255, 511}},
+      {core::Band::kMF, "MF", {1, 20, 60, 120, 255, 511}},
+      {core::Band::kHF, "HF", {1, 40, 80, 160, 255, 511}},
+  };
+
+  bench::CsvWriter csv("fig5_band_sensitivity");
+  csv.header({"band", "q", "magnitude_norm_acc", "position_norm_acc"});
+
+  for (const Sweep& sweep : sweeps) {
+    std::printf("--- %s band (normalized accuracy) ---\n", sweep.name);
+    std::printf("%6s %18s %18s\n", "Q", "magnitude based", "position based");
+    for (int q : sweep.steps) {
+      const double mag = eval_band_quant(*model, env.test, magnitude, sweep.band, q) / base_acc;
+      const double pos = eval_band_quant(*model, env.test, position, sweep.band, q) / base_acc;
+      std::printf("%6d %18.4f %18.4f\n", q, mag, pos);
+      csv.row({sweep.name, std::to_string(q), bench::fmt(mag, 4), bench::fmt(pos, 4)});
+    }
+  }
+  std::printf("(expect: magnitude-based HF never degrades while position-based HF does —\n");
+  std::printf(" the paper's core observation; LF/MF degrade once steps zero strong bands)\n");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 7: compression rate and accuracy across methods —
+//   Original (QF 100, CR = 1), RM-HF (remove top-3/6/9 HF components),
+//   SAME-Q (uniform step 4/8/12), and DeepN-JPEG.
+// Paper shape: RM-HF buys ~1.1-1.3x, SAME-Q ~1.5-2x, both losing accuracy
+// as CR grows; DeepN-JPEG reaches the highest CR (~3.5x on ImageNet) at
+// the original accuracy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dnj;
+
+int main() {
+  std::printf("=== Fig 7: CR and accuracy across compression methods ===\n");
+  bench::ExperimentEnv env = bench::make_env();
+  nn::LayerPtr model = bench::train_model(nn::ModelKind::kMiniAlexNet, env.train);
+  const double base_acc = nn::evaluate(*model, env.test);
+
+  bench::CsvWriter csv("fig7_methods");
+  csv.header({"method", "cr", "accuracy"});
+  std::printf("%-14s %10s %10s\n", "method", "CR", "accuracy");
+  std::printf("%-14s %10.2f %10.4f\n", "Original", 1.0, base_acc);
+  csv.row({"Original", "1.00", bench::fmt(base_acc, 4)});
+
+  auto report = [&](const std::string& name, const jpeg::QuantTable& table) {
+    std::size_t train_bytes = 0, test_bytes = 0;
+    bench::recompress_table(env.train, table, &train_bytes);
+    const data::Dataset test_c = bench::recompress_table(env.test, table, &test_bytes);
+    const double cr = core::compression_rate(env.reference_bytes, train_bytes + test_bytes);
+    const double acc = nn::evaluate(*model, test_c);
+    std::printf("%-14s %10.2f %10.4f\n", name.c_str(), cr, acc);
+    csv.row({name, bench::fmt(cr, 2), bench::fmt(acc, 4)});
+  };
+
+  // RM-HF: QF-100 table (all ones) with the top-N zig-zag bands removed —
+  // the paper extends the "original" encoding by discarding HF components.
+  const jpeg::QuantTable qf100 = jpeg::QuantTable::annex_k_luma().scaled(100);
+  for (int n : {3, 6, 9}) report("RM-HF" + std::to_string(n), core::rm_hf_table(qf100, n));
+
+  for (int q : {4, 8, 12}) report("SAME-Q" + std::to_string(q), core::same_q_table(q));
+
+  const core::DesignResult design = core::DeepNJpeg::design(env.train);
+  report("DeepN-JPEG", design.table);
+
+  std::printf("(expect: DeepN-JPEG reaches the best CR at ~original accuracy;\n");
+  std::printf(" RM-HF and SAME-Q lose accuracy as their CR grows)\n");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 8: generality across DNN architectures. Each mini model (AlexNet /
+// VGG / Inception / ResNet families) is trained on the original dataset and
+// evaluated on test sets re-encoded by: Original (QF 100), DeepN-JPEG,
+// JPEG QF 80, JPEG QF 50. Paper shape: DeepN-JPEG matches the original
+// accuracy for every architecture while achieving the highest CR; QF <= 50
+// reaches similar CR but loses accuracy on all models.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dnj;
+
+int main() {
+  std::printf("=== Fig 8: generality across DNN models ===\n");
+  bench::ExperimentEnv env = bench::make_env();
+
+  // Compression variants of the test set (shared across models).
+  struct Variant {
+    std::string name;
+    data::Dataset test;
+    double cr;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"Original", env.test, 1.0});
+
+  const core::DesignResult design = core::DeepNJpeg::design(env.train);
+  {
+    std::size_t train_b = 0, test_b = 0;
+    bench::recompress_table(env.train, design.table, &train_b);
+    data::Dataset t = bench::recompress_table(env.test, design.table, &test_b);
+    variants.push_back({"DeepN-JPEG", std::move(t),
+                        core::compression_rate(env.reference_bytes, train_b + test_b)});
+  }
+  // QF 20 added beyond the paper's {80, 50}: our synthetic spectra carry
+  // roughly 2x stronger high-band coefficients than ImageNet, so the
+  // quality factor at which HVS quantization starts destroying features
+  // shifts down correspondingly (see EXPERIMENTS.md).
+  for (int qf : {80, 50, 20}) {
+    std::size_t train_b = 0, test_b = 0;
+    bench::recompress_quality(env.train, qf, &train_b);
+    data::Dataset t = bench::recompress_quality(env.test, qf, &test_b);
+    variants.push_back({"QF" + std::to_string(qf), std::move(t),
+                        core::compression_rate(env.reference_bytes, train_b + test_b)});
+  }
+
+  bench::CsvWriter csv("fig8_models");
+  csv.header({"model", "variant", "cr", "accuracy"});
+  std::printf("%-14s", "model");
+  for (const Variant& v : variants) std::printf(" %12s", v.name.c_str());
+  std::printf("\n");
+
+  for (int k = 0; k < nn::kNumModelKinds; ++k) {
+    const nn::ModelKind kind = static_cast<nn::ModelKind>(k);
+    nn::LayerPtr model =
+        bench::train_model(kind, env.train, 20, 41 + static_cast<std::uint64_t>(k));
+    std::printf("%-14s", nn::model_name(kind).c_str());
+    for (const Variant& v : variants) {
+      const double acc = nn::evaluate(*model, v.test);
+      std::printf(" %12.4f", acc);
+      csv.row({nn::model_name(kind), v.name, bench::fmt(v.cr, 2), bench::fmt(acc, 4)});
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "CR");
+  for (const Variant& v : variants) std::printf(" %12.2f", v.cr);
+  std::printf("\n");
+  std::printf("(expect: DeepN-JPEG column ~= Original column for every model,\n");
+  std::printf(" with CR well above 1; QF50 trades accuracy for similar CR)\n");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 9: normalized data-offloading power consumption for Original /
+// RM-HF3 / SAME-Q4 / DeepN-JPEG, using the Neurosurgeon-style radio energy
+// model. Paper shape: DeepN-JPEG consumes ~30% of the original's offload
+// power; RM-HF3 and SAME-Q4 sit in between.
+#include <cstdio>
+
+#include "power/energy_model.hpp"
+#include "bench_common.hpp"
+
+using namespace dnj;
+
+int main() {
+  std::printf("=== Fig 9: normalized offload power consumption ===\n");
+  bench::ExperimentEnv env = bench::make_env();
+  const std::size_t pixels = env.train_raw.raw_bytes() + env.test_raw.raw_bytes();
+
+  struct Method {
+    std::string name;
+    std::size_t bytes;
+  };
+  std::vector<Method> methods;
+  methods.push_back({"Original", env.reference_bytes});
+
+  auto bytes_for_table = [&](const jpeg::QuantTable& table) {
+    std::size_t train_b = 0, test_b = 0;
+    bench::recompress_table(env.train, table, &train_b);
+    bench::recompress_table(env.test, table, &test_b);
+    return train_b + test_b;
+  };
+
+  const jpeg::QuantTable qf100 = jpeg::QuantTable::annex_k_luma().scaled(100);
+  methods.push_back({"RM-HF3", bytes_for_table(core::rm_hf_table(qf100, 3))});
+  methods.push_back({"SAME-Q4", bytes_for_table(core::same_q_table(4))});
+  const core::DesignResult design = core::DeepNJpeg::design(env.train);
+  methods.push_back({"DeepN-JPEG", bytes_for_table(design.table)});
+
+  const power::RadioProfile radios[] = {power::RadioProfile::cellular_3g(),
+                                        power::RadioProfile::lte(),
+                                        power::RadioProfile::wifi()};
+
+  bench::CsvWriter csv("fig9_power");
+  csv.header({"method", "bytes", "norm_power_3g", "norm_power_lte", "norm_power_wifi"});
+  std::printf("%-14s %12s %10s %10s %10s\n", "method", "bytes", "3G", "LTE", "WiFi");
+  for (const Method& m : methods) {
+    std::printf("%-14s %12zu", m.name.c_str(), m.bytes);
+    std::vector<std::string> cells = {m.name, std::to_string(m.bytes)};
+    for (const power::RadioProfile& radio : radios) {
+      power::EnergyModel model;
+      model.radio = radio;
+      const double ratio = power::normalized_power(model, m.bytes, methods[0].bytes, pixels);
+      std::printf(" %10.3f", ratio);
+      cells.push_back(bench::fmt(ratio, 3));
+    }
+    std::printf("\n");
+    csv.row(cells);
+  }
+  std::printf("(expect: DeepN-JPEG lowest at roughly 0.3x the original, on every radio)\n");
+  std::printf("csv: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "core/band_segmentation.hpp"
+
+#include <stdexcept>
+
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::core {
+
+namespace {
+void check_sizes(const BandSizes& sizes) {
+  if (sizes.lf < 0 || sizes.mf < 0 || sizes.lf + sizes.mf > 64)
+    throw std::invalid_argument("BandSizes: counts out of range");
+}
+}  // namespace
+
+BandSplit magnitude_based(const FrequencyProfile& profile, const BandSizes& sizes) {
+  check_sizes(sizes);
+  BandSplit split;
+  // ascending_order[63] has the largest sigma; the top `lf` ranks are LF.
+  for (int r = 0; r < 64; ++r) {
+    const int natural = profile.ascending_order[static_cast<std::size_t>(r)];
+    const int from_top = 63 - r;  // 0 = largest sigma
+    Band b;
+    if (from_top < sizes.lf)
+      b = Band::kLF;
+    else if (from_top < sizes.lf + sizes.mf)
+      b = Band::kMF;
+    else
+      b = Band::kHF;
+    split.band_of[static_cast<std::size_t>(natural)] = b;
+  }
+  return split;
+}
+
+BandSplit position_based(const BandSizes& sizes) {
+  check_sizes(sizes);
+  BandSplit split;
+  for (int pos = 0; pos < 64; ++pos) {
+    const int natural = jpeg::kZigzag[static_cast<std::size_t>(pos)];
+    Band b;
+    if (pos < sizes.lf)
+      b = Band::kLF;
+    else if (pos < sizes.lf + sizes.mf)
+      b = Band::kMF;
+    else
+      b = Band::kHF;
+    split.band_of[static_cast<std::size_t>(natural)] = b;
+  }
+  return split;
+}
+
+}  // namespace dnj::core

@@ -1,0 +1,50 @@
+// LF / MF / HF band segmentation. The paper's key departure from JPEG
+// intuition is *magnitude-based* segmentation: a band is "low frequency" if
+// its coefficient standard deviation is large, regardless of its position in
+// the 8x8 grid. The conventional *position-based* split (zig-zag order) is
+// provided as the comparison baseline used in Fig. 5.
+#pragma once
+
+#include <array>
+
+#include "core/frequency_analysis.hpp"
+
+namespace dnj::core {
+
+enum class Band : int { kLF = 0, kMF = 1, kHF = 2 };
+
+/// Band counts used by the paper: LF = 6, MF = 22, HF = 36 (positions
+/// 1-6 / 7-28 / 29-64).
+struct BandSizes {
+  int lf = 6;
+  int mf = 22;
+  int hf() const { return 64 - lf - mf; }
+};
+
+struct BandSplit {
+  /// band_of[natural index] = band assignment.
+  std::array<Band, 64> band_of{};
+
+  int count(Band b) const {
+    int n = 0;
+    for (Band x : band_of) n += (x == b) ? 1 : 0;
+    return n;
+  }
+  /// Natural indices belonging to a band, in ascending natural order.
+  std::vector<int> indices(Band b) const {
+    std::vector<int> out;
+    for (int k = 0; k < 64; ++k)
+      if (band_of[static_cast<std::size_t>(k)] == b) out.push_back(k);
+    return out;
+  }
+};
+
+/// Magnitude-based segmentation (DeepN-JPEG): the `sizes.lf` bands with the
+/// largest sigma are LF, the next `sizes.mf` are MF, the rest HF.
+BandSplit magnitude_based(const FrequencyProfile& profile, const BandSizes& sizes = {});
+
+/// Position-based segmentation (the baseline): zig-zag scan positions
+/// 0..lf-1 are LF, lf..lf+mf-1 are MF, the rest HF.
+BandSplit position_based(const BandSizes& sizes = {});
+
+}  // namespace dnj::core

@@ -1,0 +1,23 @@
+#include "core/baselines.hpp"
+
+#include <stdexcept>
+
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::core {
+
+jpeg::QuantTable rm_hf_table(const jpeg::QuantTable& base, int n_removed) {
+  if (n_removed < 0 || n_removed > 63)
+    throw std::invalid_argument("rm_hf_table: n_removed out of range");
+  std::array<std::uint16_t, 64> steps = base.natural();
+  for (int pos = 64 - n_removed; pos < 64; ++pos)
+    steps[static_cast<std::size_t>(jpeg::kZigzag[static_cast<std::size_t>(pos)])] = kRemovedStep;
+  return jpeg::QuantTable(steps);
+}
+
+jpeg::QuantTable same_q_table(int q) {
+  if (q < 1 || q > 255) throw std::invalid_argument("same_q_table: q out of range");
+  return jpeg::QuantTable::uniform(static_cast<std::uint16_t>(q));
+}
+
+}  // namespace dnj::core

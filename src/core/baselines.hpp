@@ -1,0 +1,24 @@
+// The comparison methods of Section 5.1 / Fig. 7:
+//  * RM-HF:  stock JPEG table with the top-N zig-zag (highest-frequency)
+//            components "removed" — their quantization step is raised to the
+//            maximum so those coefficients quantize to zero.
+//  * SAME-Q: one uniform quantization step for all 64 bands.
+#pragma once
+
+#include "jpeg/quant.hpp"
+
+namespace dnj::core {
+
+/// Quantization step that zeroes any coefficient an 8-bit 8x8 DCT can
+/// produce (|c| <= 8 * 255 < kRemovedStep / 2), i.e. true band removal.
+/// Steps above 255 use the 16-bit DQT precision the codec supports.
+inline constexpr std::uint16_t kRemovedStep = 8192;
+
+/// RM-HF baseline: the `n_removed` highest zig-zag positions get
+/// kRemovedStep, zeroing those bands entirely.
+jpeg::QuantTable rm_hf_table(const jpeg::QuantTable& base, int n_removed);
+
+/// SAME-Q baseline: uniform step `q` everywhere.
+jpeg::QuantTable same_q_table(int q);
+
+}  // namespace dnj::core

@@ -1,0 +1,29 @@
+#include "core/deepnjpeg.hpp"
+
+namespace dnj::core {
+
+DesignResult DeepNJpeg::design(const data::Dataset& ds, const DesignConfig& config) {
+  DesignResult res;
+  res.profile = analyze(ds, config.analysis);
+  res.bands = magnitude_based(res.profile, config.band_sizes);
+  res.params = config.plm;
+  if (config.dataset_thresholds)
+    res.params = PlmParams::with_dataset_thresholds(res.params, res.profile,
+                                                    config.band_sizes.hf(),
+                                                    config.band_sizes.mf);
+  res.table = plm_quant_table(res.profile, res.params);
+  return res;
+}
+
+jpeg::EncoderConfig DeepNJpeg::encoder_config(const DesignResult& design,
+                                              bool optimize_huffman) {
+  return custom_table_config(design.table, optimize_huffman);
+}
+
+TranscodeResult DeepNJpeg::compress_dataset(const data::Dataset& ds,
+                                            const DesignConfig& config) {
+  const DesignResult d = design(ds, config);
+  return transcode(ds, encoder_config(d, config.optimize_huffman));
+}
+
+}  // namespace dnj::core

@@ -1,0 +1,47 @@
+// Top-level DeepN-JPEG facade: analyze a dataset, design the quantization
+// table, and hand back a ready-to-use encoder configuration. This is the
+// one-stop API the examples and benches use.
+#pragma once
+
+#include "core/band_segmentation.hpp"
+#include "core/baselines.hpp"
+#include "core/frequency_analysis.hpp"
+#include "core/plm.hpp"
+#include "core/transcode.hpp"
+
+namespace dnj::core {
+
+/// Everything produced by the design flow of Fig. 4.
+struct DesignResult {
+  FrequencyProfile profile;   ///< Algorithm 1 output
+  BandSplit bands;            ///< magnitude-based segmentation
+  PlmParams params;           ///< PLM constants actually used
+  jpeg::QuantTable table;     ///< the DeepN-JPEG quantization table
+};
+
+struct DesignConfig {
+  AnalysisConfig analysis;
+  BandSizes band_sizes;
+  PlmParams plm = PlmParams::paper_defaults();
+  /// Re-derive t1/t2 from the dataset's sigma ranking (Section 3.2.2)
+  /// instead of using plm.t1/plm.t2 verbatim.
+  bool dataset_thresholds = true;
+  bool optimize_huffman = false;
+};
+
+class DeepNJpeg {
+ public:
+  /// Runs the full heuristic design flow (sampling -> frequency analysis ->
+  /// band segmentation -> PLM) on a representative dataset.
+  static DesignResult design(const data::Dataset& ds, const DesignConfig& config = {});
+
+  /// Encoder configuration that compresses with a designed table.
+  static jpeg::EncoderConfig encoder_config(const DesignResult& design,
+                                            bool optimize_huffman = false);
+
+  /// Convenience: design on `ds` then report (CR, transcoded dataset).
+  static TranscodeResult compress_dataset(const data::Dataset& ds,
+                                          const DesignConfig& config = {});
+};
+
+}  // namespace dnj::core

@@ -1,0 +1,71 @@
+#include "core/frequency_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "image/blocks.hpp"
+#include "image/color.hpp"
+#include "jpeg/dct.hpp"
+
+namespace dnj::core {
+
+namespace {
+
+void accumulate_image(const image::Image& img, bool use_luma, stats::BandStats& acc) {
+  image::PlaneF plane;
+  if (use_luma && img.channels() == 3) {
+    plane = image::to_ycbcr(img).y;
+  } else {
+    plane = image::to_plane(img, 0);
+  }
+  const std::vector<image::BlockF> blocks = image::split_blocks(plane);
+  for (image::BlockF blk : blocks) {
+    image::level_shift(blk);
+    acc.add_block(jpeg::fdct(blk));
+  }
+}
+
+}  // namespace
+
+FrequencyProfile make_profile(const stats::BandStats& band_stats, std::uint64_t images) {
+  FrequencyProfile p;
+  for (int k = 0; k < 64; ++k) p.sigma[static_cast<std::size_t>(k)] = band_stats.band(k).stddev();
+  p.blocks_analyzed = band_stats.band(0).count();
+  p.images_analyzed = images;
+
+  std::iota(p.ascending_order.begin(), p.ascending_order.end(), 0);
+  std::stable_sort(p.ascending_order.begin(), p.ascending_order.end(),
+                   [&](int a, int b) { return p.sigma[static_cast<std::size_t>(a)] < p.sigma[static_cast<std::size_t>(b)]; });
+  for (int r = 0; r < 64; ++r) p.rank_of[static_cast<std::size_t>(p.ascending_order[static_cast<std::size_t>(r)])] = r;
+  return p;
+}
+
+FrequencyProfile analyze(const data::Dataset& ds, const AnalysisConfig& config) {
+  if (ds.empty()) throw std::invalid_argument("analyze: empty dataset");
+  if (config.sample_interval < 1)
+    throw std::invalid_argument("analyze: sample_interval must be >= 1");
+
+  // Class-stratified sampling: every k-th image *per class*, matching the
+  // per-class loop of Algorithm 1.
+  stats::BandStats acc;
+  std::uint64_t images = 0;
+  std::vector<int> per_class_counter(static_cast<std::size_t>(std::max(ds.num_classes, 1)), 0);
+  for (const data::Sample& s : ds.samples) {
+    int& counter = per_class_counter[static_cast<std::size_t>(s.label)];
+    ++counter;
+    if (counter % config.sample_interval != 0) continue;
+    accumulate_image(s.image, config.use_luma, acc);
+    ++images;
+  }
+  if (images == 0) throw std::invalid_argument("analyze: sampling selected no images");
+  return make_profile(acc, images);
+}
+
+FrequencyProfile analyze_image(const image::Image& img, bool use_luma) {
+  stats::BandStats acc;
+  accumulate_image(img, use_luma, acc);
+  return make_profile(acc, 1);
+}
+
+}  // namespace dnj::core

@@ -1,0 +1,47 @@
+// Algorithm 1 of the paper: class-stratified image sampling followed by
+// per-band DCT coefficient statistics. The output sigma_ij ranking drives
+// both the band segmentation and the PLM quantization-table design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "stats/band_stats.hpp"
+
+namespace dnj::core {
+
+struct AnalysisConfig {
+  /// Sampling interval k: every k-th image of each class is analyzed
+  /// (Algorithm 1 lines 10-15). 1 = use every image.
+  int sample_interval = 1;
+  /// Analyze the luma plane (true) or the raw first channel (false).
+  bool use_luma = true;
+};
+
+/// Per-band standard deviations plus the ascending-magnitude ranking the
+/// paper calls delta'.
+struct FrequencyProfile {
+  /// sigma_ij in natural (row-major) order.
+  std::array<double, 64> sigma{};
+  /// ascending_order[r] = natural band index of the r-th *smallest* sigma.
+  std::array<int, 64> ascending_order{};
+  /// rank_of[natural index] = r (0 = smallest sigma, 63 = largest).
+  std::array<int, 64> rank_of{};
+  std::uint64_t blocks_analyzed = 0;
+  std::uint64_t images_analyzed = 0;
+
+  /// sigma of the r-th smallest band.
+  double sigma_at_rank(int r) const { return sigma[static_cast<std::size_t>(ascending_order[static_cast<std::size_t>(r)])]; }
+};
+
+/// Builds the ranking from raw band statistics.
+FrequencyProfile make_profile(const stats::BandStats& band_stats, std::uint64_t images);
+
+/// Runs Algorithm 1 over a dataset.
+FrequencyProfile analyze(const data::Dataset& ds, const AnalysisConfig& config = {});
+
+/// Analyzes a single image (used by tests and the quickstart example).
+FrequencyProfile analyze_image(const image::Image& img, bool use_luma = true);
+
+}  // namespace dnj::core

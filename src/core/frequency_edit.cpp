@@ -1,0 +1,59 @@
+#include "core/frequency_edit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "image/blocks.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::core {
+
+namespace {
+
+/// Applies `edit` to the DCT coefficients of every 8x8 block of every
+/// channel, then reconstructs.
+template <typename EditFn>
+image::Image edit_in_frequency_domain(const image::Image& img, EditFn&& edit) {
+  image::Image out(img.width(), img.height(), img.channels());
+  for (int c = 0; c < img.channels(); ++c) {
+    const image::PlaneF plane = image::to_plane(img, c);
+    int bx = 0, by = 0;
+    std::vector<image::BlockF> blocks = image::split_blocks(plane, &bx, &by);
+    for (image::BlockF& blk : blocks) {
+      image::level_shift(blk);
+      image::BlockF freq = jpeg::fdct(blk);
+      edit(freq);
+      blk = jpeg::idct(freq);
+      image::level_unshift(blk);
+    }
+    const image::PlaneF merged = image::merge_blocks(blocks, bx, by);
+    image::from_plane(merged, out, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+image::Image remove_high_frequency(const image::Image& img, int n) {
+  if (n < 0 || n > 64) throw std::invalid_argument("remove_high_frequency: n out of range");
+  return edit_in_frequency_domain(img, [n](image::BlockF& freq) {
+    for (int pos = 64 - n; pos < 64; ++pos)
+      freq[static_cast<std::size_t>(jpeg::kZigzag[static_cast<std::size_t>(pos)])] = 0.0f;
+  });
+}
+
+image::Image quantize_band_only(const image::Image& img, const BandSplit& split, Band band,
+                                int q) {
+  if (q < 1) throw std::invalid_argument("quantize_band_only: q must be >= 1");
+  return edit_in_frequency_domain(img, [&split, band, q](image::BlockF& freq) {
+    for (int k = 0; k < 64; ++k) {
+      if (split.band_of[static_cast<std::size_t>(k)] != band) continue;
+      const float qf = static_cast<float>(q);
+      freq[static_cast<std::size_t>(k)] =
+          std::nearbyintf(freq[static_cast<std::size_t>(k)] / qf) * qf;
+    }
+  });
+}
+
+}  // namespace dnj::core

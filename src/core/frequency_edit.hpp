@@ -1,0 +1,23 @@
+// Direct frequency-domain image edits, used by the Fig. 3 experiment
+// ("junco misclassified as robin after removing the top six high-frequency
+// components") and by the band-sensitivity sweep of Fig. 5.
+#pragma once
+
+#include "core/band_segmentation.hpp"
+#include "image/image.hpp"
+
+namespace dnj::core {
+
+/// Zeroes the `n` highest zig-zag frequency components of every 8x8 block
+/// (per channel) and reconstructs the image — exactly the edit shown in
+/// Fig. 3 of the paper.
+image::Image remove_high_frequency(const image::Image& img, int n);
+
+/// Quantizes (round(c/q) * q) only the bands of `split` assigned to `band`,
+/// leaving all other coefficients untouched. This is the Fig. 5 protocol:
+/// "vary the quantization step of the interested frequency bands while all
+/// others use Q = 1".
+image::Image quantize_band_only(const image::Image& img, const BandSplit& split, Band band,
+                                int q);
+
+}  // namespace dnj::core

@@ -1,0 +1,42 @@
+#include "core/plm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnj::core {
+
+PlmParams PlmParams::with_dataset_thresholds(PlmParams base, const FrequencyProfile& profile,
+                                             int hf_count, int mf_count) {
+  if (hf_count < 1 || mf_count < 1 || hf_count + mf_count >= 64)
+    throw std::invalid_argument("with_dataset_thresholds: bad band counts");
+  // Ranks are ascending sigma; the HF band is ranks [0, hf_count).
+  base.t1 = profile.sigma_at_rank(hf_count - 1);
+  base.t2 = profile.sigma_at_rank(hf_count + mf_count - 1);
+  if (base.t2 < base.t1) base.t2 = base.t1;
+  return base;
+}
+
+double plm_step(double sigma, const PlmParams& params) {
+  if (params.qmin < 1.0 || params.qmax < params.qmin)
+    throw std::invalid_argument("plm_step: bad Q bounds");
+  if (params.t2 < params.t1) throw std::invalid_argument("plm_step: thresholds inverted");
+  double q;
+  if (sigma <= params.t1)
+    q = params.a - params.k1 * sigma;
+  else if (sigma <= params.t2)
+    q = params.b - params.k2 * sigma;
+  else
+    q = params.c - params.k3 * sigma;
+  return std::clamp(q, params.qmin, params.qmax);
+}
+
+jpeg::QuantTable plm_quant_table(const FrequencyProfile& profile, const PlmParams& params) {
+  std::array<std::uint16_t, 64> steps{};
+  for (int k = 0; k < 64; ++k)
+    steps[static_cast<std::size_t>(k)] = static_cast<std::uint16_t>(
+        std::lround(plm_step(profile.sigma[static_cast<std::size_t>(k)], params)));
+  return jpeg::QuantTable(steps);
+}
+
+}  // namespace dnj::core

@@ -1,0 +1,47 @@
+// Piece-wise linear mapping (Eq. 3 of the paper): derives each band's
+// quantization step from its coefficient standard deviation.
+//
+//            | a - k1 * sigma     sigma <= T1          (HF band)
+//   Q(sigma)=| b - k2 * sigma     T1 < sigma <= T2     (MF band)
+//            | c - k3 * sigma     sigma > T2           (LF band)
+//
+// subject to Q >= Qmin (and Q <= Qmax so tables stay 8-bit like the paper's
+// a = 255 setting). Large-sigma bands — the ones that matter most to the
+// DNN (Eq. 2) — receive small steps; low-energy bands are quantized hard.
+#pragma once
+
+#include "core/frequency_analysis.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::core {
+
+struct PlmParams {
+  double a = 255.0;
+  double b = 80.0;
+  double c = 240.0;
+  double k1 = 9.75;
+  double k2 = 1.0;
+  double k3 = 3.0;
+  double t1 = 20.0;
+  double t2 = 60.0;
+  double qmin = 5.0;
+  double qmax = 255.0;
+
+  /// The ImageNet-tuned constants from Section 5 of the paper.
+  static PlmParams paper_defaults() { return PlmParams{}; }
+
+  /// Replaces t1/t2 with dataset-derived values: t1 = sigma at the HF/MF
+  /// rank boundary and t2 = sigma at the MF/LF boundary (Section 3.2.2
+  /// chooses the thresholds from the ranked sigma' list; we take the exact
+  /// band-boundary sigmas for the configured 36/22/6 split).
+  static PlmParams with_dataset_thresholds(PlmParams base, const FrequencyProfile& profile,
+                                           int hf_count = 36, int mf_count = 22);
+};
+
+/// Eq. 3 for one band.
+double plm_step(double sigma, const PlmParams& params);
+
+/// Applies Eq. 3 to all 64 bands of a frequency profile.
+jpeg::QuantTable plm_quant_table(const FrequencyProfile& profile, const PlmParams& params);
+
+}  // namespace dnj::core

@@ -1,0 +1,137 @@
+#include "core/sa_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "core/transcode.hpp"
+#include "image/blocks.hpp"
+#include "image/color.hpp"
+#include "jpeg/dct.hpp"
+
+namespace dnj::core {
+
+namespace {
+
+/// Cost evaluator: caches the sampled DCT blocks and image subset so each
+/// candidate evaluation is two cheap passes.
+class CostModel {
+ public:
+  CostModel(const data::Dataset& ds, const FrequencyProfile& profile, const SaConfig& config)
+      : config_(config) {
+    // Importance: sigma normalized to sum 1 (DC included — its fidelity
+    // matters most).
+    double total = 0.0;
+    for (double s : profile.sigma) total += s;
+    if (total <= 0.0) throw std::invalid_argument("anneal_table: degenerate profile");
+    for (int k = 0; k < 64; ++k)
+      importance_[static_cast<std::size_t>(k)] = profile.sigma[static_cast<std::size_t>(k)] / total;
+
+    // Stratified image subset for the byte-count term.
+    const std::size_t stride = std::max<std::size_t>(1, ds.size() / config.sample_images);
+    for (std::size_t i = 0; i < ds.size() && images_.size() < static_cast<std::size_t>(config.sample_images);
+         i += stride)
+      images_.push_back(&ds.samples[i].image);
+
+    // Coefficient samples for the distortion term.
+    for (const image::Image* img : images_) {
+      const image::PlaneF plane = image::to_plane(*img, 0);
+      for (image::BlockF blk : image::split_blocks(plane)) {
+        image::level_shift(blk);
+        blocks_.push_back(jpeg::fdct(blk));
+      }
+    }
+  }
+
+  double cost(const jpeg::QuantTable& table) const {
+    // Byte term: real entropy-coded payload of the sample images.
+    const jpeg::EncoderConfig cfg = custom_table_config(table);
+    double bytes = 0.0;
+    for (const image::Image* img : images_)
+      bytes += static_cast<double>(jpeg::scan_byte_count(jpeg::encode(*img, cfg)));
+
+    // Distortion term: importance-weighted quantization MSE per band.
+    std::array<double, 64> mse{};
+    for (const image::BlockF& blk : blocks_) {
+      for (int k = 0; k < 64; ++k) {
+        const double q = table.step(k);
+        const double c = blk[static_cast<std::size_t>(k)];
+        const double rec = std::nearbyint(c / q) * q;
+        mse[static_cast<std::size_t>(k)] += (c - rec) * (c - rec);
+      }
+    }
+    double distortion = 0.0;
+    for (int k = 0; k < 64; ++k)
+      distortion += importance_[static_cast<std::size_t>(k)] * mse[static_cast<std::size_t>(k)] /
+                    static_cast<double>(blocks_.size());
+    return bytes + config_.lambda * distortion;
+  }
+
+ private:
+  SaConfig config_;
+  std::array<double, 64> importance_{};
+  std::vector<const image::Image*> images_;
+  std::vector<image::BlockF> blocks_;
+};
+
+}  // namespace
+
+SaResult anneal_table(const data::Dataset& ds, const FrequencyProfile& profile,
+                      const jpeg::QuantTable& init, const SaConfig& config) {
+  if (ds.empty()) throw std::invalid_argument("anneal_table: empty dataset");
+  if (config.iterations < 1 || config.t_start <= config.t_end || config.t_end <= 0.0)
+    throw std::invalid_argument("anneal_table: bad schedule");
+
+  const CostModel model(ds, profile, config);
+  std::mt19937_64 rng(config.seed);
+
+  std::array<std::uint16_t, 64> current = init.natural();
+  double current_cost = model.cost(jpeg::QuantTable(current));
+
+  SaResult result;
+  result.initial_cost = current_cost;
+  result.table = jpeg::QuantTable(current);
+  result.best_cost = current_cost;
+  result.cost_history.reserve(static_cast<std::size_t>(config.iterations));
+
+  const double cooling =
+      std::pow(config.t_end / config.t_start, 1.0 / std::max(config.iterations - 1, 1));
+  double temperature = config.t_start;
+
+  std::uniform_int_distribution<int> pick_band(0, 63);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  for (int it = 0; it < config.iterations; ++it) {
+    // Proposal: multiply or nudge one band's step.
+    std::array<std::uint16_t, 64> candidate = current;
+    const int k = pick_band(rng);
+    const double r = unit(rng);
+    int step = candidate[static_cast<std::size_t>(k)];
+    if (r < 0.4)
+      step = static_cast<int>(std::lround(step * (0.5 + unit(rng))));  // scale 0.5x..1.5x
+    else if (r < 0.7)
+      step += 1 + static_cast<int>(rng() % 8);
+    else
+      step -= 1 + static_cast<int>(rng() % 8);
+    candidate[static_cast<std::size_t>(k)] =
+        static_cast<std::uint16_t>(std::clamp(step, 1, config.max_step));
+
+    const double cand_cost = model.cost(jpeg::QuantTable(candidate));
+    const double delta = cand_cost - current_cost;
+    if (delta <= 0.0 || unit(rng) < std::exp(-delta / temperature)) {
+      current = candidate;
+      current_cost = cand_cost;
+      ++result.accepted_moves;
+      if (cand_cost < result.best_cost) {
+        result.best_cost = cand_cost;
+        result.table = jpeg::QuantTable(candidate);
+      }
+    }
+    result.cost_history.push_back(current_cost);
+    temperature *= cooling;
+  }
+  return result;
+}
+
+}  // namespace dnj::core

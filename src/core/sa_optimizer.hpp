@@ -1,0 +1,46 @@
+// Search-based quantization-table design via simulated annealing — the
+// approach the paper cites (Hopkins et al., "Simulated annealing for JPEG
+// quantization", its reference [23]) and explicitly rejects as intractable
+// for a generalizable DNN pipeline. Implemented here as the ablation
+// baseline: the `ablation_design` bench compares the PLM heuristic against
+// this optimizer on compression rate, accuracy, and design cost.
+//
+// Objective per candidate table Q:
+//     cost(Q) = bytes(Q) + lambda * sum_k importance_k * mse_k(Q)
+// where bytes(Q) is the real entropy-coded size of a sample image set,
+// mse_k is the quantization error of band k measured on sampled blocks, and
+// importance_k is the normalized band sigma from Algorithm 1 — the same
+// importance signal PLM uses, so the two designs optimize comparable goals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency_analysis.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::core {
+
+struct SaConfig {
+  int iterations = 400;
+  double t_start = 2000.0;   ///< initial Metropolis temperature (cost units)
+  double t_end = 1.0;        ///< final temperature (geometric schedule)
+  double lambda = 12.0;      ///< distortion weight vs byte count
+  int max_step = 255;        ///< upper bound for any quantization step
+  int sample_images = 16;    ///< images used for the byte-count term
+  std::uint64_t seed = 0x5A5A;
+};
+
+struct SaResult {
+  jpeg::QuantTable table;
+  double best_cost = 0.0;
+  double initial_cost = 0.0;
+  std::vector<double> cost_history;  ///< accepted cost per iteration
+  int accepted_moves = 0;
+};
+
+/// Anneals a quantization table for `ds`, starting from `init`.
+SaResult anneal_table(const data::Dataset& ds, const FrequencyProfile& profile,
+                      const jpeg::QuantTable& init, const SaConfig& config = {});
+
+}  // namespace dnj::core

@@ -1,0 +1,81 @@
+#include "core/transcode.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "image/metrics.hpp"
+
+namespace dnj::core {
+
+TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config) {
+  if (ds.empty()) throw std::invalid_argument("transcode: empty dataset");
+  TranscodeResult res;
+  res.dataset.num_classes = ds.num_classes;
+  res.dataset.samples.reserve(ds.size());
+  double psnr_sum = 0.0;
+  std::size_t finite_psnr = 0;
+  for (const data::Sample& s : ds.samples) {
+    jpeg::RoundTrip rt = jpeg::round_trip(s.image, config);
+    res.total_bytes += rt.bytes.size();
+    res.scan_bytes += jpeg::scan_byte_count(rt.bytes);
+    const double p = image::psnr(s.image, rt.decoded);
+    if (std::isfinite(p)) {
+      psnr_sum += p;
+      ++finite_psnr;
+    }
+    res.dataset.samples.push_back({std::move(rt.decoded), s.label});
+  }
+  res.mean_psnr = finite_psnr ? psnr_sum / static_cast<double>(finite_psnr)
+                              : std::numeric_limits<double>::infinity();
+  return res;
+}
+
+std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config) {
+  if (ds.empty()) throw std::invalid_argument("dataset_encoded_bytes: empty dataset");
+  std::size_t total = 0;
+  for (const data::Sample& s : ds.samples) total += jpeg::encoded_size(s.image, config);
+  return total;
+}
+
+std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config) {
+  if (ds.empty()) throw std::invalid_argument("dataset_scan_bytes: empty dataset");
+  std::size_t total = 0;
+  for (const data::Sample& s : ds.samples)
+    total += jpeg::scan_byte_count(jpeg::encode(s.image, config));
+  return total;
+}
+
+namespace {
+jpeg::EncoderConfig qf100_config() {
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 100;
+  cfg.subsampling = jpeg::Subsampling::k444;
+  return cfg;
+}
+}  // namespace
+
+std::size_t reference_bytes_qf100(const data::Dataset& ds) {
+  return dataset_encoded_bytes(ds, qf100_config());
+}
+
+std::size_t reference_scan_bytes_qf100(const data::Dataset& ds) {
+  return dataset_scan_bytes(ds, qf100_config());
+}
+
+double compression_rate(std::size_t reference_bytes, std::size_t method_bytes) {
+  if (method_bytes == 0) throw std::invalid_argument("compression_rate: zero method bytes");
+  return static_cast<double>(reference_bytes) / static_cast<double>(method_bytes);
+}
+
+jpeg::EncoderConfig custom_table_config(const jpeg::QuantTable& table, bool optimize_huffman) {
+  jpeg::EncoderConfig cfg;
+  cfg.use_custom_tables = true;
+  cfg.luma_table = table;
+  cfg.chroma_table = table;
+  cfg.subsampling = jpeg::Subsampling::k444;
+  cfg.optimize_huffman = optimize_huffman;
+  return cfg;
+}
+
+}  // namespace dnj::core

@@ -1,0 +1,45 @@
+// Dataset-level codec operations: re-encode every image of a dataset under
+// an encoder configuration, collect total byte counts, and compute the
+// paper's compression-rate metric (CR is measured relative to the QF = 100
+// JPEG dataset, which the paper calls "original", CR = 1).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "jpeg/codec.hpp"
+
+namespace dnj::core {
+
+struct TranscodeResult {
+  data::Dataset dataset;        ///< decoded (lossy) images, labels preserved
+  std::size_t total_bytes = 0;  ///< sum of complete encoded stream sizes
+  std::size_t scan_bytes = 0;   ///< sum of entropy-coded payload sizes only
+  double mean_psnr = 0.0;       ///< fidelity vs. the input dataset
+};
+
+/// Encodes and decodes every sample; returns the lossy dataset plus size
+/// and fidelity accounting.
+TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config);
+
+/// Encoded byte total only (no decode) — cheaper when only CR is needed.
+std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config);
+
+/// Entropy-coded payload total only (headers/tables excluded — the
+/// per-image marginal cost when tables ship once; see jpeg::scan_byte_count).
+std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config);
+
+/// The paper's reference point: total bytes of the dataset as QF = 100 JPEG.
+std::size_t reference_bytes_qf100(const data::Dataset& ds);
+
+/// Scan-payload variant of the QF-100 reference.
+std::size_t reference_scan_bytes_qf100(const data::Dataset& ds);
+
+/// CR of a method relative to a reference byte count.
+double compression_rate(std::size_t reference_bytes, std::size_t method_bytes);
+
+/// Encoder config that applies one custom table to luma and chroma alike
+/// (our datasets carry class information in luma; the paper designs a
+/// single table from the sampled dataset statistics).
+jpeg::EncoderConfig custom_table_config(const jpeg::QuantTable& table,
+                                        bool optimize_huffman = false);
+
+}  // namespace dnj::core

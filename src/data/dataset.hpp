@@ -1,0 +1,43 @@
+// Labeled image dataset container shared by the generator, the codec
+// experiments and the neural-network trainer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace dnj::data {
+
+struct Sample {
+  image::Image image;
+  int label = 0;
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+  int num_classes = 0;
+
+  std::size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+
+  int width() const { return samples.empty() ? 0 : samples.front().image.width(); }
+  int height() const { return samples.empty() ? 0 : samples.front().image.height(); }
+  int channels() const { return samples.empty() ? 0 : samples.front().image.channels(); }
+
+  /// Total raw (uncompressed) pixel bytes across all samples.
+  std::size_t raw_bytes() const {
+    std::size_t total = 0;
+    for (const Sample& s : samples) total += s.image.byte_size();
+    return total;
+  }
+
+  /// Count of samples per class (length num_classes).
+  std::vector<int> class_counts() const {
+    std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+    for (const Sample& s : samples) ++counts[static_cast<std::size_t>(s.label)];
+    return counts;
+  }
+};
+
+}  // namespace dnj::data

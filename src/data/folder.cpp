@@ -1,0 +1,78 @@
+#include "data/folder.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "image/io.hpp"
+
+namespace dnj::data {
+
+namespace fs = std::filesystem;
+
+FolderDataset load_folder_dataset(const std::string& root, bool allow_mixed_sizes) {
+  if (!fs::is_directory(root))
+    throw std::runtime_error("load_folder_dataset: not a directory: " + root);
+
+  std::vector<std::string> class_dirs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root))
+    if (entry.is_directory()) class_dirs.push_back(entry.path().filename().string());
+  std::sort(class_dirs.begin(), class_dirs.end());
+  if (class_dirs.empty())
+    throw std::runtime_error("load_folder_dataset: no class directories in " + root);
+
+  FolderDataset out;
+  out.dataset.num_classes = static_cast<int>(class_dirs.size());
+
+  int expect_w = -1, expect_h = -1, expect_c = -1;
+  for (std::size_t label = 0; label < class_dirs.size(); ++label) {
+    FolderClass cls;
+    cls.name = class_dirs[label];
+    cls.label = static_cast<int>(label);
+
+    std::vector<std::string> files;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(fs::path(root) / class_dirs[label])) {
+      const std::string ext = entry.path().extension().string();
+      if (entry.is_regular_file() && (ext == ".pgm" || ext == ".ppm"))
+        files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const std::string& file : files) {
+      image::Image img = image::read_pnm(file);
+      if (expect_w < 0) {
+        expect_w = img.width();
+        expect_h = img.height();
+        expect_c = img.channels();
+      } else if (!allow_mixed_sizes &&
+                 (img.width() != expect_w || img.height() != expect_h ||
+                  img.channels() != expect_c)) {
+        throw std::runtime_error("load_folder_dataset: geometry mismatch in " + file);
+      }
+      out.dataset.samples.push_back({std::move(img), cls.label});
+      ++cls.image_count;
+    }
+    out.classes.push_back(cls);
+  }
+  if (out.dataset.empty())
+    throw std::runtime_error("load_folder_dataset: no images under " + root);
+  return out;
+}
+
+void save_folder_dataset(const Dataset& ds, const std::string& root,
+                         const std::vector<std::string>& class_names) {
+  if (static_cast<int>(class_names.size()) != ds.num_classes)
+    throw std::invalid_argument("save_folder_dataset: class name count mismatch");
+  std::vector<int> counters(class_names.size(), 0);
+  for (const Sample& s : ds.samples) {
+    const fs::path dir = fs::path(root) / class_names[static_cast<std::size_t>(s.label)];
+    fs::create_directories(dir);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%04d.%s", counters[static_cast<std::size_t>(s.label)]++,
+                  s.image.channels() == 1 ? "pgm" : "ppm");
+    image::write_pnm(s.image, (dir / name).string());
+  }
+}
+
+}  // namespace dnj::data

@@ -1,0 +1,40 @@
+// Directory-backed dataset loader: one subdirectory per class, binary
+// PGM/PPM files inside. This is the path a downstream user takes to run the
+// DeepN-JPEG design flow on real images instead of the synthetic generator:
+//
+//   my_dataset/
+//     junco/   img0.pgm img1.pgm ...
+//     robin/   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dnj::data {
+
+struct FolderClass {
+  std::string name;
+  int label = 0;
+  std::size_t image_count = 0;
+};
+
+struct FolderDataset {
+  Dataset dataset;
+  std::vector<FolderClass> classes;  ///< sorted by name; label = index
+};
+
+/// Loads every .pgm/.ppm file under root/<class>/. Class labels are
+/// assigned in lexicographic directory order so loading is deterministic.
+/// Throws std::runtime_error if the root has no class directories or an
+/// image fails to parse; images of mismatched geometry throw unless
+/// `allow_mixed_sizes`.
+FolderDataset load_folder_dataset(const std::string& root, bool allow_mixed_sizes = false);
+
+/// Writes a dataset to root/<class_name>/NNNN.pgm|.ppm (used by tests and
+/// by the batch-compression example to materialize datasets on disk).
+void save_folder_dataset(const Dataset& ds, const std::string& root,
+                         const std::vector<std::string>& class_names);
+
+}  // namespace dnj::data

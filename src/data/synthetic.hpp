@@ -1,0 +1,82 @@
+// Synthetic dataset with controlled frequency-domain class signatures —
+// the stand-in for ImageNet (see DESIGN.md, substitutions).
+//
+// The paper's entire mechanism is spectral: a class is easy or hard to
+// preserve under quantization depending on which DCT bands carry its
+// discriminative energy. Each synthetic class below therefore has a
+// documented spectral signature, and two class pairs are constructed to be
+// separable ONLY by high-frequency content (the paper's junco-vs-robin
+// example, Fig. 3):
+//
+//   kSmoothBlob      — sum of broad Gaussian blobs; energy in the lowest bands.
+//   kGradient        — oriented linear ramp; almost pure DC + lowest AC.
+//   kCoarseGrating   — sinusoidal grating, period 10–16 px (low/mid bands).
+//   kBandNoise       — mid-band filtered noise; flat mid-frequency ridge.
+//   kFineGrating     — sinusoidal grating, period 3–4 px (high bands).
+//   kCheckerboard    — 2-px checker; energy near the Nyquist corner.
+//   kBlobPlusTexture — kSmoothBlob plus a faint isotropic high-frequency
+//                      texture: differs from kSmoothBlob only in HF.
+//   kBlobPlusRidges  — kSmoothBlob plus faint *diagonal* high-frequency
+//                      ridges: differs from kBlobPlusTexture only in the
+//                      orientation of its HF content.
+//
+// Every image gets per-sample jitter (phase, orientation, amplitude,
+// position, sensor noise) so classifiers must generalize, and generation is
+// bit-deterministic: sample (class c, index i) depends only on
+// (seed, c, i), never on generation order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace dnj::data {
+
+enum class ClassKind : int {
+  kSmoothBlob = 0,
+  kGradient,
+  kCoarseGrating,
+  kBandNoise,
+  kFineGrating,
+  kCheckerboard,
+  kBlobPlusTexture,
+  kBlobPlusRidges,
+};
+
+inline constexpr int kNumClassKinds = 8;
+
+/// Human-readable class name ("smooth_blob", ...).
+std::string class_name(ClassKind kind);
+
+struct GeneratorConfig {
+  int width = 32;
+  int height = 32;
+  int channels = 1;          ///< 1 (gray) or 3 (RGB with per-channel tint)
+  int num_classes = kNumClassKinds;  ///< first N of the kinds above
+  std::uint64_t seed = 0xD0E5EEDULL;
+  float noise_sigma = 2.0f;  ///< additive Gaussian sensor noise (gray levels)
+};
+
+class SyntheticDatasetGenerator {
+ public:
+  explicit SyntheticDatasetGenerator(const GeneratorConfig& config);
+
+  /// Renders sample `index` of class `kind` deterministically.
+  image::Image render(ClassKind kind, int index) const;
+
+  /// Generates `per_class` samples for every class, indices
+  /// [first_index, first_index + per_class).
+  Dataset generate(int per_class, int first_index = 0) const;
+
+  /// Disjoint train/test split: train uses indices [0, train_per_class),
+  /// test uses [train_per_class, train_per_class + test_per_class).
+  std::pair<Dataset, Dataset> generate_split(int train_per_class, int test_per_class) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace dnj::data

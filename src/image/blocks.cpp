@@ -1,0 +1,65 @@
+#include "image/blocks.hpp"
+
+#include <algorithm>
+
+namespace dnj::image {
+
+int padded_dim(int n) { return (n + kBlockDim - 1) / kBlockDim * kBlockDim; }
+
+PlaneF pad_to_blocks(const PlaneF& plane) {
+  const int pw = padded_dim(plane.width());
+  const int ph = padded_dim(plane.height());
+  if (pw == plane.width() && ph == plane.height()) return plane;
+  PlaneF out(pw, ph);
+  for (int y = 0; y < ph; ++y) {
+    const int sy = std::min(y, plane.height() - 1);
+    for (int x = 0; x < pw; ++x) {
+      const int sx = std::min(x, plane.width() - 1);
+      out.at(x, y) = plane.at(sx, sy);
+    }
+  }
+  return out;
+}
+
+std::vector<BlockF> split_blocks(const PlaneF& plane, int* blocks_x, int* blocks_y) {
+  const PlaneF padded = pad_to_blocks(plane);
+  const int bx = padded.width() / kBlockDim;
+  const int by = padded.height() / kBlockDim;
+  if (blocks_x) *blocks_x = bx;
+  if (blocks_y) *blocks_y = by;
+  std::vector<BlockF> blocks(static_cast<std::size_t>(bx) * by);
+  for (int byi = 0; byi < by; ++byi) {
+    for (int bxi = 0; bxi < bx; ++bxi) {
+      BlockF& blk = blocks[static_cast<std::size_t>(byi) * bx + bxi];
+      for (int y = 0; y < kBlockDim; ++y)
+        for (int x = 0; x < kBlockDim; ++x)
+          blk[y * kBlockDim + x] = padded.at(bxi * kBlockDim + x, byi * kBlockDim + y);
+    }
+  }
+  return blocks;
+}
+
+PlaneF merge_blocks(const std::vector<BlockF>& blocks, int blocks_x, int blocks_y) {
+  if (blocks.size() != static_cast<std::size_t>(blocks_x) * blocks_y)
+    throw std::invalid_argument("merge_blocks: grid does not match block count");
+  PlaneF out(blocks_x * kBlockDim, blocks_y * kBlockDim);
+  for (int byi = 0; byi < blocks_y; ++byi) {
+    for (int bxi = 0; bxi < blocks_x; ++bxi) {
+      const BlockF& blk = blocks[static_cast<std::size_t>(byi) * blocks_x + bxi];
+      for (int y = 0; y < kBlockDim; ++y)
+        for (int x = 0; x < kBlockDim; ++x)
+          out.at(bxi * kBlockDim + x, byi * kBlockDim + y) = blk[y * kBlockDim + x];
+    }
+  }
+  return out;
+}
+
+void level_shift(BlockF& block) {
+  for (float& v : block) v -= 128.0f;
+}
+
+void level_unshift(BlockF& block) {
+  for (float& v : block) v += 128.0f;
+}
+
+}  // namespace dnj::image

@@ -1,0 +1,43 @@
+// 8x8 block partitioning used by the JPEG pipeline and by Algorithm 1 of the
+// paper (frequency component analysis). Planes whose dimensions are not
+// multiples of 8 are padded by edge replication, which is the standard JPEG
+// convention and avoids injecting artificial high-frequency energy at the
+// border.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace dnj::image {
+
+inline constexpr int kBlockDim = 8;
+inline constexpr int kBlockSize = kBlockDim * kBlockDim;
+
+/// One 8x8 block of float samples in row-major order.
+using BlockF = std::array<float, kBlockSize>;
+
+/// Rounds `n` up to the next multiple of 8.
+int padded_dim(int n);
+
+/// Pads a plane to multiple-of-8 dimensions by replicating the last row and
+/// column. Returns the input unchanged when already aligned.
+PlaneF pad_to_blocks(const PlaneF& plane);
+
+/// Splits a plane into row-major 8x8 blocks. The plane is padded internally
+/// if needed; blocks_x/blocks_y receive the grid dimensions when non-null.
+std::vector<BlockF> split_blocks(const PlaneF& plane, int* blocks_x = nullptr,
+                                 int* blocks_y = nullptr);
+
+/// Inverse of split_blocks: reassembles a plane of size (blocks_x*8,
+/// blocks_y*8) from a row-major block list.
+PlaneF merge_blocks(const std::vector<BlockF>& blocks, int blocks_x, int blocks_y);
+
+/// Applies the JPEG level shift (x - 128) in place.
+void level_shift(BlockF& block);
+
+/// Undoes the level shift (x + 128) in place.
+void level_unshift(BlockF& block);
+
+}  // namespace dnj::image

@@ -1,0 +1,58 @@
+#include "image/color.hpp"
+
+namespace dnj::image {
+
+std::array<float, 3> rgb_to_ycbcr(float r, float g, float b) {
+  const float y = 0.299f * r + 0.587f * g + 0.114f * b;
+  const float cb = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.0f;
+  const float cr = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.0f;
+  return {y, cb, cr};
+}
+
+std::array<float, 3> ycbcr_to_rgb(float y, float cb, float cr) {
+  const float r = y + 1.402f * (cr - 128.0f);
+  const float g = y - 0.344136f * (cb - 128.0f) - 0.714136f * (cr - 128.0f);
+  const float b = y + 1.772f * (cb - 128.0f);
+  return {r, g, b};
+}
+
+YCbCrPlanes to_ycbcr(const Image& img) {
+  YCbCrPlanes out;
+  out.y = PlaneF(img.width(), img.height());
+  out.cb = PlaneF(img.width(), img.height(), 128.0f);
+  out.cr = PlaneF(img.width(), img.height(), 128.0f);
+  if (img.channels() == 1) {
+    for (int y = 0; y < img.height(); ++y)
+      for (int x = 0; x < img.width(); ++x)
+        out.y.at(x, y) = static_cast<float>(img.at(x, y, 0));
+    return out;
+  }
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const auto ycc = rgb_to_ycbcr(img.at(x, y, 0), img.at(x, y, 1), img.at(x, y, 2));
+      out.y.at(x, y) = ycc[0];
+      out.cb.at(x, y) = ycc[1];
+      out.cr.at(x, y) = ycc[2];
+    }
+  }
+  return out;
+}
+
+Image to_rgb(const YCbCrPlanes& planes, int width, int height) {
+  if (planes.y.width() < width || planes.y.height() < height ||
+      planes.cb.width() < width || planes.cb.height() < height ||
+      planes.cr.width() < width || planes.cr.height() < height)
+    throw std::invalid_argument("to_rgb: planes smaller than target size");
+  Image img(width, height, 3);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const auto rgb = ycbcr_to_rgb(planes.y.at(x, y), planes.cb.at(x, y), planes.cr.at(x, y));
+      img.at(x, y, 0) = clamp_u8(rgb[0]);
+      img.at(x, y, 1) = clamp_u8(rgb[1]);
+      img.at(x, y, 2) = clamp_u8(rgb[2]);
+    }
+  }
+  return img;
+}
+
+}  // namespace dnj::image

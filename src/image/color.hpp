@@ -1,0 +1,37 @@
+// JFIF full-range BT.601 color transform (the one baseline JPEG uses).
+//
+//   Y  =  0.299 R + 0.587 G + 0.114 B
+//   Cb = -0.168736 R - 0.331264 G + 0.5 B + 128
+//   Cr =  0.5 R - 0.418688 G - 0.081312 B + 128
+//
+// All planes are full range [0, 255]; no studio-swing scaling is applied.
+#pragma once
+
+#include <array>
+
+#include "image/image.hpp"
+
+namespace dnj::image {
+
+/// Result of splitting an RGB image into float Y/Cb/Cr planes.
+struct YCbCrPlanes {
+  PlaneF y;
+  PlaneF cb;
+  PlaneF cr;
+};
+
+/// Per-pixel forward transform. Inputs/outputs are full-range floats.
+std::array<float, 3> rgb_to_ycbcr(float r, float g, float b);
+
+/// Per-pixel inverse transform.
+std::array<float, 3> ycbcr_to_rgb(float y, float cb, float cr);
+
+/// Converts an interleaved RGB image to planar YCbCr. A grayscale image
+/// yields a Y plane and flat (128) chroma planes.
+YCbCrPlanes to_ycbcr(const Image& img);
+
+/// Reassembles an RGB image from YCbCr planes; all planes must share the
+/// target dimensions (or exceed them, for block-padded planes).
+Image to_rgb(const YCbCrPlanes& planes, int width, int height);
+
+}  // namespace dnj::image

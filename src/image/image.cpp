@@ -1,0 +1,35 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnj::image {
+
+std::uint8_t clamp_u8(float v) {
+  const float r = std::nearbyint(v);
+  if (r <= 0.0f) return 0;
+  if (r >= 255.0f) return 255;
+  return static_cast<std::uint8_t>(r);
+}
+
+PlaneF to_plane(const Image& img, int c) {
+  if (c < 0 || c >= img.channels())
+    throw std::invalid_argument("to_plane: channel out of range");
+  PlaneF p(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      p.at(x, y) = static_cast<float>(img.at(x, y, c));
+  return p;
+}
+
+void from_plane(const PlaneF& plane, Image& img, int c) {
+  if (c < 0 || c >= img.channels())
+    throw std::invalid_argument("from_plane: channel out of range");
+  if (plane.width() < img.width() || plane.height() < img.height())
+    throw std::invalid_argument("from_plane: plane smaller than image");
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      img.at(x, y, c) = clamp_u8(plane.at(x, y));
+}
+
+}  // namespace dnj::image

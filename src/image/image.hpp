@@ -1,0 +1,116 @@
+// Core image containers for the DeepN-JPEG reproduction.
+//
+// Two representations are used throughout the library:
+//  * `Image`  — interleaved 8-bit pixels (1 = grayscale, 3 = RGB), the
+//    at-rest form images take before compression and after decoding.
+//  * `PlaneF` — a single float plane, the working form used by the color
+//    transform, the DCT, and the neural-network front end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dnj::image {
+
+/// Interleaved 8-bit image. Pixel (x, y) channel c lives at
+/// data[(y * width + x) * channels + c]. Channels is 1 (gray) or 3 (RGB).
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a zero-filled image. Throws std::invalid_argument on a zero
+  /// dimension or an unsupported channel count.
+  Image(int width, int height, int channels)
+      : width_(width), height_(height), channels_(channels) {
+    if (width <= 0 || height <= 0)
+      throw std::invalid_argument("Image: dimensions must be positive");
+    if (channels != 1 && channels != 3)
+      throw std::invalid_argument("Image: channels must be 1 or 3");
+    data_.assign(static_cast<std::size_t>(width) * height * channels, 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of pixels (not bytes).
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+  /// Total byte size of the raw pixel payload.
+  std::size_t byte_size() const { return data_.size(); }
+
+  std::uint8_t& at(int x, int y, int c = 0) { return data_[index(x, y, c)]; }
+  std::uint8_t at(int x, int y, int c = 0) const { return data_[index(x, y, c)]; }
+
+  /// Bounds-checked accessor used by tests; throws std::out_of_range.
+  std::uint8_t at_checked(int x, int y, int c = 0) const {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_ || c < 0 || c >= channels_)
+      throw std::out_of_range("Image::at_checked");
+    return data_[index(x, y, c)];
+  }
+
+  std::vector<std::uint8_t>& data() { return data_; }
+  const std::vector<std::uint8_t>& data() const { return data_; }
+
+  bool operator==(const Image& o) const {
+    return width_ == o.width_ && height_ == o.height_ &&
+           channels_ == o.channels_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t index(int x, int y, int c) const {
+    return (static_cast<std::size_t>(y) * width_ + x) * channels_ + c;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Single-channel float plane. Values are typically in [0, 255] before the
+/// JPEG level shift and [-128, 127] after it.
+class PlaneF {
+ public:
+  PlaneF() = default;
+  PlaneF(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height) {
+    if (width <= 0 || height <= 0)
+      throw std::invalid_argument("PlaneF: dimensions must be positive");
+    data_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  float at(int x, int y) const { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// Extracts channel `c` of `img` as a float plane (no level shift).
+PlaneF to_plane(const Image& img, int c);
+
+/// Writes a float plane back into channel `c` of `img`, clamping to [0, 255]
+/// and rounding to nearest. The plane may be larger than the image (padded);
+/// excess samples are dropped.
+void from_plane(const PlaneF& plane, Image& img, int c);
+
+/// Clamps a float sample to the 8-bit range with round-to-nearest.
+std::uint8_t clamp_u8(float v);
+
+}  // namespace dnj::image

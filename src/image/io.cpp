@@ -1,0 +1,70 @@
+#include "image/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace dnj::image {
+
+namespace {
+
+// Skips whitespace and '#' comment lines between PNM header tokens.
+void skip_ws_and_comments(std::istream& in) {
+  for (;;) {
+    int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_header_int(std::istream& in) {
+  skip_ws_and_comments(in);
+  int v = 0;
+  if (!(in >> v)) throw std::runtime_error("read_pnm: malformed header");
+  return v;
+}
+
+}  // namespace
+
+void write_pnm(const Image& img, const std::string& path) {
+  if (img.empty()) throw std::runtime_error("write_pnm: empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pnm: cannot open " + path);
+  out << (img.channels() == 1 ? "P5" : "P6") << "\n"
+      << img.width() << " " << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.data().data()),
+            static_cast<std::streamsize>(img.data().size()));
+  if (!out) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+Image read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pnm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  int channels = 0;
+  if (magic == "P5")
+    channels = 1;
+  else if (magic == "P6")
+    channels = 3;
+  else
+    throw std::runtime_error("read_pnm: unsupported magic " + magic);
+  const int w = read_header_int(in);
+  const int h = read_header_int(in);
+  const int maxval = read_header_int(in);
+  if (maxval != 255) throw std::runtime_error("read_pnm: only maxval 255 supported");
+  in.get();  // single whitespace after maxval
+  Image img(w, h, channels);
+  in.read(reinterpret_cast<char*>(img.data().data()),
+          static_cast<std::streamsize>(img.data().size()));
+  if (in.gcount() != static_cast<std::streamsize>(img.data().size()))
+    throw std::runtime_error("read_pnm: truncated pixel data in " + path);
+  return img;
+}
+
+}  // namespace dnj::image

@@ -1,0 +1,19 @@
+// Minimal binary PPM (P6) / PGM (P5) reader and writer so examples can get
+// pixels in and out of the library without any external dependency.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace dnj::image {
+
+/// Writes `img` as binary PGM (1 channel) or PPM (3 channels).
+/// Throws std::runtime_error on I/O failure.
+void write_pnm(const Image& img, const std::string& path);
+
+/// Reads a binary P5/P6 file with maxval 255. Throws std::runtime_error on
+/// parse or I/O failure.
+Image read_pnm(const std::string& path);
+
+}  // namespace dnj::image

@@ -1,0 +1,41 @@
+#include "image/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace dnj::image {
+
+namespace {
+void check_same_shape(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.channels() != b.channels())
+    throw std::invalid_argument("metrics: image shapes differ");
+}
+}  // namespace
+
+double mse(const Image& a, const Image& b) {
+  check_same_shape(a, b);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.data().size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+int max_abs_diff(const Image& a, const Image& b) {
+  check_same_shape(a, b);
+  int worst = 0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    worst = std::max(worst, std::abs(static_cast<int>(a.data()[i]) - static_cast<int>(b.data()[i])));
+  return worst;
+}
+
+}  // namespace dnj::image

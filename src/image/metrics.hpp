@@ -1,0 +1,18 @@
+// Fidelity metrics used by the codec tests and the experiment harness.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace dnj::image {
+
+/// Mean squared error over all channels. Images must match in shape.
+double mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB for 8-bit images. Returns +inf for
+/// identical images.
+double psnr(const Image& a, const Image& b);
+
+/// Maximum absolute per-sample difference.
+int max_abs_diff(const Image& a, const Image& b);
+
+}  // namespace dnj::image

@@ -1,0 +1,73 @@
+#include "image/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnj::image {
+
+PlaneF downsample_2x2(const PlaneF& plane) {
+  const int ow = (plane.width() + 1) / 2;
+  const int oh = (plane.height() + 1) / 2;
+  PlaneF out(ow, oh);
+  for (int y = 0; y < oh; ++y) {
+    for (int x = 0; x < ow; ++x) {
+      float sum = 0.0f;
+      int n = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const int sx = 2 * x + dx;
+          const int sy = 2 * y + dy;
+          if (sx < plane.width() && sy < plane.height()) {
+            sum += plane.at(sx, sy);
+            ++n;
+          }
+        }
+      }
+      out.at(x, y) = sum / static_cast<float>(n);
+    }
+  }
+  return out;
+}
+
+PlaneF upsample_2x2(const PlaneF& plane, int out_w, int out_h) {
+  if ((out_w + 1) / 2 != plane.width() || (out_h + 1) / 2 != plane.height())
+    throw std::invalid_argument("upsample_2x2: output dims inconsistent with input");
+  PlaneF out(out_w, out_h);
+  const int iw = plane.width();
+  const int ih = plane.height();
+  for (int y = 0; y < out_h; ++y) {
+    // Source coordinate of the output sample centre in input space.
+    const float fy = (static_cast<float>(y) + 0.5f) / 2.0f - 0.5f;
+    const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, ih - 1);
+    const int y1 = std::min(y0 + 1, ih - 1);
+    const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) / 2.0f - 0.5f;
+      const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, iw - 1);
+      const int x1 = std::min(x0 + 1, iw - 1);
+      const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+      const float top = plane.at(x0, y0) * (1.0f - wx) + plane.at(x1, y0) * wx;
+      const float bot = plane.at(x0, y1) * (1.0f - wx) + plane.at(x1, y1) * wx;
+      out.at(x, y) = top * (1.0f - wy) + bot * wy;
+    }
+  }
+  return out;
+}
+
+PlaneF resize_nearest(const PlaneF& plane, int out_w, int out_h) {
+  if (out_w <= 0 || out_h <= 0)
+    throw std::invalid_argument("resize_nearest: dims must be positive");
+  PlaneF out(out_w, out_h);
+  for (int y = 0; y < out_h; ++y) {
+    const int sy = std::min(static_cast<int>(static_cast<long long>(y) * plane.height() / out_h),
+                            plane.height() - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const int sx = std::min(static_cast<int>(static_cast<long long>(x) * plane.width() / out_w),
+                              plane.width() - 1);
+      out.at(x, y) = plane.at(sx, sy);
+    }
+  }
+  return out;
+}
+
+}  // namespace dnj::image

@@ -1,0 +1,23 @@
+// Chroma resampling for 4:2:0 JPEG. Downsampling is a 2x2 box average (what
+// libjpeg's default h2v2 downsampler computes); upsampling is bilinear with
+// replicated edges, matching the "fancy upsampling" quality level closely
+// enough for round-trip tests.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace dnj::image {
+
+/// 2x2 box-average downsample. Odd trailing rows/columns are averaged over
+/// the available samples. Output dims are ceil(w/2) x ceil(h/2).
+PlaneF downsample_2x2(const PlaneF& plane);
+
+/// Bilinear 2x upsample to exactly (out_w, out_h), which must satisfy
+/// ceil(out_w/2) == plane.width() and ceil(out_h/2) == plane.height().
+PlaneF upsample_2x2(const PlaneF& plane, int out_w, int out_h);
+
+/// Nearest-neighbour resize to arbitrary dimensions (used by the dataset
+/// generator, not the codec).
+PlaneF resize_nearest(const PlaneF& plane, int out_w, int out_h);
+
+}  // namespace dnj::image

@@ -1,0 +1,103 @@
+#include "jpeg/bitio.hpp"
+
+#include <stdexcept>
+
+namespace dnj::jpeg {
+
+void BitWriter::emit_byte(std::uint8_t b) {
+  out_.push_back(b);
+  if (b == 0xFF) out_.push_back(0x00);  // byte stuffing
+}
+
+void BitWriter::put_bits(std::uint32_t bits, int count) {
+  if (count < 0 || count > 24) throw std::invalid_argument("BitWriter: bad bit count");
+  if (count == 0) return;
+  acc_ = (acc_ << count) | (bits & ((1u << count) - 1u));
+  bit_count_ += count;
+  while (bit_count_ >= 8) {
+    emit_byte(static_cast<std::uint8_t>((acc_ >> (bit_count_ - 8)) & 0xFF));
+    bit_count_ -= 8;
+  }
+}
+
+void BitWriter::flush() {
+  if (bit_count_ > 0) {
+    // Pad with 1-bits per T.81 B.1.1.5.
+    const int pad = 8 - bit_count_;
+    acc_ = (acc_ << pad) | ((1u << pad) - 1u);
+    emit_byte(static_cast<std::uint8_t>(acc_ & 0xFF));
+    bit_count_ = 0;
+  }
+  acc_ = 0;
+}
+
+void BitWriter::put_marker(std::uint8_t code) {
+  flush();
+  out_.push_back(0xFF);
+  out_.push_back(code);
+}
+
+int BitReader::next_data_byte() {
+  while (pos_ < size_) {
+    const std::uint8_t b = data_[pos_];
+    if (b != 0xFF) {
+      ++pos_;
+      return b;
+    }
+    // 0xFF: look at the next byte.
+    if (pos_ + 1 >= size_) return -1;
+    const std::uint8_t next = data_[pos_ + 1];
+    if (next == 0x00) {  // stuffed data byte
+      pos_ += 2;
+      return 0xFF;
+    }
+    if (next == 0xFF) {  // fill byte, skip one 0xFF and retry
+      ++pos_;
+      continue;
+    }
+    return -1;  // real marker: stop bit delivery
+  }
+  return -1;
+}
+
+std::int32_t BitReader::get_bits(int count) {
+  if (count == 0) return 0;
+  while (bit_count_ < count) {
+    const int b = next_data_byte();
+    if (b < 0) {
+      hit_marker_ = true;
+      return -1;
+    }
+    acc_ = (acc_ << 8) | static_cast<std::uint32_t>(b);
+    bit_count_ += 8;
+  }
+  const std::int32_t v =
+      static_cast<std::int32_t>((acc_ >> (bit_count_ - count)) & ((1u << count) - 1u));
+  bit_count_ -= count;
+  return v;
+}
+
+std::int32_t BitReader::get_bit() { return get_bits(1); }
+
+bool BitReader::at_marker() const { return peek_marker() != 0; }
+
+std::uint8_t BitReader::peek_marker() const {
+  std::size_t p = pos_;
+  while (p + 1 < size_ && data_[p] == 0xFF && data_[p + 1] == 0xFF) ++p;
+  if (p + 1 < size_ && data_[p] == 0xFF && data_[p + 1] != 0x00) return data_[p + 1];
+  return 0;
+}
+
+std::uint8_t BitReader::take_marker() {
+  while (pos_ + 1 < size_ && data_[pos_] == 0xFF && data_[pos_ + 1] == 0xFF) ++pos_;
+  if (pos_ + 1 >= size_ || data_[pos_] != 0xFF)
+    throw std::runtime_error("BitReader: expected marker");
+  const std::uint8_t code = data_[pos_ + 1];
+  pos_ += 2;
+  acc_ = 0;
+  bit_count_ = 0;
+  hit_marker_ = false;
+  return code;
+}
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,70 @@
+// Entropy-coded segment bit I/O. JPEG writes bits MSB-first and byte-stuffs
+// every 0xFF data byte with a following 0x00 so that decoders can find
+// markers by scanning for un-stuffed 0xFF bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dnj::jpeg {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  /// Writes the low `count` bits of `bits`, MSB first. count in [0, 24].
+  void put_bits(std::uint32_t bits, int count);
+
+  /// Pads the current byte with 1-bits (the JPEG fill convention) and
+  /// flushes it. Call before writing any marker.
+  void flush();
+
+  /// Flushes, then writes a two-byte marker (0xFF, code) unstuffed.
+  void put_marker(std::uint8_t code);
+
+ private:
+  void emit_byte(std::uint8_t b);
+
+  std::vector<std::uint8_t>& out_;
+  std::uint32_t acc_ = 0;
+  int bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Reads `count` bits MSB-first. Returns -1 if the scan data is exhausted
+  /// or a marker is hit (callers treat that as corrupt-stream error except
+  /// for expected RST/EOI handling).
+  std::int32_t get_bits(int count);
+
+  /// Reads a single bit; -1 on marker/end.
+  std::int32_t get_bit();
+
+  /// True when positioned at a marker (0xFF followed by a non-stuffing,
+  /// non-fill byte).
+  bool at_marker() const;
+
+  /// If positioned at a marker, returns its code without consuming; 0
+  /// otherwise.
+  std::uint8_t peek_marker() const;
+
+  /// Consumes a marker (two bytes) and resets bit state. Returns the code.
+  std::uint8_t take_marker();
+
+  /// Byte offset of the next unread byte.
+  std::size_t position() const { return pos_; }
+
+ private:
+  int next_data_byte();
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint32_t acc_ = 0;
+  int bit_count_ = 0;
+  bool hit_marker_ = false;
+};
+
+}  // namespace dnj::jpeg

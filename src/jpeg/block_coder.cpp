@@ -1,0 +1,125 @@
+#include "jpeg/block_coder.hpp"
+
+#include <cstdlib>
+
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+
+namespace {
+
+// Value extension for decoding (T.81 F.2.2.1 EXTEND): a `size`-bit raw value
+// whose MSB is 0 encodes a negative coefficient.
+int extend(int v, int size) {
+  if (size == 0) return 0;
+  if (v < (1 << (size - 1))) return v - (1 << size) + 1;
+  return v;
+}
+
+// Low `size` bits that encode `v` (negative values use v - 1 semantics).
+std::uint32_t magnitude_bits(int v, int size) {
+  if (v < 0) v += (1 << size) - 1;
+  return static_cast<std::uint32_t>(v) & ((1u << size) - 1u);
+}
+
+}  // namespace
+
+int bit_category(int v) {
+  int a = std::abs(v);
+  int bits = 0;
+  while (a != 0) {
+    a >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+void encode_block(BitWriter& bw, const QuantizedBlock& block, int& dc_pred,
+                  const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table) {
+  const int dc = block[0];
+  const int diff = dc - dc_pred;
+  dc_pred = dc;
+  const int dc_cat = bit_category(diff);
+  dc_table.encode(bw, static_cast<std::uint8_t>(dc_cat));
+  if (dc_cat > 0) bw.put_bits(magnitude_bits(diff, dc_cat), dc_cat);
+
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    const int v = block[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ac_table.encode(bw, 0xF0);  // ZRL: 16 zeros
+      run -= 16;
+    }
+    const int cat = bit_category(v);
+    ac_table.encode(bw, static_cast<std::uint8_t>((run << 4) | cat));
+    bw.put_bits(magnitude_bits(v, cat), cat);
+    run = 0;
+  }
+  if (run > 0) ac_table.encode(bw, 0x00);  // EOB
+}
+
+void count_block_symbols(const QuantizedBlock& block, int& dc_pred, SymbolCounts& counts) {
+  const int dc = block[0];
+  const int diff = dc - dc_pred;
+  dc_pred = dc;
+  ++counts.dc[static_cast<std::size_t>(bit_category(diff))];
+
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    const int v = block[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ++counts.ac[0xF0];
+      run -= 16;
+    }
+    ++counts.ac[static_cast<std::size_t>((run << 4) | bit_category(v))];
+    run = 0;
+  }
+  if (run > 0) ++counts.ac[0x00];
+}
+
+bool decode_block(BitReader& br, QuantizedBlock& block, int& dc_pred,
+                  const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table) {
+  block.fill(0);
+  const int dc_cat = dc_table.decode(br);
+  if (dc_cat < 0 || dc_cat > 15) return false;
+  int diff = 0;
+  if (dc_cat > 0) {
+    const std::int32_t raw = br.get_bits(dc_cat);
+    if (raw < 0) return false;
+    diff = extend(raw, dc_cat);
+  }
+  dc_pred += diff;
+  block[0] = static_cast<std::int16_t>(dc_pred);
+
+  int k = 1;
+  while (k < 64) {
+    const int sym = ac_table.decode(br);
+    if (sym < 0) return false;
+    if (sym == 0x00) break;  // EOB
+    const int run = sym >> 4;
+    const int cat = sym & 0x0F;
+    if (cat == 0) {
+      if (sym != 0xF0) return false;  // only ZRL has size 0
+      k += 16;
+      continue;
+    }
+    k += run;
+    if (k >= 64) return false;
+    const std::int32_t raw = br.get_bits(cat);
+    if (raw < 0) return false;
+    block[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])] =
+        static_cast<std::int16_t>(extend(raw, cat));
+    ++k;
+  }
+  return true;
+}
+
+}  // namespace dnj::jpeg

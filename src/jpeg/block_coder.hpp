@@ -1,0 +1,41 @@
+// Per-block entropy coding (T.81 F.1.2/F.2.2): DC DPCM with magnitude
+// categories, AC run-length coding with ZRL and EOB, in zig-zag order.
+// A statistics-gathering pass mirrors the emit pass so the encoder can build
+// optimal Huffman tables in two passes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "jpeg/bitio.hpp"
+#include "jpeg/huffman.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::jpeg {
+
+/// Magnitude category of a coefficient value: the number of bits needed to
+/// represent |v| (0 for v == 0). DC categories go to 11, AC to 10 for 8-bit
+/// baseline, but values are computed generically.
+int bit_category(int v);
+
+/// Symbol frequency accumulators for one (DC, AC) table pair.
+struct SymbolCounts {
+  std::array<std::uint32_t, 256> dc{};
+  std::array<std::uint32_t, 256> ac{};
+};
+
+/// Encodes one quantized block. `dc_pred` is the running DC predictor for
+/// the component and is updated in place.
+void encode_block(BitWriter& bw, const QuantizedBlock& block, int& dc_pred,
+                  const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table);
+
+/// Tallies the Huffman symbols the block would emit (pass 1 of optimized
+/// encoding). Updates `dc_pred` identically to encode_block.
+void count_block_symbols(const QuantizedBlock& block, int& dc_pred, SymbolCounts& counts);
+
+/// Decodes one block into natural-order quantized coefficients. Returns
+/// false on a corrupt or truncated stream.
+bool decode_block(BitReader& br, QuantizedBlock& block, int& dc_pred,
+                  const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table);
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,21 @@
+#include "jpeg/codec.hpp"
+
+namespace dnj::jpeg {
+
+RoundTrip round_trip(const image::Image& img, const EncoderConfig& config) {
+  RoundTrip rt;
+  rt.bytes = encode(img, config);
+  rt.decoded = decode(rt.bytes);
+  return rt;
+}
+
+std::size_t encoded_size(const image::Image& img, const EncoderConfig& config) {
+  return encode(img, config).size();
+}
+
+double bits_per_pixel(std::size_t encoded_bytes, int width, int height) {
+  return 8.0 * static_cast<double>(encoded_bytes) /
+         (static_cast<double>(width) * static_cast<double>(height));
+}
+
+}  // namespace dnj::jpeg

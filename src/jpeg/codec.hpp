@@ -1,0 +1,26 @@
+// Convenience facade over the encoder/decoder pair: round trips, rate
+// measurement, and the "re-encode a dataset at a given table" operation the
+// experiments are built from.
+#pragma once
+
+#include "jpeg/decoder.hpp"
+#include "jpeg/encoder.hpp"
+
+namespace dnj::jpeg {
+
+/// Result of one compress-decompress round trip.
+struct RoundTrip {
+  std::vector<std::uint8_t> bytes;  ///< encoded stream
+  image::Image decoded;             ///< image after decode
+};
+
+/// Encodes then decodes in one call.
+RoundTrip round_trip(const image::Image& img, const EncoderConfig& config = {});
+
+/// Compressed size in bytes for an image under a config (encode only).
+std::size_t encoded_size(const image::Image& img, const EncoderConfig& config = {});
+
+/// Bits per pixel of an encoded stream for a given image geometry.
+double bits_per_pixel(std::size_t encoded_bytes, int width, int height);
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,179 @@
+#include "jpeg/dct.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace dnj::jpeg {
+
+namespace {
+
+constexpr int N = image::kBlockDim;
+
+// Orthonormal DCT-II basis: basis[u][x] = C(u)/2 * cos((2x+1) u pi / 16).
+// With this matrix M, the JPEG 2D DCT is M * S * M^T and the inverse is
+// M^T * F * M.
+struct Basis {
+  std::array<std::array<float, N>, N> m{};
+  Basis() {
+    for (int u = 0; u < N; ++u) {
+      const double cu = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+      for (int x = 0; x < N; ++x)
+        m[u][x] = static_cast<float>(
+            0.5 * cu * std::cos((2.0 * x + 1.0) * u * M_PI / 16.0));
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+// AAN output scale: true_coef[u][v] = aan_out[u][v] / (8 * s[u] * s[v]) with
+// s[0] = 1 and s[k] = cos(k pi / 16) * sqrt(2) for k > 0.
+struct AanScale {
+  std::array<float, N> s{};
+  AanScale() {
+    s[0] = 1.0f;
+    for (int k = 1; k < N; ++k)
+      s[k] = static_cast<float>(std::cos(k * M_PI / 16.0) * std::sqrt(2.0));
+  }
+};
+
+const AanScale& aan_scale() {
+  static const AanScale a;
+  return a;
+}
+
+// One 8-point AAN forward DCT pass over a strided array.
+void aan_1d(float* d, int stride) {
+  float* p0 = d;
+  float* p1 = d + stride;
+  float* p2 = d + 2 * stride;
+  float* p3 = d + 3 * stride;
+  float* p4 = d + 4 * stride;
+  float* p5 = d + 5 * stride;
+  float* p6 = d + 6 * stride;
+  float* p7 = d + 7 * stride;
+
+  const float tmp0 = *p0 + *p7;
+  const float tmp7 = *p0 - *p7;
+  const float tmp1 = *p1 + *p6;
+  const float tmp6 = *p1 - *p6;
+  const float tmp2 = *p2 + *p5;
+  const float tmp5 = *p2 - *p5;
+  const float tmp3 = *p3 + *p4;
+  const float tmp4 = *p3 - *p4;
+
+  // Even part.
+  const float tmp10 = tmp0 + tmp3;
+  const float tmp13 = tmp0 - tmp3;
+  const float tmp11 = tmp1 + tmp2;
+  const float tmp12 = tmp1 - tmp2;
+
+  *p0 = tmp10 + tmp11;
+  *p4 = tmp10 - tmp11;
+
+  const float z1 = (tmp12 + tmp13) * 0.707106781f;
+  *p2 = tmp13 + z1;
+  *p6 = tmp13 - z1;
+
+  // Odd part.
+  const float t10 = tmp4 + tmp5;
+  const float t11 = tmp5 + tmp6;
+  const float t12 = tmp6 + tmp7;
+
+  const float z5 = (t10 - t12) * 0.382683433f;
+  const float z2 = 0.541196100f * t10 + z5;
+  const float z4 = 1.306562965f * t12 + z5;
+  const float z3 = t11 * 0.707106781f;
+
+  const float z11 = tmp7 + z3;
+  const float z13 = tmp7 - z3;
+
+  *p5 = z13 + z2;
+  *p3 = z13 - z2;
+  *p1 = z11 + z4;
+  *p7 = z11 - z4;
+}
+
+}  // namespace
+
+BlockF fdct_ref(const BlockF& spatial) {
+  const auto& m = basis().m;
+  // tmp = M * S
+  std::array<std::array<float, N>, N> tmp{};
+  for (int u = 0; u < N; ++u)
+    for (int x = 0; x < N; ++x) {
+      float acc = 0.0f;
+      for (int k = 0; k < N; ++k) acc += m[u][k] * spatial[k * N + x];
+      tmp[u][x] = acc;
+    }
+  // F = tmp * M^T
+  BlockF out{};
+  for (int u = 0; u < N; ++u)
+    for (int v = 0; v < N; ++v) {
+      float acc = 0.0f;
+      for (int k = 0; k < N; ++k) acc += tmp[u][k] * m[v][k];
+      out[u * N + v] = acc;
+    }
+  return out;
+}
+
+BlockF idct_ref(const BlockF& freq) {
+  const auto& m = basis().m;
+  // tmp = M^T * F
+  std::array<std::array<float, N>, N> tmp{};
+  for (int x = 0; x < N; ++x)
+    for (int v = 0; v < N; ++v) {
+      float acc = 0.0f;
+      for (int k = 0; k < N; ++k) acc += m[k][x] * freq[k * N + v];
+      tmp[x][v] = acc;
+    }
+  // S = tmp * M
+  BlockF out{};
+  for (int x = 0; x < N; ++x)
+    for (int y = 0; y < N; ++y) {
+      float acc = 0.0f;
+      for (int k = 0; k < N; ++k) acc += tmp[x][k] * m[k][y];
+      out[x * N + y] = acc;
+    }
+  return out;
+}
+
+BlockF fdct_aan(const BlockF& spatial) {
+  BlockF work = spatial;
+  for (int row = 0; row < N; ++row) aan_1d(&work[row * N], 1);
+  for (int col = 0; col < N; ++col) aan_1d(&work[col], N);
+  const auto& s = aan_scale().s;
+  BlockF out{};
+  for (int u = 0; u < N; ++u)
+    for (int v = 0; v < N; ++v)
+      out[u * N + v] = work[u * N + v] / (8.0f * s[u] * s[v]);
+  return out;
+}
+
+BlockF idct_fast(const BlockF& freq) {
+  const auto& m = basis().m;
+  // Row-column inverse using the transposed basis; identical math to
+  // idct_ref but with the loops fused for locality.
+  std::array<std::array<float, N>, N> tmp{};
+  for (int v = 0; v < N; ++v) {
+    for (int x = 0; x < N; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < N; ++u) acc += m[u][x] * freq[u * N + v];
+      tmp[x][v] = acc;
+    }
+  }
+  BlockF out{};
+  for (int x = 0; x < N; ++x) {
+    for (int y = 0; y < N; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < N; ++v) acc += m[v][y] * tmp[x][v];
+      out[x * N + y] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace dnj::jpeg

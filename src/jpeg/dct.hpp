@@ -1,0 +1,37 @@
+// 8x8 forward and inverse DCT in the JPEG (ITU-T T.81) normalization:
+//
+//   S(u,v) = 1/4 C(u) C(v) sum_x sum_y s(x,y) cos((2x+1)u pi/16) cos((2y+1)v pi/16)
+//
+// with C(0) = 1/sqrt(2), C(k>0) = 1. Two forward implementations are
+// provided: a separable matrix-product reference (`fdct_ref`) and the
+// Arai–Agui–Nakajima (AAN) factored transform (`fdct_aan`, 29 multiplies for
+// the butterfly stage) whose scaled output is post-multiplied back into the
+// JPEG normalization so both produce identical coefficients up to float
+// rounding. `codec_micro` benchmarks the two against each other — this is
+// the "same hardware cost" argument of the paper: DeepN-JPEG changes only
+// table contents, never the transform datapath.
+#pragma once
+
+#include "image/blocks.hpp"
+
+namespace dnj::jpeg {
+
+using image::BlockF;
+
+/// Reference forward DCT (separable matrix product).
+BlockF fdct_ref(const BlockF& spatial);
+
+/// Reference inverse DCT.
+BlockF idct_ref(const BlockF& freq);
+
+/// AAN fast forward DCT, output in JPEG normalization.
+BlockF fdct_aan(const BlockF& spatial);
+
+/// Fast separable inverse DCT (row-column with precomputed basis).
+BlockF idct_fast(const BlockF& freq);
+
+/// Default transforms used by the codec.
+inline BlockF fdct(const BlockF& spatial) { return fdct_aan(spatial); }
+inline BlockF idct(const BlockF& freq) { return idct_fast(freq); }
+
+}  // namespace dnj::jpeg

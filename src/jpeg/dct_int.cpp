@@ -1,0 +1,97 @@
+#include "jpeg/dct_int.hpp"
+
+#include <cmath>
+
+namespace dnj::jpeg {
+
+namespace {
+
+constexpr int N = 8;
+
+// Fixed-point orthonormal basis, basis[u][x] = round(2^13 * C(u)/2 *
+// cos((2x+1) u pi / 16)).
+struct IntBasis {
+  std::int32_t m[N][N];
+  IntBasis() {
+    for (int u = 0; u < N; ++u) {
+      const double cu = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+      for (int x = 0; x < N; ++x)
+        m[u][x] = static_cast<std::int32_t>(std::lround(
+            (1 << kDctFracBits) * 0.5 * cu * std::cos((2.0 * x + 1.0) * u * M_PI / 16.0)));
+    }
+  }
+};
+
+const IntBasis& basis() {
+  static const IntBasis b;
+  return b;
+}
+
+std::int32_t descale(std::int64_t v, int bits) {
+  return static_cast<std::int32_t>((v + (std::int64_t{1} << (bits - 1))) >> bits);
+}
+
+}  // namespace
+
+void fdct_int(const std::int16_t (&spatial)[64], std::int32_t (&freq)[64]) {
+  const auto& m = basis().m;
+  // tmp = M * S, kept at kDctFracBits of fraction.
+  std::int64_t tmp[N][N];
+  for (int u = 0; u < N; ++u)
+    for (int x = 0; x < N; ++x) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < N; ++k)
+        acc += static_cast<std::int64_t>(m[u][k]) * spatial[k * N + x];
+      tmp[u][x] = acc;
+    }
+  // F = tmp * M^T, descale both passes.
+  for (int u = 0; u < N; ++u)
+    for (int v = 0; v < N; ++v) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < N; ++k) acc += tmp[u][k] * m[v][k];
+      freq[u * N + v] = descale(acc, 2 * kDctFracBits);
+    }
+}
+
+void idct_int(const std::int32_t (&freq)[64], std::int16_t (&spatial)[64]) {
+  const auto& m = basis().m;
+  std::int64_t tmp[N][N];
+  for (int x = 0; x < N; ++x)
+    for (int v = 0; v < N; ++v) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < N; ++k)
+        acc += static_cast<std::int64_t>(m[k][x]) * freq[k * N + v];
+      tmp[x][v] = acc;
+    }
+  for (int x = 0; x < N; ++x)
+    for (int y = 0; y < N; ++y) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < N; ++k) acc += tmp[x][k] * m[k][y];
+      const std::int32_t v = descale(acc, 2 * kDctFracBits);
+      spatial[x * N + y] = static_cast<std::int16_t>(v);
+    }
+}
+
+image::BlockF fdct_int(const image::BlockF& spatial) {
+  std::int16_t in[64];
+  std::int32_t out[64];
+  for (int i = 0; i < 64; ++i)
+    in[i] = static_cast<std::int16_t>(std::lround(spatial[static_cast<std::size_t>(i)]));
+  fdct_int(in, out);
+  image::BlockF res{};
+  for (int i = 0; i < 64; ++i) res[static_cast<std::size_t>(i)] = static_cast<float>(out[i]);
+  return res;
+}
+
+image::BlockF idct_int(const image::BlockF& freq) {
+  std::int32_t in[64];
+  std::int16_t out[64];
+  for (int i = 0; i < 64; ++i)
+    in[i] = static_cast<std::int32_t>(std::lround(freq[static_cast<std::size_t>(i)]));
+  idct_int(in, out);
+  image::BlockF res{};
+  for (int i = 0; i < 64; ++i) res[static_cast<std::size_t>(i)] = static_cast<float>(out[i]);
+  return res;
+}
+
+}  // namespace dnj::jpeg

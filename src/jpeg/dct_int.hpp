@@ -1,0 +1,29 @@
+// Fixed-point 8x8 DCT/IDCT (13-bit scaled integer basis). This is the
+// datapath an edge-sensor ASIC or MCU without an FPU would ship — the
+// hardware context of the paper's deployment story. Cross-validated against
+// the float reference in tests; `codec_micro` compares their throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "image/blocks.hpp"
+
+namespace dnj::jpeg {
+
+/// Integer DCT working precision: basis scaled by 2^13.
+inline constexpr int kDctFracBits = 13;
+
+/// Forward DCT on level-shifted integer samples (range [-128, 127]).
+/// Output coefficients are in the same JPEG normalization as fdct_ref,
+/// rounded to integers.
+void fdct_int(const std::int16_t (&spatial)[64], std::int32_t (&freq)[64]);
+
+/// Inverse DCT; output is rounded to integers (still level-shifted).
+void idct_int(const std::int32_t (&freq)[64], std::int16_t (&spatial)[64]);
+
+/// Float-block convenience wrappers used by tests to compare against the
+/// float pipeline (inputs are rounded to integers first).
+image::BlockF fdct_int(const image::BlockF& spatial);
+image::BlockF idct_int(const image::BlockF& freq);
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,369 @@
+#include "jpeg/decoder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "image/blocks.hpp"
+#include "image/color.hpp"
+#include "image/resample.hpp"
+#include "jpeg/bitio.hpp"
+#include "jpeg/block_coder.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/huffman.hpp"
+#include "jpeg/markers.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+
+namespace {
+
+using image::kBlockDim;
+using image::PlaneF;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("jpeg::decode: " + what);
+}
+
+struct FrameComponent {
+  int id = 0;
+  int h = 1, v = 1;
+  int tq = 0;
+  int dc_table = 0;
+  int ac_table = 0;
+  int blocks_x = 0, blocks_y = 0;          // padded grid within the MCU lattice
+  std::vector<QuantizedBlock> blocks;
+};
+
+class Parser {
+ public:
+  Parser(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  JpegInfo info;
+  std::vector<FrameComponent> comps;
+  std::optional<HuffmanDecoder> dc_tables[4];
+  std::optional<HuffmanDecoder> ac_tables[4];
+  int mcus_x = 0, mcus_y = 0;
+  std::size_t scan_start = 0;  // offset of entropy-coded data
+
+  /// Parses markers through SOS. Returns false if the stream had no SOS.
+  bool parse_headers() {
+    if (read_u8() != 0xFF || read_u8() != kSOI) fail("missing SOI");
+    for (;;) {
+      const std::uint8_t marker = next_marker();
+      switch (marker) {
+        case kEOI:
+          return false;
+        case kDQT:
+          read_dqt();
+          break;
+        case kDHT:
+          read_dht();
+          break;
+        case kSOF0:
+        case kSOF1:
+          read_sof();
+          break;
+        case kDRI:
+          read_dri();
+          break;
+        case kCOM:
+          read_com();
+          break;
+        case kSOS:
+          read_sos();
+          scan_start = pos_;
+          return true;
+        default:
+          if (is_app(marker)) {
+            skip_segment();
+          } else if (marker >= 0xC2 && marker <= 0xCF && marker != kDHT) {
+            fail("unsupported SOF type (only baseline sequential is implemented)");
+          } else {
+            skip_segment();
+          }
+      }
+    }
+  }
+
+  void decode_scan() {
+    BitReader br(data_ + scan_start, size_ - scan_start);
+    std::vector<int> dc_pred(comps.size(), 0);
+    int mcu_index = 0;
+    const int total_mcus = mcus_x * mcus_y;
+    int expected_rst = 0;
+    while (mcu_index < total_mcus) {
+      if (info.restart_interval > 0 && mcu_index > 0 &&
+          mcu_index % info.restart_interval == 0) {
+        const std::uint8_t code = br.peek_marker();
+        if (!is_rst(code)) fail("missing restart marker");
+        if (code != kRST0 + expected_rst) fail("restart marker out of sequence");
+        br.take_marker();
+        expected_rst = (expected_rst + 1) % 8;
+        std::fill(dc_pred.begin(), dc_pred.end(), 0);
+      }
+      const int my = mcu_index / mcus_x;
+      const int mx = mcu_index % mcus_x;
+      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+        FrameComponent& c = comps[ci];
+        for (int by = 0; by < c.v; ++by) {
+          for (int bx = 0; bx < c.h; ++bx) {
+            const int gx = mx * c.h + bx;
+            const int gy = my * c.v + by;
+            QuantizedBlock& blk =
+                c.blocks[static_cast<std::size_t>(gy) * c.blocks_x + gx];
+            if (!dc_tables[c.dc_table] || !ac_tables[c.ac_table])
+              fail("scan references undefined Huffman table");
+            if (!decode_block(br, blk, dc_pred[ci], *dc_tables[c.dc_table],
+                              *ac_tables[c.ac_table]))
+              fail("corrupt entropy-coded data");
+          }
+        }
+      }
+      ++mcu_index;
+    }
+  }
+
+  image::Image reconstruct() const {
+    std::vector<PlaneF> planes;
+    planes.reserve(comps.size());
+    for (const FrameComponent& c : comps) {
+      if (!info.quant_tables[c.tq]) fail("component references undefined DQT");
+      const QuantTable& qt = *info.quant_tables[c.tq];
+      PlaneF plane(c.blocks_x * kBlockDim, c.blocks_y * kBlockDim);
+      for (int by = 0; by < c.blocks_y; ++by) {
+        for (int bx = 0; bx < c.blocks_x; ++bx) {
+          const QuantizedBlock& blk =
+              c.blocks[static_cast<std::size_t>(by) * c.blocks_x + bx];
+          image::BlockF spatial = idct(dequantize(blk, qt));
+          for (int y = 0; y < kBlockDim; ++y)
+            for (int x = 0; x < kBlockDim; ++x)
+              plane.at(bx * kBlockDim + x, by * kBlockDim + y) =
+                  spatial[static_cast<std::size_t>(y) * kBlockDim + x] + 128.0f;
+        }
+      }
+      planes.push_back(std::move(plane));
+    }
+
+    if (comps.size() == 1) {
+      image::Image img(info.width, info.height, 1);
+      image::from_plane(planes[0], img, 0);
+      return img;
+    }
+
+    // Upsample subsampled chroma to luma resolution.
+    image::YCbCrPlanes ycc;
+    ycc.y = std::move(planes[0]);
+    auto upsample_if_needed = [&](PlaneF& p, const FrameComponent& c) {
+      if (c.h == info.max_h && c.v == info.max_v) return;
+      if (2 * c.h == info.max_h && 2 * c.v == info.max_v) {
+        // The subsampled plane may be padded past ceil(dim/2); crop-aware
+        // upsample to the luma padded size via bilinear on the useful area.
+        const int need_w = (info.width + 1) / 2;
+        const int need_h = (info.height + 1) / 2;
+        PlaneF cropped(need_w, need_h);
+        for (int y = 0; y < need_h; ++y)
+          for (int x = 0; x < need_w; ++x) cropped.at(x, y) = p.at(x, y);
+        PlaneF up = image::upsample_2x2(cropped, info.width, info.height);
+        // Re-pad to luma plane size for uniform indexing downstream.
+        PlaneF padded(ycc.y.width(), ycc.y.height(), 128.0f);
+        for (int y = 0; y < info.height; ++y)
+          for (int x = 0; x < info.width; ++x) padded.at(x, y) = up.at(x, y);
+        p = std::move(padded);
+        return;
+      }
+      fail("unsupported sampling factor combination");
+    };
+    upsample_if_needed(planes[1], comps[1]);
+    upsample_if_needed(planes[2], comps[2]);
+    ycc.cb = std::move(planes[1]);
+    ycc.cr = std::move(planes[2]);
+    return image::to_rgb(ycc, info.width, info.height);
+  }
+
+ private:
+  std::uint8_t read_u8() {
+    if (pos_ >= size_) fail("unexpected end of stream");
+    return data_[pos_++];
+  }
+
+  std::uint16_t read_u16() {
+    const std::uint16_t hi = read_u8();
+    return static_cast<std::uint16_t>((hi << 8) | read_u8());
+  }
+
+  std::uint8_t next_marker() {
+    // Skip fill bytes and any stray non-FF bytes between segments.
+    while (pos_ < size_) {
+      std::uint8_t b = read_u8();
+      if (b != 0xFF) continue;
+      while (pos_ < size_ && data_[pos_] == 0xFF) ++pos_;
+      if (pos_ >= size_) break;
+      b = read_u8();
+      if (b != 0x00) return b;
+    }
+    fail("ran out of markers");
+  }
+
+  void skip_segment() {
+    const std::uint16_t len = read_u16();
+    if (len < 2) fail("bad segment length");
+    if (pos_ + len - 2 > size_) fail("segment exceeds stream");
+    pos_ += len - 2u;
+  }
+
+  void read_com() {
+    const std::uint16_t len = read_u16();
+    if (len < 2 || pos_ + len - 2 > size_) fail("bad COM segment");
+    info.comment.assign(reinterpret_cast<const char*>(data_ + pos_), len - 2u);
+    pos_ += len - 2u;
+  }
+
+  void read_dqt() {
+    const std::uint16_t len = read_u16();
+    std::size_t end = pos_ + len - 2u;
+    if (len < 2 || end > size_) fail("bad DQT segment");
+    while (pos_ < end) {
+      const std::uint8_t pq_tq = read_u8();
+      const int pq = pq_tq >> 4;
+      const int tq = pq_tq & 0x0F;
+      if (pq > 1 || tq > 3) fail("bad DQT precision/index");
+      std::array<std::uint16_t, 64> natural{};
+      for (int k = 0; k < 64; ++k) {
+        const std::uint16_t q = pq ? read_u16() : read_u8();
+        natural[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])] = q;
+      }
+      info.quant_tables[tq] = QuantTable(natural);
+    }
+  }
+
+  void read_dht() {
+    const std::uint16_t len = read_u16();
+    std::size_t end = pos_ + len - 2u;
+    if (len < 2 || end > size_) fail("bad DHT segment");
+    while (pos_ < end) {
+      const std::uint8_t tc_th = read_u8();
+      const int tc = tc_th >> 4;
+      const int th = tc_th & 0x0F;
+      if (tc > 1 || th > 3) fail("bad DHT class/index");
+      HuffmanSpec spec;
+      int total = 0;
+      for (int l = 1; l <= 16; ++l) {
+        spec.counts[static_cast<std::size_t>(l)] = read_u8();
+        total += spec.counts[static_cast<std::size_t>(l)];
+      }
+      if (total > 256) fail("bad DHT symbol count");
+      spec.symbols.reserve(static_cast<std::size_t>(total));
+      for (int i = 0; i < total; ++i) spec.symbols.push_back(read_u8());
+      try {
+        if (tc == 0)
+          dc_tables[th].emplace(spec);
+        else
+          ac_tables[th].emplace(spec);
+      } catch (const std::invalid_argument& e) {
+        fail(std::string("invalid Huffman table: ") + e.what());
+      }
+    }
+  }
+
+  void read_sof() {
+    const std::uint16_t len = read_u16();
+    if (len < 8) fail("bad SOF segment");
+    const int precision = read_u8();
+    if (precision != 8) fail("only 8-bit precision supported");
+    info.height = read_u16();
+    info.width = read_u16();
+    if (info.width == 0 || info.height == 0) fail("zero frame dimension");
+    info.components = read_u8();
+    if (info.components != 1 && info.components != 3)
+      fail("only 1- or 3-component frames supported");
+    comps.clear();
+    for (int i = 0; i < info.components; ++i) {
+      FrameComponent c;
+      c.id = read_u8();
+      const std::uint8_t hv = read_u8();
+      c.h = hv >> 4;
+      c.v = hv & 0x0F;
+      c.tq = read_u8();
+      if (c.h < 1 || c.h > 2 || c.v < 1 || c.v > 2 || c.tq > 3)
+        fail("unsupported component parameters");
+      comps.push_back(c);
+    }
+    info.max_h = 1;
+    info.max_v = 1;
+    for (const FrameComponent& c : comps) {
+      info.max_h = std::max(info.max_h, c.h);
+      info.max_v = std::max(info.max_v, c.v);
+    }
+    mcus_x = (info.width + info.max_h * kBlockDim - 1) / (info.max_h * kBlockDim);
+    mcus_y = (info.height + info.max_v * kBlockDim - 1) / (info.max_v * kBlockDim);
+    for (FrameComponent& c : comps) {
+      c.blocks_x = mcus_x * c.h;
+      c.blocks_y = mcus_y * c.v;
+      c.blocks.assign(static_cast<std::size_t>(c.blocks_x) * c.blocks_y, QuantizedBlock{});
+    }
+  }
+
+  void read_dri() {
+    const std::uint16_t len = read_u16();
+    if (len != 4) fail("bad DRI segment");
+    info.restart_interval = read_u16();
+  }
+
+  void read_sos() {
+    if (comps.empty()) fail("SOS before SOF");
+    const std::uint16_t len = read_u16();
+    const int ns = read_u8();
+    if (ns != static_cast<int>(comps.size()))
+      fail("scan component count differs from frame (progressive not supported)");
+    if (len != 6 + 2 * ns) fail("bad SOS length");
+    for (int i = 0; i < ns; ++i) {
+      const int cs = read_u8();
+      const std::uint8_t td_ta = read_u8();
+      auto it = std::find_if(comps.begin(), comps.end(),
+                             [cs](const FrameComponent& c) { return c.id == cs; });
+      if (it == comps.end()) fail("scan references unknown component");
+      it->dc_table = td_ta >> 4;
+      it->ac_table = td_ta & 0x0F;
+      if (it->dc_table > 3 || it->ac_table > 3) fail("bad scan table index");
+    }
+    const int ss = read_u8();
+    const int se = read_u8();
+    const int ah_al = read_u8();
+    if (ss != 0 || se != 63 || ah_al != 0)
+      fail("only sequential baseline scans supported");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+image::Image decode(const std::uint8_t* data, std::size_t size) {
+  Parser parser(data, size);
+  if (!parser.parse_headers()) fail("stream contains no scan");
+  parser.decode_scan();
+  return parser.reconstruct();
+}
+
+image::Image decode(const std::vector<std::uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+JpegInfo parse_info(const std::vector<std::uint8_t>& bytes) {
+  Parser parser(bytes.data(), bytes.size());
+  parser.parse_headers();
+  return parser.info;
+}
+
+std::size_t scan_byte_count(const std::vector<std::uint8_t>& bytes) {
+  Parser parser(bytes.data(), bytes.size());
+  if (!parser.parse_headers()) fail("stream contains no scan");
+  if (bytes.size() < parser.scan_start + 2) fail("truncated scan");
+  return bytes.size() - parser.scan_start - 2;  // exclude the trailing EOI
+}
+
+}  // namespace dnj::jpeg

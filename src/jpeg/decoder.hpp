@@ -1,0 +1,44 @@
+// Baseline JFIF decoder: parses the marker stream, decodes the single
+// interleaved scan, dequantizes, inverse-transforms, upsamples chroma and
+// converts back to RGB (or grayscale). Supports everything our encoder
+// emits — 8-bit baseline, 1 or 3 components, sampling factors 1x1/2x2,
+// 8- and 16-bit DQT, restart markers — plus SOF1 streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::jpeg {
+
+/// Parsed header facts, exposed for tests and table-inspection tools.
+struct JpegInfo {
+  int width = 0;
+  int height = 0;
+  int components = 0;
+  int max_h = 1, max_v = 1;
+  int restart_interval = 0;
+  std::optional<QuantTable> quant_tables[4];
+  std::string comment;
+};
+
+/// Decodes a complete JFIF stream. Throws std::runtime_error on malformed
+/// input.
+image::Image decode(const std::vector<std::uint8_t>& bytes);
+image::Image decode(const std::uint8_t* data, std::size_t size);
+
+/// Parses markers up to (and including) SOS without decoding pixel data.
+JpegInfo parse_info(const std::vector<std::uint8_t>& bytes);
+
+/// Size of the entropy-coded scan payload (bytes between the SOS header and
+/// the EOI marker). This is the per-image marginal transfer cost in a
+/// deployment where quantization/Huffman tables are shipped once — the
+/// regime the paper's compression-rate numbers describe (headers are
+/// negligible for 256x256 ImageNet files but dominate 32x32 test images).
+std::size_t scan_byte_count(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dnj::jpeg

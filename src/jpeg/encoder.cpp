@@ -1,0 +1,288 @@
+#include "jpeg/encoder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "image/blocks.hpp"
+#include "image/color.hpp"
+#include "image/resample.hpp"
+#include "jpeg/bitio.hpp"
+#include "jpeg/block_coder.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/huffman.hpp"
+#include "jpeg/markers.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+
+namespace {
+
+using image::BlockF;
+using image::kBlockDim;
+using image::PlaneF;
+
+// One frame component prepared for entropy coding.
+struct Component {
+  int id = 1;           // component identifier written to SOF0/SOS
+  int h = 1, v = 1;     // sampling factors
+  int tq = 0;           // quantization table index (0 = luma, 1 = chroma)
+  int blocks_x = 0;     // padded block-grid width
+  int blocks_y = 0;
+  std::vector<QuantizedBlock> blocks;  // row-major grid
+};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void write_segment_header(std::vector<std::uint8_t>& out, std::uint8_t marker,
+                          std::uint16_t payload_len) {
+  out.push_back(0xFF);
+  out.push_back(marker);
+  put_u16(out, static_cast<std::uint16_t>(payload_len + 2));
+}
+
+void write_app0(std::vector<std::uint8_t>& out) {
+  write_segment_header(out, kAPP0, 14);
+  const char jfif[5] = {'J', 'F', 'I', 'F', '\0'};
+  out.insert(out.end(), jfif, jfif + 5);
+  out.push_back(1);  // version 1.01
+  out.push_back(1);
+  out.push_back(0);  // density units: none
+  put_u16(out, 1);   // x density
+  put_u16(out, 1);   // y density
+  out.push_back(0);  // no thumbnail
+  out.push_back(0);
+}
+
+void write_comment(std::vector<std::uint8_t>& out, const std::string& text) {
+  if (text.empty()) return;
+  if (text.size() > 65533) throw std::invalid_argument("encode: comment too long");
+  write_segment_header(out, kCOM, static_cast<std::uint16_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+void write_dqt(std::vector<std::uint8_t>& out, const QuantTable& table, int index) {
+  const bool wide = table.needs_16bit();
+  write_segment_header(out, kDQT, static_cast<std::uint16_t>(1 + (wide ? 128 : 64)));
+  out.push_back(static_cast<std::uint8_t>(((wide ? 1 : 0) << 4) | index));
+  for (int k = 0; k < 64; ++k) {
+    const std::uint16_t q = table.step(kZigzag[static_cast<std::size_t>(k)]);
+    if (wide) put_u16(out, q);
+    else out.push_back(static_cast<std::uint8_t>(q));
+  }
+}
+
+void write_sof0(std::vector<std::uint8_t>& out, int width, int height,
+                const std::vector<Component>& comps) {
+  write_segment_header(out, kSOF0, static_cast<std::uint16_t>(6 + 3 * comps.size()));
+  out.push_back(8);  // sample precision
+  put_u16(out, static_cast<std::uint16_t>(height));
+  put_u16(out, static_cast<std::uint16_t>(width));
+  out.push_back(static_cast<std::uint8_t>(comps.size()));
+  for (const Component& c : comps) {
+    out.push_back(static_cast<std::uint8_t>(c.id));
+    out.push_back(static_cast<std::uint8_t>((c.h << 4) | c.v));
+    out.push_back(static_cast<std::uint8_t>(c.tq));
+  }
+}
+
+void write_dht(std::vector<std::uint8_t>& out, const HuffmanSpec& spec, int klass, int index) {
+  write_segment_header(out, kDHT,
+                       static_cast<std::uint16_t>(1 + 16 + spec.symbols.size()));
+  out.push_back(static_cast<std::uint8_t>((klass << 4) | index));
+  for (int l = 1; l <= 16; ++l) out.push_back(spec.counts[static_cast<std::size_t>(l)]);
+  out.insert(out.end(), spec.symbols.begin(), spec.symbols.end());
+}
+
+void write_dri(std::vector<std::uint8_t>& out, int interval) {
+  write_segment_header(out, kDRI, 2);
+  put_u16(out, static_cast<std::uint16_t>(interval));
+}
+
+void write_sos_header(std::vector<std::uint8_t>& out, const std::vector<Component>& comps) {
+  write_segment_header(out, kSOS, static_cast<std::uint16_t>(1 + 2 * comps.size() + 3));
+  out.push_back(static_cast<std::uint8_t>(comps.size()));
+  for (const Component& c : comps) {
+    out.push_back(static_cast<std::uint8_t>(c.id));
+    const int table = c.tq;  // DC and AC table index follow the quant index
+    out.push_back(static_cast<std::uint8_t>((table << 4) | table));
+  }
+  out.push_back(0);   // spectral start
+  out.push_back(63);  // spectral end
+  out.push_back(0);   // successive approximation
+}
+
+// Transforms and quantizes a plane into a block grid padded to
+// (mcu_blocks_x, mcu_blocks_y) blocks.
+Component make_component(const PlaneF& plane, int id, int h, int v, int tq,
+                         int grid_blocks_x, int grid_blocks_y, const QuantTable& table) {
+  Component comp;
+  comp.id = id;
+  comp.h = h;
+  comp.v = v;
+  comp.tq = tq;
+  comp.blocks_x = grid_blocks_x;
+  comp.blocks_y = grid_blocks_y;
+  // Pad the plane up to the full grid by edge replication.
+  PlaneF padded(grid_blocks_x * kBlockDim, grid_blocks_y * kBlockDim);
+  for (int y = 0; y < padded.height(); ++y) {
+    const int sy = std::min(y, plane.height() - 1);
+    for (int x = 0; x < padded.width(); ++x) {
+      const int sx = std::min(x, plane.width() - 1);
+      padded.at(x, y) = plane.at(sx, sy);
+    }
+  }
+  comp.blocks.resize(static_cast<std::size_t>(grid_blocks_x) * grid_blocks_y);
+  for (int by = 0; by < grid_blocks_y; ++by) {
+    for (int bx = 0; bx < grid_blocks_x; ++bx) {
+      BlockF blk{};
+      for (int y = 0; y < kBlockDim; ++y)
+        for (int x = 0; x < kBlockDim; ++x)
+          blk[static_cast<std::size_t>(y) * kBlockDim + x] =
+              padded.at(bx * kBlockDim + x, by * kBlockDim + y) - 128.0f;
+      comp.blocks[static_cast<std::size_t>(by) * grid_blocks_x + bx] =
+          quantize(fdct(blk), table);
+    }
+  }
+  return comp;
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Walks MCUs in scan order invoking fn(component_index, block) for every
+// data unit, handling the restart bookkeeping via the callbacks.
+template <typename BlockFn, typename RestartFn>
+void for_each_data_unit(const std::vector<Component>& comps, int mcus_x, int mcus_y,
+                        int restart_interval, BlockFn&& fn, RestartFn&& restart) {
+  int mcu_index = 0;
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (restart_interval > 0 && mcu_index > 0 && mcu_index % restart_interval == 0)
+        restart((mcu_index / restart_interval - 1) % 8);
+      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+        const Component& c = comps[ci];
+        for (int by = 0; by < c.v; ++by) {
+          for (int bx = 0; bx < c.h; ++bx) {
+            const int gx = mx * c.h + bx;
+            const int gy = my * c.v + by;
+            fn(ci, c.blocks[static_cast<std::size_t>(gy) * c.blocks_x + gx]);
+          }
+        }
+      }
+      ++mcu_index;
+    }
+  }
+}
+
+}  // namespace
+
+std::pair<QuantTable, QuantTable> effective_tables(const EncoderConfig& config) {
+  if (config.use_custom_tables) return {config.luma_table, config.chroma_table};
+  return {QuantTable::annex_k_luma().scaled(config.quality),
+          QuantTable::annex_k_chroma().scaled(config.quality)};
+}
+
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config) {
+  if (img.empty()) throw std::invalid_argument("encode: empty image");
+  if (img.width() > 65535 || img.height() > 65535)
+    throw std::invalid_argument("encode: image too large for baseline JPEG");
+  if (config.restart_interval < 0 || config.restart_interval > 65535)
+    throw std::invalid_argument("encode: bad restart interval");
+
+  const auto [luma_q, chroma_q] = effective_tables(config);
+  const bool color = img.channels() == 3;
+  const bool sub420 = color && config.subsampling == Subsampling::k420;
+
+  // Component planes.
+  image::YCbCrPlanes planes = image::to_ycbcr(img);
+  std::vector<Component> comps;
+  int mcus_x = 0, mcus_y = 0;
+  if (!color) {
+    mcus_x = ceil_div(img.width(), kBlockDim);
+    mcus_y = ceil_div(img.height(), kBlockDim);
+    comps.push_back(make_component(planes.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q));
+  } else if (!sub420) {
+    mcus_x = ceil_div(img.width(), kBlockDim);
+    mcus_y = ceil_div(img.height(), kBlockDim);
+    comps.push_back(make_component(planes.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q));
+    comps.push_back(make_component(planes.cb, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+    comps.push_back(make_component(planes.cr, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+  } else {
+    mcus_x = ceil_div(img.width(), 2 * kBlockDim);
+    mcus_y = ceil_div(img.height(), 2 * kBlockDim);
+    const PlaneF cb_small = image::downsample_2x2(planes.cb);
+    const PlaneF cr_small = image::downsample_2x2(planes.cr);
+    comps.push_back(make_component(planes.y, 1, 2, 2, 0, 2 * mcus_x, 2 * mcus_y, luma_q));
+    comps.push_back(make_component(cb_small, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+    comps.push_back(make_component(cr_small, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+  }
+
+  // Huffman table specs: defaults, or optimal from a statistics pass.
+  HuffmanSpec dc_luma = HuffmanSpec::default_dc_luma();
+  HuffmanSpec ac_luma = HuffmanSpec::default_ac_luma();
+  HuffmanSpec dc_chroma = HuffmanSpec::default_dc_chroma();
+  HuffmanSpec ac_chroma = HuffmanSpec::default_ac_chroma();
+  if (config.optimize_huffman) {
+    std::array<SymbolCounts, 2> counts{};  // [0]=luma tables, [1]=chroma tables
+    std::vector<int> dc_pred(comps.size(), 0);
+    for_each_data_unit(
+        comps, mcus_x, mcus_y, config.restart_interval,
+        [&](std::size_t ci, const QuantizedBlock& blk) {
+          count_block_symbols(blk, dc_pred[ci], counts[static_cast<std::size_t>(comps[ci].tq)]);
+        },
+        [&](int) {
+          std::fill(dc_pred.begin(), dc_pred.end(), 0);
+        });
+    dc_luma = HuffmanSpec::build_optimal(counts[0].dc);
+    ac_luma = HuffmanSpec::build_optimal(counts[0].ac);
+    if (color) {
+      dc_chroma = HuffmanSpec::build_optimal(counts[1].dc);
+      ac_chroma = HuffmanSpec::build_optimal(counts[1].ac);
+    }
+  }
+
+  const HuffmanEncoder dc_enc_luma(dc_luma);
+  const HuffmanEncoder ac_enc_luma(ac_luma);
+  const HuffmanEncoder dc_enc_chroma(dc_chroma);
+  const HuffmanEncoder ac_enc_chroma(ac_chroma);
+
+  // Serialize the stream.
+  std::vector<std::uint8_t> out;
+  out.push_back(0xFF);
+  out.push_back(kSOI);
+  write_app0(out);
+  write_comment(out, config.comment);
+  write_dqt(out, luma_q, 0);
+  if (color) write_dqt(out, chroma_q, 1);
+  write_sof0(out, img.width(), img.height(), comps);
+  write_dht(out, dc_luma, 0, 0);
+  write_dht(out, ac_luma, 1, 0);
+  if (color) {
+    write_dht(out, dc_chroma, 0, 1);
+    write_dht(out, ac_chroma, 1, 1);
+  }
+  if (config.restart_interval > 0) write_dri(out, config.restart_interval);
+  write_sos_header(out, comps);
+
+  BitWriter bw(out);
+  std::vector<int> dc_pred(comps.size(), 0);
+  for_each_data_unit(
+      comps, mcus_x, mcus_y, config.restart_interval,
+      [&](std::size_t ci, const QuantizedBlock& blk) {
+        const bool luma_tables = comps[ci].tq == 0;
+        encode_block(bw, blk, dc_pred[ci],
+                     luma_tables ? dc_enc_luma : dc_enc_chroma,
+                     luma_tables ? ac_enc_luma : ac_enc_chroma);
+      },
+      [&](int rst_index) {
+        bw.put_marker(static_cast<std::uint8_t>(kRST0 + rst_index));
+        std::fill(dc_pred.begin(), dc_pred.end(), 0);
+      });
+  bw.put_marker(kEOI);
+  return out;
+}
+
+}  // namespace dnj::jpeg

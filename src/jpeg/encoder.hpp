@@ -1,0 +1,55 @@
+// Baseline JFIF encoder. Produces a standard single-scan interleaved
+// baseline JPEG stream: SOI, APP0, [COM], DQT, SOF0, DHT, [DRI], SOS,
+// entropy-coded data, EOI. Grayscale images use one component; RGB images
+// use YCbCr with 4:4:4 or 4:2:0 chroma subsampling.
+//
+// DeepN-JPEG plugs in here via `use_custom_tables`: the designed
+// quantization table replaces the HVS (Annex K) table and nothing else in
+// the pipeline changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::jpeg {
+
+enum class Subsampling {
+  k444,  ///< no chroma subsampling
+  k420,  ///< 2x2 chroma subsampling (JPEG default)
+};
+
+struct EncoderConfig {
+  /// IJG-style quality in [1, 100], used when use_custom_tables is false.
+  int quality = 75;
+
+  /// When true, luma_table/chroma_table are used verbatim (DeepN-JPEG and
+  /// the RM-HF / SAME-Q baselines take this path).
+  bool use_custom_tables = false;
+  QuantTable luma_table;
+  QuantTable chroma_table;
+
+  Subsampling subsampling = Subsampling::k420;
+
+  /// Two-pass encoding with per-image optimal Huffman tables. Slightly
+  /// smaller files; identical pixels.
+  bool optimize_huffman = false;
+
+  /// Restart interval in MCUs (0 = no restart markers).
+  int restart_interval = 0;
+
+  /// Optional COM marker payload.
+  std::string comment;
+};
+
+/// Encodes an image to a complete JFIF byte stream.
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config = {});
+
+/// Resolves the (luma, chroma) table pair the given config will quantize
+/// with — Annex K scaled by quality, or the custom tables.
+std::pair<QuantTable, QuantTable> effective_tables(const EncoderConfig& config);
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,72 @@
+// Canonical Huffman coding for baseline JPEG: the Annex K default tables,
+// encode/decode table derivation (T.81 Annexes C and F), and the optimal
+// table construction from symbol statistics (T.81 K.2) used when the encoder
+// is configured with `optimize_huffman` — the paper's CR numbers depend on
+// real entropy coding, so this is implemented in full rather than stubbed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/bitio.hpp"
+
+namespace dnj::jpeg {
+
+/// The (BITS, HUFFVAL) specification pair of T.81: counts[l] = number of
+/// codes of length l (1-based, l in [1,16]) and the symbol values in order
+/// of increasing code length.
+struct HuffmanSpec {
+  std::array<std::uint8_t, 17> counts{};  // counts[0] unused
+  std::vector<std::uint8_t> symbols;
+
+  /// Total number of symbols.
+  int symbol_count() const;
+  /// Validates the Kraft inequality and symbol bounds; throws on violation.
+  void validate() const;
+
+  // Annex K.3 default tables.
+  static HuffmanSpec default_dc_luma();
+  static HuffmanSpec default_ac_luma();
+  static HuffmanSpec default_dc_chroma();
+  static HuffmanSpec default_ac_chroma();
+
+  /// Builds an optimal spec from symbol frequencies (index = symbol value,
+  /// 256 entries), limiting code length to 16 bits exactly as libjpeg's
+  /// jpeg_gen_optimal_table does. Symbols with zero frequency get no code.
+  static HuffmanSpec build_optimal(const std::array<std::uint32_t, 256>& freq);
+};
+
+/// Encoder-side lookup: code and length per symbol value.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(const HuffmanSpec& spec);
+
+  /// Writes the code for `symbol`; throws std::invalid_argument if the
+  /// symbol has no code in this table.
+  void encode(BitWriter& bw, std::uint8_t symbol) const;
+
+  int code_length(std::uint8_t symbol) const { return size_[symbol]; }
+  bool has_code(std::uint8_t symbol) const { return size_[symbol] != 0; }
+
+ private:
+  std::array<std::uint16_t, 256> code_{};
+  std::array<std::uint8_t, 256> size_{};
+};
+
+/// Decoder-side tables (MINCODE/MAXCODE/VALPTR, T.81 F.2.2.3).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const HuffmanSpec& spec);
+
+  /// Reads one symbol; returns -1 on truncated/invalid stream.
+  int decode(BitReader& br) const;
+
+ private:
+  std::array<std::int32_t, 17> min_code_{};
+  std::array<std::int32_t, 17> max_code_{};  // -1 where no codes of that length
+  std::array<std::int32_t, 17> val_ptr_{};
+  std::vector<std::uint8_t> symbols_;
+};
+
+}  // namespace dnj::jpeg

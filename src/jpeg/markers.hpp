@@ -1,0 +1,23 @@
+// JPEG marker codes (second byte after 0xFF) used by the baseline codec.
+#pragma once
+
+#include <cstdint>
+
+namespace dnj::jpeg {
+
+inline constexpr std::uint8_t kSOI = 0xD8;   // start of image
+inline constexpr std::uint8_t kEOI = 0xD9;   // end of image
+inline constexpr std::uint8_t kSOF0 = 0xC0;  // baseline DCT frame
+inline constexpr std::uint8_t kSOF1 = 0xC1;  // extended sequential (accepted on decode)
+inline constexpr std::uint8_t kDHT = 0xC4;   // Huffman tables
+inline constexpr std::uint8_t kDQT = 0xDB;   // quantization tables
+inline constexpr std::uint8_t kDRI = 0xDD;   // restart interval
+inline constexpr std::uint8_t kSOS = 0xDA;   // start of scan
+inline constexpr std::uint8_t kAPP0 = 0xE0;  // JFIF
+inline constexpr std::uint8_t kCOM = 0xFE;   // comment
+inline constexpr std::uint8_t kRST0 = 0xD0;  // restart markers D0..D7
+
+inline constexpr bool is_rst(std::uint8_t code) { return code >= 0xD0 && code <= 0xD7; }
+inline constexpr bool is_app(std::uint8_t code) { return code >= 0xE0 && code <= 0xEF; }
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,61 @@
+// Quantization tables. This is the exact component DeepN-JPEG redesigns:
+// everything else in the codec (DCT, zig-zag, entropy coding) is untouched,
+// which is how the paper obtains "the same hardware cost" as stock JPEG.
+//
+// Tables are stored in natural (row-major) order; the DQT marker writer
+// converts to zig-zag order on serialization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "image/blocks.hpp"
+
+namespace dnj::jpeg {
+
+/// Quantized DCT block (natural order).
+using QuantizedBlock = std::array<std::int16_t, 64>;
+
+class QuantTable {
+ public:
+  /// Identity table (all steps 1): lossless-up-to-rounding quantization.
+  QuantTable();
+
+  /// Builds from 64 natural-order steps; values are clamped to [1, 65535].
+  explicit QuantTable(const std::array<std::uint16_t, 64>& natural);
+
+  std::uint16_t step(int natural_index) const { return q_[static_cast<std::size_t>(natural_index)]; }
+  std::uint16_t& step(int natural_index) { return q_[static_cast<std::size_t>(natural_index)]; }
+  std::uint16_t step_at(int row, int col) const { return q_[static_cast<std::size_t>(row) * 8 + col]; }
+
+  const std::array<std::uint16_t, 64>& natural() const { return q_; }
+
+  /// True if any step exceeds 255, requiring 16-bit DQT precision.
+  bool needs_16bit() const;
+
+  /// ITU Annex K.1 luminance table.
+  static QuantTable annex_k_luma();
+  /// ITU Annex K.2 chrominance table.
+  static QuantTable annex_k_chroma();
+
+  /// IJG quality scaling of a base table: quality in [1, 100], 50 = base,
+  /// 100 = all ones. Matches jpeg_quality_scaling in libjpeg.
+  QuantTable scaled(int quality) const;
+
+  /// Uniform table with every step equal to `q` (the paper's SAME-Q
+  /// baseline).
+  static QuantTable uniform(std::uint16_t q);
+
+  bool operator==(const QuantTable& o) const { return q_ == o.q_; }
+
+ private:
+  std::array<std::uint16_t, 64> q_{};
+};
+
+/// Quantizes a DCT coefficient block: round(c / q), natural order.
+QuantizedBlock quantize(const image::BlockF& coeffs, const QuantTable& table);
+
+/// Dequantizes: c' = v * q.
+image::BlockF dequantize(const QuantizedBlock& quantized, const QuantTable& table);
+
+}  // namespace dnj::jpeg

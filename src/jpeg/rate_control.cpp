@@ -1,0 +1,54 @@
+#include "jpeg/rate_control.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnj::jpeg {
+
+RateSearchResult encode_for_size(const image::Image& img, std::size_t target_bytes,
+                                 const EncoderConfig& base_config, int min_quality,
+                                 int max_quality) {
+  if (min_quality < 1 || max_quality > 100 || min_quality > max_quality)
+    throw std::invalid_argument("encode_for_size: bad quality bounds");
+  if (base_config.use_custom_tables)
+    throw std::invalid_argument("encode_for_size: rate search drives the quality knob; "
+                                "custom tables have no quality axis");
+
+  RateSearchResult result;
+  EncoderConfig cfg = base_config;
+
+  auto encode_at = [&](int q) {
+    cfg.quality = q;
+    ++result.encode_calls;
+    return encode(img, cfg);
+  };
+
+  // The floor is the fallback if the budget is unreachable.
+  int lo = min_quality, hi = max_quality;
+  result.quality = min_quality;
+  result.bytes = encode_at(min_quality);
+  if (result.bytes.size() > target_bytes) return result;
+
+  // Invariant: quality `lo` fits the budget; search the highest that fits.
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    const std::vector<std::uint8_t> attempt = encode_at(mid);
+    if (attempt.size() <= target_bytes) {
+      lo = mid;
+      result.quality = mid;
+      result.bytes = attempt;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return result;
+}
+
+RateSearchResult encode_for_bpp(const image::Image& img, double target_bpp,
+                                const EncoderConfig& base_config) {
+  if (target_bpp <= 0.0) throw std::invalid_argument("encode_for_bpp: bpp must be positive");
+  const double bytes = target_bpp * static_cast<double>(img.pixel_count()) / 8.0;
+  return encode_for_size(img, static_cast<std::size_t>(std::floor(bytes)), base_config);
+}
+
+}  // namespace dnj::jpeg

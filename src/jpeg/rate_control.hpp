@@ -1,0 +1,28 @@
+// Rate control: pick the IJG quality factor that hits a byte budget — the
+// operation an edge device performs when the uplink dictates a size cap
+// ("adjusting the quantization factor QF", Section 2.2 of the paper).
+#pragma once
+
+#include "jpeg/encoder.hpp"
+
+namespace dnj::jpeg {
+
+struct RateSearchResult {
+  int quality = 1;                  ///< chosen QF
+  std::vector<std::uint8_t> bytes;  ///< encoded stream at that QF
+  int encode_calls = 0;             ///< encodes spent by the search
+};
+
+/// Finds the highest quality in [min_quality, max_quality] whose encoded
+/// size is <= target_bytes (binary search over the monotone size/quality
+/// curve). If even min_quality exceeds the budget, returns min_quality and
+/// its (oversized) stream so the caller can decide.
+RateSearchResult encode_for_size(const image::Image& img, std::size_t target_bytes,
+                                 const EncoderConfig& base_config = {}, int min_quality = 1,
+                                 int max_quality = 100);
+
+/// Convenience: target expressed in bits per pixel.
+RateSearchResult encode_for_bpp(const image::Image& img, double target_bpp,
+                                const EncoderConfig& base_config = {});
+
+}  // namespace dnj::jpeg

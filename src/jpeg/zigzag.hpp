@@ -1,0 +1,26 @@
+// Zig-zag scan order (ITU-T T.81 Figure 5). `kZigzag[k]` is the natural
+// (row-major) index of the k-th coefficient in scan order; `kInvZigzag` is
+// the inverse map. The paper's LF/MF/HF "position based" segmentation is
+// defined on this order (LF = scan positions 0..5, MF = 6..27, HF = 28..63).
+#pragma once
+
+#include <array>
+
+namespace dnj::jpeg {
+
+inline constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+constexpr std::array<int, 64> make_inv_zigzag() {
+  std::array<int, 64> inv{};
+  for (int k = 0; k < 64; ++k) inv[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])] = k;
+  return inv;
+}
+
+/// kInvZigzag[natural_index] = zig-zag scan position.
+inline constexpr std::array<int, 64> kInvZigzag = make_inv_zigzag();
+
+}  // namespace dnj::jpeg

@@ -1,0 +1,41 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace dnj::nn {
+
+Adam::Adam(Layer& model, const AdamConfig& config) : config_(config) {
+  model.collect_params(params_);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0f);
+    v_.emplace_back(p.value->size(), 0.0f);
+  }
+}
+
+void Adam::zero_grads() {
+  for (ParamRef& p : params_) std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    std::vector<float>& w = *params_[pi].value;
+    std::vector<float>& g = *params_[pi].grad;
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + config_.weight_decay * w[i];
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * grad;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace dnj::nn

@@ -1,0 +1,34 @@
+// Adam optimizer (Kingma & Ba) — the alternative to SGD+momentum when a
+// model (like the plain-VGG stack) starts slowly under plain SGD.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  ///< L2 added to the gradient (not decoupled)
+};
+
+class Adam {
+ public:
+  Adam(Layer& model, const AdamConfig& config);
+
+  void step();
+  void zero_grads();
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  AdamConfig config_;
+  long step_count_ = 0;
+  std::vector<ParamRef> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace dnj::nn

@@ -1,0 +1,61 @@
+#include "nn/augment.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace dnj::nn {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+image::Image augment_image(const image::Image& img, const AugmentConfig& config,
+                           std::uint64_t sample_index) {
+  std::mt19937_64 rng(mix(config.seed ^ mix(sample_index)));
+  const int dx = config.max_shift > 0
+                     ? std::uniform_int_distribution<int>(-config.max_shift, config.max_shift)(rng)
+                     : 0;
+  const int dy = config.max_shift > 0
+                     ? std::uniform_int_distribution<int>(-config.max_shift, config.max_shift)(rng)
+                     : 0;
+  const bool flip = config.horizontal_flip && (rng() & 1);
+  const float bright =
+      config.brightness_jitter > 0.0f
+          ? std::uniform_real_distribution<float>(-config.brightness_jitter,
+                                                  config.brightness_jitter)(rng)
+          : 0.0f;
+
+  image::Image out(img.width(), img.height(), img.channels());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      int sx = std::clamp(x + dx, 0, img.width() - 1);
+      const int sy = std::clamp(y + dy, 0, img.height() - 1);
+      if (flip) sx = img.width() - 1 - sx;
+      for (int c = 0; c < img.channels(); ++c)
+        out.at(x, y, c) =
+            image::clamp_u8(static_cast<float>(img.at(sx, sy, c)) + bright);
+    }
+  }
+  return out;
+}
+
+data::Dataset augment_dataset(const data::Dataset& ds, const AugmentConfig& config,
+                              std::uint64_t epoch) {
+  data::Dataset out;
+  out.num_classes = ds.num_classes;
+  out.samples.reserve(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    out.samples.push_back({augment_image(ds.samples[i].image, config,
+                                         epoch * 0x100000ULL + i),
+                           ds.samples[i].label});
+  return out;
+}
+
+}  // namespace dnj::nn

@@ -1,0 +1,28 @@
+// Training-time data augmentation on images (shift / horizontal flip /
+// brightness jitter), applied before tensor conversion. Deterministic in the
+// provided seed so augmented training runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace dnj::nn {
+
+struct AugmentConfig {
+  int max_shift = 2;            ///< +- pixels, edge-replicated
+  bool horizontal_flip = true;  ///< 50% probability
+  float brightness_jitter = 8.0f;  ///< +- uniform gray levels (0 disables)
+  std::uint64_t seed = 0xA06;
+};
+
+/// Returns an augmented copy of one image; `sample_index` decorrelates the
+/// per-sample randomness from the epoch-level seed.
+image::Image augment_image(const image::Image& img, const AugmentConfig& config,
+                           std::uint64_t sample_index);
+
+/// Returns an augmented copy of the whole dataset (labels preserved).
+data::Dataset augment_dataset(const data::Dataset& ds, const AugmentConfig& config,
+                              std::uint64_t epoch = 0);
+
+}  // namespace dnj::nn

@@ -1,0 +1,141 @@
+#include "nn/composite.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dnj::nn {
+
+// ------------------------------------------------------------ Sequential
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (LayerPtr& l : layers_) cur = l->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+  Tensor cur = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) cur = (*it)->backward(cur);
+  return cur;
+}
+
+void Sequential::collect_params(std::vector<ParamRef>& out) {
+  for (LayerPtr& l : layers_) l->collect_params(out);
+}
+
+// --------------------------------------------------------- ResidualBlock
+
+ResidualBlock::ResidualBlock(LayerPtr body, LayerPtr shortcut)
+    : body_(std::move(body)), shortcut_(std::move(shortcut)) {
+  if (!body_) throw std::invalid_argument("ResidualBlock: body required");
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor main = body_->forward(x, train);
+  Tensor skip = shortcut_ ? shortcut_->forward(x, train) : x;
+  if (main.size() != skip.size())
+    throw std::invalid_argument("ResidualBlock: branch shapes differ");
+  if (train) relu_mask_.assign(main.size(), 0);
+  for (std::size_t i = 0; i < main.size(); ++i) {
+    float v = main.data()[i] + skip.data()[i];
+    if (v > 0.0f) {
+      if (train) relu_mask_[i] = 1;
+    } else {
+      v = 0.0f;
+    }
+    main.data()[i] = v;
+  }
+  return main;
+}
+
+Tensor ResidualBlock::backward(const Tensor& dy) {
+  Tensor dz = dy;
+  for (std::size_t i = 0; i < dz.size(); ++i)
+    if (!relu_mask_[i]) dz.data()[i] = 0.0f;
+  Tensor dx = body_->backward(dz);
+  if (shortcut_) {
+    const Tensor ds = shortcut_->backward(dz);
+    if (ds.size() != dx.size())
+      throw std::invalid_argument("ResidualBlock: gradient shapes differ");
+    for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] += ds.data()[i];
+  } else {
+    for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] += dz.data()[i];
+  }
+  return dx;
+}
+
+void ResidualBlock::collect_params(std::vector<ParamRef>& out) {
+  body_->collect_params(out);
+  if (shortcut_) shortcut_->collect_params(out);
+}
+
+// -------------------------------------------------------- InceptionBlock
+
+InceptionBlock::InceptionBlock(std::vector<LayerPtr> branches)
+    : branches_(std::move(branches)) {
+  if (branches_.empty()) throw std::invalid_argument("InceptionBlock: no branches");
+  for (const LayerPtr& b : branches_)
+    if (!b) throw std::invalid_argument("InceptionBlock: null branch");
+}
+
+Tensor InceptionBlock::forward(const Tensor& x, bool train) {
+  std::vector<Tensor> outs;
+  outs.reserve(branches_.size());
+  branch_channels_.clear();
+  int total_c = 0;
+  for (LayerPtr& b : branches_) {
+    outs.push_back(b->forward(x, train));
+    const Tensor& o = outs.back();
+    if (o.h() != outs.front().h() || o.w() != outs.front().w() || o.n() != x.n())
+      throw std::invalid_argument("InceptionBlock: branch spatial shapes differ");
+    branch_channels_.push_back(o.c());
+    total_c += o.c();
+  }
+  Tensor y(x.n(), total_c, outs.front().h(), outs.front().w());
+  const int spatial = y.h() * y.w();
+  for (int n = 0; n < y.n(); ++n) {
+    float* dst = y.sample(n);
+    for (const Tensor& o : outs) {
+      const std::size_t chunk = static_cast<std::size_t>(o.c()) * spatial;
+      std::copy(o.sample(n), o.sample(n) + chunk, dst);
+      dst += chunk;
+    }
+  }
+  return y;
+}
+
+Tensor InceptionBlock::backward(const Tensor& dy) {
+  const int spatial = dy.h() * dy.w();
+  Tensor dx;
+  int offset_c = 0;
+  for (std::size_t bi = 0; bi < branches_.size(); ++bi) {
+    const int bc = branch_channels_[bi];
+    Tensor slice(dy.n(), bc, dy.h(), dy.w());
+    for (int n = 0; n < dy.n(); ++n) {
+      const float* src = dy.sample(n) + static_cast<std::size_t>(offset_c) * spatial;
+      std::copy(src, src + static_cast<std::size_t>(bc) * spatial, slice.sample(n));
+    }
+    Tensor grad = branches_[bi]->backward(slice);
+    if (dx.empty()) {
+      dx = std::move(grad);
+    } else {
+      if (grad.size() != dx.size())
+        throw std::invalid_argument("InceptionBlock: gradient shapes differ");
+      for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] += grad.data()[i];
+    }
+    offset_c += bc;
+  }
+  return dx;
+}
+
+void InceptionBlock::collect_params(std::vector<ParamRef>& out) {
+  for (LayerPtr& b : branches_) b->collect_params(out);
+}
+
+}  // namespace dnj::nn

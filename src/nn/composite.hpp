@@ -1,0 +1,65 @@
+// Composite layers: Sequential chains, residual blocks (ResNet) and
+// inception blocks (GoogLeNet). Each composite is itself a Layer, so the
+// trainer only ever sees one root layer.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t layer_count() const { return layers_.size(); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// y = ReLU(body(x) + shortcut(x)). The shortcut is identity when null, or
+/// a projection (typically 1x1 conv, possibly strided) otherwise.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(LayerPtr body, LayerPtr shortcut /* may be null */);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "ResidualBlock"; }
+
+ private:
+  LayerPtr body_;
+  LayerPtr shortcut_;
+  std::vector<std::uint8_t> relu_mask_;
+};
+
+/// Parallel branches concatenated along the channel axis.
+class InceptionBlock final : public Layer {
+ public:
+  explicit InceptionBlock(std::vector<LayerPtr> branches);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "InceptionBlock"; }
+
+ private:
+  std::vector<LayerPtr> branches_;
+  std::vector<int> branch_channels_;
+};
+
+}  // namespace dnj::nn

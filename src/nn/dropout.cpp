@@ -1,0 +1,38 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace dnj::nn {
+
+Dropout::Dropout(float drop_prob, std::uint64_t seed) : drop_prob_(drop_prob), rng_(seed) {
+  if (drop_prob < 0.0f || drop_prob >= 1.0f)
+    throw std::invalid_argument("Dropout: drop_prob must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || drop_prob_ == 0.0f) return x;
+  Tensor y = x;
+  keep_mask_.assign(x.size(), 1);
+  std::bernoulli_distribution drop(drop_prob_);
+  const float scale = 1.0f / (1.0f - drop_prob_);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (drop(rng_)) {
+      y.data()[i] = 0.0f;
+      keep_mask_[i] = 0;
+    } else {
+      y.data()[i] *= scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  if (keep_mask_.empty()) return dy;  // forward ran in eval mode
+  Tensor dx = dy;
+  const float scale = 1.0f / (1.0f - drop_prob_);
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    dx.data()[i] = keep_mask_[i] ? dx.data()[i] * scale : 0.0f;
+  return dx;
+}
+
+}  // namespace dnj::nn

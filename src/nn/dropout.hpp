@@ -1,0 +1,27 @@
+// Inverted dropout. AlexNet-era regularization: active only in training,
+// identity at inference (activations are pre-scaled by 1/keep so eval needs
+// no correction).
+#pragma once
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `drop_prob` in [0, 1). The RNG seed makes training reproducible.
+  explicit Dropout(float drop_prob, std::uint64_t seed = 0xD20);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float drop_prob_;
+  std::mt19937_64 rng_;
+  std::vector<std::uint8_t> keep_mask_;
+};
+
+}  // namespace dnj::nn

@@ -1,0 +1,58 @@
+// Layer interface. Composite layers (Sequential, ResidualBlock,
+// InceptionBlock) implement the same interface, which is how the framework
+// expresses the DAG topologies of GoogLeNet- and ResNet-style models while
+// keeping a linear forward/backward protocol.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dnj::nn {
+
+/// A trainable parameter: value and gradient share the same geometry.
+struct ParamRef {
+  std::vector<float>* value = nullptr;
+  std::vector<float>* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` enables behaviour that differs
+  /// between training and inference (batch-norm statistics).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Given dL/d(output), returns dL/d(input) and accumulates parameter
+  /// gradients. Must be called after forward on the same input.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Appends this layer's trainable parameters.
+  virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+  /// Sets all parameter gradients to zero.
+  void zero_grads() {
+    std::vector<ParamRef> ps;
+    collect_params(ps);
+    for (ParamRef& p : ps) std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+  }
+
+  /// Total trainable scalar count.
+  std::size_t param_count() {
+    std::vector<ParamRef> ps;
+    collect_params(ps);
+    std::size_t total = 0;
+    for (const ParamRef& p : ps) total += p.value->size();
+    return total;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dnj::nn

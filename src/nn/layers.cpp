@@ -1,0 +1,482 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace dnj::nn {
+
+namespace {
+
+// C[M x N] += A[M x K] * B[K x N]; row-major, ikj order for locality.
+void gemm_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[M x N] += A^T where A is [K x M]: C += A_t(MxK) * B(KxN) with A stored
+// K-major. Used for dcol = W^T * dy.
+void gemm_at_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<std::size_t>(kk) * m;
+    const float* brow = b + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void he_normal_init(std::vector<float>& w, int fan_in, std::mt19937_64& rng) {
+  std::normal_distribution<float> dist(0.0f, std::sqrt(2.0f / static_cast<float>(fan_in)));
+  for (float& v : w) v = dist(rng);
+}
+
+// ---------------------------------------------------------------- Conv2D
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad,
+               std::mt19937_64& rng)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), stride_(stride), pad_(pad) {
+  if (in_c_ <= 0 || out_c_ <= 0 || k_ <= 0 || stride_ <= 0 || pad_ < 0)
+    throw std::invalid_argument("Conv2D: bad configuration");
+  w_.assign(static_cast<std::size_t>(out_c_) * in_c_ * k_ * k_, 0.0f);
+  b_.assign(static_cast<std::size_t>(out_c_), 0.0f);
+  dw_.assign(w_.size(), 0.0f);
+  db_.assign(b_.size(), 0.0f);
+  he_normal_init(w_, in_c_ * k_ * k_, rng);
+}
+
+void Conv2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&w_, &dw_});
+  out.push_back({&b_, &db_});
+}
+
+void Conv2D::im2col(const float* src, int h, int w, float* col) const {
+  // col is [in_c*k*k, out_h*out_w].
+  const int oh = out_h_, ow = out_w_;
+  std::size_t row = 0;
+  for (int c = 0; c < in_c_; ++c) {
+    const float* plane = src + static_cast<std::size_t>(c) * h * w;
+    for (int ky = 0; ky < k_; ++ky) {
+      for (int kx = 0; kx < k_; ++kx, ++row) {
+        float* dst = col + row * static_cast<std::size_t>(oh) * ow;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int sy = oy * stride_ - pad_ + ky;
+          if (sy < 0 || sy >= h) {
+            std::memset(dst + static_cast<std::size_t>(oy) * ow, 0, sizeof(float) * ow);
+            continue;
+          }
+          for (int ox = 0; ox < ow; ++ox) {
+            const int sx = ox * stride_ - pad_ + kx;
+            dst[static_cast<std::size_t>(oy) * ow + ox] =
+                (sx >= 0 && sx < w) ? plane[static_cast<std::size_t>(sy) * w + sx] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2D::col2im(const float* col, int h, int w, float* dst) const {
+  const int oh = out_h_, ow = out_w_;
+  std::size_t row = 0;
+  for (int c = 0; c < in_c_; ++c) {
+    float* plane = dst + static_cast<std::size_t>(c) * h * w;
+    for (int ky = 0; ky < k_; ++ky) {
+      for (int kx = 0; kx < k_; ++kx, ++row) {
+        const float* src = col + row * static_cast<std::size_t>(oh) * ow;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int sy = oy * stride_ - pad_ + ky;
+          if (sy < 0 || sy >= h) continue;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int sx = ox * stride_ - pad_ + kx;
+            if (sx >= 0 && sx < w)
+              plane[static_cast<std::size_t>(sy) * w + sx] +=
+                  src[static_cast<std::size_t>(oy) * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool train) {
+  if (x.c() != in_c_) throw std::invalid_argument("Conv2D: channel mismatch");
+  in_h_ = x.h();
+  in_w_ = x.w();
+  out_h_ = out_dim(x.h(), 0);
+  out_w_ = out_dim(x.w(), 1);
+  if (out_h_ <= 0 || out_w_ <= 0) throw std::invalid_argument("Conv2D: output collapses");
+  const int patch = in_c_ * k_ * k_;
+  const int pixels = out_h_ * out_w_;
+
+  Tensor y(x.n(), out_c_, out_h_, out_w_);
+  cols_.assign(static_cast<std::size_t>(x.n()), {});
+
+#pragma omp parallel for schedule(static)
+  for (int n = 0; n < x.n(); ++n) {
+    std::vector<float> col(static_cast<std::size_t>(patch) * pixels);
+    im2col(x.sample(n), in_h_, in_w_, col.data());
+    float* out = y.sample(n);
+    for (int m = 0; m < out_c_; ++m) {
+      float* row = out + static_cast<std::size_t>(m) * pixels;
+      std::fill(row, row + pixels, b_[static_cast<std::size_t>(m)]);
+    }
+    gemm_acc(w_.data(), col.data(), out, out_c_, patch, pixels);
+    if (train) cols_[static_cast<std::size_t>(n)] = std::move(col);
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& dy) {
+  const int patch = in_c_ * k_ * k_;
+  const int pixels = out_h_ * out_w_;
+  const int batch = x_cache_.n();
+  if (dy.n() != batch || dy.c() != out_c_)
+    throw std::invalid_argument("Conv2D: backward shape mismatch");
+
+  Tensor dx(batch, in_c_, in_h_, in_w_);
+
+  // Input gradient: per-sample, parallel-safe.
+#pragma omp parallel for schedule(static)
+  for (int n = 0; n < batch; ++n) {
+    std::vector<float> dcol(static_cast<std::size_t>(patch) * pixels, 0.0f);
+    gemm_at_acc(w_.data(), dy.sample(n), dcol.data(), patch, out_c_, pixels);
+    col2im(dcol.data(), in_h_, in_w_, dx.sample(n));
+  }
+
+  // Weight gradient: parallel over output channels, serial over samples so
+  // accumulation order (and thus the result) is deterministic.
+#pragma omp parallel for schedule(static)
+  for (int m = 0; m < out_c_; ++m) {
+    float* dwrow = dw_.data() + static_cast<std::size_t>(m) * patch;
+    float dbias = 0.0f;
+    for (int n = 0; n < batch; ++n) {
+      const float* dyrow = dy.sample(n) + static_cast<std::size_t>(m) * pixels;
+      const float* col = cols_[static_cast<std::size_t>(n)].data();
+      for (int p = 0; p < pixels; ++p) dbias += dyrow[p];
+      for (int k = 0; k < patch; ++k) {
+        const float* colrow = col + static_cast<std::size_t>(k) * pixels;
+        float acc = 0.0f;
+        for (int p = 0; p < pixels; ++p) acc += dyrow[p] * colrow[p];
+        dwrow[k] += acc;
+      }
+    }
+    db_[static_cast<std::size_t>(m)] += dbias;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------- MaxPool2D
+
+MaxPool2D::MaxPool2D(int kernel, int stride) : k_(kernel), stride_(stride) {
+  if (k_ <= 0 || stride_ <= 0) throw std::invalid_argument("MaxPool2D: bad configuration");
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool train) {
+  const int oh = (x.h() - k_) / stride_ + 1;
+  const int ow = (x.w() - k_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("MaxPool2D: output collapses");
+  Tensor y(x.n(), x.c(), oh, ow);
+  argmax_.assign(y.size(), 0);
+  x_shape_ref_ = Tensor(x.n(), x.c(), x.h(), x.w());
+  (void)train;
+
+#pragma omp parallel for schedule(static)
+  for (int n = 0; n < x.n(); ++n) {
+    for (int c = 0; c < x.c(); ++c) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int ky = 0; ky < k_; ++ky) {
+            for (int kx = 0; kx < k_; ++kx) {
+              const int sy = oy * stride_ + ky;
+              const int sx = ox * stride_ + kx;
+              const float v = x.at(n, c, sy, sx);
+              if (v > best) {
+                best = v;
+                best_idx = sy * x.w() + sx;
+              }
+            }
+          }
+          y.at(n, c, oy, ox) = best;
+          const std::size_t flat =
+              ((static_cast<std::size_t>(n) * x.c() + c) * oh + oy) * ow + ox;
+          argmax_[flat] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& dy) {
+  Tensor dx = Tensor::zeros_like(x_shape_ref_);
+  const int oh = dy.h(), ow = dy.w();
+#pragma omp parallel for schedule(static)
+  for (int n = 0; n < dy.n(); ++n) {
+    for (int c = 0; c < dy.c(); ++c) {
+      float* plane = dx.sample(n) + static_cast<std::size_t>(c) * dx.h() * dx.w();
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const std::size_t flat =
+              ((static_cast<std::size_t>(n) * dy.c() + c) * oh + oy) * ow + ox;
+          plane[argmax_[flat]] += dy.at(n, c, oy, ox);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  (void)train;
+  in_h_ = x.h();
+  in_w_ = x.w();
+  Tensor y(x.n(), x.c(), 1, 1);
+  const float scale = 1.0f / static_cast<float>(x.h() * x.w());
+  for (int n = 0; n < x.n(); ++n)
+    for (int c = 0; c < x.c(); ++c) {
+      float acc = 0.0f;
+      for (int h = 0; h < x.h(); ++h)
+        for (int w = 0; w < x.w(); ++w) acc += x.at(n, c, h, w);
+      y.at(n, c, 0, 0) = acc * scale;
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  Tensor dx(dy.n(), dy.c(), in_h_, in_w_);
+  const float scale = 1.0f / static_cast<float>(in_h_ * in_w_);
+  for (int n = 0; n < dy.n(); ++n)
+    for (int c = 0; c < dy.c(); ++c) {
+      const float g = dy.at(n, c, 0, 0) * scale;
+      for (int h = 0; h < in_h_; ++h)
+        for (int w = 0; w < in_w_; ++w) dx.at(n, c, h, w) = g;
+    }
+  return dx;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) mask_.assign(x.size(), 0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] > 0.0f) {
+      if (train) mask_[i] = 1;
+    } else {
+      y.data()[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    if (!mask_[i]) dx.data()[i] = 0.0f;
+  return dx;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  (void)train;
+  c_ = x.c();
+  h_ = x.h();
+  w_ = x.w();
+  return x.reshaped(x.sample_size(), 1, 1);
+}
+
+Tensor Flatten::backward(const Tensor& dy) { return dy.reshaped(c_, h_, w_); }
+
+// ----------------------------------------------------------------- Dense
+
+Dense::Dense(int in_features, int out_features, std::mt19937_64& rng)
+    : in_f_(in_features), out_f_(out_features) {
+  if (in_f_ <= 0 || out_f_ <= 0) throw std::invalid_argument("Dense: bad configuration");
+  w_.assign(static_cast<std::size_t>(out_f_) * in_f_, 0.0f);
+  b_.assign(static_cast<std::size_t>(out_f_), 0.0f);
+  dw_.assign(w_.size(), 0.0f);
+  db_.assign(b_.size(), 0.0f);
+  he_normal_init(w_, in_f_, rng);
+}
+
+void Dense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&w_, &dw_});
+  out.push_back({&b_, &db_});
+}
+
+Tensor Dense::forward(const Tensor& x, bool train) {
+  if (x.sample_size() != in_f_) throw std::invalid_argument("Dense: feature mismatch");
+  Tensor y(x.n(), out_f_, 1, 1);
+#pragma omp parallel for schedule(static)
+  for (int n = 0; n < x.n(); ++n) {
+    const float* in = x.sample(n);
+    float* out = y.sample(n);
+    for (int o = 0; o < out_f_; ++o) {
+      const float* wrow = w_.data() + static_cast<std::size_t>(o) * in_f_;
+      float acc = b_[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_f_; ++i) acc += wrow[i] * in[i];
+      out[o] = acc;
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+  const int batch = x_cache_.n();
+  Tensor dx(batch, x_cache_.c(), x_cache_.h(), x_cache_.w());
+
+#pragma omp parallel for schedule(static)
+  for (int n = 0; n < batch; ++n) {
+    const float* g = dy.sample(n);
+    float* out = dx.sample(n);
+    std::fill(out, out + in_f_, 0.0f);
+    for (int o = 0; o < out_f_; ++o) {
+      const float gv = g[o];
+      if (gv == 0.0f) continue;
+      const float* wrow = w_.data() + static_cast<std::size_t>(o) * in_f_;
+      for (int i = 0; i < in_f_; ++i) out[i] += gv * wrow[i];
+    }
+  }
+
+#pragma omp parallel for schedule(static)
+  for (int o = 0; o < out_f_; ++o) {
+    float* dwrow = dw_.data() + static_cast<std::size_t>(o) * in_f_;
+    float dbias = 0.0f;
+    for (int n = 0; n < batch; ++n) {
+      const float gv = dy.sample(n)[o];
+      dbias += gv;
+      if (gv == 0.0f) continue;
+      const float* in = x_cache_.sample(n);
+      for (int i = 0; i < in_f_; ++i) dwrow[i] += gv * in[i];
+    }
+    db_[static_cast<std::size_t>(o)] += dbias;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ BatchNorm2D
+
+BatchNorm2D::BatchNorm2D(int channels, float momentum, float eps)
+    : c_(channels), momentum_(momentum), eps_(eps) {
+  if (c_ <= 0) throw std::invalid_argument("BatchNorm2D: bad channel count");
+  gamma_.assign(static_cast<std::size_t>(c_), 1.0f);
+  beta_.assign(static_cast<std::size_t>(c_), 0.0f);
+  dgamma_.assign(static_cast<std::size_t>(c_), 0.0f);
+  dbeta_.assign(static_cast<std::size_t>(c_), 0.0f);
+  running_mean_.assign(static_cast<std::size_t>(c_), 0.0f);
+  running_var_.assign(static_cast<std::size_t>(c_), 1.0f);
+}
+
+void BatchNorm2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&gamma_, &dgamma_});
+  out.push_back({&beta_, &dbeta_});
+}
+
+Tensor BatchNorm2D::forward(const Tensor& x, bool train) {
+  if (x.c() != c_) throw std::invalid_argument("BatchNorm2D: channel mismatch");
+  Tensor y = x;
+  const int spatial = x.h() * x.w();
+  const double count = static_cast<double>(x.n()) * spatial;
+
+  if (train) {
+    x_hat_ = Tensor(x.n(), x.c(), x.h(), x.w());
+    batch_inv_std_.assign(static_cast<std::size_t>(c_), 0.0f);
+  }
+
+  for (int c = 0; c < c_; ++c) {
+    float mean, inv_std;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (int n = 0; n < x.n(); ++n) {
+        const float* plane = x.sample(n) + static_cast<std::size_t>(c) * spatial;
+        for (int p = 0; p < spatial; ++p) {
+          sum += plane[p];
+          sq += static_cast<double>(plane[p]) * plane[p];
+        }
+      }
+      const double m = sum / count;
+      const double var = std::max(sq / count - m * m, 0.0);
+      mean = static_cast<float>(m);
+      inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      running_mean_[static_cast<std::size_t>(c)] =
+          momentum_ * running_mean_[static_cast<std::size_t>(c)] + (1.0f - momentum_) * mean;
+      running_var_[static_cast<std::size_t>(c)] =
+          momentum_ * running_var_[static_cast<std::size_t>(c)] +
+          (1.0f - momentum_) * static_cast<float>(var);
+      batch_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      inv_std = 1.0f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + eps_);
+    }
+    const float g = gamma_[static_cast<std::size_t>(c)];
+    const float b = beta_[static_cast<std::size_t>(c)];
+    for (int n = 0; n < x.n(); ++n) {
+      const float* in = x.sample(n) + static_cast<std::size_t>(c) * spatial;
+      float* out = y.sample(n) + static_cast<std::size_t>(c) * spatial;
+      float* hat = train ? x_hat_.sample(n) + static_cast<std::size_t>(c) * spatial : nullptr;
+      for (int p = 0; p < spatial; ++p) {
+        const float xn = (in[p] - mean) * inv_std;
+        if (hat) hat[p] = xn;
+        out[p] = g * xn + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& dy) {
+  const int spatial = dy.h() * dy.w();
+  const double count = static_cast<double>(dy.n()) * spatial;
+  Tensor dx(dy.n(), dy.c(), dy.h(), dy.w());
+
+  for (int c = 0; c < c_; ++c) {
+    // Reductions: sum(dy) and sum(dy * x_hat) over the channel.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int n = 0; n < dy.n(); ++n) {
+      const float* g = dy.sample(n) + static_cast<std::size_t>(c) * spatial;
+      const float* hat = x_hat_.sample(n) + static_cast<std::size_t>(c) * spatial;
+      for (int p = 0; p < spatial; ++p) {
+        sum_dy += g[p];
+        sum_dy_xhat += static_cast<double>(g[p]) * hat[p];
+      }
+    }
+    dbeta_[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy);
+    dgamma_[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy_xhat);
+
+    const float gamma = gamma_[static_cast<std::size_t>(c)];
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+    const float mean_dy = static_cast<float>(sum_dy / count);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    for (int n = 0; n < dy.n(); ++n) {
+      const float* g = dy.sample(n) + static_cast<std::size_t>(c) * spatial;
+      const float* hat = x_hat_.sample(n) + static_cast<std::size_t>(c) * spatial;
+      float* out = dx.sample(n) + static_cast<std::size_t>(c) * spatial;
+      for (int p = 0; p < spatial; ++p)
+        out[p] = gamma * inv_std * (g[p] - mean_dy - hat[p] * mean_dy_xhat);
+    }
+  }
+  return dx;
+}
+
+}  // namespace dnj::nn

@@ -1,0 +1,132 @@
+// Primitive layers: convolution (im2col + GEMM), pooling, ReLU, flatten,
+// dense, batch normalization. All layers cache what they need for the
+// backward pass when forward is called with train == true.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+/// Deterministic He-normal initializer used by every parameterized layer.
+void he_normal_init(std::vector<float>& w, int fan_in, std::mt19937_64& rng);
+
+/// 2D convolution with square kernel, stride and symmetric zero padding.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad,
+         std::mt19937_64& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "Conv2D"; }
+
+  int in_channels() const { return in_c_; }
+  int out_channels() const { return out_c_; }
+
+  std::vector<float>& weights() { return w_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  int out_dim(int in, int /*axis*/) const { return (in + 2 * pad_ - k_) / stride_ + 1; }
+  void im2col(const float* src, int h, int w, float* col) const;
+  void col2im(const float* col, int h, int w, float* dst) const;
+
+  int in_c_, out_c_, k_, stride_, pad_;
+  std::vector<float> w_, b_, dw_, db_;
+  // Cached forward state (train mode).
+  Tensor x_cache_;
+  std::vector<std::vector<float>> cols_;
+  int in_h_ = 0, in_w_ = 0, out_h_ = 0, out_w_ = 0;
+};
+
+/// Max pooling with square window and equal stride.
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(int kernel = 2, int stride = 2);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  int k_, stride_;
+  Tensor x_shape_ref_;                // zero tensor recording input geometry
+  std::vector<std::int32_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: (N, C, H, W) -> (N, C, 1, 1).
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  int in_h_ = 0, in_w_ = 0;
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<std::uint8_t> mask_;
+};
+
+/// (N, C, H, W) -> (N, C*H*W, 1, 1).
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  int c_ = 0, h_ = 0, w_ = 0;
+};
+
+/// Fully connected layer over the per-sample feature vector.
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features, std::mt19937_64& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "Dense"; }
+
+  std::vector<float>& weights() { return w_; }
+
+ private:
+  int in_f_, out_f_;
+  std::vector<float> w_, b_, dw_, db_;
+  Tensor x_cache_;
+};
+
+/// Per-channel batch normalization over (N, H, W) with running statistics
+/// for inference.
+class BatchNorm2D final : public Layer {
+ public:
+  explicit BatchNorm2D(int channels, float momentum = 0.9f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "BatchNorm2D"; }
+
+ private:
+  int c_;
+  float momentum_, eps_;
+  std::vector<float> gamma_, beta_, dgamma_, dbeta_;
+  std::vector<float> running_mean_, running_var_;
+  // Cached normalized activations and batch stats for backward.
+  Tensor x_hat_;
+  std::vector<float> batch_inv_std_;
+};
+
+}  // namespace dnj::nn

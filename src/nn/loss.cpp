@@ -1,0 +1,48 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnj::nn {
+
+Tensor softmax(const Tensor& logits) {
+  Tensor probs = logits;
+  const int classes = logits.sample_size();
+  for (int n = 0; n < logits.n(); ++n) {
+    float* row = probs.sample(n);
+    const float mx = *std::max_element(row, row + classes);
+    float sum = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (int c = 0; c < classes; ++c) row[c] /= sum;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (static_cast<int>(labels.size()) != logits.n())
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  const int classes = logits.sample_size();
+  LossResult res;
+  res.probs = softmax(logits);
+  res.grad = res.probs;
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(logits.n());
+  for (int n = 0; n < logits.n(); ++n) {
+    const int label = labels[static_cast<std::size_t>(n)];
+    if (label < 0 || label >= classes)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    const float p = res.probs.sample(n)[label];
+    total += -std::log(std::max(p, 1e-12f));
+    float* g = res.grad.sample(n);
+    for (int c = 0; c < classes; ++c) g[c] *= inv_batch;
+    g[label] -= inv_batch;
+  }
+  res.loss = total / logits.n();
+  return res;
+}
+
+}  // namespace dnj::nn

@@ -1,0 +1,23 @@
+// Softmax + cross-entropy, fused for numerical stability (log-sum-exp).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dnj::nn {
+
+struct LossResult {
+  double loss = 0.0;    ///< mean cross-entropy over the batch
+  Tensor probs;         ///< softmax probabilities (N x classes)
+  Tensor grad;          ///< dL/dlogits, already divided by batch size
+};
+
+/// Computes softmax cross-entropy for logits (N, classes, 1, 1) against
+/// integer labels. Throws on shape/label mismatch.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Softmax probabilities only (inference path).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace dnj::nn

@@ -1,0 +1,80 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+
+namespace dnj::nn {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : n_(num_classes) {
+  if (num_classes < 2) throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+  cells_.assign(static_cast<std::size_t>(n_) * n_, 0);
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  if (true_label < 0 || true_label >= n_ || predicted_label < 0 || predicted_label >= n_)
+    throw std::invalid_argument("ConfusionMatrix: label out of range");
+  ++cells_[static_cast<std::size_t>(true_label) * n_ + predicted_label];
+  ++total_;
+}
+
+std::uint64_t ConfusionMatrix::count(int true_label, int predicted) const {
+  return cells_.at(static_cast<std::size_t>(true_label) * n_ + predicted);
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t diag = 0;
+  for (int c = 0; c < n_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int label) const {
+  std::uint64_t row = 0;
+  for (int p = 0; p < n_; ++p) row += count(label, p);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(label, label)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(int label) const {
+  std::uint64_t col = 0;
+  for (int t = 0; t < n_; ++t) col += count(t, label);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(label, label)) / static_cast<double>(col);
+}
+
+int ConfusionMatrix::dominant_confusion(int label) const {
+  int best = -1;
+  std::uint64_t best_count = 0;
+  for (int p = 0; p < n_; ++p) {
+    if (p == label) continue;
+    if (count(label, p) > best_count) {
+      best_count = count(label, p);
+      best = p;
+    }
+  }
+  return best_count > 0 ? best : -1;
+}
+
+ConfusionMatrix confusion_matrix(Layer& model, const data::Dataset& ds, int batch_size) {
+  if (ds.empty()) throw std::invalid_argument("confusion_matrix: empty dataset");
+  ConfusionMatrix cm(ds.num_classes);
+  std::vector<int> indices;
+  for (std::size_t start = 0; start < ds.size(); start += batch_size) {
+    const std::size_t end = std::min(ds.size(), start + static_cast<std::size_t>(batch_size));
+    indices.clear();
+    for (std::size_t i = start; i < end; ++i) indices.push_back(static_cast<int>(i));
+    const Tensor x = to_batch(ds, indices);
+    const Tensor logits = model.forward(x, /*train=*/false);
+    for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+      const float* row = logits.sample(static_cast<int>(bi));
+      const int pred =
+          static_cast<int>(std::max_element(row, row + logits.sample_size()) - row);
+      cm.add(ds.samples[static_cast<std::size_t>(indices[bi])].label, pred);
+    }
+  }
+  return cm;
+}
+
+}  // namespace dnj::nn

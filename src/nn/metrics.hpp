@@ -1,0 +1,42 @@
+// Classification metrics beyond top-1 accuracy: confusion matrix and
+// per-class recall. The Fig. 3 analysis ("which class does the junco turn
+// into when HF is removed?") is a confusion-matrix question.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int true_label, int predicted_label);
+
+  int num_classes() const { return n_; }
+  /// Count of samples with the given true label predicted as `predicted`.
+  std::uint64_t count(int true_label, int predicted) const;
+  std::uint64_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Recall of one class (0 when the class never appears).
+  double recall(int label) const;
+  /// Precision of one class (0 when the class is never predicted).
+  double precision(int label) const;
+  /// The predicted class that most often absorbs misclassified samples of
+  /// `label` (-1 if the class is never misclassified).
+  int dominant_confusion(int label) const;
+
+ private:
+  int n_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> cells_;  // row = true, col = predicted
+};
+
+/// Evaluates `model` over `ds` into a confusion matrix.
+ConfusionMatrix confusion_matrix(Layer& model, const data::Dataset& ds, int batch_size = 64);
+
+}  // namespace dnj::nn

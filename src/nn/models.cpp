@@ -1,0 +1,160 @@
+#include "nn/models.hpp"
+
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace dnj::nn {
+
+namespace {
+
+LayerPtr make_mini_alexnet(int in_c, int dim, int classes, std::mt19937_64& rng) {
+  const int d4 = dim / 4;
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(in_c, 12, 5, 1, 2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(12, 24, 5, 1, 2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Dense>(24 * d4 * d4, 96, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(96, classes, rng);
+  return net;
+}
+
+LayerPtr make_mini_vgg(int in_c, int dim, int classes, std::mt19937_64& rng) {
+  const int d4 = dim / 4;
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(in_c, 12, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<Conv2D>(12, 12, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(12, 24, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<Conv2D>(24, 24, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Dense>(24 * d4 * d4, 96, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(96, classes, rng);
+  return net;
+}
+
+LayerPtr make_mini_inception(int in_c, int dim, int classes, std::mt19937_64& rng) {
+  const int d4 = dim / 4;
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(in_c, 12, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+
+  // Inception block: 1x1, 1x1->3x3, 1x1->5x5, and a 1x1 projection branch;
+  // 8 + 12 + 6 + 6 = 32 output channels.
+  std::vector<LayerPtr> branches;
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(12, 8, 1, 1, 0, rng);
+    b->emplace<ReLU>();
+    branches.push_back(std::move(b));
+  }
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(12, 6, 1, 1, 0, rng);
+    b->emplace<ReLU>();
+    b->emplace<Conv2D>(6, 12, 3, 1, 1, rng);
+    b->emplace<ReLU>();
+    branches.push_back(std::move(b));
+  }
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(12, 4, 1, 1, 0, rng);
+    b->emplace<ReLU>();
+    b->emplace<Conv2D>(4, 6, 5, 1, 2, rng);
+    b->emplace<ReLU>();
+    branches.push_back(std::move(b));
+  }
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(12, 6, 1, 1, 0, rng);
+    b->emplace<ReLU>();
+    branches.push_back(std::move(b));
+  }
+  net->add(std::make_unique<InceptionBlock>(std::move(branches)));
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Dense>(32 * d4 * d4, 96, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(96, classes, rng);
+  return net;
+}
+
+LayerPtr make_mini_resnet(int in_c, int dim, int classes, std::mt19937_64& rng) {
+  (void)dim;
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(in_c, 16, 3, 1, 1, rng);
+  net->emplace<BatchNorm2D>(16);
+  net->emplace<ReLU>();
+
+  {
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Conv2D>(16, 16, 3, 1, 1, rng);
+    body->emplace<BatchNorm2D>(16);
+    body->emplace<ReLU>();
+    body->emplace<Conv2D>(16, 16, 3, 1, 1, rng);
+    body->emplace<BatchNorm2D>(16);
+    net->add(std::make_unique<ResidualBlock>(std::move(body), nullptr));
+  }
+  net->emplace<MaxPool2D>(2, 2);
+  {
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Conv2D>(16, 32, 3, 2, 1, rng);
+    body->emplace<BatchNorm2D>(32);
+    body->emplace<ReLU>();
+    body->emplace<Conv2D>(32, 32, 3, 1, 1, rng);
+    body->emplace<BatchNorm2D>(32);
+    auto shortcut = std::make_unique<Sequential>();
+    shortcut->emplace<Conv2D>(16, 32, 1, 2, 0, rng);
+    shortcut->emplace<BatchNorm2D>(32);
+    net->add(std::make_unique<ResidualBlock>(std::move(body), std::move(shortcut)));
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Flatten>();
+  net->emplace<Dense>(32, classes, rng);
+  return net;
+}
+
+}  // namespace
+
+std::string model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMiniAlexNet: return "MiniAlexNet";
+    case ModelKind::kMiniVGG: return "MiniVGG";
+    case ModelKind::kMiniInception: return "MiniInception";
+    case ModelKind::kMiniResNet: return "MiniResNet";
+  }
+  return "unknown";
+}
+
+LayerPtr make_model(ModelKind kind, int in_channels, int input_dim, int num_classes,
+                    std::uint64_t seed) {
+  if (input_dim % 4 != 0)
+    throw std::invalid_argument("make_model: input_dim must be divisible by 4");
+  if (num_classes < 2) throw std::invalid_argument("make_model: need at least 2 classes");
+  std::mt19937_64 rng(seed);
+  switch (kind) {
+    case ModelKind::kMiniAlexNet:
+      return make_mini_alexnet(in_channels, input_dim, num_classes, rng);
+    case ModelKind::kMiniVGG:
+      return make_mini_vgg(in_channels, input_dim, num_classes, rng);
+    case ModelKind::kMiniInception:
+      return make_mini_inception(in_channels, input_dim, num_classes, rng);
+    case ModelKind::kMiniResNet:
+      return make_mini_resnet(in_channels, input_dim, num_classes, rng);
+  }
+  throw std::invalid_argument("make_model: unknown kind");
+}
+
+}  // namespace dnj::nn

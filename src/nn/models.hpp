@@ -1,0 +1,33 @@
+// The four scaled-down architectures standing in for the paper's AlexNet,
+// VGG-16, GoogLeNet and ResNet (Fig. 8 evaluates DeepN-JPEG across exactly
+// these four architectural families). Each keeps the family's defining
+// trait: plain stacked conv (AlexNet), deeper 3x3 pairs (VGG), parallel
+// multi-scale branches (Inception), and residual shortcuts with batch norm
+// (ResNet).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/composite.hpp"
+
+namespace dnj::nn {
+
+enum class ModelKind : int {
+  kMiniAlexNet = 0,
+  kMiniVGG,
+  kMiniInception,
+  kMiniResNet,
+};
+
+inline constexpr int kNumModelKinds = 4;
+
+std::string model_name(ModelKind kind);
+
+/// Builds a model for square `input_dim` x `input_dim` images (input_dim
+/// must be divisible by 4) with `in_channels` input planes and
+/// `num_classes` logits. Weight init is deterministic in `seed`.
+LayerPtr make_model(ModelKind kind, int in_channels, int input_dim, int num_classes,
+                    std::uint64_t seed);
+
+}  // namespace dnj::nn

@@ -1,0 +1,28 @@
+#include "nn/optimizer.hpp"
+
+namespace dnj::nn {
+
+Sgd::Sgd(Layer& model, const SgdConfig& config) : config_(config) {
+  model.collect_params(params_);
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_) velocity_.emplace_back(p.value->size(), 0.0f);
+}
+
+void Sgd::zero_grads() {
+  for (ParamRef& p : params_) std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    std::vector<float>& w = *params_[pi].value;
+    std::vector<float>& g = *params_[pi].grad;
+    std::vector<float>& v = velocity_[pi];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + config_.weight_decay * w[i];
+      v[i] = config_.momentum * v[i] - config_.lr * grad;
+      w[i] += v[i];
+    }
+  }
+}
+
+}  // namespace dnj::nn

@@ -1,0 +1,34 @@
+// SGD with momentum and decoupled L2 weight decay — the classic training
+// recipe of the AlexNet/VGG era the paper evaluates.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  Sgd(Layer& model, const SgdConfig& config);
+
+  /// Applies one update from the currently accumulated gradients.
+  void step();
+
+  /// Zeroes all gradients (call before each minibatch backward).
+  void zero_grads();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<ParamRef> params_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace dnj::nn

@@ -1,0 +1,69 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace dnj::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'N', 'J', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("load_weights: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_weights(Layer& model, const std::string& path) {
+  std::vector<ParamRef> params;
+  model.collect_params(params);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const ParamRef& p : params) {
+    write_pod(out, static_cast<std::uint64_t>(p.value->size()));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+}
+
+void load_weights(Layer& model, const std::string& path) {
+  std::vector<ParamRef> params;
+  model.collect_params(params);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_weights: bad magic in " + path);
+  const std::uint32_t version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) throw std::runtime_error("load_weights: unsupported version");
+  const std::uint64_t count = read_pod<std::uint64_t>(in);
+  if (count != params.size())
+    throw std::runtime_error("load_weights: parameter count mismatch (architecture differs)");
+  for (ParamRef& p : params) {
+    const std::uint64_t n = read_pod<std::uint64_t>(in);
+    if (n != p.value->size())
+      throw std::runtime_error("load_weights: parameter shape mismatch (architecture differs)");
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) throw std::runtime_error("load_weights: truncated parameter data");
+  }
+}
+
+}  // namespace dnj::nn

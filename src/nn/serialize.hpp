@@ -1,0 +1,25 @@
+// Model weight serialization: a flat little-endian binary format with a
+// magic header and per-parameter size check, so a model trained once (e.g.
+// the cloud model of the edge-sensor example) can be stored and reloaded
+// into a freshly built architecture of the same shape.
+//
+// Format: "DNJW" | u32 version | u64 param_count |
+//         repeat: u64 element_count, float32 data...
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace dnj::nn {
+
+/// Writes all trainable parameters of `model` to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_weights(Layer& model, const std::string& path);
+
+/// Loads parameters into `model`. The architecture must match exactly
+/// (same parameter tensors in the same order); throws std::runtime_error on
+/// format, shape, or I/O mismatch.
+void load_weights(Layer& model, const std::string& path);
+
+}  // namespace dnj::nn

@@ -1,0 +1,63 @@
+// Minimal NCHW float tensor. The framework keeps every activation and
+// parameter in this one shape; vectors (dense activations) use C as the
+// feature axis with H = W = 1.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace dnj::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int n, int c, int h, int w) : n_(n), c_(c), h_(h), w_(w) {
+    if (n <= 0 || c <= 0 || h <= 0 || w <= 0)
+      throw std::invalid_argument("Tensor: dimensions must be positive");
+    v_.assign(static_cast<std::size_t>(n) * c * h * w, 0.0f);
+  }
+
+  static Tensor zeros_like(const Tensor& t) { return Tensor(t.n_, t.c_, t.h_, t.w_); }
+
+  int n() const { return n_; }
+  int c() const { return c_; }
+  int h() const { return h_; }
+  int w() const { return w_; }
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  /// Features per sample (C*H*W).
+  int sample_size() const { return c_ * h_ * w_; }
+
+  float& at(int n, int c, int h, int w) { return v_[index(n, c, h, w)]; }
+  float at(int n, int c, int h, int w) const { return v_[index(n, c, h, w)]; }
+
+  float* sample(int n) { return v_.data() + static_cast<std::size_t>(n) * sample_size(); }
+  const float* sample(int n) const {
+    return v_.data() + static_cast<std::size_t>(n) * sample_size();
+  }
+
+  std::vector<float>& data() { return v_; }
+  const std::vector<float>& data() const { return v_; }
+
+  /// Reinterprets the per-sample layout without copying data.
+  Tensor reshaped(int c, int h, int w) const {
+    if (c * h * w != sample_size()) throw std::invalid_argument("Tensor: reshape size mismatch");
+    Tensor out = *this;
+    out.c_ = c;
+    out.h_ = h;
+    out.w_ = w;
+    return out;
+  }
+
+ private:
+  std::size_t index(int n, int c, int h, int w) const {
+    return ((static_cast<std::size_t>(n) * c_ + c) * h_ + h) * w_ + w;
+  }
+
+  int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> v_;
+};
+
+}  // namespace dnj::nn

@@ -1,0 +1,138 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace dnj::nn {
+
+float normalize_pixel(std::uint8_t p) { return (static_cast<float>(p) - 127.5f) / 64.0f; }
+
+Tensor to_batch(const data::Dataset& ds, const std::vector<int>& indices) {
+  if (indices.empty()) throw std::invalid_argument("to_batch: empty index list");
+  const int c = ds.channels();
+  const int h = ds.height();
+  const int w = ds.width();
+  Tensor batch(static_cast<int>(indices.size()), c, h, w);
+  for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+    const image::Image& img = ds.samples[static_cast<std::size_t>(indices[bi])].image;
+    if (img.width() != w || img.height() != h || img.channels() != c)
+      throw std::invalid_argument("to_batch: inhomogeneous dataset");
+    for (int ci = 0; ci < c; ++ci)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          batch.at(static_cast<int>(bi), ci, y, x) = normalize_pixel(img.at(x, y, ci));
+  }
+  return batch;
+}
+
+std::vector<int> batch_labels(const data::Dataset& ds, const std::vector<int>& indices) {
+  std::vector<int> labels;
+  labels.reserve(indices.size());
+  for (int i : indices) labels.push_back(ds.samples[static_cast<std::size_t>(i)].label);
+  return labels;
+}
+
+std::vector<EpochStats> train(Layer& model, const data::Dataset& train_set,
+                              const data::Dataset* test_set, const TrainConfig& config) {
+  if (train_set.empty()) throw std::invalid_argument("train: empty dataset");
+  SgdConfig sgd_cfg;
+  sgd_cfg.lr = config.lr;
+  sgd_cfg.momentum = config.momentum;
+  sgd_cfg.weight_decay = config.weight_decay;
+  Sgd opt(model, sgd_cfg);
+
+  std::vector<int> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config.epochs));
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::mt19937_64 rng(config.seed + static_cast<std::uint64_t>(epoch) * 0x9E37ULL);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      const std::vector<int> batch_idx(order.begin() + static_cast<long>(start),
+                                       order.begin() + static_cast<long>(end));
+      const Tensor x = to_batch(train_set, batch_idx);
+      const std::vector<int> labels = batch_labels(train_set, batch_idx);
+
+      opt.zero_grads();
+      const Tensor logits = model.forward(x, /*train=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      model.backward(loss.grad);
+      opt.step();
+
+      loss_sum += loss.loss * static_cast<double>(batch_idx.size());
+      for (std::size_t bi = 0; bi < batch_idx.size(); ++bi) {
+        const float* row = loss.probs.sample(static_cast<int>(bi));
+        const int pred = static_cast<int>(
+            std::max_element(row, row + loss.probs.sample_size()) - row);
+        if (pred == labels[bi]) ++correct;
+      }
+      seen += batch_idx.size();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / static_cast<double>(seen);
+    stats.train_acc = static_cast<double>(correct) / static_cast<double>(seen);
+    stats.test_acc = test_set ? evaluate(model, *test_set)
+                              : std::numeric_limits<double>::quiet_NaN();
+    history.push_back(stats);
+    if (config.verbose)
+      std::printf("epoch %2d  loss %.4f  train_acc %.4f  test_acc %.4f\n", epoch,
+                  stats.train_loss, stats.train_acc, stats.test_acc);
+
+    opt.set_lr(opt.lr() * config.lr_decay);
+  }
+  return history;
+}
+
+double evaluate(Layer& model, const data::Dataset& ds, int batch_size) {
+  if (ds.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  std::size_t correct = 0;
+  std::vector<int> indices;
+  for (std::size_t start = 0; start < ds.size(); start += batch_size) {
+    const std::size_t end = std::min(ds.size(), start + static_cast<std::size_t>(batch_size));
+    indices.clear();
+    for (std::size_t i = start; i < end; ++i) indices.push_back(static_cast<int>(i));
+    const Tensor x = to_batch(ds, indices);
+    const Tensor logits = model.forward(x, /*train=*/false);
+    for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+      const float* row = logits.sample(static_cast<int>(bi));
+      const int pred =
+          static_cast<int>(std::max_element(row, row + logits.sample_size()) - row);
+      if (pred == ds.samples[static_cast<std::size_t>(indices[bi])].label) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+std::vector<float> predict_probs(Layer& model, const image::Image& img) {
+  data::Dataset tmp;
+  tmp.num_classes = 0;
+  tmp.samples.push_back({img, 0});
+  const Tensor x = to_batch(tmp, {0});
+  const Tensor probs = softmax(model.forward(x, /*train=*/false));
+  const float* row = probs.sample(0);
+  return std::vector<float>(row, row + probs.sample_size());
+}
+
+int predict_label(Layer& model, const image::Image& img) {
+  const std::vector<float> probs = predict_probs(model, img);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace dnj::nn

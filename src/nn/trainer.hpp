@@ -1,0 +1,55 @@
+// Training loop and evaluation utilities: dataset-to-tensor conversion,
+// minibatch SGD with per-epoch shuffling, accuracy metrics, and single-image
+// prediction (used by the Fig. 3 junco/robin experiment).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dnj::nn {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  float lr = 0.02f;
+  float lr_decay = 0.95f;  ///< multiplicative per-epoch decay
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  std::uint64_t seed = 0x7124EBull;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double test_acc = 0.0;  ///< NaN when no test set was supplied
+};
+
+/// Pixel normalization applied before the first layer: (p - 127.5) / 64.
+float normalize_pixel(std::uint8_t p);
+
+/// Packs the samples at `indices` into an NCHW batch tensor.
+Tensor to_batch(const data::Dataset& ds, const std::vector<int>& indices);
+
+/// Labels of the samples at `indices`.
+std::vector<int> batch_labels(const data::Dataset& ds, const std::vector<int>& indices);
+
+/// Trains `model` on `train_set`; when `test_set` is non-null, records test
+/// accuracy after every epoch (the paper's Fig. 2(b) plots exactly this).
+std::vector<EpochStats> train(Layer& model, const data::Dataset& train_set,
+                              const data::Dataset* test_set, const TrainConfig& config);
+
+/// Top-1 accuracy of `model` on `ds`.
+double evaluate(Layer& model, const data::Dataset& ds, int batch_size = 64);
+
+/// Class probabilities for one image.
+std::vector<float> predict_probs(Layer& model, const image::Image& img);
+
+/// Argmax class for one image.
+int predict_label(Layer& model, const image::Image& img);
+
+}  // namespace dnj::nn

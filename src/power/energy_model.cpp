@@ -1,0 +1,50 @@
+#include "power/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace dnj::power {
+
+namespace {
+// Bandwidth implied by uploading 152 KB in the given latency.
+double anchor_mbps(double seconds) { return 152.0 * 1024.0 * 8.0 / seconds / 1e6; }
+}  // namespace
+
+RadioProfile RadioProfile::cellular_3g() {
+  return {"3G", anchor_mbps(0.870), 1.2};  // ~1.43 Mbps, ~1.2 W (Huang et al.)
+}
+
+RadioProfile RadioProfile::lte() {
+  return {"LTE", anchor_mbps(0.180), 2.0};  // ~6.9 Mbps, ~2.0 W
+}
+
+RadioProfile RadioProfile::wifi() {
+  return {"WiFi", anchor_mbps(0.095), 1.0};  // ~13.1 Mbps, ~1.0 W
+}
+
+double EnergyModel::transfer_seconds(std::size_t bytes) const {
+  if (radio.mbps <= 0.0) throw std::invalid_argument("EnergyModel: bad bandwidth");
+  return static_cast<double>(bytes) * 8.0 / (radio.mbps * 1e6);
+}
+
+double EnergyModel::transfer_joules(std::size_t bytes) const {
+  return transfer_seconds(bytes) * radio.tx_watts;
+}
+
+double EnergyModel::encode_joules(std::size_t pixels) const {
+  return static_cast<double>(pixels) * encode_nj_per_pixel * 1e-9;
+}
+
+double EnergyModel::offload_joules(std::size_t bytes, std::size_t pixels,
+                                   bool compressed) const {
+  return transfer_joules(bytes) + (compressed ? encode_joules(pixels) : 0.0);
+}
+
+double normalized_power(const EnergyModel& model, std::size_t method_bytes,
+                        std::size_t baseline_bytes, std::size_t pixels) {
+  const double method = model.offload_joules(method_bytes, pixels, true);
+  const double baseline = model.offload_joules(baseline_bytes, pixels, true);
+  if (baseline <= 0.0) throw std::invalid_argument("normalized_power: zero baseline");
+  return method / baseline;
+}
+
+}  // namespace dnj::power

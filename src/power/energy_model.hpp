@@ -1,0 +1,54 @@
+// Analytic data-offloading energy model in the style of Neurosurgeon
+// (Kang et al., ASPLOS 2017), which the paper uses for its Fig. 9 power
+// comparison. Offload energy for an edge device is dominated by radio
+// transmit time:
+//
+//   E_offload = bytes * 8 / bandwidth * P_tx   +   E_encode
+//
+// Radio parameters are derived from the paper's own latency anchor (a 152 KB
+// image uploads in 870 ms over 3G, 180 ms over LTE, 95 ms over Wi-Fi) and
+// typical radio transmit powers from the mobile-energy literature.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dnj::power {
+
+struct RadioProfile {
+  std::string name;
+  double mbps = 10.0;      ///< sustained uplink throughput
+  double tx_watts = 1.0;   ///< radio power while transmitting
+
+  /// Derived from the paper's 152 KB / 870 ms anchor.
+  static RadioProfile cellular_3g();
+  /// 152 KB / 180 ms.
+  static RadioProfile lte();
+  /// 152 KB / 95 ms.
+  static RadioProfile wifi();
+};
+
+struct EnergyModel {
+  RadioProfile radio = RadioProfile::wifi();
+  /// JPEG encode compute energy per input pixel (DCT+quant+entropy on a
+  /// low-power core). DeepN-JPEG and JPEG share this cost exactly — the
+  /// datapath is identical, only table contents differ.
+  double encode_nj_per_pixel = 5.0;
+
+  /// Seconds to upload `bytes` on the configured radio.
+  double transfer_seconds(std::size_t bytes) const;
+  /// Radio energy to upload `bytes`.
+  double transfer_joules(std::size_t bytes) const;
+  /// Compute energy to encode `pixels` pixels.
+  double encode_joules(std::size_t pixels) const;
+  /// Total offload energy: encode (if `compressed`) plus transfer.
+  double offload_joules(std::size_t bytes, std::size_t pixels, bool compressed) const;
+};
+
+/// Power consumption of a method normalized against the baseline method
+/// (the paper's Fig. 9 y-axis): ratio of offload energies for the same
+/// pixel payload.
+double normalized_power(const EnergyModel& model, std::size_t method_bytes,
+                        std::size_t baseline_bytes, std::size_t pixels);
+
+}  // namespace dnj::power

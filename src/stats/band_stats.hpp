@@ -1,0 +1,43 @@
+// Per-frequency-band statistics container: one accumulator per entry of the
+// 8x8 DCT grid. This is the data structure Algorithm 1 of the paper fills
+// before the quantization-table design step reads out sigma_ij.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "stats/moments.hpp"
+
+namespace dnj::stats {
+
+inline constexpr int kBands = 64;
+
+/// Statistics for all 64 DCT frequency bands of an 8x8 block grid.
+class BandStats {
+ public:
+  /// Adds one 64-coefficient block (row-major, natural order).
+  template <typename Block>
+  void add_block(const Block& coeffs) {
+    for (int k = 0; k < kBands; ++k) bands_[static_cast<std::size_t>(k)].add(coeffs[k]);
+  }
+
+  void merge(const BandStats& other) {
+    for (int k = 0; k < kBands; ++k)
+      bands_[static_cast<std::size_t>(k)].merge(other.bands_[static_cast<std::size_t>(k)]);
+  }
+
+  const RunningMoments& band(int k) const { return bands_.at(static_cast<std::size_t>(k)); }
+  RunningMoments& band(int k) { return bands_.at(static_cast<std::size_t>(k)); }
+
+  /// sigma_ij for every band in natural (row-major) order.
+  std::array<double, kBands> stddevs() const {
+    std::array<double, kBands> out{};
+    for (int k = 0; k < kBands; ++k) out[static_cast<std::size_t>(k)] = bands_[static_cast<std::size_t>(k)].stddev();
+    return out;
+  }
+
+ private:
+  std::array<RunningMoments, kBands> bands_{};
+};
+
+}  // namespace dnj::stats

@@ -1,0 +1,75 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dnj::stats {
+
+double LaplaceFit::pdf(double x) const { return std::exp(-std::abs(x) / b) / (2.0 * b); }
+
+double LaplaceFit::cdf(double x) const {
+  if (x < 0.0) return 0.5 * std::exp(x / b);
+  return 1.0 - 0.5 * std::exp(-x / b);
+}
+
+LaplaceFit LaplaceFit::mle(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("LaplaceFit::mle: no samples");
+  double sum = 0.0;
+  for (double s : samples) sum += std::abs(s);
+  LaplaceFit fit;
+  fit.b = std::max(sum / static_cast<double>(samples.size()), 1e-12);
+  return fit;
+}
+
+double GaussianFit::pdf(double x) const {
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+double GaussianFit::cdf(double x) const {
+  return 0.5 * std::erfc(-(x - mu) / (sigma * std::sqrt(2.0)));
+}
+
+GaussianFit GaussianFit::mle(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("GaussianFit::mle: no samples");
+  const double n = static_cast<double>(samples.size());
+  const double mean = std::accumulate(samples.begin(), samples.end(), 0.0) / n;
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= n;
+  GaussianFit fit;
+  fit.mu = mean;
+  fit.sigma = std::max(std::sqrt(var), 1e-12);
+  return fit;
+}
+
+template <typename Dist>
+double ks_distance(std::vector<double> samples, const Dist& dist) {
+  if (samples.empty()) throw std::invalid_argument("ks_distance: no samples");
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double model = dist.cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    worst = std::max({worst, std::abs(model - lo), std::abs(model - hi)});
+  }
+  return worst;
+}
+
+template <typename Dist>
+double log_likelihood(const std::vector<double>& samples, const Dist& dist) {
+  double ll = 0.0;
+  for (double s : samples) ll += std::log(std::max(dist.pdf(s), 1e-300));
+  return ll;
+}
+
+template double ks_distance<LaplaceFit>(std::vector<double>, const LaplaceFit&);
+template double ks_distance<GaussianFit>(std::vector<double>, const GaussianFit&);
+template double log_likelihood<LaplaceFit>(const std::vector<double>&, const LaplaceFit&);
+template double log_likelihood<GaussianFit>(const std::vector<double>&, const GaussianFit&);
+
+}  // namespace dnj::stats

@@ -1,0 +1,43 @@
+// Parametric fits for DCT coefficient distributions. Reininger & Gibson
+// (1983), cited as [24] by the paper, model AC coefficients as zero-mean
+// Laplacian and the DC coefficient as approximately Gaussian; the
+// `coeff_distribution` bench reproduces that claim on our data.
+#pragma once
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace dnj::stats {
+
+/// Zero-mean Laplace distribution with scale b: p(x) = exp(-|x|/b) / (2b).
+struct LaplaceFit {
+  double b = 1.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  /// Maximum-likelihood fit: b = mean(|x|).
+  static LaplaceFit mle(const std::vector<double>& samples);
+};
+
+/// Gaussian distribution N(mu, sigma^2).
+struct GaussianFit {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  static GaussianFit mle(const std::vector<double>& samples);
+};
+
+/// Kolmogorov–Smirnov distance between the empirical CDF of `samples`
+/// (sorted internally) and a model CDF. Smaller is a better fit.
+template <typename Dist>
+double ks_distance(std::vector<double> samples, const Dist& dist);
+
+/// Log-likelihood of samples under a fitted model (for Laplace-vs-Gaussian
+/// comparisons).
+template <typename Dist>
+double log_likelihood(const std::vector<double>& samples, const Dist& dist);
+
+}  // namespace dnj::stats

@@ -1,0 +1,38 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnj::stats {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins <= 0) throw std::invalid_argument("Histogram: bins must be positive");
+  width_ = (hi - lo) / bins;
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  int bin = static_cast<int>((x - lo_) / width_);
+  bin = std::clamp(bin, 0, bins() - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_center(int bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::pmf(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::cdf(int bin) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (int b = 0; b <= bin; ++b) acc += count(b);
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+}  // namespace dnj::stats

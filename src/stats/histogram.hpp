@@ -1,0 +1,40 @@
+// Fixed-range histogram used to characterize the per-band DCT coefficient
+// distributions (the paper builds "individual histograms" per frequency band
+// in Algorithm 1 before extracting sigma).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dnj::stats {
+
+class Histogram {
+ public:
+  /// Bins the half-open range [lo, hi) uniformly into `bins` buckets.
+  Histogram(double lo, double hi, int bins);
+
+  /// Adds a sample; values outside [lo, hi) land in saturating edge bins.
+  void add(double x);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::uint64_t count(int bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+
+  /// Centre value of a bin.
+  double bin_center(int bin) const;
+  /// Empirical probability mass of a bin.
+  double pmf(int bin) const;
+  /// Empirical CDF evaluated at the right edge of `bin`.
+  double cdf(int bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dnj::stats

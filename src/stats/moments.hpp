@@ -1,0 +1,42 @@
+// Streaming statistics used by the frequency component analysis
+// (Algorithm 1): the per-band standard deviation sigma_ij is accumulated over
+// millions of DCT coefficients, so a numerically stable one-pass algorithm
+// (Welford) is required.
+#pragma once
+
+#include <cstdint>
+
+namespace dnj::stats {
+
+/// Welford one-pass accumulator for mean / variance / min / max.
+class RunningMoments {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel reduction), per Chan et al.
+  void merge(const RunningMoments& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n). Zero for n < 2.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance (divide by n-1). Zero for n < 2.
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Mean absolute value — the MLE of the Laplace scale parameter b when the
+  /// distribution is centred at zero (Reininger & Gibson model of AC bands).
+  double mean_abs() const { return n_ ? abs_sum_ / static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double abs_sum_ = 0.0;
+};
+
+}  // namespace dnj::stats

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/band_segmentation.hpp"
+#include "core/baselines.hpp"
+#include "core/deepnjpeg.hpp"
+#include "core/frequency_analysis.hpp"
+#include "core/frequency_edit.hpp"
+#include "core/plm.hpp"
+#include "data/synthetic.hpp"
+#include "image/metrics.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::core {
+namespace {
+
+data::Dataset tiny_dataset() {
+  data::GeneratorConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.num_classes = 8;
+  cfg.seed = 2024;
+  return data::SyntheticDatasetGenerator(cfg).generate(6);
+}
+
+// --- frequency analysis (Algorithm 1) ---
+
+TEST(FrequencyAnalysis, ConstantImageHasZeroAcSigma) {
+  image::Image img(32, 32, 1);
+  for (std::uint8_t& v : img.data()) v = 200;
+  const FrequencyProfile p = analyze_image(img);
+  for (int k = 1; k < 64; ++k) EXPECT_NEAR(p.sigma[static_cast<std::size_t>(k)], 0.0, 1e-3);
+  EXPECT_EQ(p.blocks_analyzed, 16u);
+}
+
+TEST(FrequencyAnalysis, HorizontalEdgesExciteVerticalBands) {
+  // A purely vertical stripe pattern whose sign flips from block to block:
+  // the (1,0) band coefficient alternates +-, so its sigma across blocks is
+  // large, while horizontal bands like (0,1) never carry energy. (Sigma
+  // measures variation across blocks — a pattern identical in every block
+  // would give sigma = 0 even at high amplitude.)
+  image::Image img(32, 32, 1);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      const int block_parity = ((x / 8) + (y / 8)) % 2;
+      const int stripe = (y % 8) < 4 ? 0 : 1;
+      img.at(x, y) = (stripe ^ block_parity) ? 200 : 50;
+    }
+  const FrequencyProfile p = analyze_image(img);
+  EXPECT_GT(p.sigma[1 * 8 + 0], 50.0);  // (1,0): 8-pixel vertical period
+  EXPECT_NEAR(p.sigma[0 * 8 + 1], 0.0, 1e-2);
+}
+
+TEST(FrequencyAnalysis, RankingIsConsistent) {
+  const FrequencyProfile p = analyze(tiny_dataset());
+  // ascending_order sorts sigma ascending.
+  for (int r = 1; r < 64; ++r)
+    EXPECT_LE(p.sigma_at_rank(r - 1), p.sigma_at_rank(r));
+  // rank_of inverts ascending_order.
+  for (int r = 0; r < 64; ++r)
+    EXPECT_EQ(p.rank_of[static_cast<std::size_t>(p.ascending_order[static_cast<std::size_t>(r)])], r);
+}
+
+TEST(FrequencyAnalysis, DcHasLargestSigmaOnNaturalImages) {
+  const FrequencyProfile p = analyze(tiny_dataset());
+  EXPECT_EQ(p.ascending_order[63], 0);  // DC band carries the most energy
+}
+
+TEST(FrequencyAnalysis, SampleIntervalReducesImages) {
+  const data::Dataset ds = tiny_dataset();
+  AnalysisConfig cfg;
+  cfg.sample_interval = 3;
+  const FrequencyProfile p = analyze(ds, cfg);
+  EXPECT_EQ(p.images_analyzed, ds.size() / 3);
+  // Statistics from a stratified subsample stay close to the full analysis.
+  const FrequencyProfile full = analyze(ds);
+  for (int k = 0; k < 64; ++k)
+    EXPECT_NEAR(p.sigma[static_cast<std::size_t>(k)], full.sigma[static_cast<std::size_t>(k)],
+                0.6 * full.sigma[static_cast<std::size_t>(k)] + 5.0);
+}
+
+TEST(FrequencyAnalysis, Errors) {
+  EXPECT_THROW(analyze(data::Dataset{}), std::invalid_argument);
+  AnalysisConfig bad;
+  bad.sample_interval = 0;
+  EXPECT_THROW(analyze(tiny_dataset(), bad), std::invalid_argument);
+}
+
+// --- band segmentation ---
+
+TEST(BandSegmentation, MagnitudeBasedCounts) {
+  const FrequencyProfile p = analyze(tiny_dataset());
+  const BandSplit split = magnitude_based(p);
+  EXPECT_EQ(split.count(Band::kLF), 6);
+  EXPECT_EQ(split.count(Band::kMF), 22);
+  EXPECT_EQ(split.count(Band::kHF), 36);
+}
+
+TEST(BandSegmentation, MagnitudeBasedRespectsSigmaOrder) {
+  const FrequencyProfile p = analyze(tiny_dataset());
+  const BandSplit split = magnitude_based(p);
+  double min_lf = 1e18, max_mf = -1.0, min_mf = 1e18, max_hf = -1.0;
+  for (int k = 0; k < 64; ++k) {
+    const double s = p.sigma[static_cast<std::size_t>(k)];
+    switch (split.band_of[static_cast<std::size_t>(k)]) {
+      case Band::kLF: min_lf = std::min(min_lf, s); break;
+      case Band::kMF: min_mf = std::min(min_mf, s); max_mf = std::max(max_mf, s); break;
+      case Band::kHF: max_hf = std::max(max_hf, s); break;
+    }
+  }
+  EXPECT_GE(min_lf, max_mf);
+  EXPECT_GE(min_mf, max_hf);
+}
+
+TEST(BandSegmentation, PositionBasedFollowsZigzag) {
+  const BandSplit split = position_based();
+  EXPECT_EQ(split.band_of[0], Band::kLF);  // DC
+  // Zig-zag position 5 is LF, 6 is MF, 27 is MF, 28 is HF.
+  EXPECT_EQ(split.band_of[static_cast<std::size_t>(jpeg::kZigzag[5])], Band::kLF);
+  EXPECT_EQ(split.band_of[static_cast<std::size_t>(jpeg::kZigzag[6])], Band::kMF);
+  EXPECT_EQ(split.band_of[static_cast<std::size_t>(jpeg::kZigzag[27])], Band::kMF);
+  EXPECT_EQ(split.band_of[static_cast<std::size_t>(jpeg::kZigzag[28])], Band::kHF);
+  EXPECT_EQ(split.band_of[63], Band::kHF);
+}
+
+TEST(BandSegmentation, CustomSizesAndErrors) {
+  BandSizes sizes;
+  sizes.lf = 10;
+  sizes.mf = 30;
+  const BandSplit split = position_based(sizes);
+  EXPECT_EQ(split.count(Band::kLF), 10);
+  EXPECT_EQ(split.count(Band::kHF), 24);
+  BandSizes bad;
+  bad.lf = 40;
+  bad.mf = 40;
+  EXPECT_THROW(position_based(bad), std::invalid_argument);
+}
+
+TEST(BandSegmentation, IndicesPartitionAllBands) {
+  const BandSplit split = position_based();
+  std::array<bool, 64> seen{};
+  for (Band b : {Band::kLF, Band::kMF, Band::kHF})
+    for (int k : split.indices(b)) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(k)]);
+      seen[static_cast<std::size_t>(k)] = true;
+    }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+// --- PLM (Eq. 3) ---
+
+TEST(Plm, PaperParameterSegments) {
+  const PlmParams p = PlmParams::paper_defaults();
+  // HF segment: sigma = 10 -> 255 - 97.5 = 157.5.
+  EXPECT_NEAR(plm_step(10.0, p), 157.5, 1e-9);
+  // Boundary sigma = T1 = 20 -> 255 - 195 = 60.
+  EXPECT_NEAR(plm_step(20.0, p), 60.0, 1e-9);
+  // MF segment: sigma = 40 -> 80 - 40 = 40.
+  EXPECT_NEAR(plm_step(40.0, p), 40.0, 1e-9);
+  // LF segment: sigma = 70 -> 240 - 210 = 30.
+  EXPECT_NEAR(plm_step(70.0, p), 30.0, 1e-9);
+  // Deep LF clamps at Qmin: sigma = 100 -> 240 - 300 < 5.
+  EXPECT_NEAR(plm_step(100.0, p), 5.0, 1e-9);
+  // Tiny sigma clamps at Qmax.
+  EXPECT_NEAR(plm_step(0.0, p), 255.0, 1e-9);
+}
+
+TEST(Plm, WithinSegmentLargerSigmaGetsSmallerStep) {
+  const PlmParams p = PlmParams::paper_defaults();
+  for (double lo = 0.0; lo < 19.0; lo += 1.0)
+    EXPECT_GE(plm_step(lo, p), plm_step(lo + 1.0, p));
+  for (double lo = 21.0; lo < 59.0; lo += 1.0)
+    EXPECT_GE(plm_step(lo, p), plm_step(lo + 1.0, p));
+  for (double lo = 61.0; lo < 120.0; lo += 1.0)
+    EXPECT_GE(plm_step(lo, p), plm_step(lo + 1.0, p));
+}
+
+TEST(Plm, RejectsBadParams) {
+  PlmParams p = PlmParams::paper_defaults();
+  p.t2 = 10.0;  // below t1
+  EXPECT_THROW(plm_step(5.0, p), std::invalid_argument);
+  p = PlmParams::paper_defaults();
+  p.qmin = 0.0;
+  EXPECT_THROW(plm_step(5.0, p), std::invalid_argument);
+}
+
+TEST(Plm, TableRespectsBounds) {
+  const FrequencyProfile profile = analyze(tiny_dataset());
+  const PlmParams p = PlmParams::with_dataset_thresholds(PlmParams::paper_defaults(), profile);
+  const jpeg::QuantTable table = plm_quant_table(profile, p);
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_GE(table.step(k), static_cast<std::uint16_t>(p.qmin));
+    EXPECT_LE(table.step(k), static_cast<std::uint16_t>(p.qmax));
+  }
+}
+
+TEST(Plm, DatasetThresholdsMatchRankBoundaries) {
+  const FrequencyProfile profile = analyze(tiny_dataset());
+  const PlmParams p = PlmParams::with_dataset_thresholds(PlmParams::paper_defaults(), profile);
+  EXPECT_DOUBLE_EQ(p.t1, profile.sigma_at_rank(35));
+  EXPECT_DOUBLE_EQ(p.t2, profile.sigma_at_rank(57));
+  EXPECT_LE(p.t1, p.t2);
+}
+
+TEST(Plm, HighSigmaBandsGetLowSteps) {
+  // The central property: the most important bands (largest sigma) must end
+  // up with smaller quantization steps than the least important ones.
+  const FrequencyProfile profile = analyze(tiny_dataset());
+  const PlmParams p = PlmParams::with_dataset_thresholds(PlmParams::paper_defaults(), profile);
+  const jpeg::QuantTable table = plm_quant_table(profile, p);
+  const int top_band = profile.ascending_order[63];
+  const int bottom_band = profile.ascending_order[0];
+  EXPECT_LT(table.step(top_band), table.step(bottom_band));
+}
+
+// --- baselines ---
+
+TEST(Baselines, RmHfZeroesTopZigzagPositions) {
+  const jpeg::QuantTable base = jpeg::QuantTable::annex_k_luma();
+  const jpeg::QuantTable rm = rm_hf_table(base, 3);
+  for (int pos = 61; pos < 64; ++pos)
+    EXPECT_EQ(rm.step(jpeg::kZigzag[static_cast<std::size_t>(pos)]), kRemovedStep);
+  for (int pos = 0; pos < 61; ++pos)
+    EXPECT_EQ(rm.step(jpeg::kZigzag[static_cast<std::size_t>(pos)]),
+              base.step(jpeg::kZigzag[static_cast<std::size_t>(pos)]));
+  EXPECT_THROW(rm_hf_table(base, 64), std::invalid_argument);
+  EXPECT_THROW(rm_hf_table(base, -1), std::invalid_argument);
+}
+
+TEST(Baselines, RmHfRemovesEvenStrongCoefficients) {
+  // Regression: a step of 255 would *amplify* a strong corner coefficient
+  // (round(160/255) = 1 -> 255) instead of removing it. The removed step
+  // must zero the largest coefficient an 8-bit block can produce (8 * 255).
+  image::BlockF coeffs{};
+  coeffs[63] = 8.0f * 255.0f;
+  const jpeg::QuantTable rm = rm_hf_table(jpeg::QuantTable::annex_k_luma().scaled(100), 1);
+  const jpeg::QuantizedBlock q = jpeg::quantize(coeffs, rm);
+  EXPECT_EQ(q[63], 0);
+}
+
+TEST(Baselines, SameQIsUniform) {
+  const jpeg::QuantTable t = same_q_table(8);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(t.step(k), 8);
+  EXPECT_THROW(same_q_table(0), std::invalid_argument);
+  EXPECT_THROW(same_q_table(256), std::invalid_argument);
+}
+
+// --- frequency edits (Fig. 3 / Fig. 5 machinery) ---
+
+TEST(FrequencyEdit, RemoveZeroComponentsIsNearIdentity) {
+  const data::Dataset ds = tiny_dataset();
+  const image::Image& img = ds.samples[0].image;
+  const image::Image out = remove_high_frequency(img, 0);
+  EXPECT_LE(image::max_abs_diff(img, out), 2);
+}
+
+TEST(FrequencyEdit, RemovalReducesHighFrequencySigma) {
+  data::GeneratorConfig cfg;
+  cfg.seed = 31;
+  const data::SyntheticDatasetGenerator gen(cfg);
+  const image::Image img = gen.render(data::ClassKind::kCheckerboard, 0);
+  const image::Image stripped = remove_high_frequency(img, 20);
+  const FrequencyProfile before = analyze_image(img);
+  const FrequencyProfile after = analyze_image(stripped);
+  double hf_before = 0.0, hf_after = 0.0;
+  for (int pos = 44; pos < 64; ++pos) {
+    const int k = jpeg::kZigzag[static_cast<std::size_t>(pos)];
+    hf_before += before.sigma[static_cast<std::size_t>(k)];
+    hf_after += after.sigma[static_cast<std::size_t>(k)];
+  }
+  EXPECT_LT(hf_after, 0.3 * hf_before + 1e-6);
+}
+
+TEST(FrequencyEdit, QuantizeBandOnlyLeavesOtherBandsIntact) {
+  data::GeneratorConfig cfg;
+  cfg.seed = 77;
+  const data::SyntheticDatasetGenerator gen(cfg);
+  const image::Image img = gen.render(data::ClassKind::kBandNoise, 0);
+  const BandSplit split = position_based();
+  // Q = 1 on any band must be a near-identity everywhere.
+  const image::Image same = quantize_band_only(img, split, Band::kMF, 1);
+  EXPECT_LE(image::max_abs_diff(img, same), 2);
+  // Large Q on HF must change the image; LF untouched implies the DC of each
+  // block barely moves.
+  const image::Image crushed = quantize_band_only(img, split, Band::kHF, 80);
+  EXPECT_GT(image::mse(img, crushed), 0.5);
+  const FrequencyProfile a = analyze_image(img);
+  const FrequencyProfile b = analyze_image(crushed);
+  EXPECT_NEAR(b.sigma[0], a.sigma[0], 0.05 * a.sigma[0] + 1.0);
+}
+
+TEST(FrequencyEdit, Errors) {
+  image::Image img(16, 16, 1);
+  EXPECT_THROW(remove_high_frequency(img, 65), std::invalid_argument);
+  EXPECT_THROW(quantize_band_only(img, position_based(), Band::kLF, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnj::core

@@ -1,0 +1,157 @@
+// Integration tests across core + jpeg + data: the full DeepN-JPEG design
+// flow, dataset transcoding, and compression-rate accounting.
+#include <gtest/gtest.h>
+
+#include "core/deepnjpeg.hpp"
+#include "data/synthetic.hpp"
+#include "power/energy_model.hpp"
+
+namespace dnj::core {
+namespace {
+
+data::Dataset make_dataset(int per_class = 6, std::uint64_t seed = 99) {
+  data::GeneratorConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.num_classes = 8;
+  cfg.seed = seed;
+  return data::SyntheticDatasetGenerator(cfg).generate(per_class);
+}
+
+TEST(Transcode, PreservesLabelsAndGeometry) {
+  const data::Dataset ds = make_dataset(3);
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 90;
+  const TranscodeResult res = transcode(ds, cfg);
+  ASSERT_EQ(res.dataset.size(), ds.size());
+  EXPECT_EQ(res.dataset.num_classes, ds.num_classes);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(res.dataset.samples[i].label, ds.samples[i].label);
+    EXPECT_EQ(res.dataset.samples[i].image.width(), 32);
+  }
+  EXPECT_GT(res.total_bytes, 0u);
+  EXPECT_GT(res.mean_psnr, 25.0);
+}
+
+TEST(Transcode, LowerQualityMeansFewerBytesAndLowerPsnr) {
+  const data::Dataset ds = make_dataset(3);
+  jpeg::EncoderConfig hi;
+  hi.quality = 90;
+  jpeg::EncoderConfig lo;
+  lo.quality = 20;
+  const TranscodeResult rh = transcode(ds, hi);
+  const TranscodeResult rl = transcode(ds, lo);
+  EXPECT_LT(rl.total_bytes, rh.total_bytes);
+  EXPECT_LT(rl.mean_psnr, rh.mean_psnr);
+}
+
+TEST(Transcode, CompressionRateAgainstReference) {
+  const data::Dataset ds = make_dataset(3);
+  const std::size_t ref = reference_bytes_qf100(ds);
+  jpeg::EncoderConfig q50;
+  q50.quality = 50;
+  q50.subsampling = jpeg::Subsampling::k444;
+  const std::size_t bytes50 = dataset_encoded_bytes(ds, q50);
+  const double cr = compression_rate(ref, bytes50);
+  EXPECT_GT(cr, 1.5);  // QF 50 compresses well past QF 100
+  EXPECT_DOUBLE_EQ(compression_rate(100, 100), 1.0);
+  EXPECT_THROW(compression_rate(10, 0), std::invalid_argument);
+}
+
+TEST(DeepNJpeg, DesignProducesSaneTable) {
+  const data::Dataset ds = make_dataset();
+  const DesignResult d = DeepNJpeg::design(ds);
+  EXPECT_EQ(d.bands.count(Band::kLF), 6);
+  EXPECT_EQ(d.bands.count(Band::kMF), 22);
+  EXPECT_EQ(d.bands.count(Band::kHF), 36);
+  // LF bands end up with smaller average steps than HF bands.
+  double lf_mean = 0.0, hf_mean = 0.0;
+  for (int k : d.bands.indices(Band::kLF)) lf_mean += d.table.step(k);
+  for (int k : d.bands.indices(Band::kHF)) hf_mean += d.table.step(k);
+  lf_mean /= 6.0;
+  hf_mean /= 36.0;
+  EXPECT_LT(lf_mean, hf_mean);
+}
+
+TEST(DeepNJpeg, EncoderConfigRoundTripsThroughCodec) {
+  const data::Dataset ds = make_dataset(2);
+  const DesignResult d = DeepNJpeg::design(ds);
+  const jpeg::EncoderConfig cfg = DeepNJpeg::encoder_config(d);
+  const jpeg::RoundTrip rt = jpeg::round_trip(ds.samples[0].image, cfg);
+  EXPECT_EQ(rt.decoded.width(), 32);
+  // The designed table is in the DQT of the stream.
+  const jpeg::JpegInfo info = jpeg::parse_info(rt.bytes);
+  ASSERT_TRUE(info.quant_tables[0].has_value());
+  EXPECT_EQ(*info.quant_tables[0], d.table);
+}
+
+TEST(DeepNJpeg, CompressesBetterThanQf100) {
+  const data::Dataset ds = make_dataset();
+  const std::size_t ref = reference_bytes_qf100(ds);
+  const TranscodeResult res = DeepNJpeg::compress_dataset(ds);
+  EXPECT_GT(compression_rate(ref, res.total_bytes), 1.5);
+}
+
+TEST(DeepNJpeg, DesignIsDeterministic) {
+  const data::Dataset ds = make_dataset();
+  const DesignResult a = DeepNJpeg::design(ds);
+  const DesignResult b = DeepNJpeg::design(ds);
+  EXPECT_EQ(a.table, b.table);
+}
+
+TEST(DeepNJpeg, SamplingIntervalChangesLittle) {
+  const data::Dataset ds = make_dataset(8);
+  DesignConfig c1;
+  DesignConfig c4;
+  c4.analysis.sample_interval = 4;
+  const DesignResult full = DeepNJpeg::design(ds, c1);
+  const DesignResult sampled = DeepNJpeg::design(ds, c4);
+  // Tables built from a 1/4 stratified sample stay close to the full design.
+  int close = 0;
+  for (int k = 0; k < 64; ++k) {
+    const int a = full.table.step(k);
+    const int b = sampled.table.step(k);
+    if (std::abs(a - b) <= std::max(8, a / 3)) ++close;
+  }
+  EXPECT_GE(close, 52);
+}
+
+// --- power model ---
+
+TEST(Power, RadioProfilesMatchPaperAnchors) {
+  using power::RadioProfile;
+  // 152 KB at each profile's bandwidth reproduces the paper's latencies.
+  power::EnergyModel m3{RadioProfile::cellular_3g(), 5.0};
+  EXPECT_NEAR(m3.transfer_seconds(152 * 1024), 0.870, 1e-6);
+  power::EnergyModel ml{RadioProfile::lte(), 5.0};
+  EXPECT_NEAR(ml.transfer_seconds(152 * 1024), 0.180, 1e-6);
+  power::EnergyModel mw{RadioProfile::wifi(), 5.0};
+  EXPECT_NEAR(mw.transfer_seconds(152 * 1024), 0.095, 1e-6);
+}
+
+TEST(Power, EnergyScalesLinearlyWithBytes) {
+  power::EnergyModel m;
+  EXPECT_NEAR(m.transfer_joules(2000), 2.0 * m.transfer_joules(1000), 1e-12);
+  EXPECT_GT(m.offload_joules(1000, 1024, true), m.offload_joules(1000, 1024, false));
+}
+
+TEST(Power, NormalizedPowerTracksByteRatio) {
+  power::EnergyModel m;
+  m.encode_nj_per_pixel = 0.0;  // pure transfer: ratio equals byte ratio
+  EXPECT_NEAR(power::normalized_power(m, 300, 1000, 1 << 20), 0.3, 1e-12);
+  EXPECT_THROW(power::normalized_power(m, 10, 0, 100), std::invalid_argument);
+}
+
+TEST(Power, CompressionReducesOffloadEnergy) {
+  const data::Dataset ds = make_dataset(2);
+  const std::size_t ref = reference_bytes_qf100(ds);
+  const TranscodeResult deepn = DeepNJpeg::compress_dataset(ds);
+  power::EnergyModel m;
+  const double ratio = power::normalized_power(
+      m, deepn.total_bytes, ref, ds.raw_bytes());
+  EXPECT_LT(ratio, 0.8);
+  EXPECT_GT(ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace dnj::core

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/deepnjpeg.hpp"
+#include "core/sa_optimizer.hpp"
+#include "data/synthetic.hpp"
+
+namespace dnj::core {
+namespace {
+
+data::Dataset sa_dataset() {
+  data::GeneratorConfig cfg;
+  cfg.seed = 4242;
+  return data::SyntheticDatasetGenerator(cfg).generate(4);
+}
+
+SaConfig quick_config() {
+  SaConfig cfg;
+  cfg.iterations = 120;
+  cfg.sample_images = 8;
+  return cfg;
+}
+
+TEST(SaOptimizer, ImprovesCostFromWastefulStart) {
+  // Uniform step 2 wastes bits on noise bands: raising any of their steps
+  // is an improving move, so the annealer must find a better table.
+  const data::Dataset ds = sa_dataset();
+  const FrequencyProfile profile = analyze(ds);
+  SaConfig cfg = quick_config();
+  cfg.iterations = 200;
+  const SaResult res = anneal_table(ds, profile, jpeg::QuantTable::uniform(2), cfg);
+  EXPECT_LT(res.best_cost, res.initial_cost);
+  EXPECT_GT(res.accepted_moves, 0);
+  EXPECT_EQ(res.cost_history.size(), 200u);
+}
+
+TEST(SaOptimizer, IsDeterministic) {
+  const data::Dataset ds = sa_dataset();
+  const FrequencyProfile profile = analyze(ds);
+  const SaResult a = anneal_table(ds, profile, jpeg::QuantTable::uniform(8), quick_config());
+  const SaResult b = anneal_table(ds, profile, jpeg::QuantTable::uniform(8), quick_config());
+  EXPECT_EQ(a.table, b.table);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+}
+
+TEST(SaOptimizer, StepsStayInBounds) {
+  const data::Dataset ds = sa_dataset();
+  const FrequencyProfile profile = analyze(ds);
+  SaConfig cfg = quick_config();
+  cfg.max_step = 64;
+  const SaResult res = anneal_table(ds, profile, jpeg::QuantTable::uniform(8), cfg);
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_GE(res.table.step(k), 1);
+    EXPECT_LE(res.table.step(k), 64);
+  }
+}
+
+TEST(SaOptimizer, AnnealedTableCompressesBetterThanItsStart) {
+  const data::Dataset ds = sa_dataset();
+  const FrequencyProfile profile = analyze(ds);
+  const jpeg::QuantTable start = jpeg::QuantTable::uniform(4);
+  SaConfig cfg = quick_config();
+  cfg.iterations = 250;
+  const SaResult res = anneal_table(ds, profile, start, cfg);
+  const std::size_t bytes_start = dataset_scan_bytes(ds, custom_table_config(start));
+  const std::size_t bytes_annealed = dataset_scan_bytes(ds, custom_table_config(res.table));
+  EXPECT_LT(bytes_annealed, bytes_start);
+}
+
+TEST(SaOptimizer, RejectsBadConfig) {
+  const data::Dataset ds = sa_dataset();
+  const FrequencyProfile profile = analyze(ds);
+  SaConfig bad = quick_config();
+  bad.iterations = 0;
+  EXPECT_THROW(anneal_table(ds, profile, jpeg::QuantTable(), bad), std::invalid_argument);
+  bad = quick_config();
+  bad.t_start = 1.0;
+  bad.t_end = 10.0;
+  EXPECT_THROW(anneal_table(ds, profile, jpeg::QuantTable(), bad), std::invalid_argument);
+  EXPECT_THROW(anneal_table(data::Dataset{}, profile, jpeg::QuantTable(), quick_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnj::core

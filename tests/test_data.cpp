@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/frequency_analysis.hpp"
+#include "data/synthetic.hpp"
+
+namespace dnj::data {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.channels = 1;
+  cfg.num_classes = 8;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  GeneratorConfig cfg = small_config();
+  cfg.width = 4;
+  EXPECT_THROW(SyntheticDatasetGenerator{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.channels = 2;
+  EXPECT_THROW(SyntheticDatasetGenerator{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticDatasetGenerator{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.num_classes = 9;
+  EXPECT_THROW(SyntheticDatasetGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(Synthetic, GenerateShapesAndLabels) {
+  const SyntheticDatasetGenerator gen(small_config());
+  const Dataset ds = gen.generate(5);
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_EQ(ds.num_classes, 8);
+  EXPECT_EQ(ds.width(), 32);
+  EXPECT_EQ(ds.height(), 32);
+  EXPECT_EQ(ds.channels(), 1);
+  const auto counts = ds.class_counts();
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(counts[static_cast<std::size_t>(c)], 5);
+  EXPECT_EQ(ds.raw_bytes(), 40u * 32u * 32u);
+}
+
+TEST(Synthetic, RenderIsDeterministic) {
+  const SyntheticDatasetGenerator gen(small_config());
+  const image::Image a = gen.render(ClassKind::kFineGrating, 3);
+  const image::Image b = gen.render(ClassKind::kFineGrating, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Synthetic, DifferentIndicesDiffer) {
+  const SyntheticDatasetGenerator gen(small_config());
+  EXPECT_NE(gen.render(ClassKind::kSmoothBlob, 0), gen.render(ClassKind::kSmoothBlob, 1));
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  GeneratorConfig c1 = small_config();
+  GeneratorConfig c2 = small_config();
+  c2.seed = 999;
+  EXPECT_NE(SyntheticDatasetGenerator(c1).render(ClassKind::kGradient, 0),
+            SyntheticDatasetGenerator(c2).render(ClassKind::kGradient, 0));
+}
+
+TEST(Synthetic, SplitIsDisjointByConstruction) {
+  const SyntheticDatasetGenerator gen(small_config());
+  const auto [train, test] = gen.generate_split(4, 3);
+  EXPECT_EQ(train.size(), 32u);
+  EXPECT_EQ(test.size(), 24u);
+  // Disjoint index ranges mean no image appears in both sets.
+  for (const Sample& tr : train.samples)
+    for (const Sample& te : test.samples) EXPECT_NE(tr.image, te.image);
+}
+
+TEST(Synthetic, RgbModeProducesColor) {
+  GeneratorConfig cfg = small_config();
+  cfg.channels = 3;
+  const SyntheticDatasetGenerator gen(cfg);
+  const image::Image img = gen.render(ClassKind::kCoarseGrating, 0);
+  EXPECT_EQ(img.channels(), 3);
+}
+
+TEST(Synthetic, ClassNamesAreUnique) {
+  std::set<std::string> names;
+  for (int c = 0; c < kNumClassKinds; ++c)
+    names.insert(class_name(static_cast<ClassKind>(c)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumClassKinds));
+}
+
+// --- spectral signatures: the property the whole paper rides on ---
+
+double band_energy_above_rank(const image::Image& img, int min_rank) {
+  // Sum sigma over the DCT bands whose zig-zag position is >= min_rank
+  // (higher position = higher spatial frequency).
+  const core::FrequencyProfile p = core::analyze_image(img);
+  double hf = 0.0;
+  for (int k = 1; k < 64; ++k) {
+    const int row = k / 8, col = k % 8;
+    if (row + col >= min_rank) hf += p.sigma[static_cast<std::size_t>(k)];
+  }
+  return hf;
+}
+
+TEST(SyntheticSpectra, FineClassesHaveMoreHighFrequencyEnergy) {
+  const SyntheticDatasetGenerator gen(small_config());
+  double lowfreq_class = 0.0, highfreq_class = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    lowfreq_class += band_energy_above_rank(gen.render(ClassKind::kSmoothBlob, i), 8);
+    highfreq_class += band_energy_above_rank(gen.render(ClassKind::kCheckerboard, i), 8);
+  }
+  EXPECT_GT(highfreq_class, 3.0 * lowfreq_class);
+}
+
+TEST(SyntheticSpectra, TexturePairDiffersOnlyInHighBands) {
+  // kBlobPlusTexture vs kSmoothBlob: low-band energy similar, high-band
+  // energy much larger for the textured class.
+  const SyntheticDatasetGenerator gen(small_config());
+  double blob_hf = 0.0, tex_hf = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    blob_hf += band_energy_above_rank(gen.render(ClassKind::kSmoothBlob, i), 10);
+    tex_hf += band_energy_above_rank(gen.render(ClassKind::kBlobPlusTexture, i), 10);
+  }
+  EXPECT_GT(tex_hf, 2.0 * blob_hf);
+}
+
+}  // namespace
+}  // namespace dnj::data

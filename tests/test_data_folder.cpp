@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/folder.hpp"
+#include "data/synthetic.hpp"
+#include "image/io.hpp"
+
+namespace dnj::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FolderDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique directory per test: ctest runs each gtest case as its own
+    // process, possibly in parallel, so a shared path would race.
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("dnj_folder_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  Dataset make_synthetic(int per_class, int classes = 3) {
+    GeneratorConfig cfg;
+    cfg.num_classes = classes;
+    cfg.seed = 77;
+    return SyntheticDatasetGenerator(cfg).generate(per_class);
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FolderDatasetTest, SaveLoadRoundTrip) {
+  const Dataset ds = make_synthetic(4);
+  save_folder_dataset(ds, root_.string(), {"alpha", "beta", "gamma"});
+  const FolderDataset loaded = load_folder_dataset(root_.string());
+  EXPECT_EQ(loaded.dataset.num_classes, 3);
+  EXPECT_EQ(loaded.dataset.size(), ds.size());
+  ASSERT_EQ(loaded.classes.size(), 3u);
+  EXPECT_EQ(loaded.classes[0].name, "alpha");
+  EXPECT_EQ(loaded.classes[2].name, "gamma");
+  EXPECT_EQ(loaded.classes[1].image_count, 4u);
+  // Pixel-exact round trip (PNM is lossless).
+  std::size_t matches = 0;
+  for (const Sample& orig : ds.samples)
+    for (const Sample& got : loaded.dataset.samples)
+      if (orig.image == got.image && orig.label == got.label) {
+        ++matches;
+        break;
+      }
+  EXPECT_EQ(matches, ds.size());
+}
+
+TEST_F(FolderDatasetTest, LabelsFollowLexicographicOrder) {
+  const Dataset ds = make_synthetic(1, 2);
+  save_folder_dataset(ds, root_.string(), {"zed", "ant"});
+  const FolderDataset loaded = load_folder_dataset(root_.string());
+  EXPECT_EQ(loaded.classes[0].name, "ant");
+  EXPECT_EQ(loaded.classes[0].label, 0);
+  EXPECT_EQ(loaded.classes[1].name, "zed");
+}
+
+TEST_F(FolderDatasetTest, RejectsMissingRoot) {
+  EXPECT_THROW(load_folder_dataset((root_ / "nope").string()), std::runtime_error);
+}
+
+TEST_F(FolderDatasetTest, RejectsEmptyRoot) {
+  fs::create_directories(root_);
+  EXPECT_THROW(load_folder_dataset(root_.string()), std::runtime_error);
+}
+
+TEST_F(FolderDatasetTest, RejectsMixedGeometry) {
+  GeneratorConfig small;
+  small.num_classes = 2;
+  small.seed = 1;
+  GeneratorConfig big = small;
+  big.width = 64;
+  big.height = 64;
+  save_folder_dataset(SyntheticDatasetGenerator(small).generate(1), root_.string(),
+                      {"a", "b"});
+  // Drop a larger image into class "a".
+  const image::Image odd = SyntheticDatasetGenerator(big).render(ClassKind::kGradient, 0);
+  image::write_pnm(odd, (root_ / "a" / "9999.pgm").string());
+  EXPECT_THROW(load_folder_dataset(root_.string()), std::runtime_error);
+  EXPECT_NO_THROW(load_folder_dataset(root_.string(), /*allow_mixed_sizes=*/true));
+}
+
+TEST_F(FolderDatasetTest, IgnoresNonImageFiles) {
+  const Dataset ds = make_synthetic(2, 2);
+  save_folder_dataset(ds, root_.string(), {"a", "b"});
+  std::ofstream(root_ / "a" / "notes.txt") << "not an image";
+  const FolderDataset loaded = load_folder_dataset(root_.string());
+  EXPECT_EQ(loaded.dataset.size(), ds.size());
+}
+
+TEST_F(FolderDatasetTest, SaveRejectsNameMismatch) {
+  const Dataset ds = make_synthetic(1);
+  EXPECT_THROW(save_folder_dataset(ds, root_.string(), {"only_one"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnj::data

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "jpeg/bitio.hpp"
+#include "jpeg/markers.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+TEST(BitWriter, MsbFirstOrder) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0b101, 3);
+  bw.put_bits(0b00110, 5);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0b10100110);
+}
+
+TEST(BitWriter, FlushPadsWithOnes) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0b0, 1);
+  bw.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0b01111111);
+}
+
+TEST(BitWriter, StuffsFFBytes) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0xFF, 8);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xFF);
+  EXPECT_EQ(out[1], 0x00);
+}
+
+TEST(BitWriter, MarkerIsNotStuffed) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0x5, 3);
+  bw.put_marker(kEOI);
+  ASSERT_EQ(out.size(), 3u);  // padded byte + FF D9
+  EXPECT_EQ(out[1], 0xFF);
+  EXPECT_EQ(out[2], kEOI);
+}
+
+TEST(BitWriter, RejectsBadCount) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  EXPECT_THROW(bw.put_bits(0, 25), std::invalid_argument);
+  EXPECT_THROW(bw.put_bits(0, -1), std::invalid_argument);
+}
+
+TEST(BitReader, ReadsBackWrittenBits) {
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0b1101, 4);
+  bw.put_bits(0xABC, 12);
+  bw.put_bits(0x3FFFF, 18);  // includes FF bytes to exercise stuffing
+  bw.flush();
+  BitReader br(out.data(), out.size());
+  EXPECT_EQ(br.get_bits(4), 0b1101);
+  EXPECT_EQ(br.get_bits(12), 0xABC);
+  EXPECT_EQ(br.get_bits(18), 0x3FFFF);
+}
+
+class BitIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitIoRoundTrip, RandomChunks) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<std::pair<std::uint32_t, int>> chunks;
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  for (int i = 0; i < 300; ++i) {
+    const int count = static_cast<int>(rng() % 24) + 1;
+    const std::uint32_t bits = static_cast<std::uint32_t>(rng()) & ((1u << count) - 1u);
+    chunks.emplace_back(bits, count);
+    bw.put_bits(bits, count);
+  }
+  bw.flush();
+  BitReader br(out.data(), out.size());
+  for (const auto& [bits, count] : chunks)
+    ASSERT_EQ(static_cast<std::uint32_t>(br.get_bits(count)), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(BitReader, StopsAtMarker) {
+  const std::vector<std::uint8_t> data = {0xAA, 0xFF, kEOI};
+  BitReader br(data.data(), data.size());
+  EXPECT_EQ(br.get_bits(8), 0xAA);
+  EXPECT_EQ(br.get_bits(8), -1);  // marker, not data
+  EXPECT_TRUE(br.at_marker());
+  EXPECT_EQ(br.peek_marker(), kEOI);
+  EXPECT_EQ(br.take_marker(), kEOI);
+}
+
+TEST(BitReader, UnstuffsData) {
+  const std::vector<std::uint8_t> data = {0xFF, 0x00, 0x12};
+  BitReader br(data.data(), data.size());
+  EXPECT_EQ(br.get_bits(8), 0xFF);
+  EXPECT_EQ(br.get_bits(8), 0x12);
+}
+
+TEST(BitReader, SkipsFillBytesBeforeMarker) {
+  const std::vector<std::uint8_t> data = {0xFF, 0xFF, 0xFF, kEOI};
+  BitReader br(data.data(), data.size());
+  EXPECT_EQ(br.peek_marker(), kEOI);
+  EXPECT_EQ(br.take_marker(), kEOI);
+}
+
+TEST(BitReader, EndOfDataReturnsMinusOne) {
+  const std::vector<std::uint8_t> data = {0x80};
+  BitReader br(data.data(), data.size());
+  EXPECT_EQ(br.get_bit(), 1);
+  EXPECT_EQ(br.get_bits(8), -1);
+}
+
+TEST(Markers, Predicates) {
+  EXPECT_TRUE(is_rst(0xD0));
+  EXPECT_TRUE(is_rst(0xD7));
+  EXPECT_FALSE(is_rst(kEOI));
+  EXPECT_TRUE(is_app(0xE0));
+  EXPECT_TRUE(is_app(0xEF));
+  EXPECT_FALSE(is_app(kSOS));
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

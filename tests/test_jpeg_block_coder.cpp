@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "jpeg/block_coder.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+TEST(BitCategory, KnownValues) {
+  EXPECT_EQ(bit_category(0), 0);
+  EXPECT_EQ(bit_category(1), 1);
+  EXPECT_EQ(bit_category(-1), 1);
+  EXPECT_EQ(bit_category(2), 2);
+  EXPECT_EQ(bit_category(3), 2);
+  EXPECT_EQ(bit_category(-3), 2);
+  EXPECT_EQ(bit_category(4), 3);
+  EXPECT_EQ(bit_category(255), 8);
+  EXPECT_EQ(bit_category(256), 9);
+  EXPECT_EQ(bit_category(-1024), 11);
+  EXPECT_EQ(bit_category(2047), 11);
+}
+
+struct CoderFixture {
+  HuffmanEncoder dc_enc{HuffmanSpec::default_dc_luma()};
+  HuffmanEncoder ac_enc{HuffmanSpec::default_ac_luma()};
+  HuffmanDecoder dc_dec{HuffmanSpec::default_dc_luma()};
+  HuffmanDecoder ac_dec{HuffmanSpec::default_ac_luma()};
+
+  std::vector<QuantizedBlock> round_trip(const std::vector<QuantizedBlock>& blocks) {
+    std::vector<std::uint8_t> bytes;
+    BitWriter bw(bytes);
+    int pred = 0;
+    for (const QuantizedBlock& b : blocks) encode_block(bw, b, pred, dc_enc, ac_enc);
+    bw.flush();
+    BitReader br(bytes.data(), bytes.size());
+    std::vector<QuantizedBlock> out(blocks.size());
+    int dpred = 0;
+    for (QuantizedBlock& b : out)
+      EXPECT_TRUE(decode_block(br, b, dpred, dc_dec, ac_dec));
+    return out;
+  }
+};
+
+TEST(BlockCoder, AllZeroBlock) {
+  CoderFixture fx;
+  QuantizedBlock zero{};
+  const auto out = fx.round_trip({zero});
+  EXPECT_EQ(out[0], zero);
+}
+
+TEST(BlockCoder, DcOnlyBlocksUseDpcm) {
+  CoderFixture fx;
+  QuantizedBlock a{}, b{}, c{};
+  a[0] = 50;
+  b[0] = 50;  // diff = 0 for the second block
+  c[0] = -30;
+  const auto out = fx.round_trip({a, b, c});
+  EXPECT_EQ(out[0][0], 50);
+  EXPECT_EQ(out[1][0], 50);
+  EXPECT_EQ(out[2][0], -30);
+}
+
+TEST(BlockCoder, LongZeroRunUsesZrl) {
+  CoderFixture fx;
+  QuantizedBlock blk{};
+  blk[0] = 1;
+  // One AC coefficient 40 zig-zag positions in: requires two ZRLs.
+  blk[static_cast<std::size_t>(kZigzag[41])] = 5;
+  const auto out = fx.round_trip({blk});
+  EXPECT_EQ(out[0], blk);
+}
+
+TEST(BlockCoder, LastCoefficientNoEob) {
+  CoderFixture fx;
+  QuantizedBlock blk{};
+  blk[static_cast<std::size_t>(kZigzag[63])] = -7;
+  const auto out = fx.round_trip({blk});
+  EXPECT_EQ(out[0], blk);
+}
+
+TEST(BlockCoder, NegativeValuesAllMagnitudes) {
+  CoderFixture fx;
+  QuantizedBlock blk{};
+  blk[0] = -1024;
+  for (int k = 1; k < 11; ++k)
+    blk[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])] =
+        static_cast<std::int16_t>(-(1 << (k - 1)));
+  const auto out = fx.round_trip({blk});
+  EXPECT_EQ(out[0], blk);
+}
+
+class BlockCoderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockCoderProperty, RandomSparseBlocksRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  CoderFixture fx;
+  std::vector<QuantizedBlock> blocks;
+  for (int b = 0; b < 40; ++b) {
+    QuantizedBlock blk{};
+    blk[0] = static_cast<std::int16_t>(static_cast<int>(rng() % 2047) - 1023);
+    const int nonzeros = static_cast<int>(rng() % 20);
+    for (int i = 0; i < nonzeros; ++i) {
+      const int pos = 1 + static_cast<int>(rng() % 63);
+      const int mag = 1 + static_cast<int>(rng() % 1023);
+      blk[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(pos)])] =
+          static_cast<std::int16_t>((rng() & 1) ? mag : -mag);
+    }
+    blocks.push_back(blk);
+  }
+  const auto out = fx.round_trip(blocks);
+  for (std::size_t i = 0; i < blocks.size(); ++i) EXPECT_EQ(out[i], blocks[i]);
+}
+
+TEST_P(BlockCoderProperty, SymbolCountsMatchEmittedSymbols) {
+  // The statistics pass must tally exactly the symbols the emit pass writes;
+  // verify by building optimal tables from counts and re-encoding — every
+  // symbol must have a code.
+  std::mt19937_64 rng(GetParam() + 500);
+  std::vector<QuantizedBlock> blocks;
+  for (int b = 0; b < 30; ++b) {
+    QuantizedBlock blk{};
+    blk[0] = static_cast<std::int16_t>(static_cast<int>(rng() % 255) - 127);
+    for (int k = 1; k < 64; ++k)
+      if (rng() % 4 == 0)
+        blk[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])] =
+            static_cast<std::int16_t>(static_cast<int>(rng() % 63) - 31);
+    blocks.push_back(blk);
+  }
+  SymbolCounts counts;
+  int pred = 0;
+  for (const QuantizedBlock& b : blocks) count_block_symbols(b, pred, counts);
+
+  const HuffmanEncoder dc_enc(HuffmanSpec::build_optimal(counts.dc));
+  const HuffmanEncoder ac_enc(HuffmanSpec::build_optimal(counts.ac));
+  std::vector<std::uint8_t> bytes;
+  BitWriter bw(bytes);
+  pred = 0;
+  // Throws if any emitted symbol was missing from the counts.
+  for (const QuantizedBlock& b : blocks)
+    EXPECT_NO_THROW(encode_block(bw, b, pred, dc_enc, ac_enc));
+  bw.flush();
+
+  // And the optimal-table stream decodes back to the same blocks.
+  const HuffmanDecoder dc_dec(HuffmanSpec::build_optimal(counts.dc));
+  const HuffmanDecoder ac_dec(HuffmanSpec::build_optimal(counts.ac));
+  BitReader br(bytes.data(), bytes.size());
+  int dpred = 0;
+  for (const QuantizedBlock& expect : blocks) {
+    QuantizedBlock got{};
+    ASSERT_TRUE(decode_block(br, got, dpred, dc_dec, ac_dec));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockCoderProperty, ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(BlockCoder, DecodeRejectsTruncatedStream) {
+  CoderFixture fx;
+  QuantizedBlock blk{};
+  blk[0] = 500;
+  blk[1] = 60;
+  std::vector<std::uint8_t> bytes;
+  BitWriter bw(bytes);
+  int pred = 0;
+  encode_block(bw, blk, pred, fx.dc_enc, fx.ac_enc);
+  bw.flush();
+  // Truncate hard.
+  bytes.resize(1);
+  BitReader br(bytes.data(), bytes.size());
+  QuantizedBlock out{};
+  int dpred = 0;
+  EXPECT_FALSE(decode_block(br, out, dpred, fx.dc_dec, fx.ac_dec));
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "image/metrics.hpp"
+#include "jpeg/codec.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+using image::Image;
+
+Image gradient_image(int w, int h, int channels) {
+  Image img(w, h, channels);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < channels; ++c)
+        img.at(x, y, c) = static_cast<std::uint8_t>(
+            (x * 255 / std::max(w - 1, 1) + y * 128 / std::max(h - 1, 1) + 37 * c) % 256);
+  return img;
+}
+
+Image noise_image(int w, int h, int channels, std::uint64_t seed) {
+  Image img(w, h, channels);
+  std::mt19937_64 rng(seed);
+  for (std::uint8_t& v : img.data()) v = static_cast<std::uint8_t>(rng() & 0xFF);
+  return img;
+}
+
+Image smooth_image(int w, int h, int channels) {
+  Image img(w, h, channels);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const float v = 128.0f + 60.0f * std::sin(x * 0.21f) * std::cos(y * 0.17f);
+      for (int c = 0; c < channels; ++c)
+        img.at(x, y, c) = image::clamp_u8(v + 8.0f * c);
+    }
+  return img;
+}
+
+TEST(Codec, StreamStartsAndEndsWithMarkers) {
+  const auto bytes = encode(gradient_image(16, 16, 1));
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0xD8);  // SOI
+  EXPECT_EQ(bytes[bytes.size() - 2], 0xFF);
+  EXPECT_EQ(bytes.back(), 0xD9);  // EOI
+}
+
+TEST(Codec, GrayHighQualityRoundTripIsClose) {
+  const Image img = smooth_image(32, 32, 1);
+  EncoderConfig cfg;
+  cfg.quality = 95;
+  const RoundTrip rt = round_trip(img, cfg);
+  EXPECT_GT(image::psnr(img, rt.decoded), 35.0);
+  EXPECT_EQ(rt.decoded.width(), 32);
+  EXPECT_EQ(rt.decoded.height(), 32);
+  EXPECT_EQ(rt.decoded.channels(), 1);
+}
+
+TEST(Codec, IdentityTableIsNearLossless) {
+  const Image img = smooth_image(24, 24, 1);
+  EncoderConfig cfg;
+  cfg.use_custom_tables = true;  // default-constructed tables are all ones
+  const RoundTrip rt = round_trip(img, cfg);
+  EXPECT_LE(image::max_abs_diff(img, rt.decoded), 2);
+}
+
+struct CodecCase {
+  int w, h, channels;
+  Subsampling sub;
+  int quality;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, DecodesToSameGeometryAndReasonableFidelity) {
+  const auto p = GetParam();
+  const Image img = smooth_image(p.w, p.h, p.channels);
+  EncoderConfig cfg;
+  cfg.quality = p.quality;
+  cfg.subsampling = p.sub;
+  const RoundTrip rt = round_trip(img, cfg);
+  EXPECT_EQ(rt.decoded.width(), p.w);
+  EXPECT_EQ(rt.decoded.height(), p.h);
+  EXPECT_EQ(rt.decoded.channels(), p.channels);
+  EXPECT_GT(image::psnr(img, rt.decoded), p.quality >= 90 ? 30.0 : 22.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CodecRoundTrip,
+    ::testing::Values(CodecCase{8, 8, 1, Subsampling::k444, 90},
+                      CodecCase{16, 16, 3, Subsampling::k444, 90},
+                      CodecCase{16, 16, 3, Subsampling::k420, 90},
+                      CodecCase{17, 13, 1, Subsampling::k444, 90},   // non-multiple of 8
+                      CodecCase{33, 31, 3, Subsampling::k420, 90},   // odd with 420
+                      CodecCase{9, 25, 3, Subsampling::k420, 75},
+                      CodecCase{64, 48, 3, Subsampling::k444, 75},
+                      CodecCase{40, 40, 1, Subsampling::k444, 50},
+                      CodecCase{1, 1, 1, Subsampling::k444, 90},     // single pixel
+                      CodecCase{128, 96, 3, Subsampling::k420, 85}));
+
+TEST(Codec, LowerQualityProducesSmallerFiles) {
+  const Image img = noise_image(64, 64, 1, 3);
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (int q : {95, 75, 50, 25, 10}) {
+    EncoderConfig cfg;
+    cfg.quality = q;
+    const std::size_t size = encoded_size(img, cfg);
+    EXPECT_LT(size, prev) << "quality " << q;
+    prev = size;
+  }
+}
+
+TEST(Codec, OptimizedHuffmanNotLargerAndPixelIdentical) {
+  const Image img = smooth_image(48, 48, 3);
+  EncoderConfig plain;
+  plain.quality = 80;
+  EncoderConfig opt = plain;
+  opt.optimize_huffman = true;
+  const auto bytes_plain = encode(img, plain);
+  const auto bytes_opt = encode(img, opt);
+  EXPECT_LE(bytes_opt.size(), bytes_plain.size());
+  EXPECT_EQ(decode(bytes_plain), decode(bytes_opt));
+}
+
+TEST(Codec, RestartIntervalRoundTrips) {
+  const Image img = smooth_image(64, 64, 1);
+  EncoderConfig plain;
+  plain.quality = 85;
+  EncoderConfig rst = plain;
+  rst.restart_interval = 3;
+  const Image a = decode(encode(img, plain));
+  const Image b = decode(encode(img, rst));
+  EXPECT_EQ(a, b);  // restarts change framing only, not pixels
+}
+
+TEST(Codec, RestartIntervalColor420) {
+  const Image img = smooth_image(48, 32, 3);
+  EncoderConfig cfg;
+  cfg.quality = 85;
+  cfg.subsampling = Subsampling::k420;
+  cfg.restart_interval = 2;
+  const RoundTrip rt = round_trip(img, cfg);
+  EXPECT_GT(image::psnr(img, rt.decoded), 25.0);
+}
+
+TEST(Codec, CommentMarkerRoundTrips) {
+  EncoderConfig cfg;
+  cfg.comment = "DeepN-JPEG reproduction";
+  const auto bytes = encode(gradient_image(8, 8, 1), cfg);
+  const JpegInfo info = parse_info(bytes);
+  EXPECT_EQ(info.comment, "DeepN-JPEG reproduction");
+}
+
+TEST(Codec, ParseInfoReportsGeometryAndTables) {
+  EncoderConfig cfg;
+  cfg.quality = 50;  // Annex K tables exactly
+  cfg.subsampling = Subsampling::k420;
+  const auto bytes = encode(gradient_image(40, 24, 3), cfg);
+  const JpegInfo info = parse_info(bytes);
+  EXPECT_EQ(info.width, 40);
+  EXPECT_EQ(info.height, 24);
+  EXPECT_EQ(info.components, 3);
+  EXPECT_EQ(info.max_h, 2);
+  EXPECT_EQ(info.max_v, 2);
+  ASSERT_TRUE(info.quant_tables[0].has_value());
+  ASSERT_TRUE(info.quant_tables[1].has_value());
+  EXPECT_EQ(*info.quant_tables[0], QuantTable::annex_k_luma());
+  EXPECT_EQ(*info.quant_tables[1], QuantTable::annex_k_chroma());
+}
+
+TEST(Codec, CustomTableSurvivesDqtRoundTrip) {
+  std::array<std::uint16_t, 64> steps{};
+  for (int k = 0; k < 64; ++k) steps[static_cast<std::size_t>(k)] = static_cast<std::uint16_t>(k + 1);
+  const QuantTable table(steps);
+  EncoderConfig cfg;
+  cfg.use_custom_tables = true;
+  cfg.luma_table = table;
+  const auto bytes = encode(gradient_image(16, 16, 1), cfg);
+  const JpegInfo info = parse_info(bytes);
+  ASSERT_TRUE(info.quant_tables[0].has_value());
+  EXPECT_EQ(*info.quant_tables[0], table);
+}
+
+TEST(Codec, SixteenBitDqtRoundTrips) {
+  std::array<std::uint16_t, 64> steps{};
+  steps.fill(300);  // needs Pq = 1
+  steps[0] = 1000;
+  const QuantTable table(steps);
+  EncoderConfig cfg;
+  cfg.use_custom_tables = true;
+  cfg.luma_table = table;
+  const Image img = smooth_image(16, 16, 1);
+  const auto bytes = encode(img, cfg);
+  const JpegInfo info = parse_info(bytes);
+  ASSERT_TRUE(info.quant_tables[0].has_value());
+  EXPECT_EQ(*info.quant_tables[0], table);
+  EXPECT_NO_THROW(decode(bytes));
+}
+
+TEST(Codec, RejectsEmptyAndTruncatedStreams) {
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{}), std::runtime_error);
+  EXPECT_THROW(decode(std::vector<std::uint8_t>{0xFF}), std::runtime_error);
+  auto bytes = encode(gradient_image(16, 16, 1));
+  bytes.resize(bytes.size() / 3);
+  EXPECT_THROW(decode(bytes), std::runtime_error);
+}
+
+TEST(Codec, RejectsGarbageHeader) {
+  std::vector<std::uint8_t> junk(100, 0x42);
+  EXPECT_THROW(decode(junk), std::runtime_error);
+}
+
+TEST(Codec, RejectsOversizedImages) {
+  EXPECT_THROW(encode(Image(1, 1, 1), EncoderConfig{.restart_interval = -1}),
+               std::invalid_argument);
+}
+
+TEST(Codec, EncodedSizeMatchesEncode) {
+  const Image img = smooth_image(32, 32, 3);
+  EncoderConfig cfg;
+  cfg.quality = 70;
+  EXPECT_EQ(encoded_size(img, cfg), encode(img, cfg).size());
+}
+
+TEST(Codec, BitsPerPixel) {
+  EXPECT_DOUBLE_EQ(bits_per_pixel(100, 10, 10), 8.0);
+}
+
+TEST(Codec, Sub420SmallerThan444OnColorImage) {
+  const Image img = smooth_image(64, 64, 3);
+  EncoderConfig c444;
+  c444.quality = 80;
+  c444.subsampling = Subsampling::k444;
+  EncoderConfig c420 = c444;
+  c420.subsampling = Subsampling::k420;
+  EXPECT_LT(encoded_size(img, c420), encoded_size(img, c444));
+}
+
+TEST(Codec, DecodeIsDeterministic) {
+  const Image img = noise_image(24, 24, 3, 77);
+  EncoderConfig cfg;
+  cfg.quality = 60;
+  const auto bytes = encode(img, cfg);
+  EXPECT_EQ(decode(bytes), decode(bytes));
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "jpeg/dct.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+using image::BlockF;
+using image::kBlockSize;
+
+BlockF random_block(std::uint64_t seed, float lo = -128.0f, float hi = 127.0f) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  BlockF b{};
+  for (float& v : b) v = dist(rng);
+  return b;
+}
+
+double block_energy(const BlockF& b) {
+  double e = 0.0;
+  for (float v : b) e += static_cast<double>(v) * v;
+  return e;
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  BlockF b{};
+  b.fill(100.0f);
+  const BlockF f = fdct_ref(b);
+  // DC of a constant block: 8 * value (JPEG normalization).
+  EXPECT_NEAR(f[0], 800.0f, 1e-3f);
+  for (int k = 1; k < kBlockSize; ++k) EXPECT_NEAR(f[static_cast<std::size_t>(k)], 0.0f, 1e-3f);
+}
+
+TEST(Dct, SingleBasisFunctionIsolatesOneCoefficient) {
+  // Spatial pattern = basis (2,3) should produce energy only at (2,3).
+  BlockF b{};
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      b[static_cast<std::size_t>(y) * 8 + x] = static_cast<float>(
+          std::cos((2 * y + 1) * 2 * M_PI / 16.0) * std::cos((2 * x + 1) * 3 * M_PI / 16.0));
+  const BlockF f = fdct_ref(b);
+  int argmax = 0;
+  for (int k = 1; k < kBlockSize; ++k)
+    if (std::abs(f[static_cast<std::size_t>(k)]) > std::abs(f[static_cast<std::size_t>(argmax)])) argmax = k;
+  EXPECT_EQ(argmax, 2 * 8 + 3);
+}
+
+class DctProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DctProperty, ForwardInverseIsIdentity) {
+  const BlockF b = random_block(GetParam());
+  const BlockF rec = idct_ref(fdct_ref(b));
+  for (int k = 0; k < kBlockSize; ++k)
+    EXPECT_NEAR(rec[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(k)], 1e-2f);
+}
+
+TEST_P(DctProperty, AanMatchesReference) {
+  const BlockF b = random_block(GetParam());
+  const BlockF ref = fdct_ref(b);
+  const BlockF aan = fdct_aan(b);
+  for (int k = 0; k < kBlockSize; ++k)
+    EXPECT_NEAR(aan[static_cast<std::size_t>(k)], ref[static_cast<std::size_t>(k)], 0.01f)
+        << "band " << k;
+}
+
+TEST_P(DctProperty, FastIdctMatchesReference) {
+  const BlockF f = random_block(GetParam(), -500.0f, 500.0f);
+  const BlockF a = idct_ref(f);
+  const BlockF b = idct_fast(f);
+  for (int k = 0; k < kBlockSize; ++k)
+    EXPECT_NEAR(a[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(k)], 0.01f);
+}
+
+TEST_P(DctProperty, ParsevalEnergyPreservation) {
+  const BlockF b = random_block(GetParam());
+  const BlockF f = fdct_ref(b);
+  // The JPEG DCT is orthonormal, so energy is preserved exactly.
+  EXPECT_NEAR(block_energy(b), block_energy(f), block_energy(b) * 1e-5 + 1e-3);
+}
+
+TEST_P(DctProperty, Linearity) {
+  const BlockF a = random_block(GetParam());
+  const BlockF b = random_block(GetParam() + 1000);
+  BlockF sum{};
+  for (int k = 0; k < kBlockSize; ++k)
+    sum[static_cast<std::size_t>(k)] =
+        2.0f * a[static_cast<std::size_t>(k)] - 3.0f * b[static_cast<std::size_t>(k)];
+  const BlockF fa = fdct_ref(a);
+  const BlockF fb = fdct_ref(b);
+  const BlockF fsum = fdct_ref(sum);
+  for (int k = 0; k < kBlockSize; ++k)
+    EXPECT_NEAR(fsum[static_cast<std::size_t>(k)],
+                2.0f * fa[static_cast<std::size_t>(k)] - 3.0f * fb[static_cast<std::size_t>(k)],
+                0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DctProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Zigzag, IsPermutation) {
+  std::array<bool, 64> seen{};
+  for (int k = 0; k < 64; ++k) {
+    ASSERT_GE(kZigzag[static_cast<std::size_t>(k)], 0);
+    ASSERT_LT(kZigzag[static_cast<std::size_t>(k)], 64);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])]);
+    seen[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])] = true;
+  }
+}
+
+TEST(Zigzag, InverseIsConsistent) {
+  for (int k = 0; k < 64; ++k)
+    EXPECT_EQ(kInvZigzag[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])], k);
+}
+
+TEST(Zigzag, KnownEntries) {
+  EXPECT_EQ(kZigzag[0], 0);   // DC first
+  EXPECT_EQ(kZigzag[1], 1);   // then (0,1)
+  EXPECT_EQ(kZigzag[2], 8);   // then (1,0)
+  EXPECT_EQ(kZigzag[63], 63); // ends at (7,7)
+}
+
+TEST(Zigzag, ScanOrderIncreasesDiagonalBand) {
+  // Diagonal index (row + col) never jumps by more than 1 along the scan.
+  for (int k = 1; k < 64; ++k) {
+    const int prev = kZigzag[static_cast<std::size_t>(k - 1)];
+    const int cur = kZigzag[static_cast<std::size_t>(k)];
+    const int dprev = prev / 8 + prev % 8;
+    const int dcur = cur / 8 + cur % 8;
+    EXPECT_LE(std::abs(dcur - dprev), 1);
+  }
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

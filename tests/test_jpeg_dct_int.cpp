@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "jpeg/dct.hpp"
+#include "jpeg/dct_int.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+image::BlockF random_int_block(std::uint64_t seed, int lo = -128, int hi = 127) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  image::BlockF b{};
+  for (float& v : b) v = static_cast<float>(dist(rng));
+  return b;
+}
+
+TEST(DctInt, ConstantBlockDc) {
+  image::BlockF b{};
+  b.fill(100.0f);
+  const image::BlockF f = fdct_int(b);
+  EXPECT_NEAR(f[0], 800.0f, 1.0f);
+  for (int k = 1; k < 64; ++k) EXPECT_NEAR(f[static_cast<std::size_t>(k)], 0.0f, 1.0f);
+}
+
+class DctIntProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DctIntProperty, MatchesFloatReferenceWithinOne) {
+  const image::BlockF b = random_int_block(GetParam());
+  const image::BlockF ref = fdct_ref(b);
+  const image::BlockF fix = fdct_int(b);
+  for (int k = 0; k < 64; ++k)
+    EXPECT_NEAR(fix[static_cast<std::size_t>(k)], ref[static_cast<std::size_t>(k)], 1.0f)
+        << "band " << k;
+}
+
+TEST_P(DctIntProperty, InverseMatchesFloatReferenceWithinOne) {
+  const image::BlockF f = random_int_block(GetParam() + 99, -500, 500);
+  const image::BlockF ref = idct_ref(f);
+  const image::BlockF fix = idct_int(f);
+  for (int k = 0; k < 64; ++k)
+    EXPECT_NEAR(fix[static_cast<std::size_t>(k)], ref[static_cast<std::size_t>(k)], 1.0f);
+}
+
+TEST_P(DctIntProperty, RoundTripWithinTwoLevels) {
+  const image::BlockF b = random_int_block(GetParam() + 500);
+  const image::BlockF rec = idct_int(fdct_int(b));
+  for (int k = 0; k < 64; ++k)
+    EXPECT_NEAR(rec[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(k)], 2.0f);
+}
+
+TEST_P(DctIntProperty, QuantizedPipelineAgreesWithFloat) {
+  // After Annex-K quantization the integer and float pipelines must agree
+  // on almost every coefficient (allow the odd boundary rounding flip).
+  const image::BlockF b = random_int_block(GetParam() + 1000);
+  const QuantTable table = QuantTable::annex_k_luma();
+  const QuantizedBlock qi = quantize(fdct_int(b), table);
+  const QuantizedBlock qf = quantize(fdct_ref(b), table);
+  int disagreements = 0;
+  for (int k = 0; k < 64; ++k)
+    if (qi[static_cast<std::size_t>(k)] != qf[static_cast<std::size_t>(k)]) ++disagreements;
+  // A few coefficients can land exactly on a quantizer decision boundary
+  // where sub-1 rounding noise flips the level; 4/64 is the empirical cap.
+  EXPECT_LE(disagreements, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DctIntProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(DctInt, RawIntegerInterfaceMatchesWrapper) {
+  std::int16_t in[64];
+  for (int i = 0; i < 64; ++i) in[i] = static_cast<std::int16_t>((i * 7) % 255 - 127);
+  std::int32_t out[64];
+  fdct_int(in, out);
+  image::BlockF fb{};
+  for (int i = 0; i < 64; ++i) fb[static_cast<std::size_t>(i)] = static_cast<float>(in[i]);
+  const image::BlockF wrapped = fdct_int(fb);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_FLOAT_EQ(static_cast<float>(out[i]), wrapped[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

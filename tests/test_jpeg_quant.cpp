@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "jpeg/quant.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+TEST(QuantTable, DefaultIsIdentity) {
+  QuantTable t;
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(t.step(k), 1);
+  EXPECT_FALSE(t.needs_16bit());
+}
+
+TEST(QuantTable, AnnexKValues) {
+  const QuantTable luma = QuantTable::annex_k_luma();
+  EXPECT_EQ(luma.step_at(0, 0), 16);
+  EXPECT_EQ(luma.step_at(0, 1), 11);
+  EXPECT_EQ(luma.step_at(7, 7), 99);
+  const QuantTable chroma = QuantTable::annex_k_chroma();
+  EXPECT_EQ(chroma.step_at(0, 0), 17);
+  EXPECT_EQ(chroma.step_at(7, 7), 99);
+}
+
+TEST(QuantTable, ClampsZeroStepsToOne) {
+  std::array<std::uint16_t, 64> steps{};
+  const QuantTable t(steps);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(t.step(k), 1);
+}
+
+TEST(QuantScaling, Quality50IsBaseTable) {
+  const QuantTable base = QuantTable::annex_k_luma();
+  const QuantTable scaled = base.scaled(50);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(scaled.step(k), base.step(k));
+}
+
+TEST(QuantScaling, Quality100IsAllOnes) {
+  const QuantTable scaled = QuantTable::annex_k_luma().scaled(100);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(scaled.step(k), 1);
+}
+
+TEST(QuantScaling, LowQualityScalesUp) {
+  const QuantTable base = QuantTable::annex_k_luma();
+  const QuantTable q10 = base.scaled(10);
+  // IJG: quality 10 -> scale 500%.
+  EXPECT_EQ(q10.step_at(0, 0), 80);  // 16 * 5
+  EXPECT_EQ(q10.step_at(7, 7), 255); // clamped
+}
+
+TEST(QuantScaling, OutOfRangeQualityIsClamped) {
+  const QuantTable base = QuantTable::annex_k_luma();
+  EXPECT_EQ(base.scaled(-5).step(0), base.scaled(1).step(0));
+  EXPECT_EQ(base.scaled(300).step(0), base.scaled(100).step(0));
+}
+
+class QualityMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualityMonotonic, HigherQualityNeverIncreasesSteps) {
+  const QuantTable base = QuantTable::annex_k_luma();
+  const int q = GetParam();
+  const QuantTable lo = base.scaled(q);
+  const QuantTable hi = base.scaled(q + 10);
+  for (int k = 0; k < 64; ++k) EXPECT_GE(lo.step(k), hi.step(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, QualityMonotonic,
+                         ::testing::Values(5, 15, 25, 35, 45, 55, 65, 75, 85));
+
+TEST(QuantTable, Uniform) {
+  const QuantTable t = QuantTable::uniform(8);
+  for (int k = 0; k < 64; ++k) EXPECT_EQ(t.step(k), 8);
+}
+
+TEST(QuantTable, Needs16Bit) {
+  std::array<std::uint16_t, 64> steps{};
+  steps.fill(255);
+  EXPECT_FALSE(QuantTable(steps).needs_16bit());
+  steps[10] = 256;
+  EXPECT_TRUE(QuantTable(steps).needs_16bit());
+}
+
+TEST(Quantize, RoundsToNearest) {
+  image::BlockF coeffs{};
+  coeffs[0] = 100.0f;
+  coeffs[1] = -24.9f;
+  coeffs[2] = 25.1f;
+  const QuantTable t = QuantTable::uniform(10);
+  const QuantizedBlock q = quantize(coeffs, t);
+  EXPECT_EQ(q[0], 10);
+  EXPECT_EQ(q[1], -2);
+  EXPECT_EQ(q[2], 3);  // 2.51 rounds to 3
+}
+
+TEST(Quantize, DequantizeInverseWithinHalfStep) {
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<float> dist(-900.0f, 900.0f);
+  image::BlockF coeffs{};
+  for (float& v : coeffs) v = dist(rng);
+  const QuantTable t = QuantTable::annex_k_luma();
+  const image::BlockF rec = dequantize(quantize(coeffs, t), t);
+  for (int k = 0; k < 64; ++k)
+    EXPECT_LE(std::abs(rec[static_cast<std::size_t>(k)] - coeffs[static_cast<std::size_t>(k)]),
+              0.5f * static_cast<float>(t.step(k)) + 1e-3f);
+}
+
+TEST(Quantize, LargerStepNeverIncreasesMagnitude) {
+  image::BlockF coeffs{};
+  for (int k = 0; k < 64; ++k) coeffs[static_cast<std::size_t>(k)] = 37.0f * (k % 2 ? 1 : -1);
+  const QuantizedBlock fine = quantize(coeffs, QuantTable::uniform(2));
+  const QuantizedBlock coarse = quantize(coeffs, QuantTable::uniform(16));
+  for (int k = 0; k < 64; ++k)
+    EXPECT_LE(std::abs(coarse[static_cast<std::size_t>(k)]), std::abs(fine[static_cast<std::size_t>(k)]));
+}
+
+TEST(Quantize, BigStepZeroesSmallCoefficients) {
+  image::BlockF coeffs{};
+  coeffs[static_cast<std::size_t>(kZigzag[63])] = 100.0f;
+  const QuantTable t = QuantTable::uniform(255);
+  const QuantizedBlock q = quantize(coeffs, t);
+  EXPECT_EQ(q[static_cast<std::size_t>(kZigzag[63])], 0);
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/rate_control.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+image::Image busy_image() {
+  data::GeneratorConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.seed = 321;
+  return data::SyntheticDatasetGenerator(cfg).render(data::ClassKind::kBandNoise, 0);
+}
+
+TEST(RateControl, HitsBudgetWhenReachable) {
+  const image::Image img = busy_image();
+  EncoderConfig base;
+  const std::size_t q1 = encode(img, [] {
+                           EncoderConfig c;
+                           c.quality = 1;
+                           return c;
+                         }()).size();
+  const std::size_t q100 = encode(img, [] {
+                             EncoderConfig c;
+                             c.quality = 100;
+                             return c;
+                           }()).size();
+  const std::size_t target = (q1 + q100) / 2;
+  const RateSearchResult res = encode_for_size(img, target, base);
+  EXPECT_LE(res.bytes.size(), target);
+  EXPECT_GE(res.quality, 1);
+  EXPECT_LE(res.quality, 100);
+}
+
+TEST(RateControl, PicksHighestQualityThatFits) {
+  const image::Image img = busy_image();
+  EncoderConfig base;
+  const RateSearchResult res = encode_for_size(img, 2200, base);
+  if (res.quality < 100) {
+    // Quality + 1 must overflow the budget, otherwise the search undershot.
+    EncoderConfig next = base;
+    next.quality = res.quality + 1;
+    EXPECT_GT(encode(img, next).size(), 2200u);
+  }
+}
+
+TEST(RateControl, UnreachableBudgetReturnsFloor) {
+  const image::Image img = busy_image();
+  const RateSearchResult res = encode_for_size(img, 10, {});
+  EXPECT_EQ(res.quality, 1);
+  EXPECT_GT(res.bytes.size(), 10u);
+}
+
+TEST(RateControl, HugeBudgetReturnsMaxQuality) {
+  const image::Image img = busy_image();
+  const RateSearchResult res = encode_for_size(img, 1u << 24, {});
+  EXPECT_EQ(res.quality, 100);
+}
+
+TEST(RateControl, SearchIsLogarithmic) {
+  const image::Image img = busy_image();
+  const RateSearchResult res = encode_for_size(img, 2000, {});
+  EXPECT_LE(res.encode_calls, 9);  // floor probe + ceil(log2(100))
+}
+
+TEST(RateControl, ResultDecodes) {
+  const image::Image img = busy_image();
+  const RateSearchResult res = encode_for_size(img, 2500, {});
+  const image::Image decoded = decode(res.bytes);
+  EXPECT_EQ(decoded.width(), img.width());
+  EXPECT_EQ(decoded.height(), img.height());
+}
+
+TEST(RateControl, BppVariantMatchesByteBudget) {
+  const image::Image img = busy_image();
+  const double bpp = 1.5;
+  const RateSearchResult res = encode_for_bpp(img, bpp, {});
+  EXPECT_LE(bits_per_pixel(res.bytes.size(), img.width(), img.height()), bpp + 1e-9);
+}
+
+TEST(RateControl, Errors) {
+  const image::Image img = busy_image();
+  EXPECT_THROW(encode_for_size(img, 100, {}, 0, 100), std::invalid_argument);
+  EXPECT_THROW(encode_for_size(img, 100, {}, 60, 50), std::invalid_argument);
+  EncoderConfig custom;
+  custom.use_custom_tables = true;
+  EXPECT_THROW(encode_for_size(img, 100, custom), std::invalid_argument);
+  EXPECT_THROW(encode_for_bpp(img, 0.0, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnj::jpeg

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "data/synthetic.hpp"
+#include "nn/adam.hpp"
+#include "nn/augment.hpp"
+#include "nn/dropout.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnj::nn {
+namespace {
+
+Tensor random_tensor(int n, int c, int h, int w, std::uint64_t seed) {
+  Tensor t(n, c, h, w);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (float& v : t.data()) v = dist(rng);
+  return t;
+}
+
+// --- Dropout ---
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5f);
+  const Tensor x = random_tensor(2, 3, 4, 4, 1);
+  const Tensor y = drop.forward(x, /*train=*/false);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(Dropout, ZeroProbIsIdentityInTraining) {
+  Dropout drop(0.0f);
+  const Tensor x = random_tensor(2, 3, 4, 4, 2);
+  const Tensor y = drop.forward(x, /*train=*/true);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(Dropout, DropsApproximatelyTheConfiguredFraction) {
+  Dropout drop(0.3f, 99);
+  Tensor x(1, 1, 100, 100);
+  for (float& v : x.data()) v = 1.0f;
+  const Tensor y = drop.forward(x, true);
+  int zeros = 0;
+  for (float v : y.data()) zeros += (v == 0.0f) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // Survivors are scaled by 1/keep so the expectation is preserved.
+  for (float v : y.data())
+    if (v != 0.0f) EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);
+}
+
+TEST(Dropout, BackwardUsesTheSameMask) {
+  Dropout drop(0.5f, 7);
+  Tensor x(1, 1, 1, 64);
+  for (float& v : x.data()) v = 2.0f;
+  const Tensor y = drop.forward(x, true);
+  Tensor dy(1, 1, 1, 64);
+  for (float& v : dy.data()) v = 1.0f;
+  const Tensor dx = drop.backward(dy);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f)
+      EXPECT_EQ(dx.data()[i], 0.0f);
+    else
+      EXPECT_NEAR(dx.data()[i], 2.0f, 1e-5f);
+  }
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+// --- Adam ---
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // A single Dense layer fitting y = 0 from fixed input: Adam should drive
+  // the weights toward zero output quickly.
+  std::mt19937_64 rng(5);
+  Dense dense(4, 2, rng);
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  Adam opt(dense, cfg);
+  Tensor x(8, 4, 1, 1);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::mt19937_64 drng(6);
+  for (float& v : x.data()) v = dist(drng);
+
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    opt.zero_grads();
+    const Tensor y = dense.forward(x, true);
+    double loss = 0.0;
+    Tensor dy = y;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      loss += 0.5 * static_cast<double>(y.data()[i]) * y.data()[i];
+      dy.data()[i] = y.data()[i];
+    }
+    dense.backward(dy);
+    opt.step();
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, 0.01 * first_loss);
+}
+
+TEST(Adam, TrainsClassifierAboveChance) {
+  data::GeneratorConfig gc;
+  gc.num_classes = 4;
+  gc.seed = 77;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const auto [train_set, test_set] = gen.generate_split(30, 10);
+
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 11);
+  AdamConfig cfg;
+  cfg.lr = 2e-3f;
+  Adam opt(*model, cfg);
+
+  std::vector<int> idx(train_set.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::mt19937_64 rng(3);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t s = 0; s < idx.size(); s += 16) {
+      const std::vector<int> batch(idx.begin() + static_cast<long>(s),
+                                   idx.begin() + static_cast<long>(std::min(idx.size(), s + 16)));
+      opt.zero_grads();
+      const Tensor x = to_batch(train_set, batch);
+      const LossResult loss =
+          softmax_cross_entropy(model->forward(x, true), batch_labels(train_set, batch));
+      model->backward(loss.grad);
+      opt.step();
+    }
+  }
+  EXPECT_GT(evaluate(*model, test_set), 0.6);
+}
+
+// --- Augmentation ---
+
+TEST(Augment, IsDeterministicPerIndex) {
+  data::GeneratorConfig gc;
+  gc.seed = 9;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const image::Image img = gen.render(data::ClassKind::kCoarseGrating, 0);
+  AugmentConfig cfg;
+  EXPECT_EQ(augment_image(img, cfg, 5), augment_image(img, cfg, 5));
+  EXPECT_NE(augment_image(img, cfg, 5), augment_image(img, cfg, 6));
+}
+
+TEST(Augment, NoOpConfigPreservesImage) {
+  data::GeneratorConfig gc;
+  gc.seed = 10;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const image::Image img = gen.render(data::ClassKind::kSmoothBlob, 1);
+  AugmentConfig cfg;
+  cfg.max_shift = 0;
+  cfg.horizontal_flip = false;
+  cfg.brightness_jitter = 0.0f;
+  EXPECT_EQ(augment_image(img, cfg, 0), img);
+}
+
+TEST(Augment, PreservesGeometryAndLabels) {
+  data::GeneratorConfig gc;
+  gc.seed = 11;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const data::Dataset ds = gen.generate(3);
+  const data::Dataset aug = augment_dataset(ds, AugmentConfig{}, 1);
+  ASSERT_EQ(aug.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(aug.samples[i].label, ds.samples[i].label);
+    EXPECT_EQ(aug.samples[i].image.width(), ds.samples[i].image.width());
+  }
+}
+
+TEST(Augment, BrightnessStaysInRange) {
+  image::Image img(8, 8, 1);
+  for (std::uint8_t& v : img.data()) v = 250;  // near saturation
+  AugmentConfig cfg;
+  cfg.max_shift = 0;
+  cfg.horizontal_flip = false;
+  cfg.brightness_jitter = 30.0f;
+  for (int i = 0; i < 10; ++i) {
+    const image::Image out = augment_image(img, cfg, static_cast<std::uint64_t>(i));
+    for (std::uint8_t v : out.data()) EXPECT_LE(v, 255);
+  }
+}
+
+TEST(Augment, TrainingWithAugmentationStillLearns) {
+  data::GeneratorConfig gc;
+  gc.num_classes = 4;
+  gc.seed = 13;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const auto [train_set, test_set] = gen.generate_split(30, 10);
+  const data::Dataset aug = augment_dataset(train_set, AugmentConfig{}, 0);
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 17);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.lr = 0.02f;
+  train(*model, aug, nullptr, cfg);
+  EXPECT_GT(evaluate(*model, test_set), 0.6);
+}
+
+}  // namespace
+}  // namespace dnj::nn

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/composite.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace dnj::nn {
+namespace {
+
+Tensor random_tensor(int n, int c, int h, int w, std::uint64_t seed, float scale = 1.0f) {
+  Tensor t(n, c, h, w);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, scale);
+  for (float& v : t.data()) v = dist(rng);
+  return t;
+}
+
+// Scalar objective: weighted sum of layer outputs, with fixed weights so the
+// analytic gradient is just those weights propagated backward.
+double objective(const Tensor& y, const std::vector<float>& obj_w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) s += static_cast<double>(y.data()[i]) * obj_w[i];
+  return s;
+}
+
+// Central-difference check of dL/dx for an arbitrary layer. Also verifies
+// parameter gradients when the layer has parameters.
+void check_gradients(Layer& layer, Tensor x, double tol = 2e-2, float eps = 1e-2f) {
+  Tensor y = layer.forward(x, /*train=*/true);
+  std::mt19937_64 rng(999);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> obj_w(y.size());
+  for (float& v : obj_w) v = dist(rng);
+
+  Tensor dy = y;
+  for (std::size_t i = 0; i < dy.size(); ++i) dy.data()[i] = obj_w[i];
+  layer.zero_grads();
+  const Tensor dx = layer.backward(dy);
+
+  // Check a sample of input coordinates.
+  std::uniform_int_distribution<std::size_t> pick(0, x.size() - 1);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t i = pick(rng);
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double fp = objective(layer.forward(x, true), obj_w);
+    x.data()[i] = orig - eps;
+    const double fm = objective(layer.forward(x, true), obj_w);
+    x.data()[i] = orig;
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, tol + 0.05 * std::abs(numeric)) << "input idx " << i;
+  }
+
+  // Restore forward caches, then check parameter gradients.
+  layer.zero_grads();
+  layer.forward(x, true);
+  layer.backward(dy);
+  std::vector<ParamRef> params;
+  layer.collect_params(params);
+  for (ParamRef& p : params) {
+    std::uniform_int_distribution<std::size_t> ppick(0, p.value->size() - 1);
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::size_t i = ppick(rng);
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + eps;
+      const double fp = objective(layer.forward(x, true), obj_w);
+      (*p.value)[i] = orig - eps;
+      const double fm = objective(layer.forward(x, true), obj_w);
+      (*p.value)[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      EXPECT_NEAR((*p.grad)[i], numeric, tol + 0.05 * std::abs(numeric)) << "param idx " << i;
+    }
+  }
+}
+
+TEST(Conv2D, OutputShape) {
+  std::mt19937_64 rng(1);
+  Conv2D conv(3, 5, 3, 1, 1, rng);
+  const Tensor y = conv.forward(random_tensor(2, 3, 8, 8, 2), false);
+  EXPECT_EQ(y.n(), 2);
+  EXPECT_EQ(y.c(), 5);
+  EXPECT_EQ(y.h(), 8);
+  EXPECT_EQ(y.w(), 8);
+}
+
+TEST(Conv2D, StrideShrinksOutput) {
+  std::mt19937_64 rng(1);
+  Conv2D conv(1, 2, 3, 2, 1, rng);
+  const Tensor y = conv.forward(random_tensor(1, 1, 8, 8, 2), false);
+  EXPECT_EQ(y.h(), 4);
+  EXPECT_EQ(y.w(), 4);
+}
+
+TEST(Conv2D, KnownIdentityKernel) {
+  std::mt19937_64 rng(1);
+  Conv2D conv(1, 1, 1, 1, 0, rng);
+  conv.weights()[0] = 2.0f;
+  conv.bias()[0] = 1.0f;
+  Tensor x(1, 1, 2, 2);
+  x.at(0, 0, 0, 0) = 3.0f;
+  x.at(0, 0, 1, 1) = -1.0f;
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 1.0f);
+}
+
+TEST(Conv2D, GradientCheck) {
+  std::mt19937_64 rng(11);
+  Conv2D conv(2, 3, 3, 1, 1, rng);
+  check_gradients(conv, random_tensor(2, 2, 5, 5, 21));
+}
+
+TEST(Conv2D, GradientCheckStridedNoPad) {
+  std::mt19937_64 rng(12);
+  Conv2D conv(1, 2, 3, 2, 0, rng);
+  check_gradients(conv, random_tensor(2, 1, 7, 7, 22));
+}
+
+TEST(Conv2D, RejectsChannelMismatch) {
+  std::mt19937_64 rng(1);
+  Conv2D conv(2, 2, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(random_tensor(1, 3, 8, 8, 1), false), std::invalid_argument);
+}
+
+TEST(MaxPool2D, ForwardSelectsMaxima) {
+  MaxPool2D pool(2, 2);
+  Tensor x(1, 1, 2, 4);
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 0, 1) = 5;
+  x.at(0, 0, 1, 0) = 2;
+  x.at(0, 0, 1, 1) = 3;
+  x.at(0, 0, 0, 2) = -8;
+  x.at(0, 0, 0, 3) = -2;
+  x.at(0, 0, 1, 2) = -1;
+  x.at(0, 0, 1, 3) = -9;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), -1.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax) {
+  MaxPool2D pool(2, 2);
+  Tensor x(1, 1, 2, 2);
+  x.at(0, 0, 0, 1) = 10.0f;
+  pool.forward(x, true);
+  Tensor dy(1, 1, 1, 1);
+  dy.at(0, 0, 0, 0) = 4.0f;
+  const Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(MaxPool2D, GradientCheck) {
+  MaxPool2D pool(2, 2);
+  // Spread values so argmax is stable under the epsilon perturbation.
+  Tensor x = random_tensor(2, 2, 6, 6, 31, 10.0f);
+  check_gradients(pool, x, 0.05f);
+}
+
+TEST(GlobalAvgPool, ForwardAndGradient) {
+  GlobalAvgPool gap;
+  Tensor x(1, 2, 2, 2);
+  for (int i = 0; i < 4; ++i) x.at(0, 0, i / 2, i % 2) = static_cast<float>(i);
+  const Tensor y = gap.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.5f);
+  check_gradients(gap, random_tensor(2, 3, 4, 4, 41));
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x(1, 1, 1, 4);
+  x.at(0, 0, 0, 0) = -2.0f;
+  x.at(0, 0, 0, 1) = 3.0f;
+  x.at(0, 0, 0, 2) = 0.0f;
+  x.at(0, 0, 0, 3) = -0.5f;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 3), 0.0f);
+}
+
+TEST(ReLU, GradientCheck) {
+  ReLU relu;
+  check_gradients(relu, random_tensor(2, 2, 4, 4, 51, 5.0f), 0.05f);
+}
+
+TEST(Flatten, RoundTripShape) {
+  Flatten flat;
+  const Tensor y = flat.forward(random_tensor(2, 3, 4, 5, 61), true);
+  EXPECT_EQ(y.c(), 60);
+  EXPECT_EQ(y.h(), 1);
+  EXPECT_EQ(y.w(), 1);
+  const Tensor dx = flat.backward(y);
+  EXPECT_EQ(dx.c(), 3);
+  EXPECT_EQ(dx.h(), 4);
+  EXPECT_EQ(dx.w(), 5);
+}
+
+TEST(Dense, KnownValues) {
+  std::mt19937_64 rng(1);
+  Dense dense(2, 2, rng);
+  dense.weights() = {1.0f, 2.0f, -1.0f, 0.5f};
+  Tensor x(1, 2, 1, 1);
+  x.at(0, 0, 0, 0) = 3.0f;
+  x.at(0, 1, 0, 0) = 4.0f;
+  const Tensor y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), -1.0f);
+}
+
+TEST(Dense, GradientCheck) {
+  std::mt19937_64 rng(71);
+  Dense dense(12, 7, rng);
+  check_gradients(dense, random_tensor(3, 12, 1, 1, 72));
+}
+
+TEST(BatchNorm2D, TrainOutputIsNormalized) {
+  BatchNorm2D bn(2);
+  Tensor x = random_tensor(4, 2, 5, 5, 81, 3.0f);
+  for (float& v : x.data()) v += 10.0f;
+  const Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    int count = 0;
+    for (int n = 0; n < 4; ++n)
+      for (int h = 0; h < 5; ++h)
+        for (int w = 0; w < 5; ++w) {
+          sum += y.at(n, c, h, w);
+          sq += static_cast<double>(y.at(n, c, h, w)) * y.at(n, c, h, w);
+          ++count;
+        }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm2D, EvalUsesRunningStats) {
+  BatchNorm2D bn(1);
+  // Train on data with mean 4, then eval on zeros: output should be
+  // strongly negative (zero is far below the running mean).
+  for (int step = 0; step < 50; ++step) {
+    Tensor x = random_tensor(8, 1, 4, 4, 90 + static_cast<std::uint64_t>(step));
+    for (float& v : x.data()) v += 4.0f;
+    bn.forward(x, true);
+  }
+  Tensor zeros(4, 1, 4, 4);
+  const Tensor y = bn.forward(zeros, false);
+  EXPECT_LT(y.at(0, 0, 0, 0), -2.0f);
+}
+
+TEST(BatchNorm2D, GradientCheck) {
+  BatchNorm2D bn(2);
+  check_gradients(bn, random_tensor(3, 2, 3, 3, 101), 0.05);
+}
+
+TEST(Sequential, ChainsLayersAndParams) {
+  std::mt19937_64 rng(5);
+  auto seq = std::make_unique<Sequential>();
+  seq->emplace<Conv2D>(1, 2, 3, 1, 1, rng);
+  seq->emplace<ReLU>();
+  seq->emplace<Flatten>();
+  seq->emplace<Dense>(2 * 4 * 4, 3, rng);
+  const Tensor y = seq->forward(random_tensor(2, 1, 4, 4, 6), false);
+  EXPECT_EQ(y.c(), 3);
+  std::vector<ParamRef> params;
+  seq->collect_params(params);
+  EXPECT_EQ(params.size(), 4u);  // conv w/b + dense w/b
+  EXPECT_EQ(seq->param_count(), 2u * 9 + 2 + 3u * 32 + 3);
+}
+
+TEST(Sequential, GradientCheck) {
+  std::mt19937_64 rng(7);
+  auto seq = std::make_unique<Sequential>();
+  seq->emplace<Conv2D>(1, 2, 3, 1, 1, rng);
+  seq->emplace<ReLU>();
+  seq->emplace<MaxPool2D>(2, 2);
+  seq->emplace<Flatten>();
+  seq->emplace<Dense>(2 * 2 * 2, 3, rng);
+  check_gradients(*seq, random_tensor(2, 1, 4, 4, 8));
+}
+
+TEST(ResidualBlock, IdentityShortcutGradientCheck) {
+  std::mt19937_64 rng(9);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2D>(2, 2, 3, 1, 1, rng);
+  ResidualBlock block(std::move(body), nullptr);
+  check_gradients(block, random_tensor(2, 2, 4, 4, 10));
+}
+
+TEST(ResidualBlock, ProjectionShortcutGradientCheck) {
+  std::mt19937_64 rng(13);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2D>(2, 4, 3, 2, 1, rng);
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->emplace<Conv2D>(2, 4, 1, 2, 0, rng);
+  ResidualBlock block(std::move(body), std::move(shortcut));
+  check_gradients(block, random_tensor(2, 2, 4, 4, 14));
+}
+
+TEST(ResidualBlock, ZeroBodyActsAsRelu) {
+  std::mt19937_64 rng(15);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2D>(1, 1, 1, 1, 0, rng);
+  // Zero out the body so output = relu(0 + x).
+  std::vector<ParamRef> ps;
+  body->collect_params(ps);
+  for (ParamRef& p : ps) std::fill(p.value->begin(), p.value->end(), 0.0f);
+  ResidualBlock block(std::move(body), nullptr);
+  Tensor x(1, 1, 1, 2);
+  x.at(0, 0, 0, 0) = 3.0f;
+  x.at(0, 0, 0, 1) = -3.0f;
+  const Tensor y = block.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 0.0f);
+}
+
+TEST(InceptionBlock, ConcatenatesChannels) {
+  std::mt19937_64 rng(17);
+  std::vector<LayerPtr> branches;
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(2, 3, 1, 1, 0, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(2, 5, 3, 1, 1, rng);
+    branches.push_back(std::move(b));
+  }
+  InceptionBlock block(std::move(branches));
+  const Tensor y = block.forward(random_tensor(2, 2, 4, 4, 18), false);
+  EXPECT_EQ(y.c(), 8);
+  EXPECT_EQ(y.h(), 4);
+}
+
+TEST(InceptionBlock, GradientCheck) {
+  std::mt19937_64 rng(19);
+  std::vector<LayerPtr> branches;
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(2, 2, 1, 1, 0, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    auto b = std::make_unique<Sequential>();
+    b->emplace<Conv2D>(2, 3, 3, 1, 1, rng);
+    branches.push_back(std::move(b));
+  }
+  InceptionBlock block(std::move(branches));
+  check_gradients(block, random_tensor(2, 2, 4, 4, 20));
+}
+
+TEST(SoftmaxLoss, ProbabilitiesSumToOne) {
+  const Tensor logits = random_tensor(3, 5, 1, 1, 23, 2.0f);
+  const Tensor probs = softmax(logits);
+  for (int n = 0; n < 3; ++n) {
+    float sum = 0.0f;
+    for (int c = 0; c < 5; ++c) sum += probs.at(n, c, 0, 0);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxLoss, PerfectPredictionHasLowLoss) {
+  Tensor logits(1, 3, 1, 1);
+  logits.at(0, 1, 0, 0) = 50.0f;
+  const LossResult res = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(res.loss, 1e-6);
+}
+
+TEST(SoftmaxLoss, GradientMatchesNumeric) {
+  Tensor logits = random_tensor(4, 6, 1, 1, 29, 1.5f);
+  const std::vector<int> labels = {0, 3, 5, 2};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); i += 5) {
+    const float orig = logits.data()[i];
+    logits.data()[i] = orig + eps;
+    const double lp = softmax_cross_entropy(logits, labels).loss;
+    logits.data()[i] = orig - eps;
+    const double lm = softmax_cross_entropy(logits, labels).loss;
+    logits.data()[i] = orig;
+    EXPECT_NEAR(res.grad.data()[i], (lp - lm) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(SoftmaxLoss, RejectsBadLabels) {
+  Tensor logits(2, 3, 1, 1);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnj::nn

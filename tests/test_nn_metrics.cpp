@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/metrics.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnj::nn {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndDerivedMetrics) {
+  ConfusionMatrix cm(3);
+  // Class 0: 2 right, 1 confused as 2. Class 1: all right. Class 2: 1 as 0.
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 2);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 7u);
+  EXPECT_EQ(cm.count(0, 2), 1u);
+  EXPECT_NEAR(cm.accuracy(), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 2.0 / 3.0, 1e-12);  // one class-2 sample absorbed
+  EXPECT_EQ(cm.dominant_confusion(0), 2);
+  EXPECT_EQ(cm.dominant_confusion(1), -1);
+}
+
+TEST(ConfusionMatrix, RejectsBadInput) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, -1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixIsZero) {
+  ConfusionMatrix cm(4);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.0);
+}
+
+TEST(ConfusionMatrix, AgreesWithEvaluate) {
+  data::GeneratorConfig gc;
+  gc.num_classes = 4;
+  gc.seed = 31;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const auto [train_set, test_set] = gen.generate_split(25, 10);
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 5);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  train(*model, train_set, nullptr, cfg);
+
+  const ConfusionMatrix cm = confusion_matrix(*model, test_set);
+  EXPECT_NEAR(cm.accuracy(), evaluate(*model, test_set), 1e-12);
+  EXPECT_EQ(cm.total(), test_set.size());
+  // Per-class recalls weighted by class counts reproduce the accuracy.
+  double weighted = 0.0;
+  const auto counts = test_set.class_counts();
+  for (int c = 0; c < 4; ++c)
+    weighted += cm.recall(c) * counts[static_cast<std::size_t>(c)];
+  EXPECT_NEAR(weighted / static_cast<double>(test_set.size()), cm.accuracy(), 1e-12);
+}
+
+}  // namespace
+}  // namespace dnj::nn

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnj::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  const std::string path = temp_path("dnj_weights_rt.bin");
+  LayerPtr a = make_model(ModelKind::kMiniAlexNet, 1, 32, 8, 7);
+  save_weights(*a, path);
+
+  LayerPtr b = make_model(ModelKind::kMiniAlexNet, 1, 32, 8, 999);  // different init
+  load_weights(*b, path);
+
+  std::vector<ParamRef> pa, pb;
+  a->collect_params(pa);
+  b->collect_params(pb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(*pa[i].value, *pb[i].value);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RestoredModelPredictsIdentically) {
+  const std::string path = temp_path("dnj_weights_pred.bin");
+  data::GeneratorConfig gc;
+  gc.num_classes = 4;
+  gc.seed = 21;
+  const data::SyntheticDatasetGenerator gen(gc);
+  const auto [train_set, test_set] = gen.generate_split(20, 8);
+
+  LayerPtr trained = make_model(ModelKind::kMiniInception, 1, 32, 4, 3);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  train(*trained, train_set, nullptr, cfg);
+  save_weights(*trained, path);
+
+  LayerPtr restored = make_model(ModelKind::kMiniInception, 1, 32, 4, 888);
+  load_weights(*restored, path);
+  for (const data::Sample& s : test_set.samples)
+    EXPECT_EQ(predict_label(*trained, s.image), predict_label(*restored, s.image));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  const std::string path = temp_path("dnj_weights_arch.bin");
+  LayerPtr a = make_model(ModelKind::kMiniAlexNet, 1, 32, 8, 7);
+  save_weights(*a, path);
+  LayerPtr b = make_model(ModelKind::kMiniVGG, 1, 32, 8, 7);
+  EXPECT_THROW(load_weights(*b, path), std::runtime_error);
+  LayerPtr c = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 7);  // class count differs
+  EXPECT_THROW(load_weights(*c, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptFiles) {
+  const std::string path = temp_path("dnj_weights_bad.bin");
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 8, 7);
+  EXPECT_THROW(load_weights(*model, path + ".missing"), std::runtime_error);
+
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE garbage";
+  }
+  EXPECT_THROW(load_weights(*model, path), std::runtime_error);
+
+  // Truncate a valid file.
+  save_weights(*model, path);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(load_weights(*model, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dnj::nn

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnj::nn {
+namespace {
+
+data::GeneratorConfig easy_config() {
+  data::GeneratorConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.channels = 1;
+  cfg.num_classes = 4;  // first four kinds are far apart spectrally
+  cfg.seed = 555;
+  return cfg;
+}
+
+TrainConfig quick_train() {
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
+  cfg.lr = 0.02f;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Trainer, NormalizePixelRange) {
+  EXPECT_NEAR(normalize_pixel(0), -1.9922f, 1e-3f);
+  EXPECT_NEAR(normalize_pixel(255), 1.9922f, 1e-3f);
+  EXPECT_NEAR(normalize_pixel(128), 0.0078f, 1e-3f);
+}
+
+TEST(Trainer, ToBatchShapes) {
+  const data::SyntheticDatasetGenerator gen(easy_config());
+  const data::Dataset ds = gen.generate(2);
+  const Tensor batch = to_batch(ds, {0, 3, 5});
+  EXPECT_EQ(batch.n(), 3);
+  EXPECT_EQ(batch.c(), 1);
+  EXPECT_EQ(batch.h(), 32);
+  EXPECT_EQ(batch.w(), 32);
+  const auto labels = batch_labels(ds, {0, 3, 5});
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], ds.samples[0].label);
+}
+
+TEST(Trainer, ModelFactoryBuildsAllKinds) {
+  for (int k = 0; k < kNumModelKinds; ++k) {
+    const LayerPtr model = make_model(static_cast<ModelKind>(k), 1, 32, 8, 42);
+    ASSERT_NE(model, nullptr) << model_name(static_cast<ModelKind>(k));
+    EXPECT_GT(model->param_count(), 1000u);
+  }
+  EXPECT_THROW(make_model(ModelKind::kMiniAlexNet, 1, 30, 8, 1), std::invalid_argument);
+  EXPECT_THROW(make_model(ModelKind::kMiniAlexNet, 1, 32, 1, 1), std::invalid_argument);
+}
+
+TEST(Trainer, ModelInitIsDeterministic) {
+  const LayerPtr a = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 9);
+  const LayerPtr b = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 9);
+  std::vector<ParamRef> pa, pb;
+  a->collect_params(pa);
+  b->collect_params(pb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(*pa[i].value, *pb[i].value);
+}
+
+TEST(Trainer, LearnsEasySyntheticClasses) {
+  const data::SyntheticDatasetGenerator gen(easy_config());
+  const auto [train_set, test_set] = gen.generate_split(40, 15);
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 123);
+  const auto history = train(*model, train_set, &test_set, quick_train());
+  ASSERT_EQ(history.size(), 4u);
+  // Loss decreases and the model beats chance (0.25) comfortably.
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+  EXPECT_GT(history.back().test_acc, 0.6);
+}
+
+TEST(Trainer, TrainingIsDeterministic) {
+  const data::SyntheticDatasetGenerator gen(easy_config());
+  const auto [train_set, test_set] = gen.generate_split(20, 8);
+  TrainConfig cfg = quick_train();
+  cfg.epochs = 2;
+
+  LayerPtr m1 = make_model(ModelKind::kMiniVGG, 1, 32, 4, 321);
+  LayerPtr m2 = make_model(ModelKind::kMiniVGG, 1, 32, 4, 321);
+  const auto h1 = train(*m1, train_set, &test_set, cfg);
+  const auto h2 = train(*m2, train_set, &test_set, cfg);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t e = 0; e < h1.size(); ++e) {
+    EXPECT_DOUBLE_EQ(h1[e].train_loss, h2[e].train_loss);
+    EXPECT_DOUBLE_EQ(h1[e].test_acc, h2[e].test_acc);
+  }
+}
+
+TEST(Trainer, EvaluateAndPredictAgree) {
+  const data::SyntheticDatasetGenerator gen(easy_config());
+  const auto [train_set, test_set] = gen.generate_split(30, 10);
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 7);
+  TrainConfig cfg = quick_train();
+  cfg.epochs = 3;
+  train(*model, train_set, nullptr, cfg);
+
+  std::size_t correct = 0;
+  for (const data::Sample& s : test_set.samples)
+    if (predict_label(*model, s.image) == s.label) ++correct;
+  const double manual_acc = static_cast<double>(correct) / test_set.size();
+  EXPECT_NEAR(evaluate(*model, test_set), manual_acc, 1e-12);
+}
+
+TEST(Trainer, PredictProbsSumToOne) {
+  const data::SyntheticDatasetGenerator gen(easy_config());
+  LayerPtr model = make_model(ModelKind::kMiniInception, 1, 32, 4, 3);
+  const auto probs = predict_probs(*model, gen.render(data::ClassKind::kGradient, 0));
+  ASSERT_EQ(probs.size(), 4u);
+  float sum = 0.0f;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Trainer, ResNetTrainsWithBatchNorm) {
+  const data::SyntheticDatasetGenerator gen(easy_config());
+  const auto [train_set, test_set] = gen.generate_split(30, 10);
+  LayerPtr model = make_model(ModelKind::kMiniResNet, 1, 32, 4, 99);
+  TrainConfig cfg = quick_train();
+  cfg.epochs = 5;
+  cfg.lr = 0.05f;
+  const auto history = train(*model, train_set, &test_set, cfg);
+  EXPECT_GT(history.back().test_acc, 0.5);
+}
+
+TEST(Trainer, ErrorsOnEmptyDataset) {
+  data::Dataset empty;
+  LayerPtr model = make_model(ModelKind::kMiniAlexNet, 1, 32, 4, 1);
+  EXPECT_THROW(train(*model, empty, nullptr, quick_train()), std::invalid_argument);
+  EXPECT_THROW(evaluate(*model, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnj::nn
