@@ -93,6 +93,108 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   std::fflush(f);
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonWriter::JsonWriter(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  path_ = "bench_results/" + name + ".json";
+  file_ = std::fopen(path_.c_str(), "w");
+  if (!file_) throw std::runtime_error("JsonWriter: cannot open " + path_);
+  std::fputs("{", static_cast<std::FILE*>(file_));
+  needs_comma_.push_back(false);
+}
+
+JsonWriter::~JsonWriter() {
+  if (file_) {
+    std::fputs("}\n", static_cast<std::FILE*>(file_));
+    std::fclose(static_cast<std::FILE*>(file_));
+  }
+}
+
+void JsonWriter::comma_only() {
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  if (needs_comma_.back()) std::fputs(",", f);
+  needs_comma_.back() = true;
+  std::fputs("\n", f);
+  for (std::size_t i = 0; i < needs_comma_.size(); ++i) std::fputs("  ", f);
+}
+
+void JsonWriter::comma_and_key(const std::string& key) {
+  comma_only();
+  std::fprintf(static_cast<std::FILE*>(file_), "\"%s\": ", json_escape(key).c_str());
+}
+
+void JsonWriter::field(const std::string& key, const std::string& value) {
+  comma_and_key(key);
+  std::fprintf(static_cast<std::FILE*>(file_), "\"%s\"", json_escape(value).c_str());
+}
+
+void JsonWriter::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void JsonWriter::field(const std::string& key, double value) {
+  comma_and_key(key);
+  std::fprintf(static_cast<std::FILE*>(file_), "%.6g", value);
+}
+
+void JsonWriter::field(const std::string& key, std::size_t value) {
+  comma_and_key(key);
+  std::fprintf(static_cast<std::FILE*>(file_), "%zu", value);
+}
+
+void JsonWriter::field(const std::string& key, int value) {
+  comma_and_key(key);
+  std::fprintf(static_cast<std::FILE*>(file_), "%d", value);
+}
+
+void JsonWriter::begin_array(const std::string& key) {
+  comma_and_key(key);
+  std::fputs("[", static_cast<std::FILE*>(file_));
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  std::fputs("]", static_cast<std::FILE*>(file_));
+}
+
+void JsonWriter::begin_object() {
+  comma_only();
+  std::fputs("{", static_cast<std::FILE*>(file_));
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  std::fputs("}", static_cast<std::FILE*>(file_));
+}
+
 std::string fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);

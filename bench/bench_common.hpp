@@ -72,6 +72,38 @@ class CsvWriter {
   void* file_;  // FILE*
 };
 
+/// Minimal JSON emitter: creates `bench_results/<name>.json`. Produces one
+/// top-level object; arrays of objects are supported one level deep —
+/// enough for the perf-baseline files (BENCH_*.json) that track throughput
+/// across PRs. Keys are written in call order, commas are managed
+/// internally, and the file is valid JSON once the writer is destroyed.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& name);
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::size_t value);
+  void field(const std::string& key, int value);
+  void begin_array(const std::string& key);
+  void end_array();
+  void begin_object();  ///< only valid inside an array
+  void end_object();
+  const std::string& path() const { return path_; }
+
+ private:
+  void comma_and_key(const std::string& key);
+  void comma_only();
+
+  std::string path_;
+  void* file_;                     // FILE*
+  std::vector<bool> needs_comma_;  // one flag per open scope
+};
+
 /// Formats a double with fixed precision.
 std::string fmt(double v, int precision = 3);
 

@@ -9,6 +9,7 @@
 #include "image/blocks.hpp"
 #include "image/color.hpp"
 #include "jpeg/dct.hpp"
+#include "runtime/parallel.hpp"
 
 namespace dnj::core {
 
@@ -34,33 +35,63 @@ class CostModel {
          i += stride)
       images_.push_back(&ds.samples[i].image);
 
-    // Coefficient samples for the distortion term.
-    for (const image::Image* img : images_) {
-      const image::PlaneF plane = image::to_plane(*img, 0);
-      for (image::BlockF blk : image::split_blocks(plane)) {
-        image::level_shift(blk);
-        blocks_.push_back(jpeg::fdct(blk));
-      }
-    }
+    // Coefficient samples for the distortion term: per-image DCT block
+    // lists computed in parallel, concatenated in image order so blocks_
+    // is laid out exactly as the serial loop would build it.
+    std::vector<std::vector<image::BlockF>> per_image = runtime::parallel_map(
+        0, images_.size(), 1,
+        [&](std::size_t i) {
+          const image::PlaneF plane = image::to_plane(*images_[i], 0);
+          std::vector<image::BlockF> out;
+          for (image::BlockF blk : image::split_blocks(plane)) {
+            image::level_shift(blk);
+            out.push_back(jpeg::fdct(blk));
+          }
+          return out;
+        },
+        config.num_threads);
+    for (std::vector<image::BlockF>& v : per_image)
+      blocks_.insert(blocks_.end(), v.begin(), v.end());
   }
 
   double cost(const jpeg::QuantTable& table) const {
-    // Byte term: real entropy-coded payload of the sample images.
+    // Byte term: real entropy-coded payload of the sample images. Encoded
+    // in parallel, summed in image order — the same addition sequence as
+    // the serial loop, so the cost (and hence the annealing trajectory) is
+    // independent of the thread count.
     const jpeg::EncoderConfig cfg = custom_table_config(table);
+    const std::vector<double> per_image_bytes = runtime::parallel_map(
+        0, images_.size(), 1,
+        [&](std::size_t i) {
+          return static_cast<double>(jpeg::scan_byte_count(jpeg::encode(*images_[i], cfg)));
+        },
+        config_.num_threads);
     double bytes = 0.0;
-    for (const image::Image* img : images_)
-      bytes += static_cast<double>(jpeg::scan_byte_count(jpeg::encode(*img, cfg)));
+    for (double b : per_image_bytes) bytes += b;
 
     // Distortion term: importance-weighted quantization MSE per band.
+    // Per-block squared errors in parallel, folded in block order — the
+    // fold must stay per-block (not per-chunk partials) so the addition
+    // sequence matches the plain serial loop bit-for-bit. The scratch
+    // buffer is reused across calls: cost() runs once per SA iteration
+    // and would otherwise reallocate blocks x 512 B every time.
+    per_block_scratch_.resize(blocks_.size());
+    runtime::parallel_for(
+        0, blocks_.size(), 16,
+        [&](std::size_t b) {
+          const image::BlockF& blk = blocks_[b];
+          std::array<double, 64>& sq = per_block_scratch_[b];
+          for (int k = 0; k < 64; ++k) {
+            const double q = table.step(k);
+            const double c = blk[static_cast<std::size_t>(k)];
+            const double rec = std::nearbyint(c / q) * q;
+            sq[static_cast<std::size_t>(k)] = (c - rec) * (c - rec);
+          }
+        },
+        config_.num_threads);
     std::array<double, 64> mse{};
-    for (const image::BlockF& blk : blocks_) {
-      for (int k = 0; k < 64; ++k) {
-        const double q = table.step(k);
-        const double c = blk[static_cast<std::size_t>(k)];
-        const double rec = std::nearbyint(c / q) * q;
-        mse[static_cast<std::size_t>(k)] += (c - rec) * (c - rec);
-      }
-    }
+    for (const std::array<double, 64>& sq : per_block_scratch_)
+      for (std::size_t k = 0; k < 64; ++k) mse[k] += sq[k];
     double distortion = 0.0;
     for (int k = 0; k < 64; ++k)
       distortion += importance_[static_cast<std::size_t>(k)] * mse[static_cast<std::size_t>(k)] /
@@ -73,6 +104,9 @@ class CostModel {
   std::array<double, 64> importance_{};
   std::vector<const image::Image*> images_;
   std::vector<image::BlockF> blocks_;
+  /// Per-block squared errors for the current candidate; cost() is called
+  /// from the (single-threaded) SA loop, so one scratch buffer suffices.
+  mutable std::vector<std::array<double, 64>> per_block_scratch_;
 };
 
 }  // namespace

@@ -29,6 +29,11 @@ struct SaConfig {
   int max_step = 255;        ///< upper bound for any quantization step
   int sample_images = 16;    ///< images used for the byte-count term
   std::uint64_t seed = 0x5A5A;
+  /// Threads for cost evaluation (DCT precompute, byte term, MSE term).
+  /// 0 = DNJ_THREADS / hardware default, 1 = serial. Partial results are
+  /// merged in sample/block order, so every thread count anneals the
+  /// identical table for a given seed.
+  int num_threads = 0;
 };
 
 struct SaResult {

@@ -3,46 +3,88 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "image/metrics.hpp"
+#include "runtime/parallel.hpp"
 
 namespace dnj::core {
 
-TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config) {
+namespace {
+
+/// Everything one sample contributes to the dataset accounting. Collected
+/// per sample by the parallel loop, folded in sample order afterwards so
+/// the floating-point PSNR accumulation matches the serial loop exactly.
+struct SampleOutcome {
+  std::size_t total_bytes = 0;
+  std::size_t scan_bytes = 0;
+  double psnr = 0.0;
+  image::Image decoded;
+};
+
+}  // namespace
+
+TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config,
+                          int num_threads) {
   if (ds.empty()) throw std::invalid_argument("transcode: empty dataset");
+
+  std::vector<SampleOutcome> outcomes = runtime::parallel_map(
+      0, ds.size(), 1,
+      [&](std::size_t i) {
+        const data::Sample& s = ds.samples[i];
+        jpeg::RoundTrip rt = jpeg::round_trip(s.image, config);
+        SampleOutcome out;
+        out.total_bytes = rt.bytes.size();
+        out.scan_bytes = jpeg::scan_byte_count(rt.bytes);
+        out.psnr = image::psnr(s.image, rt.decoded);
+        out.decoded = std::move(rt.decoded);
+        return out;
+      },
+      num_threads);
+
   TranscodeResult res;
   res.dataset.num_classes = ds.num_classes;
   res.dataset.samples.reserve(ds.size());
   double psnr_sum = 0.0;
   std::size_t finite_psnr = 0;
-  for (const data::Sample& s : ds.samples) {
-    jpeg::RoundTrip rt = jpeg::round_trip(s.image, config);
-    res.total_bytes += rt.bytes.size();
-    res.scan_bytes += jpeg::scan_byte_count(rt.bytes);
-    const double p = image::psnr(s.image, rt.decoded);
-    if (std::isfinite(p)) {
-      psnr_sum += p;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SampleOutcome& out = outcomes[i];
+    res.total_bytes += out.total_bytes;
+    res.scan_bytes += out.scan_bytes;
+    if (std::isfinite(out.psnr)) {
+      psnr_sum += out.psnr;
       ++finite_psnr;
     }
-    res.dataset.samples.push_back({std::move(rt.decoded), s.label});
+    res.dataset.samples.push_back({std::move(out.decoded), ds.samples[i].label});
   }
   res.mean_psnr = finite_psnr ? psnr_sum / static_cast<double>(finite_psnr)
                               : std::numeric_limits<double>::infinity();
   return res;
 }
 
-std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config) {
+std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config,
+                                  int num_threads) {
   if (ds.empty()) throw std::invalid_argument("dataset_encoded_bytes: empty dataset");
+  const std::vector<std::size_t> sizes = runtime::parallel_map(
+      0, ds.size(), 1,
+      [&](std::size_t i) { return jpeg::encoded_size(ds.samples[i].image, config); },
+      num_threads);
   std::size_t total = 0;
-  for (const data::Sample& s : ds.samples) total += jpeg::encoded_size(s.image, config);
+  for (std::size_t s : sizes) total += s;
   return total;
 }
 
-std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config) {
+std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config,
+                               int num_threads) {
   if (ds.empty()) throw std::invalid_argument("dataset_scan_bytes: empty dataset");
+  const std::vector<std::size_t> sizes = runtime::parallel_map(
+      0, ds.size(), 1,
+      [&](std::size_t i) {
+        return jpeg::scan_byte_count(jpeg::encode(ds.samples[i].image, config));
+      },
+      num_threads);
   std::size_t total = 0;
-  for (const data::Sample& s : ds.samples)
-    total += jpeg::scan_byte_count(jpeg::encode(s.image, config));
+  for (std::size_t s : sizes) total += s;
   return total;
 }
 
@@ -55,12 +97,12 @@ jpeg::EncoderConfig qf100_config() {
 }
 }  // namespace
 
-std::size_t reference_bytes_qf100(const data::Dataset& ds) {
-  return dataset_encoded_bytes(ds, qf100_config());
+std::size_t reference_bytes_qf100(const data::Dataset& ds, int num_threads) {
+  return dataset_encoded_bytes(ds, qf100_config(), num_threads);
 }
 
-std::size_t reference_scan_bytes_qf100(const data::Dataset& ds) {
-  return dataset_scan_bytes(ds, qf100_config());
+std::size_t reference_scan_bytes_qf100(const data::Dataset& ds, int num_threads) {
+  return dataset_scan_bytes(ds, qf100_config(), num_threads);
 }
 
 double compression_rate(std::size_t reference_bytes, std::size_t method_bytes) {

@@ -17,21 +17,28 @@ struct TranscodeResult {
 };
 
 /// Encodes and decodes every sample; returns the lossy dataset plus size
-/// and fidelity accounting.
-TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config);
+/// and fidelity accounting. Samples are processed in parallel
+/// (`num_threads`: 0 = DNJ_THREADS / hardware default, 1 = serial) with
+/// per-sample results merged in dataset order, so the accounting — byte
+/// totals, mean PSNR, decoded pixels — is bit-identical at every thread
+/// count.
+TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config,
+                          int num_threads = 0);
 
 /// Encoded byte total only (no decode) — cheaper when only CR is needed.
-std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config);
+std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config,
+                                  int num_threads = 0);
 
 /// Entropy-coded payload total only (headers/tables excluded — the
 /// per-image marginal cost when tables ship once; see jpeg::scan_byte_count).
-std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config);
+std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config,
+                               int num_threads = 0);
 
 /// The paper's reference point: total bytes of the dataset as QF = 100 JPEG.
-std::size_t reference_bytes_qf100(const data::Dataset& ds);
+std::size_t reference_bytes_qf100(const data::Dataset& ds, int num_threads = 0);
 
 /// Scan-payload variant of the QF-100 reference.
-std::size_t reference_scan_bytes_qf100(const data::Dataset& ds);
+std::size_t reference_scan_bytes_qf100(const data::Dataset& ds, int num_threads = 0);
 
 /// CR of a method relative to a reference byte count.
 double compression_rate(std::size_t reference_bytes, std::size_t method_bytes);

@@ -61,6 +61,7 @@ class Image {
     return width_ == o.width_ && height_ == o.height_ &&
            channels_ == o.channels_ && data_ == o.data_;
   }
+  bool operator!=(const Image& o) const { return !(*this == o); }
 
  private:
   std::size_t index(int x, int y, int c) const {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "runtime/parallel.hpp"
+
 namespace dnj::nn {
 
 namespace {
@@ -125,8 +127,9 @@ Tensor Conv2D::forward(const Tensor& x, bool train) {
   Tensor y(x.n(), out_c_, out_h_, out_w_);
   cols_.assign(static_cast<std::size_t>(x.n()), {});
 
-#pragma omp parallel for schedule(static)
-  for (int n = 0; n < x.n(); ++n) {
+  // Per-sample: each index writes a disjoint output slice and cols_ slot.
+  runtime::parallel_for(0, static_cast<std::size_t>(x.n()), 1, [&](std::size_t ni) {
+    const int n = static_cast<int>(ni);
     std::vector<float> col(static_cast<std::size_t>(patch) * pixels);
     im2col(x.sample(n), in_h_, in_w_, col.data());
     float* out = y.sample(n);
@@ -135,8 +138,8 @@ Tensor Conv2D::forward(const Tensor& x, bool train) {
       std::fill(row, row + pixels, b_[static_cast<std::size_t>(m)]);
     }
     gemm_acc(w_.data(), col.data(), out, out_c_, patch, pixels);
-    if (train) cols_[static_cast<std::size_t>(n)] = std::move(col);
-  }
+    if (train) cols_[ni] = std::move(col);
+  });
   if (train) x_cache_ = x;
   return y;
 }
@@ -151,17 +154,17 @@ Tensor Conv2D::backward(const Tensor& dy) {
   Tensor dx(batch, in_c_, in_h_, in_w_);
 
   // Input gradient: per-sample, parallel-safe.
-#pragma omp parallel for schedule(static)
-  for (int n = 0; n < batch; ++n) {
+  runtime::parallel_for(0, static_cast<std::size_t>(batch), 1, [&](std::size_t ni) {
+    const int n = static_cast<int>(ni);
     std::vector<float> dcol(static_cast<std::size_t>(patch) * pixels, 0.0f);
     gemm_at_acc(w_.data(), dy.sample(n), dcol.data(), patch, out_c_, pixels);
     col2im(dcol.data(), in_h_, in_w_, dx.sample(n));
-  }
+  });
 
   // Weight gradient: parallel over output channels, serial over samples so
   // accumulation order (and thus the result) is deterministic.
-#pragma omp parallel for schedule(static)
-  for (int m = 0; m < out_c_; ++m) {
+  runtime::parallel_for(0, static_cast<std::size_t>(out_c_), 1, [&](std::size_t mi) {
+    const int m = static_cast<int>(mi);
     float* dwrow = dw_.data() + static_cast<std::size_t>(m) * patch;
     float dbias = 0.0f;
     for (int n = 0; n < batch; ++n) {
@@ -176,7 +179,7 @@ Tensor Conv2D::backward(const Tensor& dy) {
       }
     }
     db_[static_cast<std::size_t>(m)] += dbias;
-  }
+  });
   return dx;
 }
 
@@ -195,8 +198,8 @@ Tensor MaxPool2D::forward(const Tensor& x, bool train) {
   x_shape_ref_ = Tensor(x.n(), x.c(), x.h(), x.w());
   (void)train;
 
-#pragma omp parallel for schedule(static)
-  for (int n = 0; n < x.n(); ++n) {
+  runtime::parallel_for(0, static_cast<std::size_t>(x.n()), 1, [&](std::size_t ni) {
+    const int n = static_cast<int>(ni);
     for (int c = 0; c < x.c(); ++c) {
       for (int oy = 0; oy < oh; ++oy) {
         for (int ox = 0; ox < ow; ++ox) {
@@ -220,15 +223,15 @@ Tensor MaxPool2D::forward(const Tensor& x, bool train) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
 Tensor MaxPool2D::backward(const Tensor& dy) {
   Tensor dx = Tensor::zeros_like(x_shape_ref_);
   const int oh = dy.h(), ow = dy.w();
-#pragma omp parallel for schedule(static)
-  for (int n = 0; n < dy.n(); ++n) {
+  runtime::parallel_for(0, static_cast<std::size_t>(dy.n()), 1, [&](std::size_t ni) {
+    const int n = static_cast<int>(ni);
     for (int c = 0; c < dy.c(); ++c) {
       float* plane = dx.sample(n) + static_cast<std::size_t>(c) * dx.h() * dx.w();
       for (int oy = 0; oy < oh; ++oy) {
@@ -239,7 +242,7 @@ Tensor MaxPool2D::backward(const Tensor& dy) {
         }
       }
     }
-  }
+  });
   return dx;
 }
 
@@ -327,8 +330,8 @@ void Dense::collect_params(std::vector<ParamRef>& out) {
 Tensor Dense::forward(const Tensor& x, bool train) {
   if (x.sample_size() != in_f_) throw std::invalid_argument("Dense: feature mismatch");
   Tensor y(x.n(), out_f_, 1, 1);
-#pragma omp parallel for schedule(static)
-  for (int n = 0; n < x.n(); ++n) {
+  runtime::parallel_for(0, static_cast<std::size_t>(x.n()), 1, [&](std::size_t ni) {
+    const int n = static_cast<int>(ni);
     const float* in = x.sample(n);
     float* out = y.sample(n);
     for (int o = 0; o < out_f_; ++o) {
@@ -337,7 +340,7 @@ Tensor Dense::forward(const Tensor& x, bool train) {
       for (int i = 0; i < in_f_; ++i) acc += wrow[i] * in[i];
       out[o] = acc;
     }
-  }
+  });
   if (train) x_cache_ = x;
   return y;
 }
@@ -346,8 +349,8 @@ Tensor Dense::backward(const Tensor& dy) {
   const int batch = x_cache_.n();
   Tensor dx(batch, x_cache_.c(), x_cache_.h(), x_cache_.w());
 
-#pragma omp parallel for schedule(static)
-  for (int n = 0; n < batch; ++n) {
+  runtime::parallel_for(0, static_cast<std::size_t>(batch), 1, [&](std::size_t ni) {
+    const int n = static_cast<int>(ni);
     const float* g = dy.sample(n);
     float* out = dx.sample(n);
     std::fill(out, out + in_f_, 0.0f);
@@ -357,10 +360,12 @@ Tensor Dense::backward(const Tensor& dy) {
       const float* wrow = w_.data() + static_cast<std::size_t>(o) * in_f_;
       for (int i = 0; i < in_f_; ++i) out[i] += gv * wrow[i];
     }
-  }
+  });
 
-#pragma omp parallel for schedule(static)
-  for (int o = 0; o < out_f_; ++o) {
+  // Per output feature: dwrow/db_ slots are disjoint, samples stay serial
+  // so the accumulation order is deterministic.
+  runtime::parallel_for(0, static_cast<std::size_t>(out_f_), 8, [&](std::size_t oi) {
+    const int o = static_cast<int>(oi);
     float* dwrow = dw_.data() + static_cast<std::size_t>(o) * in_f_;
     float dbias = 0.0f;
     for (int n = 0; n < batch; ++n) {
@@ -371,7 +376,7 @@ Tensor Dense::backward(const Tensor& dy) {
       for (int i = 0; i < in_f_; ++i) dwrow[i] += gv * in[i];
     }
     db_[static_cast<std::size_t>(o)] += dbias;
-  }
+  });
   return dx;
 }
 

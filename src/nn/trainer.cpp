@@ -9,26 +9,30 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "runtime/parallel.hpp"
 
 namespace dnj::nn {
 
 float normalize_pixel(std::uint8_t p) { return (static_cast<float>(p) - 127.5f) / 64.0f; }
 
-Tensor to_batch(const data::Dataset& ds, const std::vector<int>& indices) {
+Tensor to_batch(const data::Dataset& ds, const std::vector<int>& indices, int num_threads) {
   if (indices.empty()) throw std::invalid_argument("to_batch: empty index list");
   const int c = ds.channels();
   const int h = ds.height();
   const int w = ds.width();
   Tensor batch(static_cast<int>(indices.size()), c, h, w);
-  for (std::size_t bi = 0; bi < indices.size(); ++bi) {
-    const image::Image& img = ds.samples[static_cast<std::size_t>(indices[bi])].image;
-    if (img.width() != w || img.height() != h || img.channels() != c)
-      throw std::invalid_argument("to_batch: inhomogeneous dataset");
-    for (int ci = 0; ci < c; ++ci)
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x)
-          batch.at(static_cast<int>(bi), ci, y, x) = normalize_pixel(img.at(x, y, ci));
-  }
+  runtime::parallel_for(
+      0, indices.size(), 8,
+      [&](std::size_t bi) {
+        const image::Image& img = ds.samples[static_cast<std::size_t>(indices[bi])].image;
+        if (img.width() != w || img.height() != h || img.channels() != c)
+          throw std::invalid_argument("to_batch: inhomogeneous dataset");
+        for (int ci = 0; ci < c; ++ci)
+          for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+              batch.at(static_cast<int>(bi), ci, y, x) = normalize_pixel(img.at(x, y, ci));
+      },
+      num_threads);
   return batch;
 }
 
@@ -65,7 +69,7 @@ std::vector<EpochStats> train(Layer& model, const data::Dataset& train_set,
       const std::size_t end = std::min(order.size(), start + config.batch_size);
       const std::vector<int> batch_idx(order.begin() + static_cast<long>(start),
                                        order.begin() + static_cast<long>(end));
-      const Tensor x = to_batch(train_set, batch_idx);
+      const Tensor x = to_batch(train_set, batch_idx, config.num_threads);
       const std::vector<int> labels = batch_labels(train_set, batch_idx);
 
       opt.zero_grads();
@@ -88,7 +92,7 @@ std::vector<EpochStats> train(Layer& model, const data::Dataset& train_set,
     stats.epoch = epoch;
     stats.train_loss = loss_sum / static_cast<double>(seen);
     stats.train_acc = static_cast<double>(correct) / static_cast<double>(seen);
-    stats.test_acc = test_set ? evaluate(model, *test_set)
+    stats.test_acc = test_set ? evaluate(model, *test_set, 64, config.num_threads)
                               : std::numeric_limits<double>::quiet_NaN();
     history.push_back(stats);
     if (config.verbose)
@@ -100,7 +104,7 @@ std::vector<EpochStats> train(Layer& model, const data::Dataset& train_set,
   return history;
 }
 
-double evaluate(Layer& model, const data::Dataset& ds, int batch_size) {
+double evaluate(Layer& model, const data::Dataset& ds, int batch_size, int num_threads) {
   if (ds.empty()) throw std::invalid_argument("evaluate: empty dataset");
   std::size_t correct = 0;
   std::vector<int> indices;
@@ -108,7 +112,7 @@ double evaluate(Layer& model, const data::Dataset& ds, int batch_size) {
     const std::size_t end = std::min(ds.size(), start + static_cast<std::size_t>(batch_size));
     indices.clear();
     for (std::size_t i = start; i < end; ++i) indices.push_back(static_cast<int>(i));
-    const Tensor x = to_batch(ds, indices);
+    const Tensor x = to_batch(ds, indices, num_threads);
     const Tensor logits = model.forward(x, /*train=*/false);
     for (std::size_t bi = 0; bi < indices.size(); ++bi) {
       const float* row = logits.sample(static_cast<int>(bi));

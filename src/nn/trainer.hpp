@@ -20,6 +20,11 @@ struct TrainConfig {
   float weight_decay = 1e-4f;
   std::uint64_t seed = 0x7124EBull;
   bool verbose = false;
+  /// Threads for batch packing and the per-sample layer loops (see
+  /// runtime/parallel.hpp). 0 = DNJ_THREADS / hardware default, 1 =
+  /// serial. Sample-level work writes disjoint slots, so training is
+  /// bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 struct EpochStats {
@@ -32,8 +37,10 @@ struct EpochStats {
 /// Pixel normalization applied before the first layer: (p - 127.5) / 64.
 float normalize_pixel(std::uint8_t p);
 
-/// Packs the samples at `indices` into an NCHW batch tensor.
-Tensor to_batch(const data::Dataset& ds, const std::vector<int>& indices);
+/// Packs the samples at `indices` into an NCHW batch tensor. Samples are
+/// packed in parallel (disjoint tensor slices, so bit-identical at any
+/// thread count).
+Tensor to_batch(const data::Dataset& ds, const std::vector<int>& indices, int num_threads = 0);
 
 /// Labels of the samples at `indices`.
 std::vector<int> batch_labels(const data::Dataset& ds, const std::vector<int>& indices);
@@ -44,7 +51,8 @@ std::vector<EpochStats> train(Layer& model, const data::Dataset& train_set,
                               const data::Dataset* test_set, const TrainConfig& config);
 
 /// Top-1 accuracy of `model` on `ds`.
-double evaluate(Layer& model, const data::Dataset& ds, int batch_size = 64);
+double evaluate(Layer& model, const data::Dataset& ds, int batch_size = 64,
+                int num_threads = 0);
 
 /// Class probabilities for one image.
 std::vector<float> predict_probs(Layer& model, const image::Image& img);

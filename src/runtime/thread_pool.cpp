@@ -1,0 +1,70 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace dnj::runtime {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+unsigned ThreadPool::default_threads() {
+  static const unsigned cached = [] {
+    if (const char* env = std::getenv("DNJ_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(std::min<long>(v, 512));
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+  }();
+  return cached;
+}
+
+ThreadPool& ThreadPool::global() {
+  // Workers + the participating caller = the largest parallelism anyone can
+  // ask for: the DNJ_THREADS default or the hardware width, whichever is
+  // bigger (a per-call num_threads above the pool size is silently capped).
+  // Floor of 4 so explicit small num_threads requests exercise real
+  // concurrency even on 1-core boxes — idle workers cost nothing, and the
+  // *default* parallelism is still default_threads().
+  static ThreadPool pool(std::max({default_threads(),
+                                   std::max(1u, std::thread::hardware_concurrency()), 4u}) -
+                         1);
+  return pool;
+}
+
+}  // namespace dnj::runtime

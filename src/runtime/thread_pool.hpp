@@ -1,0 +1,66 @@
+// Shared worker pool for the parallel helpers in runtime/parallel.hpp.
+//
+// Design constraints (they shape the whole runtime layer):
+//  * Determinism first. The pool itself only runs opaque tasks; all
+//    ordering guarantees live in parallel_for/parallel_map, which split
+//    work into chunks whose boundaries depend on the range and grain only
+//    — never on the thread count — and merge results in index order.
+//  * Callers participate. parallel_for runs chunks on the calling thread
+//    too, so a pool with zero workers (DNJ_THREADS=1, or a 1-core box)
+//    degrades to plain serial execution with no special casing.
+//  * No work stealing, no per-task futures: a mutex + condition-variable
+//    queue is robust, easy to reason about, and far from the bottleneck —
+//    every task we submit is a coarse chunk runner, not a single index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnj::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Zero workers is valid: the parallel
+  /// helpers never enqueue more helper tasks than there are workers, so a
+  /// zero-worker pool simply means the calling thread does all the work.
+  explicit ThreadPool(unsigned workers);
+
+  /// Joins all workers. Tasks already queued are drained first (workers
+  /// finish the backlog before exiting), so shutdown never strands a
+  /// parallel loop waiting on a task that will never run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task for any worker to run. Tasks must not throw — the
+  /// parallel helpers wrap user code and capture exceptions themselves.
+  void submit(std::function<void()> task);
+
+  /// Process-wide pool shared by every parallel_for/parallel_map call.
+  /// Sized so that pool workers + the calling thread = default_threads().
+  static ThreadPool& global();
+
+  /// Default parallelism: the DNJ_THREADS environment variable when set to
+  /// a positive integer, otherwise std::thread::hardware_concurrency()
+  /// (never less than 1). Read once per process.
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dnj::runtime

@@ -213,8 +213,9 @@ TEST(Codec, RejectsGarbageHeader) {
 }
 
 TEST(Codec, RejectsOversizedImages) {
-  EXPECT_THROW(encode(Image(1, 1, 1), EncoderConfig{.restart_interval = -1}),
-               std::invalid_argument);
+  EncoderConfig bad;
+  bad.restart_interval = -1;
+  EXPECT_THROW(encode(Image(1, 1, 1), bad), std::invalid_argument);
 }
 
 TEST(Codec, EncodedSizeMatchesEncode) {

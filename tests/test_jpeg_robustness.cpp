@@ -101,7 +101,10 @@ TEST(Robustness, ZeroLengthSegments) {
 
 TEST(Robustness, RepeatedSoi) {
   std::vector<std::uint8_t> full = reference_stream();
-  std::vector<std::uint8_t> doubled = {0xFF, 0xD8};
+  std::vector<std::uint8_t> doubled;
+  doubled.reserve(full.size() + 2);
+  doubled.push_back(0xFF);
+  doubled.push_back(0xD8);
   doubled.insert(doubled.end(), full.begin(), full.end());
   expect_graceful(doubled);
 }

@@ -47,8 +47,11 @@ TEST(Dropout, DropsApproximatelyTheConfiguredFraction) {
   for (float v : y.data()) zeros += (v == 0.0f) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
   // Survivors are scaled by 1/keep so the expectation is preserved.
-  for (float v : y.data())
-    if (v != 0.0f) EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);
+  for (float v : y.data()) {
+    if (v != 0.0f) {
+      EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);
+    }
+  }
 }
 
 TEST(Dropout, BackwardUsesTheSameMask) {

@@ -1,0 +1,86 @@
+// Pin the runtime layer's central contract: thread count never changes
+// results. Every parallel loop in core/ splits work by range and grain
+// only and merges partial results in index order, so byte counts, PSNR
+// and annealed tables must be identical — not approximately, exactly —
+// between 1 thread and N threads.
+#include <gtest/gtest.h>
+
+#include "core/deepnjpeg.hpp"
+#include "core/sa_optimizer.hpp"
+#include "core/transcode.hpp"
+#include "data/synthetic.hpp"
+
+namespace dnj::core {
+namespace {
+
+data::Dataset det_dataset(int per_class = 6) {
+  data::GeneratorConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.num_classes = 4;
+  cfg.seed = 777;
+  return data::SyntheticDatasetGenerator(cfg).generate(per_class);
+}
+
+jpeg::EncoderConfig q80_config() {
+  jpeg::EncoderConfig cfg;
+  cfg.quality = 80;
+  cfg.subsampling = jpeg::Subsampling::k444;
+  return cfg;
+}
+
+TEST(ParallelDeterminism, TranscodeIsIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = det_dataset();
+  const jpeg::EncoderConfig cfg = q80_config();
+  const TranscodeResult serial = transcode(ds, cfg, /*num_threads=*/1);
+  for (int threads : {2, 4, 8}) {
+    const TranscodeResult parallel = transcode(ds, cfg, threads);
+    EXPECT_EQ(parallel.total_bytes, serial.total_bytes) << "threads=" << threads;
+    EXPECT_EQ(parallel.scan_bytes, serial.scan_bytes) << "threads=" << threads;
+    // Bit-exact, not EXPECT_DOUBLE_EQ: the fold order is thread-invariant.
+    EXPECT_EQ(parallel.mean_psnr, serial.mean_psnr) << "threads=" << threads;
+    ASSERT_EQ(parallel.dataset.size(), serial.dataset.size());
+    for (std::size_t i = 0; i < serial.dataset.size(); ++i) {
+      EXPECT_EQ(parallel.dataset.samples[i].image, serial.dataset.samples[i].image);
+      EXPECT_EQ(parallel.dataset.samples[i].label, serial.dataset.samples[i].label);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, DatasetByteCountsAreIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = det_dataset();
+  const jpeg::EncoderConfig cfg = q80_config();
+  const std::size_t enc1 = dataset_encoded_bytes(ds, cfg, 1);
+  const std::size_t scan1 = dataset_scan_bytes(ds, cfg, 1);
+  const std::size_t ref1 = reference_bytes_qf100(ds, 1);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(dataset_encoded_bytes(ds, cfg, threads), enc1);
+    EXPECT_EQ(dataset_scan_bytes(ds, cfg, threads), scan1);
+    EXPECT_EQ(reference_bytes_qf100(ds, threads), ref1);
+  }
+}
+
+TEST(ParallelDeterminism, AnnealedTableIsIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = det_dataset(4);
+  const FrequencyProfile profile = analyze(ds);
+  SaConfig cfg;
+  cfg.iterations = 80;
+  cfg.sample_images = 6;
+
+  cfg.num_threads = 1;
+  const SaResult serial = anneal_table(ds, profile, jpeg::QuantTable::uniform(8), cfg);
+  for (int threads : {2, 4}) {
+    cfg.num_threads = threads;
+    const SaResult parallel = anneal_table(ds, profile, jpeg::QuantTable::uniform(8), cfg);
+    EXPECT_EQ(parallel.table, serial.table) << "threads=" << threads;
+    EXPECT_EQ(parallel.best_cost, serial.best_cost) << "threads=" << threads;
+    EXPECT_EQ(parallel.initial_cost, serial.initial_cost) << "threads=" << threads;
+    EXPECT_EQ(parallel.accepted_moves, serial.accepted_moves) << "threads=" << threads;
+    ASSERT_EQ(parallel.cost_history.size(), serial.cost_history.size());
+    for (std::size_t i = 0; i < serial.cost_history.size(); ++i)
+      EXPECT_EQ(parallel.cost_history[i], serial.cost_history[i]) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dnj::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dnj::runtime {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&] {
+      counter.fetch_add(1);
+      done.fetch_add(1);
+    });
+  while (done.load() < 32) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolIsValid) {
+  // parallel_for with the global pool degrades to serial when no workers
+  // exist; a standalone zero-worker pool must construct and destruct
+  // cleanly. (With workers, queued tasks are drained before the
+  // destructor returns; with none there is nobody to drain them.)
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) { EXPECT_GE(ThreadPool::default_threads(), 1u); }
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, 1, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(7, 3, 1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingletonRangeRunsOnce) {
+  std::atomic<int> calls{0};
+  std::size_t seen = 0;
+  parallel_for(41, 42, 8, [&](std::size_t i) {
+    calls.fetch_add(1);
+    seen = i;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen, 41u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  for (int threads : {1, 2, 4, 8}) {
+    for (auto& h : hits) h.store(0);
+    parallel_for(
+        0, kN, 7, [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroGrainIsTreatedAsOne) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 100, 0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  for (int threads : {1, 4}) {
+    try {
+      parallel_for(
+          0, 1000, 3,
+          [&](std::size_t i) {
+            if (i == 137) throw std::runtime_error("boom at 137");
+          },
+          threads);
+      FAIL() << "expected exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 137");
+    }
+  }
+}
+
+TEST(ParallelFor, SurvivesAfterAnExceptionalLoop) {
+  // The pool must stay usable after a failed loop abandoned its chunks.
+  EXPECT_THROW(parallel_for(0, 100, 1,
+                            [](std::size_t) { throw std::logic_error("dead"); }),
+               std::logic_error);
+  std::atomic<int> calls{0};
+  parallel_for(0, 100, 1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, 1, [&](std::size_t) {
+    parallel_for(0, 8, 1, [&](std::size_t) { calls.fetch_add(1); });
+  });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ParallelMap, ResultsAreInIndexOrder) {
+  for (int threads : {1, 2, 8}) {
+    const std::vector<std::size_t> out = parallel_map(
+        10, 200, 3, [](std::size_t i) { return i * i; }, threads);
+    ASSERT_EQ(out.size(), 190u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], (i + 10) * (i + 10));
+  }
+}
+
+TEST(ParallelMap, EmptyRangeGivesEmptyVector) {
+  const std::vector<int> out = parallel_map(3, 3, 1, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ResolveThreads, ZeroMeansDefaultPositiveIsExplicit) {
+  EXPECT_EQ(resolve_threads(0), ThreadPool::default_threads());
+  EXPECT_EQ(resolve_threads(3), 3u);
+}
+
+}  // namespace
+}  // namespace dnj::runtime
