@@ -86,15 +86,15 @@ int main() {
     measure("PLM + optHuff", d.table, 0.0, /*optimize_huffman=*/true);
   }
 
-  bench::CsvWriter csv("ablation_design");
-  csv.header({"variant", "cr", "accuracy", "design_ms"});
+  bench::JsonWriter out("ablation_design");
+  out.begin_rows({"variant", "cr", "accuracy", "design_ms"});
   std::printf("%-16s %10s %10s %12s\n", "variant", "CR", "accuracy", "design ms");
   for (const Row& r : rows) {
     std::printf("%-16s %10.2f %10.4f %12.1f\n", r.name.c_str(), r.cr, r.acc, r.design_ms);
-    csv.row({r.name, bench::fmt(r.cr, 2), bench::fmt(r.acc, 4), bench::fmt(r.design_ms, 1)});
+    out.row({r.name, bench::fmt(r.cr, 2), bench::fmt(r.acc, 4), bench::fmt(r.design_ms, 1)});
   }
   std::printf("(expect: the magnitude-based PLM heuristic is at or near the search result\n");
   std::printf(" at a fraction of the design cost — the paper's argument for a heuristic)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

@@ -1,0 +1,207 @@
+// Perf baseline for the planar block-batch codec core: times each pipeline
+// stage (tile, DCT, quant+zigzag, entropy) in isolation, then the full
+// transcode-style encode through the reference per-block path vs the
+// zero-alloc CodecContext pipeline, and records everything to
+// bench_results/BENCH_codec_pipeline.json so future PRs have a per-stage
+// trajectory. The encode comparison doubles as an end-to-end equivalence
+// smoke: the two paths must produce byte-identical streams.
+//
+// Usage: bench_codec_pipeline [num_images] [repeats]
+//   num_images — dataset size (default 256)
+//   repeats    — timed repetitions per measurement; best run reported
+//                (default 3; use 1 for a CI smoke run)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "image/blocks.hpp"
+#include "image/color.hpp"
+#include "jpeg/bitio.hpp"
+#include "jpeg/block_coder.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/pipeline/codec_context.hpp"
+#include "jpeg/quant.hpp"
+
+using namespace dnj;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_images = argc > 1 ? std::atoi(argv[1]) : 256;
+  const int repeats = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+  if (num_images <= 0) {
+    std::fprintf(stderr, "bench_codec_pipeline: bad image count\n");
+    return 1;
+  }
+
+  // Transcode-style workload: the dataset shape every experiment re-encodes
+  // millions of times (32x32 grayscale, 4:4:4, q = 85).
+  data::GeneratorConfig gen_cfg;
+  gen_cfg.width = 32;
+  gen_cfg.height = 32;
+  gen_cfg.channels = 1;
+  gen_cfg.num_classes = 8;
+  gen_cfg.seed = 0xC0DEC;
+  const data::Dataset ds =
+      data::SyntheticDatasetGenerator(gen_cfg).generate((num_images + 7) / 8);
+
+  jpeg::EncoderConfig enc_cfg;
+  enc_cfg.quality = 85;
+  enc_cfg.subsampling = jpeg::Subsampling::k444;
+
+  // --- per-stage throughput (single thread, one warm context) -------------
+  jpeg::pipeline::CodecContext ctx;
+  const auto [luma_q, chroma_q] = jpeg::effective_tables(enc_cfg);
+  (void)chroma_q;
+  const int bx = image::padded_dim(gen_cfg.width) / image::kBlockDim;
+  const int by = image::padded_dim(gen_cfg.height) / image::kBlockDim;
+  const std::size_t blocks_per_image = static_cast<std::size_t>(bx) * by;
+  const std::size_t total_blocks = blocks_per_image * ds.size();
+
+  // Per-image working set so every stage runs over real per-image content
+  // (entropy cost is content-dependent). The DCT inputs are restored from
+  // a pristine tiled copy before every timed repeat (untimed) so repeats
+  // never transform already-transformed data — the quant and entropy
+  // stages below see exactly one DCT application.
+  std::vector<jpeg::pipeline::CoeffPlane> coeffs(ds.size());
+  std::vector<jpeg::pipeline::CoeffPlane> tiled(ds.size());
+  std::vector<jpeg::pipeline::QuantPlane> quants(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    coeffs[i].reshape(bx, by);
+    tiled[i].reshape(bx, by);
+    quants[i].reshape(bx, by);
+  }
+
+  const double tile_s = best_of(repeats, [&] {
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      image::tile_image_blocks_into(ds.samples[i].image, 0, bx, by, tiled[i].data(),
+                                    -128.0f);
+  });
+
+  double dct_s = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      std::copy(tiled[i].data(), tiled[i].data() + tiled[i].block_count() * 64,
+                coeffs[i].data());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      jpeg::fdct_batch(coeffs[i].data(), coeffs[i].block_count());
+    dct_s = std::min(dct_s, seconds_since(t0));
+  }
+
+  const jpeg::ReciprocalTable recip(luma_q);
+  const double quant_s = best_of(repeats, [&] {
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      jpeg::quantize_zigzag_batch(coeffs[i].data(), coeffs[i].block_count(), recip,
+                                  quants[i].data());
+  });
+
+  const jpeg::pipeline::CodecContext::StaticHuffman& huff = ctx.static_huffman();
+  std::vector<std::uint8_t> scratch;
+  const double entropy_s = best_of(repeats, [&] {
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      scratch.clear();
+      jpeg::BitWriter bw(scratch);
+      int dc_pred = 0;
+      for (std::size_t b = 0; b < quants[i].block_count(); ++b)
+        jpeg::encode_block_zz(bw, quants[i].block(b), dc_pred, huff.dc_luma,
+                              huff.ac_luma);
+      bw.flush();
+    }
+  });
+
+  // --- end-to-end: reference per-block encoder vs pipeline ----------------
+  // Equivalence gate first (untimed): every image of the workload must
+  // produce byte-identical streams on both paths.
+  bool identical = true;
+  for (const data::Sample& s : ds.samples)
+    identical =
+        identical && jpeg::encode_reference(s.image, enc_cfg) == jpeg::encode(s.image, enc_cfg, ctx);
+
+  std::vector<std::uint8_t> sink;
+  const double reference_s = best_of(repeats, [&] {
+    for (const data::Sample& s : ds.samples)
+      sink = jpeg::encode_reference(s.image, enc_cfg);
+  });
+  const double pipeline_s = best_of(repeats, [&] {
+    for (const data::Sample& s : ds.samples) sink = jpeg::encode(s.image, enc_cfg, ctx);
+  });
+  const double speedup = reference_s / pipeline_s;
+
+  // --- decode throughput through a warm context ---------------------------
+  std::vector<std::vector<std::uint8_t>> streams;
+  streams.reserve(ds.size());
+  for (const data::Sample& s : ds.samples)
+    streams.push_back(jpeg::encode(s.image, enc_cfg, ctx));
+  const double decode_s = best_of(repeats, [&] {
+    for (const auto& bytes : streams) jpeg::decode(bytes, ctx);
+  });
+
+  const double mblk = static_cast<double>(total_blocks) / 1e6;
+  bench::JsonWriter json("BENCH_codec_pipeline");
+  json.field("bench", "codec_pipeline");
+  json.field("images", ds.size());
+  json.field("width", gen_cfg.width);
+  json.field("height", gen_cfg.height);
+  json.field("quality", enc_cfg.quality);
+  json.field("repeats", repeats);
+  json.field("blocks", total_blocks);
+  json.begin_array("stages");
+  const struct {
+    const char* name;
+    double s;
+  } stages[] = {{"tile", tile_s}, {"dct", dct_s}, {"quant_zigzag", quant_s},
+                {"entropy", entropy_s}};
+  for (const auto& st : stages) {
+    json.begin_object();
+    json.field("stage", st.name);
+    json.field("seconds", st.s);
+    json.field("mblocks_per_s", mblk / st.s);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("encode_reference_s", reference_s);
+  json.field("encode_pipeline_s", pipeline_s);
+  json.field("encode_speedup", speedup);
+  json.field("encode_images_per_s", static_cast<double>(ds.size()) / pipeline_s);
+  json.field("decode_s", decode_s);
+  json.field("decode_images_per_s", static_cast<double>(ds.size()) / decode_s);
+  json.field("streams_identical", identical);
+
+  std::printf("codec pipeline, %zu images %dx%d, q=%d, repeats=%d\n", ds.size(),
+              gen_cfg.width, gen_cfg.height, enc_cfg.quality, repeats);
+  for (const auto& st : stages)
+    std::printf("  %-12s %.4fs  %7.2f Mblocks/s\n", st.name, st.s, mblk / st.s);
+  std::printf("  encode: reference %.4fs, pipeline %.4fs -> %.2fx speedup (%s)\n",
+              reference_s, pipeline_s, speedup, identical ? "byte-identical" : "DIFFER");
+  std::printf("  decode: %.4fs  %.1f img/s\n", decode_s,
+              static_cast<double>(ds.size()) / decode_s);
+  std::printf("  wrote %s\n", json.path().c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "bench_codec_pipeline: reference and pipeline streams differ!\n");
+    return 1;
+  }
+  return 0;
+}

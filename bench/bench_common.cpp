@@ -73,26 +73,6 @@ data::Dataset recompress_table(const data::Dataset& ds, const jpeg::QuantTable& 
   return std::move(res.dataset);
 }
 
-CsvWriter::CsvWriter(const std::string& name) {
-  std::filesystem::create_directories("bench_results");
-  path_ = "bench_results/" + name + ".csv";
-  file_ = std::fopen(path_.c_str(), "w");
-  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path_);
-}
-
-CsvWriter::~CsvWriter() {
-  if (file_) std::fclose(static_cast<std::FILE*>(file_));
-}
-
-void CsvWriter::header(const std::vector<std::string>& cols) { row(cols); }
-
-void CsvWriter::row(const std::vector<std::string>& cells) {
-  std::FILE* f = static_cast<std::FILE*>(file_);
-  for (std::size_t i = 0; i < cells.size(); ++i)
-    std::fprintf(f, "%s%s", cells[i].c_str(), i + 1 < cells.size() ? "," : "\n");
-  std::fflush(f);
-}
-
 namespace {
 
 std::string json_escape(const std::string& s) {
@@ -131,9 +111,16 @@ JsonWriter::JsonWriter(const std::string& name) {
 
 JsonWriter::~JsonWriter() {
   if (file_) {
+    while (!scope_kind_.empty()) close_scope();
     std::fputs("}\n", static_cast<std::FILE*>(file_));
     std::fclose(static_cast<std::FILE*>(file_));
   }
+}
+
+void JsonWriter::close_scope() {
+  needs_comma_.pop_back();
+  std::fputs(scope_kind_.back() == 'A' ? "]" : "}", static_cast<std::FILE*>(file_));
+  scope_kind_.pop_back();
 }
 
 void JsonWriter::comma_only() {
@@ -173,27 +160,44 @@ void JsonWriter::field(const std::string& key, int value) {
   std::fprintf(static_cast<std::FILE*>(file_), "%d", value);
 }
 
+void JsonWriter::field(const std::string& key, bool value) {
+  comma_and_key(key);
+  std::fputs(value ? "true" : "false", static_cast<std::FILE*>(file_));
+}
+
 void JsonWriter::begin_array(const std::string& key) {
   comma_and_key(key);
   std::fputs("[", static_cast<std::FILE*>(file_));
   needs_comma_.push_back(false);
+  scope_kind_.push_back('A');
 }
 
-void JsonWriter::end_array() {
-  needs_comma_.pop_back();
-  std::fputs("]", static_cast<std::FILE*>(file_));
-}
+void JsonWriter::end_array() { close_scope(); }
 
 void JsonWriter::begin_object() {
   comma_only();
   std::fputs("{", static_cast<std::FILE*>(file_));
   needs_comma_.push_back(false);
+  scope_kind_.push_back('O');
 }
 
-void JsonWriter::end_object() {
-  needs_comma_.pop_back();
-  std::fputs("}", static_cast<std::FILE*>(file_));
+void JsonWriter::end_object() { close_scope(); }
+
+void JsonWriter::begin_rows(const std::vector<std::string>& cols) {
+  row_cols_ = cols;
+  begin_array("rows");
 }
+
+void JsonWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != row_cols_.size())
+    throw std::runtime_error("JsonWriter::row: cell count does not match columns");
+  begin_object();
+  for (std::size_t i = 0; i < cells.size(); ++i) field(row_cols_[i], cells[i]);
+  end_object();
+  std::fflush(static_cast<std::FILE*>(file_));
+}
+
+void JsonWriter::end_rows() { end_array(); }
 
 std::string fmt(double v, int precision) {
   char buf[64];

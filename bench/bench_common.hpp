@@ -57,26 +57,15 @@ data::Dataset recompress_quality(const data::Dataset& ds, int quality,
 data::Dataset recompress_table(const data::Dataset& ds, const jpeg::QuantTable& table,
                                std::size_t* bytes_out = nullptr);
 
-/// Simple CSV writer: creates `bench_results/<name>.csv` under the current
-/// working directory.
-class CsvWriter {
- public:
-  explicit CsvWriter(const std::string& name);
-  ~CsvWriter();
-  void header(const std::vector<std::string>& cols);
-  void row(const std::vector<std::string>& cells);
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-  void* file_;  // FILE*
-};
-
-/// Minimal JSON emitter: creates `bench_results/<name>.json`. Produces one
-/// top-level object; arrays of objects are supported one level deep —
-/// enough for the perf-baseline files (BENCH_*.json) that track throughput
-/// across PRs. Keys are written in call order, commas are managed
-/// internally, and the file is valid JSON once the writer is destroyed.
+/// The one result emitter every bench binary uses: creates
+/// `bench_results/<name>.json` under the current working directory.
+/// Produces one top-level object; arrays of objects nest one level deep —
+/// enough both for the perf-baseline files (BENCH_*.json) that track
+/// throughput across PRs and for the figure benches' tabular output
+/// (begin_rows/row, which replaced the seed's separate CSV writer). Keys
+/// are written in call order, commas are managed internally, and any scopes
+/// still open when the writer is destroyed are closed so the file is always
+/// valid JSON.
 class JsonWriter {
  public:
   explicit JsonWriter(const std::string& name);
@@ -89,19 +78,30 @@ class JsonWriter {
   void field(const std::string& key, double value);
   void field(const std::string& key, std::size_t value);
   void field(const std::string& key, int value);
+  void field(const std::string& key, bool value);  ///< emits true/false literals
   void begin_array(const std::string& key);
   void end_array();
   void begin_object();  ///< only valid inside an array
   void end_object();
+
+  /// Tabular mode (the CSV replacement): begin_rows fixes the column names,
+  /// each row() emits one object of column->cell pairs into a "rows" array.
+  void begin_rows(const std::vector<std::string>& cols);
+  void row(const std::vector<std::string>& cells);
+  void end_rows();
+
   const std::string& path() const { return path_; }
 
  private:
   void comma_and_key(const std::string& key);
   void comma_only();
+  void close_scope();
 
   std::string path_;
   void* file_;                     // FILE*
   std::vector<bool> needs_comma_;  // one flag per open scope
+  std::vector<char> scope_kind_;   // 'A' = array, 'O' = object, per open scope
+  std::vector<std::string> row_cols_;
 };
 
 /// Formats a double with fixed precision.

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   json.field("quality", enc_cfg.quality);
   json.field("repeats", repeats);
   json.field("default_threads", static_cast<std::size_t>(threads));
-  json.field("outputs_identical", identical ? "true" : "false");
+  json.field("outputs_identical", identical);
   json.begin_array("runs");
   json.begin_object();
   json.field("mode", "serial");

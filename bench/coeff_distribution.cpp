@@ -32,8 +32,8 @@ int main() {
   const int probe_bands[] = {0, 1, 8, 9, 2 * 8 + 2, 4 * 8 + 1, 1 * 8 + 4,
                              5 * 8 + 5, 7 * 8 + 0, 0 * 8 + 7, 7 * 8 + 7};
 
-  bench::CsvWriter csv("coeff_distribution");
-  csv.header({"band_row", "band_col", "mean", "sigma", "laplace_ks", "gauss_ks",
+  bench::JsonWriter out("coeff_distribution");
+  out.begin_rows({"band_row", "band_col", "mean", "sigma", "laplace_ks", "gauss_ks",
               "laplace_preferred"});
   std::printf("%5s %5s %10s %10s %12s %12s %10s\n", "row", "col", "mean", "sigma",
               "KS(Laplace)", "KS(Gauss)", "prefers");
@@ -56,12 +56,12 @@ int main() {
     mean /= static_cast<double>(data.size());
     std::printf("%5d %5d %10.2f %10.2f %12.4f %12.4f %10s\n", band / 8, band % 8, mean,
                 gf.sigma, ks_l, ks_g, laplace_better ? "Laplace" : "Gauss");
-    csv.row({std::to_string(band / 8), std::to_string(band % 8), bench::fmt(mean, 2),
+    out.row({std::to_string(band / 8), std::to_string(band % 8), bench::fmt(mean, 2),
              bench::fmt(gf.sigma, 2), bench::fmt(ks_l, 4), bench::fmt(ks_g, 4),
              laplace_better ? "1" : "0"});
   }
   std::printf("\nAC bands preferring the Laplace model: %d / %d\n", ac_laplace_wins, ac_total);
   std::printf("(expect: most AC bands are closer to Laplace; AC means are ~0)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

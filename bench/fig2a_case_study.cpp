@@ -19,8 +19,8 @@ int main() {
   // CASE 1: one model trained on the original (QF 100) training set.
   nn::LayerPtr case1_model = bench::train_model(nn::ModelKind::kMiniAlexNet, env.train);
 
-  bench::CsvWriter csv("fig2a_case_study");
-  csv.header({"qf", "cr", "case1_acc", "case2_acc"});
+  bench::JsonWriter out("fig2a_case_study");
+  out.begin_rows({"qf", "cr", "case1_acc", "case2_acc"});
   std::printf("%6s %8s %12s %12s\n", "QF", "CR", "CASE1 acc", "CASE2 acc");
 
   for (int qf : kQualities) {
@@ -41,9 +41,9 @@ int main() {
     const double case2 = nn::evaluate(*case2_model, env.test);
 
     std::printf("%6d %8.2f %12.4f %12.4f\n", qf, cr, case1, case2);
-    csv.row({std::to_string(qf), bench::fmt(cr, 2), bench::fmt(case1, 4), bench::fmt(case2, 4)});
+    out.row({std::to_string(qf), bench::fmt(cr, 2), bench::fmt(case1, 4), bench::fmt(case2, 4)});
   }
   std::printf("(expect: accuracy falls with CR; CASE 2 falls less than CASE 1)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

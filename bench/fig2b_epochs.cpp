@@ -28,13 +28,13 @@ int main() {
     curves.push_back(curve);
   }
 
-  bench::CsvWriter csv("fig2b_epochs");
-  csv.header({"epoch", "qf100", "qf50", "qf20"});
+  bench::JsonWriter out("fig2b_epochs");
+  out.begin_rows({"epoch", "qf100", "qf50", "qf20"});
   std::printf("%6s %10s %10s %10s\n", "epoch", "QF100", "QF50", "QF20");
   for (int e = 0; e < kEpochs; ++e) {
     std::printf("%6d %10.4f %10.4f %10.4f\n", e, curves[0][static_cast<std::size_t>(e)],
                 curves[1][static_cast<std::size_t>(e)], curves[2][static_cast<std::size_t>(e)]);
-    csv.row({std::to_string(e), bench::fmt(curves[0][static_cast<std::size_t>(e)], 4),
+    out.row({std::to_string(e), bench::fmt(curves[0][static_cast<std::size_t>(e)], 4),
              bench::fmt(curves[1][static_cast<std::size_t>(e)], 4),
              bench::fmt(curves[2][static_cast<std::size_t>(e)], 4)});
   }
@@ -42,6 +42,6 @@ int main() {
   const double gap_end = curves[0].back() - curves[2].back();
   std::printf("gap(QF100 - QF20): first epoch %.4f, last epoch %.4f\n", gap_start, gap_end);
   std::printf("(expect: the gap grows toward the last epoch)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

@@ -19,8 +19,8 @@ int main() {
   nn::LayerPtr model = bench::train_model(nn::ModelKind::kMiniAlexNet, env.train);
 
   const int kRemoved = 6;  // same count as the paper's example
-  bench::CsvWriter csv("fig3_hf_removal");
-  csv.header({"class", "n_images", "flip_rate", "mean_psnr_of_edit", "turns_into"});
+  bench::JsonWriter out("fig3_hf_removal");
+  out.begin_rows({"class", "n_images", "flip_rate", "mean_psnr_of_edit", "turns_into"});
 
   // Confusion matrix on the HF-stripped test set: tells us what each class
   // *becomes* — the junco-to-robin direction of the paper's example.
@@ -56,7 +56,7 @@ int main() {
         into >= 0 ? data::class_name(static_cast<data::ClassKind>(into)) : "-";
     std::printf("%-20s %8d %10.3f %14.1f  %s\n", name.c_str(),
                 totals[static_cast<std::size_t>(c)], rate, psnr, into_name.c_str());
-    csv.row({name, std::to_string(totals[static_cast<std::size_t>(c)]), bench::fmt(rate, 3),
+    out.row({name, std::to_string(totals[static_cast<std::size_t>(c)]), bench::fmt(rate, 3),
              bench::fmt(psnr, 1), into_name});
   }
 
@@ -84,6 +84,6 @@ int main() {
     break;
   }
   std::printf("(expect: HF-dependent classes flip at high rate; low-frequency classes do not)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

@@ -50,8 +50,8 @@ int main() {
       {core::Band::kHF, "HF", {1, 40, 80, 160, 255, 511}},
   };
 
-  bench::CsvWriter csv("fig5_band_sensitivity");
-  csv.header({"band", "q", "magnitude_norm_acc", "position_norm_acc"});
+  bench::JsonWriter out("fig5_band_sensitivity");
+  out.begin_rows({"band", "q", "magnitude_norm_acc", "position_norm_acc"});
 
   for (const Sweep& sweep : sweeps) {
     std::printf("--- %s band (normalized accuracy) ---\n", sweep.name);
@@ -60,11 +60,11 @@ int main() {
       const double mag = eval_band_quant(*model, env.test, magnitude, sweep.band, q) / base_acc;
       const double pos = eval_band_quant(*model, env.test, position, sweep.band, q) / base_acc;
       std::printf("%6d %18.4f %18.4f\n", q, mag, pos);
-      csv.row({sweep.name, std::to_string(q), bench::fmt(mag, 4), bench::fmt(pos, 4)});
+      out.row({sweep.name, std::to_string(q), bench::fmt(mag, 4), bench::fmt(pos, 4)});
     }
   }
   std::printf("(expect: magnitude-based HF never degrades while position-based HF does —\n");
   std::printf(" the paper's core observation; LF/MF degrade once steps zero strong bands)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

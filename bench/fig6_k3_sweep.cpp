@@ -17,8 +17,8 @@ int main() {
 
   const core::FrequencyProfile profile = core::analyze(env.train);
 
-  bench::CsvWriter csv("fig6_k3_sweep");
-  csv.header({"k3", "cr", "accuracy"});
+  bench::JsonWriter out("fig6_k3_sweep");
+  out.begin_rows({"k3", "cr", "accuracy"});
   std::printf("%6s %10s %10s\n", "k3", "CR", "accuracy");
   for (int k3 = 1; k3 <= 5; ++k3) {
     core::PlmParams params = core::PlmParams::with_dataset_thresholds(
@@ -32,9 +32,9 @@ int main() {
     const double cr = core::compression_rate(env.reference_bytes, train_bytes + test_bytes);
     const double acc = nn::evaluate(*model, test_c);
     std::printf("%6d %10.2f %10.4f\n", k3, cr, acc);
-    csv.row({std::to_string(k3), bench::fmt(cr, 2), bench::fmt(acc, 4)});
+    out.row({std::to_string(k3), bench::fmt(cr, 2), bench::fmt(acc, 4)});
   }
   std::printf("(expect: CR falls as k3 grows; accuracy saturates near the original)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

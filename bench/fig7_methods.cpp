@@ -16,11 +16,11 @@ int main() {
   nn::LayerPtr model = bench::train_model(nn::ModelKind::kMiniAlexNet, env.train);
   const double base_acc = nn::evaluate(*model, env.test);
 
-  bench::CsvWriter csv("fig7_methods");
-  csv.header({"method", "cr", "accuracy"});
+  bench::JsonWriter out("fig7_methods");
+  out.begin_rows({"method", "cr", "accuracy"});
   std::printf("%-14s %10s %10s\n", "method", "CR", "accuracy");
   std::printf("%-14s %10.2f %10.4f\n", "Original", 1.0, base_acc);
-  csv.row({"Original", "1.00", bench::fmt(base_acc, 4)});
+  out.row({"Original", "1.00", bench::fmt(base_acc, 4)});
 
   auto report = [&](const std::string& name, const jpeg::QuantTable& table) {
     std::size_t train_bytes = 0, test_bytes = 0;
@@ -29,7 +29,7 @@ int main() {
     const double cr = core::compression_rate(env.reference_bytes, train_bytes + test_bytes);
     const double acc = nn::evaluate(*model, test_c);
     std::printf("%-14s %10.2f %10.4f\n", name.c_str(), cr, acc);
-    csv.row({name, bench::fmt(cr, 2), bench::fmt(acc, 4)});
+    out.row({name, bench::fmt(cr, 2), bench::fmt(acc, 4)});
   };
 
   // RM-HF: QF-100 table (all ones) with the top-N zig-zag bands removed —
@@ -44,6 +44,6 @@ int main() {
 
   std::printf("(expect: DeepN-JPEG reaches the best CR at ~original accuracy;\n");
   std::printf(" RM-HF and SAME-Q lose accuracy as their CR grows)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

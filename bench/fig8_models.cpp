@@ -43,8 +43,8 @@ int main() {
                         core::compression_rate(env.reference_bytes, train_b + test_b)});
   }
 
-  bench::CsvWriter csv("fig8_models");
-  csv.header({"model", "variant", "cr", "accuracy"});
+  bench::JsonWriter out("fig8_models");
+  out.begin_rows({"model", "variant", "cr", "accuracy"});
   std::printf("%-14s", "model");
   for (const Variant& v : variants) std::printf(" %12s", v.name.c_str());
   std::printf("\n");
@@ -57,7 +57,7 @@ int main() {
     for (const Variant& v : variants) {
       const double acc = nn::evaluate(*model, v.test);
       std::printf(" %12.4f", acc);
-      csv.row({nn::model_name(kind), v.name, bench::fmt(v.cr, 2), bench::fmt(acc, 4)});
+      out.row({nn::model_name(kind), v.name, bench::fmt(v.cr, 2), bench::fmt(acc, 4)});
     }
     std::printf("\n");
   }
@@ -66,6 +66,6 @@ int main() {
   std::printf("\n");
   std::printf("(expect: DeepN-JPEG column ~= Original column for every model,\n");
   std::printf(" with CR well above 1; QF50 trades accuracy for similar CR)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

@@ -38,8 +38,8 @@ int main() {
                                         power::RadioProfile::lte(),
                                         power::RadioProfile::wifi()};
 
-  bench::CsvWriter csv("fig9_power");
-  csv.header({"method", "bytes", "norm_power_3g", "norm_power_lte", "norm_power_wifi"});
+  bench::JsonWriter out("fig9_power");
+  out.begin_rows({"method", "bytes", "norm_power_3g", "norm_power_lte", "norm_power_wifi"});
   std::printf("%-14s %12s %10s %10s %10s\n", "method", "bytes", "3G", "LTE", "WiFi");
   for (const Method& m : methods) {
     std::printf("%-14s %12zu", m.name.c_str(), m.bytes);
@@ -52,9 +52,9 @@ int main() {
       cells.push_back(bench::fmt(ratio, 3));
     }
     std::printf("\n");
-    csv.row(cells);
+    out.row(cells);
   }
   std::printf("(expect: DeepN-JPEG lowest at roughly 0.3x the original, on every radio)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

@@ -90,8 +90,8 @@ int main() {
   std::vector<const data::Sample*> probe;
   for (std::size_t i = 0; i < env.test.size(); i += 4) probe.push_back(&env.test.samples[i]);
 
-  bench::CsvWriter csv("gradient_model");
-  csv.header({"band_row", "band_col", "sigma", "sensitivity"});
+  bench::JsonWriter out("gradient_model");
+  out.begin_rows({"band_row", "band_col", "sigma", "sensitivity"});
   std::printf("%6s %6s %12s %14s\n", "row", "col", "sigma", "sensitivity");
 
   std::vector<double> sigmas, sens, log_sigmas, log_sens;
@@ -103,7 +103,7 @@ int main() {
     log_sigmas.push_back(std::log(sigma + 1e-6));
     log_sens.push_back(std::log(s + 1e-9));
     std::printf("%6d %6d %12.3f %14.6f\n", band / 8, band % 8, sigma, s);
-    csv.row({std::to_string(band / 8), std::to_string(band % 8), bench::fmt(sigma, 3),
+    out.row({std::to_string(band / 8), std::to_string(band % 8), bench::fmt(sigma, 3),
              bench::fmt(s, 6)});
   }
 
@@ -112,6 +112,6 @@ int main() {
   std::printf("Pearson correlation (log sigma vs log sensitivity): %.3f\n",
               pearson(log_sigmas, log_sens));
   std::printf("(expect: clearly positive — high-magnitude bands matter more to the DNN)\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("json: %s\n", out.path().c_str());
   return 0;
 }

@@ -7,23 +7,32 @@
 #include "image/blocks.hpp"
 #include "image/color.hpp"
 #include "jpeg/dct.hpp"
+#include "jpeg/pipeline/coeff_plane.hpp"
 
 namespace dnj::core {
 
 namespace {
 
 void accumulate_image(const image::Image& img, bool use_luma, stats::BandStats& acc) {
-  image::PlaneF plane;
+  // Per-worker arenas, reused across every image this thread analyzes.
+  thread_local image::YCbCrPlanes ycc;
+  thread_local jpeg::pipeline::CoeffPlane coeffs;
+  const image::PlaneF* plane;
   if (use_luma && img.channels() == 3) {
-    plane = image::to_ycbcr(img).y;
+    image::to_ycbcr_into(img, ycc);
+    plane = &ycc.y;
   } else {
-    plane = image::to_plane(img, 0);
+    image::to_plane_into(img, 0, ycc.y);
+    plane = &ycc.y;
   }
-  const std::vector<image::BlockF> blocks = image::split_blocks(plane);
-  for (image::BlockF blk : blocks) {
-    image::level_shift(blk);
-    acc.add_block(jpeg::fdct(blk));
-  }
+  // Tile into a contiguous coefficient plane (level shift fused) and run
+  // the batched in-place DCT — same arithmetic as the seed's per-block
+  // split_blocks / level_shift / fdct loop, without the per-block copies.
+  const int bx = image::padded_dim(plane->width()) / image::kBlockDim;
+  const int by = image::padded_dim(plane->height()) / image::kBlockDim;
+  coeffs.tile_from(*plane, bx, by, -128.0f);
+  jpeg::fdct_batch(coeffs.data(), coeffs.block_count());
+  for (std::size_t b = 0; b < coeffs.block_count(); ++b) acc.add_block(coeffs.block(b));
 }
 
 }  // namespace

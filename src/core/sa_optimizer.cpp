@@ -35,35 +35,40 @@ class CostModel {
          i += stride)
       images_.push_back(&ds.samples[i].image);
 
-    // Coefficient samples for the distortion term: per-image DCT block
-    // lists computed in parallel, concatenated in image order so blocks_
-    // is laid out exactly as the serial loop would build it.
-    std::vector<std::vector<image::BlockF>> per_image = runtime::parallel_map(
+    // Coefficient samples for the distortion term: per-image coefficient
+    // planes (contiguous 64-stride blocks, level shift fused into the
+    // tiling, batched in-place DCT) computed in parallel, concatenated in
+    // image order so blocks_ is laid out exactly as the serial loop would
+    // build it.
+    std::vector<std::vector<float>> per_image = runtime::parallel_map(
         0, images_.size(), 1,
         [&](std::size_t i) {
           const image::PlaneF plane = image::to_plane(*images_[i], 0);
-          std::vector<image::BlockF> out;
-          for (image::BlockF blk : image::split_blocks(plane)) {
-            image::level_shift(blk);
-            out.push_back(jpeg::fdct(blk));
-          }
-          return out;
+          const int bx = image::padded_dim(plane.width()) / image::kBlockDim;
+          const int by = image::padded_dim(plane.height()) / image::kBlockDim;
+          std::vector<float> coeffs(static_cast<std::size_t>(bx) * by * image::kBlockSize);
+          image::tile_blocks_into(plane, bx, by, coeffs.data(), -128.0f);
+          jpeg::fdct_batch(coeffs.data(), static_cast<std::size_t>(bx) * by);
+          return coeffs;
         },
         config.num_threads);
-    for (std::vector<image::BlockF>& v : per_image)
+    for (std::vector<float>& v : per_image)
       blocks_.insert(blocks_.end(), v.begin(), v.end());
+    block_count_ = blocks_.size() / image::kBlockSize;
   }
 
   double cost(const jpeg::QuantTable& table) const {
     // Byte term: real entropy-coded payload of the sample images. Encoded
-    // in parallel, summed in image order — the same addition sequence as
-    // the serial loop, so the cost (and hence the annealing trajectory) is
-    // independent of the thread count.
+    // in parallel through each worker's thread-local codec arena, summed in
+    // image order — the same addition sequence as the serial loop, so the
+    // cost (and hence the annealing trajectory) is independent of the
+    // thread count.
     const jpeg::EncoderConfig cfg = custom_table_config(table);
     const std::vector<double> per_image_bytes = runtime::parallel_map(
         0, images_.size(), 1,
         [&](std::size_t i) {
-          return static_cast<double>(jpeg::scan_byte_count(jpeg::encode(*images_[i], cfg)));
+          return static_cast<double>(jpeg::scan_byte_count(jpeg::encode(
+              *images_[i], cfg, jpeg::pipeline::thread_codec_context())));
         },
         config_.num_threads);
     double bytes = 0.0;
@@ -75,15 +80,15 @@ class CostModel {
     // sequence matches the plain serial loop bit-for-bit. The scratch
     // buffer is reused across calls: cost() runs once per SA iteration
     // and would otherwise reallocate blocks x 512 B every time.
-    per_block_scratch_.resize(blocks_.size());
+    per_block_scratch_.resize(block_count_);
     runtime::parallel_for(
-        0, blocks_.size(), 16,
+        0, block_count_, 16,
         [&](std::size_t b) {
-          const image::BlockF& blk = blocks_[b];
+          const float* blk = blocks_.data() + b * image::kBlockSize;
           std::array<double, 64>& sq = per_block_scratch_[b];
           for (int k = 0; k < 64; ++k) {
             const double q = table.step(k);
-            const double c = blk[static_cast<std::size_t>(k)];
+            const double c = blk[k];
             const double rec = std::nearbyint(c / q) * q;
             sq[static_cast<std::size_t>(k)] = (c - rec) * (c - rec);
           }
@@ -95,7 +100,7 @@ class CostModel {
     double distortion = 0.0;
     for (int k = 0; k < 64; ++k)
       distortion += importance_[static_cast<std::size_t>(k)] * mse[static_cast<std::size_t>(k)] /
-                    static_cast<double>(blocks_.size());
+                    static_cast<double>(block_count_);
     return bytes + config_.lambda * distortion;
   }
 
@@ -103,7 +108,9 @@ class CostModel {
   SaConfig config_;
   std::array<double, 64> importance_{};
   std::vector<const image::Image*> images_;
-  std::vector<image::BlockF> blocks_;
+  /// Sampled DCT coefficients, 64-stride blocks (CoeffPlane layout).
+  std::vector<float> blocks_;
+  std::size_t block_count_ = 0;
   /// Per-block squared errors for the current candidate; cost() is called
   /// from the (single-threaded) SA loop, so one scratch buffer suffices.
   mutable std::vector<std::array<double, 64>> per_block_scratch_;

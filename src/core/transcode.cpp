@@ -28,11 +28,17 @@ TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& co
                           int num_threads) {
   if (ds.empty()) throw std::invalid_argument("transcode: empty dataset");
 
+  // Each parallel worker round-trips through its own thread-local
+  // CodecContext: one scratch arena + cached-table set per worker, reused
+  // across every sample that worker processes. Outputs are pure functions
+  // of the inputs, so the fold below stays bit-identical at any thread
+  // count.
   std::vector<SampleOutcome> outcomes = runtime::parallel_map(
       0, ds.size(), 1,
       [&](std::size_t i) {
         const data::Sample& s = ds.samples[i];
-        jpeg::RoundTrip rt = jpeg::round_trip(s.image, config);
+        jpeg::RoundTrip rt =
+            jpeg::round_trip(s.image, config, jpeg::pipeline::thread_codec_context());
         SampleOutcome out;
         out.total_bytes = rt.bytes.size();
         out.scan_bytes = jpeg::scan_byte_count(rt.bytes);
@@ -67,7 +73,10 @@ std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderCo
   if (ds.empty()) throw std::invalid_argument("dataset_encoded_bytes: empty dataset");
   const std::vector<std::size_t> sizes = runtime::parallel_map(
       0, ds.size(), 1,
-      [&](std::size_t i) { return jpeg::encoded_size(ds.samples[i].image, config); },
+      [&](std::size_t i) {
+        return jpeg::encoded_size(ds.samples[i].image, config,
+                                  jpeg::pipeline::thread_codec_context());
+      },
       num_threads);
   std::size_t total = 0;
   for (std::size_t s : sizes) total += s;
@@ -80,7 +89,8 @@ std::size_t dataset_scan_bytes(const data::Dataset& ds, const jpeg::EncoderConfi
   const std::vector<std::size_t> sizes = runtime::parallel_map(
       0, ds.size(), 1,
       [&](std::size_t i) {
-        return jpeg::scan_byte_count(jpeg::encode(ds.samples[i].image, config));
+        return jpeg::scan_byte_count(jpeg::encode(
+            ds.samples[i].image, config, jpeg::pipeline::thread_codec_context()));
       },
       num_threads);
   std::size_t total = 0;

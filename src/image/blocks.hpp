@@ -40,4 +40,33 @@ void level_shift(BlockF& block);
 /// Undoes the level shift (x + 128) in place.
 void level_unshift(BlockF& block);
 
+// ---------------------------------------------------------------------------
+// Zero-allocation tiling primitives (the codec-pipeline hot path).
+//
+// Blocks are stored contiguously with a stride of kBlockSize floats: block
+// (bx, by) of a (grid_bx, grid_by) grid lives at
+//   dst[(by * grid_bx + bx) * kBlockSize]
+// in row-major sample order. The grid may be larger than the padded plane
+// (4:2:0 luma pads to even MCU multiples); out-of-plane samples are filled
+// by edge replication, exactly like pad_to_blocks. `bias` is added to every
+// sample, so passing -128 fuses the JPEG level shift into the tiling pass.
+
+/// Tiles `plane` into `grid_bx * grid_by` 8x8 blocks at `dst` (which must
+/// hold grid_bx * grid_by * kBlockSize floats). No allocation.
+void tile_blocks_into(const PlaneF& plane, int grid_bx, int grid_by, float* dst,
+                      float bias = 0.0f);
+
+/// Tiles channel `c` of `img` directly into the block grid, fusing the
+/// u8 -> float conversion (and `bias`, i.e. the level shift) into the
+/// tiling pass — the grayscale encode path skips the intermediate PlaneF
+/// entirely. Same layout and replication semantics as tile_blocks_into.
+void tile_image_blocks_into(const Image& img, int c, int grid_bx, int grid_by,
+                            float* dst, float bias = 0.0f);
+
+/// Inverse of tile_blocks_into: writes the top-left plane.width() x
+/// plane.height() samples of the block grid back into `plane`, adding
+/// `bias` (pass +128 to undo the level shift). No allocation.
+void untile_blocks_from(const float* src, int grid_bx, int grid_by, PlaneF& plane,
+                        float bias = 0.0f);
+
 }  // namespace dnj::image

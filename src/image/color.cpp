@@ -18,14 +18,22 @@ std::array<float, 3> ycbcr_to_rgb(float y, float cb, float cr) {
 
 YCbCrPlanes to_ycbcr(const Image& img) {
   YCbCrPlanes out;
-  out.y = PlaneF(img.width(), img.height());
-  out.cb = PlaneF(img.width(), img.height(), 128.0f);
-  out.cr = PlaneF(img.width(), img.height(), 128.0f);
+  to_ycbcr_into(img, out);
+  return out;
+}
+
+void to_ycbcr_into(const Image& img, YCbCrPlanes& out) {
+  out.y.reset(img.width(), img.height());
+  out.cb.reset(img.width(), img.height());
+  out.cr.reset(img.width(), img.height());
   if (img.channels() == 1) {
     for (int y = 0; y < img.height(); ++y)
-      for (int x = 0; x < img.width(); ++x)
+      for (int x = 0; x < img.width(); ++x) {
         out.y.at(x, y) = static_cast<float>(img.at(x, y, 0));
-    return out;
+        out.cb.at(x, y) = 128.0f;
+        out.cr.at(x, y) = 128.0f;
+      }
+    return;
   }
   for (int y = 0; y < img.height(); ++y) {
     for (int x = 0; x < img.width(); ++x) {
@@ -35,18 +43,20 @@ YCbCrPlanes to_ycbcr(const Image& img) {
       out.cr.at(x, y) = ycc[2];
     }
   }
-  return out;
 }
 
 Image to_rgb(const YCbCrPlanes& planes, int width, int height) {
-  if (planes.y.width() < width || planes.y.height() < height ||
-      planes.cb.width() < width || planes.cb.height() < height ||
-      planes.cr.width() < width || planes.cr.height() < height)
+  return to_rgb(planes.y, planes.cb, planes.cr, width, height);
+}
+
+Image to_rgb(const PlaneF& yp, const PlaneF& cb, const PlaneF& cr, int width, int height) {
+  if (yp.width() < width || yp.height() < height || cb.width() < width ||
+      cb.height() < height || cr.width() < width || cr.height() < height)
     throw std::invalid_argument("to_rgb: planes smaller than target size");
   Image img(width, height, 3);
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
-      const auto rgb = ycbcr_to_rgb(planes.y.at(x, y), planes.cb.at(x, y), planes.cr.at(x, y));
+      const auto rgb = ycbcr_to_rgb(yp.at(x, y), cb.at(x, y), cr.at(x, y));
       img.at(x, y, 0) = clamp_u8(rgb[0]);
       img.at(x, y, 1) = clamp_u8(rgb[1]);
       img.at(x, y, 2) = clamp_u8(rgb[2]);

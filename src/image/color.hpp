@@ -30,8 +30,17 @@ std::array<float, 3> ycbcr_to_rgb(float y, float cb, float cr);
 /// yields a Y plane and flat (128) chroma planes.
 YCbCrPlanes to_ycbcr(const Image& img);
 
+/// Allocation-free variant of to_ycbcr: resizes the planes of `out` in
+/// place (reusing their buffers once warm) and fills them with the same
+/// values to_ycbcr produces.
+void to_ycbcr_into(const Image& img, YCbCrPlanes& out);
+
 /// Reassembles an RGB image from YCbCr planes; all planes must share the
 /// target dimensions (or exceed them, for block-padded planes).
 Image to_rgb(const YCbCrPlanes& planes, int width, int height);
+
+/// Same transform from three individually owned planes (e.g. codec-context
+/// arenas that should not be gathered into a YCbCrPlanes by move).
+Image to_rgb(const PlaneF& y, const PlaneF& cb, const PlaneF& cr, int width, int height);
 
 }  // namespace dnj::image

@@ -13,13 +13,18 @@ std::uint8_t clamp_u8(float v) {
 }
 
 PlaneF to_plane(const Image& img, int c) {
+  PlaneF p;
+  to_plane_into(img, c, p);
+  return p;
+}
+
+void to_plane_into(const Image& img, int c, PlaneF& out) {
   if (c < 0 || c >= img.channels())
     throw std::invalid_argument("to_plane: channel out of range");
-  PlaneF p(img.width(), img.height());
+  out.reset(img.width(), img.height());
   for (int y = 0; y < img.height(); ++y)
     for (int x = 0; x < img.width(); ++x)
-      p.at(x, y) = static_cast<float>(img.at(x, y, c));
-  return p;
+      out.at(x, y) = static_cast<float>(img.at(x, y, c));
 }
 
 void from_plane(const PlaneF& plane, Image& img, int c) {

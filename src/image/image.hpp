@@ -91,6 +91,19 @@ class PlaneF {
   bool empty() const { return data_.empty(); }
   std::size_t size() const { return data_.size(); }
 
+  /// Resizes to (width, height) reusing the existing capacity where
+  /// possible; sample values are unspecified afterwards. This is the
+  /// arena-reuse primitive of the codec pipeline — unlike constructing a
+  /// fresh PlaneF it performs no allocation once the buffer has grown to
+  /// its high-water mark.
+  void reset(int width, int height) {
+    if (width <= 0 || height <= 0)
+      throw std::invalid_argument("PlaneF::reset: dimensions must be positive");
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<std::size_t>(width) * height);
+  }
+
   float& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
   float at(int x, int y) const { return data_[static_cast<std::size_t>(y) * width_ + x]; }
 
@@ -105,6 +118,10 @@ class PlaneF {
 
 /// Extracts channel `c` of `img` as a float plane (no level shift).
 PlaneF to_plane(const Image& img, int c);
+
+/// Allocation-free variant: resizes `out` in place (reusing its buffer once
+/// warm) and writes the same samples to_plane produces.
+void to_plane_into(const Image& img, int c, PlaneF& out);
 
 /// Writes a float plane back into channel `c` of `img`, clamping to [0, 255]
 /// and rounding to nearest. The plane may be larger than the image (padded);

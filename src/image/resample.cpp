@@ -6,9 +6,15 @@
 namespace dnj::image {
 
 PlaneF downsample_2x2(const PlaneF& plane) {
+  PlaneF out;
+  downsample_2x2_into(plane, out);
+  return out;
+}
+
+void downsample_2x2_into(const PlaneF& plane, PlaneF& out) {
   const int ow = (plane.width() + 1) / 2;
   const int oh = (plane.height() + 1) / 2;
-  PlaneF out(ow, oh);
+  out.reset(ow, oh);
   for (int y = 0; y < oh; ++y) {
     for (int x = 0; x < ow; ++x) {
       float sum = 0.0f;
@@ -26,7 +32,6 @@ PlaneF downsample_2x2(const PlaneF& plane) {
       out.at(x, y) = sum / static_cast<float>(n);
     }
   }
-  return out;
 }
 
 PlaneF upsample_2x2(const PlaneF& plane, int out_w, int out_h) {

@@ -12,6 +12,10 @@ namespace dnj::image {
 /// the available samples. Output dims are ceil(w/2) x ceil(h/2).
 PlaneF downsample_2x2(const PlaneF& plane);
 
+/// Allocation-free variant: resizes `out` in place (reusing its buffer once
+/// warm) and writes the same samples downsample_2x2 produces.
+void downsample_2x2_into(const PlaneF& plane, PlaneF& out);
+
 /// Bilinear 2x upsample to exactly (out_w, out_h), which must satisfy
 /// ceil(out_w/2) == plane.width() and ceil(out_h/2) == plane.height().
 PlaneF upsample_2x2(const PlaneF& plane, int out_w, int out_h);

@@ -4,31 +4,28 @@
 
 namespace dnj::jpeg {
 
-void BitWriter::emit_byte(std::uint8_t b) {
-  out_.push_back(b);
-  if (b == 0xFF) out_.push_back(0x00);  // byte stuffing
-}
-
-void BitWriter::put_bits(std::uint32_t bits, int count) {
-  if (count < 0 || count > 24) throw std::invalid_argument("BitWriter: bad bit count");
-  if (count == 0) return;
-  acc_ = (acc_ << count) | (bits & ((1u << count) - 1u));
-  bit_count_ += count;
-  while (bit_count_ >= 8) {
-    emit_byte(static_cast<std::uint8_t>((acc_ >> (bit_count_ - 8)) & 0xFF));
-    bit_count_ -= 8;
-  }
+void BitWriter::spill() {
+  out_.insert(out_.end(), buf_.data(), buf_.data() + buf_len_);
+  buf_len_ = 0;
 }
 
 void BitWriter::flush() {
+  // Drain whole bytes, then pad the partial byte with 1-bits per T.81
+  // B.1.1.5, then push the staging buffer out.
+  while (bit_count_ >= 8) {
+    if (buf_len_ + 2 > kBufSize) spill();
+    emit_byte(static_cast<std::uint8_t>((acc_ >> (bit_count_ - 8)) & 0xFF));
+    bit_count_ -= 8;
+  }
   if (bit_count_ > 0) {
-    // Pad with 1-bits per T.81 B.1.1.5.
     const int pad = 8 - bit_count_;
     acc_ = (acc_ << pad) | ((1u << pad) - 1u);
+    if (buf_len_ + 2 > kBufSize) spill();
     emit_byte(static_cast<std::uint8_t>(acc_ & 0xFF));
     bit_count_ = 0;
   }
   acc_ = 0;
+  spill();
 }
 
 void BitWriter::put_marker(std::uint8_t code) {

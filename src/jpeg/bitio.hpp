@@ -3,7 +3,9 @@
 // markers by scanning for un-stuffed 0xFF bytes.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace dnj::jpeg {
@@ -12,21 +14,66 @@ class BitWriter {
  public:
   explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
 
-  /// Writes the low `count` bits of `bits`, MSB first. count in [0, 24].
-  void put_bits(std::uint32_t bits, int count);
+  /// Writes the low `count` bits of `bits`, MSB first. count in [0, 32] —
+  /// wide enough for a fused Huffman-code + magnitude field (16 + 11 bits
+  /// worst case). Inline: this is the entropy coder's innermost operation.
+  /// Bits collect in a 64-bit accumulator, drain four bytes at a time into
+  /// an internal staging buffer (the common no-0xFF case skips per-byte
+  /// stuffing checks), and the buffer spills to the output vector in bulk.
+  /// Buffered bytes reach the vector on flush()/put_marker() — every
+  /// entropy-coded segment ends with a marker, so complete streams are
+  /// never left stale.
+  void put_bits(std::uint32_t bits, int count) {
+    if (count < 0 || count > 32) throw std::invalid_argument("BitWriter: bad bit count");
+    if (count == 0) return;
+    acc_ = (acc_ << count) |
+           (bits & static_cast<std::uint32_t>((1ull << count) - 1ull));
+    bit_count_ += count;  // stays < 64: drained below 32 after every call
+    while (bit_count_ >= 32) {
+      const std::uint32_t word =
+          static_cast<std::uint32_t>(acc_ >> (bit_count_ - 32));
+      bit_count_ -= 32;
+      if (buf_len_ + 8 > kBufSize) spill();
+      const std::uint32_t inv = ~word;
+      if (((inv - 0x01010101u) & ~inv & 0x80808080u) == 0) {
+        // No 0xFF byte in the word: stage all four bytes unstuffed.
+        buf_[buf_len_] = static_cast<std::uint8_t>(word >> 24);
+        buf_[buf_len_ + 1] = static_cast<std::uint8_t>(word >> 16);
+        buf_[buf_len_ + 2] = static_cast<std::uint8_t>(word >> 8);
+        buf_[buf_len_ + 3] = static_cast<std::uint8_t>(word);
+        buf_len_ += 4;
+      } else {
+        emit_byte(static_cast<std::uint8_t>(word >> 24));
+        emit_byte(static_cast<std::uint8_t>(word >> 16));
+        emit_byte(static_cast<std::uint8_t>(word >> 8));
+        emit_byte(static_cast<std::uint8_t>(word));
+      }
+    }
+  }
 
   /// Pads the current byte with 1-bits (the JPEG fill convention) and
-  /// flushes it. Call before writing any marker.
+  /// drains accumulator and staging buffer into the output vector. Call
+  /// before writing any marker or inspecting the output.
   void flush();
 
   /// Flushes, then writes a two-byte marker (0xFF, code) unstuffed.
   void put_marker(std::uint8_t code);
 
  private:
-  void emit_byte(std::uint8_t b);
+  static constexpr std::size_t kBufSize = 1024;
+
+  void spill();  // appends buf_[0..buf_len_) to out_ in one insert
+
+  void emit_byte(std::uint8_t b) {
+    // Callers guarantee >= 2 free bytes (stuffing may add one).
+    buf_[buf_len_++] = b;
+    if (b == 0xFF) buf_[buf_len_++] = 0x00;  // byte stuffing
+  }
 
   std::vector<std::uint8_t>& out_;
-  std::uint32_t acc_ = 0;
+  std::array<std::uint8_t, kBufSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t acc_ = 0;
   int bit_count_ = 0;
 };
 

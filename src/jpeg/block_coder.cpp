@@ -1,5 +1,6 @@
 #include "jpeg/block_coder.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "jpeg/zigzag.hpp"
@@ -23,16 +24,6 @@ std::uint32_t magnitude_bits(int v, int size) {
 }
 
 }  // namespace
-
-int bit_category(int v) {
-  int a = std::abs(v);
-  int bits = 0;
-  while (a != 0) {
-    a >>= 1;
-    ++bits;
-  }
-  return bits;
-}
 
 void encode_block(BitWriter& bw, const QuantizedBlock& block, int& dc_pred,
                   const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table) {
@@ -85,9 +76,76 @@ void count_block_symbols(const QuantizedBlock& block, int& dc_pred, SymbolCounts
   if (run > 0) ++counts.ac[0x00];
 }
 
+void encode_block_zz(BitWriter& bw, const std::int16_t* zz, int& dc_pred,
+                     const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table) {
+  const int dc = zz[0];
+  const int diff = dc - dc_pred;
+  dc_pred = dc;
+  const int dc_cat = bit_category(diff);
+  dc_table.encode_with_extra(bw, static_cast<std::uint8_t>(dc_cat),
+                             magnitude_bits(diff, dc_cat), dc_cat);
+
+  // Find the last nonzero coefficient first: the (usually long) zero tail
+  // collapses to a single EOB decision instead of run bookkeeping. Emitted
+  // bits are identical to the forward run-length walk.
+  int last = 63;
+  while (last > 0 && zz[last] == 0) --last;
+
+  int run = 0;
+  for (int k = 1; k <= last; ++k) {
+    const int v = zz[k];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ac_table.encode(bw, 0xF0);  // ZRL: 16 zeros
+      run -= 16;
+    }
+    const int cat = bit_category(v);
+    ac_table.encode_with_extra(bw, static_cast<std::uint8_t>((run << 4) | cat),
+                               magnitude_bits(v, cat), cat);
+    run = 0;
+  }
+  if (last < 63) ac_table.encode(bw, 0x00);  // EOB
+}
+
+void count_block_symbols_zz(const std::int16_t* zz, int& dc_pred, SymbolCounts& counts) {
+  const int dc = zz[0];
+  const int diff = dc - dc_pred;
+  dc_pred = dc;
+  ++counts.dc[static_cast<std::size_t>(bit_category(diff))];
+
+  // Mirrors encode_block_zz's backward EOB scan so pass-1 statistics match
+  // the emitted symbols exactly.
+  int last = 63;
+  while (last > 0 && zz[last] == 0) --last;
+
+  int run = 0;
+  for (int k = 1; k <= last; ++k) {
+    const int v = zz[k];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ++counts.ac[0xF0];
+      run -= 16;
+    }
+    ++counts.ac[static_cast<std::size_t>((run << 4) | bit_category(v))];
+    run = 0;
+  }
+  if (last < 63) ++counts.ac[0x00];
+}
+
 bool decode_block(BitReader& br, QuantizedBlock& block, int& dc_pred,
                   const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table) {
-  block.fill(0);
+  return decode_block(br, block.data(), dc_pred, dc_table, ac_table);
+}
+
+bool decode_block(BitReader& br, std::int16_t* block, int& dc_pred,
+                  const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table) {
+  std::fill(block, block + 64, static_cast<std::int16_t>(0));
   const int dc_cat = dc_table.decode(br);
   if (dc_cat < 0 || dc_cat > 15) return false;
   int diff = 0;

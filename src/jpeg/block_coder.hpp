@@ -15,8 +15,19 @@ namespace dnj::jpeg {
 
 /// Magnitude category of a coefficient value: the number of bits needed to
 /// represent |v| (0 for v == 0). DC categories go to 11, AC to 10 for 8-bit
-/// baseline, but values are computed generically.
-int bit_category(int v);
+/// baseline, but values are computed generically. Inline (one call per
+/// nonzero coefficient in the entropy coder).
+inline int bit_category(int v) {
+  const unsigned a = static_cast<unsigned>(v < 0 ? -v : v);
+  if (a == 0) return 0;
+#if defined(__GNUC__) || defined(__clang__)
+  return 32 - __builtin_clz(a);
+#else
+  int bits = 0;
+  for (unsigned t = a; t != 0; t >>= 1) ++bits;
+  return bits;
+#endif
+}
 
 /// Symbol frequency accumulators for one (DC, AC) table pair.
 struct SymbolCounts {
@@ -33,9 +44,24 @@ void encode_block(BitWriter& bw, const QuantizedBlock& block, int& dc_pred,
 /// encoding). Updates `dc_pred` identically to encode_block.
 void count_block_symbols(const QuantizedBlock& block, int& dc_pred, SymbolCounts& counts);
 
+/// Encodes one block whose 64 coefficients are already in zig-zag scan
+/// order (the layout `quantize_zigzag_batch` emits) — the coder reads the
+/// buffer linearly with no permutation lookups. Emits exactly the bits
+/// `encode_block` emits for the equivalent natural-order block.
+void encode_block_zz(BitWriter& bw, const std::int16_t* zz, int& dc_pred,
+                     const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table);
+
+/// Statistics pass over a zig-zag-order block, mirroring encode_block_zz.
+void count_block_symbols_zz(const std::int16_t* zz, int& dc_pred, SymbolCounts& counts);
+
 /// Decodes one block into natural-order quantized coefficients. Returns
 /// false on a corrupt or truncated stream.
 bool decode_block(BitReader& br, QuantizedBlock& block, int& dc_pred,
+                  const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table);
+
+/// Same, writing the 64 natural-order coefficients to `block` directly
+/// (e.g. into a pipeline::QuantPlane arena slot).
+bool decode_block(BitReader& br, std::int16_t* block, int& dc_pred,
                   const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table);
 
 }  // namespace dnj::jpeg

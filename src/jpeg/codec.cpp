@@ -2,15 +2,25 @@
 
 namespace dnj::jpeg {
 
-RoundTrip round_trip(const image::Image& img, const EncoderConfig& config) {
+RoundTrip round_trip(const image::Image& img, const EncoderConfig& config,
+                     pipeline::CodecContext& ctx) {
   RoundTrip rt;
-  rt.bytes = encode(img, config);
-  rt.decoded = decode(rt.bytes);
+  rt.bytes = encode(img, config, ctx);
+  rt.decoded = decode(rt.bytes, ctx);
   return rt;
 }
 
+RoundTrip round_trip(const image::Image& img, const EncoderConfig& config) {
+  return round_trip(img, config, pipeline::thread_codec_context());
+}
+
+std::size_t encoded_size(const image::Image& img, const EncoderConfig& config,
+                         pipeline::CodecContext& ctx) {
+  return encode(img, config, ctx).size();
+}
+
 std::size_t encoded_size(const image::Image& img, const EncoderConfig& config) {
-  return encode(img, config).size();
+  return encoded_size(img, config, pipeline::thread_codec_context());
 }
 
 double bits_per_pixel(std::size_t encoded_bytes, int width, int height) {

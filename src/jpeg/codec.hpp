@@ -14,10 +14,17 @@ struct RoundTrip {
   image::Image decoded;             ///< image after decode
 };
 
-/// Encodes then decodes in one call.
+/// Encodes then decodes in one call. The context overload runs both legs
+/// through the caller's arenas; the default uses the calling thread's
+/// shared context, so dataset loops reuse one arena (and one set of cached
+/// static Huffman/reciprocal tables) per worker automatically.
+RoundTrip round_trip(const image::Image& img, const EncoderConfig& config,
+                     pipeline::CodecContext& ctx);
 RoundTrip round_trip(const image::Image& img, const EncoderConfig& config = {});
 
 /// Compressed size in bytes for an image under a config (encode only).
+std::size_t encoded_size(const image::Image& img, const EncoderConfig& config,
+                         pipeline::CodecContext& ctx);
 std::size_t encoded_size(const image::Image& img, const EncoderConfig& config = {});
 
 /// Bits per pixel of an encoded stream for a given image geometry.

@@ -30,13 +30,19 @@ const Basis& basis() {
 }
 
 // AAN output scale: true_coef[u][v] = aan_out[u][v] / (8 * s[u] * s[v]) with
-// s[0] = 1 and s[k] = cos(k pi / 16) * sqrt(2) for k > 0.
+// s[0] = 1 and s[k] = cos(k pi / 16) * sqrt(2) for k > 0. The descale is
+// stored as a per-coefficient reciprocal (computed in double, rounded once
+// to float) so the hot loop multiplies instead of divides.
 struct AanScale {
-  std::array<float, N> s{};
+  std::array<float, N * N> recip{};
   AanScale() {
-    s[0] = 1.0f;
-    for (int k = 1; k < N; ++k)
-      s[k] = static_cast<float>(std::cos(k * M_PI / 16.0) * std::sqrt(2.0));
+    std::array<double, N> s{};
+    s[0] = 1.0;
+    for (int k = 1; k < N; ++k) s[k] = std::cos(k * M_PI / 16.0) * std::sqrt(2.0);
+    for (int u = 0; u < N; ++u)
+      for (int v = 0; v < N; ++v)
+        recip[static_cast<std::size_t>(u) * N + v] =
+            static_cast<float>(1.0 / (8.0 * s[u] * s[v]));
   }
 };
 
@@ -97,6 +103,39 @@ void aan_1d(float* d, int stride) {
   *p7 = z11 - z4;
 }
 
+// In-place forward AAN DCT of one 64-float block, descaled into the JPEG
+// normalization. Shared by fdct_aan and fdct_batch so both produce
+// bit-identical coefficients.
+void fdct_8x8(float* block) {
+  for (int row = 0; row < N; ++row) aan_1d(block + row * N, 1);
+  for (int col = 0; col < N; ++col) aan_1d(block + col, N);
+  const auto& r = aan_scale().recip;
+  for (int k = 0; k < N * N; ++k) block[k] *= r[static_cast<std::size_t>(k)];
+}
+
+// Row-column inverse DCT of one block; `out` may alias `freq` (the input is
+// fully consumed into `tmp` before `out` is written). Shared by idct_fast
+// and idct_batch.
+void idct_8x8(const float* freq, float* out) {
+  const auto& m = basis().m;
+  std::array<std::array<float, N>, N> tmp{};
+  for (int v = 0; v < N; ++v) {
+    for (int x = 0; x < N; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < N; ++u) acc += m[u][x] * freq[u * N + v];
+      tmp[static_cast<std::size_t>(x)][static_cast<std::size_t>(v)] = acc;
+    }
+  }
+  for (int x = 0; x < N; ++x) {
+    for (int y = 0; y < N; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < N; ++v)
+        acc += m[v][y] * tmp[static_cast<std::size_t>(x)][static_cast<std::size_t>(v)];
+      out[x * N + y] = acc;
+    }
+  }
+}
+
 }  // namespace
 
 BlockF fdct_ref(const BlockF& spatial) {
@@ -143,37 +182,25 @@ BlockF idct_ref(const BlockF& freq) {
 
 BlockF fdct_aan(const BlockF& spatial) {
   BlockF work = spatial;
-  for (int row = 0; row < N; ++row) aan_1d(&work[row * N], 1);
-  for (int col = 0; col < N; ++col) aan_1d(&work[col], N);
-  const auto& s = aan_scale().s;
-  BlockF out{};
-  for (int u = 0; u < N; ++u)
-    for (int v = 0; v < N; ++v)
-      out[u * N + v] = work[u * N + v] / (8.0f * s[u] * s[v]);
-  return out;
+  fdct_8x8(work.data());
+  return work;
 }
 
 BlockF idct_fast(const BlockF& freq) {
-  const auto& m = basis().m;
-  // Row-column inverse using the transposed basis; identical math to
-  // idct_ref but with the loops fused for locality.
-  std::array<std::array<float, N>, N> tmp{};
-  for (int v = 0; v < N; ++v) {
-    for (int x = 0; x < N; ++x) {
-      float acc = 0.0f;
-      for (int u = 0; u < N; ++u) acc += m[u][x] * freq[u * N + v];
-      tmp[x][v] = acc;
-    }
-  }
   BlockF out{};
-  for (int x = 0; x < N; ++x) {
-    for (int y = 0; y < N; ++y) {
-      float acc = 0.0f;
-      for (int v = 0; v < N; ++v) acc += m[v][y] * tmp[x][v];
-      out[x * N + y] = acc;
-    }
-  }
+  idct_8x8(freq.data(), out.data());
   return out;
+}
+
+void fdct_batch(float* blocks, std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) fdct_8x8(blocks + b * image::kBlockSize);
+}
+
+void idct_batch(float* blocks, std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) {
+    float* blk = blocks + b * image::kBlockSize;
+    idct_8x8(blk, blk);
+  }
 }
 
 }  // namespace dnj::jpeg

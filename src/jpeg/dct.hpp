@@ -34,4 +34,17 @@ BlockF idct_fast(const BlockF& freq);
 inline BlockF fdct(const BlockF& spatial) { return fdct_aan(spatial); }
 inline BlockF idct(const BlockF& freq) { return idct_fast(freq); }
 
+// ---------------------------------------------------------------------------
+// Batched in-place transforms over a contiguous coefficient plane
+// (pipeline::CoeffPlane layout: `count` blocks of 64 floats each, stride 64).
+// Per-block arithmetic is shared with fdct_aan/idct_fast — the batch and the
+// per-block paths produce bit-identical floats, which is what the encoder
+// equivalence suite pins down.
+
+/// Forward AAN DCT of every block in place, output in JPEG normalization.
+void fdct_batch(float* blocks, std::size_t count);
+
+/// Inverse DCT of every block in place.
+void idct_batch(float* blocks, std::size_t count);
+
 }  // namespace dnj::jpeg

@@ -32,13 +32,14 @@ struct FrameComponent {
   int tq = 0;
   int dc_table = 0;
   int ac_table = 0;
-  int blocks_x = 0, blocks_y = 0;          // padded grid within the MCU lattice
-  std::vector<QuantizedBlock> blocks;
+  int blocks_x = 0, blocks_y = 0;  // padded grid within the MCU lattice
+  std::int16_t* coeffs = nullptr;  // natural-order blocks in the context arena
 };
 
 class Parser {
  public:
-  Parser(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  Parser(const std::uint8_t* data, std::size_t size, pipeline::CodecContext& ctx)
+      : ctx_(ctx), data_(data), size_(size) {}
 
   JpegInfo info;
   std::vector<FrameComponent> comps;
@@ -88,6 +89,15 @@ class Parser {
   }
 
   void decode_scan() {
+    // Size the per-component coefficient arenas now (parse_info never gets
+    // here, so header-only parses leave the context untouched). No
+    // zero-fill needed: the MCU walk visits every grid block exactly once
+    // and decode_block clears each block before writing it.
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      pipeline::QuantPlane& plane = ctx_.decode_coeffs[ci];
+      plane.reshape(comps[ci].blocks_x, comps[ci].blocks_y);
+      comps[ci].coeffs = plane.data();
+    }
     BitReader br(data_ + scan_start, size_ - scan_start);
     std::vector<int> dc_pred(comps.size(), 0);
     int mcu_index = 0;
@@ -111,8 +121,8 @@ class Parser {
           for (int bx = 0; bx < c.h; ++bx) {
             const int gx = mx * c.h + bx;
             const int gy = my * c.v + by;
-            QuantizedBlock& blk =
-                c.blocks[static_cast<std::size_t>(gy) * c.blocks_x + gx];
+            std::int16_t* blk =
+                c.coeffs + (static_cast<std::size_t>(gy) * c.blocks_x + gx) * 64;
             if (!dc_tables[c.dc_table] || !ac_tables[c.ac_table])
               fail("scan references undefined Huffman table");
             if (!decode_block(br, blk, dc_pred[ci], *dc_tables[c.dc_table],
@@ -125,36 +135,32 @@ class Parser {
     }
   }
 
-  image::Image reconstruct() const {
-    std::vector<PlaneF> planes;
-    planes.reserve(comps.size());
-    for (const FrameComponent& c : comps) {
+  image::Image reconstruct() {
+    // Per component: batched dequantize into the float coefficient arena,
+    // in-place batched IDCT, then untile (+128 level unshift) into the
+    // component's plane arena. Identical arithmetic to the seed's per-block
+    // idct(dequantize(...)) loop, with zero per-block allocations.
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      const FrameComponent& c = comps[ci];
       if (!info.quant_tables[c.tq]) fail("component references undefined DQT");
       const QuantTable& qt = *info.quant_tables[c.tq];
-      PlaneF plane(c.blocks_x * kBlockDim, c.blocks_y * kBlockDim);
-      for (int by = 0; by < c.blocks_y; ++by) {
-        for (int bx = 0; bx < c.blocks_x; ++bx) {
-          const QuantizedBlock& blk =
-              c.blocks[static_cast<std::size_t>(by) * c.blocks_x + bx];
-          image::BlockF spatial = idct(dequantize(blk, qt));
-          for (int y = 0; y < kBlockDim; ++y)
-            for (int x = 0; x < kBlockDim; ++x)
-              plane.at(bx * kBlockDim + x, by * kBlockDim + y) =
-                  spatial[static_cast<std::size_t>(y) * kBlockDim + x] + 128.0f;
-        }
-      }
-      planes.push_back(std::move(plane));
+      pipeline::CoeffPlane& fp = ctx_.decode_fp;
+      fp.reshape(c.blocks_x, c.blocks_y);
+      dequantize_batch(c.coeffs, fp.block_count(), qt, fp.data());
+      idct_batch(fp.data(), fp.block_count());
+      PlaneF& plane = ctx_.decode_planes[ci];
+      plane.reset(c.blocks_x * kBlockDim, c.blocks_y * kBlockDim);
+      image::untile_blocks_from(fp.data(), c.blocks_x, c.blocks_y, plane, 128.0f);
     }
 
     if (comps.size() == 1) {
       image::Image img(info.width, info.height, 1);
-      image::from_plane(planes[0], img, 0);
+      image::from_plane(ctx_.decode_planes[0], img, 0);
       return img;
     }
 
     // Upsample subsampled chroma to luma resolution.
-    image::YCbCrPlanes ycc;
-    ycc.y = std::move(planes[0]);
+    const PlaneF& luma = ctx_.decode_planes[0];
     auto upsample_if_needed = [&](PlaneF& p, const FrameComponent& c) {
       if (c.h == info.max_h && c.v == info.max_v) return;
       if (2 * c.h == info.max_h && 2 * c.v == info.max_v) {
@@ -167,7 +173,7 @@ class Parser {
           for (int x = 0; x < need_w; ++x) cropped.at(x, y) = p.at(x, y);
         PlaneF up = image::upsample_2x2(cropped, info.width, info.height);
         // Re-pad to luma plane size for uniform indexing downstream.
-        PlaneF padded(ycc.y.width(), ycc.y.height(), 128.0f);
+        PlaneF padded(luma.width(), luma.height(), 128.0f);
         for (int y = 0; y < info.height; ++y)
           for (int x = 0; x < info.width; ++x) padded.at(x, y) = up.at(x, y);
         p = std::move(padded);
@@ -175,11 +181,10 @@ class Parser {
       }
       fail("unsupported sampling factor combination");
     };
-    upsample_if_needed(planes[1], comps[1]);
-    upsample_if_needed(planes[2], comps[2]);
-    ycc.cb = std::move(planes[1]);
-    ycc.cr = std::move(planes[2]);
-    return image::to_rgb(ycc, info.width, info.height);
+    upsample_if_needed(ctx_.decode_planes[1], comps[1]);
+    upsample_if_needed(ctx_.decode_planes[2], comps[2]);
+    return image::to_rgb(luma, ctx_.decode_planes[1], ctx_.decode_planes[2], info.width,
+                         info.height);
   }
 
  private:
@@ -301,7 +306,6 @@ class Parser {
     for (FrameComponent& c : comps) {
       c.blocks_x = mcus_x * c.h;
       c.blocks_y = mcus_y * c.v;
-      c.blocks.assign(static_cast<std::size_t>(c.blocks_x) * c.blocks_y, QuantizedBlock{});
     }
   }
 
@@ -335,6 +339,7 @@ class Parser {
       fail("only sequential baseline scans supported");
   }
 
+  pipeline::CodecContext& ctx_;
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
@@ -342,11 +347,20 @@ class Parser {
 
 }  // namespace
 
-image::Image decode(const std::uint8_t* data, std::size_t size) {
-  Parser parser(data, size);
+image::Image decode(const std::uint8_t* data, std::size_t size,
+                    pipeline::CodecContext& ctx) {
+  Parser parser(data, size, ctx);
   if (!parser.parse_headers()) fail("stream contains no scan");
   parser.decode_scan();
   return parser.reconstruct();
+}
+
+image::Image decode(const std::uint8_t* data, std::size_t size) {
+  return decode(data, size, pipeline::thread_codec_context());
+}
+
+image::Image decode(const std::vector<std::uint8_t>& bytes, pipeline::CodecContext& ctx) {
+  return decode(bytes.data(), bytes.size(), ctx);
 }
 
 image::Image decode(const std::vector<std::uint8_t>& bytes) {
@@ -354,13 +368,14 @@ image::Image decode(const std::vector<std::uint8_t>& bytes) {
 }
 
 JpegInfo parse_info(const std::vector<std::uint8_t>& bytes) {
-  Parser parser(bytes.data(), bytes.size());
+  // Header-only parse: never touches the context arenas.
+  Parser parser(bytes.data(), bytes.size(), pipeline::thread_codec_context());
   parser.parse_headers();
   return parser.info;
 }
 
 std::size_t scan_byte_count(const std::vector<std::uint8_t>& bytes) {
-  Parser parser(bytes.data(), bytes.size());
+  Parser parser(bytes.data(), bytes.size(), pipeline::thread_codec_context());
   if (!parser.parse_headers()) fail("stream contains no scan");
   if (bytes.size() < parser.scan_start + 2) fail("truncated scan");
   return bytes.size() - parser.scan_start - 2;  // exclude the trailing EOI

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "jpeg/pipeline/codec_context.hpp"
 #include "jpeg/quant.hpp"
 
 namespace dnj::jpeg {
@@ -27,9 +28,14 @@ struct JpegInfo {
 };
 
 /// Decodes a complete JFIF stream. Throws std::runtime_error on malformed
-/// input.
+/// input. The context-taking overloads decode through the caller's arenas
+/// (coefficient stores, dequantized planes) with batched dequantize + IDCT;
+/// the others use the calling thread's shared context.
 image::Image decode(const std::vector<std::uint8_t>& bytes);
 image::Image decode(const std::uint8_t* data, std::size_t size);
+image::Image decode(const std::vector<std::uint8_t>& bytes, pipeline::CodecContext& ctx);
+image::Image decode(const std::uint8_t* data, std::size_t size,
+                    pipeline::CodecContext& ctx);
 
 /// Parses markers up to (and including) SOS without decoding pixel data.
 JpegInfo parse_info(const std::vector<std::uint8_t>& bytes);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 #include <stdexcept>
 
 #include "image/blocks.hpp"
@@ -20,16 +21,21 @@ namespace {
 
 using image::BlockF;
 using image::kBlockDim;
+using image::kBlockSize;
 using image::PlaneF;
+using pipeline::CodecContext;
+using pipeline::kMaxComponents;
 
-// One frame component prepared for entropy coding.
+// One frame component prepared for entropy coding. `zz` points into the
+// context's QuantPlane arena: block (gx, gy) starts at
+// zz[(gy * blocks_x + gx) * 64], coefficients already in zig-zag order.
 struct Component {
   int id = 1;           // component identifier written to SOF0/SOS
   int h = 1, v = 1;     // sampling factors
   int tq = 0;           // quantization table index (0 = luma, 1 = chroma)
   int blocks_x = 0;     // padded block-grid width
   int blocks_y = 0;
-  std::vector<QuantizedBlock> blocks;  // row-major grid
+  const std::int16_t* zz = nullptr;
 };
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
@@ -75,14 +81,16 @@ void write_dqt(std::vector<std::uint8_t>& out, const QuantTable& table, int inde
   }
 }
 
-void write_sof0(std::vector<std::uint8_t>& out, int width, int height,
-                const std::vector<Component>& comps) {
-  write_segment_header(out, kSOF0, static_cast<std::uint16_t>(6 + 3 * comps.size()));
+template <typename Comp>
+void write_sof0(std::vector<std::uint8_t>& out, int width, int height, const Comp* comps,
+                std::size_t n_comps) {
+  write_segment_header(out, kSOF0, static_cast<std::uint16_t>(6 + 3 * n_comps));
   out.push_back(8);  // sample precision
   put_u16(out, static_cast<std::uint16_t>(height));
   put_u16(out, static_cast<std::uint16_t>(width));
-  out.push_back(static_cast<std::uint8_t>(comps.size()));
-  for (const Component& c : comps) {
+  out.push_back(static_cast<std::uint8_t>(n_comps));
+  for (std::size_t i = 0; i < n_comps; ++i) {
+    const Comp& c = comps[i];
     out.push_back(static_cast<std::uint8_t>(c.id));
     out.push_back(static_cast<std::uint8_t>((c.h << 4) | c.v));
     out.push_back(static_cast<std::uint8_t>(c.tq));
@@ -102,10 +110,13 @@ void write_dri(std::vector<std::uint8_t>& out, int interval) {
   put_u16(out, static_cast<std::uint16_t>(interval));
 }
 
-void write_sos_header(std::vector<std::uint8_t>& out, const std::vector<Component>& comps) {
-  write_segment_header(out, kSOS, static_cast<std::uint16_t>(1 + 2 * comps.size() + 3));
-  out.push_back(static_cast<std::uint8_t>(comps.size()));
-  for (const Component& c : comps) {
+template <typename Comp>
+void write_sos_header(std::vector<std::uint8_t>& out, const Comp* comps,
+                      std::size_t n_comps) {
+  write_segment_header(out, kSOS, static_cast<std::uint16_t>(1 + 2 * n_comps + 3));
+  out.push_back(static_cast<std::uint8_t>(n_comps));
+  for (std::size_t i = 0; i < n_comps; ++i) {
+    const Comp& c = comps[i];
     out.push_back(static_cast<std::uint8_t>(c.id));
     const int table = c.tq;  // DC and AC table index follow the quant index
     out.push_back(static_cast<std::uint8_t>((table << 4) | table));
@@ -115,11 +126,264 @@ void write_sos_header(std::vector<std::uint8_t>& out, const std::vector<Componen
   out.push_back(0);   // successive approximation
 }
 
-// Transforms and quantizes a plane into a block grid padded to
-// (mcu_blocks_x, mcu_blocks_y) blocks.
-Component make_component(const PlaneF& plane, int id, int h, int v, int tq,
-                         int grid_blocks_x, int grid_blocks_y, const QuantTable& table) {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Walks MCUs in scan order invoking fn(component_index, grid_x, grid_y) for
+// every data unit, handling the restart bookkeeping via the callbacks.
+// Templated over the component record so the pipeline and reference paths
+// share one traversal (same bit-exact scan order).
+template <typename Comp, typename BlockFn, typename RestartFn>
+void for_each_data_unit(const Comp* comps, std::size_t n_comps, int mcus_x, int mcus_y,
+                        int restart_interval, BlockFn&& fn, RestartFn&& restart) {
+  int mcu_index = 0;
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (restart_interval > 0 && mcu_index > 0 && mcu_index % restart_interval == 0)
+        restart((mcu_index / restart_interval - 1) % 8);
+      for (std::size_t ci = 0; ci < n_comps; ++ci) {
+        const Comp& c = comps[ci];
+        for (int by = 0; by < c.v; ++by) {
+          for (int bx = 0; bx < c.h; ++bx) {
+            fn(ci, mx * c.h + bx, my * c.v + by);
+          }
+        }
+      }
+      ++mcu_index;
+    }
+  }
+}
+
+void validate_config(const image::Image& img, const EncoderConfig& config) {
+  if (img.empty()) throw std::invalid_argument("encode: empty image");
+  if (img.width() > 65535 || img.height() > 65535)
+    throw std::invalid_argument("encode: image too large for baseline JPEG");
+  if (config.restart_interval < 0 || config.restart_interval > 65535)
+    throw std::invalid_argument("encode: bad restart interval");
+}
+
+// Runs the batched in-place DCT over the already-tiled CoeffPlane of
+// component `ci` and emits the zig-zag int16 coefficients into the
+// QuantPlane arena. No allocation once the arenas are warm, and no
+// per-block copies at any point.
+Component finish_pipeline_component(CodecContext& ctx, int ci, int id, int h, int v,
+                                    int tq, const QuantTable& table) {
+  pipeline::CoeffPlane& coeff = ctx.coeff[static_cast<std::size_t>(ci)];
+  pipeline::QuantPlane& quant = ctx.quant[static_cast<std::size_t>(ci)];
+  fdct_batch(coeff.data(), coeff.block_count());
+  quant.reshape(coeff.blocks_x(), coeff.blocks_y());
+  quantize_zigzag_batch(coeff.data(), coeff.block_count(), ctx.reciprocal_for(table, tq),
+                        quant.data());
   Component comp;
+  comp.id = id;
+  comp.h = h;
+  comp.v = v;
+  comp.tq = tq;
+  comp.blocks_x = coeff.blocks_x();
+  comp.blocks_y = coeff.blocks_y();
+  comp.zz = quant.data();
+  return comp;
+}
+
+// Tiles `plane` into the component's CoeffPlane arena (level shift fused)
+// and finishes it.
+Component make_pipeline_component(CodecContext& ctx, int ci, const PlaneF& plane, int id,
+                                  int h, int v, int tq, int grid_bx, int grid_by,
+                                  const QuantTable& table) {
+  ctx.coeff[static_cast<std::size_t>(ci)].tile_from(plane, grid_bx, grid_by, -128.0f);
+  return finish_pipeline_component(ctx, ci, id, h, v, tq, table);
+}
+
+}  // namespace
+
+std::pair<QuantTable, QuantTable> effective_tables(const EncoderConfig& config) {
+  if (config.use_custom_tables) return {config.luma_table, config.chroma_table};
+  return {QuantTable::annex_k_luma().scaled(config.quality),
+          QuantTable::annex_k_chroma().scaled(config.quality)};
+}
+
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config,
+                                 pipeline::CodecContext& ctx) {
+  validate_config(img, config);
+
+  // Same resolution rule as effective_tables, but quality-scaled tables
+  // come from the context cache instead of being re-derived per image.
+  const QuantTable* luma_ptr;
+  const QuantTable* chroma_ptr;
+  if (config.use_custom_tables) {
+    luma_ptr = &config.luma_table;
+    chroma_ptr = &config.chroma_table;
+  } else {
+    const CodecContext::QualityTables qt = ctx.quality_tables(config.quality);
+    luma_ptr = &qt.luma;
+    chroma_ptr = &qt.chroma;
+  }
+  const QuantTable& luma_q = *luma_ptr;
+  const QuantTable& chroma_q = *chroma_ptr;
+  const bool color = img.channels() == 3;
+  const bool sub420 = color && config.subsampling == Subsampling::k420;
+
+  // Component planes, tiled + transformed + quantized into the context
+  // arenas. Grayscale skips the chroma planes entirely.
+  std::array<Component, kMaxComponents> comps{};
+  std::size_t n_comps = 0;
+  int mcus_x = 0, mcus_y = 0;
+  if (!color) {
+    // Grayscale tiles straight from the 8-bit pixels — no intermediate
+    // float plane at all.
+    mcus_x = ceil_div(img.width(), kBlockDim);
+    mcus_y = ceil_div(img.height(), kBlockDim);
+    ctx.coeff[0].reshape(mcus_x, mcus_y);
+    image::tile_image_blocks_into(img, 0, mcus_x, mcus_y, ctx.coeff[0].data(), -128.0f);
+    comps[n_comps++] = finish_pipeline_component(ctx, 0, 1, 1, 1, 0, luma_q);
+  } else if (!sub420) {
+    image::to_ycbcr_into(img, ctx.ycc);
+    mcus_x = ceil_div(img.width(), kBlockDim);
+    mcus_y = ceil_div(img.height(), kBlockDim);
+    comps[n_comps++] =
+        make_pipeline_component(ctx, 0, ctx.ycc.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q);
+    comps[n_comps++] =
+        make_pipeline_component(ctx, 1, ctx.ycc.cb, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q);
+    comps[n_comps++] =
+        make_pipeline_component(ctx, 2, ctx.ycc.cr, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q);
+  } else {
+    image::to_ycbcr_into(img, ctx.ycc);
+    mcus_x = ceil_div(img.width(), 2 * kBlockDim);
+    mcus_y = ceil_div(img.height(), 2 * kBlockDim);
+    image::downsample_2x2_into(ctx.ycc.cb, ctx.chroma_small[0]);
+    image::downsample_2x2_into(ctx.ycc.cr, ctx.chroma_small[1]);
+    comps[n_comps++] = make_pipeline_component(ctx, 0, ctx.ycc.y, 1, 2, 2, 0, 2 * mcus_x,
+                                               2 * mcus_y, luma_q);
+    comps[n_comps++] = make_pipeline_component(ctx, 1, ctx.chroma_small[0], 2, 1, 1, 1,
+                                               mcus_x, mcus_y, chroma_q);
+    comps[n_comps++] = make_pipeline_component(ctx, 2, ctx.chroma_small[1], 3, 1, 1, 1,
+                                               mcus_x, mcus_y, chroma_q);
+  }
+
+  const auto zz_block = [&](std::size_t ci, int gx, int gy) {
+    const Component& c = comps[ci];
+    return c.zz + (static_cast<std::size_t>(gy) * c.blocks_x + gx) * kBlockSize;
+  };
+
+  // Huffman table specs: the context's cached static tables, or optimal
+  // tables from a statistics pass (the only per-image table derivation left).
+  const CodecContext::StaticHuffman& stat = ctx.static_huffman();
+  const HuffmanSpec* dc_luma = &stat.dc_luma_spec;
+  const HuffmanSpec* ac_luma = &stat.ac_luma_spec;
+  const HuffmanSpec* dc_chroma = &stat.dc_chroma_spec;
+  const HuffmanSpec* ac_chroma = &stat.ac_chroma_spec;
+  const HuffmanEncoder* dc_enc_luma = &stat.dc_luma;
+  const HuffmanEncoder* ac_enc_luma = &stat.ac_luma;
+  const HuffmanEncoder* dc_enc_chroma = &stat.dc_chroma;
+  const HuffmanEncoder* ac_enc_chroma = &stat.ac_chroma;
+
+  HuffmanSpec opt_dc_luma, opt_ac_luma, opt_dc_chroma, opt_ac_chroma;
+  std::optional<HuffmanEncoder> opt_enc[4];
+  if (config.optimize_huffman) {
+    std::array<SymbolCounts, 2> counts{};  // [0]=luma tables, [1]=chroma tables
+    std::array<int, kMaxComponents> dc_pred{};
+    for_each_data_unit(
+        comps.data(), n_comps, mcus_x, mcus_y, config.restart_interval,
+        [&](std::size_t ci, int gx, int gy) {
+          count_block_symbols_zz(zz_block(ci, gx, gy), dc_pred[ci],
+                                 counts[static_cast<std::size_t>(comps[ci].tq)]);
+        },
+        [&](int) { dc_pred.fill(0); });
+    opt_dc_luma = HuffmanSpec::build_optimal(counts[0].dc);
+    opt_ac_luma = HuffmanSpec::build_optimal(counts[0].ac);
+    dc_luma = &opt_dc_luma;
+    ac_luma = &opt_ac_luma;
+    opt_enc[0].emplace(opt_dc_luma);
+    opt_enc[1].emplace(opt_ac_luma);
+    dc_enc_luma = &*opt_enc[0];
+    ac_enc_luma = &*opt_enc[1];
+    if (color) {
+      opt_dc_chroma = HuffmanSpec::build_optimal(counts[1].dc);
+      opt_ac_chroma = HuffmanSpec::build_optimal(counts[1].ac);
+      dc_chroma = &opt_dc_chroma;
+      ac_chroma = &opt_ac_chroma;
+      opt_enc[2].emplace(opt_dc_chroma);
+      opt_enc[3].emplace(opt_ac_chroma);
+      dc_enc_chroma = &*opt_enc[2];
+      ac_enc_chroma = &*opt_enc[3];
+    }
+  }
+
+  // Serialize the stream. Reserving up front keeps the byte vector from
+  // reallocating through the entropy pass at typical codec qualities
+  // (~3 bits/pixel = 24 bytes/block); denser streams grow once or twice,
+  // and the returned capacity stays close to the payload for callers that
+  // keep many streams resident.
+  std::size_t total_blocks = 0;
+  for (std::size_t ci = 0; ci < n_comps; ++ci)
+    total_blocks += static_cast<std::size_t>(comps[ci].blocks_x) * comps[ci].blocks_y;
+  std::vector<std::uint8_t> out;
+  out.reserve(1024 + config.comment.size() + total_blocks * 24);
+  out.push_back(0xFF);
+  out.push_back(kSOI);
+  write_app0(out);
+  write_comment(out, config.comment);
+  write_dqt(out, luma_q, 0);
+  if (color) write_dqt(out, chroma_q, 1);
+  write_sof0(out, img.width(), img.height(), comps.data(), n_comps);
+  write_dht(out, *dc_luma, 0, 0);
+  write_dht(out, *ac_luma, 1, 0);
+  if (color) {
+    write_dht(out, *dc_chroma, 0, 1);
+    write_dht(out, *ac_chroma, 1, 1);
+  }
+  if (config.restart_interval > 0) write_dri(out, config.restart_interval);
+  write_sos_header(out, comps.data(), n_comps);
+
+  BitWriter bw(out);
+  std::array<int, kMaxComponents> dc_pred{};
+  for_each_data_unit(
+      comps.data(), n_comps, mcus_x, mcus_y, config.restart_interval,
+      [&](std::size_t ci, int gx, int gy) {
+        const bool luma_tables = comps[ci].tq == 0;
+        encode_block_zz(bw, zz_block(ci, gx, gy), dc_pred[ci],
+                        luma_tables ? *dc_enc_luma : *dc_enc_chroma,
+                        luma_tables ? *ac_enc_luma : *ac_enc_chroma);
+      },
+      [&](int rst_index) {
+        bw.put_marker(static_cast<std::uint8_t>(kRST0 + rst_index));
+        dc_pred.fill(0);
+      });
+  bw.put_marker(kEOI);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config) {
+  return encode(img, config, pipeline::thread_codec_context());
+}
+
+// ---------------------------------------------------------------------------
+// Reference per-block encoder. The *structure* is the seed implementation
+// (materialized padded plane, per-block BlockF copies, per-image table
+// derivation); the per-coefficient arithmetic goes through the same
+// shared primitives as the pipeline — fdct_aan's multiplicative descale
+// and quantize()'s reciprocal rounding rule — so the two paths are
+// byte-identical to each other. Streams may differ from the pre-reciprocal
+// seed by one quantization step in rare round-half-even boundary cases.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One frame component prepared for entropy coding, per-block storage.
+struct RefComponent {
+  int id = 1;
+  int h = 1, v = 1;
+  int tq = 0;
+  int blocks_x = 0;
+  int blocks_y = 0;
+  std::vector<QuantizedBlock> blocks;  // row-major grid, natural order
+};
+
+// Transforms and quantizes a plane into a block grid padded to
+// (grid_blocks_x, grid_blocks_y) blocks, one materialized BlockF at a time.
+RefComponent make_reference_component(const PlaneF& plane, int id, int h, int v, int tq,
+                                      int grid_blocks_x, int grid_blocks_y,
+                                      const QuantTable& table) {
+  RefComponent comp;
   comp.id = id;
   comp.h = h;
   comp.v = v;
@@ -135,6 +399,10 @@ Component make_component(const PlaneF& plane, int id, int h, int v, int tq,
       padded.at(x, y) = plane.at(sx, sy);
     }
   }
+  // Reciprocals hoisted out of the block loop so the reference baseline is
+  // not slower than the seed's inline divide loop (keeps the bench's
+  // reference-vs-pipeline speedup conservative).
+  const ReciprocalTable recip(table);
   comp.blocks.resize(static_cast<std::size_t>(grid_blocks_x) * grid_blocks_y);
   for (int by = 0; by < grid_blocks_y; ++by) {
     for (int bx = 0; bx < grid_blocks_x; ++bx) {
@@ -144,98 +412,71 @@ Component make_component(const PlaneF& plane, int id, int h, int v, int tq,
           blk[static_cast<std::size_t>(y) * kBlockDim + x] =
               padded.at(bx * kBlockDim + x, by * kBlockDim + y) - 128.0f;
       comp.blocks[static_cast<std::size_t>(by) * grid_blocks_x + bx] =
-          quantize(fdct(blk), table);
+          quantize(fdct(blk), recip);
     }
   }
   return comp;
 }
 
-int ceil_div(int a, int b) { return (a + b - 1) / b; }
-
-// Walks MCUs in scan order invoking fn(component_index, block) for every
-// data unit, handling the restart bookkeeping via the callbacks.
-template <typename BlockFn, typename RestartFn>
-void for_each_data_unit(const std::vector<Component>& comps, int mcus_x, int mcus_y,
-                        int restart_interval, BlockFn&& fn, RestartFn&& restart) {
-  int mcu_index = 0;
-  for (int my = 0; my < mcus_y; ++my) {
-    for (int mx = 0; mx < mcus_x; ++mx) {
-      if (restart_interval > 0 && mcu_index > 0 && mcu_index % restart_interval == 0)
-        restart((mcu_index / restart_interval - 1) % 8);
-      for (std::size_t ci = 0; ci < comps.size(); ++ci) {
-        const Component& c = comps[ci];
-        for (int by = 0; by < c.v; ++by) {
-          for (int bx = 0; bx < c.h; ++bx) {
-            const int gx = mx * c.h + bx;
-            const int gy = my * c.v + by;
-            fn(ci, c.blocks[static_cast<std::size_t>(gy) * c.blocks_x + gx]);
-          }
-        }
-      }
-      ++mcu_index;
-    }
-  }
-}
-
 }  // namespace
 
-std::pair<QuantTable, QuantTable> effective_tables(const EncoderConfig& config) {
-  if (config.use_custom_tables) return {config.luma_table, config.chroma_table};
-  return {QuantTable::annex_k_luma().scaled(config.quality),
-          QuantTable::annex_k_chroma().scaled(config.quality)};
-}
-
-std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config) {
-  if (img.empty()) throw std::invalid_argument("encode: empty image");
-  if (img.width() > 65535 || img.height() > 65535)
-    throw std::invalid_argument("encode: image too large for baseline JPEG");
-  if (config.restart_interval < 0 || config.restart_interval > 65535)
-    throw std::invalid_argument("encode: bad restart interval");
+std::vector<std::uint8_t> encode_reference(const image::Image& img,
+                                           const EncoderConfig& config) {
+  validate_config(img, config);
 
   const auto [luma_q, chroma_q] = effective_tables(config);
   const bool color = img.channels() == 3;
   const bool sub420 = color && config.subsampling == Subsampling::k420;
 
-  // Component planes.
   image::YCbCrPlanes planes = image::to_ycbcr(img);
-  std::vector<Component> comps;
+  std::vector<RefComponent> comps;
   int mcus_x = 0, mcus_y = 0;
   if (!color) {
     mcus_x = ceil_div(img.width(), kBlockDim);
     mcus_y = ceil_div(img.height(), kBlockDim);
-    comps.push_back(make_component(planes.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q));
+    comps.push_back(make_reference_component(planes.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q));
   } else if (!sub420) {
     mcus_x = ceil_div(img.width(), kBlockDim);
     mcus_y = ceil_div(img.height(), kBlockDim);
-    comps.push_back(make_component(planes.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q));
-    comps.push_back(make_component(planes.cb, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q));
-    comps.push_back(make_component(planes.cr, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+    comps.push_back(make_reference_component(planes.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q));
+    comps.push_back(
+        make_reference_component(planes.cb, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+    comps.push_back(
+        make_reference_component(planes.cr, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q));
   } else {
     mcus_x = ceil_div(img.width(), 2 * kBlockDim);
     mcus_y = ceil_div(img.height(), 2 * kBlockDim);
     const PlaneF cb_small = image::downsample_2x2(planes.cb);
     const PlaneF cr_small = image::downsample_2x2(planes.cr);
-    comps.push_back(make_component(planes.y, 1, 2, 2, 0, 2 * mcus_x, 2 * mcus_y, luma_q));
-    comps.push_back(make_component(cb_small, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q));
-    comps.push_back(make_component(cr_small, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+    comps.push_back(
+        make_reference_component(planes.y, 1, 2, 2, 0, 2 * mcus_x, 2 * mcus_y, luma_q));
+    comps.push_back(
+        make_reference_component(cb_small, 2, 1, 1, 1, mcus_x, mcus_y, chroma_q));
+    comps.push_back(
+        make_reference_component(cr_small, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q));
   }
 
-  // Huffman table specs: defaults, or optimal from a statistics pass.
+  const auto block_of = [&](std::size_t ci, int gx, int gy) -> const QuantizedBlock& {
+    const RefComponent& c = comps[ci];
+    return c.blocks[static_cast<std::size_t>(gy) * c.blocks_x + gx];
+  };
+
+  // Huffman table specs: defaults (derived per image, as the seed did), or
+  // optimal from a statistics pass.
   HuffmanSpec dc_luma = HuffmanSpec::default_dc_luma();
   HuffmanSpec ac_luma = HuffmanSpec::default_ac_luma();
   HuffmanSpec dc_chroma = HuffmanSpec::default_dc_chroma();
   HuffmanSpec ac_chroma = HuffmanSpec::default_ac_chroma();
   if (config.optimize_huffman) {
-    std::array<SymbolCounts, 2> counts{};  // [0]=luma tables, [1]=chroma tables
+    std::array<SymbolCounts, 2> counts{};
     std::vector<int> dc_pred(comps.size(), 0);
     for_each_data_unit(
-        comps, mcus_x, mcus_y, config.restart_interval,
-        [&](std::size_t ci, const QuantizedBlock& blk) {
-          count_block_symbols(blk, dc_pred[ci], counts[static_cast<std::size_t>(comps[ci].tq)]);
+        comps.data(), comps.size(), mcus_x, mcus_y, config.restart_interval,
+        [&](std::size_t ci, int gx, int gy) {
+          count_block_symbols(block_of(ci, gx, gy), dc_pred[ci],
+                              counts[static_cast<std::size_t>(comps[ci].tq)]);
         },
-        [&](int) {
-          std::fill(dc_pred.begin(), dc_pred.end(), 0);
-        });
+        [&](int) { std::fill(dc_pred.begin(), dc_pred.end(), 0); });
     dc_luma = HuffmanSpec::build_optimal(counts[0].dc);
     ac_luma = HuffmanSpec::build_optimal(counts[0].ac);
     if (color) {
@@ -249,7 +490,6 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
   const HuffmanEncoder dc_enc_chroma(dc_chroma);
   const HuffmanEncoder ac_enc_chroma(ac_chroma);
 
-  // Serialize the stream.
   std::vector<std::uint8_t> out;
   out.push_back(0xFF);
   out.push_back(kSOI);
@@ -257,7 +497,7 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
   write_comment(out, config.comment);
   write_dqt(out, luma_q, 0);
   if (color) write_dqt(out, chroma_q, 1);
-  write_sof0(out, img.width(), img.height(), comps);
+  write_sof0(out, img.width(), img.height(), comps.data(), comps.size());
   write_dht(out, dc_luma, 0, 0);
   write_dht(out, ac_luma, 1, 0);
   if (color) {
@@ -265,15 +505,15 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
     write_dht(out, ac_chroma, 1, 1);
   }
   if (config.restart_interval > 0) write_dri(out, config.restart_interval);
-  write_sos_header(out, comps);
+  write_sos_header(out, comps.data(), comps.size());
 
   BitWriter bw(out);
   std::vector<int> dc_pred(comps.size(), 0);
   for_each_data_unit(
-      comps, mcus_x, mcus_y, config.restart_interval,
-      [&](std::size_t ci, const QuantizedBlock& blk) {
+      comps.data(), comps.size(), mcus_x, mcus_y, config.restart_interval,
+      [&](std::size_t ci, int gx, int gy) {
         const bool luma_tables = comps[ci].tq == 0;
-        encode_block(bw, blk, dc_pred[ci],
+        encode_block(bw, block_of(ci, gx, gy), dc_pred[ci],
                      luma_tables ? dc_enc_luma : dc_enc_chroma,
                      luma_tables ? ac_enc_luma : ac_enc_chroma);
       },

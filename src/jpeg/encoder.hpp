@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "jpeg/pipeline/codec_context.hpp"
 #include "jpeg/quant.hpp"
 
 namespace dnj::jpeg {
@@ -45,8 +46,26 @@ struct EncoderConfig {
   std::string comment;
 };
 
-/// Encodes an image to a complete JFIF byte stream.
+/// Encodes an image to a complete JFIF byte stream using the caller's
+/// codec context (scratch arenas + cached tables). Performs zero per-block
+/// allocations; once the context is warm the only allocation is the
+/// returned byte vector.
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config,
+                                 pipeline::CodecContext& ctx);
+
+/// Convenience overload on the calling thread's shared context.
 std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config = {});
+
+/// The pre-pipeline per-block encoder shape (materialized BlockF copies,
+/// per-image table derivation, per-coefficient quantization of each block
+/// in turn), retained as the reference implementation the equivalence
+/// suite and the codec-pipeline bench compare the batched path against.
+/// Produces byte-identical streams to `encode`: both paths share the
+/// reciprocal quantization rounding rule (see ReciprocalTable), which may
+/// deviate from the original divide-based seed by one step in rare
+/// round-half-even boundary cases.
+std::vector<std::uint8_t> encode_reference(const image::Image& img,
+                                           const EncoderConfig& config = {});
 
 /// Resolves the (luma, chroma) table pair the given config will quantize
 /// with — Annex K scaled by quality, or the custom tables.

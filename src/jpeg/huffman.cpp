@@ -204,12 +204,6 @@ HuffmanEncoder::HuffmanEncoder(const HuffmanSpec& spec) {
   }
 }
 
-void HuffmanEncoder::encode(BitWriter& bw, std::uint8_t symbol) const {
-  if (size_[symbol] == 0)
-    throw std::invalid_argument("HuffmanEncoder: symbol has no code");
-  bw.put_bits(code_[symbol], size_[symbol]);
-}
-
 HuffmanDecoder::HuffmanDecoder(const HuffmanSpec& spec) : symbols_(spec.symbols) {
   spec.validate();
   const CanonicalCodes cc = derive_codes(spec);

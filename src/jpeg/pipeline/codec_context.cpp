@@ -1,0 +1,53 @@
+#include "jpeg/pipeline/codec_context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnj::jpeg::pipeline {
+
+CodecContext::StaticHuffman::StaticHuffman()
+    : dc_luma_spec(HuffmanSpec::default_dc_luma()),
+      ac_luma_spec(HuffmanSpec::default_ac_luma()),
+      dc_chroma_spec(HuffmanSpec::default_dc_chroma()),
+      ac_chroma_spec(HuffmanSpec::default_ac_chroma()),
+      dc_luma(dc_luma_spec),
+      ac_luma(ac_luma_spec),
+      dc_chroma(dc_chroma_spec),
+      ac_chroma(ac_chroma_spec) {}
+
+const CodecContext::StaticHuffman& CodecContext::static_huffman() {
+  if (!static_huffman_) static_huffman_.emplace();
+  return *static_huffman_;
+}
+
+const ReciprocalTable& CodecContext::reciprocal_for(const QuantTable& table, int slot) {
+  if (slot < 0 || slot >= static_cast<int>(recips_.size()))
+    throw std::invalid_argument("CodecContext::reciprocal_for: bad slot");
+  RecipSlot& s = recips_[static_cast<std::size_t>(slot)];
+  if (!s.valid || !(s.table == table)) {
+    s.table = table;
+    s.recip = ReciprocalTable(table);
+    s.valid = true;
+  }
+  return s.recip;
+}
+
+CodecContext::QualityTables CodecContext::quality_tables(int quality) {
+  // Canonicalize exactly like QuantTable::scaled so every out-of-range
+  // quality shares the clamped entry (and can never collide with the
+  // "empty" sentinel of -1).
+  quality = std::clamp(quality, 1, 100);
+  if (cached_quality_ != quality) {
+    quality_luma_ = QuantTable::annex_k_luma().scaled(quality);
+    quality_chroma_ = QuantTable::annex_k_chroma().scaled(quality);
+    cached_quality_ = quality;
+  }
+  return {quality_luma_, quality_chroma_};
+}
+
+CodecContext& thread_codec_context() {
+  thread_local CodecContext ctx;
+  return ctx;
+}
+
+}  // namespace dnj::jpeg::pipeline

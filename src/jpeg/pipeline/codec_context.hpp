@@ -1,0 +1,95 @@
+// Per-worker codec state: reusable scratch arenas plus precomputed tables.
+//
+// A CodecContext owns everything an encode or decode needs beyond the image
+// itself:
+//
+//  * scratch arenas — YCbCr planes, downsampled chroma, one CoeffPlane and
+//    one QuantPlane per component, decode-side coefficient stores. All of
+//    them reshape in place. A warm context *encodes* a stream of
+//    same-sized images with zero per-block and zero per-image allocations
+//    (the returned byte vector aside). Decode batches through the same
+//    arenas with no per-block allocations, but the 4:2:0 chroma-upsample
+//    path still builds per-image plane temporaries (and the decoded Image
+//    is always freshly allocated).
+//  * the static (Annex K.3) Huffman specs and their derived encoder tables,
+//    built once per context instead of once per image — dataset-level
+//    callers with optimize_huffman off no longer re-derive them per image.
+//  * a two-slot reciprocal-multiplier cache (luma/chroma) keyed by table
+//    contents, so the fused quantize pass multiplies instead of divides
+//    without rebuilding reciprocals for every image of a transcode run.
+//
+// Contexts are cheap to create but meant to be reused. They are NOT
+// thread-safe; give each worker its own — `thread_codec_context()` hands
+// out one per thread, which is how core/transcode and core/sa_optimizer
+// get "one arena per worker" through the runtime parallel helpers. Results
+// never depend on context state, so the bit-identical-at-any-thread-count
+// guarantee is preserved.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "image/color.hpp"
+#include "jpeg/huffman.hpp"
+#include "jpeg/pipeline/coeff_plane.hpp"
+#include "jpeg/quant.hpp"
+
+namespace dnj::jpeg::pipeline {
+
+inline constexpr int kMaxComponents = 3;
+
+class CodecContext {
+ public:
+  /// The four Annex K.3 default Huffman tables with their derived encoder
+  /// lookups, constructed in one shot.
+  struct StaticHuffman {
+    HuffmanSpec dc_luma_spec, ac_luma_spec, dc_chroma_spec, ac_chroma_spec;
+    HuffmanEncoder dc_luma, ac_luma, dc_chroma, ac_chroma;
+    StaticHuffman();
+  };
+
+  /// Lazily built once per context, then reused for every image.
+  const StaticHuffman& static_huffman();
+
+  /// Reciprocal multipliers for `table`, cached per slot (0 = luma,
+  /// 1 = chroma). Rebuilt only when the table contents change.
+  const ReciprocalTable& reciprocal_for(const QuantTable& table, int slot);
+
+  /// The Annex K tables IJG-scaled to `quality`, cached so a dataset
+  /// re-encode at one quality derives them once instead of per image.
+  struct QualityTables {
+    const QuantTable& luma;
+    const QuantTable& chroma;
+  };
+  QualityTables quality_tables(int quality);
+
+  // --- encode-side arenas -------------------------------------------------
+  image::YCbCrPlanes ycc;                        ///< color-transform output
+  std::array<image::PlaneF, 2> chroma_small;     ///< 4:2:0 downsampled Cb/Cr
+  std::array<CoeffPlane, kMaxComponents> coeff;  ///< float DCT planes
+  std::array<QuantPlane, kMaxComponents> quant;  ///< zig-zag int16 planes
+
+  // --- decode-side arenas -------------------------------------------------
+  std::array<QuantPlane, kMaxComponents> decode_coeffs;  ///< natural-order int16
+  CoeffPlane decode_fp;                                  ///< dequantized floats
+  std::array<image::PlaneF, kMaxComponents> decode_planes;
+
+ private:
+  std::optional<StaticHuffman> static_huffman_;
+  struct RecipSlot {
+    QuantTable table;
+    ReciprocalTable recip;
+    bool valid = false;
+  };
+  std::array<RecipSlot, 2> recips_;
+  int cached_quality_ = -1;
+  QuantTable quality_luma_, quality_chroma_;
+};
+
+/// One context per thread, created on first use — the per-worker arena the
+/// parallel dataset loops (and the default encode/decode entry points)
+/// reuse across images.
+CodecContext& thread_codec_context();
+
+}  // namespace dnj::jpeg::pipeline

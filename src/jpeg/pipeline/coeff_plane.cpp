@@ -1,0 +1,11 @@
+#include "jpeg/pipeline/coeff_plane.hpp"
+
+namespace dnj::jpeg::pipeline {
+
+void CoeffPlane::tile_from(const image::PlaneF& plane, int blocks_x, int blocks_y,
+                           float bias) {
+  reshape(blocks_x, blocks_y);
+  image::tile_blocks_into(plane, blocks_x, blocks_y, data_.data(), bias);
+}
+
+}  // namespace dnj::jpeg::pipeline

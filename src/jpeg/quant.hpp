@@ -52,10 +52,50 @@ class QuantTable {
   std::array<std::uint16_t, 64> q_{};
 };
 
-/// Quantizes a DCT coefficient block: round(c / q), natural order.
+/// Precomputed reciprocal multipliers for a quantization table — the
+/// production-codec replacement for per-coefficient divides. The codec's
+/// quantization rounding rule is
+///
+///     v = nearbyintf(c * (1.0f / q))        (round half to even)
+///
+/// i.e. one float32 multiply by the precomputed reciprocal followed by the
+/// IEEE default rounding. Every quantization path (per-block `quantize`,
+/// the fused batch pass) applies this exact rule, so per-block and batched
+/// encodes are bit-identical.
+class ReciprocalTable {
+ public:
+  ReciprocalTable() = default;
+  explicit ReciprocalTable(const QuantTable& table);
+
+  /// Reciprocal of the step at `natural_index`.
+  float recip(int natural_index) const {
+    return recip_natural_[static_cast<std::size_t>(natural_index)];
+  }
+
+ private:
+  std::array<float, 64> recip_natural_{};
+};
+
+/// Quantizes a DCT coefficient block: round(c * (1/q)), natural order.
 QuantizedBlock quantize(const image::BlockF& coeffs, const QuantTable& table);
+
+/// Same rule via a prebuilt reciprocal table (no per-call divides).
+QuantizedBlock quantize(const image::BlockF& coeffs, const ReciprocalTable& recip);
+
+/// Fused quantize + zig-zag reorder over a contiguous coefficient plane:
+/// reads `count` blocks of 64 natural-order floats from `coeffs` and writes
+/// `count` blocks of 64 zig-zag-order int16 coefficients to `out` — the
+/// layout the Huffman coder consumes directly.
+void quantize_zigzag_batch(const float* coeffs, std::size_t count,
+                           const ReciprocalTable& recip, std::int16_t* out);
 
 /// Dequantizes: c' = v * q.
 image::BlockF dequantize(const QuantizedBlock& quantized, const QuantTable& table);
+
+/// Batched dequantize over natural-order int16 blocks into a float
+/// coefficient plane (ready for idct_batch). Applies c' = v * q per
+/// coefficient, identical to the per-block `dequantize`.
+void dequantize_batch(const std::int16_t* quantized, std::size_t count,
+                      const QuantTable& table, float* coeffs);
 
 }  // namespace dnj::jpeg

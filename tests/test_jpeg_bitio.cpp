@@ -13,6 +13,7 @@ TEST(BitWriter, MsbFirstOrder) {
   BitWriter bw(out);
   bw.put_bits(0b101, 3);
   bw.put_bits(0b00110, 5);
+  bw.flush();  // bits drain in batches; flush before inspecting
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], 0b10100110);
 }
@@ -30,9 +31,25 @@ TEST(BitWriter, StuffsFFBytes) {
   std::vector<std::uint8_t> out;
   BitWriter bw(out);
   bw.put_bits(0xFF, 8);
+  bw.flush();
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], 0xFF);
   EXPECT_EQ(out[1], 0x00);
+}
+
+TEST(BitWriter, BatchedDrainStuffsEveryFFInWord) {
+  // Four 0xFF data bytes written as 32 accumulated bits must each get a
+  // stuffing 0x00 when the batch drains.
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0xFFFF, 16);
+  bw.put_bits(0xFFFF, 16);
+  bw.flush();
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < 8; i += 2) {
+    EXPECT_EQ(out[i], 0xFF);
+    EXPECT_EQ(out[i + 1], 0x00);
+  }
 }
 
 TEST(BitWriter, MarkerIsNotStuffed) {
@@ -48,8 +65,21 @@ TEST(BitWriter, MarkerIsNotStuffed) {
 TEST(BitWriter, RejectsBadCount) {
   std::vector<std::uint8_t> out;
   BitWriter bw(out);
-  EXPECT_THROW(bw.put_bits(0, 25), std::invalid_argument);
+  EXPECT_THROW(bw.put_bits(0, 33), std::invalid_argument);
   EXPECT_THROW(bw.put_bits(0, -1), std::invalid_argument);
+}
+
+TEST(BitWriter, FullWidthWrite) {
+  // 32-bit writes carry a fused Huffman code + magnitude field.
+  std::vector<std::uint8_t> out;
+  BitWriter bw(out);
+  bw.put_bits(0xDEADBEEFu, 32);
+  bw.flush();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0xDE);
+  EXPECT_EQ(out[1], 0xAD);
+  EXPECT_EQ(out[2], 0xBE);
+  EXPECT_EQ(out[3], 0xEF);
 }
 
 TEST(BitReader, ReadsBackWrittenBits) {

@@ -1,0 +1,330 @@
+// Equivalence suite for the planar block-batch codec core: the batched
+// pipeline (CoeffPlane tiling + fdct_batch + fused reciprocal
+// quantize/zigzag + zero-alloc entropy pass) must produce byte-identical
+// streams to the retained per-block reference encoder across image shapes,
+// subsampling modes, and table precisions — and the batched primitives must
+// be bit-identical to their per-block counterparts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "image/blocks.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/pipeline/codec_context.hpp"
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::jpeg {
+namespace {
+
+using image::Image;
+using image::kBlockDim;
+using image::kBlockSize;
+using image::PlaneF;
+using pipeline::CodecContext;
+using pipeline::CoeffPlane;
+
+Image textured_image(int w, int h, int channels, std::uint64_t seed) {
+  Image img(w, h, channels);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> noise(-20, 20);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < channels; ++c) {
+        const float base = 128.0f + 55.0f * std::sin(x * 0.23f + c) * std::cos(y * 0.19f);
+        img.at(x, y, c) = image::clamp_u8(base + static_cast<float>(noise(rng)));
+      }
+  return img;
+}
+
+// --- batched primitives vs per-block paths --------------------------------
+
+TEST(PipelinePrimitives, FdctBatchBitIdenticalToPerBlock) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<float> dist(-128.0f, 127.0f);
+  CoeffPlane plane;
+  plane.reshape(5, 3);
+  for (std::size_t i = 0; i < plane.block_count() * kBlockSize; ++i)
+    plane.data()[i] = dist(rng);
+
+  std::vector<image::BlockF> reference(plane.block_count());
+  for (std::size_t b = 0; b < plane.block_count(); ++b) {
+    image::BlockF blk{};
+    std::copy(plane.block(b), plane.block(b) + kBlockSize, blk.begin());
+    reference[b] = fdct_aan(blk);
+  }
+  fdct_batch(plane.data(), plane.block_count());
+  for (std::size_t b = 0; b < plane.block_count(); ++b)
+    for (int k = 0; k < kBlockSize; ++k)
+      EXPECT_EQ(plane.block(b)[k], reference[b][static_cast<std::size_t>(k)])
+          << "block " << b << " band " << k;
+}
+
+TEST(PipelinePrimitives, IdctBatchBitIdenticalToPerBlock) {
+  std::mt19937_64 rng(12);
+  std::uniform_real_distribution<float> dist(-500.0f, 500.0f);
+  CoeffPlane plane;
+  plane.reshape(4, 4);
+  for (std::size_t i = 0; i < plane.block_count() * kBlockSize; ++i)
+    plane.data()[i] = dist(rng);
+
+  std::vector<image::BlockF> reference(plane.block_count());
+  for (std::size_t b = 0; b < plane.block_count(); ++b) {
+    image::BlockF blk{};
+    std::copy(plane.block(b), plane.block(b) + kBlockSize, blk.begin());
+    reference[b] = idct_fast(blk);
+  }
+  idct_batch(plane.data(), plane.block_count());
+  for (std::size_t b = 0; b < plane.block_count(); ++b)
+    for (int k = 0; k < kBlockSize; ++k)
+      EXPECT_EQ(plane.block(b)[k], reference[b][static_cast<std::size_t>(k)]);
+}
+
+TEST(PipelinePrimitives, FusedQuantizeZigzagMatchesPerBlockQuantize) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<float> dist(-900.0f, 900.0f);
+  CoeffPlane coeffs;
+  coeffs.reshape(3, 2);
+  for (std::size_t i = 0; i < coeffs.block_count() * kBlockSize; ++i)
+    coeffs.data()[i] = dist(rng);
+  const QuantTable table = QuantTable::annex_k_luma();
+  const ReciprocalTable recip(table);
+
+  std::vector<std::int16_t> zz(coeffs.block_count() * kBlockSize);
+  quantize_zigzag_batch(coeffs.data(), coeffs.block_count(), recip, zz.data());
+
+  for (std::size_t b = 0; b < coeffs.block_count(); ++b) {
+    image::BlockF blk{};
+    std::copy(coeffs.block(b), coeffs.block(b) + kBlockSize, blk.begin());
+    const QuantizedBlock natural = quantize(blk, table);
+    for (int k = 0; k < 64; ++k)
+      EXPECT_EQ(zz[b * kBlockSize + static_cast<std::size_t>(k)],
+                natural[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(k)])])
+          << "block " << b << " scan position " << k;
+  }
+}
+
+TEST(PipelinePrimitives, DequantizeBatchMatchesPerBlock) {
+  std::mt19937_64 rng(14);
+  std::uniform_int_distribution<int> dist(-1024, 1024);
+  const QuantTable table = QuantTable::annex_k_chroma();
+  std::vector<std::int16_t> q(4 * kBlockSize);
+  for (std::int16_t& v : q) v = static_cast<std::int16_t>(dist(rng));
+  std::vector<float> coeffs(q.size());
+  dequantize_batch(q.data(), 4, table, coeffs.data());
+  for (std::size_t b = 0; b < 4; ++b) {
+    QuantizedBlock blk{};
+    std::copy(q.begin() + static_cast<std::ptrdiff_t>(b * kBlockSize),
+              q.begin() + static_cast<std::ptrdiff_t>((b + 1) * kBlockSize), blk.begin());
+    const image::BlockF ref = dequantize(blk, table);
+    for (int k = 0; k < 64; ++k)
+      EXPECT_EQ(coeffs[b * kBlockSize + static_cast<std::size_t>(k)],
+                ref[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(PipelinePrimitives, TilingMatchesPaddedPlaneSplit) {
+  // tile_blocks_into must reproduce pad_to_blocks + split_blocks exactly,
+  // including edge replication on ragged dimensions.
+  PlaneF plane(13, 9);
+  std::mt19937_64 rng(15);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (float& v : plane.data()) v = dist(rng);
+
+  int bx = 0, by = 0;
+  const std::vector<image::BlockF> blocks = image::split_blocks(plane, &bx, &by);
+  CoeffPlane tiled;
+  tiled.tile_from(plane, bx, by, 0.0f);
+  ASSERT_EQ(tiled.block_count(), blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    for (int k = 0; k < kBlockSize; ++k)
+      EXPECT_EQ(tiled.block(b)[k], blocks[b][static_cast<std::size_t>(k)]);
+
+  // Grids larger than the padded plane replicate further (4:2:0 luma case).
+  CoeffPlane wide;
+  wide.tile_from(plane, bx + 1, by + 1, 0.0f);
+  const float last = plane.at(plane.width() - 1, plane.height() - 1);
+  EXPECT_EQ(wide.block(wide.block_count() - 1)[kBlockSize - 1], last);
+}
+
+TEST(PipelinePrimitives, UntileRoundTripsTile) {
+  PlaneF plane(24, 16);
+  std::mt19937_64 rng(16);
+  std::uniform_real_distribution<float> dist(-128.0f, 127.0f);
+  for (float& v : plane.data()) v = dist(rng);
+  CoeffPlane tiled;
+  tiled.tile_from(plane, 3, 2, 0.0f);
+  PlaneF back(24, 16);
+  image::untile_blocks_from(tiled.data(), 3, 2, back, 0.0f);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 24; ++x) EXPECT_EQ(back.at(x, y), plane.at(x, y));
+
+  // The level-shift pair (-128 on tile, +128 on untile) reconstructs up to
+  // one float rounding step — it is not an exact inverse for arbitrary
+  // fractional samples, only for the integral pixel values the codec feeds.
+  tiled.tile_from(plane, 3, 2, -128.0f);
+  image::untile_blocks_from(tiled.data(), 3, 2, back, 128.0f);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 24; ++x) EXPECT_NEAR(back.at(x, y), plane.at(x, y), 1e-4f);
+}
+
+TEST(PipelinePrimitives, ReciprocalRoundingMatchesNearbyint) {
+  // Anchor the codec's rounding rule independently of the encoder paths:
+  // quantize must equal nearbyintf(c * (1/q)) — IEEE round half to even on
+  // the float grid — for every step size, including near-half boundaries.
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<float> dist(-2000.0f, 2000.0f);
+  for (std::uint16_t q : {1, 2, 3, 7, 10, 16, 99, 255, 1000, 65535}) {
+    const QuantTable t = QuantTable::uniform(q);
+    const float r = 1.0f / static_cast<float>(q);
+    image::BlockF coeffs{};
+    for (int k = 0; k < 64; ++k) {
+      // Mix random values with exact and near half-way multiples of q.
+      const float half = (static_cast<float>(k % 16) + 0.5f) * static_cast<float>(q);
+      coeffs[static_cast<std::size_t>(k)] =
+          (k % 3 == 0) ? dist(rng) : (k % 3 == 1 ? half : std::nextafterf(half, 1e30f));
+    }
+    const QuantizedBlock out = quantize(coeffs, t);
+    for (int k = 0; k < 64; ++k) {
+      const float expect = std::nearbyintf(coeffs[static_cast<std::size_t>(k)] * r);
+      EXPECT_EQ(out[static_cast<std::size_t>(k)],
+                static_cast<std::int16_t>(std::clamp(expect, -32768.0f, 32767.0f)))
+          << "q=" << q << " k=" << k << " c=" << coeffs[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+// --- whole-stream equivalence ---------------------------------------------
+
+struct PipelineCase {
+  int w, h, channels;
+  Subsampling sub;
+  bool optimize_huffman;
+  int restart_interval;
+};
+
+class PipelineEquivalence : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEquivalence, BatchedEncodeByteIdenticalToReference) {
+  const auto p = GetParam();
+  const Image img = textured_image(p.w, p.h, p.channels, 0xABCD + p.w * 31 + p.h);
+  EncoderConfig cfg;
+  cfg.quality = 80;
+  cfg.subsampling = p.sub;
+  cfg.optimize_huffman = p.optimize_huffman;
+  cfg.restart_interval = p.restart_interval;
+  const auto reference = encode_reference(img, cfg);
+  const auto pipeline = encode(img, cfg);
+  EXPECT_EQ(pipeline, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineEquivalence,
+    ::testing::Values(PipelineCase{8, 8, 1, Subsampling::k444, false, 0},
+                      PipelineCase{32, 32, 1, Subsampling::k444, true, 0},
+                      PipelineCase{17, 13, 1, Subsampling::k444, false, 0},
+                      PipelineCase{1, 1, 1, Subsampling::k444, false, 0},
+                      PipelineCase{16, 16, 3, Subsampling::k444, false, 0},
+                      PipelineCase{33, 31, 3, Subsampling::k420, false, 0},
+                      PipelineCase{33, 31, 3, Subsampling::k420, true, 0},
+                      PipelineCase{9, 25, 3, Subsampling::k420, false, 2},
+                      PipelineCase{64, 48, 3, Subsampling::k444, false, 3},
+                      PipelineCase{40, 24, 3, Subsampling::k420, true, 1},
+                      PipelineCase{128, 96, 3, Subsampling::k420, false, 0}));
+
+TEST(PipelineEquivalenceExtra, CustomSixteenBitTables) {
+  std::array<std::uint16_t, 64> steps{};
+  for (int k = 0; k < 64; ++k)
+    steps[static_cast<std::size_t>(k)] = static_cast<std::uint16_t>(1 + 17 * k);  // up to 1072
+  EncoderConfig cfg;
+  cfg.use_custom_tables = true;
+  cfg.luma_table = QuantTable(steps);
+  cfg.chroma_table = QuantTable(steps);
+  for (const auto& dims : {std::pair<int, int>{16, 16}, {23, 41}}) {
+    const Image img = textured_image(dims.first, dims.second, 3, 0xFEED);
+    cfg.subsampling = Subsampling::k420;
+    EXPECT_EQ(encode(img, cfg), encode_reference(img, cfg));
+    cfg.subsampling = Subsampling::k444;
+    EXPECT_EQ(encode(img, cfg), encode_reference(img, cfg));
+  }
+}
+
+TEST(PipelineEquivalenceExtra, QualitySweepGray) {
+  const Image img = textured_image(48, 48, 1, 0xC0FFEE);
+  // Out-of-range qualities clamp like QuantTable::scaled — in particular
+  // -1 must not collide with the context cache's empty sentinel.
+  for (int q : {-1, 0, 1, 10, 50, 75, 95, 100, 300}) {
+    EncoderConfig cfg;
+    cfg.quality = q;
+    EXPECT_EQ(encode(img, cfg), encode_reference(img, cfg)) << "quality " << q;
+  }
+}
+
+// --- context reuse ----------------------------------------------------------
+
+TEST(CodecContext, ReuseAcrossImagesAndShapesIsStateless) {
+  CodecContext ctx;
+  EncoderConfig cfg;
+  cfg.quality = 85;
+  // Interleave shapes/modes so every arena reshapes repeatedly; results
+  // must match fresh-context encodes bit for bit.
+  const Image a = textured_image(32, 32, 3, 1);
+  const Image b = textured_image(17, 29, 1, 2);
+  const Image c = textured_image(64, 48, 3, 3);
+  for (int round = 0; round < 3; ++round) {
+    for (const Image* img : {&a, &b, &c}) {
+      CodecContext fresh;
+      EXPECT_EQ(encode(*img, cfg, ctx), encode(*img, cfg, fresh));
+    }
+    cfg.subsampling = cfg.subsampling == Subsampling::k420 ? Subsampling::k444
+                                                           : Subsampling::k420;
+  }
+}
+
+TEST(CodecContext, RoundTripThroughContextMatchesDefaultPath) {
+  CodecContext ctx;
+  const Image img = textured_image(40, 40, 3, 4);
+  EncoderConfig cfg;
+  cfg.quality = 70;
+  cfg.subsampling = Subsampling::k420;
+  const RoundTrip via_ctx = round_trip(img, cfg, ctx);
+  const RoundTrip via_default = round_trip(img, cfg);
+  EXPECT_EQ(via_ctx.bytes, via_default.bytes);
+  EXPECT_EQ(via_ctx.decoded, via_default.decoded);
+}
+
+TEST(CodecContext, ReciprocalCacheTracksTableChanges) {
+  CodecContext ctx;
+  const QuantTable a = QuantTable::uniform(4);
+  const QuantTable b = QuantTable::uniform(9);
+  const ReciprocalTable& ra = ctx.reciprocal_for(a, 0);
+  EXPECT_EQ(ra.recip(0), 1.0f / 4.0f);
+  const ReciprocalTable& rb = ctx.reciprocal_for(b, 0);
+  EXPECT_EQ(rb.recip(0), 1.0f / 9.0f);
+  // Chroma slot is independent.
+  const ReciprocalTable& rc = ctx.reciprocal_for(a, 1);
+  EXPECT_EQ(rc.recip(63), 1.0f / 4.0f);
+}
+
+TEST(CodecContext, DecodeThroughReusedContextMatchesFresh) {
+  CodecContext ctx;
+  EncoderConfig cfg;
+  cfg.quality = 75;
+  cfg.subsampling = Subsampling::k420;
+  const Image big = textured_image(64, 64, 3, 5);
+  const Image small = textured_image(24, 8, 1, 6);
+  const auto big_bytes = encode(big, cfg);
+  const auto small_bytes = encode(small, cfg);
+  // Decode large, then small (arenas shrink), then large again.
+  const Image d1 = decode(big_bytes, ctx);
+  const Image d2 = decode(small_bytes, ctx);
+  const Image d3 = decode(big_bytes, ctx);
+  CodecContext fresh1, fresh2;
+  EXPECT_EQ(d1, decode(big_bytes, fresh1));
+  EXPECT_EQ(d2, decode(small_bytes, fresh2));
+  EXPECT_EQ(d1, d3);
+}
+
+}  // namespace
+}  // namespace dnj::jpeg
