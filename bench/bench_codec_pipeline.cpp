@@ -25,6 +25,7 @@
 #include "jpeg/dct.hpp"
 #include "jpeg/pipeline/codec_context.hpp"
 #include "jpeg/quant.hpp"
+#include "simd/dispatch.hpp"
 
 using namespace dnj;
 
@@ -93,29 +94,60 @@ int main(int argc, char** argv) {
     quants[i].reshape(bx, by);
   }
 
-  const double tile_s = best_of(repeats, [&] {
-    for (std::size_t i = 0; i < ds.size(); ++i)
-      image::tile_image_blocks_into(ds.samples[i].image, 0, bx, by, tiled[i].data(),
-                                    -128.0f);
-  });
-
-  double dct_s = 1e100;
-  for (int r = 0; r < repeats; ++r) {
-    for (std::size_t i = 0; i < ds.size(); ++i)
-      std::copy(tiled[i].data(), tiled[i].data() + tiled[i].block_count() * 64,
-                coeffs[i].data());
-    const auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < ds.size(); ++i)
-      jpeg::fdct_batch(coeffs[i].data(), coeffs[i].block_count());
-    dct_s = std::min(dct_s, seconds_since(t0));
-  }
-
+  // Stage bodies shared by the ambient measurement below and the per-level
+  // SIMD rows further down, so the timing discipline (pristine-copy restore
+  // before every DCT repeat, quant-then-idct pairing) exists exactly once.
   const jpeg::ReciprocalTable recip(luma_q);
-  const double quant_s = best_of(repeats, [&] {
-    for (std::size_t i = 0; i < ds.size(); ++i)
-      jpeg::quantize_zigzag_batch(coeffs[i].data(), coeffs[i].block_count(), recip,
-                                  quants[i].data());
-  });
+  // Plain local copy: structured bindings cannot be captured by lambdas in
+  // C++17.
+  const jpeg::QuantTable dq_table = luma_q;
+  const auto measure_tile = [&] {
+    return best_of(repeats, [&] {
+      for (std::size_t i = 0; i < ds.size(); ++i)
+        image::tile_image_blocks_into(ds.samples[i].image, 0, bx, by, tiled[i].data(),
+                                      -128.0f);
+    });
+  };
+  // Restores the DCT inputs from the pristine tiled copy before every timed
+  // repeat (untimed) so repeats never transform already-transformed data —
+  // and leaves `coeffs` holding exactly one DCT application for the quant
+  // and entropy stages.
+  const auto measure_dct = [&] {
+    double best = 1e100;
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < ds.size(); ++i)
+        std::copy(tiled[i].data(), tiled[i].data() + tiled[i].block_count() * 64,
+                  coeffs[i].data());
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < ds.size(); ++i)
+        jpeg::fdct_batch(coeffs[i].data(), coeffs[i].block_count());
+      best = std::min(best, seconds_since(t0));
+    }
+    return best;
+  };
+  const auto measure_quant = [&] {
+    return best_of(repeats, [&] {
+      for (std::size_t i = 0; i < ds.size(); ++i)
+        jpeg::quantize_zigzag_batch(coeffs[i].data(), coeffs[i].block_count(), recip,
+                                    quants[i].data());
+    });
+  };
+  // Decode-side pair: dequantize is cheap, idct dominates. Quant planes
+  // hold zig-zag data but the kernels are order-oblivious, so this is a
+  // faithful throughput probe. Clobbers `coeffs`.
+  const auto measure_dequant_idct = [&] {
+    return best_of(repeats, [&] {
+      for (std::size_t i = 0; i < ds.size(); ++i) {
+        jpeg::dequantize_batch(quants[i].data(), quants[i].block_count(), dq_table,
+                               coeffs[i].data());
+        jpeg::idct_batch(coeffs[i].data(), coeffs[i].block_count());
+      }
+    });
+  };
+
+  const double tile_s = measure_tile();
+  const double dct_s = measure_dct();
+  const double quant_s = measure_quant();
 
   const jpeg::pipeline::CodecContext::StaticHuffman& huff = ctx.static_huffman();
   std::vector<std::uint8_t> scratch;
@@ -158,6 +190,30 @@ int main(int argc, char** argv) {
     for (const auto& bytes : streams) jpeg::decode(bytes, ctx);
   });
 
+  // --- per-kernel throughput at every supported SIMD level ----------------
+  // The sections above ran at the ambient level (DNJ_SIMD / auto); this one
+  // pins each level in turn and reruns the same four stage bodies, so the
+  // JSON carries scalar vs SSE2 vs AVX2 rows measured with the identical
+  // buffer discipline.
+  struct LevelStages {
+    simd::Level level;
+    double tile_s = 0, dct_s = 0, quant_s = 0, idct_s = 0;
+  };
+  std::vector<LevelStages> level_rows;
+  const simd::Level ambient_level = simd::active_level();
+  for (simd::Level level :
+       {simd::Level::kScalar, simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (!simd::set_level(level)) continue;  // not supported on this machine/build
+    LevelStages row;
+    row.level = level;
+    row.tile_s = measure_tile();
+    row.dct_s = measure_dct();
+    row.quant_s = measure_quant();
+    row.idct_s = measure_dequant_idct();
+    level_rows.push_back(row);
+  }
+  simd::set_level(ambient_level);
+
   const double mblk = static_cast<double>(total_blocks) / 1e6;
   bench::JsonWriter json("BENCH_codec_pipeline");
   json.field("bench", "codec_pipeline");
@@ -189,6 +245,33 @@ int main(int argc, char** argv) {
   json.field("decode_images_per_s", static_cast<double>(ds.size()) / decode_s);
   json.field("streams_identical", identical);
 
+  // Per-kernel SIMD rows + headline speedups (AVX2 over this run's scalar).
+  json.field("simd_level_ambient", simd::level_name(ambient_level));
+  json.begin_array("simd_levels");
+  for (const LevelStages& row : level_rows) {
+    json.begin_object();
+    json.field("level", simd::level_name(row.level));
+    json.field("tile_mblocks_per_s", mblk / row.tile_s);
+    json.field("dct_mblocks_per_s", mblk / row.dct_s);
+    json.field("quant_zigzag_mblocks_per_s", mblk / row.quant_s);
+    json.field("dequant_idct_mblocks_per_s", mblk / row.idct_s);
+    json.end_object();
+  }
+  json.end_array();
+  const LevelStages* scalar_row = nullptr;
+  for (const LevelStages& row : level_rows)
+    if (row.level == simd::Level::kScalar) scalar_row = &row;
+  for (const LevelStages& row : level_rows) {
+    if (row.level == simd::Level::kScalar || !scalar_row) continue;
+    const std::string prefix = simd::level_name(row.level);
+    json.field(prefix + "_tile_speedup_vs_scalar", scalar_row->tile_s / row.tile_s);
+    json.field(prefix + "_dct_speedup_vs_scalar", scalar_row->dct_s / row.dct_s);
+    json.field(prefix + "_quant_zigzag_speedup_vs_scalar",
+               scalar_row->quant_s / row.quant_s);
+    json.field(prefix + "_dequant_idct_speedup_vs_scalar",
+               scalar_row->idct_s / row.idct_s);
+  }
+
   std::printf("codec pipeline, %zu images %dx%d, q=%d, repeats=%d\n", ds.size(),
               gen_cfg.width, gen_cfg.height, enc_cfg.quality, repeats);
   for (const auto& st : stages)
@@ -197,6 +280,22 @@ int main(int argc, char** argv) {
               reference_s, pipeline_s, speedup, identical ? "byte-identical" : "DIFFER");
   std::printf("  decode: %.4fs  %.1f img/s\n", decode_s,
               static_cast<double>(ds.size()) / decode_s);
+  std::printf("  per-kernel Mblocks/s by SIMD level (ambient: %s):\n",
+              simd::level_name(ambient_level));
+  std::printf("    %-8s %8s %8s %12s %12s\n", "level", "tile", "dct", "quant_zz",
+              "dequant_idct");
+  for (const LevelStages& row : level_rows)
+    std::printf("    %-8s %8.2f %8.2f %12.2f %12.2f\n", simd::level_name(row.level),
+                mblk / row.tile_s, mblk / row.dct_s, mblk / row.quant_s,
+                mblk / row.idct_s);
+  if (scalar_row && scalar_row != &level_rows.back()) {
+    const LevelStages& widest = level_rows.back();
+    std::printf("    %s vs scalar: tile %.2fx, dct %.2fx, quant_zz %.2fx, "
+                "dequant_idct %.2fx\n",
+                simd::level_name(widest.level), scalar_row->tile_s / widest.tile_s,
+                scalar_row->dct_s / widest.dct_s, scalar_row->quant_s / widest.quant_s,
+                scalar_row->idct_s / widest.idct_s);
+  }
   std::printf("  wrote %s\n", json.path().c_str());
 
   if (!identical) {

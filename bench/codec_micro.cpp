@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 #include "core/deepnjpeg.hpp"
 #include "data/synthetic.hpp"
@@ -14,6 +16,8 @@
 #include "jpeg/codec.hpp"
 #include "jpeg/dct.hpp"
 #include "jpeg/dct_int.hpp"
+#include "jpeg/quant.hpp"
+#include "simd/dispatch.hpp"
 
 using namespace dnj;
 
@@ -160,6 +164,110 @@ void BM_TableDesign(benchmark::State& state) {
 }
 BENCHMARK(BM_TableDesign);
 
+// --- per-level SIMD kernel micro-benches ---
+//
+// Registered at runtime for every level this machine supports, so one run
+// prints scalar vs sse2 vs avx2 rows side by side (BM_FdctBatch/scalar,
+// BM_FdctBatch/avx2, ...). Each benchmark pins its level up front; the
+// batch kernels process a 256-block plane per iteration.
+
+constexpr std::size_t kBatchBlocks = 256;
+
+// The level active at program start (i.e. the DNJ_SIMD pin, or auto-detect).
+// Every per-level benchmark restores this instead of max_supported_level(),
+// so an env-pinned run really measures the pinned level end to end.
+simd::Level ambient_level() {
+  static const simd::Level level = simd::active_level();
+  return level;
+}
+
+std::vector<float> batch_blocks(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-128.0f, 127.0f);
+  std::vector<float> out(kBatchBlocks * 64);
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+void BM_FdctBatch(benchmark::State& state, simd::Level level) {
+  simd::set_level(level);
+  std::vector<float> blocks = batch_blocks(11);
+  for (auto _ : state) {
+    jpeg::fdct_batch(blocks.data(), kBatchBlocks);
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatchBlocks);
+  simd::set_level(ambient_level());
+}
+
+void BM_IdctBatch(benchmark::State& state, simd::Level level) {
+  simd::set_level(level);
+  std::vector<float> blocks = batch_blocks(12);
+  for (auto _ : state) {
+    jpeg::idct_batch(blocks.data(), kBatchBlocks);
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatchBlocks);
+  simd::set_level(ambient_level());
+}
+
+void BM_QuantZigzagBatch(benchmark::State& state, simd::Level level) {
+  simd::set_level(level);
+  const std::vector<float> coeffs = batch_blocks(13);
+  const jpeg::ReciprocalTable recip(jpeg::QuantTable::annex_k_luma());
+  std::vector<std::int16_t> out(kBatchBlocks * 64);
+  for (auto _ : state) {
+    jpeg::quantize_zigzag_batch(coeffs.data(), kBatchBlocks, recip, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatchBlocks);
+  simd::set_level(ambient_level());
+}
+
+void BM_GemmAcc(benchmark::State& state, simd::Level level) {
+  simd::set_level(level);
+  // Conv2D-forward shape from the 32x32 MiniAlexNet stem:
+  // C[32 x 1024] += W[32 x 75] * col[75 x 1024].
+  const int m = 32, k = 75, n = 1024;
+  std::mt19937_64 rng(14);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (float& v : a) v = dist(rng);
+  for (float& v : b) v = dist(rng);
+  for (auto _ : state) {
+    simd::kernels().gemm_acc(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * m * k * n);
+  simd::set_level(ambient_level());
+}
+
+void register_simd_level_benches() {
+  for (simd::Level level :
+       {simd::Level::kScalar, simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (!simd::set_level(level)) continue;
+    const std::string suffix = std::string("/") + simd::level_name(level);
+    benchmark::RegisterBenchmark(("BM_FdctBatch" + suffix).c_str(), BM_FdctBatch,
+                                 level);
+    benchmark::RegisterBenchmark(("BM_IdctBatch" + suffix).c_str(), BM_IdctBatch,
+                                 level);
+    benchmark::RegisterBenchmark(("BM_QuantZigzagBatch" + suffix).c_str(),
+                                 BM_QuantZigzagBatch, level);
+    benchmark::RegisterBenchmark(("BM_GemmAcc" + suffix).c_str(), BM_GemmAcc, level);
+  }
+  simd::set_level(ambient_level());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ambient_level();  // snapshot the DNJ_SIMD pin before any benchmark touches it
+  register_simd_level_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

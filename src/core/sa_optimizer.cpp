@@ -10,6 +10,7 @@
 #include "image/color.hpp"
 #include "jpeg/dct.hpp"
 #include "runtime/parallel.hpp"
+#include "simd/dispatch.hpp"
 
 namespace dnj::core {
 
@@ -35,25 +36,31 @@ class CostModel {
          i += stride)
       images_.push_back(&ds.samples[i].image);
 
-    // Coefficient samples for the distortion term: per-image coefficient
-    // planes (contiguous 64-stride blocks, level shift fused into the
-    // tiling, batched in-place DCT) computed in parallel, concatenated in
-    // image order so blocks_ is laid out exactly as the serial loop would
-    // build it.
-    std::vector<std::vector<float>> per_image = runtime::parallel_map(
+    // Coefficient samples for the distortion term: the flat buffer is
+    // sized once from the per-image grids, then every worker tiles its
+    // image (u8 -> float and level shift fused, channel 0) straight into
+    // the image's slice and runs the batched in-place DCT there. Slices
+    // are laid out in image order — the same bytes the old concatenating
+    // loop produced — and the setup path performs no per-image
+    // allocations at all.
+    std::vector<std::size_t> offsets(images_.size() + 1, 0);
+    for (std::size_t i = 0; i < images_.size(); ++i) {
+      const int bx = image::padded_dim(images_[i]->width()) / image::kBlockDim;
+      const int by = image::padded_dim(images_[i]->height()) / image::kBlockDim;
+      offsets[i + 1] =
+          offsets[i] + static_cast<std::size_t>(bx) * by * image::kBlockSize;
+    }
+    blocks_.resize(offsets.back());
+    runtime::parallel_for(
         0, images_.size(), 1,
         [&](std::size_t i) {
-          const image::PlaneF plane = image::to_plane(*images_[i], 0);
-          const int bx = image::padded_dim(plane.width()) / image::kBlockDim;
-          const int by = image::padded_dim(plane.height()) / image::kBlockDim;
-          std::vector<float> coeffs(static_cast<std::size_t>(bx) * by * image::kBlockSize);
-          image::tile_blocks_into(plane, bx, by, coeffs.data(), -128.0f);
-          jpeg::fdct_batch(coeffs.data(), static_cast<std::size_t>(bx) * by);
-          return coeffs;
+          const int bx = image::padded_dim(images_[i]->width()) / image::kBlockDim;
+          const int by = image::padded_dim(images_[i]->height()) / image::kBlockDim;
+          float* dst = blocks_.data() + offsets[i];
+          image::tile_image_blocks_into(*images_[i], 0, bx, by, dst, -128.0f);
+          jpeg::fdct_batch(dst, static_cast<std::size_t>(bx) * by);
         },
         config.num_threads);
-    for (std::vector<float>& v : per_image)
-      blocks_.insert(blocks_.end(), v.begin(), v.end());
     block_count_ = blocks_.size() / image::kBlockSize;
   }
 
@@ -75,23 +82,22 @@ class CostModel {
     for (double b : per_image_bytes) bytes += b;
 
     // Distortion term: importance-weighted quantization MSE per band.
-    // Per-block squared errors in parallel, folded in block order — the
-    // fold must stay per-block (not per-chunk partials) so the addition
-    // sequence matches the plain serial loop bit-for-bit. The scratch
-    // buffer is reused across calls: cost() runs once per SA iteration
-    // and would otherwise reallocate blocks x 512 B every time.
+    // Per-block squared errors in parallel through the SIMD kernel layer
+    // (lanes = bands, element-wise — every level matches the scalar
+    // double-precision sequence), folded in block order — the fold must
+    // stay per-block (not per-chunk partials) so the addition sequence
+    // matches the plain serial loop bit-for-bit. The scratch buffer is
+    // reused across calls: cost() runs once per SA iteration and would
+    // otherwise reallocate blocks x 512 B every time.
+    std::array<double, 64> steps;
+    for (int k = 0; k < 64; ++k) steps[static_cast<std::size_t>(k)] = table.step(k);
     per_block_scratch_.resize(block_count_);
     runtime::parallel_for(
         0, block_count_, 16,
         [&](std::size_t b) {
-          const float* blk = blocks_.data() + b * image::kBlockSize;
-          std::array<double, 64>& sq = per_block_scratch_[b];
-          for (int k = 0; k < 64; ++k) {
-            const double q = table.step(k);
-            const double c = blk[k];
-            const double rec = std::nearbyint(c / q) * q;
-            sq[static_cast<std::size_t>(k)] = (c - rec) * (c - rec);
-          }
+          simd::kernels().quant_error_block(blocks_.data() + b * image::kBlockSize,
+                                            steps.data(),
+                                            per_block_scratch_[b].data());
         },
         config_.num_threads);
     std::array<double, 64> mse{};

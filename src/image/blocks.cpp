@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/dispatch.hpp"
+
 namespace dnj::image {
 
 int padded_dim(int n) { return (n + kBlockDim - 1) / kBlockDim * kBlockDim; }
@@ -64,87 +66,24 @@ void level_unshift(BlockF& block) {
 
 void tile_blocks_into(const PlaneF& plane, int grid_bx, int grid_by, float* dst,
                       float bias) {
-  const int w = plane.width();
-  const int h = plane.height();
-  const float* src = plane.data().data();
-  // Blocks fully inside the plane take the fast row-copy path; blocks that
-  // touch the right/bottom edge replicate the last row/column.
-  const int full_bx = w / kBlockDim;  // blocks with all 8 columns in-plane
-  const int full_by = h / kBlockDim;
-  for (int by = 0; by < grid_by; ++by) {
-    for (int bx = 0; bx < grid_bx; ++bx) {
-      float* blk = dst + (static_cast<std::size_t>(by) * grid_bx + bx) * kBlockSize;
-      if (bx < full_bx && by < full_by) {
-        const float* row = src + static_cast<std::size_t>(by) * kBlockDim * w +
-                           static_cast<std::size_t>(bx) * kBlockDim;
-        for (int y = 0; y < kBlockDim; ++y, row += w, blk += kBlockDim)
-          for (int x = 0; x < kBlockDim; ++x) blk[x] = row[x] + bias;
-      } else {
-        for (int y = 0; y < kBlockDim; ++y) {
-          const int sy = std::min(by * kBlockDim + y, h - 1);
-          const float* row = src + static_cast<std::size_t>(sy) * w;
-          for (int x = 0; x < kBlockDim; ++x)
-            blk[y * kBlockDim + x] = row[std::min(bx * kBlockDim + x, w - 1)] + bias;
-        }
-      }
-    }
-  }
+  simd::kernels().tile_f32(plane.data().data(), plane.width(), plane.height(), grid_bx,
+                           grid_by, dst, bias);
 }
 
 void tile_image_blocks_into(const Image& img, int c, int grid_bx, int grid_by,
                             float* dst, float bias) {
-  const int w = img.width();
-  const int h = img.height();
-  const int ch = img.channels();
-  if (c < 0 || c >= ch)
+  if (c < 0 || c >= img.channels())
     throw std::invalid_argument("tile_image_blocks_into: channel out of range");
-  const std::uint8_t* src = img.data().data() + c;
-  const std::size_t row_stride = static_cast<std::size_t>(w) * ch;
-  const int full_bx = w / kBlockDim;
-  const int full_by = h / kBlockDim;
-  for (int by = 0; by < grid_by; ++by) {
-    for (int bx = 0; bx < grid_bx; ++bx) {
-      float* blk = dst + (static_cast<std::size_t>(by) * grid_bx + bx) * kBlockSize;
-      if (bx < full_bx && by < full_by) {
-        const std::uint8_t* row = src + static_cast<std::size_t>(by) * kBlockDim * row_stride +
-                                  static_cast<std::size_t>(bx) * kBlockDim * ch;
-        for (int y = 0; y < kBlockDim; ++y, row += row_stride, blk += kBlockDim)
-          for (int x = 0; x < kBlockDim; ++x)
-            blk[x] = static_cast<float>(row[static_cast<std::size_t>(x) * ch]) + bias;
-      } else {
-        for (int y = 0; y < kBlockDim; ++y) {
-          const int sy = std::min(by * kBlockDim + y, h - 1);
-          const std::uint8_t* row = src + static_cast<std::size_t>(sy) * row_stride;
-          for (int x = 0; x < kBlockDim; ++x) {
-            const int sx = std::min(bx * kBlockDim + x, w - 1);
-            blk[y * kBlockDim + x] =
-                static_cast<float>(row[static_cast<std::size_t>(sx) * ch]) + bias;
-          }
-        }
-      }
-    }
-  }
+  simd::kernels().tile_u8(img.data().data() + c, img.width(), img.height(),
+                          img.channels(), grid_bx, grid_by, dst, bias);
 }
 
 void untile_blocks_from(const float* src, int grid_bx, int grid_by, PlaneF& plane,
                         float bias) {
-  const int w = plane.width();
-  const int h = plane.height();
-  if (w > grid_bx * kBlockDim || h > grid_by * kBlockDim)
+  if (plane.width() > grid_bx * kBlockDim || plane.height() > grid_by * kBlockDim)
     throw std::invalid_argument("untile_blocks_from: plane exceeds block grid");
-  float* dst = plane.data().data();
-  for (int by = 0; by * kBlockDim < h; ++by) {
-    const int ny = std::min(kBlockDim, h - by * kBlockDim);
-    for (int bx = 0; bx * kBlockDim < w; ++bx) {
-      const int nx = std::min(kBlockDim, w - bx * kBlockDim);
-      const float* blk = src + (static_cast<std::size_t>(by) * grid_bx + bx) * kBlockSize;
-      for (int y = 0; y < ny; ++y) {
-        float* row = dst + static_cast<std::size_t>(by * kBlockDim + y) * w +
-                     static_cast<std::size_t>(bx) * kBlockDim;
-        for (int x = 0; x < nx; ++x) row[x] = blk[y * kBlockDim + x] + bias;
-      }
-    }
-  }
+  simd::kernels().untile_f32(src, grid_bx, grid_by, plane.data().data(), plane.width(),
+                             plane.height(), bias);
 }
 
 }  // namespace dnj::image

@@ -1,5 +1,7 @@
 #include "image/color.hpp"
 
+#include "simd/dispatch.hpp"
+
 namespace dnj::image {
 
 std::array<float, 3> rgb_to_ycbcr(float r, float g, float b) {
@@ -35,14 +37,11 @@ void to_ycbcr_into(const Image& img, YCbCrPlanes& out) {
       }
     return;
   }
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      const auto ycc = rgb_to_ycbcr(img.at(x, y, 0), img.at(x, y, 1), img.at(x, y, 2));
-      out.y.at(x, y) = ycc[0];
-      out.cb.at(x, y) = ycc[1];
-      out.cr.at(x, y) = ycc[2];
-    }
-  }
+  // The interleaved pixel buffer and the three planes are contiguous and
+  // congruent, so the whole image is one kernel call.
+  simd::kernels().rgb_to_ycbcr(img.data().data(), img.pixel_count(),
+                               out.y.data().data(), out.cb.data().data(),
+                               out.cr.data().data());
 }
 
 Image to_rgb(const YCbCrPlanes& planes, int width, int height) {
@@ -54,14 +53,14 @@ Image to_rgb(const PlaneF& yp, const PlaneF& cb, const PlaneF& cr, int width, in
       cb.height() < height || cr.width() < width || cr.height() < height)
     throw std::invalid_argument("to_rgb: planes smaller than target size");
   Image img(width, height, 3);
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      const auto rgb = ycbcr_to_rgb(yp.at(x, y), cb.at(x, y), cr.at(x, y));
-      img.at(x, y, 0) = clamp_u8(rgb[0]);
-      img.at(x, y, 1) = clamp_u8(rgb[1]);
-      img.at(x, y, 2) = clamp_u8(rgb[2]);
-    }
-  }
+  // Planes may be wider than the image (block padding), so convert row by
+  // row from each plane's row start.
+  for (int y = 0; y < height; ++y)
+    simd::kernels().ycbcr_to_rgb_row(
+        yp.data().data() + static_cast<std::size_t>(y) * yp.width(),
+        cb.data().data() + static_cast<std::size_t>(y) * cb.width(),
+        cr.data().data() + static_cast<std::size_t>(y) * cr.width(), width,
+        img.data().data() + static_cast<std::size_t>(y) * width * 3);
   return img;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/dispatch.hpp"
+
 namespace dnj::image {
 
 std::uint8_t clamp_u8(float v) {
@@ -32,6 +34,14 @@ void from_plane(const PlaneF& plane, Image& img, int c) {
     throw std::invalid_argument("from_plane: channel out of range");
   if (plane.width() < img.width() || plane.height() < img.height())
     throw std::invalid_argument("from_plane: plane smaller than image");
+  if (img.channels() == 1) {
+    // Grayscale rows are unit-stride on both sides — the decode hot path.
+    for (int y = 0; y < img.height(); ++y)
+      simd::kernels().f32_to_u8_row(
+          plane.data().data() + static_cast<std::size_t>(y) * plane.width(),
+          img.width(), img.data().data() + static_cast<std::size_t>(y) * img.width());
+    return;
+  }
   for (int y = 0; y < img.height(); ++y)
     for (int x = 0; x < img.width(); ++x)
       img.at(x, y, c) = clamp_u8(plane.at(x, y));

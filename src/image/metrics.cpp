@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace dnj::image {
 
 namespace {
@@ -16,12 +18,13 @@ void check_same_shape(const Image& a, const Image& b) {
 
 double mse(const Image& a, const Image& b) {
   check_same_shape(a, b);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.data().size(); ++i) {
-    const double d = static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
-    sum += d * d;
-  }
-  return sum / static_cast<double>(a.data().size());
+  // The squared-difference sum is exact in 64-bit integer arithmetic
+  // (each term <= 255^2), so any SIMD accumulation order yields the same
+  // value — the one place the determinism contract gets associativity for
+  // free instead of by lane discipline.
+  const std::uint64_t sum =
+      simd::kernels().sum_sq_diff_u8(a.data().data(), b.data().data(), a.data().size());
+  return static_cast<double>(sum) / static_cast<double>(a.data().size());
 }
 
 double psnr(const Image& a, const Image& b) {

@@ -3,6 +3,8 @@
 #include <array>
 #include <cmath>
 
+#include "simd/dispatch.hpp"
+
 namespace dnj::jpeg {
 
 namespace {
@@ -192,15 +194,27 @@ BlockF idct_fast(const BlockF& freq) {
   return out;
 }
 
-void fdct_batch(float* blocks, std::size_t count) {
+void fdct_batch_scalar(float* blocks, std::size_t count) {
   for (std::size_t b = 0; b < count; ++b) fdct_8x8(blocks + b * image::kBlockSize);
 }
 
-void idct_batch(float* blocks, std::size_t count) {
+void idct_batch_scalar(float* blocks, std::size_t count) {
   for (std::size_t b = 0; b < count; ++b) {
     float* blk = blocks + b * image::kBlockSize;
     idct_8x8(blk, blk);
   }
 }
+
+void fdct_batch(float* blocks, std::size_t count) {
+  simd::kernels().fdct_batch(blocks, count);
+}
+
+void idct_batch(float* blocks, std::size_t count) {
+  simd::kernels().idct_batch(blocks, count);
+}
+
+const float* aan_descale_table() { return aan_scale().recip.data(); }
+
+const float* dct_basis_table() { return basis().m[0].data(); }
 
 }  // namespace dnj::jpeg

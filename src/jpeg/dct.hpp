@@ -42,9 +42,26 @@ inline BlockF idct(const BlockF& freq) { return idct_fast(freq); }
 // equivalence suite pins down.
 
 /// Forward AAN DCT of every block in place, output in JPEG normalization.
+/// Dispatches to the active SIMD level (simd::kernels()).
 void fdct_batch(float* blocks, std::size_t count);
 
-/// Inverse DCT of every block in place.
+/// Inverse DCT of every block in place. Dispatches to the active SIMD level.
 void idct_batch(float* blocks, std::size_t count);
+
+/// Scalar reference implementations of the batched transforms — the
+/// per-block arithmetic of fdct_aan/idct_fast applied block by block. The
+/// SIMD kernel layer uses these as its fallback floor and its
+/// bit-equivalence oracle.
+void fdct_batch_scalar(float* blocks, std::size_t count);
+void idct_batch_scalar(float* blocks, std::size_t count);
+
+/// The 64 per-coefficient reciprocals (row-major u*8+v) that descale AAN
+/// butterfly output into the JPEG normalization. Shared with the SIMD
+/// kernels so every level multiplies by the identical constants.
+const float* aan_descale_table();
+
+/// Orthonormal DCT-II basis, row-major basis[u*8+x] — the matrix the
+/// inverse transform (and its SIMD versions) multiplies by.
+const float* dct_basis_table();
 
 }  // namespace dnj::jpeg

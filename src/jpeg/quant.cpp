@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "jpeg/zigzag.hpp"
+#include "simd/dispatch.hpp"
 
 namespace dnj::jpeg {
 
@@ -71,26 +72,6 @@ ReciprocalTable::ReciprocalTable(const QuantTable& table) {
     recip_natural_[static_cast<std::size_t>(k)] = 1.0f / static_cast<float>(table.step(k));
 }
 
-namespace {
-
-// Round half to even without a libm call: adding and subtracting 1.5 * 2^23
-// forces the float onto the integer grid using the FPU's default
-// round-to-nearest-even, matching std::nearbyintf bit for bit wherever the
-// result is not clamped (|x| < 2^22; larger magnitudes clamp to the int16
-// range below either way). This is the codec's quantization rounding rule.
-inline float round_half_even(float x) {
-  constexpr float kBias = 12582912.0f;  // 1.5 * 2^23
-  const float biased = x + kBias;
-  return biased - kBias;
-}
-
-inline std::int16_t quantize_coeff(float c, float recip) {
-  const float v = round_half_even(c * recip);
-  return static_cast<std::int16_t>(std::clamp(v, -32768.0f, 32767.0f));
-}
-
-}  // namespace
-
 QuantizedBlock quantize(const image::BlockF& coeffs, const QuantTable& table) {
   return quantize(coeffs, ReciprocalTable(table));
 }
@@ -105,17 +86,7 @@ QuantizedBlock quantize(const image::BlockF& coeffs, const ReciprocalTable& reci
 
 void quantize_zigzag_batch(const float* coeffs, std::size_t count,
                            const ReciprocalTable& recip, std::int16_t* out) {
-  for (std::size_t b = 0; b < count; ++b) {
-    const float* c = coeffs + b * 64;
-    std::int16_t* zz = out + b * 64;
-    // Quantize in natural order first — a straight-line loop the compiler
-    // can vectorize — then permute the int16 results into scan order. Per
-    // coefficient this is the exact arithmetic of quantize_coeff, so the
-    // output matches the per-block quantize() path bit for bit.
-    std::int16_t natural[64];
-    for (int k = 0; k < 64; ++k) natural[k] = quantize_coeff(c[k], recip.recip(k));
-    for (int k = 0; k < 64; ++k) zz[k] = natural[kZigzag[static_cast<std::size_t>(k)]];
-  }
+  simd::kernels().quantize_zigzag_batch(coeffs, count, recip.data(), out);
 }
 
 image::BlockF dequantize(const QuantizedBlock& quantized, const QuantTable& table) {
@@ -131,11 +102,7 @@ void dequantize_batch(const std::int16_t* quantized, std::size_t count,
                       const QuantTable& table, float* coeffs) {
   float steps[64];
   for (int k = 0; k < 64; ++k) steps[k] = static_cast<float>(table.step(k));
-  for (std::size_t b = 0; b < count; ++b) {
-    const std::int16_t* q = quantized + b * 64;
-    float* c = coeffs + b * 64;
-    for (int k = 0; k < 64; ++k) c[k] = static_cast<float>(q[k]) * steps[k];
-  }
+  simd::kernels().dequantize_batch(quantized, count, steps, coeffs);
 }
 
 }  // namespace dnj::jpeg

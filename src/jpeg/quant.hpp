@@ -72,9 +72,33 @@ class ReciprocalTable {
     return recip_natural_[static_cast<std::size_t>(natural_index)];
   }
 
+  /// The 64 natural-order reciprocals — the raw array the SIMD quantize
+  /// kernels consume.
+  const float* data() const { return recip_natural_.data(); }
+
  private:
   std::array<float, 64> recip_natural_{};
 };
+
+/// Round half to even without a libm call: adding and subtracting 1.5 * 2^23
+/// forces the float onto the integer grid using the FPU's default
+/// round-to-nearest-even, matching std::nearbyintf bit for bit wherever the
+/// result is not clamped (|x| < 2^22; larger magnitudes clamp to the int16
+/// range below either way). This is the codec's quantization rounding rule,
+/// shared verbatim by every scalar and SIMD quantization path.
+inline float round_half_even(float x) {
+  constexpr float kBias = 12582912.0f;  // 1.5 * 2^23
+  const float biased = x + kBias;
+  return biased - kBias;
+}
+
+/// One coefficient of the codec's quantization rule:
+/// clamp(round_half_even(c * recip)) into int16.
+inline std::int16_t quantize_coeff(float c, float recip) {
+  const float v = round_half_even(c * recip);
+  const float clamped = v < -32768.0f ? -32768.0f : (v > 32767.0f ? 32767.0f : v);
+  return static_cast<std::int16_t>(clamped);
+}
 
 /// Quantizes a DCT coefficient block: round(c * (1/q)), natural order.
 QuantizedBlock quantize(const image::BlockF& coeffs, const QuantTable& table);

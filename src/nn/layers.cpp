@@ -5,38 +5,24 @@
 #include <limits>
 
 #include "runtime/parallel.hpp"
+#include "simd/dispatch.hpp"
 
 namespace dnj::nn {
 
 namespace {
 
-// C[M x N] += A[M x K] * B[K x N]; row-major, ikj order for locality.
+// C[M x N] += A[M x K] * B[K x N]; row-major. Dispatches to the active
+// SIMD level's register-blocked micro-kernel; every level accumulates each
+// C element in ascending-k order with the same zero-skip, so results are
+// bit-identical across levels (and thread counts).
 void gemm_acc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  simd::kernels().gemm_acc(a, b, c, m, k, n);
 }
 
 // C[M x N] += A^T where A is [K x M]: C += A_t(MxK) * B(KxN) with A stored
 // K-major. Used for dcol = W^T * dy.
 void gemm_at_acc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::size_t>(kk) * m;
-    const float* brow = b + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  simd::kernels().gemm_at_acc(a, b, c, m, k, n);
 }
 
 }  // namespace

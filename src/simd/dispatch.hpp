@@ -1,0 +1,102 @@
+// Runtime-dispatched SIMD kernel layer.
+//
+// Every hot loop of the codec pipeline and the NN GEMM funnels through one
+// per-kernel function-pointer table that is resolved once at startup:
+// cpuid-style feature detection picks the widest supported level, the
+// `DNJ_SIMD` environment variable (`auto|scalar|sse2|avx2`) or the
+// `set_level()` API can pin a narrower one, and unsupported/absent levels
+// fall back per kernel to the next level down (avx2 -> sse2 -> scalar).
+//
+// The determinism contract: every vector lane executes the exact scalar
+// operation sequence. Kernels vectorize across independent outputs (blocks
+// of the SoA coefficient plane, output columns of a GEMM, pixels of a row)
+// and never reassociate a scalar reduction or contract mul+add into FMA
+// (the kernel TUs build with -ffp-contract=off). Consequently scalar,
+// SSE2 and AVX2 produce bit-identical encoded streams, SA costs, metrics
+// and trained weights — pinned by tests/test_simd_kernels.cpp and
+// tests/test_simd_determinism.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dnj::simd {
+
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Lower-case name ("scalar", "sse2", "avx2") for logs, benches and JSON.
+const char* level_name(Level level);
+
+/// Parses "scalar"/"sse2"/"avx2" (as accepted by DNJ_SIMD). Returns false
+/// on anything else ("auto" included — resolve that via max_supported_level).
+bool parse_level(std::string_view name, Level* out);
+
+/// Widest level both compiled in and supported by the running CPU.
+Level max_supported_level();
+
+/// The level the kernel table currently dispatches to.
+Level active_level();
+
+/// Pins the dispatch table to `level`. Returns false (and changes nothing)
+/// when the level is not compiled in or not supported by the CPU. Intended
+/// for tests and benches; not safe to call concurrently with kernel use.
+bool set_level(Level level);
+
+/// Per-kernel entry points. All pointers are always non-null after
+/// resolution; a level that lacks an implementation inherits the next
+/// lower level's pointer.
+struct KernelTable {
+  /// In-place forward AAN DCT over `count` contiguous 64-float blocks
+  /// (CoeffPlane layout), output in JPEG normalization.
+  void (*fdct_batch)(float* blocks, std::size_t count);
+  /// In-place inverse DCT over `count` contiguous 64-float blocks.
+  void (*idct_batch)(float* blocks, std::size_t count);
+  /// Fused quantize + zig-zag: natural-order float blocks -> zig-zag int16
+  /// blocks via v = round_half_even(c * recip[k]) with clamp to int16.
+  /// `recip` is the 64-entry natural-order reciprocal array.
+  void (*quantize_zigzag_batch)(const float* coeffs, std::size_t count,
+                                const float* recip, std::int16_t* out);
+  /// Batched dequantize: c' = v * step[k], natural-order int16 -> float.
+  void (*dequantize_batch)(const std::int16_t* quantized, std::size_t count,
+                           const float* steps, float* coeffs);
+  /// Tiles a float plane into an 8x8 block grid with edge replication and
+  /// `bias` added to every sample (tile_blocks_into semantics).
+  void (*tile_f32)(const float* src, int w, int h, int grid_bx, int grid_by,
+                   float* dst, float bias);
+  /// Tiles one channel of an interleaved u8 image into a block grid,
+  /// fusing the u8 -> float conversion and `bias`. `src` already points at
+  /// the first sample of the channel; samples are `channels` apart.
+  void (*tile_u8)(const std::uint8_t* src, int w, int h, int channels, int grid_bx,
+                  int grid_by, float* dst, float bias);
+  /// Inverse of tile_f32: writes the top-left w x h samples of the grid
+  /// back to a plane, adding `bias` (untile_blocks_from semantics).
+  void (*untile_f32)(const float* src, int grid_bx, int grid_by, float* plane, int w,
+                     int h, float bias);
+  /// Interleaved RGB u8 -> planar float Y/Cb/Cr (JFIF BT.601), `n` pixels.
+  void (*rgb_to_ycbcr)(const std::uint8_t* rgb, std::size_t n, float* y, float* cb,
+                       float* cr);
+  /// One row of planar float Y/Cb/Cr -> interleaved RGB u8 with the
+  /// clamp_u8 rounding rule (nearbyint, clamp to [0, 255]).
+  void (*ycbcr_to_rgb_row)(const float* y, const float* cb, const float* cr, int n,
+                           std::uint8_t* rgb);
+  /// One row of floats -> u8 with the clamp_u8 rounding rule, unit stride.
+  void (*f32_to_u8_row)(const float* src, int n, std::uint8_t* dst);
+  /// Exact integer sum of squared differences over two u8 buffers.
+  std::uint64_t (*sum_sq_diff_u8)(const std::uint8_t* a, const std::uint8_t* b,
+                                  std::size_t n);
+  /// Per-band quantization squared error of one 64-float block:
+  /// sq[k] = (c - nearbyint(c / q[k]) * q[k])^2 in double precision.
+  void (*quant_error_block)(const float* block, const double* steps, double* sq);
+  /// C[m x n] += A[m x k] * B[k x n], all row-major. Per-element
+  /// accumulation runs in ascending k order with the scalar zero-skip.
+  void (*gemm_acc)(const float* a, const float* b, float* c, int m, int k, int n);
+  /// C[m x n] += A^T * B with A stored [k x m] (k-major).
+  void (*gemm_at_acc)(const float* a, const float* b, float* c, int m, int k, int n);
+};
+
+/// The active kernel table. First use resolves the level from DNJ_SIMD
+/// (or auto-detects); the returned reference stays valid forever.
+const KernelTable& kernels();
+
+}  // namespace dnj::simd

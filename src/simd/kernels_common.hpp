@@ -1,0 +1,328 @@
+// Internal helpers shared by the per-level kernel TUs.
+//
+// Two kinds of sharing live here:
+//
+//  * scalar edge/tail helpers (block tiling at plane edges, the zig-zag
+//    permute) that every level runs unchanged, so the slow paths are one
+//    definition instead of three;
+//  * kernel bodies templated over a tiny vector wrapper `V` (load/store/
+//    set1 + arithmetic operators, lane count V::kWidth). Each SIMD TU
+//    instantiates them with its own wrapper; because the template mirrors
+//    the scalar operation sequence statement by statement, every lane
+//    executes exactly the scalar arithmetic — the mechanical half of the
+//    determinism contract. The TUs compile with -ffp-contract=off so the
+//    written mul/add sequence is also the executed one.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "jpeg/zigzag.hpp"
+
+namespace dnj::simd::detail {
+
+inline constexpr int kBlockDim = 8;
+inline constexpr int kBlockSize = 64;
+
+// Note on linkage: the non-template helpers below are `static` on purpose.
+// They are compiled into every kernel TU — including the -mavx2 one — and
+// plain `inline` would emit them as weak symbols the linker may resolve to
+// the AVX-encoded copy even for scalar/SSE2 callers, breaking the
+// "baseline-portable binary" contract in unoptimized builds. Internal
+// linkage keeps each TU's copy private to the ISA it was compiled for.
+
+// --------------------------------------------------------------- edge tiles
+
+/// Fills one 8x8 block that overlaps the right/bottom plane edge, replicating
+/// the last row/column (tile_blocks_into edge semantics).
+static inline void tile_edge_block_f32(const float* src, int w, int h, int bx, int by,
+                                float* blk, float bias) {
+  for (int y = 0; y < kBlockDim; ++y) {
+    const int sy = std::min(by * kBlockDim + y, h - 1);
+    const float* row = src + static_cast<std::size_t>(sy) * w;
+    for (int x = 0; x < kBlockDim; ++x)
+      blk[y * kBlockDim + x] = row[std::min(bx * kBlockDim + x, w - 1)] + bias;
+  }
+}
+
+/// Edge-block variant for interleaved u8 sources (`src` points at the first
+/// sample of the channel; samples are `ch` apart).
+static inline void tile_edge_block_u8(const std::uint8_t* src, int w, int h, int ch, int bx,
+                               int by, float* blk, float bias) {
+  const std::size_t row_stride = static_cast<std::size_t>(w) * ch;
+  for (int y = 0; y < kBlockDim; ++y) {
+    const int sy = std::min(by * kBlockDim + y, h - 1);
+    const std::uint8_t* row = src + static_cast<std::size_t>(sy) * row_stride;
+    for (int x = 0; x < kBlockDim; ++x) {
+      const int sx = std::min(bx * kBlockDim + x, w - 1);
+      blk[y * kBlockDim + x] =
+          static_cast<float>(row[static_cast<std::size_t>(sx) * ch]) + bias;
+    }
+  }
+}
+
+/// Fully in-plane u8 block for channel strides the SIMD paths don't cover
+/// (interleaved RGB): the plain convert-and-bias loop.
+static inline void tile_full_block_u8(const std::uint8_t* row, std::size_t row_stride, int ch,
+                               float* blk, float bias) {
+  for (int y = 0; y < kBlockDim; ++y, row += row_stride, blk += kBlockDim)
+    for (int x = 0; x < kBlockDim; ++x)
+      blk[x] = static_cast<float>(row[static_cast<std::size_t>(x) * ch]) + bias;
+}
+
+/// Permutes one block of natural-order int16 coefficients into zig-zag scan
+/// order (integer moves only — level-independent by construction).
+static inline void zigzag_permute_i16(const std::int16_t* natural, std::int16_t* zz) {
+  for (int k = 0; k < 64; ++k)
+    zz[k] = natural[jpeg::kZigzag[static_cast<std::size_t>(k)]];
+}
+
+// ------------------------------------------------------- templated kernels
+
+/// The four AAN rotation constants pre-broadcast, so a batch kernel can
+/// hoist them out of its block loop.
+template <class V>
+struct AanConsts {
+  V c0707 = V::set1(0.707106781f);
+  V c0382 = V::set1(0.382683433f);
+  V c0541 = V::set1(0.541196100f);
+  V c1306 = V::set1(1.306562965f);
+};
+
+/// One 8-point AAN forward butterfly over 8 vectors — the exact statement
+/// sequence of the scalar aan_1d, each lane one independent 1-D transform.
+template <class V>
+inline void aan_butterfly(V p[8], const AanConsts<V>& k = AanConsts<V>()) {
+  const V tmp0 = p[0] + p[7];
+  const V tmp7 = p[0] - p[7];
+  const V tmp1 = p[1] + p[6];
+  const V tmp6 = p[1] - p[6];
+  const V tmp2 = p[2] + p[5];
+  const V tmp5 = p[2] - p[5];
+  const V tmp3 = p[3] + p[4];
+  const V tmp4 = p[3] - p[4];
+
+  // Even part.
+  const V tmp10 = tmp0 + tmp3;
+  const V tmp13 = tmp0 - tmp3;
+  const V tmp11 = tmp1 + tmp2;
+  const V tmp12 = tmp1 - tmp2;
+
+  p[0] = tmp10 + tmp11;
+  p[4] = tmp10 - tmp11;
+
+  const V z1 = (tmp12 + tmp13) * k.c0707;
+  p[2] = tmp13 + z1;
+  p[6] = tmp13 - z1;
+
+  // Odd part.
+  const V t10 = tmp4 + tmp5;
+  const V t11 = tmp5 + tmp6;
+  const V t12 = tmp6 + tmp7;
+
+  const V z5 = (t10 - t12) * k.c0382;
+  const V z2 = k.c0541 * t10 + z5;
+  const V z4 = k.c1306 * t12 + z5;
+  const V z3 = t11 * k.c0707;
+
+  const V z11 = tmp7 + z3;
+  const V z13 = tmp7 - z3;
+
+  p[5] = z13 + z2;
+  p[3] = z13 - z2;
+  p[1] = z11 + z4;
+  p[7] = z11 - z4;
+}
+
+/// Row-column inverse DCT of one block, vectorized over output columns
+/// (pass 1, lanes = v) then over output sample columns (pass 2, lanes = y).
+/// `m` is the row-major orthonormal basis (jpeg::dct_basis_table()). Each
+/// lane accumulates 0 + t0 + t1 + ... in the scalar idct_8x8 order.
+template <class V>
+inline void idct_block_vec(float* blk, const float* m) {
+  float tmp[kBlockSize];
+  for (int c0 = 0; c0 < kBlockDim; c0 += V::kWidth) {
+    for (int x = 0; x < kBlockDim; ++x) {
+      V acc = V::set1(0.0f);
+      for (int u = 0; u < kBlockDim; ++u)
+        acc = acc + V::set1(m[u * kBlockDim + x]) * V::load(blk + u * kBlockDim + c0);
+      acc.store(tmp + x * kBlockDim + c0);
+    }
+  }
+  for (int y0 = 0; y0 < kBlockDim; y0 += V::kWidth) {
+    for (int x = 0; x < kBlockDim; ++x) {
+      V acc = V::set1(0.0f);
+      for (int v = 0; v < kBlockDim; ++v)
+        acc = acc + V::set1(tmp[x * kBlockDim + v]) * V::load(m + v * kBlockDim + y0);
+      acc.store(blk + x * kBlockDim + y0);
+    }
+  }
+}
+
+/// Rounds to the integer grid with the FPU's round-to-nearest-even — the
+/// vector twin of jpeg::round_half_even (valid for |x| < 2^22).
+template <class V>
+inline V round_half_even_vec(V x) {
+  const V bias = V::set1(12582912.0f);  // 1.5 * 2^23
+  return (x + bias) - bias;
+}
+
+/// JFIF BT.601 forward transform, lanes = pixels; the exact expression
+/// order of image::rgb_to_ycbcr.
+template <class V>
+inline void ycbcr_from_rgb_vec(V r, V g, V b, V* y, V* cb, V* cr) {
+  *y = V::set1(0.299f) * r + V::set1(0.587f) * g + V::set1(0.114f) * b;
+  *cb = V::set1(-0.168736f) * r - V::set1(0.331264f) * g + V::set1(0.5f) * b +
+        V::set1(128.0f);
+  *cr = V::set1(0.5f) * r - V::set1(0.418688f) * g - V::set1(0.081312f) * b +
+        V::set1(128.0f);
+}
+
+/// Inverse transform, lanes = pixels; exact expression order of
+/// image::ycbcr_to_rgb.
+template <class V>
+inline void rgb_from_ycbcr_vec(V y, V cb, V cr, V* r, V* g, V* b) {
+  *r = y + V::set1(1.402f) * (cr - V::set1(128.0f));
+  *g = y - V::set1(0.344136f) * (cb - V::set1(128.0f)) -
+       V::set1(0.714136f) * (cr - V::set1(128.0f));
+  *b = y + V::set1(1.772f) * (cb - V::set1(128.0f));
+}
+
+/// Register-blocked C[m x n] += A[m x k] * B[k x n] (row-major). The C tile
+/// (4 rows x 2 vectors) lives in registers across the whole k loop; each
+/// C element still accumulates a[i][kk] * b[kk][j] in ascending-kk order
+/// with the scalar zero-skip, so the result is bit-identical to the naive
+/// ikj loop. Column/row tails fall back to narrower tiles and finally the
+/// plain scalar loop.
+template <class V>
+inline void gemm_acc_vec(const float* a, const float* b, float* c, int m, int k,
+                         int n) {
+  constexpr int W = V::kWidth;
+  constexpr int MR = 4;
+  const int NR = 2 * W;
+  int j0 = 0;
+  for (; j0 + NR <= n; j0 += NR) {
+    int i0 = 0;
+    for (; i0 + MR <= m; i0 += MR) {
+      V acc[MR][2];
+      for (int r = 0; r < MR; ++r) {
+        float* crow = c + static_cast<std::size_t>(i0 + r) * n + j0;
+        acc[r][0] = V::load(crow);
+        acc[r][1] = V::load(crow + W);
+      }
+      for (int kk = 0; kk < k; ++kk) {
+        const float* brow = b + static_cast<std::size_t>(kk) * n + j0;
+        const V b0 = V::load(brow);
+        const V b1 = V::load(brow + W);
+        for (int r = 0; r < MR; ++r) {
+          const float av = a[static_cast<std::size_t>(i0 + r) * k + kk];
+          if (av == 0.0f) continue;
+          const V va = V::set1(av);
+          acc[r][0] = acc[r][0] + va * b0;
+          acc[r][1] = acc[r][1] + va * b1;
+        }
+      }
+      for (int r = 0; r < MR; ++r) {
+        float* crow = c + static_cast<std::size_t>(i0 + r) * n + j0;
+        acc[r][0].store(crow);
+        acc[r][1].store(crow + W);
+      }
+    }
+    for (; i0 < m; ++i0) {
+      float* crow = c + static_cast<std::size_t>(i0) * n + j0;
+      V a0 = V::load(crow);
+      V a1 = V::load(crow + W);
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = a[static_cast<std::size_t>(i0) * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(kk) * n + j0;
+        const V va = V::set1(av);
+        a0 = a0 + va * V::load(brow);
+        a1 = a1 + va * V::load(brow + W);
+      }
+      a0.store(crow);
+      a1.store(crow + W);
+    }
+  }
+  if (j0 < n) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(kk) * n;
+        for (int j = j0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// Register-blocked C[m x n] += A^T * B with A stored [k x m] (k-major).
+/// Same accumulation-order guarantees as gemm_acc_vec.
+template <class V>
+inline void gemm_at_acc_vec(const float* a, const float* b, float* c, int m, int k,
+                            int n) {
+  constexpr int W = V::kWidth;
+  constexpr int MR = 4;
+  const int NR = 2 * W;
+  int j0 = 0;
+  for (; j0 + NR <= n; j0 += NR) {
+    int i0 = 0;
+    for (; i0 + MR <= m; i0 += MR) {
+      V acc[MR][2];
+      for (int r = 0; r < MR; ++r) {
+        float* crow = c + static_cast<std::size_t>(i0 + r) * n + j0;
+        acc[r][0] = V::load(crow);
+        acc[r][1] = V::load(crow + W);
+      }
+      for (int kk = 0; kk < k; ++kk) {
+        const float* brow = b + static_cast<std::size_t>(kk) * n + j0;
+        const V b0 = V::load(brow);
+        const V b1 = V::load(brow + W);
+        const float* arow = a + static_cast<std::size_t>(kk) * m + i0;
+        for (int r = 0; r < MR; ++r) {
+          const float av = arow[r];
+          if (av == 0.0f) continue;
+          const V va = V::set1(av);
+          acc[r][0] = acc[r][0] + va * b0;
+          acc[r][1] = acc[r][1] + va * b1;
+        }
+      }
+      for (int r = 0; r < MR; ++r) {
+        float* crow = c + static_cast<std::size_t>(i0 + r) * n + j0;
+        acc[r][0].store(crow);
+        acc[r][1].store(crow + W);
+      }
+    }
+    for (; i0 < m; ++i0) {
+      float* crow = c + static_cast<std::size_t>(i0) * n + j0;
+      V a0 = V::load(crow);
+      V a1 = V::load(crow + W);
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = a[static_cast<std::size_t>(kk) * m + i0];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(kk) * n + j0;
+        const V va = V::set1(av);
+        a0 = a0 + va * V::load(brow);
+        a1 = a1 + va * V::load(brow + W);
+      }
+      a0.store(crow);
+      a1.store(crow + W);
+    }
+  }
+  if (j0 < n) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float* arow = a + static_cast<std::size_t>(kk) * m;
+      const float* brow = b + static_cast<std::size_t>(kk) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = j0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace dnj::simd::detail

@@ -1,0 +1,393 @@
+// SSE2 kernel table (4-wide float, 2-wide double). SSE2 is the x86-64
+// baseline ISA, so this TU needs no special compiler flags; it is the
+// guaranteed-available SIMD floor on every x86-64 machine.
+//
+// Determinism: every kernel follows the lane discipline documented in
+// dispatch.hpp — lanes are independent outputs executing the scalar
+// operation sequence, reductions keep the scalar order, and no FMA is
+// emitted (baseline codegen has none; the TU also builds with
+// -ffp-contract=off).
+#include "simd/kernels.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "image/color.hpp"
+#include "image/image.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/quant.hpp"
+#include "simd/kernels_common.hpp"
+
+namespace dnj::simd {
+
+namespace {
+
+using detail::kBlockDim;
+using detail::kBlockSize;
+
+struct V4 {
+  __m128 v;
+  static constexpr int kWidth = 4;
+  static V4 load(const float* p) { return {_mm_loadu_ps(p)}; }
+  static V4 set1(float x) { return {_mm_set1_ps(x)}; }
+  void store(float* p) const { _mm_storeu_ps(p, v); }
+  friend V4 operator+(V4 a, V4 b) { return {_mm_add_ps(a.v, b.v)}; }
+  friend V4 operator-(V4 a, V4 b) { return {_mm_sub_ps(a.v, b.v)}; }
+  friend V4 operator*(V4 a, V4 b) { return {_mm_mul_ps(a.v, b.v)}; }
+};
+
+// ------------------------------------------------------------------- DCT
+
+// 8x8 transpose of a block held as r[row][half] (halves = columns 0-3 and
+// 4-7): transpose the four 4x4 quadrants and swap the off-diagonal pair.
+inline void transpose8x8(__m128 r[8][2]) {
+  __m128 a0 = r[0][0], a1 = r[1][0], a2 = r[2][0], a3 = r[3][0];
+  __m128 b0 = r[0][1], b1 = r[1][1], b2 = r[2][1], b3 = r[3][1];
+  __m128 c0 = r[4][0], c1 = r[5][0], c2 = r[6][0], c3 = r[7][0];
+  __m128 d0 = r[4][1], d1 = r[5][1], d2 = r[6][1], d3 = r[7][1];
+  _MM_TRANSPOSE4_PS(a0, a1, a2, a3);
+  _MM_TRANSPOSE4_PS(b0, b1, b2, b3);
+  _MM_TRANSPOSE4_PS(c0, c1, c2, c3);
+  _MM_TRANSPOSE4_PS(d0, d1, d2, d3);
+  r[0][0] = a0, r[1][0] = a1, r[2][0] = a2, r[3][0] = a3;
+  r[0][1] = c0, r[1][1] = c1, r[2][1] = c2, r[3][1] = c3;
+  r[4][0] = b0, r[5][0] = b1, r[6][0] = b2, r[7][0] = b3;
+  r[4][1] = d0, r[5][1] = d1, r[6][1] = d2, r[7][1] = d3;
+}
+
+inline void butterfly_halves(__m128 r[8][2]) {
+  for (int h = 0; h < 2; ++h) {
+    V4 p[8];
+    for (int i = 0; i < 8; ++i) p[i].v = r[i][h];
+    detail::aan_butterfly(p);
+    for (int i = 0; i < 8; ++i) r[i][h] = p[i].v;
+  }
+}
+
+// Same pass order as the scalar fdct_8x8: row pass (via transpose, lanes =
+// rows), column pass (lanes = columns), multiplicative descale.
+void fdct_batch_sse2(float* blocks, std::size_t count) {
+  const float* descale = jpeg::aan_descale_table();
+  for (std::size_t b = 0; b < count; ++b) {
+    float* blk = blocks + b * kBlockSize;
+    __m128 r[8][2];
+    for (int i = 0; i < 8; ++i) {
+      r[i][0] = _mm_loadu_ps(blk + i * 8);
+      r[i][1] = _mm_loadu_ps(blk + i * 8 + 4);
+    }
+    transpose8x8(r);
+    butterfly_halves(r);  // row pass
+    transpose8x8(r);
+    butterfly_halves(r);  // column pass
+    for (int i = 0; i < 8; ++i) {
+      r[i][0] = _mm_mul_ps(r[i][0], _mm_loadu_ps(descale + i * 8));
+      r[i][1] = _mm_mul_ps(r[i][1], _mm_loadu_ps(descale + i * 8 + 4));
+      _mm_storeu_ps(blk + i * 8, r[i][0]);
+      _mm_storeu_ps(blk + i * 8 + 4, r[i][1]);
+    }
+  }
+}
+
+void idct_batch_sse2(float* blocks, std::size_t count) {
+  const float* m = jpeg::dct_basis_table();
+  for (std::size_t b = 0; b < count; ++b)
+    detail::idct_block_vec<V4>(blocks + b * kBlockSize, m);
+}
+
+// ---------------------------------------------------------- quant/dequant
+
+void quantize_zigzag_batch_sse2(const float* coeffs, std::size_t count,
+                                const float* recip, std::int16_t* out) {
+  const __m128 lo = _mm_set1_ps(-32768.0f);
+  const __m128 hi = _mm_set1_ps(32767.0f);
+  const __m128 bias = _mm_set1_ps(12582912.0f);  // 1.5 * 2^23
+  for (std::size_t b = 0; b < count; ++b) {
+    const float* c = coeffs + b * kBlockSize;
+    std::int16_t* zz = out + b * kBlockSize;
+    alignas(16) std::int16_t natural[kBlockSize];
+    for (int k = 0; k < kBlockSize; k += 8) {
+      __m128 v0 = _mm_mul_ps(_mm_loadu_ps(c + k), _mm_loadu_ps(recip + k));
+      __m128 v1 = _mm_mul_ps(_mm_loadu_ps(c + k + 4), _mm_loadu_ps(recip + k + 4));
+      v0 = _mm_sub_ps(_mm_add_ps(v0, bias), bias);  // round half to even
+      v1 = _mm_sub_ps(_mm_add_ps(v1, bias), bias);
+      v0 = _mm_min_ps(_mm_max_ps(v0, lo), hi);
+      v1 = _mm_min_ps(_mm_max_ps(v1, lo), hi);
+      const __m128i i0 = _mm_cvtps_epi32(v0);  // exact: values are integral
+      const __m128i i1 = _mm_cvtps_epi32(v1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(natural + k), _mm_packs_epi32(i0, i1));
+    }
+    detail::zigzag_permute_i16(natural, zz);
+  }
+}
+
+void dequantize_batch_sse2(const std::int16_t* quantized, std::size_t count,
+                           const float* steps, float* coeffs) {
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::int16_t* q = quantized + b * kBlockSize;
+    float* c = coeffs + b * kBlockSize;
+    for (int k = 0; k < kBlockSize; k += 8) {
+      const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + k));
+      // Sign-extend the 8 int16 lanes into two int32 quads.
+      const __m128i lo32 = _mm_srai_epi32(_mm_unpacklo_epi16(raw, raw), 16);
+      const __m128i hi32 = _mm_srai_epi32(_mm_unpackhi_epi16(raw, raw), 16);
+      _mm_storeu_ps(c + k,
+                    _mm_mul_ps(_mm_cvtepi32_ps(lo32), _mm_loadu_ps(steps + k)));
+      _mm_storeu_ps(c + k + 4,
+                    _mm_mul_ps(_mm_cvtepi32_ps(hi32), _mm_loadu_ps(steps + k + 4)));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ tiling
+
+void tile_f32_sse2(const float* src, int w, int h, int grid_bx, int grid_by,
+                   float* dst, float bias) {
+  const __m128 vb = _mm_set1_ps(bias);
+  const int full_bx = w / kBlockDim;
+  const int full_by = h / kBlockDim;
+  for (int by = 0; by < grid_by; ++by) {
+    for (int bx = 0; bx < grid_bx; ++bx) {
+      float* blk = dst + (static_cast<std::size_t>(by) * grid_bx + bx) * kBlockSize;
+      if (bx < full_bx && by < full_by) {
+        const float* row = src + static_cast<std::size_t>(by) * kBlockDim * w +
+                           static_cast<std::size_t>(bx) * kBlockDim;
+        for (int y = 0; y < kBlockDim; ++y, row += w, blk += kBlockDim) {
+          _mm_storeu_ps(blk, _mm_add_ps(_mm_loadu_ps(row), vb));
+          _mm_storeu_ps(blk + 4, _mm_add_ps(_mm_loadu_ps(row + 4), vb));
+        }
+      } else {
+        detail::tile_edge_block_f32(src, w, h, bx, by, blk, bias);
+      }
+    }
+  }
+}
+
+void tile_u8_sse2(const std::uint8_t* src, int w, int h, int channels, int grid_bx,
+                  int grid_by, float* dst, float bias) {
+  const std::size_t row_stride = static_cast<std::size_t>(w) * channels;
+  const __m128 vb = _mm_set1_ps(bias);
+  const __m128i zero = _mm_setzero_si128();
+  const int full_bx = w / kBlockDim;
+  const int full_by = h / kBlockDim;
+  for (int by = 0; by < grid_by; ++by) {
+    for (int bx = 0; bx < grid_bx; ++bx) {
+      float* blk = dst + (static_cast<std::size_t>(by) * grid_bx + bx) * kBlockSize;
+      if (bx < full_bx && by < full_by) {
+        const std::uint8_t* row = src +
+                                  static_cast<std::size_t>(by) * kBlockDim * row_stride +
+                                  static_cast<std::size_t>(bx) * kBlockDim * channels;
+        if (channels == 1) {
+          for (int y = 0; y < kBlockDim; ++y, row += row_stride, blk += kBlockDim) {
+            const __m128i bytes =
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row));
+            const __m128i w16 = _mm_unpacklo_epi8(bytes, zero);
+            const __m128i lo32 = _mm_unpacklo_epi16(w16, zero);
+            const __m128i hi32 = _mm_unpackhi_epi16(w16, zero);
+            _mm_storeu_ps(blk, _mm_add_ps(_mm_cvtepi32_ps(lo32), vb));
+            _mm_storeu_ps(blk + 4, _mm_add_ps(_mm_cvtepi32_ps(hi32), vb));
+          }
+        } else {
+          detail::tile_full_block_u8(row, row_stride, channels, blk, bias);
+        }
+      } else {
+        detail::tile_edge_block_u8(src, w, h, channels, bx, by, blk, bias);
+      }
+    }
+  }
+}
+
+void untile_f32_sse2(const float* src, int grid_bx, int grid_by, float* plane, int w,
+                     int h, float bias) {
+  (void)grid_by;  // grid height is implied by h; kept for signature symmetry
+  const __m128 vb = _mm_set1_ps(bias);
+  for (int by = 0; by * kBlockDim < h; ++by) {
+    const int ny = std::min(kBlockDim, h - by * kBlockDim);
+    for (int bx = 0; bx * kBlockDim < w; ++bx) {
+      const int nx = std::min(kBlockDim, w - bx * kBlockDim);
+      const float* blk = src + (static_cast<std::size_t>(by) * grid_bx + bx) * kBlockSize;
+      for (int y = 0; y < ny; ++y) {
+        float* row = plane + static_cast<std::size_t>(by * kBlockDim + y) * w +
+                     static_cast<std::size_t>(bx) * kBlockDim;
+        if (nx == kBlockDim) {
+          _mm_storeu_ps(row, _mm_add_ps(_mm_loadu_ps(blk + y * kBlockDim), vb));
+          _mm_storeu_ps(row + 4, _mm_add_ps(_mm_loadu_ps(blk + y * kBlockDim + 4), vb));
+        } else {
+          for (int x = 0; x < nx; ++x) row[x] = blk[y * kBlockDim + x] + bias;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- color
+
+void rgb_to_ycbcr_sse2(const std::uint8_t* rgb, std::size_t n, float* y, float* cb,
+                       float* cr) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Deinterleave scalar (u8 -> float conversion is exact), transform
+    // vectorized — lanes = pixels.
+    alignas(16) float r4[4], g4[4], b4[4];
+    for (int p = 0; p < 4; ++p) {
+      r4[p] = static_cast<float>(rgb[(i + p) * 3]);
+      g4[p] = static_cast<float>(rgb[(i + p) * 3 + 1]);
+      b4[p] = static_cast<float>(rgb[(i + p) * 3 + 2]);
+    }
+    V4 vy, vcb, vcr;
+    detail::ycbcr_from_rgb_vec(V4::load(r4), V4::load(g4), V4::load(b4), &vy, &vcb,
+                               &vcr);
+    vy.store(y + i);
+    vcb.store(cb + i);
+    vcr.store(cr + i);
+  }
+  for (; i < n; ++i) {
+    const auto ycc = image::rgb_to_ycbcr(rgb[i * 3], rgb[i * 3 + 1], rgb[i * 3 + 2]);
+    y[i] = ycc[0];
+    cb[i] = ycc[1];
+    cr[i] = ycc[2];
+  }
+}
+
+// Rounds like image::clamp_u8 (nearbyint, clamp to [0, 255]) and returns
+// the int32 lanes.
+inline __m128i clamp_u8_vec(__m128 v) {
+  const __m128 bias = _mm_set1_ps(12582912.0f);
+  v = _mm_sub_ps(_mm_add_ps(v, bias), bias);
+  v = _mm_min_ps(_mm_max_ps(v, _mm_setzero_ps()), _mm_set1_ps(255.0f));
+  return _mm_cvtps_epi32(v);
+}
+
+void ycbcr_to_rgb_row_sse2(const float* y, const float* cb, const float* cr, int n,
+                           std::uint8_t* rgb) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    V4 vr, vg, vb;
+    detail::rgb_from_ycbcr_vec(V4::load(y + i), V4::load(cb + i), V4::load(cr + i),
+                               &vr, &vg, &vb);
+    alignas(16) std::int32_t r4[4], g4[4], b4[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(r4), clamp_u8_vec(vr.v));
+    _mm_store_si128(reinterpret_cast<__m128i*>(g4), clamp_u8_vec(vg.v));
+    _mm_store_si128(reinterpret_cast<__m128i*>(b4), clamp_u8_vec(vb.v));
+    for (int p = 0; p < 4; ++p) {
+      rgb[(i + p) * 3] = static_cast<std::uint8_t>(r4[p]);
+      rgb[(i + p) * 3 + 1] = static_cast<std::uint8_t>(g4[p]);
+      rgb[(i + p) * 3 + 2] = static_cast<std::uint8_t>(b4[p]);
+    }
+  }
+  for (; i < n; ++i) {
+    const auto px = image::ycbcr_to_rgb(y[i], cb[i], cr[i]);
+    rgb[i * 3] = image::clamp_u8(px[0]);
+    rgb[i * 3 + 1] = image::clamp_u8(px[1]);
+    rgb[i * 3 + 2] = image::clamp_u8(px[2]);
+  }
+}
+
+void f32_to_u8_row_sse2(const float* src, int n, std::uint8_t* dst) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i lo = clamp_u8_vec(_mm_loadu_ps(src + i));
+    const __m128i hi = clamp_u8_vec(_mm_loadu_ps(src + i + 4));
+    const __m128i packed = _mm_packus_epi16(_mm_packs_epi32(lo, hi), _mm_setzero_si128());
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), packed);
+  }
+  for (; i < n; ++i) dst[i] = image::clamp_u8(src[i]);
+}
+
+// ----------------------------------------------------------------- metrics
+
+std::uint64_t sum_sq_diff_u8_sse2(const std::uint8_t* a, const std::uint8_t* b,
+                                  std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;  // two uint64 lanes
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i d0 = _mm_sub_epi16(_mm_unpacklo_epi8(va, zero),
+                                     _mm_unpacklo_epi8(vb, zero));
+    const __m128i d1 = _mm_sub_epi16(_mm_unpackhi_epi8(va, zero),
+                                     _mm_unpackhi_epi8(vb, zero));
+    // madd sums adjacent squared diffs into non-negative int32 lanes;
+    // zero-extend those into the uint64 accumulator. Integer arithmetic is
+    // exact, so any accumulation order matches scalar.
+    const __m128i s0 = _mm_madd_epi16(d0, d0);
+    const __m128i s1 = _mm_madd_epi16(d1, d1);
+    acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(s0, zero));
+    acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(s0, zero));
+    acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(s1, zero));
+    acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(s1, zero));
+  }
+  alignas(16) std::uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::uint64_t sum = lanes[0] + lanes[1];
+  for (; i < n; ++i) {
+    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    sum += static_cast<std::uint64_t>(d * d);
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------- SA model
+
+void quant_error_block_sse2(const float* block, const double* steps, double* sq) {
+  // Round-to-nearest-even via the 2^52 bias trick — matches std::nearbyint
+  // for |x| < 2^51, far beyond any DCT coefficient / step ratio.
+  const __m128d bias = _mm_set1_pd(6755399441055744.0);  // 1.5 * 2^52
+  for (int k = 0; k < kBlockSize; k += 2) {
+    // 8-byte load through the may_alias __m128i intrinsic — _mm_load_sd
+    // would dereference the floats as a double and trip TBAA.
+    const __m128d c = _mm_cvtps_pd(_mm_castsi128_ps(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(block + k))));
+    const __m128d q = _mm_loadu_pd(steps + k);
+    const __m128d t = _mm_div_pd(c, q);
+    const __m128d r = _mm_sub_pd(_mm_add_pd(t, bias), bias);
+    const __m128d rec = _mm_mul_pd(r, q);
+    const __m128d d = _mm_sub_pd(c, rec);
+    _mm_storeu_pd(sq + k, _mm_mul_pd(d, d));
+  }
+}
+
+// -------------------------------------------------------------------- GEMM
+
+void gemm_acc_sse2(const float* a, const float* b, float* c, int m, int k, int n) {
+  detail::gemm_acc_vec<V4>(a, b, c, m, k, n);
+}
+
+void gemm_at_acc_sse2(const float* a, const float* b, float* c, int m, int k, int n) {
+  detail::gemm_at_acc_vec<V4>(a, b, c, m, k, n);
+}
+
+}  // namespace
+
+const KernelTable* sse2_kernels() {
+  static const KernelTable table = {
+      &fdct_batch_sse2,
+      &idct_batch_sse2,
+      &quantize_zigzag_batch_sse2,
+      &dequantize_batch_sse2,
+      &tile_f32_sse2,
+      &tile_u8_sse2,
+      &untile_f32_sse2,
+      &rgb_to_ycbcr_sse2,
+      &ycbcr_to_rgb_row_sse2,
+      &f32_to_u8_row_sse2,
+      &sum_sq_diff_u8_sse2,
+      &quant_error_block_sse2,
+      &gemm_acc_sse2,
+      &gemm_at_acc_sse2,
+  };
+  return &table;
+}
+
+}  // namespace dnj::simd
+
+#else  // !__SSE2__
+
+namespace dnj::simd {
+const KernelTable* sse2_kernels() { return nullptr; }
+}  // namespace dnj::simd
+
+#endif

@@ -1,0 +1,302 @@
+// Exhaustive scalar-vs-SIMD bit-equivalence suite for the kernel layer.
+//
+// Every kernel in simd::KernelTable is run at each supported SIMD level and
+// compared bit-for-bit (memcmp on the raw output bytes, not EXPECT_NEAR)
+// against the scalar level on the same inputs — odd block counts, plane
+// sizes that exercise edge replication, quantizer boundary values, GEMM
+// shapes that hit every vector-tail path. This is the enforcement half of
+// the determinism contract documented in simd/dispatch.hpp.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "image/blocks.hpp"
+#include "image/color.hpp"
+#include "image/image.hpp"
+#include "image/metrics.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/quant.hpp"
+#include "simd/dispatch.hpp"
+
+namespace dnj::simd {
+namespace {
+
+std::vector<Level> simd_levels() {
+  std::vector<Level> out;
+  for (Level l : {Level::kSse2, Level::kAvx2})
+    if (set_level(l)) out.push_back(l);
+  set_level(max_supported_level());
+  return out;
+}
+
+/// Runs `fn` once per supported SIMD level (scalar excluded) with the level
+/// pinned, restoring the auto level afterwards.
+template <typename Fn>
+void for_each_simd_level(Fn&& fn) {
+  for (Level l : simd_levels()) {
+    ASSERT_TRUE(set_level(l));
+    fn(l);
+  }
+  set_level(max_supported_level());
+}
+
+std::vector<float> random_blocks(std::size_t count, std::uint64_t seed,
+                                 float lo = -2048.0f, float hi = 2048.0f) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> out(count * 64);
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+TEST(SimdKernels, FdctBatchMatchesScalarBitExact) {
+  for (std::size_t count : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                            std::size_t{64}}) {
+    const std::vector<float> input = random_blocks(count, 0xF0 + count, -128.0f, 127.0f);
+    std::vector<float> expect = input;
+    jpeg::fdct_batch_scalar(expect.data(), count);
+    for_each_simd_level([&](Level l) {
+      std::vector<float> got = input;
+      kernels().fdct_batch(got.data(), count);
+      EXPECT_EQ(0, std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)))
+          << "level=" << level_name(l) << " count=" << count;
+    });
+  }
+}
+
+TEST(SimdKernels, IdctBatchMatchesScalarBitExact) {
+  for (std::size_t count : {std::size_t{1}, std::size_t{5}, std::size_t{33}}) {
+    const std::vector<float> input = random_blocks(count, 0x1D + count);
+    std::vector<float> expect = input;
+    jpeg::idct_batch_scalar(expect.data(), count);
+    for_each_simd_level([&](Level l) {
+      std::vector<float> got = input;
+      kernels().idct_batch(got.data(), count);
+      EXPECT_EQ(0, std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)))
+          << "level=" << level_name(l) << " count=" << count;
+    });
+  }
+}
+
+TEST(SimdKernels, QuantizeZigzagMatchesScalarIncludingBoundaries) {
+  const std::size_t count = 9;
+  std::vector<float> coeffs = random_blocks(count, 0x9A);
+  // Round-half-even boundaries and clamp extremes in the first block.
+  const float specials[] = {0.5f,      -0.5f,   1.5f,     2.5f,    -2.5f,
+                            32767.4f,  32768.0f, 40000.0f, -40000.0f, -32768.5f,
+                            1e30f,     -1e30f,  0.0f,     -0.0f,   127.5f,
+                            -127.5f};
+  for (std::size_t i = 0; i < sizeof(specials) / sizeof(specials[0]); ++i)
+    coeffs[i] = specials[i];
+  for (const jpeg::QuantTable& table :
+       {jpeg::QuantTable::annex_k_luma(), jpeg::QuantTable::uniform(1),
+        jpeg::QuantTable::uniform(255)}) {
+    const jpeg::ReciprocalTable recip(table);
+    std::vector<std::int16_t> expect(count * 64);
+    set_level(Level::kScalar);
+    jpeg::quantize_zigzag_batch(coeffs.data(), count, recip, expect.data());
+    for_each_simd_level([&](Level l) {
+      std::vector<std::int16_t> got(count * 64);
+      jpeg::quantize_zigzag_batch(coeffs.data(), count, recip, got.data());
+      EXPECT_EQ(got, expect) << "level=" << level_name(l);
+    });
+  }
+}
+
+TEST(SimdKernels, DequantizeBatchMatchesScalar) {
+  const std::size_t count = 7;
+  std::mt19937_64 rng(0xDE);
+  std::vector<std::int16_t> q(count * 64);
+  for (std::int16_t& v : q) v = static_cast<std::int16_t>(rng());
+  const jpeg::QuantTable table = jpeg::QuantTable::annex_k_luma().scaled(35);
+  std::vector<float> expect(count * 64);
+  set_level(Level::kScalar);
+  jpeg::dequantize_batch(q.data(), count, table, expect.data());
+  for_each_simd_level([&](Level l) {
+    std::vector<float> got(count * 64);
+    jpeg::dequantize_batch(q.data(), count, table, got.data());
+    EXPECT_EQ(0, std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)))
+        << "level=" << level_name(l);
+  });
+}
+
+TEST(SimdKernels, TileAndUntileMatchScalarOnOddSizes) {
+  // Sizes that exercise full blocks, right/bottom edge replication, and
+  // grids wider than the padded plane (the 4:2:0 luma case).
+  const struct {
+    int w, h, gbx, gby;
+  } cases[] = {{32, 32, 4, 4}, {13, 9, 2, 2}, {8, 8, 2, 2}, {31, 17, 4, 3}};
+  for (const auto& c : cases) {
+    image::PlaneF plane(c.w, c.h);
+    std::mt19937_64 rng(0x71E + c.w);
+    std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+    for (float& v : plane.data()) v = dist(rng);
+
+    std::vector<float> expect(static_cast<std::size_t>(c.gbx) * c.gby * 64);
+    set_level(Level::kScalar);
+    image::tile_blocks_into(plane, c.gbx, c.gby, expect.data(), -128.0f);
+    image::PlaneF expect_back(c.w, c.h);
+    image::untile_blocks_from(expect.data(), c.gbx, c.gby, expect_back, 128.0f);
+
+    for_each_simd_level([&](Level l) {
+      std::vector<float> got(expect.size());
+      image::tile_blocks_into(plane, c.gbx, c.gby, got.data(), -128.0f);
+      EXPECT_EQ(0, std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)))
+          << "tile level=" << level_name(l) << " w=" << c.w << " h=" << c.h;
+      image::PlaneF back(c.w, c.h);
+      image::untile_blocks_from(got.data(), c.gbx, c.gby, back, 128.0f);
+      EXPECT_EQ(back.data(), expect_back.data())
+          << "untile level=" << level_name(l) << " w=" << c.w << " h=" << c.h;
+    });
+  }
+}
+
+TEST(SimdKernels, TileImageMatchesScalarForGrayAndRgb) {
+  for (int channels : {1, 3}) {
+    image::Image img(29, 13, channels);
+    std::mt19937_64 rng(0x3C + channels);
+    for (std::uint8_t& v : img.data()) v = static_cast<std::uint8_t>(rng());
+    const int gbx = 4, gby = 2;
+    for (int c = 0; c < channels; ++c) {
+      std::vector<float> expect(static_cast<std::size_t>(gbx) * gby * 64);
+      set_level(Level::kScalar);
+      image::tile_image_blocks_into(img, c, gbx, gby, expect.data(), -128.0f);
+      for_each_simd_level([&](Level l) {
+        std::vector<float> got(expect.size());
+        image::tile_image_blocks_into(img, c, gbx, gby, got.data(), -128.0f);
+        EXPECT_EQ(0,
+                  std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)))
+            << "level=" << level_name(l) << " channels=" << channels << " c=" << c;
+      });
+    }
+  }
+}
+
+TEST(SimdKernels, ColorTransformsMatchScalarBitExact) {
+  // Odd width forces the vector tail; the pixel values sweep all bytes.
+  image::Image img(37, 11, 3);
+  std::mt19937_64 rng(0xC0102);
+  for (std::uint8_t& v : img.data()) v = static_cast<std::uint8_t>(rng());
+
+  set_level(Level::kScalar);
+  const image::YCbCrPlanes expect = image::to_ycbcr(img);
+  const image::Image expect_rgb = image::to_rgb(expect, img.width(), img.height());
+
+  for_each_simd_level([&](Level l) {
+    const image::YCbCrPlanes got = image::to_ycbcr(img);
+    EXPECT_EQ(got.y.data(), expect.y.data()) << "level=" << level_name(l);
+    EXPECT_EQ(got.cb.data(), expect.cb.data()) << "level=" << level_name(l);
+    EXPECT_EQ(got.cr.data(), expect.cr.data()) << "level=" << level_name(l);
+    const image::Image rgb = image::to_rgb(got, img.width(), img.height());
+    EXPECT_EQ(rgb, expect_rgb) << "level=" << level_name(l);
+  });
+}
+
+TEST(SimdKernels, PlaneToU8MatchesClampU8) {
+  // from_plane on a grayscale image dispatches the row kernel; values cover
+  // negatives, overshoots, and .5 ties (round-half-even).
+  image::PlaneF plane(21, 3);
+  std::mt19937_64 rng(0xF8);
+  std::uniform_real_distribution<float> dist(-64.0f, 320.0f);
+  for (float& v : plane.data()) v = dist(rng);
+  plane.data()[0] = 0.5f;
+  plane.data()[1] = 1.5f;
+  plane.data()[2] = 254.5f;
+  plane.data()[3] = 255.5f;
+  plane.data()[4] = -0.5f;
+
+  image::Image expect(21, 3, 1);
+  set_level(Level::kScalar);
+  image::from_plane(plane, expect, 0);
+  for_each_simd_level([&](Level l) {
+    image::Image got(21, 3, 1);
+    image::from_plane(plane, got, 0);
+    EXPECT_EQ(got, expect) << "level=" << level_name(l);
+  });
+}
+
+TEST(SimdKernels, MseIsExactAndLevelIndependent) {
+  image::Image a(45, 23, 3), b(45, 23, 3);
+  std::mt19937_64 rng(0x55E);
+  for (std::uint8_t& v : a.data()) v = static_cast<std::uint8_t>(rng());
+  for (std::uint8_t& v : b.data()) v = static_cast<std::uint8_t>(rng());
+
+  // Reference: exact integer sum.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const int d = static_cast<int>(a.data()[i]) - static_cast<int>(b.data()[i]);
+    sum += static_cast<std::uint64_t>(d * d);
+  }
+  const double expect =
+      static_cast<double>(sum) / static_cast<double>(a.data().size());
+
+  set_level(Level::kScalar);
+  EXPECT_EQ(image::mse(a, b), expect);
+  for_each_simd_level([&](Level l) {
+    EXPECT_EQ(image::mse(a, b), expect) << "level=" << level_name(l);
+  });
+}
+
+TEST(SimdKernels, QuantErrorBlockMatchesScalar) {
+  const std::vector<float> block = random_blocks(1, 0x5AE);
+  double steps[64];
+  std::mt19937_64 rng(0x5AF);
+  for (double& s : steps) s = static_cast<double>(1 + rng() % 255);
+  double expect[64];
+  set_level(Level::kScalar);
+  kernels().quant_error_block(block.data(), steps, expect);
+  for_each_simd_level([&](Level l) {
+    double got[64];
+    kernels().quant_error_block(block.data(), steps, got);
+    EXPECT_EQ(0, std::memcmp(got, expect, sizeof(got))) << "level=" << level_name(l);
+  });
+}
+
+TEST(SimdKernels, GemmAccMatchesScalarOnTailShapes) {
+  // Shapes hit the 4x(2W) register tile, the single-row tail, and the
+  // scalar column tail at both vector widths; zeros exercise the skip.
+  const struct {
+    int m, k, n;
+  } shapes[] = {{4, 8, 16}, {5, 7, 19}, {1, 3, 35}, {13, 2, 5}, {8, 288, 49}};
+  std::mt19937_64 rng(0x6E);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (const auto& s : shapes) {
+    std::vector<float> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<float> at(static_cast<std::size_t>(s.k) * s.m);
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c0(static_cast<std::size_t>(s.m) * s.n);
+    for (float& v : a) v = (rng() % 5 == 0) ? 0.0f : dist(rng);  // exercise skip
+    for (float& v : b) v = dist(rng);
+    for (float& v : c0) v = dist(rng);
+    for (int kk = 0; kk < s.k; ++kk)
+      for (int i = 0; i < s.m; ++i)
+        at[static_cast<std::size_t>(kk) * s.m + i] =
+            a[static_cast<std::size_t>(i) * s.k + kk];
+
+    std::vector<float> expect = c0, expect_t = c0;
+    set_level(Level::kScalar);
+    kernels().gemm_acc(a.data(), b.data(), expect.data(), s.m, s.k, s.n);
+    kernels().gemm_at_acc(at.data(), b.data(), expect_t.data(), s.m, s.k, s.n);
+    // The transposed variant accumulates the same products in the same
+    // per-element order, so even the two scalar paths agree exactly.
+    EXPECT_EQ(0, std::memcmp(expect.data(), expect_t.data(),
+                             expect.size() * sizeof(float)));
+
+    for_each_simd_level([&](Level l) {
+      std::vector<float> got = c0, got_t = c0;
+      kernels().gemm_acc(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      kernels().gemm_at_acc(at.data(), b.data(), got_t.data(), s.m, s.k, s.n);
+      EXPECT_EQ(0,
+                std::memcmp(got.data(), expect.data(), got.size() * sizeof(float)))
+          << "gemm_acc level=" << level_name(l) << " m=" << s.m << " n=" << s.n;
+      EXPECT_EQ(0, std::memcmp(got_t.data(), expect_t.data(),
+                               got_t.size() * sizeof(float)))
+          << "gemm_at_acc level=" << level_name(l) << " m=" << s.m << " n=" << s.n;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dnj::simd
