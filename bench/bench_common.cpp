@@ -4,6 +4,13 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+#include "simd/dispatch.hpp"
+
+#ifndef DNJ_GIT_SHA
+#define DNJ_GIT_SHA "unknown"
+#endif
+
 namespace dnj::bench {
 
 namespace {
@@ -107,6 +114,11 @@ JsonWriter::JsonWriter(const std::string& name) {
   if (!file_) throw std::runtime_error("JsonWriter: cannot open " + path_);
   std::fputs("{", static_cast<std::FILE*>(file_));
   needs_comma_.push_back(false);
+  // Run metadata first, so every trajectory file names the commit and
+  // machine configuration that produced it.
+  field("git_sha", DNJ_GIT_SHA);
+  field("simd_level", simd::level_name(simd::active_level()));
+  field("threads", static_cast<int>(runtime::ThreadPool::default_threads()));
 }
 
 JsonWriter::~JsonWriter() {

@@ -66,6 +66,12 @@ data::Dataset recompress_table(const data::Dataset& ds, const jpeg::QuantTable& 
 /// are written in call order, commas are managed internally, and any scopes
 /// still open when the writer is destroyed are closed so the file is always
 /// valid JSON.
+///
+/// Construction stamps three run-metadata fields before any caller keys —
+/// "git_sha" (the commit the binary was configured from), "simd_level"
+/// (the dispatch level active at construction) and "threads" (the
+/// DNJ_THREADS/hardware default) — so every recorded trajectory is
+/// attributable to a commit and a machine configuration.
 class JsonWriter {
  public:
   explicit JsonWriter(const std::string& name);

@@ -1,0 +1,311 @@
+// Closed/open-loop load generator for the serving layer (src/serve).
+//
+// Scenarios (one row each in BENCH_serve.json):
+//   * encode-closed        — closed loop (each client keeps exactly one
+//     request outstanding), uniform-config encode stream: the batching
+//     best case.
+//   * encode-closed-nobatch — same load with micro-batching disabled, so
+//     the batching delta is visible in the trajectory.
+//   * mixed-closed         — closed loop over a mixed encode / decode /
+//     transcode / deepn-encode stream with a warm result cache.
+//   * open-burst-reject    — open loop: clients fire the whole load as
+//     fast as they can at a small queue under the reject policy; measures
+//     goodput and the rejection rate under overload.
+//
+// Every completed (kOk) response is checked byte-for-byte against an
+// expectation computed upfront with direct synchronous jpeg:: calls — the
+// serving determinism contract is a gate here exactly like the
+// serial-vs-parallel gate in bench_transcode: the bench exits non-zero on
+// any mismatch.
+//
+// Usage: bench_serve [corpus_images] [requests_per_client]
+//   corpus_images       — distinct 32x32 images cycled through (default 48)
+//   requests_per_client — per client thread, per scenario (default 400;
+//                         use something small like 150 for a CI smoke run)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "jpeg/codec.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/digest.hpp"
+#include "serve/service.hpp"
+
+using namespace dnj;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One request form: a reusable request plus the digest of its expected
+/// payload (computed via direct synchronous calls).
+struct Form {
+  serve::Request request;
+  std::uint64_t want_digest = 0;
+};
+
+std::uint64_t response_digest(const serve::Response& r) {
+  std::uint64_t h = serve::fnv1a(r.bytes.data(), r.bytes.size());
+  h = serve::digest_image(r.image, h);
+  return serve::fnv1a(r.probs.data(), r.probs.size() * sizeof(float), h);
+}
+
+std::uint64_t expected_digest_for(const serve::Request& req, const serve::ServiceConfig& cfg) {
+  serve::Response want;
+  switch (req.kind) {
+    case serve::RequestKind::kEncode:
+      want.bytes = jpeg::encode(req.image, req.config);
+      break;
+    case serve::RequestKind::kDecode:
+      want.image = jpeg::decode(req.bytes);
+      break;
+    case serve::RequestKind::kTranscode:
+      want.bytes = jpeg::encode(jpeg::decode(req.bytes), req.config);
+      break;
+    case serve::RequestKind::kDeepnEncode: {
+      jpeg::EncoderConfig dcfg;
+      dcfg.use_custom_tables = true;
+      dcfg.luma_table = cfg.deepn_luma.scaled(req.quality);
+      dcfg.chroma_table = cfg.deepn_chroma.scaled(req.quality);
+      dcfg.subsampling = jpeg::Subsampling::k444;
+      want.bytes = jpeg::encode(req.image, dcfg);
+      break;
+    }
+    case serve::RequestKind::kInfer:
+      break;  // not exercised by the bench (needs a model)
+  }
+  return response_digest(want);
+}
+
+struct ScenarioResult {
+  std::string name;
+  int max_batch = 1;          ///< configured batching limit
+  std::size_t cache = 0;      ///< configured result-cache capacity
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  bool identical = true;
+  serve::ServiceStats stats;
+};
+
+/// Runs one scenario: `clients` threads each submit `per_client` requests
+/// cycled over `forms`. Closed loop waits every future immediately (one
+/// outstanding request per client); open loop fires everything first and
+/// collects afterwards.
+ScenarioResult run_scenario(const std::string& name, const serve::ServiceConfig& cfg,
+                            const std::vector<Form>& forms, int clients, int per_client,
+                            bool closed_loop) {
+  serve::TranscodeService service(cfg);
+  std::vector<std::size_t> ok(static_cast<std::size_t>(clients), 0);
+  std::vector<std::size_t> rejected(static_cast<std::size_t>(clients), 0);
+  // Per-client slots written concurrently — plain byte array, NOT
+  // vector<bool> (whose packed bits would race across clients).
+  std::vector<std::uint8_t> identical(static_cast<std::size_t>(clients), 1);
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      std::vector<std::pair<std::future<serve::Response>, std::size_t>> inflight;
+      const auto settle = [&](std::future<serve::Response> fut, std::size_t form) {
+        const serve::Response r = fut.get();
+        if (r.status == serve::Status::kOk) {
+          ++ok[ci];
+          if (response_digest(r) != forms[form].want_digest) identical[ci] = 0;
+        } else if (r.status == serve::Status::kRejected) {
+          ++rejected[ci];
+        } else {
+          identical[ci] = 0;  // unexpected shutdown/error counts as failure
+        }
+      };
+      for (int i = 0; i < per_client; ++i) {
+        // Interleave clients through the form list so concurrent clients
+        // exercise different configs at the same time.
+        const std::size_t form =
+            (static_cast<std::size_t>(i) * static_cast<std::size_t>(clients) + ci) %
+            forms.size();
+        std::future<serve::Response> fut = service.submit(forms[form].request);
+        if (closed_loop)
+          settle(std::move(fut), form);
+        else
+          inflight.emplace_back(std::move(fut), form);
+      }
+      for (auto& [fut, form] : inflight) settle(std::move(fut), form);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto t1 = Clock::now();
+
+  service.shutdown();
+  ScenarioResult res;
+  res.name = name;
+  res.max_batch = cfg.max_batch;
+  res.cache = cfg.cache_capacity;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.requests = static_cast<std::size_t>(clients) * static_cast<std::size_t>(per_client);
+  for (int c = 0; c < clients; ++c) {
+    res.ok += ok[static_cast<std::size_t>(c)];
+    res.rejected += rejected[static_cast<std::size_t>(c)];
+    res.identical = res.identical && identical[static_cast<std::size_t>(c)] != 0;
+  }
+  res.stats = service.stats();
+  return res;
+}
+
+std::string us_str(double us) { return bench::fmt(us, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int corpus_images = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int per_client = argc > 2 ? std::atoi(argv[2]) : 400;
+  if (corpus_images <= 0 || per_client <= 0) {
+    std::fprintf(stderr, "bench_serve: bad arguments\n");
+    return 1;
+  }
+
+  data::GeneratorConfig gen_cfg;
+  gen_cfg.width = 32;
+  gen_cfg.height = 32;
+  gen_cfg.channels = 1;
+  gen_cfg.num_classes = 8;
+  gen_cfg.seed = 0x5E7E;
+  const data::Dataset ds =
+      data::SyntheticDatasetGenerator(gen_cfg).generate((corpus_images + 7) / 8);
+
+  serve::ServiceConfig base_cfg;
+  base_cfg.workers = static_cast<int>(
+      std::min<unsigned>(4, std::max(1u, runtime::ThreadPool::default_threads())));
+  base_cfg.queue_capacity = 128;
+  base_cfg.max_batch = 8;
+  base_cfg.cache_capacity = 0;
+  base_cfg.deepn_luma = jpeg::QuantTable::annex_k_luma();
+  base_cfg.deepn_chroma = jpeg::QuantTable::annex_k_chroma();
+
+  jpeg::EncoderConfig enc_cfg;
+  enc_cfg.quality = 85;
+  enc_cfg.subsampling = jpeg::Subsampling::k444;
+  jpeg::EncoderConfig alt_cfg;
+  alt_cfg.quality = 45;
+  alt_cfg.subsampling = jpeg::Subsampling::k444;
+
+  // Request forms + their synchronous expectations (the identity gate).
+  std::vector<Form> encode_forms;
+  std::vector<Form> mixed_forms;
+  for (const data::Sample& s : ds.samples) {
+    Form enc;
+    enc.request.kind = serve::RequestKind::kEncode;
+    enc.request.image = s.image;
+    enc.request.config = enc_cfg;
+    enc.want_digest = expected_digest_for(enc.request, base_cfg);
+    encode_forms.push_back(enc);
+    mixed_forms.push_back(encode_forms.back());
+
+    const std::vector<std::uint8_t> stored = jpeg::encode(s.image, enc_cfg);
+    Form dec;
+    dec.request.kind = serve::RequestKind::kDecode;
+    dec.request.bytes = stored;
+    dec.want_digest = expected_digest_for(dec.request, base_cfg);
+    mixed_forms.push_back(std::move(dec));
+
+    Form xcode;
+    xcode.request.kind = serve::RequestKind::kTranscode;
+    xcode.request.bytes = stored;
+    xcode.request.config = alt_cfg;
+    xcode.want_digest = expected_digest_for(xcode.request, base_cfg);
+    mixed_forms.push_back(std::move(xcode));
+
+    Form deepn;
+    deepn.request.kind = serve::RequestKind::kDeepnEncode;
+    deepn.request.image = s.image;
+    deepn.request.quality = 35;
+    deepn.want_digest = expected_digest_for(deepn.request, base_cfg);
+    mixed_forms.push_back(std::move(deepn));
+  }
+
+  const int clients = 4;
+  std::vector<ScenarioResult> results;
+
+  {
+    serve::ServiceConfig cfg = base_cfg;
+    results.push_back(
+        run_scenario("encode-closed", cfg, encode_forms, clients, per_client, true));
+  }
+  {
+    serve::ServiceConfig cfg = base_cfg;
+    cfg.max_batch = 1;
+    results.push_back(
+        run_scenario("encode-closed-nobatch", cfg, encode_forms, clients, per_client, true));
+  }
+  {
+    serve::ServiceConfig cfg = base_cfg;
+    cfg.cache_capacity = 512;
+    results.push_back(
+        run_scenario("mixed-closed", cfg, mixed_forms, clients, per_client, true));
+  }
+  {
+    serve::ServiceConfig cfg = base_cfg;
+    cfg.admission = serve::AdmissionPolicy::kReject;
+    cfg.queue_capacity = 16;
+    results.push_back(
+        run_scenario("open-burst-reject", cfg, encode_forms, clients, per_client, false));
+  }
+
+  bool all_identical = true;
+  bench::JsonWriter json("BENCH_serve");
+  json.field("bench", "serve");
+  json.field("corpus_images", ds.size());
+  json.field("clients", clients);
+  json.field("requests_per_client", per_client);
+  json.field("workers", base_cfg.workers);
+  json.begin_rows({"scenario", "max_batch", "cache", "requests", "ok", "rejected",
+                   "seconds", "rps", "queue_p50_us", "queue_p95_us", "queue_p99_us",
+                   "svc_p50_us", "svc_p95_us", "svc_p99_us", "total_p99_us",
+                   "cache_hit_rate", "max_batch_seen", "identical"});
+  std::printf("bench_serve: %zu corpus images, %d clients x %d requests, %d workers\n",
+              ds.size(), clients, per_client, base_cfg.workers);
+  for (const ScenarioResult& r : results) {
+    all_identical = all_identical && r.identical;
+    const serve::ServiceStats& st = r.stats;
+    const std::uint64_t cache_lookups = st.cache_hits + st.cache_misses;
+    const double hit_rate =
+        cache_lookups ? static_cast<double>(st.cache_hits) / static_cast<double>(cache_lookups)
+                      : 0.0;
+    const double rps = static_cast<double>(r.ok) / r.seconds;
+    json.row({r.name, std::to_string(r.max_batch), std::to_string(r.cache),
+              std::to_string(r.requests), std::to_string(r.ok), std::to_string(r.rejected),
+              bench::fmt(r.seconds, 3), bench::fmt(rps, 1),
+              us_str(st.queue_wait.p50_us), us_str(st.queue_wait.p95_us),
+              us_str(st.queue_wait.p99_us), us_str(st.service_time.p50_us),
+              us_str(st.service_time.p95_us), us_str(st.service_time.p99_us),
+              us_str(st.total.p99_us), bench::fmt(hit_rate, 3),
+              std::to_string(st.max_batch), r.identical ? "yes" : "NO"});
+    std::printf(
+        "  %-22s %6.2fs  %8.0f req/s  ok=%zu rej=%zu  q p50/p95/p99 = %s/%s/%s us  "
+        "svc p50/p95/p99 = %s/%s/%s us  hit=%.2f  batch<=%llu  %s\n",
+        r.name.c_str(), r.seconds, rps, r.ok, r.rejected,
+        us_str(st.queue_wait.p50_us).c_str(), us_str(st.queue_wait.p95_us).c_str(),
+        us_str(st.queue_wait.p99_us).c_str(), us_str(st.service_time.p50_us).c_str(),
+        us_str(st.service_time.p95_us).c_str(), us_str(st.service_time.p99_us).c_str(),
+        hit_rate, static_cast<unsigned long long>(st.max_batch),
+        r.identical ? "identical" : "MISMATCH");
+  }
+  json.end_rows();
+  json.field("all_identical", all_identical);
+  std::printf("  wrote %s\n", json.path().c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr, "bench_serve: async responses differ from synchronous calls!\n");
+    return 1;
+  }
+  return 0;
+}

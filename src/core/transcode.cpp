@@ -68,6 +68,17 @@ TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& co
   return res;
 }
 
+std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+                                          const jpeg::EncoderConfig& config,
+                                          jpeg::pipeline::CodecContext& ctx) {
+  return jpeg::encode(jpeg::decode(bytes, ctx), config, ctx);
+}
+
+std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+                                          const jpeg::EncoderConfig& config) {
+  return transcode_bytes(bytes, config, jpeg::pipeline::thread_codec_context());
+}
+
 std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config,
                                   int num_threads) {
   if (ds.empty()) throw std::invalid_argument("dataset_encoded_bytes: empty dataset");

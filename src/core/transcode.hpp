@@ -25,6 +25,17 @@ struct TranscodeResult {
 TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& config,
                           int num_threads = 0);
 
+/// Decodes one JFIF stream and re-encodes it under `config` through the
+/// caller's context — the single-stream primitive the serving layer's
+/// transcode requests run on. Exactly equivalent to jpeg::decode followed
+/// by jpeg::encode (byte-identical output). The default-context overload
+/// uses the calling thread's shared context.
+std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+                                          const jpeg::EncoderConfig& config,
+                                          jpeg::pipeline::CodecContext& ctx);
+std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+                                          const jpeg::EncoderConfig& config);
+
 /// Encoded byte total only (no decode) — cheaper when only CR is needed.
 std::size_t dataset_encoded_bytes(const data::Dataset& ds, const jpeg::EncoderConfig& config,
                                   int num_threads = 0);

@@ -16,7 +16,10 @@ CodecContext::StaticHuffman::StaticHuffman()
       ac_chroma(ac_chroma_spec) {}
 
 const CodecContext::StaticHuffman& CodecContext::static_huffman() {
-  if (!static_huffman_) static_huffman_.emplace();
+  if (!static_huffman_) {
+    static_huffman_.emplace();
+    ++counters_.huffman_builds;
+  }
   return *static_huffman_;
 }
 
@@ -28,6 +31,7 @@ const ReciprocalTable& CodecContext::reciprocal_for(const QuantTable& table, int
     s.table = table;
     s.recip = ReciprocalTable(table);
     s.valid = true;
+    ++counters_.reciprocal_builds;
   }
   return s.recip;
 }
@@ -41,6 +45,7 @@ CodecContext::QualityTables CodecContext::quality_tables(int quality) {
     quality_luma_ = QuantTable::annex_k_luma().scaled(quality);
     quality_chroma_ = QuantTable::annex_k_chroma().scaled(quality);
     cached_quality_ = quality;
+    ++counters_.quality_table_builds;
   }
   return {quality_luma_, quality_chroma_};
 }

@@ -64,6 +64,18 @@ class CodecContext {
   };
   QualityTables quality_tables(int quality);
 
+  /// How often the lazily-cached state above was actually (re)built. A warm
+  /// context encoding a same-config stream sits at one build each; every
+  /// additional rebuild is a cache miss caused by interleaved configs. The
+  /// serving layer reports these per worker — they are the direct measure
+  /// of how well micro-batching keeps contexts warm.
+  struct ReuseCounters {
+    std::uint64_t huffman_builds = 0;
+    std::uint64_t reciprocal_builds = 0;
+    std::uint64_t quality_table_builds = 0;
+  };
+  const ReuseCounters& reuse_counters() const { return counters_; }
+
   // --- encode-side arenas -------------------------------------------------
   image::YCbCrPlanes ycc;                        ///< color-transform output
   std::array<image::PlaneF, 2> chroma_small;     ///< 4:2:0 downsampled Cb/Cr
@@ -85,6 +97,7 @@ class CodecContext {
   std::array<RecipSlot, 2> recips_;
   int cached_quality_ = -1;
   QuantTable quality_luma_, quality_chroma_;
+  ReuseCounters counters_;
 };
 
 /// One context per thread, created on first use — the per-worker arena the

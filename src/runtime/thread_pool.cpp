@@ -19,6 +19,14 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Workers drain the queue before exiting, so anything still here was
+  // never picked up — a zero-worker pool, in the typical case. Run it
+  // inline (FIFO) so the drain guarantee holds for every pool.
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {

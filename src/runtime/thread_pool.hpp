@@ -30,9 +30,12 @@ class ThreadPool {
   /// zero-worker pool simply means the calling thread does all the work.
   explicit ThreadPool(unsigned workers);
 
-  /// Joins all workers. Tasks already queued are drained first (workers
-  /// finish the backlog before exiting), so shutdown never strands a
-  /// parallel loop waiting on a task that will never run.
+  /// Joins all workers. Tasks already queued are drained first — workers
+  /// finish the backlog before exiting, and any backlog nobody picked up
+  /// (a zero-worker pool in particular) runs on the destructing thread —
+  /// so shutdown never strands a submitted task unrun. The serving layer's
+  /// shutdown relies on this: its worker pumps are plain submitted tasks,
+  /// and destroying the pool is what waits for them to finish draining.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,8 +43,11 @@ class ThreadPool {
 
   unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task for any worker to run. Tasks must not throw — the
-  /// parallel helpers wrap user code and capture exceptions themselves.
+  /// Enqueues a task for any worker to run. Tasks must not throw — an
+  /// escaping exception unwinds a worker thread and terminates the
+  /// process. Every submitter in the tree honors the contract by capturing
+  /// exceptions inside the task (the parallel helpers stash them in the
+  /// loop state, the serving layer converts them into error responses).
   void submit(std::function<void()> task);
 
   /// Process-wide pool shared by every parallel_for/parallel_map call.

@@ -1,0 +1,96 @@
+#include "serve/digest.hpp"
+
+#include <algorithm>
+
+namespace dnj::serve {
+
+namespace {
+
+std::uint64_t mix_u64(std::uint64_t v, std::uint64_t seed) {
+  return fnv1a(&v, sizeof(v), seed);
+}
+
+std::uint64_t mix_i32(std::int32_t v, std::uint64_t seed) {
+  return fnv1a(&v, sizeof(v), seed);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t digest_image(const image::Image& img, std::uint64_t seed) {
+  std::uint64_t h = mix_i32(img.width(), seed);
+  h = mix_i32(img.height(), h);
+  h = mix_i32(img.channels(), h);
+  return img.empty() ? h : fnv1a(img.data().data(), img.data().size(), h);
+}
+
+std::uint64_t digest_table(const jpeg::QuantTable& table, std::uint64_t seed) {
+  return fnv1a(table.natural().data(),
+               table.natural().size() * sizeof(table.natural()[0]), seed);
+}
+
+std::uint64_t digest_config(const jpeg::EncoderConfig& config, std::uint64_t seed) {
+  std::uint64_t h = mix_i32(config.quality, seed);
+  h = mix_i32(config.use_custom_tables ? 1 : 0, h);
+  if (config.use_custom_tables) {
+    h = digest_table(config.luma_table, h);
+    h = digest_table(config.chroma_table, h);
+  }
+  h = mix_i32(static_cast<std::int32_t>(config.subsampling), h);
+  h = mix_i32(config.optimize_huffman ? 1 : 0, h);
+  h = mix_i32(config.restart_interval, h);
+  h = mix_u64(config.comment.size(), h);
+  return fnv1a(config.comment.data(), config.comment.size(), h);
+}
+
+std::uint64_t request_config_digest(const Request& req) {
+  switch (req.kind) {
+    case RequestKind::kEncode:
+    case RequestKind::kTranscode:
+      return digest_config(req.config);
+    case RequestKind::kDeepnEncode:
+      // The service's table pair is fixed per instance, so the quality
+      // scaling is the whole per-request config. Clamp exactly like the
+      // handler does, so requests that compute the same thing share a key
+      // (cache entries and batch compatibility alike).
+      return mix_i32(std::clamp(req.quality, 1, 100), kFnvOffset);
+    case RequestKind::kDecode:
+    case RequestKind::kInfer:
+      break;
+  }
+  return mix_i32(static_cast<std::int32_t>(req.kind), kFnvOffset);
+}
+
+std::uint64_t request_input_digest(const Request& req) {
+  const std::uint64_t kind_seed = mix_i32(static_cast<std::int32_t>(req.kind), kFnvOffset);
+  switch (req.kind) {
+    case RequestKind::kEncode:
+    case RequestKind::kDeepnEncode:
+      return digest_image(req.image, kind_seed);
+    case RequestKind::kDecode:
+    case RequestKind::kTranscode:
+    case RequestKind::kInfer:
+      break;
+  }
+  return fnv1a(req.bytes.data(), req.bytes.size(), kind_seed);
+}
+
+CacheKey request_key(const Request& req) {
+  return {request_input_digest(req), request_config_digest(req)};
+}
+
+bool cacheable(RequestKind kind) {
+  return kind == RequestKind::kEncode || kind == RequestKind::kTranscode ||
+         kind == RequestKind::kDeepnEncode;
+}
+
+}  // namespace dnj::serve

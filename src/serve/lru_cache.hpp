@@ -1,0 +1,99 @@
+// Thread-safe LRU cache, shared by every worker of a service instance.
+//
+// A mutex around a list + hash map is deliberate (same reasoning as the
+// runtime queue): entries are whole encoded results or table pairs, so a
+// lookup costs a hash and two pointer swaps while the work it saves is a
+// full encode — contention is irrelevant next to the savings. Values are
+// returned by copy so a hit never holds the lock while the caller uses the
+// result, and eviction can never invalidate a response in flight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace dnj::serve {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// Capacity 0 disables the cache: get() always misses, put() is a no-op.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Copies the cached value into `*out` and promotes the entry to
+  /// most-recently-used. Returns false on a miss.
+  bool get(const Key& key, Value* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    *out = it->second->second;
+    ++hits_;
+    return true;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+  /// when full. Refreshing overwrites the value — callers only ever store
+  /// deterministic functions of the key, so this is a wash either way.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_.size();
+  }
+
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dnj::serve

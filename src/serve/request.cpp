@@ -1,0 +1,26 @@
+#include "serve/request.hpp"
+
+namespace dnj::serve {
+
+const char* kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kEncode: return "encode";
+    case RequestKind::kDecode: return "decode";
+    case RequestKind::kTranscode: return "transcode";
+    case RequestKind::kDeepnEncode: return "deepn_encode";
+    case RequestKind::kInfer: return "infer";
+  }
+  return "unknown";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace dnj::serve

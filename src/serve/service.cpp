@@ -1,0 +1,328 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/transcode.hpp"
+#include "jpeg/codec.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnj::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+LatencySummary summarize(const stats::Histogram& h, double exact_max_us) {
+  LatencySummary s;
+  s.count = h.total();
+  if (s.count == 0) return s;
+  s.p50_us = h.quantile(0.50);
+  s.p95_us = h.quantile(0.95);
+  s.p99_us = h.quantile(0.99);
+  s.max_us = exact_max_us;
+  return s;
+}
+
+/// One queued request: the request itself, its promise, and everything the
+/// worker needs without re-deriving it (cache key, submission timestamp).
+struct TranscodeService::Job {
+  Request req;
+  std::promise<Response> promise;
+  CacheKey key;
+  bool cacheable = false;
+  Clock::time_point enqueue;
+};
+
+/// Per-worker accounting. Each worker mutates only its own instance, under
+/// its own mutex (uncontended in steady state — stats() is the only other
+/// reader), which keeps the hot path lock-cheap and the whole structure
+/// TSan-clean.
+struct TranscodeService::WorkerStats {
+  std::mutex mutex;
+  stats::Histogram queue_wait = make_latency_histogram();
+  stats::Histogram service_time = make_latency_histogram();
+  stats::Histogram total = make_latency_histogram();
+  double queue_wait_max_us = 0.0;
+  double service_time_max_us = 0.0;
+  double total_max_us = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t per_kind[kNumRequestKinds] = {0, 0, 0, 0, 0};
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t max_batch = 0;
+  jpeg::pipeline::CodecContext::ReuseCounters ctx_deltas;
+};
+
+TranscodeService::TranscodeService(ServiceConfig config)
+    : config_(std::move(config)),
+      result_cache_(config_.cache_capacity),
+      table_cache_(config_.table_cache_capacity) {
+  config_.workers = std::max(1, config_.workers);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.max_batch = std::max(1, config_.max_batch);
+  deepn_tables_digest_ =
+      digest_table(config_.deepn_chroma, digest_table(config_.deepn_luma));
+
+  queue_ = std::make_unique<runtime::MpmcQueue<Job>>(config_.queue_capacity);
+  worker_stats_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w)
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
+
+  // A private pool, not ThreadPool::global(): pumps occupy their worker for
+  // the service's whole lifetime, which would starve the shared pool's
+  // parallel loops. Each pump is one submitted task; with exactly as many
+  // workers as pumps every worker runs exactly one pump, and the pool
+  // destructor's drain guarantee is what shutdown() leans on.
+  workers_ = std::make_unique<runtime::ThreadPool>(static_cast<unsigned>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w)
+    workers_->submit([this, w] { pump(w); });
+}
+
+TranscodeService::~TranscodeService() { shutdown(); }
+
+void TranscodeService::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  queue_->close();   // refuse new work, wake blocked submitters and pumps
+  workers_.reset();  // pumps drain the accepted backlog, then workers join
+}
+
+std::future<Response> TranscodeService::submit(Request req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.cacheable = cacheable(req.kind) && result_cache_.enabled();
+  // Only the config half here: admission and batching never read the input
+  // half, and hashing the payload on the submission path would make
+  // rejection under overload O(payload). Workers derive the input half
+  // lazily when a cache lookup actually happens.
+  job.key.config = request_config_digest(req);
+  job.req = std::move(req);
+  job.enqueue = Clock::now();
+  std::future<Response> future = job.promise.get_future();
+
+  const bool accepted = config_.admission == AdmissionPolicy::kReject
+                            ? queue_->try_push(job)
+                            : queue_->push(job);
+  if (!accepted) {
+    // try_push fails on full or closed; push only on closed. Closed wins
+    // the tie-break so shutdown refusals are always typed kShutdown.
+    if (queue_->closed()) {
+      refused_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      refuse(std::move(job), Status::kShutdown, "service is shut down");
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      refuse(std::move(job), Status::kRejected, "submission queue full");
+    }
+  }
+  return future;
+}
+
+void TranscodeService::refuse(Job&& job, Status status, const char* why) {
+  Response r;
+  r.status = status;
+  r.error = why;
+  job.promise.set_value(std::move(r));
+}
+
+void TranscodeService::pump(int worker_id) {
+  WorkerStats& ws = *worker_stats_[static_cast<std::size_t>(worker_id)];
+  std::vector<Job> batch;
+  Job first;
+  while (queue_->pop(first)) {
+    batch.clear();
+    batch.push_back(std::move(first));
+    if (config_.max_batch > 1) {
+      const RequestKind kind = batch[0].req.kind;
+      const std::uint64_t cfg = batch[0].key.config;
+      queue_->pop_while(
+          [kind, cfg](const Job& j) {
+            return j.req.kind == kind && j.key.config == cfg;
+          },
+          static_cast<std::size_t>(config_.max_batch) - 1, batch);
+    }
+    process_batch(batch, ws);
+  }
+}
+
+void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws) {
+  // Stats-ordering contract: by the time a future is fulfilled, its batch
+  // and its own lifecycle counters/latencies are visible to stats(). Hence
+  // batch-level counters go in at assembly, per-request counters right
+  // before each set_value. Context-warmth deltas are only knowable after
+  // the batch ran; they settle when the batch finishes (final once
+  // shutdown() returned). The per-request lock is uncontended in steady
+  // state — stats() is the only other party that ever takes it.
+  {
+    std::lock_guard<std::mutex> lock(ws.mutex);
+    ++ws.batches;
+    if (batch.size() > 1) ws.batched_requests += batch.size();
+    ws.max_batch = std::max<std::uint64_t>(ws.max_batch, batch.size());
+  }
+
+  // The pump thread's context persists across batches; counters are read
+  // before/after so the stats report rebuilds attributable to this batch.
+  const jpeg::pipeline::CodecContext::ReuseCounters before =
+      jpeg::pipeline::thread_codec_context().reuse_counters();
+
+  for (Job& job : batch) {
+    const Clock::time_point picked = Clock::now();
+    if (job.cacheable) job.key.input = request_input_digest(job.req);
+    Response resp;
+    if (job.cacheable && result_cache_.get(job.key, &resp.bytes)) {
+      resp.cache_hit = true;
+    } else {
+      resp = run(job.req, /*use_table_cache=*/true);
+      if (job.cacheable && resp.status == Status::kOk)
+        result_cache_.put(job.key, resp.bytes);
+    }
+    const Clock::time_point done = Clock::now();
+    resp.batch_size = static_cast<int>(batch.size());
+    resp.queue_us = us_between(job.enqueue, picked);
+    resp.service_us = us_between(picked, done);
+    {
+      std::lock_guard<std::mutex> lock(ws.mutex);
+      const double total_us = us_between(job.enqueue, done);
+      ws.queue_wait.add(resp.queue_us);
+      ws.service_time.add(resp.service_us);
+      ws.total.add(total_us);
+      ws.queue_wait_max_us = std::max(ws.queue_wait_max_us, resp.queue_us);
+      ws.service_time_max_us = std::max(ws.service_time_max_us, resp.service_us);
+      ws.total_max_us = std::max(ws.total_max_us, total_us);
+      ++ws.per_kind[static_cast<int>(job.req.kind)];
+      if (resp.status == Status::kOk) ++ws.completed; else ++ws.errors;
+      if (resp.cache_hit) ++ws.cache_hits;
+    }
+    job.promise.set_value(std::move(resp));
+  }
+
+  const jpeg::pipeline::CodecContext::ReuseCounters after =
+      jpeg::pipeline::thread_codec_context().reuse_counters();
+  std::lock_guard<std::mutex> lock(ws.mutex);
+  ws.ctx_deltas.huffman_builds += after.huffman_builds - before.huffman_builds;
+  ws.ctx_deltas.reciprocal_builds += after.reciprocal_builds - before.reciprocal_builds;
+  ws.ctx_deltas.quality_table_builds +=
+      after.quality_table_builds - before.quality_table_builds;
+}
+
+Response TranscodeService::run(const Request& req, bool use_table_cache) {
+  jpeg::pipeline::CodecContext& ctx = jpeg::pipeline::thread_codec_context();
+  Response r;
+  try {
+    switch (req.kind) {
+      case RequestKind::kEncode:
+        r.bytes = jpeg::encode(req.image, req.config, ctx);
+        break;
+      case RequestKind::kDecode:
+        r.image = jpeg::decode(req.bytes, ctx);
+        break;
+      case RequestKind::kTranscode:
+        r.bytes = core::transcode_bytes(req.bytes, req.config, ctx);
+        break;
+      case RequestKind::kDeepnEncode:
+        r.bytes = jpeg::encode(req.image, deepn_config(req.quality, use_table_cache), ctx);
+        break;
+      case RequestKind::kInfer: {
+        if (!config_.model)
+          throw std::runtime_error("kInfer request but no model configured");
+        const image::Image img = jpeg::decode(req.bytes, ctx);
+        // Layer::forward caches activations for backward, so inference is
+        // serialized; the output is a pure function of (weights, image),
+        // which keeps the determinism contract intact.
+        std::lock_guard<std::mutex> lock(model_mutex_);
+        r.probs = nn::predict_probs(*config_.model, img);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    r = Response{};
+    r.status = Status::kError;
+    r.error = e.what();
+  } catch (...) {
+    // A non-std exception (a user-supplied model can throw anything) must
+    // not unwind the pump — that would break the always-fulfilled future
+    // guarantee and terminate the process via the pool's no-throw contract.
+    r = Response{};
+    r.status = Status::kError;
+    r.error = "handler threw a non-std exception";
+  }
+  return r;
+}
+
+jpeg::EncoderConfig TranscodeService::deepn_config(int quality, bool use_table_cache) {
+  quality = std::clamp(quality, 1, 100);
+  TablePair pair;
+  const CacheKey key{deepn_tables_digest_, static_cast<std::uint64_t>(quality)};
+  if (!use_table_cache || !table_cache_.get(key, &pair)) {
+    pair.luma = config_.deepn_luma.scaled(quality);
+    pair.chroma = config_.deepn_chroma.scaled(quality);
+    if (use_table_cache) table_cache_.put(key, pair);
+  }
+  jpeg::EncoderConfig cfg;
+  cfg.use_custom_tables = true;
+  cfg.luma_table = pair.luma;
+  cfg.chroma_table = pair.chroma;
+  cfg.subsampling = jpeg::Subsampling::k444;
+  return cfg;
+}
+
+Response TranscodeService::execute(const Request& req) {
+  // Reference path: same handlers, same thread-local context mechanism,
+  // but no queue, no batching, and — deliberately — no caches (the table
+  // cache included), so cache correctness is testable by comparing
+  // submit() against execute().
+  return run(req, /*use_table_cache=*/false);
+}
+
+ServiceStats TranscodeService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.refused_shutdown = refused_shutdown_.load(std::memory_order_relaxed);
+  s.queue_capacity = queue_->capacity();
+  s.queue_high_water = queue_->high_water();
+  s.cache_hits = result_cache_.hits();
+  s.cache_misses = result_cache_.misses();
+  s.cache_evictions = result_cache_.evictions();
+  s.table_cache_hits = table_cache_.hits();
+  s.table_cache_misses = table_cache_.misses();
+
+  stats::Histogram queue_wait = make_latency_histogram();
+  stats::Histogram service_time = make_latency_histogram();
+  stats::Histogram total = make_latency_histogram();
+  double queue_wait_max = 0.0, service_time_max = 0.0, total_max = 0.0;
+  for (const std::unique_ptr<WorkerStats>& wsp : worker_stats_) {
+    WorkerStats& ws = *wsp;
+    std::lock_guard<std::mutex> lock(ws.mutex);
+    s.completed += ws.completed;
+    s.errors += ws.errors;
+    for (int k = 0; k < kNumRequestKinds; ++k) s.per_kind[k] += ws.per_kind[k];
+    s.batches += ws.batches;
+    s.batched_requests += ws.batched_requests;
+    s.max_batch = std::max(s.max_batch, ws.max_batch);
+    s.ctx_huffman_builds += ws.ctx_deltas.huffman_builds;
+    s.ctx_reciprocal_builds += ws.ctx_deltas.reciprocal_builds;
+    s.ctx_quality_table_builds += ws.ctx_deltas.quality_table_builds;
+    queue_wait.merge(ws.queue_wait);
+    service_time.merge(ws.service_time);
+    total.merge(ws.total);
+    queue_wait_max = std::max(queue_wait_max, ws.queue_wait_max_us);
+    service_time_max = std::max(service_time_max, ws.service_time_max_us);
+    total_max = std::max(total_max, ws.total_max_us);
+  }
+  s.queue_wait = summarize(queue_wait, queue_wait_max);
+  s.service_time = summarize(service_time, service_time_max);
+  s.total = summarize(total, total_max);
+  return s;
+}
+
+}  // namespace dnj::serve

@@ -1,0 +1,161 @@
+// TranscodeService — the asynchronous serving layer over the codec pipeline
+// and the NN front end.
+//
+//   clients ──submit()──▶ bounded MPMC queue ──pop / pop_while──▶ worker pumps
+//               │                                    │
+//               │ admission control:                 │ one pump per worker, each
+//               │   kBlock  — wait for space         │ on its own thread-local
+//               │   kReject — typed kRejected        │ CodecContext (warm arenas,
+//               ▼            response, immediately   │ cached tables)
+//        future<Response>                            ├─▶ result LRU   (input digest, config digest)
+//                                                    ├─▶ table LRU    (DeepN table pair, IJG-scaled per quality)
+//                                                    └─▶ per-worker latency histograms ──merge──▶ ServiceStats
+//
+// Scheduling: a fixed worker set — a private runtime::ThreadPool whose
+// workers each run one long-lived "pump" task — pops requests from the
+// bounded submission queue. After popping a request, a pump opportunistically
+// drains immediately-available *compatible* followers (same kind, same
+// config digest) up to `max_batch` — micro-batching. Batched requests are
+// processed back to back on the same warm context, so the per-context
+// caches (static Huffman tables, reciprocal multipliers, quality tables)
+// are derived once per batch instead of once per request; batching changes
+// which context state is reused, never what any request computes.
+//
+// Determinism contract (extends the codec/runtime contracts to serving):
+// every response payload is bit-identical to the equivalent synchronous
+// single-threaded call — execute() — regardless of worker count, batching
+// decisions, cache hits, or arrival order. This holds because every handler
+// is a pure function of the request plus immutable service configuration:
+// contexts only carry scratch state, the caches store deterministic
+// functions of their keys, and the model is locked during each forward.
+// tests/test_serve.cpp pins the contract across worker counts {1, 2, 8},
+// batching on/off, and cache warm/cold.
+//
+// Shutdown: shutdown() closes the queue (new submissions get a typed
+// kShutdown response; blocked submitters wake with the same), lets the
+// pumps drain every request already accepted, then joins the workers.
+// Idempotent; the destructor calls it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "jpeg/quant.hpp"
+#include "nn/layer.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/digest.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/service_stats.hpp"
+
+namespace dnj::serve {
+
+enum class AdmissionPolicy : int {
+  kBlock = 0,  ///< submit() waits for queue space (backpressure by blocking)
+  kReject,     ///< submit() returns a typed kRejected response when full
+};
+
+struct ServiceConfig {
+  /// Fixed worker count (clamped to >= 1). Each worker owns one
+  /// thread-local jpeg::pipeline::CodecContext for its whole lifetime.
+  int workers = 2;
+
+  /// Bounded submission-queue capacity (clamped to >= 1). The queue never
+  /// holds more requests than this — admission control handles overflow.
+  std::size_t queue_capacity = 256;
+
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+
+  /// Largest micro-batch a worker may drain per pop; 1 disables batching.
+  int max_batch = 8;
+
+  /// Result-cache entries — encoded byte payloads keyed on
+  /// (input digest, config digest). 0 disables the cache.
+  std::size_t cache_capacity = 256;
+
+  /// Scaled-table cache entries for kDeepnEncode (one entry per distinct
+  /// quality). 0 disables it (tables are then re-scaled per request).
+  std::size_t table_cache_capacity = 16;
+
+  /// The deployment's DeepN-JPEG table pair, the base that kDeepnEncode
+  /// requests IJG-scale by their `quality`. Defaults to identity tables;
+  /// real deployments install core::DeepNJpeg::design() output.
+  jpeg::QuantTable deepn_luma;
+  jpeg::QuantTable deepn_chroma;
+
+  /// Model for kInfer requests (not owned; must outlive the service).
+  /// Layer::forward is stateful, so the service serializes inference
+  /// through an internal mutex. Null = kInfer requests fail with kError.
+  nn::Layer* model = nullptr;
+};
+
+class TranscodeService {
+ public:
+  explicit TranscodeService(ServiceConfig config);
+  ~TranscodeService();  ///< calls shutdown()
+
+  TranscodeService(const TranscodeService&) = delete;
+  TranscodeService& operator=(const TranscodeService&) = delete;
+
+  /// Submits a request. The returned future is always eventually fulfilled:
+  /// with the result, a typed kRejected/kShutdown refusal, or a kError
+  /// response when the handler threw. Never throws on queue pressure.
+  std::future<Response> submit(Request req);
+
+  /// The synchronous reference path: runs `req` immediately on the calling
+  /// thread — no queue, no batching, no caches. The determinism contract
+  /// says submit()'s payloads equal execute()'s, bit for bit.
+  Response execute(const Request& req);
+
+  /// Graceful shutdown: refuse new work, drain accepted work, join
+  /// workers. Idempotent and safe to race with submit().
+  void shutdown();
+
+  /// Point-in-time counters + merged latency quantiles. Callable at any
+  /// time, including after shutdown. Ordering contract: once a request's
+  /// future has been fulfilled, that request is reflected in the lifecycle
+  /// counters, per-kind counts, batch counters, and latency histograms.
+  /// Only the context-warmth deltas settle at batch granularity (final
+  /// once shutdown() returned).
+  ServiceStats stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Job;
+  struct WorkerStats;
+
+  void pump(int worker_id);
+  void process_batch(std::vector<Job>& batch, WorkerStats& ws);
+  Response run(const Request& req, bool use_table_cache);
+  jpeg::EncoderConfig deepn_config(int quality, bool use_table_cache);
+  static void refuse(Job&& job, Status status, const char* why);
+
+  ServiceConfig config_;
+  std::uint64_t deepn_tables_digest_ = 0;
+
+  std::unique_ptr<runtime::MpmcQueue<Job>> queue_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::unique_ptr<runtime::ThreadPool> workers_;  ///< null once shut down
+  std::mutex shutdown_mutex_;
+
+  LruCache<CacheKey, std::vector<std::uint8_t>, CacheKeyHash> result_cache_;
+  struct TablePair {
+    jpeg::QuantTable luma, chroma;
+  };
+  LruCache<CacheKey, TablePair, CacheKeyHash> table_cache_;
+
+  std::mutex model_mutex_;
+
+  // Submission-side counters (completion-side ones live in WorkerStats).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> refused_shutdown_{0};
+};
+
+}  // namespace dnj::serve

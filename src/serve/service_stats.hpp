@@ -1,0 +1,83 @@
+// Latency/throughput accounting for the serving layer.
+//
+// Workers record microsecond latencies into per-worker stats::Histogram
+// instances (no cross-worker sharing on the hot path); stats() merges the
+// per-worker histograms in worker-index order — integer counts make the
+// merge order-free, the fixed order just keeps the code obviously
+// deterministic — and extracts p50/p95/p99 with the histogram's
+// interpolated streaming quantiles.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/request.hpp"
+#include "stats/histogram.hpp"
+
+namespace dnj::serve {
+
+// Latency histogram geometry: 10 us resolution up to 250 ms. Latencies
+// beyond the range saturate into the top bin (stats::Histogram edge-bin
+// rule), so tail quantiles of a pathologically slow run read as ">= 250 ms"
+// rather than garbage.
+inline constexpr double kLatencyLoUs = 0.0;
+inline constexpr double kLatencyHiUs = 250000.0;
+inline constexpr int kLatencyBins = 25000;
+
+inline stats::Histogram make_latency_histogram() {
+  return stats::Histogram(kLatencyLoUs, kLatencyHiUs, kLatencyBins);
+}
+
+/// Quantile summary of one latency distribution, in microseconds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;  ///< exact running max, not histogram-quantized
+};
+
+LatencySummary summarize(const stats::Histogram& h, double exact_max_us);
+
+/// Point-in-time snapshot of a service's counters and latency quantiles.
+/// Responses' payloads are deterministic; this snapshot is the one place
+/// where scheduling (timing, batching luck, cache state) is allowed to
+/// show.
+struct ServiceStats {
+  // Request lifecycle.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< kOk responses
+  std::uint64_t errors = 0;     ///< kError responses
+  std::uint64_t rejected = 0;   ///< kRejected (reject policy, queue full)
+  std::uint64_t refused_shutdown = 0;  ///< kShutdown (submitted too late)
+  std::uint64_t per_kind[kNumRequestKinds] = {};  ///< processed, by RequestKind
+
+  // Result cache.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t table_cache_hits = 0;
+  std::uint64_t table_cache_misses = 0;
+
+  // Micro-batching.
+  std::uint64_t batches = 0;           ///< pump iterations (>= 1 request each)
+  std::uint64_t batched_requests = 0;  ///< requests that shared a batch (size > 1)
+  std::uint64_t max_batch = 0;         ///< largest batch observed
+
+  // Queue pressure.
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t queue_high_water = 0;  ///< never exceeds queue_capacity
+
+  // Context warmth (jpeg::pipeline::CodecContext::ReuseCounters deltas,
+  // summed over workers): rebuilds of cached per-context state. Fewer
+  // rebuilds per request = micro-batching doing its job.
+  std::uint64_t ctx_huffman_builds = 0;
+  std::uint64_t ctx_reciprocal_builds = 0;
+  std::uint64_t ctx_quality_table_builds = 0;
+
+  // Latency quantiles (SLO accounting).
+  LatencySummary queue_wait;    ///< submission -> worker pickup
+  LatencySummary service_time;  ///< worker pickup -> completion
+  LatencySummary total;         ///< submission -> completion
+};
+
+}  // namespace dnj::serve

@@ -1,6 +1,7 @@
 // Fixed-range histogram used to characterize the per-band DCT coefficient
 // distributions (the paper builds "individual histograms" per frequency band
-// in Algorithm 1 before extracting sigma).
+// in Algorithm 1 before extracting sigma) and, since the serving layer, the
+// per-worker latency distributions behind the p50/p95/p99 SLO accounting.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +29,23 @@ class Histogram {
   double pmf(int bin) const;
   /// Empirical CDF evaluated at the right edge of `bin`.
   double cdf(int bin) const;
+
+  /// Streaming quantile: the value v with CDF(v) >= p, linearly
+  /// interpolated inside the bin the rank lands in (samples in a bin are
+  /// treated as uniformly spread over it). p is clamped to [0, 1];
+  /// quantile(0) is the left edge of the first occupied bin, quantile(1)
+  /// the right edge of the last. An empty histogram returns lo(). Values
+  /// that saturated into the edge bins are quantified at those bins, so
+  /// quantiles near 0/1 are floor/ceiling estimates when the range clipped.
+  double quantile(double p) const;
+
+  /// Adds every count of `other` into this histogram. Both must share the
+  /// exact same geometry (lo, hi, bins) — throws std::invalid_argument
+  /// otherwise. Counts are integers, so merging per-worker histograms in
+  /// any order yields the same result as one combined histogram; the
+  /// serving layer merges per-worker latency histograms in worker order to
+  /// keep snapshots deterministic by construction anyway.
+  void merge(const Histogram& other);
 
  private:
   double lo_;

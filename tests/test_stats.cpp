@@ -89,9 +89,85 @@ TEST(Histogram, BinningAndEdges) {
   EXPECT_DOUBLE_EQ(h.cdf(9), 1.0);
 }
 
+TEST(Histogram, ExtremeValuesSaturateWithoutOverflow) {
+  // Values whose bin index does not fit an int must still saturate into
+  // the edge bins (the cast itself would otherwise overflow) — the
+  // serving layer feeds unbounded latencies into fixed-range histograms.
+  Histogram h(0.0, 10.0, 10);
+  h.add(1e18);
+  h.add(-1e18);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  // 100 samples at the centres of [0, 100) with unit bins: the sample in
+  // bin b contributes the segment [b, b+1) of the interpolated CDF, so
+  // quantile(p) == 100 * p exactly for every p.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileOnLumpedMass) {
+  // All mass in one bin: every quantile interpolates inside that bin.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(3.2);  // bin 3 = [3, 4)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsLo) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedFill) {
+  // Per-worker histograms merged in any order must equal one histogram
+  // that saw every sample — the property the serving layer's stats
+  // snapshot relies on.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-5.0, 105.0);  // exercises edge bins
+  Histogram all(0.0, 100.0, 50);
+  Histogram parts[3] = {Histogram(0.0, 100.0, 50), Histogram(0.0, 100.0, 50),
+                        Histogram(0.0, 100.0, 50)};
+  for (int i = 0; i < 3000; ++i) {
+    const double v = dist(rng);
+    all.add(v);
+    parts[i % 3].add(v);
+  }
+  Histogram merged(0.0, 100.0, 50);
+  merged.merge(parts[2]);  // deliberately out of order: counts commute
+  merged.merge(parts[0]);
+  merged.merge(parts[1]);
+  ASSERT_EQ(merged.total(), all.total());
+  for (int b = 0; b < all.bins(); ++b) EXPECT_EQ(merged.count(b), all.count(b));
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(merged.quantile(p), all.quantile(p));
+}
+
+TEST(Histogram, MergeRejectsGeometryMismatch) {
+  Histogram a(0.0, 100.0, 50);
+  Histogram bins(0.0, 100.0, 51);
+  Histogram lo(1.0, 100.0, 50);
+  Histogram hi(0.0, 99.0, 50);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(lo), std::invalid_argument);
+  EXPECT_THROW(a.merge(hi), std::invalid_argument);
 }
 
 TEST(LaplaceFit, MleRecoversScale) {
