@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/convert.hpp"
+#include "api/dnj.hpp"
 #include "bench_common.hpp"
 #include "data/synthetic.hpp"
 #include "jpeg/codec.hpp"
@@ -57,17 +59,36 @@ std::uint64_t response_digest(const serve::Response& r) {
   return serve::fnv1a(r.probs.data(), r.probs.size() * sizeof(float), h);
 }
 
+/// Expectations run through the public façade (api::Codec) — the gate
+/// below therefore pins the serving determinism contract AND the façade
+/// identity at once: served payloads == synchronous façade payloads ==
+/// the direct jpeg:: calls (the latter equality is pinned separately by
+/// tests/test_api.cpp).
 std::uint64_t expected_digest_for(const serve::Request& req, const serve::ServiceConfig& cfg) {
+  static api::Session session;
+  const api::Codec codec = session.codec();
+  const auto must = [](auto result) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_serve: facade expectation failed: %s\n",
+                   result.status().code_name());
+      std::exit(1);
+    }
+    return result.take();
+  };
   serve::Response want;
   switch (req.kind) {
     case serve::RequestKind::kEncode:
-      want.bytes = jpeg::encode(req.image, req.config);
+      want.bytes = must(codec.encode(req.image.view(), api::detail::from_config(req.config)));
       break;
-    case serve::RequestKind::kDecode:
-      want.image = jpeg::decode(req.bytes);
+    case serve::RequestKind::kDecode: {
+      api::DecodedImage img = must(codec.decode(req.bytes));
+      want.image =
+          image::Image(img.width, img.height, img.channels, std::move(img.pixels));
       break;
+    }
     case serve::RequestKind::kTranscode:
-      want.bytes = jpeg::encode(jpeg::decode(req.bytes), req.config);
+      want.bytes =
+          must(codec.transcode(req.bytes, api::detail::from_config(req.config)));
       break;
     case serve::RequestKind::kDeepnEncode: {
       jpeg::EncoderConfig dcfg;
@@ -75,7 +96,7 @@ std::uint64_t expected_digest_for(const serve::Request& req, const serve::Servic
       dcfg.luma_table = cfg.deepn_luma.scaled(req.quality);
       dcfg.chroma_table = cfg.deepn_chroma.scaled(req.quality);
       dcfg.subsampling = jpeg::Subsampling::k444;
-      want.bytes = jpeg::encode(req.image, dcfg);
+      want.bytes = must(codec.encode(req.image.view(), api::detail::from_config(dcfg)));
       break;
     }
     case serve::RequestKind::kInfer:

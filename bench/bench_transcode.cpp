@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "api/dnj.hpp"
 #include "bench_common.hpp"
 #include "core/transcode.hpp"
 #include "data/synthetic.hpp"
@@ -31,6 +32,47 @@ double time_transcode(const data::Dataset& ds, const jpeg::EncoderConfig& cfg, i
     const auto t1 = std::chrono::steady_clock::now();
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
     *last = std::move(res);
+  }
+  return best;
+}
+
+/// The per-image encode+decode round trip through the public façade
+/// (api::Codec), serial. Returns the best wall time; reports the byte
+/// total and whether every decoded image is bit-identical to `want` (the
+/// direct core::transcode output). Note the direct path additionally
+/// computes PSNR and scan-byte accounting per image, so the reported
+/// ratio slightly flatters the façade; it is tracked for trend, the
+/// identity bit is the gate.
+double time_facade(const data::Dataset& ds, const api::EncodeOptions& options, int repeats,
+                   const core::TranscodeResult& want, std::size_t* bytes_out,
+                   bool* identical_out) {
+  api::Session session;
+  const api::Codec codec = session.codec();
+  double best = 1e100;
+  *identical_out = true;
+  for (int r = 0; r < repeats; ++r) {
+    std::size_t total = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      api::Result<std::vector<std::uint8_t>> bytes =
+          codec.encode(ds.samples[i].image.view(), options);
+      api::Result<api::DecodedImage> decoded =
+          bytes.ok() ? codec.decode(bytes.value())
+                     : api::Result<api::DecodedImage>(bytes.status());
+      if (!bytes.ok() || !decoded.ok()) {
+        *identical_out = false;
+        continue;
+      }
+      total += bytes->size();
+      const image::Image& expect = want.dataset.samples[i].image;
+      if (decoded->width != expect.width() || decoded->height != expect.height() ||
+          decoded->channels != expect.channels() || decoded->pixels != expect.data())
+        *identical_out = false;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    *bytes_out = total;
+    if (total != want.total_bytes) *identical_out = false;
   }
   return best;
 }
@@ -66,9 +108,19 @@ int main(int argc, char** argv) {
   const double parallel_s =
       time_transcode(ds, enc_cfg, 0, repeats, &parallel_res);
 
+  // Same workload through the public façade (serial), gated on byte
+  // identity with the direct core::transcode path.
+  const api::EncodeOptions facade_options =
+      api::EncodeOptions().quality(enc_cfg.quality).chroma_420(false);
+  std::size_t facade_bytes = 0;
+  bool facade_identical = false;
+  const double facade_s =
+      time_facade(ds, facade_options, repeats, serial_res, &facade_bytes, &facade_identical);
+
   const bool identical = serial_res.total_bytes == parallel_res.total_bytes &&
                          serial_res.scan_bytes == parallel_res.scan_bytes &&
-                         serial_res.mean_psnr == parallel_res.mean_psnr;
+                         serial_res.mean_psnr == parallel_res.mean_psnr &&
+                         facade_identical;
 
   bench::JsonWriter json("BENCH_transcode");
   json.field("bench", "transcode");
@@ -95,8 +147,16 @@ int main(int argc, char** argv) {
   json.field("images_per_s", static_cast<double>(ds.size()) / parallel_s);
   json.field("mb_per_s", mb / parallel_s);
   json.end_object();
+  json.begin_object();
+  json.field("mode", "facade-serial");
+  json.field("threads", 1);
+  json.field("seconds", facade_s);
+  json.field("images_per_s", static_cast<double>(ds.size()) / facade_s);
+  json.field("mb_per_s", mb / facade_s);
+  json.end_object();
   json.end_array();
   json.field("speedup", serial_s / parallel_s);
+  json.field("facade_overhead", facade_s / serial_s);
 
   std::printf("transcode %zu images (%.1f MB raw), q=%d, repeats=%d\n", ds.size(), mb,
               enc_cfg.quality, repeats);
@@ -104,6 +164,8 @@ int main(int argc, char** argv) {
               static_cast<double>(ds.size()) / serial_s, mb / serial_s);
   std::printf("  parallel (%u threads): %.3fs  %.1f img/s  %.2f MB/s\n", threads, parallel_s,
               static_cast<double>(ds.size()) / parallel_s, mb / parallel_s);
+  std::printf("  facade   (1 thread):  %.3fs  %.1f img/s  (%.2fx of direct serial)\n",
+              facade_s, static_cast<double>(ds.size()) / facade_s, facade_s / serial_s);
   std::printf("  speedup %.2fx, outputs %s\n", serial_s / parallel_s,
               identical ? "identical" : "DIFFER");
   std::printf("  wrote %s\n", json.path().c_str());

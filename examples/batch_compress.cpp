@@ -14,7 +14,8 @@
 #include <filesystem>
 #include <fstream>
 
-#include "core/deepnjpeg.hpp"
+#include "api/dnj.hpp"
+#include "core/transcode.hpp"
 #include "data/folder.hpp"
 #include "data/synthetic.hpp"
 #include "jpeg/rate_control.hpp"
@@ -77,18 +78,31 @@ int main(int argc, char** argv) {
       total += res.bytes.size();
     }
   } else {
+    // Table design + compression run through the public façade (api/):
+    // the workflow an external dataset owner scripts against the stable
+    // surface, with typed statuses instead of exceptions.
     std::printf("mode: DeepN-JPEG (designing table from the dataset)\n");
-    const core::DesignResult design = core::DeepNJpeg::design(folder.dataset);
-    const jpeg::EncoderConfig cfg = core::DeepNJpeg::encoder_config(design);
+    api::Session session;
+    api::TableDesigner designer = session.designer();
+    for (const data::Sample& s : folder.dataset.samples)
+      if (const api::Status st = designer.add(s.image.view(), s.label); !st.ok())
+        throw std::runtime_error(std::string("designer.add: ") + st.code_name());
+    api::Result<api::TableDesign> design = designer.design();
+    if (!design.ok())
+      throw std::runtime_error(std::string("design: ") + design.status().code_name());
+    const api::EncodeOptions options = design->encode_options();
+    const api::Codec codec = session.codec();
     for (const data::Sample& s : folder.dataset.samples) {
-      const std::vector<std::uint8_t> bytes = jpeg::encode(s.image, cfg);
+      api::Result<std::vector<std::uint8_t>> bytes = codec.encode(s.image.view(), options);
+      if (!bytes.ok())
+        throw std::runtime_error(std::string("encode: ") + bytes.status().code_name());
       const fs::path dir = fs::path(out_dir) / folder.classes[static_cast<std::size_t>(s.label)].name;
       fs::create_directories(dir);
       char name[32];
       std::snprintf(name, sizeof(name), "%04d.jpg",
                     counters[static_cast<std::size_t>(s.label)]++);
-      write_file(dir / name, bytes);
-      total += bytes.size();
+      write_file(dir / name, bytes.value());
+      total += bytes->size();
     }
   }
 

@@ -1,58 +1,140 @@
-// Quickstart: design a DeepN-JPEG quantization table for a dataset and
-// compare its compression against stock JPEG.
+// Quickstart for the public API (src/api): design a DeepN-JPEG
+// quantization table from a sample of images, then compare its compression
+// against stock JPEG — all through the stable façade.
 //
 //   $ ./quickstart
 //
-// Walks the full public API: generate (or load) a dataset, run the
-// frequency analysis (Algorithm 1), design the table (Eq. 3), compress, and
-// report compression rate and fidelity.
+// This file deliberately includes ONLY the public umbrella header: it is
+// the reference for what an embedder sees. The images are synthesized
+// inline (textured classes with distinct frequency signatures); swap in
+// your own interleaved 8-bit buffers — the API reads them zero-copy
+// through ImageView.
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
-#include "core/deepnjpeg.hpp"
-#include "data/synthetic.hpp"
+#include "api/dnj.hpp"
 
-using namespace dnj;
+using namespace dnj::api;
+
+namespace {
+
+constexpr int kSize = 32;      // image side
+constexpr int kClasses = 8;    // distinct texture classes
+constexpr int kPerClass = 20;  // images per class
+
+/// One deterministic grayscale texture: class-dependent spatial frequency
+/// plus a per-image phase, so classes have distinct band signatures (the
+/// structure the design flow feeds on).
+std::vector<std::uint8_t> make_image(int cls, int index) {
+  std::vector<std::uint8_t> px(static_cast<std::size_t>(kSize) * kSize);
+  const double fx = 0.15 + 0.11 * cls;
+  const double fy = 0.07 + 0.05 * ((cls + 3) % kClasses);
+  const double phase = 0.37 * index;
+  std::uint32_t noise = 0x9E3779B9u * static_cast<std::uint32_t>(cls * 131 + index + 1);
+  for (int y = 0; y < kSize; ++y)
+    for (int x = 0; x < kSize; ++x) {
+      noise = noise * 1664525u + 1013904223u;
+      const double v = 128.0 + 52.0 * std::sin(fx * x + phase) * std::cos(fy * y) +
+                       18.0 * std::sin(0.9 * (x + y) + 0.21 * cls) +
+                       ((noise >> 24) % 17) - 8.0;
+      px[static_cast<std::size_t>(y) * kSize + x] =
+          static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+  return px;
+}
+
+/// Total encoded bytes of the whole corpus under one options set.
+std::size_t corpus_bytes(Codec codec, const std::vector<std::vector<std::uint8_t>>& corpus,
+                         const EncodeOptions& options) {
+  std::size_t total = 0;
+  for (const std::vector<std::uint8_t>& px : corpus) {
+    Result<std::vector<std::uint8_t>> stream =
+        codec.encode(ImageView{px.data(), kSize, kSize, 1}, options);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "encode failed: %s (%s)\n", stream.status().code_name(),
+                   stream.status().message().c_str());
+      return 0;
+    }
+    total += stream.value().size();
+  }
+  return total;
+}
+
+}  // namespace
 
 int main() {
-  // 1. A labeled dataset. Replace with your own images; here we use the
-  //    built-in synthetic generator (8 classes of 32x32 textures).
-  data::GeneratorConfig gen_cfg;
-  gen_cfg.num_classes = 8;
-  gen_cfg.seed = 42;
-  const data::SyntheticDatasetGenerator gen(gen_cfg);
-  const data::Dataset dataset = gen.generate(/*per_class=*/20);
-  std::printf("dataset: %zu images, %d classes, %dx%d\n", dataset.size(),
-              dataset.num_classes, dataset.width(), dataset.height());
+  Session session;
 
-  // 2. Run the DeepN-JPEG design flow: sample -> per-band sigma -> band
-  //    segmentation -> piece-wise linear mapping -> quantization table.
-  const core::DesignResult design = core::DeepNJpeg::design(dataset);
+  // 1. A labeled image sample. TableDesigner copies what it is given; the
+  //    per-image buffers only need to live until add() returns.
+  TableDesigner designer = session.designer();
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (int cls = 0; cls < kClasses; ++cls)
+    for (int i = 0; i < kPerClass; ++i) {
+      corpus.push_back(make_image(cls, i));
+      const Status s =
+          designer.add(ImageView{corpus.back().data(), kSize, kSize, 1}, cls);
+      if (!s.ok()) {
+        std::fprintf(stderr, "designer.add: %s\n", s.code_name());
+        return 1;
+      }
+    }
+  std::printf("sample: %zu images, %d classes, %dx%d\n", designer.image_count(),
+              kClasses, kSize, kSize);
+
+  // 2. Run the DeepN-JPEG design flow (frequency analysis -> band
+  //    segmentation -> piece-wise linear mapping -> quantization table).
+  Result<TableDesign> design = designer.design();
+  if (!design.ok()) {
+    std::fprintf(stderr, "design failed: %s\n", design.status().code_name());
+    return 1;
+  }
   std::printf("\nfrequency analysis: %llu blocks over %llu images\n",
-              static_cast<unsigned long long>(design.profile.blocks_analyzed),
-              static_cast<unsigned long long>(design.profile.images_analyzed));
-  std::printf("PLM thresholds: T1 = %.2f, T2 = %.2f\n", design.params.t1, design.params.t2);
-
+              static_cast<unsigned long long>(design->blocks_analyzed),
+              static_cast<unsigned long long>(design->images_analyzed));
+  std::printf("PLM thresholds: T1 = %.2f, T2 = %.2f\n", design->t1, design->t2);
   std::printf("\ndesigned quantization table (natural order):\n");
   for (int row = 0; row < 8; ++row) {
-    for (int col = 0; col < 8; ++col) std::printf("%4d", design.table.step_at(row, col));
+    for (int col = 0; col < 8; ++col)
+      std::printf("%4d", design->table[static_cast<std::size_t>(row) * 8 + col]);
     std::printf("\n");
   }
 
-  // 3. Compress with the designed table and with stock JPEG; compare.
-  const std::size_t reference = core::reference_bytes_qf100(dataset);
-  const core::TranscodeResult deepn =
-      core::transcode(dataset, core::DeepNJpeg::encoder_config(design));
-  jpeg::EncoderConfig jpeg50;
-  jpeg50.quality = 50;
-  jpeg50.subsampling = jpeg::Subsampling::k444;
-  const core::TranscodeResult q50 = core::transcode(dataset, jpeg50);
+  // 3. Compress the corpus three ways and compare. CR is measured against
+  //    QF-100 JPEG, the paper's reference point (CR = 1).
+  Codec codec = session.codec();
+  const std::size_t reference =
+      corpus_bytes(codec, corpus, EncodeOptions().quality(100).chroma_420(false));
+  const std::size_t q50 =
+      corpus_bytes(codec, corpus, EncodeOptions().quality(50).chroma_420(false));
+  const std::size_t deepn = corpus_bytes(codec, corpus, design->encode_options());
+  if (reference == 0 || q50 == 0 || deepn == 0) return 1;
 
-  std::printf("\n%-12s %12s %8s %12s\n", "method", "bytes", "CR", "mean PSNR");
-  std::printf("%-12s %12zu %8.2f %12s\n", "QF100", reference, 1.0, "(reference)");
-  std::printf("%-12s %12zu %8.2f %9.1f dB\n", "JPEG-50", q50.total_bytes,
-              core::compression_rate(reference, q50.total_bytes), q50.mean_psnr);
-  std::printf("%-12s %12zu %8.2f %9.1f dB\n", "DeepN-JPEG", deepn.total_bytes,
-              core::compression_rate(reference, deepn.total_bytes), deepn.mean_psnr);
+  std::printf("\n%-12s %12s %8s\n", "method", "bytes", "CR");
+  std::printf("%-12s %12zu %8.2f\n", "QF100", reference, 1.0);
+  std::printf("%-12s %12zu %8.2f\n", "JPEG-50", q50,
+              static_cast<double>(reference) / static_cast<double>(q50));
+  std::printf("%-12s %12zu %8.2f\n", "DeepN-JPEG", deepn,
+              static_cast<double>(reference) / static_cast<double>(deepn));
+
+  // 4. Round-trip one image through the codec to show the decode side.
+  Result<std::vector<std::uint8_t>> stream = codec.encode(
+      ImageView{corpus.front().data(), kSize, kSize, 1}, design->encode_options());
+  if (!stream.ok()) return 1;
+  Result<DecodedImage> back = codec.decode(stream.value());
+  if (!back.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n", back.status().code_name());
+    return 1;
+  }
+  Result<StreamInfo> info = codec.inspect(stream.value());
+  std::printf("\nround trip: %zu raw -> %zu encoded bytes -> %dx%d/%dch decoded\n",
+              corpus.front().size(), stream->size(), back->width, back->height,
+              back->channels);
+  if (info.ok())
+    std::printf("stream header: %dx%d, %d component(s)\n", info->width, info->height,
+                info->components);
   std::printf("\nDeepN-JPEG spends its bits on the bands the dataset (and hence a DNN)\n"
               "actually uses — see bench/fig7_methods for the accuracy side.\n");
   return 0;

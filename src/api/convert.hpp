@@ -1,0 +1,33 @@
+// INTERNAL glue between the public API types and the codec-layer types.
+// Not part of the public surface (do not include from embedder code):
+// this header exists so api/*.cpp and the serving layer share one
+// conversion and one validation story when crossing the boundary.
+#pragma once
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+#include "jpeg/encoder.hpp"
+
+namespace dnj::api::detail {
+
+/// EncodeOptions -> the codec's EncoderConfig. Total (no validation):
+/// every representable options value maps; validate first.
+jpeg::EncoderConfig to_config(const EncodeOptions& options);
+
+/// EncoderConfig -> EncodeOptions, field-for-field. to_config(from_config(c))
+/// reproduces `c` exactly — the serving layer's façade migration depends
+/// on this round trip being lossless (byte-identity of served payloads).
+EncodeOptions from_config(const jpeg::EncoderConfig& config);
+
+/// Boundary validation: ok() or kInvalidArgument with a precise message.
+Status validate_image(ImageView image);
+Status validate_stream(ByteSpan stream);
+Status validate_options(const EncodeOptions& options);
+
+/// Maps the in-flight exception (call inside a catch block) to a Status.
+/// std::invalid_argument / std::out_of_range become kInvalidArgument,
+/// std::runtime_error becomes `runtime_code` (kDecodeError on decode-side
+/// paths, kInternal elsewhere), anything else kInternal.
+Status map_exception(StatusCode runtime_code);
+
+}  // namespace dnj::api::detail

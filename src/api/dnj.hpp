@@ -1,0 +1,24 @@
+// dnj.hpp — umbrella header of the DeepN-JPEG public C++ API.
+//
+// This is the one include an embedder needs:
+//
+//   #include "api/dnj.hpp"
+//
+//   dnj::api::Session session;
+//   auto jpeg = session.codec().encode(
+//       dnj::api::ImageView{pixels, w, h, 1},
+//       dnj::api::EncodeOptions().quality(90));
+//
+// Surface: Session/Codec/TableDesigner (synchronous, api/session.hpp),
+// Service (asynchronous, api/service.hpp), the Status/Result error model
+// (api/status.hpp), and the value types/builders (api/types.hpp). The C
+// ABI lives in api/dnj_c.h. Stability policy: see README "Public API".
+//
+// Everything below api/ is internal and may change at any time; consumers
+// of this header are insulated from those changes.
+#pragma once
+
+#include "api/service.hpp"
+#include "api/session.hpp"
+#include "api/status.hpp"
+#include "api/types.hpp"

@@ -1,0 +1,267 @@
+// C ABI implementation: thin extern "C" shims over the C++ façade. Every
+// entry point is a full exception firewall — nothing, std or otherwise,
+// may unwind into a C caller. Output buffers are malloc-backed so the
+// matching *_free functions pair with the allocation (and so a pure-C
+// caller's mental model — "the library mallocs, dnj_*_free frees" — is
+// exactly true).
+#include "api/dnj_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "api/session.hpp"
+
+namespace api = dnj::api;
+
+// The C enum is the API enum, value for value. A new StatusCode must be
+// mirrored here (additive => minor ABI bump).
+static_assert(DNJ_OK == static_cast<int>(api::StatusCode::kOk));
+static_assert(DNJ_INVALID_ARGUMENT == static_cast<int>(api::StatusCode::kInvalidArgument));
+static_assert(DNJ_DECODE_ERROR == static_cast<int>(api::StatusCode::kDecodeError));
+static_assert(DNJ_REJECTED == static_cast<int>(api::StatusCode::kRejected));
+static_assert(DNJ_SHUTDOWN == static_cast<int>(api::StatusCode::kShutdown));
+static_assert(DNJ_INTERNAL == static_cast<int>(api::StatusCode::kInternal));
+static_assert(DNJ_ABI_VERSION_MAJOR == api::kApiVersionMajor);
+static_assert(DNJ_ABI_VERSION_MINOR == api::kApiVersionMinor);
+
+struct dnj_session_t {
+  api::Session session;
+  std::string last_error;
+};
+
+struct dnj_options_t {
+  api::EncodeOptions options;
+};
+
+struct dnj_designer_t {
+  api::TableDesigner designer;
+};
+
+namespace {
+
+dnj_status_t record(dnj_session_t* session, const api::Status& status) {
+  if (session != nullptr && !status.ok()) session->last_error = status.message();
+  return static_cast<dnj_status_t>(status.code());
+}
+
+/// Copies a vector into a malloc-backed dnj_buffer_t.
+bool fill_buffer(const std::vector<std::uint8_t>& bytes, dnj_buffer_t* out) {
+  out->data = static_cast<uint8_t*>(std::malloc(bytes.empty() ? 1 : bytes.size()));
+  if (out->data == nullptr) return false;
+  std::memcpy(out->data, bytes.data(), bytes.size());
+  out->size = bytes.size();
+  return true;
+}
+
+dnj_status_t oom(dnj_session_t* session) {
+  return record(session, {api::StatusCode::kInternal, "out of memory"});
+}
+
+/// Runs `fn` under the boundary firewall; any escape becomes DNJ_INTERNAL.
+template <typename F>
+dnj_status_t firewalled(dnj_session_t* session, F&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return record(session, {api::StatusCode::kInternal, e.what()});
+  } catch (...) {
+    return record(session, {api::StatusCode::kInternal, "non-standard exception"});
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+uint32_t dnj_abi_version(void) { return DNJ_ABI_VERSION; }
+
+const char* dnj_status_name(dnj_status_t status) {
+  if (status < DNJ_OK || status > DNJ_INTERNAL) return "unknown";
+  return api::status_code_name(static_cast<api::StatusCode>(status));
+}
+
+void dnj_buffer_free(dnj_buffer_t* buffer) {
+  if (buffer == nullptr) return;
+  std::free(buffer->data);
+  buffer->data = nullptr;
+  buffer->size = 0;
+}
+
+void dnj_image_free(dnj_image_t* image) {
+  if (image == nullptr) return;
+  std::free(image->pixels);
+  image->pixels = nullptr;
+  image->width = image->height = image->channels = 0;
+}
+
+dnj_options_t* dnj_options_new(void) {
+  return new (std::nothrow) dnj_options_t();
+}
+
+void dnj_options_free(dnj_options_t* options) { delete options; }
+
+dnj_status_t dnj_options_set_quality(dnj_options_t* options, int32_t quality) {
+  if (options == nullptr) return DNJ_INVALID_ARGUMENT;
+  options->options.quality(quality);
+  return DNJ_OK;
+}
+
+dnj_status_t dnj_options_set_tables(dnj_options_t* options, const uint16_t luma[64],
+                                    const uint16_t chroma[64]) {
+  if (options == nullptr || luma == nullptr || chroma == nullptr)
+    return DNJ_INVALID_ARGUMENT;
+  return firewalled(nullptr, [&] {
+    api::QuantTableValues l, c;
+    std::memcpy(l.data(), luma, sizeof(l));
+    std::memcpy(c.data(), chroma, sizeof(c));
+    options->options.custom_tables(l, c);
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_options_set_chroma_420(dnj_options_t* options, int32_t on) {
+  if (options == nullptr) return DNJ_INVALID_ARGUMENT;
+  options->options.chroma_420(on != 0);
+  return DNJ_OK;
+}
+
+dnj_status_t dnj_options_set_optimize_huffman(dnj_options_t* options, int32_t on) {
+  if (options == nullptr) return DNJ_INVALID_ARGUMENT;
+  options->options.optimize_huffman(on != 0);
+  return DNJ_OK;
+}
+
+dnj_status_t dnj_options_set_restart_interval(dnj_options_t* options, int32_t mcus) {
+  if (options == nullptr) return DNJ_INVALID_ARGUMENT;
+  options->options.restart_interval(mcus);
+  return DNJ_OK;
+}
+
+dnj_status_t dnj_options_set_comment(dnj_options_t* options, const char* text) {
+  if (options == nullptr || text == nullptr) return DNJ_INVALID_ARGUMENT;
+  return firewalled(nullptr, [&] {
+    options->options.comment(text);
+    return DNJ_OK;
+  });
+}
+
+uint64_t dnj_options_digest(const dnj_options_t* options) {
+  try {
+    const api::EncodeOptions defaults;
+    return (options != nullptr ? options->options : defaults).digest();
+  } catch (...) {
+    return 0;
+  }
+}
+
+dnj_session_t* dnj_session_new(void) {
+  try {
+    return new dnj_session_t();
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void dnj_session_free(dnj_session_t* session) { delete session; }
+
+const char* dnj_last_error(const dnj_session_t* session) {
+  return session == nullptr ? "" : session->last_error.c_str();
+}
+
+dnj_status_t dnj_encode(dnj_session_t* session, const uint8_t* pixels, int32_t width,
+                        int32_t height, int32_t channels, const dnj_options_t* options,
+                        dnj_buffer_t* out) {
+  if (session == nullptr || out == nullptr) return DNJ_INVALID_ARGUMENT;
+  out->data = nullptr;
+  out->size = 0;
+  return firewalled(session, [&] {
+    const api::EncodeOptions defaults;
+    api::Result<std::vector<std::uint8_t>> result = session->session.codec().encode(
+        api::ImageView{pixels, width, height, channels},
+        options != nullptr ? options->options : defaults);
+    if (!result.ok()) return record(session, result.status());
+    if (!fill_buffer(result.value(), out)) return oom(session);
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_decode(dnj_session_t* session, const uint8_t* bytes, size_t size,
+                        dnj_image_t* out) {
+  if (session == nullptr || out == nullptr) return DNJ_INVALID_ARGUMENT;
+  out->pixels = nullptr;
+  out->width = out->height = out->channels = 0;
+  return firewalled(session, [&] {
+    api::Result<api::DecodedImage> result =
+        session->session.codec().decode(api::ByteSpan{bytes, size});
+    if (!result.ok()) return record(session, result.status());
+    const api::DecodedImage& img = result.value();
+    out->pixels = static_cast<uint8_t*>(std::malloc(img.pixels.empty() ? 1 : img.pixels.size()));
+    if (out->pixels == nullptr) return oom(session);
+    std::memcpy(out->pixels, img.pixels.data(), img.pixels.size());
+    out->width = img.width;
+    out->height = img.height;
+    out->channels = img.channels;
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_transcode(dnj_session_t* session, const uint8_t* bytes, size_t size,
+                           const dnj_options_t* options, dnj_buffer_t* out) {
+  if (session == nullptr || out == nullptr) return DNJ_INVALID_ARGUMENT;
+  out->data = nullptr;
+  out->size = 0;
+  return firewalled(session, [&] {
+    const api::EncodeOptions defaults;
+    api::Result<std::vector<std::uint8_t>> result = session->session.codec().transcode(
+        api::ByteSpan{bytes, size}, options != nullptr ? options->options : defaults);
+    if (!result.ok()) return record(session, result.status());
+    if (!fill_buffer(result.value(), out)) return oom(session);
+    return DNJ_OK;
+  });
+}
+
+dnj_designer_t* dnj_designer_new(void) {
+  try {
+    return new dnj_designer_t();
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void dnj_designer_free(dnj_designer_t* designer) { delete designer; }
+
+dnj_status_t dnj_designer_add(dnj_designer_t* designer, const uint8_t* pixels,
+                              int32_t width, int32_t height, int32_t channels,
+                              int32_t label) {
+  if (designer == nullptr) return DNJ_INVALID_ARGUMENT;
+  return firewalled(nullptr, [&] {
+    const api::Status s =
+        designer->designer.add(api::ImageView{pixels, width, height, channels}, label);
+    return static_cast<dnj_status_t>(s.code());
+  });
+}
+
+dnj_status_t dnj_designer_design(dnj_designer_t* designer, uint16_t out_table[64]) {
+  if (designer == nullptr || out_table == nullptr) return DNJ_INVALID_ARGUMENT;
+  return firewalled(nullptr, [&] {
+    api::Result<api::TableDesign> result = designer->designer.design();
+    if (!result.ok()) return static_cast<dnj_status_t>(result.status().code());
+    std::memcpy(out_table, result.value().table.data(), 64 * sizeof(uint16_t));
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_designer_design_options(dnj_designer_t* designer,
+                                         dnj_options_t* options) {
+  if (designer == nullptr || options == nullptr) return DNJ_INVALID_ARGUMENT;
+  return firewalled(nullptr, [&] {
+    api::Result<api::TableDesign> result = designer->designer.design();
+    if (!result.ok()) return static_cast<dnj_status_t>(result.status().code());
+    options->options = result.value().encode_options();
+    return DNJ_OK;
+  });
+}
+
+}  // extern "C"

@@ -1,0 +1,177 @@
+/* dnj_c.h — C ABI of the DeepN-JPEG library.
+ *
+ * The stable FFI surface for edge-device and foreign-language callers:
+ * opaque handles, out-params, typed dnj_status_t returns. No exception
+ * ever crosses this boundary (every entry point catches internally), no
+ * C++ type appears here, and the header compiles as strict C11 or C++.
+ *
+ * Versioning: DNJ_ABI_VERSION_* name the ABI this header describes;
+ * dnj_abi_version() reports the ABI of the linked library. Compare the
+ * two at startup to detect a skew. The policy (README "Public API"):
+ * minor bumps are additive (new functions only); any change to an
+ * existing signature, struct layout, enum value, or ownership rule bumps
+ * the major version.
+ *
+ * Ownership: output buffers (dnj_buffer_t, dnj_image_t) are allocated by
+ * the library and released by the matching *_free function — never by the
+ * caller's allocator. Input pointers are borrowed for the duration of the
+ * call only. Handles are released with their *_free function; all *_free
+ * functions accept NULL.
+ *
+ * Thread-safety: a session may be shared across threads (codec state is
+ * per-thread inside the library), except that dnj_last_error() reflects
+ * the most recent failing call on that session from ANY thread — callers
+ * that need a precise message per call should serialize, or rely on the
+ * status code alone. A designer must be confined to one thread.
+ *
+ * Minimal round trip:
+ *
+ *   dnj_session_t* s = dnj_session_new();
+ *   dnj_buffer_t jpeg = {0};
+ *   if (dnj_encode(s, pixels, w, h, 1, NULL, &jpeg) == DNJ_OK) {
+ *     dnj_image_t back = {0};
+ *     dnj_decode(s, jpeg.data, jpeg.size, &back);
+ *     dnj_image_free(&back);
+ *     dnj_buffer_free(&jpeg);
+ *   }
+ *   dnj_session_free(s);
+ */
+#ifndef DNJ_C_H_
+#define DNJ_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ------------------------------------------------------------- version */
+
+#define DNJ_ABI_VERSION_MAJOR 1
+#define DNJ_ABI_VERSION_MINOR 0
+#define DNJ_ABI_VERSION ((uint32_t)((DNJ_ABI_VERSION_MAJOR << 16) | DNJ_ABI_VERSION_MINOR))
+
+/* ABI version of the linked library: (major << 16) | minor. */
+uint32_t dnj_abi_version(void);
+
+/* -------------------------------------------------------------- status */
+
+/* Mirrors dnj::api::StatusCode value-for-value (pinned by static_asserts
+ * in the implementation). */
+typedef enum dnj_status_t {
+  DNJ_OK = 0,
+  DNJ_INVALID_ARGUMENT = 1,
+  DNJ_DECODE_ERROR = 2,
+  DNJ_REJECTED = 3,
+  DNJ_SHUTDOWN = 4,
+  DNJ_INTERNAL = 5
+} dnj_status_t;
+
+/* Stable lowercase identifier ("ok", "invalid_argument", ...). Never
+ * NULL, even for out-of-range values. */
+const char* dnj_status_name(dnj_status_t status);
+
+/* ------------------------------------------------------------- buffers */
+
+/* A library-owned byte buffer handed to the caller. Zero-initialize, pass
+ * to an API call, release with dnj_buffer_free. */
+typedef struct dnj_buffer_t {
+  uint8_t* data;
+  size_t size;
+} dnj_buffer_t;
+
+void dnj_buffer_free(dnj_buffer_t* buffer);
+
+/* A library-owned decoded image: interleaved 8-bit pixels, channels 1
+ * (gray) or 3 (RGB). Release with dnj_image_free. */
+typedef struct dnj_image_t {
+  uint8_t* pixels; /* width * height * channels bytes */
+  int32_t width;
+  int32_t height;
+  int32_t channels;
+} dnj_image_t;
+
+void dnj_image_free(dnj_image_t* image);
+
+/* ------------------------------------------------------------- options */
+
+/* Opaque encoder-options builder. NULL is accepted everywhere a
+ * dnj_options_t* is taken and means "defaults" (quality 75, Annex K
+ * tables, 4:2:0 subsampling). */
+typedef struct dnj_options_t dnj_options_t;
+
+dnj_options_t* dnj_options_new(void);
+void dnj_options_free(dnj_options_t* options);
+
+/* Setters store the value; range validation happens at the call that
+ * uses the options (so the error is attributable to the operation). */
+dnj_status_t dnj_options_set_quality(dnj_options_t* options, int32_t quality);
+/* 64 natural-order (row-major) steps per table; steps clamp into [1, 65535]. */
+dnj_status_t dnj_options_set_tables(dnj_options_t* options, const uint16_t luma[64],
+                                    const uint16_t chroma[64]);
+dnj_status_t dnj_options_set_chroma_420(dnj_options_t* options, int32_t on);
+dnj_status_t dnj_options_set_optimize_huffman(dnj_options_t* options, int32_t on);
+dnj_status_t dnj_options_set_restart_interval(dnj_options_t* options, int32_t mcus);
+dnj_status_t dnj_options_set_comment(dnj_options_t* options, const char* text);
+
+/* Digest of the canonical options serialization — equal digests mean the
+ * same encode computation (the serve layer's cache/batch key). */
+uint64_t dnj_options_digest(const dnj_options_t* options);
+
+/* ------------------------------------------------------------- session */
+
+typedef struct dnj_session_t dnj_session_t;
+
+dnj_session_t* dnj_session_new(void);
+void dnj_session_free(dnj_session_t* session);
+
+/* Message of the most recent failing call on this session ("" if none).
+ * The pointer stays valid until the next failing call on the session. */
+const char* dnj_last_error(const dnj_session_t* session);
+
+/* Encodes interleaved 8-bit pixels (read in place, zero-copy) to a
+ * complete JFIF stream in *out. */
+dnj_status_t dnj_encode(dnj_session_t* session, const uint8_t* pixels, int32_t width,
+                        int32_t height, int32_t channels, const dnj_options_t* options,
+                        dnj_buffer_t* out);
+
+/* Decodes a JFIF stream into *out. */
+dnj_status_t dnj_decode(dnj_session_t* session, const uint8_t* bytes, size_t size,
+                        dnj_image_t* out);
+
+/* Decode + re-encode under `options` (byte-identical to decode followed
+ * by encode of the decoded pixels). */
+dnj_status_t dnj_transcode(dnj_session_t* session, const uint8_t* bytes, size_t size,
+                           const dnj_options_t* options, dnj_buffer_t* out);
+
+/* ------------------------------------------------------------ designer */
+
+/* Opaque DeepN-JPEG table designer: add a representative image sample,
+ * then design. Confine to one thread. */
+typedef struct dnj_designer_t dnj_designer_t;
+
+dnj_designer_t* dnj_designer_new(void);
+void dnj_designer_free(dnj_designer_t* designer);
+
+/* Adds one image (pixels are copied). `label` is the image's class id
+ * (>= 0); pass 0 when unlabeled. */
+dnj_status_t dnj_designer_add(dnj_designer_t* designer, const uint8_t* pixels,
+                              int32_t width, int32_t height, int32_t channels,
+                              int32_t label);
+
+/* Runs the design flow; writes the 64 natural-order steps of the designed
+ * quantization table into out_table. */
+dnj_status_t dnj_designer_design(dnj_designer_t* designer, uint16_t out_table[64]);
+
+/* Convenience: design and install the result into `options` (designed
+ * table on luma and chroma, 4:4:4 subsampling — the paper's deployment
+ * configuration). */
+dnj_status_t dnj_designer_design_options(dnj_designer_t* designer,
+                                         dnj_options_t* options);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DNJ_C_H_ */

@@ -1,0 +1,171 @@
+// Async façade implementation: a pimpl over serve::TranscodeService that
+// translates between the public types/Status taxonomy and the serving
+// layer's Request/Response vocabulary.
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "api/convert.hpp"
+#include "serve/service.hpp"
+
+namespace dnj::api {
+
+namespace {
+
+Status status_from_serve(const serve::Response& r) {
+  switch (r.status) {
+    case serve::Status::kOk:
+      return Status::success();
+    case serve::Status::kRejected:
+      return {StatusCode::kRejected, r.error};
+    case serve::Status::kShutdown:
+      return {StatusCode::kShutdown, r.error};
+    case serve::Status::kError:
+      break;
+  }
+  // The serve layer flattens every handler failure to kError; the façade
+  // can do no better than kInternal here — callers wanting the finer
+  // kInvalidArgument/kDecodeError split get it from the synchronous Codec
+  // (and from this façade's own submission-time validation).
+  return {StatusCode::kInternal, r.error};
+}
+
+ServiceReply reply_from_response(serve::Response&& r) {
+  ServiceReply reply;
+  reply.status = status_from_serve(r);
+  reply.bytes = std::move(r.bytes);
+  reply.image.width = r.image.width();
+  reply.image.height = r.image.height();
+  reply.image.channels = r.image.channels();
+  reply.image.pixels = std::move(r.image.data());
+  reply.cache_hit = r.cache_hit;
+  reply.batch_size = r.batch_size;
+  reply.queue_us = r.queue_us;
+  reply.service_us = r.service_us;
+  return reply;
+}
+
+}  // namespace
+
+/// Either an in-flight future or an immediately-fulfilled reply (the
+/// submission-time validation path never reaches the queue).
+struct Pending::State {
+  std::future<serve::Response> future;
+  bool immediate = false;
+  ServiceReply ready;
+};
+
+Pending::Pending() = default;
+Pending::Pending(std::unique_ptr<State> state) : state_(std::move(state)) {}
+Pending::~Pending() = default;
+Pending::Pending(Pending&&) noexcept = default;
+Pending& Pending::operator=(Pending&&) noexcept = default;
+
+bool Pending::valid() const {
+  return state_ != nullptr && (state_->immediate || state_->future.valid());
+}
+
+ServiceReply Pending::get() {
+  if (!valid()) {
+    ServiceReply r;
+    r.status = {StatusCode::kInternal, "Pending::get() on an empty or consumed handle"};
+    return r;
+  }
+  std::unique_ptr<State> state = std::move(state_);
+  if (state->immediate) return std::move(state->ready);
+  return reply_from_response(state->future.get());
+}
+
+struct Service::Impl {
+  explicit Impl(serve::ServiceConfig cfg) : service(std::move(cfg)) {}
+  serve::TranscodeService service;
+};
+
+Service::Service(const ServiceOptions& options) {
+  serve::ServiceConfig cfg;
+  cfg.workers = options.workers();
+  cfg.queue_capacity = options.queue_capacity();
+  cfg.admission = options.reject_when_full() ? serve::AdmissionPolicy::kReject
+                                             : serve::AdmissionPolicy::kBlock;
+  cfg.max_batch = options.max_batch();
+  cfg.cache_capacity = options.result_cache();
+  impl_ = std::make_unique<Impl>(std::move(cfg));
+}
+
+Service::~Service() = default;
+Service::Service(Service&&) noexcept = default;
+Service& Service::operator=(Service&&) noexcept = default;
+
+// Pending construction, written as Service members so they can reach
+// Pending's private state through the friend declaration.
+Pending Service::immediate(Status status) {
+  auto state = std::make_unique<Pending::State>();
+  state->immediate = true;
+  state->ready.status = std::move(status);
+  return Pending(std::move(state));
+}
+
+Pending Service::encode(ImageView image, const EncodeOptions& options) {
+  if (Status s = detail::validate_image(image); !s.ok())
+    return immediate(std::move(s));
+  if (Status s = detail::validate_options(options); !s.ok())
+    return immediate(std::move(s));
+  serve::Request req;
+  req.kind = serve::RequestKind::kEncode;
+  req.config = detail::to_config(options);
+  // The request must own its input: it outlives the caller's buffer in
+  // the submission queue. One copy, no zero-fill.
+  req.image = image::Image(
+      image.width, image.height, image.channels,
+      std::vector<std::uint8_t>(image.pixels, image.pixels + image.byte_size()));
+  auto state = std::make_unique<Pending::State>();
+  state->future = impl_->service.submit(std::move(req));
+  return Pending(std::move(state));
+}
+
+Pending Service::decode(ByteSpan stream) {
+  if (Status s = detail::validate_stream(stream); !s.ok())
+    return immediate(std::move(s));
+  serve::Request req;
+  req.kind = serve::RequestKind::kDecode;
+  req.bytes.assign(stream.data, stream.data + stream.size);
+  auto state = std::make_unique<Pending::State>();
+  state->future = impl_->service.submit(std::move(req));
+  return Pending(std::move(state));
+}
+
+Pending Service::transcode(ByteSpan stream, const EncodeOptions& options) {
+  if (Status s = detail::validate_stream(stream); !s.ok())
+    return immediate(std::move(s));
+  if (Status s = detail::validate_options(options); !s.ok())
+    return immediate(std::move(s));
+  serve::Request req;
+  req.kind = serve::RequestKind::kTranscode;
+  req.bytes.assign(stream.data, stream.data + stream.size);
+  req.config = detail::to_config(options);
+  auto state = std::make_unique<Pending::State>();
+  state->future = impl_->service.submit(std::move(req));
+  return Pending(std::move(state));
+}
+
+ServiceMetrics Service::metrics() const {
+  const serve::ServiceStats s = impl_->service.stats();
+  ServiceMetrics m;
+  m.submitted = s.submitted;
+  m.completed = s.completed;
+  m.rejected = s.rejected;
+  m.errors = s.errors;
+  m.cache_hits = s.cache_hits;
+  m.batches = s.batches;
+  m.max_batch = s.max_batch;
+  m.total_p50_us = s.total.p50_us;
+  m.total_p95_us = s.total.p95_us;
+  m.total_p99_us = s.total.p99_us;
+  return m;
+}
+
+void Service::shutdown() { impl_->service.shutdown(); }
+
+}  // namespace dnj::api

@@ -1,0 +1,150 @@
+// Async façade: the public view over the serving layer (serve::
+// TranscodeService) with the API's Status taxonomy and zero-copy-in,
+// owned-out types.
+//
+//   Service service(ServiceOptions().workers(4));
+//   Pending p = service.encode(view, EncodeOptions().quality(85));
+//   ServiceReply r = p.get();            // blocks; never throws
+//   if (r.status.ok()) use(r.bytes);
+//
+// Inputs are copied into the owned request at submission (the request
+// outlives the caller's buffers inside the queue); replies carry owned
+// payloads. Payloads are bit-identical to the synchronous Codec calls —
+// the serving determinism contract, re-pinned through this façade by
+// tests/test_api.cpp. Submission after shutdown() yields kShutdown;
+// a full queue under the reject policy yields kRejected.
+//
+// Standard-library-only header (pimpl over the serve layer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+
+namespace dnj::api {
+
+/// Builder-style service configuration (a curated subset of the serve
+/// layer's ServiceConfig; the taxonomy of knobs is documented there).
+class ServiceOptions {
+ public:
+  ServiceOptions& workers(int n) {
+    workers_ = n;
+    return *this;
+  }
+  ServiceOptions& queue_capacity(std::size_t n) {
+    queue_capacity_ = n;
+    return *this;
+  }
+  /// true: a full queue rejects (typed kRejected) instead of blocking.
+  ServiceOptions& reject_when_full(bool on) {
+    reject_when_full_ = on;
+    return *this;
+  }
+  /// Largest micro-batch a worker drains per pop (1 disables batching).
+  ServiceOptions& max_batch(int n) {
+    max_batch_ = n;
+    return *this;
+  }
+  /// Result-cache entries (0 disables the result cache).
+  ServiceOptions& result_cache(std::size_t entries) {
+    result_cache_ = entries;
+    return *this;
+  }
+
+  int workers() const { return workers_; }
+  std::size_t queue_capacity() const { return queue_capacity_; }
+  bool reject_when_full() const { return reject_when_full_; }
+  int max_batch() const { return max_batch_; }
+  std::size_t result_cache() const { return result_cache_; }
+
+ private:
+  int workers_ = 2;
+  std::size_t queue_capacity_ = 256;
+  bool reject_when_full_ = false;
+  int max_batch_ = 8;
+  std::size_t result_cache_ = 256;
+};
+
+/// One fulfilled service reply. Exactly one payload field is populated on
+/// success, matching the operation submitted. The observability fields
+/// describe scheduling, never the payload (which is deterministic).
+struct ServiceReply {
+  Status status;
+  std::vector<std::uint8_t> bytes;  ///< encode / transcode result
+  DecodedImage image;               ///< decode result
+  bool cache_hit = false;
+  int batch_size = 0;       ///< size of the micro-batch this rode in
+  double queue_us = 0.0;    ///< submission -> worker pickup
+  double service_us = 0.0;  ///< worker pickup -> completion
+};
+
+/// Handle on one in-flight submission. get() blocks until the reply is
+/// ready and may be called once; it never throws. Move-only.
+class Pending {
+ public:
+  Pending();
+  ~Pending();
+  Pending(Pending&&) noexcept;
+  Pending& operator=(Pending&&) noexcept;
+  Pending(const Pending&) = delete;
+  Pending& operator=(const Pending&) = delete;
+
+  /// True until get() consumes the reply.
+  bool valid() const;
+
+  /// Waits for and returns the reply (kInternal reply if !valid()).
+  ServiceReply get();
+
+ private:
+  friend class Service;
+  struct State;
+  explicit Pending(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
+/// Point-in-time service counters + merged latency quantiles (µs).
+struct ServiceMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  double total_p50_us = 0.0;
+  double total_p95_us = 0.0;
+  double total_p99_us = 0.0;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& options = {});
+  ~Service();  ///< shuts down: drains accepted work, joins workers
+  Service(Service&&) noexcept;
+  Service& operator=(Service&&) noexcept;
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit asynchronous work. Invalid inputs come back as an
+  /// already-fulfilled kInvalidArgument reply — submission never throws.
+  Pending encode(ImageView image, const EncodeOptions& options = {});
+  Pending decode(ByteSpan stream);
+  Pending transcode(ByteSpan stream, const EncodeOptions& options = {});
+
+  ServiceMetrics metrics() const;
+
+  /// Graceful shutdown: refuse new work (kShutdown), drain accepted work,
+  /// join workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  static Pending immediate(Status status);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dnj::api

@@ -1,0 +1,241 @@
+// Implementation of the synchronous façade (Session / Codec /
+// TableDesigner) plus the shared conversion/validation glue in
+// api/convert.hpp. This file is the exception boundary: nothing below it
+// throws out of a public entry point.
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "api/convert.hpp"
+#include "core/deepnjpeg.hpp"
+#include "core/transcode.hpp"
+#include "jpeg/decoder.hpp"
+#include "jpeg/encoder.hpp"
+#include "serve/digest.hpp"
+
+namespace dnj::api {
+
+namespace detail {
+
+jpeg::EncoderConfig to_config(const EncodeOptions& options) {
+  jpeg::EncoderConfig cfg;
+  cfg.quality = options.quality();
+  cfg.use_custom_tables = options.uses_custom_tables();
+  if (cfg.use_custom_tables) {
+    cfg.luma_table = jpeg::QuantTable(options.luma_table());
+    cfg.chroma_table = jpeg::QuantTable(options.chroma_table());
+  }
+  cfg.subsampling =
+      options.chroma_420() ? jpeg::Subsampling::k420 : jpeg::Subsampling::k444;
+  cfg.optimize_huffman = options.optimize_huffman();
+  cfg.restart_interval = options.restart_interval();
+  cfg.comment = options.comment();
+  return cfg;
+}
+
+EncodeOptions from_config(const jpeg::EncoderConfig& config) {
+  EncodeOptions options;
+  options.quality(config.quality);
+  if (config.use_custom_tables)
+    options.custom_tables(config.luma_table.natural(), config.chroma_table.natural());
+  options.chroma_420(config.subsampling == jpeg::Subsampling::k420);
+  options.optimize_huffman(config.optimize_huffman);
+  options.restart_interval(config.restart_interval);
+  options.comment(config.comment);
+  return options;
+}
+
+Status validate_image(ImageView image) {
+  if (image.pixels == nullptr)
+    return {StatusCode::kInvalidArgument, "image view has null pixels"};
+  if (image.width <= 0 || image.height <= 0)
+    return {StatusCode::kInvalidArgument, "image dimensions must be positive"};
+  if (image.width > kMaxImageDimension || image.height > kMaxImageDimension)
+    return {StatusCode::kInvalidArgument,
+            "image dimensions exceed the baseline JPEG maximum of 65535"};
+  if (image.channels != 1 && image.channels != 3)
+    return {StatusCode::kInvalidArgument, "image channels must be 1 or 3"};
+  return Status::success();
+}
+
+Status validate_stream(ByteSpan stream) {
+  if (stream.data == nullptr || stream.size == 0)
+    return {StatusCode::kInvalidArgument, "byte stream is null or empty"};
+  return Status::success();
+}
+
+Status validate_options(const EncodeOptions& options) {
+  if (!options.uses_custom_tables() &&
+      (options.quality() < 1 || options.quality() > 100))
+    return {StatusCode::kInvalidArgument, "quality must be in [1, 100]"};
+  if (options.restart_interval() < 0 || options.restart_interval() > 65535)
+    return {StatusCode::kInvalidArgument, "restart interval must be in [0, 65535]"};
+  return Status::success();
+}
+
+Status map_exception(StatusCode runtime_code) {
+  try {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    return {StatusCode::kInvalidArgument, e.what()};
+  } catch (const std::out_of_range& e) {
+    return {StatusCode::kInvalidArgument, e.what()};
+  } catch (const std::runtime_error& e) {
+    return {runtime_code, e.what()};
+  } catch (const std::exception& e) {
+    return {StatusCode::kInternal, e.what()};
+  } catch (...) {
+    return {StatusCode::kInternal, "non-standard exception"};
+  }
+}
+
+}  // namespace detail
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kDecodeError: return "decode_error";
+    case StatusCode::kRejected: return "rejected";
+    case StatusCode::kShutdown: return "shutdown";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::uint32_t api_version() { return (kApiVersionMajor << 16) | kApiVersionMinor; }
+
+std::uint64_t EncodeOptions::digest() const {
+  // The canonical serialization is owned by the codec layer
+  // (jpeg::append_config_bytes); hashing it here is what makes this digest
+  // equal to the serve layer's config digest for the same options.
+  return serve::digest_config(detail::to_config(*this));
+}
+
+// Session state is deliberately empty today: codec operations bind to the
+// calling thread's codec context (see the header contract), so the handle
+// carries identity and future configuration, not arenas. Kept as a pimpl
+// so state can grow without an ABI-visible change.
+struct Session::Impl {};
+
+Session::Session() : impl_(std::make_unique<Impl>()) {}
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+Codec Session::codec() { return Codec(this); }
+
+TableDesigner Session::designer() { return TableDesigner(); }
+
+Result<std::vector<std::uint8_t>> Codec::encode(ImageView image,
+                                                const EncodeOptions& options) const {
+  if (Status s = detail::validate_image(image); !s.ok()) return s;
+  if (Status s = detail::validate_options(options); !s.ok()) return s;
+  try {
+    return jpeg::encode(image, detail::to_config(options),
+                        jpeg::pipeline::thread_codec_context());
+  } catch (...) {
+    return detail::map_exception(StatusCode::kInternal);
+  }
+}
+
+Result<DecodedImage> Codec::decode(ByteSpan stream) const {
+  if (Status s = detail::validate_stream(stream); !s.ok()) return s;
+  try {
+    image::Image img = jpeg::decode(stream, jpeg::pipeline::thread_codec_context());
+    DecodedImage out;
+    out.width = img.width();
+    out.height = img.height();
+    out.channels = img.channels();
+    out.pixels = std::move(img.data());
+    return out;
+  } catch (...) {
+    return detail::map_exception(StatusCode::kDecodeError);
+  }
+}
+
+Result<std::vector<std::uint8_t>> Codec::transcode(ByteSpan stream,
+                                                   const EncodeOptions& options) const {
+  if (Status s = detail::validate_stream(stream); !s.ok()) return s;
+  if (Status s = detail::validate_options(options); !s.ok()) return s;
+  try {
+    return core::transcode_bytes(stream, detail::to_config(options),
+                                 jpeg::pipeline::thread_codec_context());
+  } catch (...) {
+    // The decode leg is the overwhelmingly likely thrower; encode-side
+    // argument errors still surface as kInvalidArgument via the map.
+    return detail::map_exception(StatusCode::kDecodeError);
+  }
+}
+
+Result<StreamInfo> Codec::inspect(ByteSpan stream) const {
+  if (Status s = detail::validate_stream(stream); !s.ok()) return s;
+  try {
+    const jpeg::JpegInfo info = jpeg::parse_info(stream);
+    StreamInfo out;
+    out.width = info.width;
+    out.height = info.height;
+    out.components = info.components;
+    out.restart_interval = info.restart_interval;
+    out.comment = info.comment;
+    return out;
+  } catch (...) {
+    return detail::map_exception(StatusCode::kDecodeError);
+  }
+}
+
+struct TableDesigner::Impl {
+  data::Dataset dataset;
+  int max_label = -1;
+};
+
+TableDesigner::TableDesigner() : impl_(std::make_unique<Impl>()) {}
+TableDesigner::~TableDesigner() = default;
+TableDesigner::TableDesigner(TableDesigner&&) noexcept = default;
+TableDesigner& TableDesigner::operator=(TableDesigner&&) noexcept = default;
+
+Status TableDesigner::add(ImageView image, int label) {
+  if (Status s = detail::validate_image(image); !s.ok()) return s;
+  if (label < 0) return {StatusCode::kInvalidArgument, "label must be >= 0"};
+  try {
+    image::Image owned(image.width, image.height, image.channels);
+    std::memcpy(owned.data().data(), image.pixels, image.byte_size());
+    impl_->dataset.samples.push_back({std::move(owned), label});
+    impl_->max_label = std::max(impl_->max_label, label);
+    impl_->dataset.num_classes = impl_->max_label + 1;
+    return Status::success();
+  } catch (...) {
+    return detail::map_exception(StatusCode::kInternal);
+  }
+}
+
+std::size_t TableDesigner::image_count() const { return impl_->dataset.size(); }
+
+Result<TableDesign> TableDesigner::design(const DesignOptions& options) const {
+  if (impl_->dataset.empty())
+    return Status{StatusCode::kInvalidArgument, "no images added to the designer"};
+  if (options.sample_interval() < 1)
+    return Status{StatusCode::kInvalidArgument, "sample interval must be >= 1"};
+  try {
+    core::DesignConfig cfg;
+    cfg.analysis.sample_interval = options.sample_interval();
+    cfg.dataset_thresholds = options.dataset_thresholds();
+    cfg.optimize_huffman = options.optimize_huffman();
+    const core::DesignResult result = core::DeepNJpeg::design(impl_->dataset, cfg);
+    TableDesign design;
+    design.table = result.table.natural();
+    design.t1 = result.params.t1;
+    design.t2 = result.params.t2;
+    design.images_analyzed = result.profile.images_analyzed;
+    design.blocks_analyzed = result.profile.blocks_analyzed;
+    design.optimize_huffman = options.optimize_huffman();
+    return design;
+  } catch (...) {
+    return Result<TableDesign>(detail::map_exception(StatusCode::kInternal));
+  }
+}
+
+}  // namespace dnj::api

@@ -1,0 +1,127 @@
+// The synchronous public façade: Session handles plus Codec / TableDesigner
+// views.
+//
+// A Session is the root handle an embedder holds; its views expose the
+// library's layers behind the Status/Result error model:
+//
+//   Session session;
+//   auto stream = session.codec().encode(view, EncodeOptions().quality(90));
+//   if (!stream.ok()) { /* stream.status().code() is typed */ }
+//
+// Threading: a Session binds codec operations to the *calling thread's*
+// codec context (per-thread scratch arenas + cached Huffman/reciprocal/
+// quality tables — the same mechanism the parallel dataset loops and the
+// serving layer's workers use), so one Session may be shared across
+// threads for Codec operations: each thread transparently gets its own
+// warm arenas, and results never depend on context state. TableDesigner
+// accumulates state and is NOT thread-safe; use one per designing thread.
+//
+// Every entry point catches internal exceptions at the boundary and maps
+// them to typed Status codes; nothing throws out of this header's classes
+// (allocation failure aside). Outputs are bit-identical to the direct
+// internal calls (jpeg::encode / jpeg::decode / core::transcode_bytes) —
+// pinned by tests/test_api.cpp — so code migrating onto the façade
+// changes no bytes.
+//
+// Standard-library-only header: safe for embedders, and compiled
+// standalone under -Wall -Werror by the header self-containment CI gate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+
+namespace dnj::api {
+
+class Codec;
+class TableDesigner;
+
+/// Version of the C++ façade surface, bumped on incompatible change.
+/// (The C ABI is versioned separately: dnj_c.h / dnj_abi_version().)
+inline constexpr std::uint32_t kApiVersionMajor = 1;
+inline constexpr std::uint32_t kApiVersionMinor = 0;
+
+/// (major << 16) | minor of the built library — compare against the
+/// header constants to detect a header/library skew.
+std::uint32_t api_version();
+
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Codec view over this session. The view borrows the Session and must
+  /// not outlive it.
+  Codec codec();
+
+  /// A fresh, empty table designer (independent of other designers).
+  TableDesigner designer();
+
+ private:
+  friend class Codec;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Synchronous codec entry points. Copyable view; borrows its Session.
+class Codec {
+ public:
+  /// Encodes interleaved 8-bit pixels to a complete JFIF stream. The view
+  /// is read in place — no staging copy of the pixels.
+  Result<std::vector<std::uint8_t>> encode(ImageView image,
+                                           const EncodeOptions& options = {}) const;
+
+  /// Decodes a JFIF stream into owned pixels.
+  Result<DecodedImage> decode(ByteSpan stream) const;
+
+  /// Decode + re-encode under `options` in one call, byte-identical to
+  /// decode followed by encode of the decoded pixels.
+  Result<std::vector<std::uint8_t>> transcode(ByteSpan stream,
+                                              const EncodeOptions& options = {}) const;
+
+  /// Parses header facts without decoding pixel data.
+  Result<StreamInfo> inspect(ByteSpan stream) const;
+
+ private:
+  friend class Session;
+  explicit Codec(Session* session) : session_(session) {}
+  Session* session_;
+};
+
+/// Accumulates a representative image sample, then runs the DeepN-JPEG
+/// design flow (frequency analysis -> band segmentation -> PLM) over it.
+/// Move-only; NOT thread-safe.
+class TableDesigner {
+ public:
+  TableDesigner();
+  ~TableDesigner();
+  TableDesigner(TableDesigner&&) noexcept;
+  TableDesigner& operator=(TableDesigner&&) noexcept;
+  TableDesigner(const TableDesigner&) = delete;
+  TableDesigner& operator=(const TableDesigner&) = delete;
+
+  /// Adds one image to the design sample (pixels are copied — the design
+  /// flow owns its sample). `label` is the image's class: Algorithm 1
+  /// samples every k-th image *per class*, so pass real labels when you
+  /// have them and 0 otherwise.
+  Status add(ImageView image, int label = 0);
+
+  std::size_t image_count() const;
+
+  /// Runs the design flow over everything added so far.
+  Result<TableDesign> design(const DesignOptions& options = {}) const;
+
+ private:
+  friend class Session;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dnj::api

@@ -1,0 +1,180 @@
+// Value types of the public API: zero-copy input views, owned outputs, and
+// the builder-style option sets. Standard-library-only (plus base/views.hpp,
+// which is itself std-only) — no internal codec headers leak through here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/views.hpp"
+
+namespace dnj::api {
+
+/// Zero-copy view over an encoded byte stream (implicitly constructible
+/// from std::vector<uint8_t> or {ptr, size}).
+using ByteSpan = dnj::ByteSpan;
+
+/// Zero-copy view over interleaved 8-bit pixels (1 = gray, 3 = RGB).
+/// The encoder reads pixels straight through the view — no staging copy.
+using ImageView = dnj::PixelView;
+
+/// Maximum width/height baseline JPEG can express (SOF0 is 16-bit).
+inline constexpr int kMaxImageDimension = 65535;
+
+/// A decoded image, owned by the caller. `view()` re-enters the API
+/// zero-copy (e.g. to re-encode the decoded pixels).
+struct DecodedImage {
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  std::vector<std::uint8_t> pixels;  ///< interleaved, width*height*channels
+
+  ImageView view() const { return {pixels.data(), width, height, channels}; }
+};
+
+/// Header facts of an encoded stream (no pixel decode).
+struct StreamInfo {
+  int width = 0;
+  int height = 0;
+  int components = 0;       ///< 1 = gray, 3 = YCbCr
+  int restart_interval = 0; ///< MCUs between restart markers (0 = none)
+  std::string comment;      ///< COM marker payload, if any
+};
+
+/// A quantization table as the API trades it: 64 steps in natural
+/// (row-major) order. Steps are clamped into [1, 65535] on use.
+using QuantTableValues = std::array<std::uint16_t, 64>;
+
+/// Builder-style encoder options. Defaults match the library defaults:
+/// quality 75, Annex K tables, 4:2:0 chroma subsampling, static Huffman
+/// tables, no restart markers, no comment.
+///
+/// EncodeOptions is the one options representation shared by the
+/// synchronous façade, the async Service, and the serving layer:
+/// `digest()` hashes the canonical serialization of the underlying encoder
+/// configuration, so it equals the config digest the serve layer batches
+/// and caches on.
+class EncodeOptions {
+ public:
+  /// IJG quality in [1, 100] (validated at the call boundary, not here).
+  /// Ignored when custom tables are set.
+  EncodeOptions& quality(int q) {
+    quality_ = q;
+    return *this;
+  }
+
+  /// Use the given quantization tables verbatim (the DeepN-JPEG path).
+  EncodeOptions& custom_tables(const QuantTableValues& luma,
+                               const QuantTableValues& chroma) {
+    use_custom_tables_ = true;
+    luma_table_ = luma;
+    chroma_table_ = chroma;
+    return *this;
+  }
+
+  /// 4:2:0 chroma subsampling on/off (off = 4:4:4). Default on.
+  EncodeOptions& chroma_420(bool on) {
+    chroma_420_ = on;
+    return *this;
+  }
+
+  /// Two-pass encode with per-image optimal Huffman tables.
+  EncodeOptions& optimize_huffman(bool on) {
+    optimize_huffman_ = on;
+    return *this;
+  }
+
+  /// Restart interval in MCUs (0 = no restart markers).
+  EncodeOptions& restart_interval(int mcus) {
+    restart_interval_ = mcus;
+    return *this;
+  }
+
+  /// COM marker payload.
+  EncodeOptions& comment(std::string text) {
+    comment_ = std::move(text);
+    return *this;
+  }
+
+  // Accessors (used by the implementation and by tests).
+  int quality() const { return quality_; }
+  bool uses_custom_tables() const { return use_custom_tables_; }
+  const QuantTableValues& luma_table() const { return luma_table_; }
+  const QuantTableValues& chroma_table() const { return chroma_table_; }
+  bool chroma_420() const { return chroma_420_; }
+  bool optimize_huffman() const { return optimize_huffman_; }
+  int restart_interval() const { return restart_interval_; }
+  const std::string& comment() const { return comment_; }
+
+  /// FNV-1a digest of the canonical serialization of these options —
+  /// byte-for-byte the config digest the serving layer keys its result
+  /// cache and micro-batch compatibility on. Equal digests = the same
+  /// encode computation.
+  std::uint64_t digest() const;
+
+ private:
+  int quality_ = 75;
+  bool use_custom_tables_ = false;
+  QuantTableValues luma_table_{};
+  QuantTableValues chroma_table_{};
+  bool chroma_420_ = true;
+  bool optimize_huffman_ = false;
+  int restart_interval_ = 0;
+  std::string comment_;
+};
+
+/// Builder-style options for the DeepN-JPEG table design flow.
+class DesignOptions {
+ public:
+  /// Algorithm 1 sampling interval k: analyze every k-th image per class.
+  DesignOptions& sample_interval(int k) {
+    sample_interval_ = k;
+    return *this;
+  }
+
+  /// Re-derive the PLM thresholds T1/T2 from the dataset's sigma ranking
+  /// (paper Section 3.2.2) instead of the paper constants. Default on.
+  DesignOptions& dataset_thresholds(bool on) {
+    dataset_thresholds_ = on;
+    return *this;
+  }
+
+  /// Carry optimize_huffman into the designed EncodeOptions.
+  DesignOptions& optimize_huffman(bool on) {
+    optimize_huffman_ = on;
+    return *this;
+  }
+
+  int sample_interval() const { return sample_interval_; }
+  bool dataset_thresholds() const { return dataset_thresholds_; }
+  bool optimize_huffman() const { return optimize_huffman_; }
+
+ private:
+  int sample_interval_ = 1;
+  bool dataset_thresholds_ = true;
+  bool optimize_huffman_ = false;
+};
+
+/// Everything the design flow produces that a deployment needs to keep:
+/// the table itself plus the design provenance.
+struct TableDesign {
+  QuantTableValues table{};   ///< designed steps, natural order
+  double t1 = 0.0, t2 = 0.0;  ///< PLM thresholds actually used
+  std::uint64_t images_analyzed = 0;
+  std::uint64_t blocks_analyzed = 0;
+  bool optimize_huffman = false;  ///< carried from DesignOptions
+
+  /// Ready-to-use encoder options: the designed table on luma and chroma
+  /// alike, 4:4:4 subsampling — exactly the configuration the paper's
+  /// experiments (and core::custom_table_config) use.
+  EncodeOptions encode_options() const {
+    return EncodeOptions()
+        .custom_tables(table, table)
+        .chroma_420(false)
+        .optimize_huffman(optimize_huffman);
+  }
+};
+
+}  // namespace dnj::api

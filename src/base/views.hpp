@@ -1,0 +1,62 @@
+// Non-owning input views shared by every layer of the library.
+//
+// `ByteSpan` is the std::span<const uint8_t>-shaped view the codec entry
+// points (decode, transcode, stream inspection) take instead of
+// `const std::vector&`, so callers holding mapped files, arena slices or
+// foreign buffers pass them without a copy. `PixelView` is the equivalent
+// for interleaved 8-bit pixel data — the encoder reads pixels through it,
+// so an `image::Image` and an FFI caller's raw buffer take the same path.
+//
+// Both are trivially copyable reference types: they never own, never
+// allocate, and must not outlive the buffer they point into. They live in
+// the root `dnj` namespace (not a subsystem) because image/, jpeg/, core/
+// and api/ all traffic in them; this header depends only on the standard
+// library so the public API headers can re-export it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnj {
+
+/// Read-only view over a contiguous byte buffer.
+struct ByteSpan {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+
+  ByteSpan() = default;
+  ByteSpan(const std::uint8_t* d, std::size_t n) : data(d), size(n) {}
+  /// Implicit, like std::span: every existing `decode(vector)` call site
+  /// keeps working unchanged.
+  ByteSpan(const std::vector<std::uint8_t>& v) : data(v.data()), size(v.size()) {}
+
+  bool empty() const { return size == 0; }
+};
+
+/// Read-only view over interleaved 8-bit pixels: pixel (x, y) channel c is
+/// at pixels[(y * width + x) * channels + c]. Channels is 1 (gray) or
+/// 3 (RGB) everywhere in this library.
+struct PixelView {
+  const std::uint8_t* pixels = nullptr;
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+
+  PixelView() = default;
+  PixelView(const std::uint8_t* p, int w, int h, int c)
+      : pixels(p), width(w), height(h), channels(c) {}
+
+  bool empty() const { return pixels == nullptr || width <= 0 || height <= 0; }
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+  std::size_t byte_size() const {
+    return pixel_count() * static_cast<std::size_t>(channels);
+  }
+  std::uint8_t at(int x, int y, int c = 0) const {
+    return pixels[(static_cast<std::size_t>(y) * width + x) * channels + c];
+  }
+};
+
+}  // namespace dnj

@@ -68,13 +68,13 @@ TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& co
   return res;
 }
 
-std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+std::vector<std::uint8_t> transcode_bytes(ByteSpan bytes,
                                           const jpeg::EncoderConfig& config,
                                           jpeg::pipeline::CodecContext& ctx) {
   return jpeg::encode(jpeg::decode(bytes, ctx), config, ctx);
 }
 
-std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+std::vector<std::uint8_t> transcode_bytes(ByteSpan bytes,
                                           const jpeg::EncoderConfig& config) {
   return transcode_bytes(bytes, config, jpeg::pipeline::thread_codec_context());
 }

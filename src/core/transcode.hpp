@@ -29,11 +29,13 @@ TranscodeResult transcode(const data::Dataset& ds, const jpeg::EncoderConfig& co
 /// caller's context — the single-stream primitive the serving layer's
 /// transcode requests run on. Exactly equivalent to jpeg::decode followed
 /// by jpeg::encode (byte-identical output). The default-context overload
-/// uses the calling thread's shared context.
-std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+/// uses the calling thread's shared context. ByteSpan converts implicitly
+/// from std::vector<uint8_t>; callers holding mapped buffers pass
+/// {ptr, size} with no copy.
+std::vector<std::uint8_t> transcode_bytes(ByteSpan bytes,
                                           const jpeg::EncoderConfig& config,
                                           jpeg::pipeline::CodecContext& ctx);
-std::vector<std::uint8_t> transcode_bytes(const std::vector<std::uint8_t>& bytes,
+std::vector<std::uint8_t> transcode_bytes(ByteSpan bytes,
                                           const jpeg::EncoderConfig& config);
 
 /// Encoded byte total only (no decode) — cheaper when only CR is needed.

@@ -70,12 +70,17 @@ void tile_blocks_into(const PlaneF& plane, int grid_bx, int grid_by, float* dst,
                            grid_by, dst, bias);
 }
 
+void tile_image_blocks_into(PixelView img, int c, int grid_bx, int grid_by,
+                            float* dst, float bias) {
+  if (c < 0 || c >= img.channels)
+    throw std::invalid_argument("tile_image_blocks_into: channel out of range");
+  simd::kernels().tile_u8(img.pixels + c, img.width, img.height,
+                          img.channels, grid_bx, grid_by, dst, bias);
+}
+
 void tile_image_blocks_into(const Image& img, int c, int grid_bx, int grid_by,
                             float* dst, float bias) {
-  if (c < 0 || c >= img.channels())
-    throw std::invalid_argument("tile_image_blocks_into: channel out of range");
-  simd::kernels().tile_u8(img.data().data() + c, img.width(), img.height(),
-                          img.channels(), grid_bx, grid_by, dst, bias);
+  tile_image_blocks_into(img.view(), c, grid_bx, grid_by, dst, bias);
 }
 
 void untile_blocks_from(const float* src, int grid_bx, int grid_by, PlaneF& plane,

@@ -60,6 +60,10 @@ void tile_blocks_into(const PlaneF& plane, int grid_bx, int grid_by, float* dst,
 /// u8 -> float conversion (and `bias`, i.e. the level shift) into the
 /// tiling pass — the grayscale encode path skips the intermediate PlaneF
 /// entirely. Same layout and replication semantics as tile_blocks_into.
+/// The PixelView form is the primary (the encoder reads images through
+/// views); the Image overload forwards.
+void tile_image_blocks_into(PixelView img, int c, int grid_bx, int grid_by,
+                            float* dst, float bias = 0.0f);
 void tile_image_blocks_into(const Image& img, int c, int grid_bx, int grid_by,
                             float* dst, float bias = 0.0f);
 

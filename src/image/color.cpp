@@ -24,13 +24,13 @@ YCbCrPlanes to_ycbcr(const Image& img) {
   return out;
 }
 
-void to_ycbcr_into(const Image& img, YCbCrPlanes& out) {
-  out.y.reset(img.width(), img.height());
-  out.cb.reset(img.width(), img.height());
-  out.cr.reset(img.width(), img.height());
-  if (img.channels() == 1) {
-    for (int y = 0; y < img.height(); ++y)
-      for (int x = 0; x < img.width(); ++x) {
+void to_ycbcr_into(PixelView img, YCbCrPlanes& out) {
+  out.y.reset(img.width, img.height);
+  out.cb.reset(img.width, img.height);
+  out.cr.reset(img.width, img.height);
+  if (img.channels == 1) {
+    for (int y = 0; y < img.height; ++y)
+      for (int x = 0; x < img.width; ++x) {
         out.y.at(x, y) = static_cast<float>(img.at(x, y, 0));
         out.cb.at(x, y) = 128.0f;
         out.cr.at(x, y) = 128.0f;
@@ -39,9 +39,13 @@ void to_ycbcr_into(const Image& img, YCbCrPlanes& out) {
   }
   // The interleaved pixel buffer and the three planes are contiguous and
   // congruent, so the whole image is one kernel call.
-  simd::kernels().rgb_to_ycbcr(img.data().data(), img.pixel_count(),
+  simd::kernels().rgb_to_ycbcr(img.pixels, img.pixel_count(),
                                out.y.data().data(), out.cb.data().data(),
                                out.cr.data().data());
+}
+
+void to_ycbcr_into(const Image& img, YCbCrPlanes& out) {
+  to_ycbcr_into(img.view(), out);
 }
 
 Image to_rgb(const YCbCrPlanes& planes, int width, int height) {

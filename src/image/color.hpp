@@ -32,7 +32,9 @@ YCbCrPlanes to_ycbcr(const Image& img);
 
 /// Allocation-free variant of to_ycbcr: resizes the planes of `out` in
 /// place (reusing their buffers once warm) and fills them with the same
-/// values to_ycbcr produces.
+/// values to_ycbcr produces. The PixelView form is the primary (the
+/// encoder reads images through views); the Image overload forwards.
+void to_ycbcr_into(PixelView img, YCbCrPlanes& out);
 void to_ycbcr_into(const Image& img, YCbCrPlanes& out);
 
 /// Reassembles an RGB image from YCbCr planes; all planes must share the

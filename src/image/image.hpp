@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "base/views.hpp"
+
 namespace dnj::image {
 
 /// Interleaved 8-bit image. Pixel (x, y) channel c lives at
@@ -30,6 +32,20 @@ class Image {
     if (channels != 1 && channels != 3)
       throw std::invalid_argument("Image: channels must be 1 or 3");
     data_.assign(static_cast<std::size_t>(width) * height * channels, 0);
+  }
+
+  /// Adopts an existing interleaved pixel buffer (no zero-fill, no copy) —
+  /// how DecodedImage pixels re-enter the library without a wasted
+  /// allocate-and-memset. Throws std::invalid_argument on a geometry/size
+  /// mismatch or bad dimensions/channels.
+  Image(int width, int height, int channels, std::vector<std::uint8_t>&& pixels)
+      : width_(width), height_(height), channels_(channels), data_(std::move(pixels)) {
+    if (width <= 0 || height <= 0)
+      throw std::invalid_argument("Image: dimensions must be positive");
+    if (channels != 1 && channels != 3)
+      throw std::invalid_argument("Image: channels must be 1 or 3");
+    if (data_.size() != static_cast<std::size_t>(width) * height * channels)
+      throw std::invalid_argument("Image: pixel buffer size does not match geometry");
   }
 
   int width() const { return width_; }
@@ -56,6 +72,10 @@ class Image {
 
   std::vector<std::uint8_t>& data() { return data_; }
   const std::vector<std::uint8_t>& data() const { return data_; }
+
+  /// Non-owning view of the pixel buffer — the form the encoder entry
+  /// points consume, so owned images and foreign buffers share one path.
+  PixelView view() const { return {data_.data(), width_, height_, channels_}; }
 
   bool operator==(const Image& o) const {
     return width_ == o.width_ && height_ == o.height_ &&

@@ -347,38 +347,29 @@ class Parser {
 
 }  // namespace
 
-image::Image decode(const std::uint8_t* data, std::size_t size,
-                    pipeline::CodecContext& ctx) {
-  Parser parser(data, size, ctx);
+image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx) {
+  Parser parser(bytes.data, bytes.size, ctx);
   if (!parser.parse_headers()) fail("stream contains no scan");
   parser.decode_scan();
   return parser.reconstruct();
 }
 
-image::Image decode(const std::uint8_t* data, std::size_t size) {
-  return decode(data, size, pipeline::thread_codec_context());
+image::Image decode(ByteSpan bytes) {
+  return decode(bytes, pipeline::thread_codec_context());
 }
 
-image::Image decode(const std::vector<std::uint8_t>& bytes, pipeline::CodecContext& ctx) {
-  return decode(bytes.data(), bytes.size(), ctx);
-}
-
-image::Image decode(const std::vector<std::uint8_t>& bytes) {
-  return decode(bytes.data(), bytes.size());
-}
-
-JpegInfo parse_info(const std::vector<std::uint8_t>& bytes) {
+JpegInfo parse_info(ByteSpan bytes) {
   // Header-only parse: never touches the context arenas.
-  Parser parser(bytes.data(), bytes.size(), pipeline::thread_codec_context());
+  Parser parser(bytes.data, bytes.size, pipeline::thread_codec_context());
   parser.parse_headers();
   return parser.info;
 }
 
-std::size_t scan_byte_count(const std::vector<std::uint8_t>& bytes) {
-  Parser parser(bytes.data(), bytes.size(), pipeline::thread_codec_context());
+std::size_t scan_byte_count(ByteSpan bytes) {
+  Parser parser(bytes.data, bytes.size, pipeline::thread_codec_context());
   if (!parser.parse_headers()) fail("stream contains no scan");
-  if (bytes.size() < parser.scan_start + 2) fail("truncated scan");
-  return bytes.size() - parser.scan_start - 2;  // exclude the trailing EOI
+  if (bytes.size < parser.scan_start + 2) fail("truncated scan");
+  return bytes.size - parser.scan_start - 2;  // exclude the trailing EOI
 }
 
 }  // namespace dnj::jpeg

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "base/views.hpp"
 #include "image/image.hpp"
 #include "jpeg/pipeline/codec_context.hpp"
 #include "jpeg/quant.hpp"
@@ -28,23 +29,22 @@ struct JpegInfo {
 };
 
 /// Decodes a complete JFIF stream. Throws std::runtime_error on malformed
-/// input. The context-taking overloads decode through the caller's arenas
+/// input. The context-taking overload decodes through the caller's arenas
 /// (coefficient stores, dequantized planes) with batched dequantize + IDCT;
-/// the others use the calling thread's shared context.
-image::Image decode(const std::vector<std::uint8_t>& bytes);
-image::Image decode(const std::uint8_t* data, std::size_t size);
-image::Image decode(const std::vector<std::uint8_t>& bytes, pipeline::CodecContext& ctx);
-image::Image decode(const std::uint8_t* data, std::size_t size,
-                    pipeline::CodecContext& ctx);
+/// the other uses the calling thread's shared context. ByteSpan converts
+/// implicitly from std::vector<uint8_t>; callers holding mapped or foreign
+/// buffers pass {ptr, size} without a copy.
+image::Image decode(ByteSpan bytes);
+image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx);
 
 /// Parses markers up to (and including) SOS without decoding pixel data.
-JpegInfo parse_info(const std::vector<std::uint8_t>& bytes);
+JpegInfo parse_info(ByteSpan bytes);
 
 /// Size of the entropy-coded scan payload (bytes between the SOS header and
 /// the EOI marker). This is the per-image marginal transfer cost in a
 /// deployment where quantization/Huffman tables are shipped once — the
 /// regime the paper's compression-rate numbers describe (headers are
 /// negligible for 256x256 ImageNet files but dominate 32x32 test images).
-std::size_t scan_byte_count(const std::vector<std::uint8_t>& bytes);
+std::size_t scan_byte_count(ByteSpan bytes);
 
 }  // namespace dnj::jpeg

@@ -153,10 +153,14 @@ void for_each_data_unit(const Comp* comps, std::size_t n_comps, int mcus_x, int 
   }
 }
 
-void validate_config(const image::Image& img, const EncoderConfig& config) {
+void validate_config(PixelView img, const EncoderConfig& config) {
   if (img.empty()) throw std::invalid_argument("encode: empty image");
-  if (img.width() > 65535 || img.height() > 65535)
+  if (img.width > 65535 || img.height > 65535)
     throw std::invalid_argument("encode: image too large for baseline JPEG");
+  // Image's constructor enforces this for owned images; raw views arriving
+  // through the public API are validated here.
+  if (img.channels != 1 && img.channels != 3)
+    throw std::invalid_argument("encode: channels must be 1 or 3");
   if (config.restart_interval < 0 || config.restart_interval > 65535)
     throw std::invalid_argument("encode: bad restart interval");
 }
@@ -201,7 +205,49 @@ std::pair<QuantTable, QuantTable> effective_tables(const EncoderConfig& config) 
           QuantTable::annex_k_chroma().scaled(config.quality)};
 }
 
-std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config,
+namespace {
+
+void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_table(std::vector<std::uint8_t>& out, const QuantTable& table) {
+  for (std::uint16_t q : table.natural()) {
+    out.push_back(static_cast<std::uint8_t>(q & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(q >> 8));
+  }
+}
+
+}  // namespace
+
+void append_config_bytes(const EncoderConfig& config, std::vector<std::uint8_t>& out) {
+  // Fixed field order; every field is either fixed-width or length-prefixed
+  // so no two distinct configs can serialize to the same bytes. When
+  // use_custom_tables is false the table contents are not part of the
+  // computation (quality selects the Annex K scaling), so they are
+  // deliberately excluded — exactly the aliasing the digests want.
+  out.reserve(out.size() + 19 + (config.use_custom_tables ? 256 : 0) +
+              config.comment.size());
+  append_u32(out, static_cast<std::uint32_t>(config.quality));
+  append_u8(out, config.use_custom_tables ? 1 : 0);
+  if (config.use_custom_tables) {
+    append_table(out, config.luma_table);
+    append_table(out, config.chroma_table);
+  }
+  append_u8(out, static_cast<std::uint8_t>(config.subsampling));
+  append_u8(out, config.optimize_huffman ? 1 : 0);
+  append_u32(out, static_cast<std::uint32_t>(config.restart_interval));
+  append_u64(out, config.comment.size());
+  out.insert(out.end(), config.comment.begin(), config.comment.end());
+}
+
+std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config,
                                  pipeline::CodecContext& ctx) {
   validate_config(img, config);
 
@@ -219,7 +265,7 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
   }
   const QuantTable& luma_q = *luma_ptr;
   const QuantTable& chroma_q = *chroma_ptr;
-  const bool color = img.channels() == 3;
+  const bool color = img.channels == 3;
   const bool sub420 = color && config.subsampling == Subsampling::k420;
 
   // Component planes, tiled + transformed + quantized into the context
@@ -230,15 +276,15 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
   if (!color) {
     // Grayscale tiles straight from the 8-bit pixels — no intermediate
     // float plane at all.
-    mcus_x = ceil_div(img.width(), kBlockDim);
-    mcus_y = ceil_div(img.height(), kBlockDim);
+    mcus_x = ceil_div(img.width, kBlockDim);
+    mcus_y = ceil_div(img.height, kBlockDim);
     ctx.coeff[0].reshape(mcus_x, mcus_y);
     image::tile_image_blocks_into(img, 0, mcus_x, mcus_y, ctx.coeff[0].data(), -128.0f);
     comps[n_comps++] = finish_pipeline_component(ctx, 0, 1, 1, 1, 0, luma_q);
   } else if (!sub420) {
     image::to_ycbcr_into(img, ctx.ycc);
-    mcus_x = ceil_div(img.width(), kBlockDim);
-    mcus_y = ceil_div(img.height(), kBlockDim);
+    mcus_x = ceil_div(img.width, kBlockDim);
+    mcus_y = ceil_div(img.height, kBlockDim);
     comps[n_comps++] =
         make_pipeline_component(ctx, 0, ctx.ycc.y, 1, 1, 1, 0, mcus_x, mcus_y, luma_q);
     comps[n_comps++] =
@@ -247,8 +293,8 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
         make_pipeline_component(ctx, 2, ctx.ycc.cr, 3, 1, 1, 1, mcus_x, mcus_y, chroma_q);
   } else {
     image::to_ycbcr_into(img, ctx.ycc);
-    mcus_x = ceil_div(img.width(), 2 * kBlockDim);
-    mcus_y = ceil_div(img.height(), 2 * kBlockDim);
+    mcus_x = ceil_div(img.width, 2 * kBlockDim);
+    mcus_y = ceil_div(img.height, 2 * kBlockDim);
     image::downsample_2x2_into(ctx.ycc.cb, ctx.chroma_small[0]);
     image::downsample_2x2_into(ctx.ycc.cr, ctx.chroma_small[1]);
     comps[n_comps++] = make_pipeline_component(ctx, 0, ctx.ycc.y, 1, 2, 2, 0, 2 * mcus_x,
@@ -324,7 +370,7 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
   write_comment(out, config.comment);
   write_dqt(out, luma_q, 0);
   if (color) write_dqt(out, chroma_q, 1);
-  write_sof0(out, img.width(), img.height(), comps.data(), n_comps);
+  write_sof0(out, img.width, img.height, comps.data(), n_comps);
   write_dht(out, *dc_luma, 0, 0);
   write_dht(out, *ac_luma, 1, 0);
   if (color) {
@@ -352,8 +398,17 @@ std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& c
   return out;
 }
 
-std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config) {
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config,
+                                 pipeline::CodecContext& ctx) {
+  return encode(img.view(), config, ctx);
+}
+
+std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config) {
   return encode(img, config, pipeline::thread_codec_context());
+}
+
+std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config) {
+  return encode(img.view(), config, pipeline::thread_codec_context());
 }
 
 // ---------------------------------------------------------------------------
@@ -422,7 +477,7 @@ RefComponent make_reference_component(const PlaneF& plane, int id, int h, int v,
 
 std::vector<std::uint8_t> encode_reference(const image::Image& img,
                                            const EncoderConfig& config) {
-  validate_config(img, config);
+  validate_config(img.view(), config);
 
   const auto [luma_q, chroma_q] = effective_tables(config);
   const bool color = img.channels() == 3;

@@ -49,11 +49,17 @@ struct EncoderConfig {
 /// Encodes an image to a complete JFIF byte stream using the caller's
 /// codec context (scratch arenas + cached tables). Performs zero per-block
 /// allocations; once the context is warm the only allocation is the
-/// returned byte vector.
+/// returned byte vector. The PixelView forms are the primary entry points
+/// — callers holding raw interleaved buffers (mapped files, FFI callers)
+/// encode without copying into an Image first; the Image overloads
+/// forward via Image::view().
+std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config,
+                                 pipeline::CodecContext& ctx);
 std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config,
                                  pipeline::CodecContext& ctx);
 
-/// Convenience overload on the calling thread's shared context.
+/// Convenience overloads on the calling thread's shared context.
+std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config = {});
 std::vector<std::uint8_t> encode(const image::Image& img, const EncoderConfig& config = {});
 
 /// The pre-pipeline per-block encoder shape (materialized BlockF copies,
@@ -70,5 +76,15 @@ std::vector<std::uint8_t> encode_reference(const image::Image& img,
 /// Resolves the (luma, chroma) table pair the given config will quantize
 /// with — Annex K scaled by quality, or the custom tables.
 std::pair<QuantTable, QuantTable> effective_tables(const EncoderConfig& config);
+
+/// Appends THE canonical byte serialization of every semantically relevant
+/// EncoderConfig field to `out` (fixed-width little-endian fields, custom
+/// tables verbatim when active, length-prefixed comment). This is the
+/// single source of truth for "are two configs the same computation":
+/// the serve layer's config digests and the public API's
+/// EncodeOptions::digest() both hash exactly these bytes, so adding a
+/// field here changes every derived digest at once — and forgetting to
+/// add one is caught by the field-sensitivity test in tests/test_api.cpp.
+void append_config_bytes(const EncoderConfig& config, std::vector<std::uint8_t>& out);
 
 }  // namespace dnj::jpeg

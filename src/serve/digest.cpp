@@ -1,14 +1,13 @@
 #include "serve/digest.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "jpeg/encoder.hpp"
 
 namespace dnj::serve {
 
 namespace {
-
-std::uint64_t mix_u64(std::uint64_t v, std::uint64_t seed) {
-  return fnv1a(&v, sizeof(v), seed);
-}
 
 std::uint64_t mix_i32(std::int32_t v, std::uint64_t seed) {
   return fnv1a(&v, sizeof(v), seed);
@@ -39,17 +38,17 @@ std::uint64_t digest_table(const jpeg::QuantTable& table, std::uint64_t seed) {
 }
 
 std::uint64_t digest_config(const jpeg::EncoderConfig& config, std::uint64_t seed) {
-  std::uint64_t h = mix_i32(config.quality, seed);
-  h = mix_i32(config.use_custom_tables ? 1 : 0, h);
-  if (config.use_custom_tables) {
-    h = digest_table(config.luma_table, h);
-    h = digest_table(config.chroma_table, h);
-  }
-  h = mix_i32(static_cast<std::int32_t>(config.subsampling), h);
-  h = mix_i32(config.optimize_huffman ? 1 : 0, h);
-  h = mix_i32(config.restart_interval, h);
-  h = mix_u64(config.comment.size(), h);
-  return fnv1a(config.comment.data(), config.comment.size(), h);
+  // One source of truth: hash the config's canonical serialization (the
+  // same bytes EncodeOptions::digest() hashes in the public API) instead
+  // of hand-listing fields here. A field added to EncoderConfig is added
+  // to append_config_bytes once and every derived digest follows. The
+  // scratch buffer is thread-local because this runs on the submission
+  // hot path (cache keys, batch compatibility) — zero allocations once
+  // warm, like the chained-FNV implementation it replaced.
+  static thread_local std::vector<std::uint8_t> scratch;
+  scratch.clear();
+  jpeg::append_config_bytes(config, scratch);
+  return fnv1a(scratch.data(), scratch.size(), seed);
 }
 
 std::uint64_t request_config_digest(const Request& req) {

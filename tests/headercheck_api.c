@@ -1,0 +1,8 @@
+/* Header self-containment gate (C): dnj_c.h must compile as a standalone
+ * strict-C11 TU under -Wall -Wextra -Werror — the first thing an FFI
+ * consumer's build does. Built as part of the dnj_headercheck object
+ * library on every configuration. */
+#include "api/dnj_c.h"
+
+/* Touch the version macro so the TU is not entirely vacuous. */
+typedef char dnj_headercheck_abi_is_v1[(DNJ_ABI_VERSION_MAJOR == 1) ? 1 : -1];

@@ -1,0 +1,8 @@
+// Header self-containment gate (C++): the public umbrella header must
+// compile as a standalone TU under -Wall -Wextra -Werror with no other
+// includes — exactly how an embedder's first TU sees it. Built as part of
+// the dnj_headercheck object library on every configuration.
+#include "api/dnj.hpp"
+
+// Touch a symbol so the TU is not entirely vacuous.
+static_assert(dnj::api::kApiVersionMajor >= 1, "public API major version");

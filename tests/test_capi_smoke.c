@@ -1,0 +1,138 @@
+/* Pure C (-std=c11) smoke test of the dnj_c.h ABI: proves the header
+ * compiles as strict C, links against the library, and that a C caller
+ * can round-trip encode -> decode -> transcode and receive the documented
+ * typed statuses — with no C++ runtime knowledge and no exceptions
+ * crossing the boundary.
+ *
+ * Plain main()-returns-nonzero-on-failure shape (no gtest in C); wired
+ * into ctest by CMakeLists.txt.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "api/dnj_c.h"
+
+#define W 48
+#define H 40
+
+static int g_failures = 0;
+
+#define CHECK(cond, what)                                        \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, what); \
+      ++g_failures;                                              \
+    }                                                            \
+  } while (0)
+
+int main(void) {
+  CHECK(dnj_abi_version() == DNJ_ABI_VERSION, "header/library ABI version skew");
+  CHECK(strcmp(dnj_status_name(DNJ_OK), "ok") == 0, "status name");
+
+  dnj_session_t* session = dnj_session_new();
+  CHECK(session != NULL, "session_new");
+  if (session == NULL) return 1;
+  CHECK(strcmp(dnj_last_error(session), "") == 0, "fresh session has no error");
+
+  /* A deterministic grayscale gradient-with-texture test image. */
+  uint8_t pixels[W * H];
+  for (int y = 0; y < H; ++y)
+    for (int x = 0; x < W; ++x)
+      pixels[y * W + x] = (uint8_t)((x * 5 + y * 3 + ((x * y) % 7) * 11) % 256);
+
+  dnj_options_t* options = dnj_options_new();
+  CHECK(options != NULL, "options_new");
+  CHECK(dnj_options_set_quality(options, 90) == DNJ_OK, "set_quality");
+  CHECK(dnj_options_set_chroma_420(options, 0) == DNJ_OK, "set_chroma_420");
+  CHECK(dnj_options_set_comment(options, "c-smoke") == DNJ_OK, "set_comment");
+  CHECK(dnj_options_digest(options) != 0, "options digest");
+
+  /* encode -> decode round trip. */
+  dnj_buffer_t jpeg = {NULL, 0};
+  CHECK(dnj_encode(session, pixels, W, H, 1, options, &jpeg) == DNJ_OK, "encode");
+  CHECK(jpeg.data != NULL && jpeg.size > 0, "encode produced bytes");
+
+  dnj_image_t decoded = {NULL, 0, 0, 0};
+  CHECK(dnj_decode(session, jpeg.data, jpeg.size, &decoded) == DNJ_OK, "decode");
+  CHECK(decoded.width == W && decoded.height == H && decoded.channels == 1,
+        "decoded geometry");
+  if (decoded.pixels != NULL) {
+    /* Lossy codec, quality 90: decoded pixels must track the input. */
+    long err_sum = 0;
+    for (int i = 0; i < W * H; ++i) {
+      long d = (long)decoded.pixels[i] - (long)pixels[i];
+      err_sum += d < 0 ? -d : d;
+    }
+    CHECK(err_sum / (W * H) < 24, "decoded pixels track the input");
+  }
+
+  /* transcode under default options. */
+  dnj_buffer_t transcoded = {NULL, 0};
+  CHECK(dnj_transcode(session, jpeg.data, jpeg.size, NULL, &transcoded) == DNJ_OK,
+        "transcode");
+  CHECK(transcoded.size > 0, "transcode produced bytes");
+
+  /* Typed error paths. */
+  uint8_t garbage[64];
+  memset(garbage, 0xAB, sizeof(garbage));
+  dnj_image_t bad_img = {NULL, 0, 0, 0};
+  CHECK(dnj_decode(session, garbage, sizeof(garbage), &bad_img) == DNJ_DECODE_ERROR,
+        "garbage stream is DNJ_DECODE_ERROR");
+  CHECK(strlen(dnj_last_error(session)) > 0, "error message recorded");
+  CHECK(dnj_decode(session, jpeg.data, jpeg.size / 2, &bad_img) == DNJ_DECODE_ERROR,
+        "truncated stream is DNJ_DECODE_ERROR");
+
+  dnj_buffer_t bad_buf = {NULL, 0};
+  CHECK(dnj_encode(session, pixels, 70000, 4, 1, NULL, &bad_buf) == DNJ_INVALID_ARGUMENT,
+        "oversized dimensions are DNJ_INVALID_ARGUMENT");
+  CHECK(dnj_encode(session, NULL, W, H, 1, NULL, &bad_buf) == DNJ_INVALID_ARGUMENT,
+        "null pixels are DNJ_INVALID_ARGUMENT");
+  CHECK(dnj_encode(NULL, pixels, W, H, 1, NULL, &bad_buf) == DNJ_INVALID_ARGUMENT,
+        "null session is DNJ_INVALID_ARGUMENT");
+
+  /* Designer: three tiny labeled images -> a usable table. */
+  dnj_designer_t* designer = dnj_designer_new();
+  CHECK(designer != NULL, "designer_new");
+  uint16_t table[64];
+  CHECK(dnj_designer_design(designer, table) == DNJ_INVALID_ARGUMENT,
+        "empty designer is DNJ_INVALID_ARGUMENT");
+  for (int label = 0; label < 3; ++label) {
+    uint8_t img[32 * 32];
+    for (int i = 0; i < 32 * 32; ++i)
+      img[i] = (uint8_t)((i * (3 + label * 2)) % 256);
+    CHECK(dnj_designer_add(designer, img, 32, 32, 1, label) == DNJ_OK, "designer_add");
+  }
+  CHECK(dnj_designer_design(designer, table) == DNJ_OK, "designer_design");
+  int nonzero = 0;
+  for (int i = 0; i < 64; ++i)
+    if (table[i] >= 1) ++nonzero;
+  CHECK(nonzero == 64, "designed table has 64 valid steps");
+
+  dnj_options_t* designed = dnj_options_new();
+  CHECK(dnj_designer_design_options(designer, designed) == DNJ_OK, "design_options");
+  dnj_buffer_t deepn = {NULL, 0};
+  CHECK(dnj_encode(session, pixels, W, H, 1, designed, &deepn) == DNJ_OK,
+        "encode with designed table");
+  CHECK(deepn.size > 0, "designed-table encode produced bytes");
+
+  /* Free everything (including NULLs, which must be inert). */
+  dnj_buffer_free(&deepn);
+  dnj_options_free(designed);
+  dnj_designer_free(designer);
+  dnj_buffer_free(&transcoded);
+  dnj_image_free(&decoded);
+  dnj_buffer_free(&jpeg);
+  dnj_options_free(options);
+  dnj_session_free(session);
+  dnj_buffer_free(NULL);
+  dnj_image_free(NULL);
+  dnj_session_free(NULL);
+
+  if (g_failures == 0) {
+    printf("test_capi_smoke: all checks passed\n");
+    return 0;
+  }
+  fprintf(stderr, "test_capi_smoke: %d failure(s)\n", g_failures);
+  return 1;
+}
