@@ -1,0 +1,361 @@
+// Open-loop load generator for the network front end (src/net): a real
+// server on a loopback socket, paced clients firing the wire protocol at
+// it, BENCH_net.json recording the RPS / latency / rejection trajectory.
+//
+// Procedure:
+//   1. calibrate — a pipelined closed loop measures the server's service
+//      capacity (requests/second) on this machine;
+//   2. three open-loop levels — offered load at 0.5x, 0.9x and 5x the
+//      measured capacity. Open loop means senders pace by the clock and
+//      never wait for replies: at 5x with a small reject-policy queue the
+//      server must shed load, and the shed requests come back as typed
+//      kRejected frames (counted, not errors — that is the overload
+//      contract under test).
+//
+// Each level records client-side total latency (send -> reply) and the
+// server-reported queue/service components from the response observability
+// block, as p50/p95/p99 over the completed (kOk) requests.
+//
+// Determinism gate: every kOk payload is digest-checked against the
+// synchronous public-API result computed upfront — a mismatch exits
+// non-zero, exactly like the serial-vs-parallel gates in the other
+// benches. Network transport must be payload-transparent.
+//
+// Usage: bench_net [connections] [requests_per_level]
+//   connections        — concurrent client connections (default 4)
+//   requests_per_level — total requests per offered-load level (default
+//                        400; use something small like 120 for CI smoke)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dnj.hpp"
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/digest.hpp"
+#include "serve/service.hpp"
+
+using namespace dnj;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One request form plus the digest of its expected payload.
+struct Form {
+  serve::Request request;
+  std::uint64_t want_digest = 0;
+};
+
+/// Distinct 32x32 encode requests with public-API-computed expectations.
+std::vector<Form> make_forms(int count) {
+  api::Session session;
+  std::vector<Form> forms;
+  forms.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    image::Image img(32, 32, 1);
+    for (int y = 0; y < 32; ++y)
+      for (int x = 0; x < 32; ++x)
+        img.at(x, y) = static_cast<std::uint8_t>((x * (3 + k) + y * (7 + k) + k * 13) & 0xFF);
+
+    Form f;
+    f.request.kind = serve::RequestKind::kEncode;
+    f.request.config.quality = 80;
+    f.request.config.subsampling = jpeg::Subsampling::k444;
+    f.request.image = img;
+
+    const auto expect = session.codec().encode(
+        api::ImageView{img.data().data(), 32, 32, 1},
+        api::EncodeOptions().quality(80).chroma_420(false));
+    if (!expect.ok()) {
+      std::fprintf(stderr, "bench_net: expectation encode failed\n");
+      std::exit(1);
+    }
+    const std::vector<std::uint8_t> bytes = expect.value();
+    f.want_digest = serve::fnv1a(bytes.data(), bytes.size());
+    forms.push_back(std::move(f));
+  }
+  return forms;
+}
+
+double quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+struct LevelResult {
+  std::string name;
+  double offered_rps = 0.0;
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  std::size_t errors = 0;
+  std::size_t mismatches = 0;
+  double elapsed_s = 0.0;
+  std::vector<double> total_ms;    ///< client-side, kOk only
+  std::vector<double> queue_ms;    ///< server-reported
+  std::vector<double> service_ms;  ///< server-reported
+};
+
+/// Pipelined closed loop on one connection: measures service capacity.
+double calibrate_rps(std::uint16_t port, const std::vector<Form>& forms, int requests) {
+  net::Client client;
+  std::string error;
+  if (!client.connect("127.0.0.1", port, &error)) {
+    std::fprintf(stderr, "bench_net: calibrate connect: %s\n", error.c_str());
+    std::exit(1);
+  }
+  const int depth = 8;  // enough outstanding work to keep every worker busy
+  int sent = 0, received = 0;
+  const Clock::time_point t0 = Clock::now();
+  while (received < requests) {
+    while (sent < requests && sent - received < depth) {
+      if (client.send_request(forms[static_cast<std::size_t>(sent) % forms.size()].request,
+                              &error) == 0) {
+        std::fprintf(stderr, "bench_net: calibrate send: %s\n", error.c_str());
+        std::exit(1);
+      }
+      ++sent;
+    }
+    net::WireReply reply;
+    if (!client.recv_reply(&reply, &error)) {
+      std::fprintf(stderr, "bench_net: calibrate recv: %s\n", error.c_str());
+      std::exit(1);
+    }
+    ++received;
+  }
+  const double elapsed = seconds_since(t0);
+  return elapsed > 0 ? requests / elapsed : 1000.0;
+}
+
+/// One open-loop level: `connections` clients pace `total_requests` sends
+/// at `offered_rps` aggregate, never waiting for replies.
+LevelResult run_level(std::uint16_t port, const std::vector<Form>& forms,
+                      const std::string& name, double offered_rps, int connections,
+                      int total_requests) {
+  LevelResult result;
+  result.name = name;
+  result.offered_rps = offered_rps;
+
+  const int per_conn = total_requests / connections;
+  const double interval_s = connections / offered_rps;
+
+  struct ConnState {
+    net::Client client;
+    std::vector<Clock::time_point> send_time;
+    std::vector<std::size_t> form_index;
+    std::size_t sent = 0, ok = 0, rejected = 0, errors = 0, mismatches = 0;
+    std::vector<double> total_ms, queue_ms, service_ms;
+  };
+  std::vector<ConnState> conns(static_cast<std::size_t>(connections));
+  for (ConnState& c : conns) {
+    std::string error;
+    if (!c.client.connect("127.0.0.1", port, &error)) {
+      std::fprintf(stderr, "bench_net: connect: %s\n", error.c_str());
+      std::exit(1);
+    }
+    c.send_time.resize(static_cast<std::size_t>(per_conn));
+    c.form_index.resize(static_cast<std::size_t>(per_conn));
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+
+  for (int ci = 0; ci < connections; ++ci) {
+    ConnState& c = conns[static_cast<std::size_t>(ci)];
+
+    // Sender: paces by the wall clock (open loop — no reply feedback).
+    // The Client's send half (fd + id counter) and receive half (fd +
+    // parser) are disjoint state, so one sender + one reader may share it.
+    threads.emplace_back([&c, ci, per_conn, interval_s, start, &forms, connections] {
+      std::string error;
+      for (int i = 0; i < per_conn; ++i) {
+        const double due =
+            (static_cast<double>(i) + static_cast<double>(ci) / connections) * interval_s;
+        for (;;) {
+          const double now = seconds_since(start);
+          if (now >= due) break;
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(due - now, 0.002)));
+        }
+        const std::size_t form = static_cast<std::size_t>((i * 13 + ci * 7) %
+                                                          static_cast<int>(forms.size()));
+        c.form_index[static_cast<std::size_t>(i)] = form;
+        c.send_time[static_cast<std::size_t>(i)] = Clock::now();
+        if (c.client.send_request(forms[form].request, &error) == 0) {
+          ++c.errors;
+          return;  // connection is dead; reader will error out too
+        }
+        ++c.sent;
+      }
+    });
+
+    // Reader: collects replies, correlates by request id (fresh client =>
+    // ids are 1..per_conn in send order), gates payload digests.
+    threads.emplace_back([&c, per_conn, &forms] {
+      std::string error;
+      for (int i = 0; i < per_conn; ++i) {
+        net::WireReply reply;
+        if (!c.client.recv_reply(&reply, &error)) {
+          ++c.errors;
+          return;
+        }
+        const Clock::time_point now = Clock::now();
+        if (reply.request_id == 0 || reply.request_id > static_cast<std::uint32_t>(per_conn)) {
+          ++c.errors;
+          continue;
+        }
+        const std::size_t idx = reply.request_id - 1;
+        if (reply.status == net::WireStatus::kRejected) {
+          ++c.rejected;
+          continue;
+        }
+        if (reply.status != net::WireStatus::kOk) {
+          ++c.errors;
+          continue;
+        }
+        ++c.ok;
+        if (serve::fnv1a(reply.bytes.data(), reply.bytes.size()) !=
+            forms[c.form_index[idx]].want_digest)
+          ++c.mismatches;
+        c.total_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - c.send_time[idx]).count());
+        c.queue_ms.push_back(reply.queue_us / 1000.0);
+        c.service_ms.push_back(reply.service_us / 1000.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.elapsed_s = seconds_since(start);
+
+  for (ConnState& c : conns) {
+    result.sent += c.sent;
+    result.ok += c.ok;
+    result.rejected += c.rejected;
+    result.errors += c.errors;
+    result.mismatches += c.mismatches;
+    result.total_ms.insert(result.total_ms.end(), c.total_ms.begin(), c.total_ms.end());
+    result.queue_ms.insert(result.queue_ms.end(), c.queue_ms.begin(), c.queue_ms.end());
+    result.service_ms.insert(result.service_ms.end(), c.service_ms.begin(),
+                             c.service_ms.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int connections = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int requests_per_level = argc > 2 ? std::atoi(argv[2]) : 400;
+  if (connections < 1 || requests_per_level < connections) {
+    std::fprintf(stderr, "usage: %s [connections >= 1] [requests_per_level >= connections]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Reject-policy service with a deliberately small queue: overload must
+  // surface as typed rejections, which the 5x level exists to trigger.
+  serve::ServiceConfig service_cfg;
+  service_cfg.workers = 2;
+  service_cfg.queue_capacity = 32;
+  service_cfg.admission = serve::AdmissionPolicy::kReject;
+  serve::TranscodeService service(std::move(service_cfg));
+
+  net::Server server(service, net::ServerConfig{});
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_net: server start: %s\n", error.c_str());
+    return 1;
+  }
+  const std::uint16_t port = static_cast<std::uint16_t>(server.port());
+
+  const std::vector<Form> forms = make_forms(32);
+
+  std::printf("bench_net: calibrating on 127.0.0.1:%u ...\n", port);
+  const double capacity =
+      calibrate_rps(port, forms, std::min(requests_per_level, 200));
+  std::printf("bench_net: measured capacity %.0f req/s\n", capacity);
+
+  const struct {
+    const char* name;
+    double factor;
+  } kLevels[] = {{"underload-0.5x", 0.5}, {"nearload-0.9x", 0.9}, {"overload-5x", 5.0}};
+
+  bench::JsonWriter json("BENCH_net");
+  json.field("connections", connections);
+  json.field("requests_per_level", requests_per_level);
+  json.field("capacity_rps", capacity);
+  json.field("queue_capacity", static_cast<std::size_t>(32));
+  json.field("workers", 2);
+
+  std::size_t total_mismatches = 0;
+  bool overload_rejected = false;
+  json.begin_array("levels");
+  for (const auto& level : kLevels) {
+    const double offered = capacity * level.factor;
+    LevelResult r = run_level(port, forms, level.name, offered, connections,
+                              requests_per_level);
+    total_mismatches += r.mismatches;
+    if (level.factor > 1.0 && r.rejected > 0) overload_rejected = true;
+
+    const double goodput = r.elapsed_s > 0 ? r.ok / r.elapsed_s : 0.0;
+    std::printf(
+        "bench_net: %-14s offered %7.0f rps  ok %5zu  rejected %5zu  errors %3zu  "
+        "goodput %7.0f rps  p99 %.2f ms\n",
+        r.name.c_str(), offered, r.ok, r.rejected, r.errors, goodput,
+        quantile(r.total_ms, 0.99));
+
+    json.begin_object();
+    json.field("name", r.name);
+    json.field("offered_rps", r.offered_rps);
+    json.field("sent", r.sent);
+    json.field("ok", r.ok);
+    json.field("rejected", r.rejected);
+    json.field("errors", r.errors);
+    json.field("elapsed_s", r.elapsed_s);
+    json.field("achieved_rps", r.elapsed_s > 0 ? r.sent / r.elapsed_s : 0.0);
+    json.field("goodput_rps", goodput);
+    json.field("total_p50_ms", quantile(r.total_ms, 0.50));
+    json.field("total_p95_ms", quantile(r.total_ms, 0.95));
+    json.field("total_p99_ms", quantile(r.total_ms, 0.99));
+    json.field("queue_p50_ms", quantile(r.queue_ms, 0.50));
+    json.field("queue_p95_ms", quantile(r.queue_ms, 0.95));
+    json.field("queue_p99_ms", quantile(r.queue_ms, 0.99));
+    json.field("service_p50_ms", quantile(r.service_ms, 0.50));
+    json.field("service_p95_ms", quantile(r.service_ms, 0.95));
+    json.field("service_p99_ms", quantile(r.service_ms, 0.99));
+    json.end_object();
+  }
+  json.end_array();
+  json.field("overload_rejected", overload_rejected);
+  json.field("payload_mismatches", total_mismatches);
+
+  server.stop();
+  service.shutdown();
+
+  if (total_mismatches != 0) {
+    std::fprintf(stderr,
+                 "bench_net: DETERMINISM GATE FAILED: %zu payload mismatch(es) vs the "
+                 "synchronous public API\n",
+                 total_mismatches);
+    return 1;
+  }
+  if (!overload_rejected)
+    std::fprintf(stderr,
+                 "bench_net: note: the overload level produced no rejections on this "
+                 "machine (capacity estimate may be low)\n");
+  std::printf("bench_net: wrote %s\n", json.path().c_str());
+  return 0;
+}

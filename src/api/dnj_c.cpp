@@ -11,6 +11,7 @@
 #include <new>
 #include <string>
 
+#include "api/service.hpp"
 #include "api/session.hpp"
 
 namespace api = dnj::api;
@@ -37,6 +38,12 @@ struct dnj_options_t {
 
 struct dnj_designer_t {
   api::TableDesigner designer;
+};
+
+struct dnj_server_t {
+  explicit dnj_server_t(const api::ServiceOptions& options) : service(options) {}
+  api::Service service;
+  std::string last_error;
 };
 
 namespace {
@@ -262,6 +269,60 @@ dnj_status_t dnj_designer_design_options(dnj_designer_t* designer,
     options->options = result.value().encode_options();
     return DNJ_OK;
   });
+}
+
+dnj_server_t* dnj_server_new(int32_t workers, size_t queue_capacity,
+                             int32_t reject_when_full) {
+  try {
+    api::ServiceOptions options;
+    if (workers > 0) options.workers(workers);
+    if (queue_capacity > 0) options.queue_capacity(queue_capacity);
+    options.reject_when_full(reject_when_full != 0);
+    return new dnj_server_t(options);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void dnj_server_free(dnj_server_t* server) { delete server; }
+
+const char* dnj_server_last_error(const dnj_server_t* server) {
+  return server != nullptr ? server->last_error.c_str() : "";
+}
+
+dnj_status_t dnj_server_listen(dnj_server_t* server, const char* host, uint16_t port,
+                               uint16_t* out_port) {
+  if (server == nullptr) return DNJ_INVALID_ARGUMENT;
+  try {
+    api::ListenOptions options;
+    if (host != nullptr) options.host(host);
+    options.port(port);
+    const api::Status s = server->service.listen(options);
+    if (!s.ok()) {
+      server->last_error = s.message();
+      return static_cast<dnj_status_t>(s.code());
+    }
+    if (out_port != nullptr) *out_port = static_cast<uint16_t>(server->service.listen_port());
+    return DNJ_OK;
+  } catch (const std::exception& e) {
+    server->last_error = e.what();
+    return DNJ_INTERNAL;
+  } catch (...) {
+    server->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
+int32_t dnj_server_port(const dnj_server_t* server) {
+  return server != nullptr ? server->service.listen_port() : -1;
+}
+
+void dnj_server_stop(dnj_server_t* server) {
+  if (server == nullptr) return;
+  try {
+    server->service.stop_listening();
+  } catch (...) {
+  }
 }
 
 }  // extern "C"

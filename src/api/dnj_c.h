@@ -49,7 +49,7 @@ extern "C" {
 /* ------------------------------------------------------------- version */
 
 #define DNJ_ABI_VERSION_MAJOR 1
-#define DNJ_ABI_VERSION_MINOR 0
+#define DNJ_ABI_VERSION_MINOR 1
 #define DNJ_ABI_VERSION ((uint32_t)((DNJ_ABI_VERSION_MAJOR << 16) | DNJ_ABI_VERSION_MINOR))
 
 /* ABI version of the linked library: (major << 16) | minor. */
@@ -144,6 +144,36 @@ dnj_status_t dnj_decode(dnj_session_t* session, const uint8_t* bytes, size_t siz
  * by encode of the decoded pixels). */
 dnj_status_t dnj_transcode(dnj_session_t* session, const uint8_t* bytes, size_t size,
                            const dnj_options_t* options, dnj_buffer_t* out);
+
+/* -------------------------------------------------------------- server */
+
+/* Opaque network server: an asynchronous transcode service (worker pool,
+ * bounded queue, micro-batching, result cache) fronted by the TCP
+ * protocol in docs/PROTOCOL.md. Added in ABI 1.1. */
+typedef struct dnj_server_t dnj_server_t;
+
+/* Creates a stopped server. `workers` <= 0 and `queue_capacity` == 0 pick
+ * the library defaults. `reject_when_full` != 0 answers a full queue with
+ * a typed DNJ_REJECTED response (recommended for network use — see
+ * docs/OPERATIONS.md) instead of applying TCP backpressure. */
+dnj_server_t* dnj_server_new(int32_t workers, size_t queue_capacity,
+                             int32_t reject_when_full);
+void dnj_server_free(dnj_server_t* server);
+
+/* Message of the most recent failing call on this server ("" if none). */
+const char* dnj_server_last_error(const dnj_server_t* server);
+
+/* Binds host:port (host NULL = "127.0.0.1", port 0 = ephemeral) and
+ * starts serving. *out_port (optional) receives the bound port. */
+dnj_status_t dnj_server_listen(dnj_server_t* server, const char* host, uint16_t port,
+                               uint16_t* out_port);
+
+/* The bound port while listening, -1 otherwise. */
+int32_t dnj_server_port(const dnj_server_t* server);
+
+/* Graceful stop: stop accepting, drain in-flight requests, flush
+ * responses, close. Idempotent; implied by dnj_server_free. */
+void dnj_server_stop(dnj_server_t* server);
 
 /* ------------------------------------------------------------ designer */
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "api/convert.hpp"
+#include "net/server.hpp"
 #include "serve/service.hpp"
 
 namespace dnj::api {
@@ -81,6 +82,9 @@ ServiceReply Pending::get() {
 struct Service::Impl {
   explicit Impl(serve::ServiceConfig cfg) : service(std::move(cfg)) {}
   serve::TranscodeService service;
+  // Declared after `service` so destruction stops the listener before the
+  // service it feeds.
+  std::unique_ptr<net::Server> server;
 };
 
 Service::Service(const ServiceOptions& options) {
@@ -166,6 +170,38 @@ ServiceMetrics Service::metrics() const {
   return m;
 }
 
-void Service::shutdown() { impl_->service.shutdown(); }
+Status Service::listen(const ListenOptions& options) {
+  if (impl_->server && impl_->server->running()) {
+    return {StatusCode::kInternal, "service is already listening"};
+  }
+  net::ServerConfig cfg;
+  cfg.host = options.host();
+  cfg.port = options.port();
+  cfg.max_connections = options.max_connections();
+  cfg.idle_timeout_ms = options.idle_timeout_ms();
+  auto server = std::make_unique<net::Server>(impl_->service, std::move(cfg));
+  std::string error;
+  if (!server->start(&error)) {
+    return {StatusCode::kInternal, "listen failed: " + error};
+  }
+  impl_->server = std::move(server);
+  return Status::success();
+}
+
+int Service::listen_port() const {
+  return impl_->server ? impl_->server->port() : -1;
+}
+
+void Service::stop_listening() {
+  if (impl_->server) {
+    impl_->server->stop();
+    impl_->server.reset();
+  }
+}
+
+void Service::shutdown() {
+  stop_listening();
+  impl_->service.shutdown();
+}
 
 }  // namespace dnj::api

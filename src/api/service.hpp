@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "api/status.hpp"
@@ -67,6 +68,44 @@ class ServiceOptions {
   bool reject_when_full_ = false;
   int max_batch_ = 8;
   std::size_t result_cache_ = 256;
+};
+
+/// Builder-style configuration for the TCP front end (src/net). Tuning
+/// guidance lives in docs/OPERATIONS.md; the wire format in
+/// docs/PROTOCOL.md.
+class ListenOptions {
+ public:
+  ListenOptions& host(std::string h) {
+    host_ = std::move(h);
+    return *this;
+  }
+  /// 0 = ephemeral; read the bound port from Service::listen_port().
+  ListenOptions& port(std::uint16_t p) {
+    port_ = p;
+    return *this;
+  }
+  /// Accepted-connection cap; surplus connections are refused with a typed
+  /// kRejected frame.
+  ListenOptions& max_connections(int n) {
+    max_connections_ = n;
+    return *this;
+  }
+  /// Idle connections are closed after this long (0 disables).
+  ListenOptions& idle_timeout_ms(int ms) {
+    idle_timeout_ms_ = ms;
+    return *this;
+  }
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+  int max_connections() const { return max_connections_; }
+  int idle_timeout_ms() const { return idle_timeout_ms_; }
+
+ private:
+  std::string host_ = "127.0.0.1";
+  std::uint16_t port_ = 0;
+  int max_connections_ = 64;
+  int idle_timeout_ms_ = 30000;
 };
 
 /// One fulfilled service reply. Exactly one payload field is populated on
@@ -137,8 +176,25 @@ class Service {
 
   ServiceMetrics metrics() const;
 
-  /// Graceful shutdown: refuse new work (kShutdown), drain accepted work,
-  /// join workers. Idempotent; the destructor calls it.
+  /// Starts the TCP front end (src/net, wire format in docs/PROTOCOL.md)
+  /// over this service. Network responses are byte-identical to the
+  /// in-process calls above — the determinism contract crosses the wire.
+  /// One listener per Service; a second listen() without stop_listening()
+  /// fails. Returns success or a kInternal status describing the bind
+  /// failure.
+  Status listen(const ListenOptions& options = {});
+
+  /// The bound TCP port (the ephemeral answer) while listening, else -1.
+  int listen_port() const;
+
+  /// Drains and closes the listener: stop accepting, let in-flight
+  /// requests complete and flush, close connections. Idempotent; implied
+  /// by shutdown() and destruction.
+  void stop_listening();
+
+  /// Graceful shutdown: stop the listener first (if any), then refuse new
+  /// work (kShutdown), drain accepted work, join workers. Idempotent; the
+  /// destructor calls it.
   void shutdown();
 
  private:

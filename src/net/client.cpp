@@ -1,0 +1,99 @@
+#include "net/client.hpp"
+
+namespace dnj::net {
+
+bool Client::connect(const std::string& host, std::uint16_t port, std::string* error,
+                     int recv_timeout_ms) {
+  fd_ = tcp_connect(host, port, error);
+  if (!fd_.valid()) return false;
+  parser_ = FrameParser();  // fresh stream state per connection
+  if (recv_timeout_ms > 0) set_recv_timeout_ms(fd_.get(), recv_timeout_ms);
+  return true;
+}
+
+std::uint32_t Client::send_request(const serve::Request& req, std::string* error) {
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(make_request(id, req), error)) return 0;
+  return id;
+}
+
+std::uint32_t Client::send_ping(std::string* error) {
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(make_ping(id), error)) return 0;
+  return id;
+}
+
+bool Client::send_frame(const Frame& frame, std::string* error) {
+  const std::vector<std::uint8_t> bytes = serialize_frame(frame);
+  return send_raw(bytes.data(), bytes.size(), error);
+}
+
+bool Client::send_raw(const void* data, std::size_t n, std::string* error) {
+  if (!fd_.valid()) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  if (!send_all(fd_.get(), data, n)) {
+    if (error) *error = "send failed (peer closed?)";
+    return false;
+  }
+  return true;
+}
+
+bool Client::recv_reply(WireReply* out, std::string* error) {
+  if (!fd_.valid()) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  Frame frame;
+  for (;;) {
+    const ParseResult pr = parser_.next(&frame);
+    if (pr == ParseResult::kFrame) {
+      if (!parse_response(frame, out)) {
+        if (error) *error = "unparseable response payload";
+        return false;
+      }
+      return true;
+    }
+    if (pr != ParseResult::kNeedMore) {
+      if (error) *error = "protocol error in response stream";
+      return false;
+    }
+    std::uint8_t buf[64 * 1024];
+    const long got = recv_some(fd_.get(), buf, sizeof buf);
+    if (got == 0) {
+      if (error) *error = "connection closed by server";
+      return false;
+    }
+    if (got < 0) {
+      if (error) *error = "recv failed or timed out";
+      return false;
+    }
+    parser_.feed(buf, static_cast<std::size_t>(got));
+  }
+}
+
+bool Client::call(const serve::Request& req, WireReply* out, std::string* error) {
+  const std::uint32_t id = send_request(req, error);
+  if (id == 0) return false;
+  if (!recv_reply(out, error)) return false;
+  if (out->request_id != id) {
+    if (error) *error = "response id does not match request id";
+    return false;
+  }
+  return true;
+}
+
+bool Client::ping(std::string* error) {
+  const std::uint32_t id = send_ping(error);
+  if (id == 0) return false;
+  WireReply reply;
+  if (!recv_reply(&reply, error)) return false;
+  if (reply.request_id != id || reply.status != WireStatus::kOk) {
+    if (error) *error = "unexpected ping reply";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dnj::net

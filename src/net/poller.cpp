@@ -1,0 +1,158 @@
+#include "net/poller.hpp"
+
+#include <cerrno>
+#include <unordered_map>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define DNJ_NET_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define DNJ_NET_HAVE_EPOLL 0
+#endif
+
+namespace dnj::net {
+
+namespace {
+
+#if DNJ_NET_HAVE_EPOLL
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+  bool ok() const { return epfd_ >= 0; }
+
+  bool add(int fd, std::uint64_t id, bool want_read, bool want_write) override {
+    ids_[fd] = id;
+    epoll_event ev = make_event(fd, want_read, want_write);
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  void update(int fd, bool want_read, bool want_write) override {
+    epoll_event ev = make_event(fd, want_read, want_write);
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void remove(int fd) override {
+    ids_.erase(fd);
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    if (n <= 0) return 0;  // timeout or EINTR — both are zero-event wakes
+    for (int i = 0; i < n; ++i) {
+      PollEvent e;
+      e.id = events[i].data.u64;
+      e.readable = (events[i].events & EPOLLIN) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(e);
+    }
+    return n;
+  }
+
+ private:
+  epoll_event make_event(int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.u64 = ids_[fd];
+    return ev;
+  }
+
+  int epfd_;
+  // epoll_data carries the id, but MOD needs it again — keep the mapping.
+  std::unordered_map<int, std::uint64_t> ids_;
+};
+
+#endif  // DNJ_NET_HAVE_EPOLL
+
+class PollPoller final : public Poller {
+ public:
+  bool add(int fd, std::uint64_t id, bool want_read, bool want_write) override {
+    if (index_.count(fd)) return false;
+    index_[fd] = fds_.size();
+    pollfd p{};
+    p.fd = fd;
+    p.events = events_mask(want_read, want_write);
+    fds_.push_back(p);
+    ids_.push_back(id);
+    return true;
+  }
+
+  void update(int fd, bool want_read, bool want_write) override {
+    auto it = index_.find(fd);
+    if (it != index_.end()) fds_[it->second].events = events_mask(want_read, want_write);
+  }
+
+  void remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t i = it->second;
+    const std::size_t last = fds_.size() - 1;
+    if (i != last) {  // swap-with-last keeps removal O(1)
+      fds_[i] = fds_[last];
+      ids_[i] = ids_[last];
+      index_[fds_[i].fd] = i;
+    }
+    fds_.pop_back();
+    ids_.pop_back();
+    index_.erase(it);
+  }
+
+  int wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return 0;
+    int appended = 0;
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+      const short re = fds_[i].revents;
+      if (re == 0) continue;
+      PollEvent e;
+      e.id = ids_[i];
+      e.readable = (re & POLLIN) != 0;
+      e.writable = (re & POLLOUT) != 0;
+      e.error = (re & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(e);
+      ++appended;
+    }
+    return appended;
+  }
+
+ private:
+  static short events_mask(bool want_read, bool want_write) {
+    short m = 0;
+    if (want_read) m |= POLLIN;
+    if (want_write) m |= POLLOUT;
+    return m;
+  }
+
+  std::vector<pollfd> fds_;
+  std::vector<std::uint64_t> ids_;  ///< parallel to fds_
+  std::unordered_map<int, std::size_t> index_;
+};
+
+}  // namespace
+
+bool epoll_available() { return DNJ_NET_HAVE_EPOLL != 0; }
+
+std::unique_ptr<Poller> make_poller(PollerBackend backend) {
+#if DNJ_NET_HAVE_EPOLL
+  if (backend == PollerBackend::kAuto || backend == PollerBackend::kEpoll) {
+    auto p = std::make_unique<EpollPoller>();
+    if (p->ok()) return p;
+    if (backend == PollerBackend::kEpoll) return nullptr;
+  }
+#else
+  if (backend == PollerBackend::kEpoll) return nullptr;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace dnj::net

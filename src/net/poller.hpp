@@ -1,0 +1,54 @@
+// Readiness-notification abstraction behind the event-loop server: one
+// interface, two backends — epoll (Linux, O(ready) per wake) and poll
+// (portable POSIX fallback, O(fds) per wake). The server is written
+// against this interface only, so both backends run the exact same
+// connection state machine; tests and the DNJ_NET_BACKEND env knob
+// (docs/OPERATIONS.md) exercise each explicitly.
+//
+// Semantics are the common denominator of the two: level-triggered
+// readiness, one registration per fd, interest updated in place. Every fd
+// is registered with a caller-chosen 64-bit id (generation-counted
+// connection ids, not raw fds, so a recycled descriptor can never alias a
+// stale event).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dnj::net {
+
+struct PollEvent {
+  std::uint64_t id = 0;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< ERR/HUP — the owner should close the fd
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  virtual bool add(int fd, std::uint64_t id, bool want_read, bool want_write) = 0;
+  virtual void update(int fd, bool want_read, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) and appends ready events
+  /// to *out. Returns the number appended (0 on timeout; EINTR is treated
+  /// as a zero-event wake, not an error).
+  virtual int wait(int timeout_ms, std::vector<PollEvent>* out) = 0;
+};
+
+enum class PollerBackend {
+  kAuto,   ///< epoll where available, poll otherwise
+  kEpoll,  ///< Linux epoll; creation fails on other platforms
+  kPoll,   ///< portable poll(2)
+};
+
+/// Creates the requested backend (nullptr if unavailable on this platform).
+std::unique_ptr<Poller> make_poller(PollerBackend backend);
+
+/// True when this build has the epoll backend compiled in.
+bool epoll_available();
+
+}  // namespace dnj::net

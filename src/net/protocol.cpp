@@ -1,0 +1,403 @@
+#include "net/protocol.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "api/status.hpp"
+#include "serve/digest.hpp"
+
+namespace dnj::net {
+
+// The wire status byte is defined to mirror the public API's StatusCode
+// value-for-value on 0..5, so a wire status a foreign client logs and a
+// dnj_status_t an embedder logs agree without a translation table.
+static_assert(static_cast<int>(WireStatus::kOk) == static_cast<int>(api::StatusCode::kOk));
+static_assert(static_cast<int>(WireStatus::kInvalidArgument) ==
+              static_cast<int>(api::StatusCode::kInvalidArgument));
+static_assert(static_cast<int>(WireStatus::kDecodeError) ==
+              static_cast<int>(api::StatusCode::kDecodeError));
+static_assert(static_cast<int>(WireStatus::kRejected) ==
+              static_cast<int>(api::StatusCode::kRejected));
+static_assert(static_cast<int>(WireStatus::kShutdown) ==
+              static_cast<int>(api::StatusCode::kShutdown));
+static_assert(static_cast<int>(WireStatus::kInternal) ==
+              static_cast<int>(api::StatusCode::kInternal));
+
+namespace {
+
+/// Forward-only reader over a payload with explicit bounds checks: every
+/// parse path below either consumes exactly what the spec says or reports
+/// a typed failure — no reads past the end, ever.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  bool take(std::size_t n, const std::uint8_t** out) {
+    if (left < n) return false;
+    *out = p;
+    p += n;
+    left -= n;
+    return true;
+  }
+  bool u8(std::uint8_t* v) {
+    const std::uint8_t* q;
+    if (!take(1, &q)) return false;
+    *v = *q;
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    const std::uint8_t* q;
+    if (!take(4, &q)) return false;
+    *v = read_u32(q);
+    return true;
+  }
+};
+
+void append_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(out, bits);
+}
+
+double read_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = read_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void append_image(const image::Image& img, std::vector<std::uint8_t>& out) {
+  append_u32(out, static_cast<std::uint32_t>(img.width()));
+  append_u32(out, static_cast<std::uint32_t>(img.height()));
+  append_u32(out, static_cast<std::uint32_t>(img.channels()));
+  out.insert(out.end(), img.data().begin(), img.data().end());
+}
+
+/// Parses the image block. Truncation/excess is kMalformed; out-of-range
+/// geometry is kInvalidArgument (the structural read is still sound —
+/// width/height/channels are read before the pixel count is trusted).
+WireStatus parse_image(Cursor& c, bool must_consume_all, image::Image* out) {
+  std::uint32_t w = 0, h = 0, ch = 0;
+  if (!c.u32(&w) || !c.u32(&h) || !c.u32(&ch)) return WireStatus::kMalformed;
+  if (w < 1 || w > 65535 || h < 1 || h > 65535) return WireStatus::kInvalidArgument;
+  if (ch != 1 && ch != 3) return WireStatus::kInvalidArgument;
+  const std::size_t bytes = std::size_t{w} * h * ch;
+  const std::uint8_t* px;
+  if (!c.take(bytes, &px)) return WireStatus::kMalformed;
+  if (must_consume_all && c.left != 0) return WireStatus::kMalformed;
+  *out = image::Image(static_cast<int>(w), static_cast<int>(h), static_cast<int>(ch),
+                      std::vector<std::uint8_t>(px, px + bytes));
+  return WireStatus::kOk;
+}
+
+WireStatus parse_options(Cursor& c, jpeg::EncoderConfig* out) {
+  std::uint32_t quality = 0, restart = 0, comment_len = 0;
+  std::uint8_t custom = 0, subsampling = 0, optimize = 0, reserved = 0;
+  if (!c.u32(&quality) || !c.u8(&custom) || !c.u8(&subsampling) || !c.u8(&optimize) ||
+      !c.u8(&reserved) || !c.u32(&restart) || !c.u32(&comment_len))
+    return WireStatus::kMalformed;
+  if (custom > 1 || subsampling > 1 || optimize > 1 || reserved != 0)
+    return WireStatus::kMalformed;
+  const std::uint8_t* comment;
+  if (!c.take(comment_len, &comment)) return WireStatus::kMalformed;
+
+  jpeg::EncoderConfig cfg;
+  cfg.quality = static_cast<int>(quality);
+  cfg.use_custom_tables = custom != 0;
+  cfg.subsampling = subsampling == 0 ? jpeg::Subsampling::k444 : jpeg::Subsampling::k420;
+  cfg.optimize_huffman = optimize != 0;
+  cfg.restart_interval = static_cast<int>(restart);
+  cfg.comment.assign(reinterpret_cast<const char*>(comment), comment_len);
+  if (custom) {
+    const std::uint8_t* steps;
+    std::array<std::uint16_t, 64> natural;
+    if (!c.take(128, &steps)) return WireStatus::kMalformed;
+    for (int i = 0; i < 64; ++i) natural[static_cast<std::size_t>(i)] = read_u16(steps + 2 * i);
+    cfg.luma_table = jpeg::QuantTable(natural);
+    if (!c.take(128, &steps)) return WireStatus::kMalformed;
+    for (int i = 0; i < 64; ++i) natural[static_cast<std::size_t>(i)] = read_u16(steps + 2 * i);
+    cfg.chroma_table = jpeg::QuantTable(natural);
+  }
+  // Range validation after the structural read so a truncated frame is
+  // always kMalformed, never misreported as a bad argument.
+  if (cfg.quality < 1 || cfg.quality > 100) return WireStatus::kInvalidArgument;
+  if (static_cast<std::int32_t>(restart) < 0) return WireStatus::kInvalidArgument;
+  *out = cfg;
+  return WireStatus::kOk;
+}
+
+WireStatus wire_status_from_serve(serve::Status s) {
+  switch (s) {
+    case serve::Status::kOk: return WireStatus::kOk;
+    case serve::Status::kRejected: return WireStatus::kRejected;
+    case serve::Status::kShutdown: return WireStatus::kShutdown;
+    case serve::Status::kError: break;
+  }
+  return WireStatus::kInternal;
+}
+
+/// The wire digest hash: textbook FNV-1a 64 with the standard offset
+/// basis, NOT serve::fnv1a (whose seed is an internal constant free to
+/// change). A foreign client must be able to reproduce this from the
+/// published parameters alone.
+std::uint64_t wire_fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Op op_from_kind(serve::RequestKind kind) {
+  switch (kind) {
+    case serve::RequestKind::kEncode: return Op::kEncode;
+    case serve::RequestKind::kDecode: return Op::kDecode;
+    case serve::RequestKind::kTranscode: return Op::kTranscode;
+    case serve::RequestKind::kDeepnEncode: return Op::kDeepnEncode;
+    case serve::RequestKind::kInfer: return Op::kInfer;
+  }
+  return Op::kPing;
+}
+
+}  // namespace
+
+void append_options(const jpeg::EncoderConfig& config, std::vector<std::uint8_t>& out) {
+  append_u32(out, static_cast<std::uint32_t>(config.quality));
+  append_u8(out, config.use_custom_tables ? 1 : 0);
+  append_u8(out, config.subsampling == jpeg::Subsampling::k444 ? 0 : 1);
+  append_u8(out, config.optimize_huffman ? 1 : 0);
+  append_u8(out, 0);  // reserved
+  append_u32(out, static_cast<std::uint32_t>(config.restart_interval));
+  append_u32(out, static_cast<std::uint32_t>(config.comment.size()));
+  out.insert(out.end(), config.comment.begin(), config.comment.end());
+  if (config.use_custom_tables) {
+    for (int i = 0; i < 64; ++i) append_u16(out, config.luma_table.step(i));
+    for (int i = 0; i < 64; ++i) append_u16(out, config.chroma_table.step(i));
+  }
+}
+
+std::uint64_t wire_config_digest(const serve::Request& req) {
+  // Digest of the payload's options section only — recomputable by the
+  // receiver from the bytes it just parsed, independent of any in-process
+  // digest scheme (which may evolve freely behind the API).
+  static thread_local std::vector<std::uint8_t> scratch;
+  scratch.clear();
+  switch (req.kind) {
+    case serve::RequestKind::kEncode:
+    case serve::RequestKind::kTranscode:
+      append_options(req.config, scratch);
+      break;
+    case serve::RequestKind::kDeepnEncode:
+      append_u32(scratch, static_cast<std::uint32_t>(req.quality));
+      break;
+    case serve::RequestKind::kDecode:
+    case serve::RequestKind::kInfer:
+      return 0;
+  }
+  return wire_fnv1a(scratch.data(), scratch.size());
+}
+
+Frame make_request(std::uint32_t request_id, const serve::Request& req) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.op = op_from_kind(req.kind);
+  f.request_id = request_id;
+  f.config_digest = wire_config_digest(req);
+  switch (req.kind) {
+    case serve::RequestKind::kEncode:
+      append_options(req.config, f.payload);
+      append_image(req.image, f.payload);
+      break;
+    case serve::RequestKind::kDecode:
+    case serve::RequestKind::kInfer:
+      f.payload = req.bytes;
+      break;
+    case serve::RequestKind::kTranscode:
+      append_options(req.config, f.payload);
+      f.payload.insert(f.payload.end(), req.bytes.begin(), req.bytes.end());
+      break;
+    case serve::RequestKind::kDeepnEncode:
+      append_u32(f.payload, static_cast<std::uint32_t>(req.quality));
+      append_image(req.image, f.payload);
+      break;
+  }
+  return f;
+}
+
+Frame make_ping(std::uint32_t request_id) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.op = Op::kPing;
+  f.request_id = request_id;
+  return f;
+}
+
+WireStatus parse_request(const Frame& frame, serve::Request* out) {
+  if (frame.type != FrameType::kRequest) return WireStatus::kMalformed;
+  Cursor c{frame.payload.data(), frame.payload.size()};
+  serve::Request req;
+  switch (frame.op) {
+    case Op::kPing:
+      if (c.left != 0) return WireStatus::kMalformed;
+      if (frame.config_digest != 0) return WireStatus::kMalformed;
+      return WireStatus::kOk;
+    case Op::kEncode:
+    case Op::kTranscode: {
+      req.kind = frame.op == Op::kEncode ? serve::RequestKind::kEncode
+                                         : serve::RequestKind::kTranscode;
+      const std::uint8_t* options_begin = c.p;
+      if (WireStatus s = parse_options(c, &req.config); s != WireStatus::kOk) return s;
+      // The header digest covers exactly the options section; a mismatch
+      // means the header and payload disagree about what computation this
+      // is — corrupt or miscomposed, either way malformed.
+      if (frame.config_digest !=
+          wire_fnv1a(options_begin, static_cast<std::size_t>(c.p - options_begin)))
+        return WireStatus::kMalformed;
+      if (frame.op == Op::kEncode) {
+        if (WireStatus s = parse_image(c, /*must_consume_all=*/true, &req.image);
+            s != WireStatus::kOk)
+          return s;
+      } else {
+        if (c.left == 0) return WireStatus::kInvalidArgument;
+        req.bytes.assign(c.p, c.p + c.left);
+      }
+      break;
+    }
+    case Op::kDecode:
+    case Op::kInfer:
+      req.kind = frame.op == Op::kDecode ? serve::RequestKind::kDecode
+                                         : serve::RequestKind::kInfer;
+      if (frame.config_digest != 0) return WireStatus::kMalformed;
+      if (c.left == 0) return WireStatus::kInvalidArgument;
+      req.bytes.assign(c.p, c.p + c.left);
+      break;
+    case Op::kDeepnEncode: {
+      req.kind = serve::RequestKind::kDeepnEncode;
+      const std::uint8_t* quality_begin = c.p;
+      std::uint32_t quality = 0;
+      if (!c.u32(&quality)) return WireStatus::kMalformed;
+      if (frame.config_digest != wire_fnv1a(quality_begin, 4))
+        return WireStatus::kMalformed;
+      if (quality < 1 || quality > 100) return WireStatus::kInvalidArgument;
+      req.quality = static_cast<int>(quality);
+      if (WireStatus s = parse_image(c, /*must_consume_all=*/true, &req.image);
+          s != WireStatus::kOk)
+        return s;
+      break;
+    }
+    default:
+      return WireStatus::kMalformed;
+  }
+  *out = std::move(req);
+  return WireStatus::kOk;
+}
+
+Frame make_response(std::uint32_t request_id, Op op, std::uint64_t config_digest,
+                    const serve::Response& resp) {
+  const WireStatus status = wire_status_from_serve(resp.status);
+  if (status != WireStatus::kOk) return make_error(request_id, op, status, resp.error);
+
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = op;
+  f.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  f.request_id = request_id;
+  f.config_digest = config_digest;
+  // Observability block (24 bytes, fixed): scheduling facts only — the
+  // determinism contract starts at the byte after this block.
+  append_u8(f.payload, resp.cache_hit ? 1 : 0);
+  append_u8(f.payload, 0);
+  append_u8(f.payload, 0);
+  append_u8(f.payload, 0);
+  append_u32(f.payload, static_cast<std::uint32_t>(resp.batch_size));
+  append_f64(f.payload, resp.queue_us);
+  append_f64(f.payload, resp.service_us);
+  switch (op) {
+    case Op::kEncode:
+    case Op::kTranscode:
+    case Op::kDeepnEncode:
+      f.payload.insert(f.payload.end(), resp.bytes.begin(), resp.bytes.end());
+      break;
+    case Op::kDecode:
+      append_image(resp.image, f.payload);
+      break;
+    case Op::kInfer: {
+      append_u32(f.payload, static_cast<std::uint32_t>(resp.probs.size()));
+      for (float p : resp.probs) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &p, sizeof(bits));
+        append_u32(f.payload, bits);
+      }
+      break;
+    }
+    case Op::kPing:
+      break;
+  }
+  return f;
+}
+
+Frame make_error(std::uint32_t request_id, Op op, WireStatus status,
+                 const std::string& message) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = op;
+  f.status = static_cast<std::uint8_t>(status);
+  f.request_id = request_id;
+  f.payload.assign(message.begin(), message.end());
+  return f;
+}
+
+bool parse_response(const Frame& frame, WireReply* out) {
+  if (frame.type != FrameType::kResponse) return false;
+  WireReply r;
+  r.status = static_cast<WireStatus>(frame.status);
+  r.op = frame.op;
+  r.request_id = frame.request_id;
+  if (r.status != WireStatus::kOk) {
+    r.error.assign(frame.payload.begin(), frame.payload.end());
+    *out = std::move(r);
+    return true;
+  }
+  Cursor c{frame.payload.data(), frame.payload.size()};
+  if (frame.op != Op::kPing) {
+    const std::uint8_t* obs;
+    if (!c.take(kObservabilitySize, &obs)) return false;
+    r.cache_hit = obs[0] != 0;
+    r.batch_size = read_u32(obs + 4);
+    r.queue_us = read_f64(obs + 8);
+    r.service_us = read_f64(obs + 16);
+  }
+  switch (frame.op) {
+    case Op::kPing:
+      if (c.left != 0) return false;
+      break;
+    case Op::kEncode:
+    case Op::kTranscode:
+    case Op::kDeepnEncode:
+      r.bytes.assign(c.p, c.p + c.left);
+      break;
+    case Op::kDecode:
+      if (parse_image(c, /*must_consume_all=*/true, &r.image) != WireStatus::kOk)
+        return false;
+      break;
+    case Op::kInfer: {
+      std::uint32_t count = 0;
+      if (!c.u32(&count)) return false;
+      const std::uint8_t* data;
+      if (!c.take(std::size_t{count} * 4, &data) || c.left != 0) return false;
+      r.probs.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t bits = read_u32(data + 4 * i);
+        std::memcpy(&r.probs[i], &bits, sizeof(float));
+      }
+      break;
+    }
+    default:
+      return false;
+  }
+  *out = std::move(r);
+  return true;
+}
+
+}  // namespace dnj::net

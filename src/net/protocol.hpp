@@ -1,0 +1,107 @@
+// Marshalling between wire frames (net/frame.hpp) and the serving layer's
+// Request/Response vocabulary — the translation step between "bytes on a
+// socket" and "work in the MPMC queue".
+//
+// The full payload formats live in docs/PROTOCOL.md; in short, request
+// payloads are the op-specific concatenation of three documented blocks
+// (options, image, raw stream), and OK response payloads start with a
+// fixed 24-byte observability block (cache/batch/latency — never part of
+// the determinism contract) followed by the op's result. Error responses
+// carry a UTF-8 message instead.
+//
+// Everything here is pure data transformation: no sockets, no threads, no
+// service state — which is what lets tests/test_net_framing.cpp pin
+// marshalling round trips and every rejection path without opening a
+// connection, and guarantees client and server agree by construction
+// (both link this one implementation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/request.hpp"
+
+namespace dnj::net {
+
+/// Fixed-size prefix of every op-carrying OK response payload.
+inline constexpr std::size_t kObservabilitySize = 24;
+
+// --------------------------------------------------------------- requests
+
+/// Builds the request frame for `req` (any serve kind, ping excluded):
+/// serializes the payload and stamps the header's config digest. The
+/// request_id is the caller's correlation value, echoed by the server.
+Frame make_request(std::uint32_t request_id, const serve::Request& req);
+
+/// An empty liveness-probe request (answered by the server's event loop
+/// without touching the service queue).
+Frame make_ping(std::uint32_t request_id);
+
+/// Parses a request frame into a serve request. Returns kOk and fills
+/// *out, or the typed failure the server should answer with:
+///   kMalformed       — truncated/over-long blocks, unknown op, or a
+///                      header config digest that does not match the
+///                      payload's options section
+///   kInvalidArgument — structurally sound but semantically out of range
+///                      (dimensions, channels, quality, restart interval,
+///                      empty stream)
+/// kPing parses with *out untouched — the caller answers it directly.
+WireStatus parse_request(const Frame& frame, serve::Request* out);
+
+// -------------------------------------------------------------- responses
+
+/// Builds the response frame for a completed service request. Maps the
+/// serve status onto the wire (kOk/kRejected/kShutdown pass through,
+/// kError becomes kInternal), packs the observability block + result
+/// payload on success and the error message otherwise. `op` and
+/// `config_digest` echo the request's header fields.
+Frame make_response(std::uint32_t request_id, Op op, std::uint64_t config_digest,
+                    const serve::Response& resp);
+
+/// Builds a protocol-error response (no service round trip): status is one
+/// of the wire-only codes (kMalformed/kVersionSkew) or a refusal the
+/// server decides itself (e.g. kRejected for the connection cap), payload
+/// is the UTF-8 `message`.
+Frame make_error(std::uint32_t request_id, Op op, WireStatus status,
+                 const std::string& message);
+
+/// A parsed response as a client sees it. Exactly one result field is
+/// populated on kOk, matching the op; `error` carries the message
+/// otherwise. The observability fields mirror serve::Response's.
+struct WireReply {
+  WireStatus status = WireStatus::kOk;
+  Op op = Op::kPing;
+  std::uint32_t request_id = 0;
+  std::string error;
+
+  std::vector<std::uint8_t> bytes;  ///< encode / transcode / deepn result
+  image::Image image;               ///< decode result
+  std::vector<float> probs;         ///< infer result
+
+  bool cache_hit = false;
+  std::uint32_t batch_size = 0;
+  double queue_us = 0.0;
+  double service_us = 0.0;
+};
+
+/// Parses a response frame. Returns false only when the frame is not a
+/// structurally valid response (wrong type, truncated blocks) — a typed
+/// error response parses fine and lands in out->status/out->error.
+bool parse_response(const Frame& frame, WireReply* out);
+
+// ------------------------------------------------------------------ blocks
+
+/// Serializes the options block for an encoder config (the exact bytes the
+/// header's config digest hashes). Exposed for tests and foreign-client
+/// vector generation.
+void append_options(const jpeg::EncoderConfig& config, std::vector<std::uint8_t>& out);
+
+/// The wire config digest rule: FNV-1a 64 (offset 14695981039346656037,
+/// prime 1099511628211) over the payload's options section — the options
+/// block for kEncode/kTranscode, the 4-byte quality field for
+/// kDeepnEncode, nothing (digest 0) for kDecode/kInfer/kPing.
+std::uint64_t wire_config_digest(const serve::Request& req);
+
+}  // namespace dnj::net

@@ -1,0 +1,511 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/protocol.hpp"
+
+namespace dnj::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kListenerId = 1;
+constexpr std::uint64_t kWakeId = 2;
+
+PollerBackend resolve_backend(PollerBackend configured) {
+  if (configured != PollerBackend::kAuto) return configured;
+  if (const char* env = std::getenv("DNJ_NET_BACKEND")) {
+    if (std::strcmp(env, "epoll") == 0) return PollerBackend::kEpoll;
+    if (std::strcmp(env, "poll") == 0) return PollerBackend::kPoll;
+  }
+  return PollerBackend::kAuto;
+}
+
+}  // namespace
+
+struct Server::Conn {
+  explicit Conn(std::size_t max_payload) : parser(max_payload) {}
+
+  ScopedFd fd;
+  std::uint64_t id = 0;
+  FrameParser parser;
+  std::deque<std::vector<std::uint8_t>> out;
+  std::size_t out_off = 0;  ///< sent prefix of out.front()
+  Clock::time_point last_active;
+  std::uint32_t inflight = 0;  ///< submitted, response not yet queued
+  bool want_write = false;     ///< current poller write interest
+  bool stop_reading = false;   ///< poller read interest dropped
+  bool closing = false;        ///< close as soon as `out` flushes dry
+};
+
+Server::Server(serve::TranscodeService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.max_connections < 1) config_.max_connections = 1;
+  if (config_.backlog < 1) config_.backlog = 1;
+  if (config_.max_payload > kMaxPayloadBytes) config_.max_payload = kMaxPayloadBytes;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire) || loop_.joinable()) {
+    if (error) *error = "server already started";
+    return false;
+  }
+
+  poller_ = make_poller(resolve_backend(config_.backend));
+  if (!poller_) {
+    if (error) *error = "requested poller backend unavailable";
+    return false;
+  }
+
+  std::uint16_t bound = 0;
+  listener_ = tcp_listen(config_.host, config_.port, config_.backlog, &bound, error);
+  if (!listener_.valid()) {
+    poller_.reset();
+    return false;
+  }
+  set_nonblocking(listener_.get());
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    if (error) *error = "pipe() failed";
+    listener_.reset();
+    poller_.reset();
+    return false;
+  }
+  wake_r_ = ScopedFd(pipe_fds[0]);
+  wake_w_ = ScopedFd(pipe_fds[1]);
+  set_nonblocking(wake_r_.get());
+  set_nonblocking(wake_w_.get());
+
+  poller_->add(listener_.get(), kListenerId, /*want_read=*/true, /*want_write=*/false);
+  poller_->add(wake_r_.get(), kWakeId, /*want_read=*/true, /*want_write=*/false);
+
+  // A forced drain-deadline exit can leave a stale in-flight count (its
+  // completions were discarded by the previous stop()); a restart begins
+  // with a clean slate.
+  inflight_total_ = 0;
+  draining_.store(false, std::memory_order_release);
+  port_.store(bound, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!loop_.joinable()) return;
+
+  draining_.store(true, std::memory_order_release);
+  wake();
+  loop_.join();
+
+  // The loop is gone, but workers may still be inside completion callbacks
+  // (a forced drain-deadline exit leaves their requests in the service).
+  // They touch done_ and the wake pipe — wait them out before teardown.
+  {
+    std::unique_lock<std::mutex> cb_lock(cb_mutex_);
+    cb_cv_.wait(cb_lock, [this] { return callbacks_outstanding_ == 0; });
+  }
+
+  {
+    std::lock_guard<std::mutex> done_lock(done_mutex_);
+    done_.clear();
+  }
+  poller_.reset();
+  wake_r_.reset();
+  wake_w_.reset();
+  listener_.reset();
+  running_.store(false, std::memory_order_release);
+  port_.store(-1, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_active = active_.load(std::memory_order_relaxed);
+  s.connections_rejected = conn_rejected_.load(std::memory_order_relaxed);
+  s.connections_idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.pings = pings_.load(std::memory_order_relaxed);
+  s.requests_submitted = submitted_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::wake() {
+  const char byte = 0;
+  // Best effort: a full pipe already guarantees a pending wake.
+  (void)::write(wake_w_.get(), &byte, 1);
+}
+
+void Server::run_loop() {
+  std::vector<PollEvent> events;
+  bool drain_started = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && !drain_started) {
+      drain_started = true;
+      drain_deadline = Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+      begin_drain();
+    }
+    if (drain_started) {
+      // Close connections with nothing left to deliver; exit once every
+      // in-flight response has been handed back (or the deadline passes).
+      std::vector<std::uint64_t> done_ids;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->inflight == 0 && conn->out.empty()) done_ids.push_back(id);
+      }
+      for (std::uint64_t id : done_ids) close_conn(id);
+      if (conns_.empty() && inflight_total_ == 0) break;
+      if (Clock::now() >= drain_deadline) break;
+    }
+
+    int timeout = loop_timeout_ms(drain_started);
+    if (drain_started) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            drain_deadline - Clock::now())
+                            .count();
+      const int left_ms = left < 0 ? 0 : (left > 50 ? 50 : static_cast<int>(left));
+      if (timeout < 0 || timeout > left_ms) timeout = left_ms;
+    }
+
+    events.clear();
+    poller_->wait(timeout, &events);
+
+    for (const PollEvent& ev : events) {
+      if (ev.id == kListenerId) {
+        if (!drain_started && ev.readable) accept_new();
+        continue;
+      }
+      if (ev.id == kWakeId) {
+        drain_wake_pipe();
+        continue;
+      }
+      auto it = conns_.find(ev.id);
+      if (it == conns_.end()) continue;  // closed earlier this round
+      Conn* conn = it->second.get();
+      if (ev.error) {
+        close_conn(ev.id);
+        continue;
+      }
+      if (ev.readable && !conn->stop_reading) {
+        if (!handle_readable(conn)) continue;
+      }
+      if (ev.writable) {
+        if (conns_.find(ev.id) == conns_.end()) continue;
+        flush(conn);
+      }
+    }
+
+    // Strictly after drain_wake_pipe(): a worker pushes its completion and
+    // THEN writes the wake byte, so any push that this pass misses left a
+    // byte in the pipe and the next wait() wakes immediately. (Pipe first,
+    // queue second — the reverse order can consume a wake byte whose
+    // completion arrives between the two drains, stranding it.)
+    drain_completions();
+
+    if (!drain_started) sweep_idle();
+  }
+
+  // Force-close whatever survived the drain deadline.
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    poller_->remove(conn->fd.get());
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+}
+
+void Server::begin_drain() {
+  // Refuse new connections at the TCP level and stop reading new frames;
+  // whatever is already submitted still completes and flushes out.
+  poller_->remove(listener_.get());
+  listener_.reset();
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (!conn->stop_reading) {
+      conn->stop_reading = true;
+      poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+    }
+  }
+}
+
+int Server::loop_timeout_ms(bool draining) const {
+  if (draining) return 50;
+  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return -1;
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const auto& [id, conn] : conns_) {
+    (void)id;
+    if (conn->last_active < earliest) earliest = conn->last_active;
+  }
+  const auto deadline = earliest + std::chrono::milliseconds(config_.idle_timeout_ms);
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+  if (left <= 0) return 0;
+  return left > 60000 ? 60000 : static_cast<int>(left) + 1;
+}
+
+void Server::sweep_idle() {
+  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return;
+  const auto now = Clock::now();
+  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<std::uint64_t> idle_ids;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->inflight == 0 && conn->out.empty() && now - conn->last_active >= limit) {
+      idle_ids.push_back(id);
+    }
+  }
+  for (std::uint64_t id : idle_ids) {
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    close_conn(id);
+  }
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int cfd = ::accept(listener_.get(), nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient error — next wake retries
+    }
+    set_nonblocking(cfd);
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    if (conns_.size() >= static_cast<std::size_t>(config_.max_connections)) {
+      conn_rejected_.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<std::uint8_t> bytes = serialize_frame(
+          make_error(0, Op::kPing, WireStatus::kRejected, "connection limit reached"));
+      // Best effort — the socket is fresh, so the buffer almost always takes
+      // one small frame; if not, the close alone carries the message.
+      (void)::send(cfd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      ::close(cfd);
+      continue;
+    }
+
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(config_.max_payload);
+    conn->fd = ScopedFd(cfd);
+    conn->id = id;
+    conn->last_active = Clock::now();
+    if (!poller_->add(cfd, id, /*want_read=*/true, /*want_write=*/false)) {
+      continue;  // ~Conn closes cfd
+    }
+    conns_.emplace(id, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::drain_wake_pipe() {
+  char buf[256];
+  while (::read(wake_r_.get(), buf, sizeof buf) > 0) {
+  }
+}
+
+void Server::drain_completions() {
+  std::vector<Done> local;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    local.swap(done_);
+  }
+  for (Done& d : local) {
+    if (inflight_total_ > 0) --inflight_total_;
+    auto it = conns_.find(d.conn_id);
+    if (it == conns_.end()) {
+      responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Conn* conn = it->second.get();
+    if (conn->inflight > 0) --conn->inflight;
+    queue_bytes(conn, std::move(d.bytes));
+  }
+}
+
+bool Server::handle_readable(Conn* conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const long got = ::recv(conn->fd.get(), buf, sizeof buf, 0);
+    if (got == 0) {  // orderly peer shutdown
+      close_conn(conn->id);
+      return false;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn->id);
+      return false;
+    }
+    conn->last_active = Clock::now();
+    conn->parser.feed(buf, static_cast<std::size_t>(got));
+    if (static_cast<std::size_t>(got) < sizeof buf) break;
+  }
+
+  Frame frame;
+  for (;;) {
+    const ParseResult pr = conn->parser.next(&frame);
+    if (pr == ParseResult::kNeedMore) return true;
+    if (pr == ParseResult::kFrame) {
+      frames_in_.fetch_add(1, std::memory_order_relaxed);
+      if (!handle_frame(conn, std::move(frame))) return false;
+      if (conn->stop_reading) return true;  // error frame queued; drop the rest
+      continue;
+    }
+    // Sticky parse failure: answer with a typed error frame, stop reading,
+    // and close once the frame has flushed.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    const WireStatus status =
+        pr == ParseResult::kBadVersion ? WireStatus::kVersionSkew : WireStatus::kMalformed;
+    const char* why = pr == ParseResult::kBadMagic     ? "bad magic"
+                      : pr == ParseResult::kBadVersion ? "unsupported protocol version"
+                      : pr == ParseResult::kBadHeader  ? "bad header"
+                                                       : "payload crc mismatch";
+    conn->stop_reading = true;
+    conn->closing = true;
+    poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+    return queue_frame(conn, make_error(0, Op::kPing, status, why));
+  }
+}
+
+bool Server::handle_frame(Conn* conn, Frame&& frame) {
+  if (frame.type != FrameType::kRequest) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    conn->stop_reading = true;
+    conn->closing = true;
+    poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+    return queue_frame(conn, make_error(frame.request_id, frame.op, WireStatus::kMalformed,
+                                        "expected a request frame"));
+  }
+
+  serve::Request req;
+  const WireStatus parsed = parse_request(frame, &req);
+
+  if (parsed == WireStatus::kOk && frame.op == Op::kPing) {
+    pings_.fetch_add(1, std::memory_order_relaxed);
+    Frame pong;
+    pong.type = FrameType::kResponse;
+    pong.op = Op::kPing;
+    pong.status = static_cast<std::uint8_t>(WireStatus::kOk);
+    pong.request_id = frame.request_id;
+    return queue_frame(conn, pong);
+  }
+
+  if (parsed != WireStatus::kOk) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    const bool fatal = parsed == WireStatus::kMalformed;  // framing no longer trusted
+    if (fatal) {
+      conn->stop_reading = true;
+      conn->closing = true;
+      poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+    }
+    const char* why = fatal ? "malformed request payload" : "request argument out of range";
+    return queue_frame(conn, make_error(frame.request_id, frame.op, parsed, why));
+  }
+
+  // Hand the request to the service. The callback runs on a worker pump
+  // (or right here, synchronously, for an immediate refusal) — it only
+  // touches the completion queue and the wake pipe, never the Conn.
+  const std::uint64_t conn_id = conn->id;
+  const std::uint32_t request_id = frame.request_id;
+  const Op op = frame.op;
+  const std::uint64_t digest = frame.config_digest;
+
+  ++conn->inflight;
+  ++inflight_total_;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> cb_lock(cb_mutex_);
+    ++callbacks_outstanding_;
+  }
+  service_.submit(std::move(req), [this, conn_id, request_id, op, digest](serve::Response resp) {
+    std::vector<std::uint8_t> bytes =
+        serialize_frame(make_response(request_id, op, digest, resp));
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.push_back(Done{conn_id, std::move(bytes)});
+    }
+    wake();
+    {
+      std::lock_guard<std::mutex> cb_lock(cb_mutex_);
+      --callbacks_outstanding_;
+    }
+    cb_cv_.notify_all();
+  });
+
+  // A synchronous refusal may already sit in done_; it is picked up by the
+  // next drain_completions() pass (the wake byte guarantees one).
+  return true;
+}
+
+bool Server::queue_frame(Conn* conn, const Frame& frame) {
+  return queue_bytes(conn, serialize_frame(frame));
+}
+
+bool Server::queue_bytes(Conn* conn, std::vector<std::uint8_t> bytes) {
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  conn->out.push_back(std::move(bytes));
+  conn->last_active = Clock::now();
+  return flush(conn);
+}
+
+bool Server::flush(Conn* conn) {
+  while (!conn->out.empty()) {
+    const std::vector<std::uint8_t>& front = conn->out.front();
+    const long sent = ::send(conn->fd.get(), front.data() + conn->out_off,
+                             front.size() - conn->out_off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          poller_->update(conn->fd.get(), !conn->stop_reading, /*want_write=*/true);
+        }
+        return true;
+      }
+      close_conn(conn->id);
+      return false;
+    }
+    conn->out_off += static_cast<std::size_t>(sent);
+    if (conn->out_off == front.size()) {
+      conn->out.pop_front();
+      conn->out_off = 0;
+    }
+  }
+  if (conn->closing) {
+    close_conn(conn->id);
+    return false;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    poller_->update(conn->fd.get(), !conn->stop_reading, /*want_write=*/false);
+  }
+  return true;
+}
+
+void Server::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  poller_->remove(it->second->fd.get());
+  conns_.erase(it);  // ~Conn closes the fd; pending completions for this id
+                     // land in responses_dropped
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace dnj::net

@@ -1,0 +1,129 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace dnj::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port, sockaddr_in* addr,
+                std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    if (error) *error = "invalid IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ScopedFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+ScopedFd tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                    std::uint16_t* bound_port, std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, error)) return ScopedFd();
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error) *error = errno_string("socket");
+    return ScopedFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = errno_string("bind");
+    return ScopedFd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (error) *error = errno_string("listen");
+    return ScopedFd();
+  }
+  if (bound_port) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      if (error) *error = errno_string("getsockname");
+      return ScopedFd();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+ScopedFd tcp_connect(const std::string& host, std::uint16_t port, std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, error)) return ScopedFd();
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error) *error = errno_string("socket");
+    return ScopedFd();
+  }
+  // Request/response frames are written whole; disabling Nagle keeps small
+  // frames (pings, rejections) from waiting out the delayed-ACK timer.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error) *error = errno_string("connect");
+    return ScopedFd();
+  }
+  return fd;
+}
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+long recv_some(int fd, void* data, std::size_t n) {
+  ssize_t got;
+  do {
+    got = ::recv(fd, data, n, 0);
+  } while (got < 0 && errno == EINTR);
+  return got;
+}
+
+bool set_recv_timeout_ms(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace dnj::net

@@ -1,0 +1,65 @@
+// Thin POSIX TCP helpers shared by the server, the client, and the tests:
+// RAII fd ownership plus the handful of socket rituals (bind/listen,
+// connect, non-blocking mode, full sends) everything in src/net needs.
+// IPv4 only — the protocol itself is address-family-agnostic, and the
+// deployment story (docs/OPERATIONS.md) fronts the listener with standard
+// infrastructure rather than teaching this layer dual-stack subtleties.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace dnj::net {
+
+/// Owns one file descriptor; closes on destruction. Move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+  ScopedFd(ScopedFd&& o) noexcept : fd_(o.release()) {}
+  ScopedFd& operator=(ScopedFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts a descriptor into non-blocking mode. Returns false on failure.
+bool set_nonblocking(int fd);
+
+/// Creates, binds, and listens a TCP socket on host:port (port 0 =
+/// ephemeral). Returns an invalid fd and fills *error on failure;
+/// *bound_port receives the actual port (the ephemeral answer).
+ScopedFd tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                    std::uint16_t* bound_port, std::string* error);
+
+/// Blocking TCP connect. Returns an invalid fd and fills *error on failure.
+ScopedFd tcp_connect(const std::string& host, std::uint16_t port, std::string* error);
+
+/// Writes all n bytes (blocking socket), retrying short writes and EINTR.
+/// Uses MSG_NOSIGNAL — a peer hangup surfaces as an error, not SIGPIPE.
+bool send_all(int fd, const void* data, std::size_t n);
+
+/// Reads up to n bytes once (blocking socket, EINTR-retried). Returns the
+/// byte count, 0 on orderly shutdown, -1 on error/timeout.
+long recv_some(int fd, void* data, std::size_t n);
+
+/// Sets SO_RCVTIMEO so blocking reads fail instead of hanging forever.
+bool set_recv_timeout_ms(int fd, int timeout_ms);
+
+}  // namespace dnj::net

@@ -34,11 +34,13 @@ LatencySummary summarize(const stats::Histogram& h, double exact_max_us) {
   return s;
 }
 
-/// One queued request: the request itself, its promise, and everything the
-/// worker needs without re-deriving it (cache key, submission timestamp).
+/// One queued request: the request itself, its completion (a promise OR a
+/// callback — never both), and everything the worker needs without
+/// re-deriving it (cache key, submission timestamp).
 struct TranscodeService::Job {
   Request req;
   std::promise<Response> promise;
+  Callback done;  ///< when set, completion goes here instead of the promise
   CacheKey key;
   bool cacheable = false;
   Clock::time_point enqueue;
@@ -100,17 +102,29 @@ void TranscodeService::shutdown() {
 }
 
 std::future<Response> TranscodeService::submit(Request req) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   Job job;
-  job.cacheable = cacheable(req.kind) && result_cache_.enabled();
+  job.req = std::move(req);
+  std::future<Response> future = job.promise.get_future();
+  submit_job(std::move(job));
+  return future;
+}
+
+void TranscodeService::submit(Request req, Callback done) {
+  Job job;
+  job.req = std::move(req);
+  job.done = std::move(done);
+  submit_job(std::move(job));
+}
+
+void TranscodeService::submit_job(Job job) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  job.cacheable = cacheable(job.req.kind) && result_cache_.enabled();
   // Only the config half here: admission and batching never read the input
   // half, and hashing the payload on the submission path would make
   // rejection under overload O(payload). Workers derive the input half
   // lazily when a cache lookup actually happens.
-  job.key.config = request_config_digest(req);
-  job.req = std::move(req);
+  job.key.config = request_config_digest(job.req);
   job.enqueue = Clock::now();
-  std::future<Response> future = job.promise.get_future();
 
   const bool accepted = config_.admission == AdmissionPolicy::kReject
                             ? queue_->try_push(job)
@@ -126,14 +140,27 @@ std::future<Response> TranscodeService::submit(Request req) {
       refuse(std::move(job), Status::kRejected, "submission queue full");
     }
   }
-  return future;
+}
+
+void TranscodeService::fulfill(Job&& job, Response&& resp) {
+  if (job.done) {
+    // The callback contract says "must not throw"; enforcing it here keeps
+    // a misbehaving callback from unwinding a pump (which would violate
+    // the pool's no-throw task contract and take the process down).
+    try {
+      job.done(std::move(resp));
+    } catch (...) {
+    }
+  } else {
+    job.promise.set_value(std::move(resp));
+  }
 }
 
 void TranscodeService::refuse(Job&& job, Status status, const char* why) {
   Response r;
   r.status = status;
   r.error = why;
-  job.promise.set_value(std::move(r));
+  fulfill(std::move(job), std::move(r));
 }
 
 void TranscodeService::pump(int worker_id) {
@@ -204,7 +231,7 @@ void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws) {
       if (resp.status == Status::kOk) ++ws.completed; else ++ws.errors;
       if (resp.cache_hit) ++ws.cache_hits;
     }
-    job.promise.set_value(std::move(resp));
+    fulfill(std::move(job), std::move(resp));
   }
 
   const jpeg::pipeline::CodecContext::ReuseCounters after =

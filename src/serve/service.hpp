@@ -39,6 +39,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -107,6 +108,18 @@ class TranscodeService {
   /// response when the handler threw. Never throws on queue pressure.
   std::future<Response> submit(Request req);
 
+  /// Completion callback alternative to the future form — what an event
+  /// loop wants (src/net's server): no thread ever blocks on a get().
+  /// Exactly-once semantics match the future form: `done` is always
+  /// invoked — with the result, a typed refusal, or kError. It runs on
+  /// whichever thread completes the request: a worker pump for accepted
+  /// work, the *submitting* thread for immediate refusals (rejection,
+  /// shutdown) — so it must be safe to call from both and must not block
+  /// or throw (a throw is swallowed to protect the pump; the response is
+  /// then lost).
+  using Callback = std::function<void(Response)>;
+  void submit(Request req, Callback done);
+
   /// The synchronous reference path: runs `req` immediately on the calling
   /// thread — no queue, no batching, no caches. The determinism contract
   /// says submit()'s payloads equal execute()'s, bit for bit.
@@ -134,6 +147,8 @@ class TranscodeService {
   void process_batch(std::vector<Job>& batch, WorkerStats& ws);
   Response run(const Request& req, bool use_table_cache);
   jpeg::EncoderConfig deepn_config(int quality, bool use_table_cache);
+  void submit_job(Job job);
+  static void fulfill(Job&& job, Response&& resp);
   static void refuse(Job&& job, Status status, const char* why);
 
   ServiceConfig config_;

@@ -116,6 +116,29 @@ int main(void) {
         "encode with designed table");
   CHECK(deepn.size > 0, "designed-table encode produced bytes");
 
+  /* Network server (ABI 1.1): lifecycle from pure C — create, listen on an
+   * ephemeral port, read the bound port back, stop, free. The protocol
+   * round trip itself is covered by tests/test_net.cpp. */
+  dnj_server_t* server = dnj_server_new(1, 8, 1);
+  CHECK(server != NULL, "server_new");
+  CHECK(dnj_server_port(server) == -1, "stopped server has no port");
+  CHECK(strcmp(dnj_server_last_error(server), "") == 0, "fresh server has no error");
+  uint16_t bound_port = 0;
+  CHECK(dnj_server_listen(server, NULL, 0, &bound_port) == DNJ_OK, "server_listen");
+  CHECK(bound_port != 0, "ephemeral port resolved");
+  CHECK(dnj_server_port(server) == (int32_t)bound_port, "server_port agrees");
+  CHECK(dnj_server_listen(server, NULL, 0, NULL) == DNJ_INTERNAL,
+        "second listen is refused");
+  CHECK(strlen(dnj_server_last_error(server)) > 0, "listen failure recorded");
+  dnj_server_stop(server);
+  CHECK(dnj_server_port(server) == -1, "stopped server has no port again");
+  dnj_server_stop(server); /* idempotent */
+  dnj_server_free(server);
+  dnj_server_free(NULL);
+  CHECK(dnj_server_listen(NULL, NULL, 0, NULL) == DNJ_INVALID_ARGUMENT,
+        "null server is DNJ_INVALID_ARGUMENT");
+  CHECK(dnj_server_port(NULL) == -1, "null server has no port");
+
   /* Free everything (including NULLs, which must be inert). */
   dnj_buffer_free(&deepn);
   dnj_options_free(designed);

@@ -1,0 +1,475 @@
+// End-to-end tests of the network front end: a real server on a loopback
+// socket, the blocking Client as the peer.
+//
+// The load-bearing test is ByteIdenticalToSynchronousCalls: response
+// payloads received over TCP must equal the synchronous in-process calls
+// bit for bit — across worker counts, cache states, and both poller
+// backends. That is the serving determinism contract crossing the wire;
+// everything between the client and the codec (marshalling, framing,
+// socket fragmentation, micro-batching, caching, write-back) must be
+// payload-transparent for it to hold.
+//
+// The rest covers the connection state machine: pipelining and response
+// correlation, chunked sends, protocol-error frames (garbage, version
+// skew, oversized), typed overload rejection, the connection cap, idle
+// timeouts, and graceful drain. Every blocking read is armed with a
+// receive timeout — a hung server fails a test, never the suite.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dnj.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+
+namespace dnj::net {
+namespace {
+
+image::Image test_image(int w = 48, int h = 32, int ch = 1) {
+  image::Image img(w, h, ch);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < ch; ++c)
+        img.at(x, y, c) = static_cast<std::uint8_t>((x * 5 + y * 3 + c * 17 + (x * y) % 7) & 0xFF);
+  return img;
+}
+
+/// A large image whose encode is slow enough to pile requests up behind it.
+image::Image big_image(int side = 1024) {
+  image::Image img(side, side, 1);
+  for (int y = 0; y < side; ++y)
+    for (int x = 0; x < side; ++x)
+      img.at(x, y) = static_cast<std::uint8_t>((x * x + y * 31) & 0xFF);
+  return img;
+}
+
+serve::Request encode_request(const image::Image& img, int quality) {
+  serve::Request req;
+  req.kind = serve::RequestKind::kEncode;
+  req.config.quality = quality;
+  req.config.subsampling = jpeg::Subsampling::k444;
+  req.image = img;
+  return req;
+}
+
+/// Service + server pair bound to an ephemeral loopback port.
+struct TestServer {
+  explicit TestServer(serve::ServiceConfig service_cfg = {}, ServerConfig server_cfg = {})
+      : service(std::move(service_cfg)), server(service, std::move(server_cfg)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+
+  Client connect() {
+    Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", static_cast<std::uint16_t>(server.port()), &error))
+        << error;
+    return client;
+  }
+
+  serve::TranscodeService service;
+  Server server;
+  bool started = false;
+};
+
+TEST(NetServer, PingRoundTrip) {
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+  EXPECT_TRUE(client.ping(&error)) << error;
+  EXPECT_TRUE(client.ping(&error)) << error;  // connection is reusable
+  EXPECT_GE(ts.server.stats().pings, 2u);
+}
+
+TEST(NetServer, ByteIdenticalToSynchronousCalls) {
+  const image::Image img = test_image(40, 28, 3);
+  api::Session session;
+
+  for (int workers : {1, 4}) {
+    for (std::size_t cache : {std::size_t{0}, std::size_t{64}}) {
+      serve::ServiceConfig cfg;
+      cfg.workers = workers;
+      cfg.cache_capacity = cache;
+      TestServer ts(std::move(cfg));
+      Client client = ts.connect();
+      std::string error;
+
+      // encode: wire result == synchronous api::Codec result.
+      serve::Request enc = encode_request(img, 85);
+      const auto sync_encode = session.codec().encode(
+          api::ImageView{img.data().data(), img.width(), img.height(), img.channels()},
+          api::EncodeOptions().quality(85).chroma_420(false));
+      ASSERT_TRUE(sync_encode.ok());
+      // Twice: the second call may be served from the result cache — the
+      // payload must not depend on that.
+      for (int round = 0; round < 2; ++round) {
+        WireReply reply;
+        ASSERT_TRUE(client.call(enc, &reply, &error)) << error;
+        ASSERT_EQ(reply.status, WireStatus::kOk)
+            << "workers=" << workers << " cache=" << cache << " round=" << round;
+        EXPECT_EQ(reply.bytes, sync_encode.value())
+            << "workers=" << workers << " cache=" << cache << " round=" << round;
+      }
+
+      // decode: wire pixels == synchronous pixels.
+      serve::Request dec;
+      dec.kind = serve::RequestKind::kDecode;
+      dec.bytes = sync_encode.value();
+      const auto sync_decode = session.codec().decode(sync_encode.value());
+      ASSERT_TRUE(sync_decode.ok());
+      WireReply dec_reply;
+      ASSERT_TRUE(client.call(dec, &dec_reply, &error)) << error;
+      ASSERT_EQ(dec_reply.status, WireStatus::kOk);
+      EXPECT_EQ(dec_reply.image.data(), sync_decode.value().pixels);
+
+      // transcode.
+      serve::Request trans;
+      trans.kind = serve::RequestKind::kTranscode;
+      trans.bytes = sync_encode.value();
+      trans.config.quality = 60;
+      trans.config.subsampling = jpeg::Subsampling::k444;
+      const auto sync_transcode = session.codec().transcode(
+          sync_encode.value(), api::EncodeOptions().quality(60).chroma_420(false));
+      ASSERT_TRUE(sync_transcode.ok());
+      WireReply trans_reply;
+      ASSERT_TRUE(client.call(trans, &trans_reply, &error)) << error;
+      ASSERT_EQ(trans_reply.status, WireStatus::kOk);
+      EXPECT_EQ(trans_reply.bytes, sync_transcode.value());
+
+      // deepn-encode: reference is the service's own synchronous path
+      // (the result depends on the service's installed table pair).
+      serve::Request deepn;
+      deepn.kind = serve::RequestKind::kDeepnEncode;
+      deepn.quality = 70;
+      deepn.image = img;
+      const serve::Response sync_deepn = ts.service.execute(deepn);
+      ASSERT_EQ(sync_deepn.status, serve::Status::kOk);
+      WireReply deepn_reply;
+      ASSERT_TRUE(client.call(deepn, &deepn_reply, &error)) << error;
+      ASSERT_EQ(deepn_reply.status, WireStatus::kOk);
+      EXPECT_EQ(deepn_reply.bytes, sync_deepn.bytes);
+    }
+  }
+}
+
+TEST(NetServer, BothPollerBackendsServeIdenticalPayloads) {
+  const image::Image img = test_image();
+  const serve::Request req = encode_request(img, 80);
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (PollerBackend backend : {PollerBackend::kPoll, PollerBackend::kAuto}) {
+    ServerConfig cfg;
+    cfg.backend = backend;
+    TestServer ts({}, std::move(cfg));
+    Client client = ts.connect();
+    std::string error;
+    WireReply reply;
+    ASSERT_TRUE(client.call(req, &reply, &error)) << error;
+    ASSERT_EQ(reply.status, WireStatus::kOk);
+    payloads.push_back(reply.bytes);
+  }
+  EXPECT_EQ(payloads[0], payloads[1]);
+}
+
+TEST(NetServer, ChunkedSendsReassemble) {
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+
+  const std::vector<std::uint8_t> bytes =
+      serialize_frame(make_request(99, encode_request(test_image(), 75)));
+  // Dribble the frame out in small chunks with pauses: the server sees
+  // partial headers and partial payloads across many read events.
+  for (std::size_t off = 0; off < bytes.size(); off += 41) {
+    const std::size_t n = std::min<std::size_t>(41, bytes.size() - off);
+    ASSERT_TRUE(client.send_raw(bytes.data() + off, n, &error)) << error;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  WireReply reply;
+  ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kOk);
+  EXPECT_EQ(reply.request_id, 99u);
+}
+
+TEST(NetServer, PipelinedRequestsComeBackCorrelated) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;  // concurrent completion => replies may reorder
+  TestServer ts(std::move(cfg));
+  Client client = ts.connect();
+  std::string error;
+
+  const image::Image img = test_image();
+  std::map<std::uint32_t, int> quality_by_id;
+  for (int q = 50; q < 58; ++q) {
+    const std::uint32_t id = client.send_request(encode_request(img, q), &error);
+    ASSERT_NE(id, 0u) << error;
+    quality_by_id[id] = q;
+  }
+
+  api::Session session;
+  const std::size_t expected_replies = quality_by_id.size();
+  for (std::size_t i = 0; i < expected_replies; ++i) {
+    WireReply reply;
+    ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+    ASSERT_EQ(reply.status, WireStatus::kOk);
+    ASSERT_TRUE(quality_by_id.count(reply.request_id));
+    const auto expect = session.codec().encode(
+        api::ImageView{img.data().data(), img.width(), img.height(), img.channels()},
+        api::EncodeOptions().quality(quality_by_id[reply.request_id]).chroma_420(false));
+    ASSERT_TRUE(expect.ok());
+    EXPECT_EQ(reply.bytes, expect.value());
+    quality_by_id.erase(reply.request_id);  // exactly one reply per id
+  }
+  EXPECT_TRUE(quality_by_id.empty());
+}
+
+TEST(NetServer, GarbageGetsTypedErrorThenClose) {
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  ASSERT_TRUE(client.send_raw(garbage.data(), garbage.size(), &error));
+  WireReply reply;
+  ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kMalformed);
+  // The stream is poisoned: the server closes after flushing the error.
+  EXPECT_FALSE(client.recv_reply(&reply, &error));
+  EXPECT_GE(ts.server.stats().protocol_errors, 1u);
+}
+
+TEST(NetServer, VersionSkewGetsTypedErrorThenClose) {
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+
+  std::vector<std::uint8_t> bytes = serialize_frame(make_ping(1));
+  bytes[4] = kProtocolVersion + 1;  // version byte
+  ASSERT_TRUE(client.send_raw(bytes.data(), bytes.size(), &error));
+  WireReply reply;
+  ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kVersionSkew);
+  EXPECT_FALSE(client.recv_reply(&reply, &error));
+}
+
+TEST(NetServer, OversizedFrameGetsTypedErrorThenClose) {
+  ServerConfig cfg;
+  cfg.max_payload = 4096;  // small ceiling, no giant allocations needed
+  TestServer ts({}, std::move(cfg));
+  Client client = ts.connect();
+  std::string error;
+
+  // A syntactically valid header announcing a payload over the ceiling.
+  std::vector<std::uint8_t> header;
+  append_u32(header, kMagic);
+  append_u8(header, kProtocolVersion);
+  append_u8(header, static_cast<std::uint8_t>(FrameType::kRequest));
+  append_u8(header, static_cast<std::uint8_t>(Op::kDecode));
+  append_u8(header, 0);
+  append_u32(header, 1);       // request_id
+  append_u64(header, 0);       // config_digest
+  append_u32(header, 8192);    // payload_size: past the ceiling
+  append_u32(header, 0);       // crc (never checked — header is rejected)
+  ASSERT_TRUE(client.send_raw(header.data(), header.size(), &error));
+
+  WireReply reply;
+  ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kMalformed);
+  EXPECT_FALSE(client.recv_reply(&reply, &error));
+}
+
+TEST(NetServer, InvalidArgumentKeepsTheConnectionAlive) {
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+
+  serve::Request bad;
+  bad.kind = serve::RequestKind::kDeepnEncode;
+  bad.quality = 0;  // out of range, but the frame itself is well-formed
+  bad.image = test_image();
+  WireReply reply;
+  ASSERT_TRUE(client.call(bad, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kInvalidArgument);
+
+  // Unlike kMalformed, the framing is still trustworthy: same connection,
+  // next request works.
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+TEST(NetServer, OverloadYieldsTypedRejection) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.admission = serve::AdmissionPolicy::kReject;
+  cfg.max_batch = 1;
+  cfg.cache_capacity = 0;
+  TestServer ts(std::move(cfg));
+  Client client = ts.connect();
+  std::string error;
+
+  // One slow encode occupies the worker; a burst behind it overflows the
+  // one-slot queue, and the rejections come back as typed frames.
+  const int kBurst = 12;
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < kBurst; ++i) {
+    const std::uint32_t id = client.send_request(encode_request(big_image(), 75), &error);
+    ASSERT_NE(id, 0u) << error;
+    ids.push_back(id);
+  }
+
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    WireReply reply;
+    ASSERT_TRUE(client.recv_reply(&reply, &error)) << error << " (reply " << i << ")";
+    if (reply.status == WireStatus::kOk) {
+      EXPECT_FALSE(reply.bytes.empty());
+      ++ok;
+    } else {
+      EXPECT_EQ(reply.status, WireStatus::kRejected);
+      EXPECT_FALSE(reply.error.empty());
+      ++rejected;
+    }
+  }
+  EXPECT_GE(ok, 1);        // the in-flight request completes
+  EXPECT_GE(rejected, 1);  // and the overflow is told so, in-band
+  EXPECT_EQ(ok + rejected, kBurst);
+}
+
+TEST(NetServer, ConnectionCapRejectsSurplusConnections) {
+  ServerConfig cfg;
+  cfg.max_connections = 1;
+  TestServer ts({}, std::move(cfg));
+
+  Client first = ts.connect();
+  std::string error;
+  ASSERT_TRUE(first.ping(&error)) << error;
+
+  // The second connection is accepted at the TCP level, told kRejected in
+  // a best-effort frame, and closed.
+  Client second = ts.connect();
+  WireReply reply;
+  ASSERT_TRUE(second.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kRejected);
+  EXPECT_FALSE(second.recv_reply(&reply, &error));  // closed
+  EXPECT_GE(ts.server.stats().connections_rejected, 1u);
+
+  // The first connection is unaffected.
+  EXPECT_TRUE(first.ping(&error)) << error;
+}
+
+TEST(NetServer, IdleConnectionsAreClosed) {
+  ServerConfig cfg;
+  cfg.idle_timeout_ms = 100;
+  TestServer ts({}, std::move(cfg));
+  Client client = ts.connect();
+  std::string error;
+  ASSERT_TRUE(client.ping(&error)) << error;
+
+  // Go quiet past the timeout: the server closes the connection.
+  WireReply reply;
+  EXPECT_FALSE(client.recv_reply(&reply, &error));
+  EXPECT_GE(ts.server.stats().connections_idle_closed, 1u);
+}
+
+TEST(NetServer, GracefulDrainFlushesSubmittedWork) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  TestServer ts(std::move(cfg));
+  Client client = ts.connect();
+  std::string error;
+
+  // Pipeline a slow request and three fast ones, give the event loop time
+  // to read and submit all four, then stop the server mid-flight.
+  const int kInFlight = 4;
+  ASSERT_NE(client.send_request(encode_request(big_image(), 75), &error), 0u);
+  for (int i = 0; i < kInFlight - 1; ++i)
+    ASSERT_NE(client.send_request(encode_request(test_image(), 60 + i), &error), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ts.server.stop();  // blocks until drained
+
+  // Every request submitted before the drain must have produced a flushed
+  // response; after them, clean EOF.
+  for (int i = 0; i < kInFlight; ++i) {
+    WireReply reply;
+    ASSERT_TRUE(client.recv_reply(&reply, &error)) << error << " (reply " << i << ")";
+    EXPECT_EQ(reply.status, WireStatus::kOk);
+  }
+  WireReply extra;
+  EXPECT_FALSE(client.recv_reply(&extra, &error));
+
+  // The listener is gone: new connections are refused.
+  Client late;
+  EXPECT_FALSE(late.connect("127.0.0.1", static_cast<std::uint16_t>(ts.server.port() <= 0
+                                                                        ? 1
+                                                                        : ts.server.port()),
+                            &error));
+}
+
+TEST(NetServer, StopIsIdempotentAndRestartWorks) {
+  TestServer ts;
+  ts.server.stop();
+  ts.server.stop();
+  EXPECT_FALSE(ts.server.running());
+  EXPECT_EQ(ts.server.port(), -1);
+
+  // start() after stop() brings the server back on a fresh socket.
+  std::string error;
+  ASSERT_TRUE(ts.server.start(&error)) << error;
+  EXPECT_TRUE(ts.server.running());
+  Client client = ts.connect();
+  EXPECT_TRUE(client.ping(&error)) << error;
+  // Double-start while running is refused.
+  EXPECT_FALSE(ts.server.start(&error));
+}
+
+TEST(NetApi, ServiceListenServesTheProtocol) {
+  api::Service service(api::ServiceOptions().workers(2));
+  const api::Status listening = service.listen(api::ListenOptions());
+  ASSERT_TRUE(listening.ok()) << listening.message();
+  ASSERT_GT(service.listen_port(), 0);
+
+  // Double-listen is refused while the first listener is up.
+  EXPECT_FALSE(service.listen(api::ListenOptions()).ok());
+
+  const image::Image img = test_image();
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1",
+                             static_cast<std::uint16_t>(service.listen_port()), &error))
+      << error;
+  WireReply reply;
+  ASSERT_TRUE(client.call(encode_request(img, 85), &reply, &error)) << error;
+  ASSERT_EQ(reply.status, WireStatus::kOk);
+
+  // Byte identity against the synchronous public API.
+  api::Session session;
+  const auto sync = session.codec().encode(
+      api::ImageView{img.data().data(), img.width(), img.height(), img.channels()},
+      api::EncodeOptions().quality(85).chroma_420(false));
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(reply.bytes, sync.value());
+
+  const int port = service.listen_port();
+  service.stop_listening();
+  EXPECT_EQ(service.listen_port(), -1);
+  Client late;
+  EXPECT_FALSE(late.connect("127.0.0.1", static_cast<std::uint16_t>(port), &error));
+
+  // A fresh listen after stop_listening works (new ephemeral port).
+  ASSERT_TRUE(service.listen(api::ListenOptions()).ok());
+  EXPECT_GT(service.listen_port(), 0);
+  service.shutdown();  // implies stop_listening
+  EXPECT_EQ(service.listen_port(), -1);
+}
+
+}  // namespace
+}  // namespace dnj::net
