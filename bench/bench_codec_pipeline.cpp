@@ -55,6 +55,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_codec_pipeline: bad image count\n");
     return 1;
   }
+#if !defined(_WIN32)
+  // The restart-parallel rows below ask for up to 8 threads; give the pool
+  // real workers even on single-core CI boxes (the pool otherwise sizes
+  // itself to hardware concurrency). Never overrides a user's DNJ_THREADS.
+  setenv("DNJ_THREADS", "8", 0);
+#endif
 
   // Transcode-style workload: the dataset shape every experiment re-encodes
   // millions of times (32x32 grayscale, 4:4:4, q = 85).
@@ -156,9 +162,8 @@ int main(int argc, char** argv) {
       scratch.clear();
       jpeg::BitWriter bw(scratch);
       int dc_pred = 0;
-      for (std::size_t b = 0; b < quants[i].block_count(); ++b)
-        jpeg::encode_block_zz(bw, quants[i].block(b), dc_pred, huff.dc_luma,
-                              huff.ac_luma);
+      jpeg::encode_blocks_zz(bw, quants[i].data(), quants[i].block_count(), dc_pred,
+                             huff.dc_luma, huff.ac_luma);
       bw.flush();
     }
   });
@@ -189,6 +194,52 @@ int main(int argc, char** argv) {
   const double decode_s = best_of(repeats, [&] {
     for (const auto& bytes : streams) jpeg::decode(bytes, ctx);
   });
+
+  // --- decode per-stage rows ----------------------------------------------
+  // The encode/decode asymmetry tracked stage by stage: entropy decode in
+  // isolation (decode_coefficients stops after the Huffman pass), the
+  // dequantize+IDCT pair (measured above on the same planes), and the
+  // block-grid -> plane untile that backs pixel reconstruction.
+  const double huffdec_s = best_of(repeats, [&] {
+    for (const auto& bytes : streams) jpeg::decode_coefficients(bytes, ctx, 1);
+  });
+  const double dequant_idct_s = measure_dequant_idct();
+  image::PlaneF untile_plane(gen_cfg.width, gen_cfg.height);
+  const double untile_s = best_of(repeats, [&] {
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      image::untile_blocks_from(coeffs[i].data(), bx, by, untile_plane, 128.0f);
+  });
+
+  // --- restart-interval parallel decode -----------------------------------
+  // One larger single-component stream whose scan carries restart markers:
+  // the decoder pre-scans RST boundaries and hands independent segments to
+  // the thread pool. Pixels must be byte-identical at every thread count.
+  data::GeneratorConfig big_cfg = gen_cfg;
+  big_cfg.width = 256;
+  big_cfg.height = 256;
+  big_cfg.seed = 0xD417;
+  const image::Image big_img =
+      data::SyntheticDatasetGenerator(big_cfg).render(data::ClassKind::kBandNoise, 0);
+  jpeg::EncoderConfig rst_cfg = enc_cfg;
+  rst_cfg.restart_interval = 32;  // 32 MCU rows -> 32 independent segments
+  const std::vector<std::uint8_t> rst_stream = jpeg::encode(big_img, rst_cfg, ctx);
+  const image::Image rst_ref = jpeg::decode(rst_stream, ctx, 1);
+  bool restart_identical = true;
+  struct RestartRow {
+    int threads;
+    double s = 0;
+  };
+  std::vector<RestartRow> restart_rows;
+  for (const int nt : {1, 2, 8}) {
+    const image::Image out = jpeg::decode(rst_stream, ctx, nt);
+    restart_identical = restart_identical && out.data() == rst_ref.data();
+    RestartRow row;
+    row.threads = nt;
+    row.s = best_of(repeats, [&] {
+      for (int r = 0; r < 16; ++r) (void)jpeg::decode(rst_stream, ctx, nt);
+    });
+    restart_rows.push_back(row);
+  }
 
   // --- per-kernel throughput at every supported SIMD level ----------------
   // The sections above ran at the ambient level (DNJ_SIMD / auto); this one
@@ -244,6 +295,32 @@ int main(int argc, char** argv) {
   json.field("decode_s", decode_s);
   json.field("decode_images_per_s", static_cast<double>(ds.size()) / decode_s);
   json.field("streams_identical", identical);
+  json.field("entropy_lut_bits", jpeg::entropy_lut_bits());
+  json.begin_array("decode_stages");
+  const struct {
+    const char* name;
+    double s;
+  } dec_stages[] = {{"huffman_decode", huffdec_s},
+                    {"dequant_idct", dequant_idct_s},
+                    {"untile", untile_s}};
+  for (const auto& st : dec_stages) {
+    json.begin_object();
+    json.field("stage", st.name);
+    json.field("seconds", st.s);
+    json.field("mblocks_per_s", mblk / st.s);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("restart_decode");
+  for (const RestartRow& row : restart_rows) {
+    json.begin_object();
+    json.field("threads", row.threads);
+    json.field("seconds", row.s);
+    json.field("images_per_s", 16.0 / row.s);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("restart_identical", restart_identical);
 
   // Per-kernel SIMD rows + headline speedups (AVX2 over this run's scalar).
   json.field("simd_level_ambient", simd::level_name(ambient_level));
@@ -280,6 +357,11 @@ int main(int argc, char** argv) {
               reference_s, pipeline_s, speedup, identical ? "byte-identical" : "DIFFER");
   std::printf("  decode: %.4fs  %.1f img/s\n", decode_s,
               static_cast<double>(ds.size()) / decode_s);
+  for (const auto& st : dec_stages)
+    std::printf("  decode %-12s %.4fs  %7.2f Mblocks/s\n", st.name, st.s, mblk / st.s);
+  for (const RestartRow& row : restart_rows)
+    std::printf("  restart decode @%d threads: %.4fs  %.1f img/s (%s)\n", row.threads,
+                row.s, 16.0 / row.s, restart_identical ? "identical" : "DIFFER");
   std::printf("  per-kernel Mblocks/s by SIMD level (ambient: %s):\n",
               simd::level_name(ambient_level));
   std::printf("    %-8s %8s %8s %12s %12s\n", "level", "tile", "dct", "quant_zz",
@@ -300,6 +382,12 @@ int main(int argc, char** argv) {
 
   if (!identical) {
     std::fprintf(stderr, "bench_codec_pipeline: reference and pipeline streams differ!\n");
+    return 1;
+  }
+  if (!restart_identical) {
+    std::fprintf(stderr,
+                 "bench_codec_pipeline: restart-parallel decode differs across "
+                 "thread counts!\n");
     return 1;
   }
   return 0;

@@ -2,26 +2,34 @@
 
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace dnj::jpeg {
 
 void BitWriter::spill() {
-  out_.insert(out_.end(), buf_.data(), buf_.data() + buf_len_);
+  if (buf_len_ == 0) return;
+  // Stuff into a stack staging area, then append in one insert. The kernel
+  // contract guarantees at most 2x growth, and the vector sees exactly one
+  // range insert per spill instead of per-byte push_backs.
+  std::uint8_t stuffed[2 * kBufSize];
+  const std::size_t n = simd::kernels().stuff_bytes(buf_.data(), buf_len_, stuffed);
+  out_.insert(out_.end(), stuffed, stuffed + n);
   buf_len_ = 0;
 }
 
 void BitWriter::flush() {
   // Drain whole bytes, then pad the partial byte with 1-bits per T.81
-  // B.1.1.5, then push the staging buffer out.
+  // B.1.1.5, then push the staging buffer out (stuffing happens there).
   while (bit_count_ >= 8) {
-    if (buf_len_ + 2 > kBufSize) spill();
-    emit_byte(static_cast<std::uint8_t>((acc_ >> (bit_count_ - 8)) & 0xFF));
+    if (buf_len_ + 1 > kBufSize) spill();
+    buf_[buf_len_++] = static_cast<std::uint8_t>((acc_ >> (bit_count_ - 8)) & 0xFF);
     bit_count_ -= 8;
   }
   if (bit_count_ > 0) {
     const int pad = 8 - bit_count_;
-    acc_ = (acc_ << pad) | ((1u << pad) - 1u);
-    if (buf_len_ + 2 > kBufSize) spill();
-    emit_byte(static_cast<std::uint8_t>(acc_ & 0xFF));
+    if (buf_len_ + 1 > kBufSize) spill();
+    buf_[buf_len_++] =
+        static_cast<std::uint8_t>(((acc_ << pad) | ((1u << pad) - 1u)) & 0xFF);
     bit_count_ = 0;
   }
   acc_ = 0;
@@ -57,21 +65,42 @@ int BitReader::next_data_byte() {
   return -1;
 }
 
+void BitReader::refill(int need) {
+  while (bit_count_ < need) {
+    // Fast gulp: a 4-byte word containing no 0xFF can hold neither a
+    // stuffed byte nor a marker, so all four bytes are data and load in
+    // one shot. Words with any 0xFF fall to the per-byte unstuffing loop.
+    if (bit_count_ <= 32 && pos_ + 4 <= size_) {
+      const std::uint32_t word = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                                 (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                                 (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                                 static_cast<std::uint32_t>(data_[pos_ + 3]);
+      const std::uint32_t inv = ~word;
+      if (((inv - 0x01010101u) & ~inv & 0x80808080u) == 0) {
+        acc_ = (acc_ << 32) | word;
+        bit_count_ += 32;
+        pos_ += 4;
+        continue;
+      }
+    }
+    const int b = next_data_byte();
+    if (b < 0) return;
+    acc_ = (acc_ << 8) | static_cast<std::uint64_t>(b);
+    bit_count_ += 8;
+  }
+}
+
 std::int32_t BitReader::get_bits(int count) {
   if (count == 0) return 0;
-  while (bit_count_ < count) {
-    const int b = next_data_byte();
-    if (b < 0) {
+  if (bit_count_ < count) {
+    refill(count);
+    if (bit_count_ < count) {
       hit_marker_ = true;
       return -1;
     }
-    acc_ = (acc_ << 8) | static_cast<std::uint32_t>(b);
-    bit_count_ += 8;
   }
-  const std::int32_t v =
-      static_cast<std::int32_t>((acc_ >> (bit_count_ - count)) & ((1u << count) - 1u));
   bit_count_ -= count;
-  return v;
+  return static_cast<std::int32_t>((acc_ >> bit_count_) & ((1ull << count) - 1ull));
 }
 
 std::int32_t BitReader::get_bit() { return get_bits(1); }

@@ -4,10 +4,25 @@
 #include <cstdlib>
 
 #include "jpeg/zigzag.hpp"
+#include "simd/dispatch.hpp"
 
 namespace dnj::jpeg {
 
 namespace {
+
+// Index of the lowest set bit; m != 0.
+int lowest_set_bit(std::uint64_t m) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(m);
+#else
+  int k = 0;
+  while ((m & 1ull) == 0) {
+    m >>= 1;
+    ++k;
+  }
+  return k;
+#endif
+}
 
 // Value extension for decoding (T.81 F.2.2.1 EXTEND): a `size`-bit raw value
 // whose MSB is 0 encodes a negative coefficient.
@@ -18,9 +33,12 @@ int extend(int v, int size) {
 }
 
 // Low `size` bits that encode `v` (negative values use v - 1 semantics).
+// Branchless: (v - 1) mod 2^size equals (v + 2^size - 1) mod 2^size, so the
+// sign adjustment folds into one add of 0 or -1 — coefficient signs are
+// noise-like, and a data-dependent branch here mispredicts half the time.
 std::uint32_t magnitude_bits(int v, int size) {
-  if (v < 0) v += (1 << size) - 1;
-  return static_cast<std::uint32_t>(v) & ((1u << size) - 1u);
+  const int sign = -static_cast<int>(v < 0);  // 0 or -1
+  return static_cast<std::uint32_t>(v + sign) & ((1u << size) - 1u);
 }
 
 }  // namespace
@@ -76,38 +94,66 @@ void count_block_symbols(const QuantizedBlock& block, int& dc_pred, SymbolCounts
   if (run > 0) ++counts.ac[0x00];
 }
 
-void encode_block_zz(BitWriter& bw, const std::int16_t* zz, int& dc_pred,
-                     const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table) {
+namespace {
+
+// The shared per-block emit body: visits the set bits of `nonzero` (a
+// precomputed nonzero-lane mask over `zz`), deriving each run length from
+// bit positions instead of walking 63 branchy lanes. ZRL batches
+// (run >= 16) go out as one packed multi-symbol write, and everything
+// funnels through the caller's BlockCursor so the bit state lives in
+// registers for the whole block. Emitted bits are identical to the forward
+// run-length walk of encode_block.
+inline void emit_block_zz(BitWriter::BlockCursor& cur, const std::int16_t* zz,
+                          std::uint64_t nonzero, int& dc_pred,
+                          const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table) {
   const int dc = zz[0];
   const int diff = dc - dc_pred;
   dc_pred = dc;
   const int dc_cat = bit_category(diff);
-  dc_table.encode_with_extra(bw, static_cast<std::uint8_t>(dc_cat),
+  dc_table.encode_with_extra(cur, static_cast<std::uint8_t>(dc_cat),
                              magnitude_bits(diff, dc_cat), dc_cat);
 
-  // Find the last nonzero coefficient first: the (usually long) zero tail
-  // collapses to a single EOB decision instead of run bookkeeping. Emitted
-  // bits are identical to the forward run-length walk.
-  int last = 63;
-  while (last > 0 && zz[last] == 0) --last;
-
-  int run = 0;
-  for (int k = 1; k <= last; ++k) {
+  std::uint64_t ac = nonzero & ~1ull;
+  int prev = 0;
+  while (ac != 0) {
+    const int k = lowest_set_bit(ac);
+    ac &= ac - 1;
+    int run = k - prev - 1;
+    prev = k;
+    if (run >= 16) {
+      ac_table.encode_zrl_run(cur, run >> 4);  // ZRL x (run / 16)
+      run &= 15;
+    }
     const int v = zz[k];
-    if (v == 0) {
-      ++run;
-      continue;
-    }
-    while (run >= 16) {
-      ac_table.encode(bw, 0xF0);  // ZRL: 16 zeros
-      run -= 16;
-    }
     const int cat = bit_category(v);
-    ac_table.encode_with_extra(bw, static_cast<std::uint8_t>((run << 4) | cat),
+    ac_table.encode_with_extra(cur, static_cast<std::uint8_t>((run << 4) | cat),
                                magnitude_bits(v, cat), cat);
-    run = 0;
   }
-  if (last < 63) ac_table.encode(bw, 0x00);  // EOB
+  if (prev != 63) ac_table.encode(cur, 0x00);  // EOB
+}
+
+}  // namespace
+
+void encode_block_zz(BitWriter& bw, const std::int16_t* zz, int& dc_pred,
+                     const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table) {
+  const std::uint64_t nonzero = simd::kernels().nonzero_mask_i16_64(zz);
+  BitWriter::BlockCursor cur(bw);
+  emit_block_zz(cur, zz, nonzero, dc_pred, dc_table, ac_table);
+  cur.commit();
+}
+
+void encode_blocks_zz(BitWriter& bw, const std::int16_t* zz, std::size_t count,
+                      int& dc_pred, const HuffmanEncoder& dc_table,
+                      const HuffmanEncoder& ac_table) {
+  // One dispatch lookup and one cursor for the whole run: the per-block
+  // cost drops to a pointer-compare capacity check.
+  const auto nonzero_mask = simd::kernels().nonzero_mask_i16_64;
+  BitWriter::BlockCursor cur(bw);
+  for (std::size_t b = 0; b < count; ++b, zz += 64) {
+    cur.reserve_block();
+    emit_block_zz(cur, zz, nonzero_mask(zz), dc_pred, dc_table, ac_table);
+  }
+  cur.commit();
 }
 
 void count_block_symbols_zz(const std::int16_t* zz, int& dc_pred, SymbolCounts& counts) {
@@ -116,26 +162,22 @@ void count_block_symbols_zz(const std::int16_t* zz, int& dc_pred, SymbolCounts& 
   dc_pred = dc;
   ++counts.dc[static_cast<std::size_t>(bit_category(diff))];
 
-  // Mirrors encode_block_zz's backward EOB scan so pass-1 statistics match
-  // the emitted symbols exactly.
-  int last = 63;
-  while (last > 0 && zz[last] == 0) --last;
-
-  int run = 0;
-  for (int k = 1; k <= last; ++k) {
-    const int v = zz[k];
-    if (v == 0) {
-      ++run;
-      continue;
+  // Mirrors encode_block_zz's mask walk so pass-1 statistics match the
+  // emitted symbols exactly.
+  std::uint64_t ac = simd::kernels().nonzero_mask_i16_64(zz) & ~1ull;
+  int prev = 0;
+  while (ac != 0) {
+    const int k = lowest_set_bit(ac);
+    ac &= ac - 1;
+    int run = k - prev - 1;
+    prev = k;
+    if (run >= 16) {
+      counts.ac[0xF0] += static_cast<std::uint32_t>(run >> 4);
+      run &= 15;
     }
-    while (run >= 16) {
-      ++counts.ac[0xF0];
-      run -= 16;
-    }
-    ++counts.ac[static_cast<std::size_t>((run << 4) | bit_category(v))];
-    run = 0;
+    ++counts.ac[static_cast<std::size_t>((run << 4) | bit_category(zz[k]))];
   }
-  if (last < 63) ++counts.ac[0x00];
+  if (prev != 63) ++counts.ac[0x00];
 }
 
 bool decode_block(BitReader& br, QuantizedBlock& block, int& dc_pred,
@@ -146,7 +188,7 @@ bool decode_block(BitReader& br, QuantizedBlock& block, int& dc_pred,
 bool decode_block(BitReader& br, std::int16_t* block, int& dc_pred,
                   const HuffmanDecoder& dc_table, const HuffmanDecoder& ac_table) {
   std::fill(block, block + 64, static_cast<std::int16_t>(0));
-  const int dc_cat = dc_table.decode(br);
+  const int dc_cat = dc_table.decode_fast(br);
   if (dc_cat < 0 || dc_cat > 15) return false;
   int diff = 0;
   if (dc_cat > 0) {
@@ -159,7 +201,7 @@ bool decode_block(BitReader& br, std::int16_t* block, int& dc_pred,
 
   int k = 1;
   while (k < 64) {
-    const int sym = ac_table.decode(br);
+    const int sym = ac_table.decode_fast(br);
     if (sym < 0) return false;
     if (sym == 0x00) break;  // EOB
     const int run = sym >> 4;

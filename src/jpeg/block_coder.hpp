@@ -51,6 +51,16 @@ void count_block_symbols(const QuantizedBlock& block, int& dc_pred, SymbolCounts
 void encode_block_zz(BitWriter& bw, const std::int16_t* zz, int& dc_pred,
                      const HuffmanEncoder& dc_table, const HuffmanEncoder& ac_table);
 
+/// Encodes `count` consecutive zig-zag-order blocks (64 int16 apiece,
+/// contiguous — a QuantPlane's layout) with one register-resident bit
+/// cursor and one SIMD dispatch lookup for the whole run, instead of per
+/// block. Bitstream-identical to `count` encode_block_zz calls. This is
+/// the single-component scan fast path; interleaved scans still go block
+/// by block.
+void encode_blocks_zz(BitWriter& bw, const std::int16_t* zz, std::size_t count,
+                      int& dc_pred, const HuffmanEncoder& dc_table,
+                      const HuffmanEncoder& ac_table);
+
 /// Statistics pass over a zig-zag-order block, mirroring encode_block_zz.
 void count_block_symbols_zz(const std::int16_t* zz, int& dc_pred, SymbolCounts& counts);
 

@@ -14,6 +14,7 @@
 #include "jpeg/huffman.hpp"
 #include "jpeg/markers.hpp"
 #include "jpeg/zigzag.hpp"
+#include "runtime/parallel.hpp"
 
 namespace dnj::jpeg {
 
@@ -43,8 +44,10 @@ class Parser {
 
   JpegInfo info;
   std::vector<FrameComponent> comps;
-  std::optional<HuffmanDecoder> dc_tables[4];
-  std::optional<HuffmanDecoder> ac_tables[4];
+  // Decoder tables live in the context cache; a warm context decoding a
+  // same-table stream skips the per-image table derivation and LUT fill.
+  const HuffmanDecoder* dc_tables[4] = {};
+  const HuffmanDecoder* ac_tables[4] = {};
   int mcus_x = 0, mcus_y = 0;
   std::size_t scan_start = 0;  // offset of entropy-coded data
 
@@ -88,7 +91,7 @@ class Parser {
     }
   }
 
-  void decode_scan() {
+  void decode_scan(int num_threads) {
     // Size the per-component coefficient arenas now (parse_info never gets
     // here, so header-only parses leave the context untouched). No
     // zero-fill needed: the MCU walk visits every grid block exactly once
@@ -97,42 +100,108 @@ class Parser {
       pipeline::QuantPlane& plane = ctx_.decode_coeffs[ci];
       plane.reshape(comps[ci].blocks_x, comps[ci].blocks_y);
       comps[ci].coeffs = plane.data();
+      if (!dc_tables[comps[ci].dc_table] || !ac_tables[comps[ci].ac_table])
+        fail("scan references undefined Huffman table");
     }
-    BitReader br(data_ + scan_start, size_ - scan_start);
-    std::vector<int> dc_pred(comps.size(), 0);
-    int mcu_index = 0;
     const int total_mcus = mcus_x * mcus_y;
-    int expected_rst = 0;
-    while (mcu_index < total_mcus) {
-      if (info.restart_interval > 0 && mcu_index > 0 &&
-          mcu_index % info.restart_interval == 0) {
-        const std::uint8_t code = br.peek_marker();
-        if (!is_rst(code)) fail("missing restart marker");
-        if (code != kRST0 + expected_rst) fail("restart marker out of sequence");
-        br.take_marker();
-        expected_rst = (expected_rst + 1) % 8;
-        std::fill(dc_pred.begin(), dc_pred.end(), 0);
-      }
+    if (info.restart_interval > 0 && total_mcus > info.restart_interval) {
+      decode_scan_segments(num_threads);
+      return;
+    }
+    // No restart marker can legally appear: one straight-line pass.
+    BitReader br(data_ + scan_start, size_ - scan_start);
+    decode_mcu_range(br, 0, total_mcus);
+  }
+
+  /// Decodes MCUs [m0, m1) from `br`, DC predictors starting at zero —
+  /// exactly the state at the start of a scan or after a restart marker.
+  void decode_mcu_range(BitReader& br, int m0, int m1) {
+    std::array<int, pipeline::kMaxComponents> dc_pred{};
+    for (int mcu_index = m0; mcu_index < m1; ++mcu_index) {
       const int my = mcu_index / mcus_x;
       const int mx = mcu_index % mcus_x;
       for (std::size_t ci = 0; ci < comps.size(); ++ci) {
-        FrameComponent& c = comps[ci];
+        const FrameComponent& c = comps[ci];
         for (int by = 0; by < c.v; ++by) {
           for (int bx = 0; bx < c.h; ++bx) {
             const int gx = mx * c.h + bx;
             const int gy = my * c.v + by;
             std::int16_t* blk =
                 c.coeffs + (static_cast<std::size_t>(gy) * c.blocks_x + gx) * 64;
-            if (!dc_tables[c.dc_table] || !ac_tables[c.ac_table])
-              fail("scan references undefined Huffman table");
             if (!decode_block(br, blk, dc_pred[ci], *dc_tables[c.dc_table],
                               *ac_tables[c.ac_table]))
               fail("corrupt entropy-coded data");
           }
         }
       }
-      ++mcu_index;
     }
+  }
+
+  /// Restart-interval path: pre-scan the byte stream for the RST markers
+  /// (cheap — stuffing rules make them unambiguous without decoding), then
+  /// decode the segments independently on parallel_for. Every segment
+  /// resets its DC predictors exactly as the serial walk did after
+  /// take_marker, and segments write disjoint block ranges of the shared
+  /// coefficient planes, so the output is bit-identical at every thread
+  /// count. Thrown errors (corrupt segments) propagate via parallel_for's
+  /// first-exception rule.
+  void decode_scan_segments(int num_threads) {
+    const std::uint8_t* scan = data_ + scan_start;
+    const std::size_t scan_size = size_ - scan_start;
+    const int ri = info.restart_interval;
+    const int total_mcus = mcus_x * mcus_y;
+    const int num_segments = (total_mcus + ri - 1) / ri;
+
+    struct Segment {
+      std::size_t begin, end;  // byte range within the scan, markers excluded
+    };
+    std::vector<Segment> segments;
+    segments.reserve(static_cast<std::size_t>(num_segments));
+    std::size_t seg_begin = 0;
+    std::size_t p = 0;
+    while (static_cast<int>(segments.size()) + 1 < num_segments) {
+      if (p + 1 >= scan_size) fail("missing restart marker");
+      if (scan[p] != 0xFF) {
+        ++p;
+        continue;
+      }
+      const std::uint8_t next = scan[p + 1];
+      if (next == 0x00) {  // stuffed data byte
+        p += 2;
+        continue;
+      }
+      if (next == 0xFF) {  // fill byte
+        ++p;
+        continue;
+      }
+      if (!is_rst(next)) fail("missing restart marker");
+      if (next != kRST0 + static_cast<int>(segments.size() % 8))
+        fail("restart marker out of sequence");
+      segments.push_back({seg_begin, p});
+      p += 2;
+      seg_begin = p;
+    }
+    segments.push_back({seg_begin, scan_size});
+
+    runtime::parallel_for(
+        0, segments.size(), 1,
+        [&](std::size_t si) {
+          const Segment& seg = segments[si];
+          BitReader br(scan + seg.begin, seg.end - seg.begin);
+          const int m0 = static_cast<int>(si) * ri;
+          decode_mcu_range(br, m0, std::min(total_mcus, m0 + ri));
+          if (si + 1 < segments.size()) {
+            // The serial reader demanded a restart marker right after the
+            // segment's last MCU; here the marker position is fixed by the
+            // pre-scan, so undelivered payload before it (beyond the <= 7
+            // pad bits of the final byte) means the segment over-ran its
+            // restart interval.
+            const std::size_t unread_bytes = (seg.end - seg.begin) - br.position();
+            if (br.buffered_bits() + 8 * static_cast<int>(unread_bytes) > 7)
+              fail("missing restart marker");
+          }
+        },
+        num_threads);
   }
 
   image::Image reconstruct() {
@@ -262,10 +331,8 @@ class Parser {
       spec.symbols.reserve(static_cast<std::size_t>(total));
       for (int i = 0; i < total; ++i) spec.symbols.push_back(read_u8());
       try {
-        if (tc == 0)
-          dc_tables[th].emplace(spec);
-        else
-          ac_tables[th].emplace(spec);
+        const HuffmanDecoder& dec = ctx_.decoder_for(spec);
+        (tc == 0 ? dc_tables : ac_tables)[th] = &dec;
       } catch (const std::invalid_argument& e) {
         fail(std::string("invalid Huffman table: ") + e.what());
       }
@@ -347,15 +414,23 @@ class Parser {
 
 }  // namespace
 
-image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx) {
+image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx, int num_threads) {
   Parser parser(bytes.data, bytes.size, ctx);
   if (!parser.parse_headers()) fail("stream contains no scan");
-  parser.decode_scan();
+  parser.decode_scan(num_threads);
   return parser.reconstruct();
 }
 
 image::Image decode(ByteSpan bytes) {
   return decode(bytes, pipeline::thread_codec_context());
+}
+
+JpegInfo decode_coefficients(ByteSpan bytes, pipeline::CodecContext& ctx,
+                             int num_threads) {
+  Parser parser(bytes.data, bytes.size, ctx);
+  if (!parser.parse_headers()) fail("stream contains no scan");
+  parser.decode_scan(num_threads);
+  return parser.info;
 }
 
 JpegInfo parse_info(ByteSpan bytes) {

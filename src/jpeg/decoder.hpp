@@ -34,8 +34,22 @@ struct JpegInfo {
 /// the other uses the calling thread's shared context. ByteSpan converts
 /// implicitly from std::vector<uint8_t>; callers holding mapped or foreign
 /// buffers pass {ptr, size} without a copy.
+///
+/// Streams with restart intervals decode their independent restart segments
+/// on runtime::parallel_for; `num_threads` follows the usual knob semantics
+/// (0 = DNJ_THREADS / hardware concurrency, 1 = serial). Output is
+/// bit-identical at every thread count.
 image::Image decode(ByteSpan bytes);
-image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx);
+image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx, int num_threads = 0);
+
+/// Entropy-decodes the scan into ctx.decode_coeffs (one natural-order
+/// QuantPlane per component, padded to the MCU lattice) without
+/// dequantizing or reconstructing pixels, and returns the parsed header
+/// facts. This is the Huffman-decode stage in isolation — benches time it
+/// per stage, and tests memcmp the coefficient planes across decoder
+/// configurations.
+JpegInfo decode_coefficients(ByteSpan bytes, pipeline::CodecContext& ctx,
+                             int num_threads = 0);
 
 /// Parses markers up to (and including) SOS without decoding pixel data.
 JpegInfo parse_info(ByteSpan bytes);

@@ -382,18 +382,27 @@ std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config,
 
   BitWriter bw(out);
   std::array<int, kMaxComponents> dc_pred{};
-  for_each_data_unit(
-      comps.data(), n_comps, mcus_x, mcus_y, config.restart_interval,
-      [&](std::size_t ci, int gx, int gy) {
-        const bool luma_tables = comps[ci].tq == 0;
-        encode_block_zz(bw, zz_block(ci, gx, gy), dc_pred[ci],
-                        luma_tables ? *dc_enc_luma : *dc_enc_chroma,
-                        luma_tables ? *ac_enc_luma : *ac_enc_chroma);
-      },
-      [&](int rst_index) {
-        bw.put_marker(static_cast<std::uint8_t>(kRST0 + rst_index));
-        dc_pred.fill(0);
-      });
+  if (n_comps == 1 && config.restart_interval == 0) {
+    // Single-component scan without restarts: MCU order is plane raster
+    // order, so the whole scan is one contiguous block run — encode it
+    // through the batched cursor instead of per-block calls.
+    encode_blocks_zz(bw, comps[0].zz,
+                     static_cast<std::size_t>(comps[0].blocks_x) * comps[0].blocks_y,
+                     dc_pred[0], *dc_enc_luma, *ac_enc_luma);
+  } else {
+    for_each_data_unit(
+        comps.data(), n_comps, mcus_x, mcus_y, config.restart_interval,
+        [&](std::size_t ci, int gx, int gy) {
+          const bool luma_tables = comps[ci].tq == 0;
+          encode_block_zz(bw, zz_block(ci, gx, gy), dc_pred[ci],
+                          luma_tables ? *dc_enc_luma : *dc_enc_chroma,
+                          luma_tables ? *ac_enc_luma : *ac_enc_chroma);
+        },
+        [&](int rst_index) {
+          bw.put_marker(static_cast<std::uint8_t>(kRST0 + rst_index));
+          dc_pred.fill(0);
+        });
+  }
   bw.put_marker(kEOI);
   return out;
 }

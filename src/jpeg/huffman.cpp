@@ -1,6 +1,8 @@
 #include "jpeg/huffman.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 
@@ -45,7 +47,32 @@ CanonicalCodes derive_codes(const HuffmanSpec& spec) {
   return cc;
 }
 
+constexpr int kMaxLutBits = 12;  // 4096 entries / table; wider gains nothing
+
+int clamp_lut_bits(int bits) { return std::clamp(bits, 0, kMaxLutBits); }
+
+std::atomic<int>& lut_bits_state() {
+  static std::atomic<int> state = [] {
+    int bits = 8;
+    if (const char* env = std::getenv("DNJ_ENTROPY_LUT_BITS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      // Malformed values keep the default; "0" is a valid way to request
+      // the pure bit-by-bit reference decoder.
+      if (end != env && *end == '\0') bits = static_cast<int>(parsed);
+    }
+    return clamp_lut_bits(bits);
+  }();
+  return state;
+}
+
 }  // namespace
+
+int entropy_lut_bits() { return lut_bits_state().load(std::memory_order_relaxed); }
+
+void set_entropy_lut_bits(int bits) {
+  lut_bits_state().store(clamp_lut_bits(bits), std::memory_order_relaxed);
+}
 
 int HuffmanSpec::symbol_count() const {
   int n = 0;
@@ -198,9 +225,20 @@ HuffmanEncoder::HuffmanEncoder(const HuffmanSpec& spec) {
   const CanonicalCodes cc = derive_codes(spec);
   for (std::size_t k = 0; k < spec.symbols.size(); ++k) {
     const std::uint8_t sym = spec.symbols[k];
-    if (size_[sym] != 0) throw std::invalid_argument("HuffmanEncoder: duplicate symbol");
-    code_[sym] = cc.codes[k];
-    size_[sym] = cc.sizes[k];
+    if (packed_[sym] != 0) throw std::invalid_argument("HuffmanEncoder: duplicate symbol");
+    packed_[sym] = (static_cast<std::uint32_t>(cc.codes[k]) << 8) | cc.sizes[k];
+  }
+  // Pre-pack repeated ZRL codes so the coder emits a 16..47-zero run in one
+  // accumulator write instead of up to three table lookups.
+  if ((packed_[0xF0] & 0xFFu) != 0) {
+    const std::uint64_t code = packed_[0xF0] >> 8;
+    const int len = static_cast<int>(packed_[0xF0] & 0xFFu);
+    std::uint64_t bits = 0;
+    for (int k = 1; k <= 3; ++k) {
+      bits = (bits << len) | code;
+      zrl_bits_[static_cast<std::size_t>(k)] = bits;
+      zrl_len_[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(k * len);
+    }
   }
 }
 
@@ -219,6 +257,28 @@ HuffmanDecoder::HuffmanDecoder(const HuffmanSpec& spec) : symbols_(spec.symbols)
     min_code_[static_cast<std::size_t>(l)] = cc.codes[k];
     k += spec.counts[static_cast<std::size_t>(l)];
     max_code_[static_cast<std::size_t>(l)] = cc.codes[k - 1];
+  }
+
+  // Peek table: every W-bit window whose prefix is a code of length l <= W
+  // maps to {symbol, l}; the 2^(W-l) extensions of each code share one
+  // entry. Windows left at len == 0 (longer codes, invalid prefixes) take
+  // the bit-by-bit fallback.
+  lut_bits_ = entropy_lut_bits();
+  if (lut_bits_ > 0) {
+    lut_.assign(std::size_t{1} << lut_bits_, LutEntry{});
+    std::size_t idx = 0;
+    for (int l = 1; l <= 16; ++l) {
+      for (int i = 0; i < spec.counts[static_cast<std::size_t>(l)]; ++i, ++idx) {
+        if (l > lut_bits_) continue;
+        const std::uint32_t base = static_cast<std::uint32_t>(cc.codes[idx])
+                                   << (lut_bits_ - l);
+        const std::uint32_t span = 1u << (lut_bits_ - l);
+        for (std::uint32_t w = 0; w < span; ++w) {
+          lut_[base + w].sym = spec.symbols[idx];
+          lut_[base + w].len = static_cast<std::uint8_t>(l);
+        }
+      }
+    }
   }
 }
 

@@ -37,6 +37,16 @@ struct HuffmanSpec {
   static HuffmanSpec build_optimal(const std::array<std::uint32_t, 256>& freq);
 };
 
+/// Width in bits of the peek table HuffmanDecoder builds (0 disables the
+/// lookup table entirely — pure bit-by-bit reference decoding). Resolved
+/// once from the DNJ_ENTROPY_LUT_BITS environment variable (clamped to
+/// [0, 12], default 8); set_entropy_lut_bits overrides it for tests and
+/// benches. The width only affects decode *speed*: decoded output is
+/// bit-identical at every width. Takes effect for decoders constructed
+/// after the call; not safe to call concurrently with decoding.
+int entropy_lut_bits();
+void set_entropy_lut_bits(int bits);
+
 /// Encoder-side lookup: code and length per symbol value.
 class HuffmanEncoder {
  public:
@@ -46,9 +56,10 @@ class HuffmanEncoder {
   /// symbol has no code in this table. Inline: one call per entropy-coded
   /// symbol.
   void encode(BitWriter& bw, std::uint8_t symbol) const {
-    if (size_[symbol] == 0)
+    const std::uint32_t e = packed_[symbol];  // (code << 8) | length
+    if ((e & 0xFFu) == 0)
       throw std::invalid_argument("HuffmanEncoder: symbol has no code");
-    bw.put_bits(code_[symbol], size_[symbol]);
+    bw.put_bits(e >> 8, static_cast<int>(e & 0xFFu));
   }
 
   /// Writes the code for `symbol` immediately followed by `extra_count`
@@ -56,33 +67,105 @@ class HuffmanEncoder {
   /// the same bitstream as encode() then put_bits(), with half the calls.
   void encode_with_extra(BitWriter& bw, std::uint8_t symbol, std::uint32_t extra,
                          int extra_count) const {
-    if (size_[symbol] == 0)
+    const std::uint32_t e = packed_[symbol];  // one load covers code + length
+    if ((e & 0xFFu) == 0)
       throw std::invalid_argument("HuffmanEncoder: symbol has no code");
-    bw.put_bits((static_cast<std::uint32_t>(code_[symbol]) << extra_count) | extra,
-                size_[symbol] + extra_count);
+    bw.put_bits(((e >> 8) << extra_count) | extra,
+                static_cast<int>(e & 0xFFu) + extra_count);
   }
 
-  int code_length(std::uint8_t symbol) const { return size_[symbol]; }
-  bool has_code(std::uint8_t symbol) const { return size_[symbol] != 0; }
+  /// Writes `zrls` consecutive ZRL (0xF0) codes, zrls in [1, 3] — every
+  /// run length 16..63 needs at most three — as one precomputed packed
+  /// field (<= 48 bits) through the 64-bit accumulator. Identical bits to
+  /// `zrls` encode(bw, 0xF0) calls. Throws std::invalid_argument if the
+  /// table has no ZRL code.
+  void encode_zrl_run(BitWriter& bw, int zrls) const {
+    if (zrls < 1 || zrls > 3 || zrl_len_[zrls] == 0)
+      throw std::invalid_argument("HuffmanEncoder: bad ZRL run");
+    bw.put_bits64(zrl_bits_[zrls], zrl_len_[zrls]);
+  }
+
+  // BlockCursor variants of the three emitters above: same bitstream, but
+  // through the register-resident per-block window. These are the zigzag
+  // coder's innermost calls.
+  void encode(BitWriter::BlockCursor& c, std::uint8_t symbol) const {
+    const std::uint32_t e = packed_[symbol];
+    if ((e & 0xFFu) == 0)
+      throw std::invalid_argument("HuffmanEncoder: symbol has no code");
+    c.put(e >> 8, static_cast<int>(e & 0xFFu));
+  }
+  void encode_with_extra(BitWriter::BlockCursor& c, std::uint8_t symbol,
+                         std::uint32_t extra, int extra_count) const {
+    const std::uint32_t e = packed_[symbol];
+    if ((e & 0xFFu) == 0)
+      throw std::invalid_argument("HuffmanEncoder: symbol has no code");
+    c.put(((e >> 8) << extra_count) | extra, static_cast<int>(e & 0xFFu) + extra_count);
+  }
+  void encode_zrl_run(BitWriter::BlockCursor& c, int zrls) const {
+    if (zrls < 1 || zrls > 3 || zrl_len_[zrls] == 0)
+      throw std::invalid_argument("HuffmanEncoder: bad ZRL run");
+    c.put(zrl_bits_[zrls], zrl_len_[zrls]);  // <= 48 bits, one write
+  }
+
+  int code_length(std::uint8_t symbol) const {
+    return static_cast<int>(packed_[symbol] & 0xFFu);
+  }
+  bool has_code(std::uint8_t symbol) const { return (packed_[symbol] & 0xFFu) != 0; }
 
  private:
-  std::array<std::uint16_t, 256> code_{};
-  std::array<std::uint8_t, 256> size_{};
+  // (code << 8) | length per symbol value: the hot path reads one 32-bit
+  // entry instead of separate code and size arrays (length 0 = no code).
+  std::array<std::uint32_t, 256> packed_{};
+  // Precomputed packed ZRL runs: zrl_bits_[k] holds k repetitions of the
+  // 0xF0 code, zrl_len_[k] their total length (0 when the table has no ZRL).
+  std::array<std::uint64_t, 4> zrl_bits_{};
+  std::array<std::uint8_t, 4> zrl_len_{};
 };
 
-/// Decoder-side tables (MINCODE/MAXCODE/VALPTR, T.81 F.2.2.3).
+/// Decoder-side tables: MINCODE/MAXCODE/VALPTR (T.81 F.2.2.3) plus a
+/// libjpeg-style N-bit peek table resolving every code of <= N bits in one
+/// lookup; longer codes, markers and truncation fall back to the bit-by-bit
+/// reference walk.
 class HuffmanDecoder {
  public:
   explicit HuffmanDecoder(const HuffmanSpec& spec);
 
-  /// Reads one symbol; returns -1 on truncated/invalid stream.
+  /// Reads one symbol bit by bit; returns -1 on truncated/invalid stream.
+  /// This is the reference path (and the only path when lut_bits() == 0).
   int decode(BitReader& br) const;
 
+  /// Reads one symbol through the peek table when possible. Same result
+  /// and same consumed bits as decode() for every stream, including
+  /// corrupt ones. Inline: one call per entropy-decoded symbol.
+  int decode_fast(BitReader& br) const {
+    if (lut_bits_ > 0) {
+      const int avail = br.ensure(lut_bits_);
+      const LutEntry e = lut_[br.peek(lut_bits_)];
+      // Entry valid only when its code fits the *real* buffered bits —
+      // zero padding near end-of-scan must not fabricate a short code.
+      if (e.len != 0 && e.len <= avail) {
+        br.consume(e.len);
+        return e.sym;
+      }
+    }
+    return decode(br);
+  }
+
+  /// Peek-table width this decoder was built with.
+  int lut_bits() const { return lut_bits_; }
+
  private:
+  struct LutEntry {
+    std::uint8_t sym = 0;
+    std::uint8_t len = 0;  // 0 = no code of <= lut_bits_ bits has this prefix
+  };
+
   std::array<std::int32_t, 17> min_code_{};
   std::array<std::int32_t, 17> max_code_{};  // -1 where no codes of that length
   std::array<std::int32_t, 17> val_ptr_{};
   std::vector<std::uint8_t> symbols_;
+  std::vector<LutEntry> lut_;
+  int lut_bits_ = 0;
 };
 
 }  // namespace dnj::jpeg

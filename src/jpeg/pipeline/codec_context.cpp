@@ -36,6 +36,35 @@ const ReciprocalTable& CodecContext::reciprocal_for(const QuantTable& table, int
   return s.recip;
 }
 
+const HuffmanDecoder& CodecContext::decoder_for(const HuffmanSpec& spec) {
+  const int lut_bits = entropy_lut_bits();
+  std::uint64_t key = 0xcbf29ce484222325ull;  // FNV-1a
+  const auto mix = [&key](std::uint8_t b) {
+    key ^= b;
+    key *= 0x100000001b3ull;
+  };
+  for (int l = 1; l <= 16; ++l) mix(spec.counts[static_cast<std::size_t>(l)]);
+  for (const std::uint8_t s : spec.symbols) mix(s);
+  mix(static_cast<std::uint8_t>(lut_bits));
+
+  for (DecoderSlot& slot : decoders_) {
+    // Exact spec compare behind the hash: a collision must rebuild, never
+    // hand back the wrong table.
+    if (slot.decoder && slot.key == key && slot.lut_bits == lut_bits &&
+        slot.spec.counts == spec.counts && slot.spec.symbols == spec.symbols)
+      return *slot.decoder;
+  }
+
+  DecoderSlot& slot = decoders_[decoder_next_];
+  decoder_next_ = (decoder_next_ + 1) % decoders_.size();
+  slot.decoder.emplace(spec);  // validates; throws before the slot is keyed
+  slot.key = key;
+  slot.lut_bits = lut_bits;
+  slot.spec = spec;
+  ++counters_.huffman_decoder_builds;
+  return *slot.decoder;
+}
+
 CodecContext::QualityTables CodecContext::quality_tables(int quality) {
   // Canonicalize exactly like QuantTable::scaled so every out-of-range
   // quality shares the clamped entry (and can never collide with the

@@ -64,6 +64,16 @@ class CodecContext {
   };
   QualityTables quality_tables(int quality);
 
+  /// Decoder-side Huffman tables (MINCODE/MAXCODE plus the peek LUT), cached
+  /// by table contents and current LUT width. A warm context decoding a
+  /// same-table stream (the serving steady state) skips both the canonical
+  /// code derivation and the 2^W-entry LUT fill on every image. Sixteen
+  /// slots with round-robin replacement: one scan can hold up to eight live
+  /// tables (4 DC + 4 AC) and redefinitions mid-stream never evict an entry
+  /// the current parse still points at. Returned references stay valid
+  /// until at least fifteen further distinct tables are requested.
+  const HuffmanDecoder& decoder_for(const HuffmanSpec& spec);
+
   /// How often the lazily-cached state above was actually (re)built. A warm
   /// context encoding a same-config stream sits at one build each; every
   /// additional rebuild is a cache miss caused by interleaved configs. The
@@ -73,6 +83,7 @@ class CodecContext {
     std::uint64_t huffman_builds = 0;
     std::uint64_t reciprocal_builds = 0;
     std::uint64_t quality_table_builds = 0;
+    std::uint64_t huffman_decoder_builds = 0;
   };
   const ReuseCounters& reuse_counters() const { return counters_; }
 
@@ -95,6 +106,14 @@ class CodecContext {
     bool valid = false;
   };
   std::array<RecipSlot, 2> recips_;
+  struct DecoderSlot {
+    std::uint64_t key = 0;  // FNV-1a over counts + symbols + LUT width
+    int lut_bits = -1;
+    HuffmanSpec spec;
+    std::optional<HuffmanDecoder> decoder;
+  };
+  std::array<DecoderSlot, 16> decoders_;
+  std::size_t decoder_next_ = 0;  // round-robin replacement cursor
   int cached_quality_ = -1;
   QuantTable quality_luma_, quality_chroma_;
   ReuseCounters counters_;

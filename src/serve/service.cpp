@@ -241,6 +241,8 @@ void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws) {
   ws.ctx_deltas.reciprocal_builds += after.reciprocal_builds - before.reciprocal_builds;
   ws.ctx_deltas.quality_table_builds +=
       after.quality_table_builds - before.quality_table_builds;
+  ws.ctx_deltas.huffman_decoder_builds +=
+      after.huffman_decoder_builds - before.huffman_decoder_builds;
 }
 
 namespace {
@@ -386,6 +388,7 @@ ServiceStats TranscodeService::stats() const {
     s.ctx_huffman_builds += ws.ctx_deltas.huffman_builds;
     s.ctx_reciprocal_builds += ws.ctx_deltas.reciprocal_builds;
     s.ctx_quality_table_builds += ws.ctx_deltas.quality_table_builds;
+    s.ctx_decoder_builds += ws.ctx_deltas.huffman_decoder_builds;
     queue_wait.merge(ws.queue_wait);
     service_time.merge(ws.service_time);
     total.merge(ws.total);

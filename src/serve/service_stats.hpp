@@ -73,6 +73,7 @@ struct ServiceStats {
   std::uint64_t ctx_huffman_builds = 0;
   std::uint64_t ctx_reciprocal_builds = 0;
   std::uint64_t ctx_quality_table_builds = 0;
+  std::uint64_t ctx_decoder_builds = 0;  ///< decode-side Huffman table + LUT builds
 
   // Latency quantiles (SLO accounting).
   LatencySummary queue_wait;    ///< submission -> worker pickup

@@ -59,6 +59,8 @@ void overlay(KernelTable& dst, const KernelTable& src) {
   if (src.quant_error_block) dst.quant_error_block = src.quant_error_block;
   if (src.gemm_acc) dst.gemm_acc = src.gemm_acc;
   if (src.gemm_at_acc) dst.gemm_at_acc = src.gemm_at_acc;
+  if (src.nonzero_mask_i16_64) dst.nonzero_mask_i16_64 = src.nonzero_mask_i16_64;
+  if (src.stuff_bytes) dst.stuff_bytes = src.stuff_bytes;
 }
 
 struct State {

@@ -93,6 +93,17 @@ struct KernelTable {
   void (*gemm_acc)(const float* a, const float* b, float* c, int m, int k, int n);
   /// C[m x n] += A^T * B with A stored [k x m] (k-major).
   void (*gemm_at_acc)(const float* a, const float* b, float* c, int m, int k, int n);
+  /// Nonzero-lane bitmask over one 64-entry int16 block (zig-zag or natural
+  /// order): bit k set iff v[k] != 0. Exact integer predicate, identical at
+  /// every level — the entropy coder iterates set bits instead of walking
+  /// 63 branchy lanes.
+  std::uint64_t (*nonzero_mask_i16_64)(const std::int16_t* v);
+  /// JPEG byte stuffing: copies `n` bytes from `src` to `dst`, inserting a
+  /// 0x00 after every 0xFF. `dst` must have room for 2*n bytes. Returns the
+  /// number of bytes written. Vector levels bulk-copy chunks with no 0xFF
+  /// byte and fall back per byte only on chunks that need stuffing.
+  std::size_t (*stuff_bytes)(const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst);
 };
 
 /// The active kernel table. First use resolves the level from DNJ_SIMD

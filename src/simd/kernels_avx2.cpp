@@ -362,6 +362,57 @@ void gemm_at_acc_avx2(const float* a, const float* b, float* c, int m, int k, in
   detail::gemm_at_acc_vec<V8>(a, b, c, m, k, n);
 }
 
+// ------------------------------------------------------------- entropy I/O
+
+std::uint64_t nonzero_mask_i16_64_avx2(const std::int16_t* v) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 2; ++i) {
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i * 32));
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i * 32 + 16));
+    // Pack the zero-compares to one byte per int16 lane. packs works per
+    // 128-bit lane, so permute the qwords back into linear byte order
+    // before movemask. Pure integer compare, identical to scalar.
+    __m256i z = _mm256_packs_epi16(_mm256_cmpeq_epi16(lo, zero),
+                                   _mm256_cmpeq_epi16(hi, zero));
+    z = _mm256_permute4x64_epi64(z, _MM_SHUFFLE(3, 1, 2, 0));
+    const unsigned zeros = static_cast<unsigned>(_mm256_movemask_epi8(z));
+    mask |= static_cast<std::uint64_t>(~zeros) << (i * 32);
+  }
+  return mask;
+}
+
+std::size_t stuff_bytes_avx2(const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst) {
+  const __m256i ff = _mm256_set1_epi8(static_cast<char>(0xFF));
+  std::size_t i = 0, o = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // Optimistic bulk copy: `dst` has 2n capacity and o <= 2i, so the
+    // 32-byte store stays in bounds even when the chunk is redone with
+    // stuffing below.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + o), v);
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, ff)) == 0) {
+      o += 32;
+      continue;
+    }
+    for (std::size_t j = 0; j < 32; ++j) {
+      const std::uint8_t b = src[i + j];
+      dst[o++] = b;
+      if (b == 0xFF) dst[o++] = 0x00;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t b = src[i];
+    dst[o++] = b;
+    if (b == 0xFF) dst[o++] = 0x00;
+  }
+  return o;
+}
+
 }  // namespace
 
 const KernelTable* avx2_kernels() {
@@ -380,6 +431,8 @@ const KernelTable* avx2_kernels() {
       &quant_error_block_avx2,
       &gemm_acc_avx2,
       &gemm_at_acc_avx2,
+      &nonzero_mask_i16_64_avx2,
+      &stuff_bytes_avx2,
   };
   return &table;
 }

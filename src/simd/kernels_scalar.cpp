@@ -177,6 +177,24 @@ void gemm_at_acc_scalar(const float* a, const float* b, float* c, int m, int k,
   }
 }
 
+std::uint64_t nonzero_mask_i16_64_scalar(const std::int16_t* v) {
+  std::uint64_t mask = 0;
+  for (int k = 0; k < kBlockSize; ++k)
+    if (v[k] != 0) mask |= 1ull << k;
+  return mask;
+}
+
+std::size_t stuff_bytes_scalar(const std::uint8_t* src, std::size_t n,
+                               std::uint8_t* dst) {
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = src[i];
+    dst[o++] = b;
+    if (b == 0xFF) dst[o++] = 0x00;
+  }
+  return o;
+}
+
 }  // namespace
 
 const KernelTable* scalar_kernels() {
@@ -195,6 +213,8 @@ const KernelTable* scalar_kernels() {
       &quant_error_block_scalar,
       &gemm_acc_scalar,
       &gemm_at_acc_scalar,
+      &nonzero_mask_i16_64_scalar,
+      &stuff_bytes_scalar,
   };
   return &table;
 }

@@ -360,6 +360,56 @@ void gemm_at_acc_sse2(const float* a, const float* b, float* c, int m, int k, in
   detail::gemm_at_acc_vec<V4>(a, b, c, m, k, n);
 }
 
+// ------------------------------------------------------------- entropy I/O
+
+std::uint64_t nonzero_mask_i16_64_sse2(const std::int16_t* v) {
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 4; ++i) {
+    const __m128i lo =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i * 16));
+    const __m128i hi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i * 16 + 8));
+    // Zero lanes compare to 0xFFFF; packing the two compares yields one
+    // 0xFF/0x00 byte per int16 lane, movemask extracts those to bits and
+    // the complement is the nonzero mask. Pure integer compare: identical
+    // to the scalar predicate for every input.
+    const __m128i z =
+        _mm_packs_epi16(_mm_cmpeq_epi16(lo, zero), _mm_cmpeq_epi16(hi, zero));
+    const unsigned zeros = static_cast<unsigned>(_mm_movemask_epi8(z));
+    mask |= static_cast<std::uint64_t>(~zeros & 0xFFFFu) << (i * 16);
+  }
+  return mask;
+}
+
+std::size_t stuff_bytes_sse2(const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst) {
+  const __m128i ff = _mm_set1_epi8(static_cast<char>(0xFF));
+  std::size_t i = 0, o = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    // Optimistic bulk copy: `dst` has 2n capacity and o <= 2i, so the
+    // 16-byte store stays in bounds even when the chunk is redone with
+    // stuffing below.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + o), v);
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(v, ff)) == 0) {
+      o += 16;
+      continue;
+    }
+    for (std::size_t j = 0; j < 16; ++j) {
+      const std::uint8_t b = src[i + j];
+      dst[o++] = b;
+      if (b == 0xFF) dst[o++] = 0x00;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t b = src[i];
+    dst[o++] = b;
+    if (b == 0xFF) dst[o++] = 0x00;
+  }
+  return o;
+}
+
 }  // namespace
 
 const KernelTable* sse2_kernels() {
@@ -378,6 +428,8 @@ const KernelTable* sse2_kernels() {
       &quant_error_block_sse2,
       &gemm_acc_sse2,
       &gemm_at_acc_sse2,
+      &nonzero_mask_i16_64_sse2,
+      &stuff_bytes_sse2,
   };
   return &table;
 }

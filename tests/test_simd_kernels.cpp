@@ -298,5 +298,85 @@ TEST(SimdKernels, GemmAccMatchesScalarOnTailShapes) {
   }
 }
 
+TEST(SimdKernels, NonzeroMaskI16MatchesReferencePredicate) {
+  std::mt19937_64 rng(0x4A5);
+  for (int c = 0; c < 64; ++c) {
+    alignas(16) std::int16_t v[64] = {};
+    switch (c % 5) {
+      case 0:  // all zero
+        break;
+      case 1:  // dense random (some lanes still zero by chance)
+        for (std::int16_t& x : v)
+          x = static_cast<std::int16_t>(rng() % 7 == 0 ? 0 : rng());
+        break;
+      case 2:  // single lane set, swept across the block
+        v[c % 64] = 1;
+        break;
+      case 3:  // extremes: INT16_MIN must not read as zero
+        v[0] = -32768;
+        v[31] = 32767;
+        v[63] = -1;
+        break;
+      case 4:  // every lane nonzero
+        for (std::int16_t& x : v) x = static_cast<std::int16_t>(rng() | 1);
+        break;
+    }
+    std::uint64_t expect = 0;
+    for (int k = 0; k < 64; ++k)
+      if (v[k] != 0) expect |= 1ull << k;
+    set_level(Level::kScalar);
+    EXPECT_EQ(kernels().nonzero_mask_i16_64(v), expect) << "scalar case=" << c;
+    for_each_simd_level([&](Level l) {
+      EXPECT_EQ(kernels().nonzero_mask_i16_64(v), expect)
+          << "level=" << level_name(l) << " case=" << c;
+    });
+  }
+}
+
+TEST(SimdKernels, StuffBytesMatchesReferenceOnFfPatterns) {
+  std::mt19937_64 rng(0x57F);
+  std::vector<std::vector<std::uint8_t>> inputs;
+  inputs.push_back({});                                     // empty
+  inputs.push_back(std::vector<std::uint8_t>(40, 0xFF));    // worst case: all stuffed
+  inputs.push_back(std::vector<std::uint8_t>(96, 0x12));    // fast path: no 0xFF at all
+  for (const std::size_t n : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                              std::size_t{17}, std::size_t{31}, std::size_t{32},
+                              std::size_t{33}, std::size_t{100}, std::size_t{4097}}) {
+    std::vector<std::uint8_t> in(n);
+    for (std::uint8_t& b : in)
+      b = static_cast<std::uint8_t>(rng() % 4 == 0 ? 0xFF : rng());
+    inputs.push_back(std::move(in));
+  }
+  {
+    // 0xFF exactly at vector-chunk boundaries, nowhere else.
+    std::vector<std::uint8_t> in(70, 0x00);
+    for (const std::size_t i : {std::size_t{0}, std::size_t{15}, std::size_t{16},
+                                std::size_t{31}, std::size_t{32}, std::size_t{63},
+                                std::size_t{69}})
+      in[i] = 0xFF;
+    inputs.push_back(std::move(in));
+  }
+  for (std::size_t ci = 0; ci < inputs.size(); ++ci) {
+    const std::vector<std::uint8_t>& in = inputs[ci];
+    std::vector<std::uint8_t> expect;
+    for (const std::uint8_t b : in) {
+      expect.push_back(b);
+      if (b == 0xFF) expect.push_back(0x00);
+    }
+    const auto run = [&](Level l) {
+      std::vector<std::uint8_t> dst(in.size() * 2 + 1, 0xAB);
+      const std::size_t written = kernels().stuff_bytes(in.data(), in.size(), dst.data());
+      ASSERT_EQ(written, expect.size()) << "level=" << level_name(l) << " case=" << ci;
+      EXPECT_EQ(0, std::memcmp(dst.data(), expect.data(), written))
+          << "level=" << level_name(l) << " case=" << ci;
+      EXPECT_EQ(dst[written], 0xAB)  // no write past the reported length
+          << "level=" << level_name(l) << " case=" << ci;
+    };
+    set_level(Level::kScalar);
+    run(Level::kScalar);
+    for_each_simd_level(run);
+  }
+}
+
 }  // namespace
 }  // namespace dnj::simd

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Advisory entropy-stage perf regression check.
+
+Compares a fresh BENCH_codec_pipeline.json against the committed baseline
+(bench/baselines/BENCH_codec_pipeline.json) and warns when an entropy row
+regressed by more than the threshold. Advisory by design: shared CI
+runners are noisy enough that a hard gate would cry wolf — the CI step
+runs with continue-on-error, and a *trend* of warnings across PRs is the
+actionable signal.
+
+Exit status: 0 = no regression, 1 = at least one row regressed,
+2 = inputs unusable (missing file, malformed JSON, gate field false).
+
+Usage:
+    tools/check_bench_regression.py <fresh.json> [<baseline.json>] [--threshold 0.20]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baselines", "BENCH_codec_pipeline.json")
+
+# (human label, path to the throughput value). Higher is better for all.
+TRACKED = [
+    ("encode entropy", ("stages", "entropy", "mblocks_per_s")),
+    ("decode huffman", ("decode_stages", "huffman_decode", "mblocks_per_s")),
+]
+
+
+def stage_value(doc, spec):
+    array_key, stage_name, field = spec
+    for row in doc.get(array_key, []):
+        if row.get("stage") == stage_name:
+            return row.get(field)
+    return None
+
+
+def warn(msg):
+    # ::warning:: renders as an annotation on GitHub; plain text elsewhere.
+    print(f"::warning::{msg}" if os.environ.get("GITHUB_ACTIONS") else f"WARNING: {msg}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated BENCH_codec_pipeline.json")
+    ap.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE)
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fractional slowdown that counts as a regression")
+    args = ap.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read inputs: {e}", file=sys.stderr)
+        return 2
+
+    # The determinism gates are hard requirements, not perf advisories.
+    for gate in ("streams_identical", "restart_identical"):
+        if fresh.get(gate) is False:
+            print(f"check_bench_regression: {gate} is false — determinism "
+                  "violation, not a perf question", file=sys.stderr)
+            return 2
+
+    regressed = False
+    for label, spec in TRACKED:
+        fresh_v = stage_value(fresh, spec)
+        base_v = stage_value(base, spec)
+        if not fresh_v or not base_v:
+            warn(f"{label}: row missing from fresh or baseline JSON, skipped")
+            continue
+        ratio = fresh_v / base_v
+        line = (f"{label}: {fresh_v:.2f} vs baseline {base_v:.2f} Mblocks/s "
+                f"({ratio:.2f}x)")
+        if ratio < 1.0 - args.threshold:
+            warn(f"perf regression, {line}")
+            regressed = True
+        else:
+            print(f"ok: {line}")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
