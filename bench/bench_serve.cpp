@@ -193,6 +193,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_serve: bad arguments\n");
     return 1;
   }
+#if !defined(_WIN32)
+  // The worker pool sizes itself to hardware concurrency; give the
+  // scenarios real workers even on single-core CI boxes. Never overrides a
+  // user's DNJ_THREADS.
+  setenv("DNJ_THREADS", "8", 0);
+#endif
 
   data::GeneratorConfig gen_cfg;
   gen_cfg.width = 32;

@@ -4,9 +4,16 @@
 // conversion and one validation story when crossing the boundary.
 #pragma once
 
+#include <memory>
+
+#include "api/registry.hpp"
 #include "api/status.hpp"
 #include "api/types.hpp"
 #include "jpeg/encoder.hpp"
+
+namespace dnj::serve {
+class TableRegistry;
+}
 
 namespace dnj::api::detail {
 
@@ -29,5 +36,15 @@ Status validate_options(const EncodeOptions& options);
 /// std::runtime_error becomes `runtime_code` (kDecodeError on decode-side
 /// paths, kInternal elsewhere), anything else kInternal.
 Status map_exception(StatusCode runtime_code);
+
+/// Bridges api::Registry to its serve-layer implementation (defined in
+/// registry.cpp, where Registry's privates are reachable). Internal glue:
+/// the serving layer and the Service façade share registry instances
+/// through this, without shared_ptr<TableRegistry> appearing in any
+/// public signature.
+struct RegistryAccess {
+  static const std::shared_ptr<serve::TableRegistry>& impl(const Registry& r);
+  static Registry wrap(std::shared_ptr<serve::TableRegistry> impl);
+};
 
 }  // namespace dnj::api::detail

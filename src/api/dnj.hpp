@@ -10,7 +10,8 @@
 //       dnj::api::EncodeOptions().quality(90));
 //
 // Surface: Session/Codec/TableDesigner (synchronous, api/session.hpp),
-// Service (asynchronous, api/service.hpp), the Status/Result error model
+// Service (asynchronous, api/service.hpp), Registry (multi-tenant table
+// registry, api/registry.hpp), the Status/Result error model
 // (api/status.hpp), and the value types/builders (api/types.hpp). The C
 // ABI lives in api/dnj_c.h. Stability policy: see README "Public API".
 //
@@ -18,6 +19,7 @@
 // of this header are insulated from those changes.
 #pragma once
 
+#include "api/registry.hpp"
 #include "api/service.hpp"
 #include "api/session.hpp"
 #include "api/status.hpp"

@@ -11,6 +11,7 @@
 #include <new>
 #include <string>
 
+#include "api/registry.hpp"
 #include "api/service.hpp"
 #include "api/session.hpp"
 
@@ -43,6 +44,11 @@ struct dnj_designer_t {
 struct dnj_server_t {
   explicit dnj_server_t(const api::ServiceOptions& options) : service(options) {}
   api::Service service;
+  std::string last_error;
+};
+
+struct dnj_registry_t {
+  api::Registry registry;
   std::string last_error;
 };
 
@@ -271,13 +277,116 @@ dnj_status_t dnj_designer_design_options(dnj_designer_t* designer,
   });
 }
 
+dnj_registry_t* dnj_registry_new(void) {
+  try {
+    return new dnj_registry_t();
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void dnj_registry_free(dnj_registry_t* registry) { delete registry; }
+
+const char* dnj_registry_last_error(const dnj_registry_t* registry) {
+  return registry != nullptr ? registry->last_error.c_str() : "";
+}
+
+dnj_status_t dnj_registry_put(dnj_registry_t* registry, const char* name,
+                              const dnj_options_t* options, size_t quota_bytes,
+                              uint64_t* out_version) {
+  if (registry == nullptr || name == nullptr) return DNJ_INVALID_ARGUMENT;
+  try {
+    const api::EncodeOptions defaults;
+    api::Result<std::uint64_t> result = registry->registry.put(
+        name, options != nullptr ? options->options : defaults, quota_bytes);
+    if (!result.ok()) {
+      registry->last_error = result.status().message();
+      return static_cast<dnj_status_t>(result.status().code());
+    }
+    if (out_version != nullptr) *out_version = result.value();
+    return DNJ_OK;
+  } catch (const std::exception& e) {
+    registry->last_error = e.what();
+    return DNJ_INTERNAL;
+  } catch (...) {
+    registry->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
+dnj_status_t dnj_registry_remove(dnj_registry_t* registry, const char* name) {
+  if (registry == nullptr || name == nullptr) return DNJ_INVALID_ARGUMENT;
+  try {
+    const api::Status s = registry->registry.remove(name);
+    if (!s.ok()) registry->last_error = s.message();
+    return static_cast<dnj_status_t>(s.code());
+  } catch (...) {
+    registry->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
+dnj_status_t dnj_registry_get(dnj_registry_t* registry, const char* name,
+                              uint64_t* out_version, size_t* out_quota_bytes) {
+  if (registry == nullptr || name == nullptr) return DNJ_INVALID_ARGUMENT;
+  try {
+    api::Result<api::TenantInfo> result = registry->registry.get(name);
+    if (!result.ok()) {
+      registry->last_error = result.status().message();
+      return static_cast<dnj_status_t>(result.status().code());
+    }
+    if (out_version != nullptr) *out_version = result.value().version;
+    if (out_quota_bytes != nullptr) *out_quota_bytes = result.value().quota_bytes;
+    return DNJ_OK;
+  } catch (...) {
+    registry->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
+size_t dnj_registry_count(const dnj_registry_t* registry) {
+  if (registry == nullptr) return 0;
+  try {
+    return registry->registry.size();
+  } catch (...) {
+    return 0;
+  }
+}
+
+dnj_status_t dnj_registry_encode_options(dnj_registry_t* registry, const char* name,
+                                         int32_t quality, dnj_options_t* out_options) {
+  if (registry == nullptr || name == nullptr || out_options == nullptr)
+    return DNJ_INVALID_ARGUMENT;
+  try {
+    api::Result<api::EncodeOptions> result =
+        registry->registry.encode_options_for(name, quality);
+    if (!result.ok()) {
+      registry->last_error = result.status().message();
+      return static_cast<dnj_status_t>(result.status().code());
+    }
+    out_options->options = result.take();
+    return DNJ_OK;
+  } catch (...) {
+    registry->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
 dnj_server_t* dnj_server_new(int32_t workers, size_t queue_capacity,
                              int32_t reject_when_full) {
+  return dnj_server_new_with_registry(workers, queue_capacity, reject_when_full,
+                                      nullptr);
+}
+
+dnj_server_t* dnj_server_new_with_registry(int32_t workers, size_t queue_capacity,
+                                           int32_t reject_when_full,
+                                           dnj_registry_t* registry) {
   try {
     api::ServiceOptions options;
     if (workers > 0) options.workers(workers);
     if (queue_capacity > 0) options.queue_capacity(queue_capacity);
     options.reject_when_full(reject_when_full != 0);
+    if (registry != nullptr) options.registry(registry->registry);
     return new dnj_server_t(options);
   } catch (...) {
     return nullptr;

@@ -49,7 +49,7 @@ extern "C" {
 /* ------------------------------------------------------------- version */
 
 #define DNJ_ABI_VERSION_MAJOR 1
-#define DNJ_ABI_VERSION_MINOR 1
+#define DNJ_ABI_VERSION_MINOR 2
 #define DNJ_ABI_VERSION ((uint32_t)((DNJ_ABI_VERSION_MAJOR << 16) | DNJ_ABI_VERSION_MINOR))
 
 /* ABI version of the linked library: (major << 16) | minor. */
@@ -145,6 +145,49 @@ dnj_status_t dnj_decode(dnj_session_t* session, const uint8_t* bytes, size_t siz
 dnj_status_t dnj_transcode(dnj_session_t* session, const uint8_t* bytes, size_t size,
                            const dnj_options_t* options, dnj_buffer_t* out);
 
+/* ------------------------------------------------------------ registry */
+
+/* Opaque multi-tenant table registry: names tenants and maps each to an
+ * immutable encoder configuration (base quantization tables + options +
+ * an optional result-cache byte quota). Share one registry across servers
+ * by passing it to dnj_server_new_with_registry. Thread-safe; updates are
+ * versioned, and requests in flight keep the tenant snapshot they
+ * resolved at submission. Added in ABI 1.2. */
+typedef struct dnj_registry_t dnj_registry_t;
+
+dnj_registry_t* dnj_registry_new(void);
+void dnj_registry_free(dnj_registry_t* registry);
+
+/* Message of the most recent failing call on this registry ("" if none). */
+const char* dnj_registry_last_error(const dnj_registry_t* registry);
+
+/* Registers (or replaces) tenant `name` with `options` as its base
+ * configuration (NULL = defaults; a registration without custom tables is
+ * materialized with the Annex K pair) and `quota_bytes` as its
+ * result-cache byte quota (0 = none). *out_version (optional) receives
+ * the published registry version. */
+dnj_status_t dnj_registry_put(dnj_registry_t* registry, const char* name,
+                              const dnj_options_t* options, size_t quota_bytes,
+                              uint64_t* out_version);
+
+/* Unregisters `name` (DNJ_INVALID_ARGUMENT when unknown). */
+dnj_status_t dnj_registry_remove(dnj_registry_t* registry, const char* name);
+
+/* Looks `name` up; *out_version / *out_quota_bytes (each optional)
+ * receive the tenant's published version and quota. */
+dnj_status_t dnj_registry_get(dnj_registry_t* registry, const char* name,
+                              uint64_t* out_version, size_t* out_quota_bytes);
+
+/* Number of registered tenants (0 for NULL). */
+size_t dnj_registry_count(const dnj_registry_t* registry);
+
+/* Writes into `out_options` the exact encoder options a deepn encode of
+ * (name, quality) runs under: the tenant's configuration with its tables
+ * IJG-scaled to `quality` in [1, 100] (50 = base tables verbatim).
+ * Encoding with these options reproduces the served payload bit for bit. */
+dnj_status_t dnj_registry_encode_options(dnj_registry_t* registry, const char* name,
+                                         int32_t quality, dnj_options_t* out_options);
+
 /* -------------------------------------------------------------- server */
 
 /* Opaque network server: an asynchronous transcode service (worker pool,
@@ -158,6 +201,16 @@ typedef struct dnj_server_t dnj_server_t;
  * docs/OPERATIONS.md) instead of applying TCP backpressure. */
 dnj_server_t* dnj_server_new(int32_t workers, size_t queue_capacity,
                              int32_t reject_when_full);
+
+/* Like dnj_server_new, but the server resolves tenant-named requests
+ * against `registry` (borrowed for construction only: the underlying
+ * registry is shared, so the caller may free the handle — or keep it and
+ * update tenants live). NULL registry behaves like dnj_server_new. Added
+ * in ABI 1.2. */
+dnj_server_t* dnj_server_new_with_registry(int32_t workers, size_t queue_capacity,
+                                           int32_t reject_when_full,
+                                           dnj_registry_t* registry);
+
 void dnj_server_free(dnj_server_t* server);
 
 /* Message of the most recent failing call on this server ("" if none). */

@@ -1,0 +1,87 @@
+// Registry façade implementation: boundary validation + type translation
+// over serve::TableRegistry (which owns normalization and versioning).
+#include "api/registry.hpp"
+
+#include <utility>
+
+#include "api/convert.hpp"
+#include "serve/registry.hpp"
+
+namespace dnj::api {
+
+Registry::Registry() : impl_(std::make_shared<serve::TableRegistry>()) {}
+Registry::Registry(std::shared_ptr<serve::TableRegistry> impl) : impl_(std::move(impl)) {}
+Registry::~Registry() = default;
+Registry::Registry(const Registry&) = default;
+Registry& Registry::operator=(const Registry&) = default;
+Registry::Registry(Registry&&) noexcept = default;
+Registry& Registry::operator=(Registry&&) noexcept = default;
+
+Result<std::uint64_t> Registry::put(const std::string& name, const EncodeOptions& base,
+                                    std::size_t quota_bytes) {
+  if (name.empty())
+    return Status{StatusCode::kInvalidArgument, "tenant name must not be empty"};
+  if (Status s = detail::validate_options(base); !s.ok()) return s;
+  try {
+    return impl_->put(name, detail::to_config(base), quota_bytes);
+  } catch (...) {
+    return detail::map_exception(StatusCode::kInternal);
+  }
+}
+
+Status Registry::remove(const std::string& name) {
+  if (!impl_->remove(name))
+    return {StatusCode::kInvalidArgument, "unknown tenant: " + name};
+  return Status::success();
+}
+
+Result<TenantInfo> Registry::get(const std::string& name) const {
+  const std::shared_ptr<const serve::TenantEntry> entry = impl_->find(name);
+  if (!entry)
+    return Status{StatusCode::kInvalidArgument, "unknown tenant: " + name};
+  TenantInfo info;
+  info.name = entry->name;
+  info.version = entry->version;
+  info.quota_bytes = entry->quota_bytes;
+  info.options = detail::from_config(entry->base);
+  return info;
+}
+
+std::vector<std::string> Registry::names() const { return impl_->names(); }
+
+std::size_t Registry::size() const { return impl_->size(); }
+
+Result<EncodeOptions> Registry::encode_options_for(const std::string& name,
+                                                   int quality) const {
+  if (quality < 1 || quality > 100)
+    return Status{StatusCode::kInvalidArgument, "quality must be in [1, 100]"};
+  const std::shared_ptr<const serve::TenantEntry> entry = impl_->find(name);
+  if (!entry)
+    return Status{StatusCode::kInvalidArgument, "unknown tenant: " + name};
+  try {
+    // The tenant's full configuration with its tables quality-scaled —
+    // mirror of TranscodeService::deepn_config so the synchronous encode
+    // under these options is bit-identical to the served path.
+    jpeg::EncoderConfig cfg = entry->base;
+    cfg.use_custom_tables = true;
+    cfg.luma_table = entry->base.luma_table.scaled(quality);
+    cfg.chroma_table = entry->base.chroma_table.scaled(quality);
+    return detail::from_config(cfg);
+  } catch (...) {
+    return detail::map_exception(StatusCode::kInternal);
+  }
+}
+
+namespace detail {
+
+const std::shared_ptr<serve::TableRegistry>& RegistryAccess::impl(const Registry& r) {
+  return r.impl_;
+}
+
+Registry RegistryAccess::wrap(std::shared_ptr<serve::TableRegistry> impl) {
+  return Registry(std::move(impl));
+}
+
+}  // namespace detail
+
+}  // namespace dnj::api

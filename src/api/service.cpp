@@ -95,6 +95,13 @@ Service::Service(const ServiceOptions& options) {
                                              : serve::AdmissionPolicy::kBlock;
   cfg.max_batch = options.max_batch();
   cfg.cache_capacity = options.result_cache();
+  cfg.cache_max_bytes = options.cache_max_bytes();
+  cfg.tenant_quota_bytes = options.tenant_quota_bytes();
+  cfg.table_cache_capacity = options.table_cache();
+  cfg.shard_by_digest = options.shard_by_digest();
+  cfg.steal = options.steal();
+  if (options.registry().has_value())
+    cfg.registry = detail::RegistryAccess::impl(*options.registry());
   impl_ = std::make_unique<Impl>(std::move(cfg));
 }
 
@@ -154,6 +161,30 @@ Pending Service::transcode(ByteSpan stream, const EncodeOptions& options) {
   return Pending(std::move(state));
 }
 
+Pending Service::deepn_encode(ImageView image, const std::string& tenant,
+                              int quality) {
+  if (Status s = detail::validate_image(image); !s.ok())
+    return immediate(std::move(s));
+  if (tenant.empty())
+    return immediate({StatusCode::kInvalidArgument, "tenant name must not be empty"});
+  if (quality < 1 || quality > 100)
+    return immediate({StatusCode::kInvalidArgument, "quality must be in [1, 100]"});
+  serve::Request req;
+  req.kind = serve::RequestKind::kDeepnEncode;
+  req.tenant = tenant;
+  req.quality = quality;
+  req.image = image::Image(
+      image.width, image.height, image.channels,
+      std::vector<std::uint8_t>(image.pixels, image.pixels + image.byte_size()));
+  auto state = std::make_unique<Pending::State>();
+  state->future = impl_->service.submit(std::move(req));
+  return Pending(std::move(state));
+}
+
+Registry Service::registry() const {
+  return detail::RegistryAccess::wrap(impl_->service.registry());
+}
+
 ServiceMetrics Service::metrics() const {
   const serve::ServiceStats s = impl_->service.stats();
   ServiceMetrics m;
@@ -162,11 +193,29 @@ ServiceMetrics Service::metrics() const {
   m.rejected = s.rejected;
   m.errors = s.errors;
   m.cache_hits = s.cache_hits;
+  m.cache_bytes = s.cache_bytes;
+  m.cache_quota_evictions = s.cache_quota_evictions;
+  m.table_cache_hits = s.table_cache_hits;
   m.batches = s.batches;
   m.max_batch = s.max_batch;
+  m.shard_count = s.shard_count;
+  m.steals = s.steals;
   m.total_p50_us = s.total.p50_us;
   m.total_p95_us = s.total.p95_us;
   m.total_p99_us = s.total.p99_us;
+  m.tenants.reserve(s.tenants.size());
+  for (const serve::TenantStats& t : s.tenants) {
+    TenantMetrics tm;
+    tm.name = t.name;
+    tm.requests = t.requests;
+    tm.completed = t.completed;
+    tm.errors = t.errors;
+    tm.cache_hits = t.cache_hits;
+    tm.table_cache_hits = t.table_cache_hits;
+    tm.service_p50_us = t.service_time.p50_us;
+    tm.service_p99_us = t.service_time.p99_us;
+    m.tenants.push_back(std::move(tm));
+  }
   return m;
 }
 

@@ -23,6 +23,9 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
+#include "api/registry.hpp"
 #include "api/status.hpp"
 #include "api/types.hpp"
 
@@ -55,12 +58,54 @@ class ServiceOptions {
     result_cache_ = entries;
     return *this;
   }
+  /// Result-cache byte ceiling across all entries (0 = entry count only).
+  ServiceOptions& cache_max_bytes(std::size_t bytes) {
+    cache_max_bytes_ = bytes;
+    return *this;
+  }
+  /// Per-tenant result-cache byte quota (0 = none): an over-quota tenant
+  /// evicts its own least-recently-used entries, never other tenants'.
+  ServiceOptions& tenant_quota_bytes(std::size_t bytes) {
+    tenant_quota_bytes_ = bytes;
+    return *this;
+  }
+  /// Scaled-table cache entries per worker for deepn_encode (0 disables).
+  ServiceOptions& table_cache(std::size_t entries) {
+    table_cache_ = entries;
+    return *this;
+  }
+  /// Digest-affinity sharding: route requests to per-worker sub-queues by
+  /// config digest so worker caches stay warm per configuration. Pure
+  /// scheduling — payloads are bit-identical either way. Default on.
+  ServiceOptions& shard_by_digest(bool on) {
+    shard_by_digest_ = on;
+    return *this;
+  }
+  /// Work stealing between shards (idle worker takes from the fullest
+  /// foreign sub-queue). Default on.
+  ServiceOptions& steal(bool on) {
+    steal_ = on;
+    return *this;
+  }
+  /// The tenant registry deepn_encode resolves names against. Omitted =
+  /// the service creates a private one (reachable via Service::registry());
+  /// pass one Registry to several services to share a tenant set.
+  ServiceOptions& registry(Registry r) {
+    registry_ = std::move(r);
+    return *this;
+  }
 
   int workers() const { return workers_; }
   std::size_t queue_capacity() const { return queue_capacity_; }
   bool reject_when_full() const { return reject_when_full_; }
   int max_batch() const { return max_batch_; }
   std::size_t result_cache() const { return result_cache_; }
+  std::size_t cache_max_bytes() const { return cache_max_bytes_; }
+  std::size_t tenant_quota_bytes() const { return tenant_quota_bytes_; }
+  std::size_t table_cache() const { return table_cache_; }
+  bool shard_by_digest() const { return shard_by_digest_; }
+  bool steal() const { return steal_; }
+  const std::optional<Registry>& registry() const { return registry_; }
 
  private:
   int workers_ = 2;
@@ -68,6 +113,12 @@ class ServiceOptions {
   bool reject_when_full_ = false;
   int max_batch_ = 8;
   std::size_t result_cache_ = 256;
+  std::size_t cache_max_bytes_ = 0;
+  std::size_t tenant_quota_bytes_ = 0;
+  std::size_t table_cache_ = 16;
+  bool shard_by_digest_ = true;
+  bool steal_ = true;
+  std::optional<Registry> registry_;
 };
 
 /// Builder-style configuration for the TCP front end (src/net). Tuning
@@ -145,6 +196,18 @@ class Pending {
   std::unique_ptr<State> state_;
 };
 
+/// Per-tenant slice of the service counters (named registry tenants only).
+struct TenantMetrics {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t table_cache_hits = 0;
+  double service_p50_us = 0.0;
+  double service_p99_us = 0.0;
+};
+
 /// Point-in-time service counters + merged latency quantiles (µs).
 struct ServiceMetrics {
   std::uint64_t submitted = 0;
@@ -152,11 +215,17 @@ struct ServiceMetrics {
   std::uint64_t rejected = 0;
   std::uint64_t errors = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t cache_bytes = 0;            ///< recorded result-cache payload total
+  std::uint64_t cache_quota_evictions = 0;  ///< evictions forced by tenant quotas
+  std::uint64_t table_cache_hits = 0;       ///< summed over per-worker table LRUs
   std::uint64_t batches = 0;
   std::uint64_t max_batch = 0;
+  std::uint64_t shard_count = 0;  ///< submission-queue shards (1 = unsharded)
+  std::uint64_t steals = 0;       ///< pops served from a foreign shard
   double total_p50_us = 0.0;
   double total_p95_us = 0.0;
   double total_p99_us = 0.0;
+  std::vector<TenantMetrics> tenants;  ///< sorted by name
 };
 
 class Service {
@@ -173,6 +242,20 @@ class Service {
   Pending encode(ImageView image, const EncodeOptions& options = {});
   Pending decode(ByteSpan stream);
   Pending transcode(ByteSpan stream, const EncodeOptions& options = {});
+
+  /// Encodes under tenant `tenant`'s registered table pair, IJG-scaled to
+  /// `quality` (50 = the tenant's base tables verbatim). The payload is
+  /// bit-identical to a synchronous Codec::encode under
+  /// Registry::encode_options_for(tenant, quality). A name the registry
+  /// does not know yields a kInternal reply (resolution happens at
+  /// submission, pinning that tenant generation for the request).
+  Pending deepn_encode(ImageView image, const std::string& tenant, int quality);
+
+  /// The registry deepn_encode resolves tenant names against — the one
+  /// from ServiceOptions, or the service-private one. The returned handle
+  /// shares the underlying registry: put()/remove() through it are live
+  /// immediately for subsequent submissions.
+  Registry registry() const;
 
   ServiceMetrics metrics() const;
 

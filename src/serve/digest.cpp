@@ -56,12 +56,17 @@ std::uint64_t request_config_digest(const Request& req) {
     case RequestKind::kEncode:
     case RequestKind::kTranscode:
       return digest_config(req.config);
-    case RequestKind::kDeepnEncode:
-      // The service's table pair is fixed per instance, so the quality
-      // scaling is the whole per-request config. Clamp exactly like the
-      // handler does, so requests that compute the same thing share a key
-      // (cache entries and batch compatibility alike).
-      return mix_i32(std::clamp(req.quality, 1, 100), kFnvOffset);
+    case RequestKind::kDeepnEncode: {
+      // Without a registry in hand, the per-request config is the tenant
+      // name plus the quality scaling. Clamp exactly like the handler
+      // does, so requests that compute the same thing share a key. (The
+      // service itself substitutes deepn_config_digest over the resolved
+      // table contents — see the header.)
+      const std::uint64_t seed =
+          req.tenant.empty() ? kFnvOffset
+                             : fnv1a(req.tenant.data(), req.tenant.size());
+      return mix_i32(std::clamp(req.quality, 1, 100), seed);
+    }
     case RequestKind::kDecode:
     case RequestKind::kInfer:
       break;
@@ -85,6 +90,11 @@ std::uint64_t request_input_digest(const Request& req) {
 
 CacheKey request_key(const Request& req) {
   return {request_input_digest(req), request_config_digest(req)};
+}
+
+std::uint64_t deepn_config_digest(std::uint64_t tables_digest, int quality) {
+  return mix_i32(std::clamp(quality, 1, 100),
+                 fnv1a(&tables_digest, sizeof(tables_digest)));
 }
 
 bool cacheable(RequestKind kind) {

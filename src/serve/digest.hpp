@@ -61,7 +61,18 @@ CacheKey request_key(const Request& req);
 /// The config half of request_key alone — all the submission path needs
 /// (batching compatibility and admission never look at the input half).
 /// O(1) in the payload size, so rejecting under overload stays O(1).
+/// For kDeepnEncode this mixes the tenant *name*; the serving layer, which
+/// can resolve the name against its registry, keys on the resolved table
+/// contents instead (deepn_config_digest) so identical configurations
+/// alias across tenants and registry generations.
 std::uint64_t request_config_digest(const Request& req);
+
+/// Config digest of a DeepN-quality encode: the digest of the base table
+/// pair (service-wide or a tenant's TenantEntry::base_digest) folded with
+/// the clamped quality. This is the digest the service shards, batches,
+/// and caches kDeepnEncode requests on — pure content, no names, no
+/// registry versions, so equal computations share warmth everywhere.
+std::uint64_t deepn_config_digest(std::uint64_t tables_digest, int quality);
 
 /// The input half of request_key alone: the (kind-seeded) digest of the
 /// request payload. O(payload); workers compute it lazily, only when a

@@ -41,6 +41,11 @@ struct Request {
   std::vector<std::uint8_t> bytes;  ///< kDecode / kTranscode / kInfer input
   jpeg::EncoderConfig config;       ///< kEncode / kTranscode target config
   int quality = 50;                 ///< kDeepnEncode IJG scaling (50 = base table)
+
+  /// kDeepnEncode only: name of a serve::TableRegistry tenant whose base
+  /// table pair replaces the service-wide deepn pair. Empty = use the
+  /// service-wide pair. An unknown name fails with a typed kError.
+  std::string tenant;
 };
 
 enum class Status : int {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -21,6 +22,12 @@ double us_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+/// Virtual nodes per shard on the consistent-hash ring. 16 points per
+/// shard keeps the largest/smallest shard arc within ~2x of each other for
+/// any realistic shard count — plenty, since workers rebalance residual
+/// skew by stealing.
+constexpr std::uint32_t kShardRingReplicas = 16;
+
 }  // namespace
 
 LatencySummary summarize(const stats::Histogram& h, double exact_max_us) {
@@ -36,13 +43,19 @@ LatencySummary summarize(const stats::Histogram& h, double exact_max_us) {
 
 /// One queued request: the request itself, its completion (a promise OR a
 /// callback — never both), and everything the worker needs without
-/// re-deriving it (cache key, submission timestamp).
+/// re-deriving it (cache key, pinned tenant snapshot, submission
+/// timestamp).
 struct TranscodeService::Job {
   Request req;
   std::promise<Response> promise;
   Callback done;  ///< when set, completion goes here instead of the promise
   CacheKey key;
   bool cacheable = false;
+  /// Pinned at submission: the tenant configuration this request will run
+  /// under, whatever the registry does meanwhile. Null for tenantless
+  /// requests.
+  std::shared_ptr<const TenantEntry> tenant;
+  std::uint64_t tenant_hash = 0;  ///< fnv1a(tenant name); 0 = tenantless
   Clock::time_point enqueue;
 };
 
@@ -51,6 +64,20 @@ struct TranscodeService::Job {
 /// reader), which keeps the hot path lock-cheap and the whole structure
 /// TSan-clean.
 struct TranscodeService::WorkerStats {
+  /// Per-tenant slice of this worker's counters, keyed by tenant name.
+  /// std::map so stats() merges in sorted order for free.
+  struct TenantCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t table_hits = 0;
+    std::uint64_t table_misses = 0;
+    jpeg::pipeline::CodecContext::ReuseCounters ctx;
+    stats::Histogram service_time = make_tenant_latency_histogram();
+    double service_max_us = 0.0;
+  };
+
   std::mutex mutex;
   stats::Histogram queue_wait = make_latency_histogram();
   stats::Histogram service_time = make_latency_histogram();
@@ -66,22 +93,43 @@ struct TranscodeService::WorkerStats {
   std::uint64_t batched_requests = 0;
   std::uint64_t max_batch = 0;
   jpeg::pipeline::CodecContext::ReuseCounters ctx_deltas;
+  std::map<std::string, TenantCounters> tenants;
 };
 
 TranscodeService::TranscodeService(ServiceConfig config)
     : config_(std::move(config)),
-      result_cache_(config_.cache_capacity),
-      table_cache_(config_.table_cache_capacity) {
+      result_cache_(config_.cache_capacity, config_.cache_max_bytes,
+                    config_.tenant_quota_bytes) {
   config_.workers = std::max(1, config_.workers);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
   config_.max_batch = std::max(1, config_.max_batch);
+  if (!config_.registry) config_.registry = std::make_shared<TableRegistry>();
   deepn_tables_digest_ =
       digest_table(config_.deepn_chroma, digest_table(config_.deepn_luma));
 
-  queue_ = std::make_unique<runtime::MpmcQueue<Job>>(config_.queue_capacity);
+  // One shard per worker under digest affinity — the point is a 1:1
+  // shard->home-worker mapping, so "same digest" means "same warm context".
+  shards_ = config_.shard_by_digest ? static_cast<std::size_t>(config_.workers) : 1;
+  ring_.reserve(shards_ * kShardRingReplicas);
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    for (std::uint32_t r = 0; r < kShardRingReplicas; ++r) {
+      const std::uint32_t point[2] = {s, r};
+      ring_.emplace_back(fnv1a(point, sizeof(point)), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  queue_ = std::make_unique<ShardedQueue<Job>>(shards_, config_.queue_capacity);
   worker_stats_.reserve(static_cast<std::size_t>(config_.workers));
-  for (int w = 0; w < config_.workers; ++w)
+  table_caches_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
     worker_stats_.push_back(std::make_unique<WorkerStats>());
+    // Per-worker table LRUs: digest affinity means a worker only hosts its
+    // shard's configurations, so small private caches hold exactly the
+    // right working set — with zero cross-worker lock traffic.
+    table_caches_.push_back(std::make_unique<LruCache<CacheKey, TablePair, CacheKeyHash>>(
+        config_.table_cache_capacity));
+  }
 
   // A private pool, not ThreadPool::global(): pumps occupy their worker for
   // the service's whole lifetime, which would starve the shared pool's
@@ -116,19 +164,49 @@ void TranscodeService::submit(Request req, Callback done) {
   submit_job(std::move(job));
 }
 
+std::size_t TranscodeService::shard_of(std::uint64_t config_digest) const {
+  if (shards_ == 1) return 0;
+  // First ring point clockwise of the digest; wrap past the top.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(config_digest, std::uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
 void TranscodeService::submit_job(Job job) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   job.cacheable = cacheable(job.req.kind) && result_cache_.enabled();
-  // Only the config half here: admission and batching never read the input
-  // half, and hashing the payload on the submission path would make
-  // rejection under overload O(payload). Workers derive the input half
-  // lazily when a cache lookup actually happens.
-  job.key.config = request_config_digest(job.req);
+  // Only the config half of the key here: admission, sharding and batching
+  // never read the input half, and hashing the payload on the submission
+  // path would make rejection under overload O(payload). Workers derive
+  // the input half lazily when a cache lookup actually happens.
+  if (job.req.kind == RequestKind::kDeepnEncode) {
+    // Resolve the tenant now — pinning the snapshot at submission is the
+    // registry's consistency contract — and digest by resolved CONTENT, so
+    // two tenants (or registry generations) with identical tables share
+    // shards, batches and cache entries.
+    std::uint64_t tables_digest = deepn_tables_digest_;
+    if (!job.req.tenant.empty()) {
+      job.tenant = config_.registry->find(job.req.tenant);
+      if (!job.tenant) {
+        submit_errors_.fetch_add(1, std::memory_order_relaxed);
+        refuse(std::move(job), Status::kError,
+               "unknown tenant: " + job.req.tenant);
+        return;
+      }
+      tables_digest = job.tenant->base_digest;
+      job.tenant_hash = fnv1a(job.req.tenant.data(), job.req.tenant.size());
+    }
+    job.key.config = deepn_config_digest(tables_digest, job.req.quality);
+  } else {
+    job.key.config = request_config_digest(job.req);
+  }
   job.enqueue = Clock::now();
 
+  const std::size_t shard = shard_of(job.key.config);
   const bool accepted = config_.admission == AdmissionPolicy::kReject
-                            ? queue_->try_push(job)
-                            : queue_->push(job);
+                            ? queue_->try_push(job, shard)
+                            : queue_->push(job, shard);
   if (!accepted) {
     // try_push fails on full or closed; push only on closed. Closed wins
     // the tie-break so shutdown refusals are always typed kShutdown.
@@ -156,34 +234,42 @@ void TranscodeService::fulfill(Job&& job, Response&& resp) {
   }
 }
 
-void TranscodeService::refuse(Job&& job, Status status, const char* why) {
+void TranscodeService::refuse(Job&& job, Status status, std::string why) {
   Response r;
   r.status = status;
-  r.error = why;
+  r.error = std::move(why);
   fulfill(std::move(job), std::move(r));
 }
 
 void TranscodeService::pump(int worker_id) {
   WorkerStats& ws = *worker_stats_[static_cast<std::size_t>(worker_id)];
+  const std::size_t home = static_cast<std::size_t>(worker_id) % shards_;
+  const bool steal = config_.steal && shards_ > 1;
   std::vector<Job> batch;
   Job first;
-  while (queue_->pop(first)) {
+  std::size_t from = home;
+  while (queue_->pop(home, steal, first, &from)) {
     batch.clear();
     batch.push_back(std::move(first));
     if (config_.max_batch > 1) {
+      // Batch followers come from the shard the head came from — possibly
+      // a stolen one; digest purity of the batch is what matters, not
+      // whose shard it was.
       const RequestKind kind = batch[0].req.kind;
       const std::uint64_t cfg = batch[0].key.config;
       queue_->pop_while(
+          from,
           [kind, cfg](const Job& j) {
             return j.req.kind == kind && j.key.config == cfg;
           },
           static_cast<std::size_t>(config_.max_batch) - 1, batch);
     }
-    process_batch(batch, ws);
+    process_batch(batch, ws, worker_id);
   }
 }
 
-void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws) {
+void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws,
+                                     int worker_id) {
   // Stats-ordering contract: by the time a future is fulfilled, its batch
   // and its own lifecycle counters/latencies are visible to stats(). Hence
   // batch-level counters go in at assembly, per-request counters right
@@ -207,12 +293,13 @@ void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws) {
     const Clock::time_point picked = Clock::now();
     if (job.cacheable) job.key.input = request_input_digest(job.req);
     Response resp;
+    RunInfo info;
     if (job.cacheable && result_cache_.get(job.key, &resp.bytes)) {
       resp.cache_hit = true;
     } else {
-      resp = run(job.req, /*use_table_cache=*/true);
+      resp = run(job.req, job.tenant.get(), worker_id, &info);
       if (job.cacheable && resp.status == Status::kOk)
-        result_cache_.put(job.key, resp.bytes);
+        result_cache_.put(job.key, resp.bytes, resp.bytes.size(), job.tenant_hash);
     }
     const Clock::time_point done = Clock::now();
     resp.batch_size = static_cast<int>(batch.size());
@@ -230,19 +317,43 @@ void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws) {
       ++ws.per_kind[static_cast<int>(job.req.kind)];
       if (resp.status == Status::kOk) ++ws.completed; else ++ws.errors;
       if (resp.cache_hit) ++ws.cache_hits;
+      if (job.tenant) {
+        WorkerStats::TenantCounters& tc = ws.tenants[job.tenant->name];
+        ++tc.requests;
+        if (resp.status == Status::kOk) ++tc.completed; else ++tc.errors;
+        if (resp.cache_hit) ++tc.cache_hits;
+        if (info.table_lookup) ++(info.table_hit ? tc.table_hits : tc.table_misses);
+        tc.service_time.add(resp.service_us);
+        tc.service_max_us = std::max(tc.service_max_us, resp.service_us);
+      }
     }
     fulfill(std::move(job), std::move(resp));
   }
 
   const jpeg::pipeline::CodecContext::ReuseCounters after =
       jpeg::pipeline::thread_codec_context().reuse_counters();
-  std::lock_guard<std::mutex> lock(ws.mutex);
-  ws.ctx_deltas.huffman_builds += after.huffman_builds - before.huffman_builds;
-  ws.ctx_deltas.reciprocal_builds += after.reciprocal_builds - before.reciprocal_builds;
-  ws.ctx_deltas.quality_table_builds +=
-      after.quality_table_builds - before.quality_table_builds;
-  ws.ctx_deltas.huffman_decoder_builds +=
+  jpeg::pipeline::CodecContext::ReuseCounters delta;
+  delta.huffman_builds = after.huffman_builds - before.huffman_builds;
+  delta.reciprocal_builds = after.reciprocal_builds - before.reciprocal_builds;
+  delta.quality_table_builds = after.quality_table_builds - before.quality_table_builds;
+  delta.huffman_decoder_builds =
       after.huffman_decoder_builds - before.huffman_decoder_builds;
+  std::lock_guard<std::mutex> lock(ws.mutex);
+  ws.ctx_deltas.huffman_builds += delta.huffman_builds;
+  ws.ctx_deltas.reciprocal_builds += delta.reciprocal_builds;
+  ws.ctx_deltas.quality_table_builds += delta.quality_table_builds;
+  ws.ctx_deltas.huffman_decoder_builds += delta.huffman_decoder_builds;
+  // Context rebuilds are measurable only per batch; a batch is digest-pure,
+  // so attributing its delta to the head request's tenant is exact whenever
+  // the batch is single-tenant and the head's cache hits hide no rebuild —
+  // close enough for a warmth signal, and documented as batch-granular.
+  if (!batch.empty() && batch[0].tenant) {
+    WorkerStats::TenantCounters& tc = ws.tenants[batch[0].tenant->name];
+    tc.ctx.huffman_builds += delta.huffman_builds;
+    tc.ctx.reciprocal_builds += delta.reciprocal_builds;
+    tc.ctx.quality_table_builds += delta.quality_table_builds;
+    tc.ctx.huffman_decoder_builds += delta.huffman_decoder_builds;
+  }
 }
 
 namespace {
@@ -261,7 +372,8 @@ bool fold_status(const api::Status& status, Response& r) {
 
 }  // namespace
 
-Response TranscodeService::run(const Request& req, bool use_table_cache) {
+Response TranscodeService::run(const Request& req, const TenantEntry* tenant,
+                               int worker_id, RunInfo* info) {
   // The codec request kinds run through the public façade (dnj::api) —
   // the service is the façade's first in-tree consumer, so the boundary
   // contract (typed statuses in, bit-identical payloads out) is exercised
@@ -302,7 +414,8 @@ Response TranscodeService::run(const Request& req, bool use_table_cache) {
       case RequestKind::kDeepnEncode: {
         api::Result<std::vector<std::uint8_t>> res = codec.encode(
             req.image.view(),
-            api::detail::from_config(deepn_config(req.quality, use_table_cache)));
+            api::detail::from_config(
+                deepn_config(req.quality, tenant, worker_id, info)));
         if (fold_status(res.status(), r)) r.bytes = res.take();
         break;
       }
@@ -334,20 +447,45 @@ Response TranscodeService::run(const Request& req, bool use_table_cache) {
   return r;
 }
 
-jpeg::EncoderConfig TranscodeService::deepn_config(int quality, bool use_table_cache) {
+jpeg::EncoderConfig TranscodeService::deepn_config(int quality,
+                                                   const TenantEntry* tenant,
+                                                   int worker_id, RunInfo* info) {
   quality = std::clamp(quality, 1, 100);
+  const jpeg::QuantTable& base_luma =
+      tenant ? tenant->base.luma_table : config_.deepn_luma;
+  const jpeg::QuantTable& base_chroma =
+      tenant ? tenant->base.chroma_table : config_.deepn_chroma;
+  const std::uint64_t tables_digest =
+      tenant ? tenant->base_digest : deepn_tables_digest_;
+
   TablePair pair;
-  const CacheKey key{deepn_tables_digest_, static_cast<std::uint64_t>(quality)};
-  if (!use_table_cache || !table_cache_.get(key, &pair)) {
-    pair.luma = config_.deepn_luma.scaled(quality);
-    pair.chroma = config_.deepn_chroma.scaled(quality);
-    if (use_table_cache) table_cache_.put(key, pair);
+  // worker_id < 0 = the execute() reference path: deliberately cache-free.
+  LruCache<CacheKey, TablePair, CacheKeyHash>* cache =
+      worker_id >= 0 ? table_caches_[static_cast<std::size_t>(worker_id)].get()
+                     : nullptr;
+  const CacheKey key{tables_digest, static_cast<std::uint64_t>(quality)};
+  bool hit = false;
+  if (cache != nullptr && cache->enabled()) {
+    if (info != nullptr) info->table_lookup = true;
+    hit = cache->get(key, &pair);
+    if (info != nullptr) info->table_hit = hit;
   }
+  if (!hit) {
+    pair.luma = base_luma.scaled(quality);
+    pair.chroma = base_chroma.scaled(quality);
+    if (cache != nullptr) cache->put(key, pair);
+  }
+
+  // A tenant's entry carries its full encoder configuration — subsampling,
+  // Huffman optimization, restart interval, comment all honored; only the
+  // tables are replaced by their quality-scaled versions. The tenantless
+  // path keeps its historical shape (4:4:4, defaults elsewhere).
   jpeg::EncoderConfig cfg;
+  if (tenant != nullptr) cfg = tenant->base;
+  else cfg.subsampling = jpeg::Subsampling::k444;
   cfg.use_custom_tables = true;
   cfg.luma_table = pair.luma;
   cfg.chroma_table = pair.chroma;
-  cfg.subsampling = jpeg::Subsampling::k444;
   return cfg;
 }
 
@@ -355,8 +493,21 @@ Response TranscodeService::execute(const Request& req) {
   // Reference path: same handlers, same thread-local context mechanism,
   // but no queue, no batching, and — deliberately — no caches (the table
   // cache included), so cache correctness is testable by comparing
-  // submit() against execute().
-  return run(req, /*use_table_cache=*/false);
+  // submit() against execute(). Tenant names resolve against the same
+  // registry, pinned for the duration of this call.
+  const TenantEntry* tenant = nullptr;
+  std::shared_ptr<const TenantEntry> pin;
+  if (req.kind == RequestKind::kDeepnEncode && !req.tenant.empty()) {
+    pin = config_.registry->find(req.tenant);
+    if (!pin) {
+      Response r;
+      r.status = Status::kError;
+      r.error = "unknown tenant: " + req.tenant;
+      return r;
+    }
+    tenant = pin.get();
+  }
+  return run(req, tenant, /*worker_id=*/-1, nullptr);
 }
 
 ServiceStats TranscodeService::stats() const {
@@ -366,16 +517,35 @@ ServiceStats TranscodeService::stats() const {
   s.refused_shutdown = refused_shutdown_.load(std::memory_order_relaxed);
   s.queue_capacity = queue_->capacity();
   s.queue_high_water = queue_->high_water();
+  s.shard_count = queue_->shard_count();
+  s.steals = queue_->steals();
   s.cache_hits = result_cache_.hits();
   s.cache_misses = result_cache_.misses();
   s.cache_evictions = result_cache_.evictions();
-  s.table_cache_hits = table_cache_.hits();
-  s.table_cache_misses = table_cache_.misses();
+  s.cache_quota_evictions = result_cache_.quota_evictions();
+  s.cache_bytes = result_cache_.bytes();
+  for (const auto& tc : table_caches_) {
+    s.table_cache_hits += tc->hits();
+    s.table_cache_misses += tc->misses();
+  }
+
+  // Unknown-tenant refusals error at submission — no worker ever sees
+  // them. Folding them into both errors and the kind tally preserves the
+  // invariant sum(per_kind) == completed + errors.
+  const std::uint64_t submit_errors = submit_errors_.load(std::memory_order_relaxed);
+  s.errors += submit_errors;
+  s.per_kind[static_cast<int>(RequestKind::kDeepnEncode)] += submit_errors;
 
   stats::Histogram queue_wait = make_latency_histogram();
   stats::Histogram service_time = make_latency_histogram();
   stats::Histogram total = make_latency_histogram();
   double queue_wait_max = 0.0, service_time_max = 0.0, total_max = 0.0;
+  struct TenantMerge {
+    TenantStats out;
+    stats::Histogram service_time = make_tenant_latency_histogram();
+    double service_max_us = 0.0;
+  };
+  std::map<std::string, TenantMerge> tenants;
   for (const std::unique_ptr<WorkerStats>& wsp : worker_stats_) {
     WorkerStats& ws = *wsp;
     std::lock_guard<std::mutex> lock(ws.mutex);
@@ -395,10 +565,31 @@ ServiceStats TranscodeService::stats() const {
     queue_wait_max = std::max(queue_wait_max, ws.queue_wait_max_us);
     service_time_max = std::max(service_time_max, ws.service_time_max_us);
     total_max = std::max(total_max, ws.total_max_us);
+    for (const auto& [name, tc] : ws.tenants) {
+      TenantMerge& m = tenants[name];
+      m.out.requests += tc.requests;
+      m.out.completed += tc.completed;
+      m.out.errors += tc.errors;
+      m.out.cache_hits += tc.cache_hits;
+      m.out.table_cache_hits += tc.table_hits;
+      m.out.table_cache_misses += tc.table_misses;
+      m.out.ctx_huffman_builds += tc.ctx.huffman_builds;
+      m.out.ctx_reciprocal_builds += tc.ctx.reciprocal_builds;
+      m.out.ctx_quality_table_builds += tc.ctx.quality_table_builds;
+      m.out.ctx_decoder_builds += tc.ctx.huffman_decoder_builds;
+      m.service_time.merge(tc.service_time);
+      m.service_max_us = std::max(m.service_max_us, tc.service_max_us);
+    }
   }
   s.queue_wait = summarize(queue_wait, queue_wait_max);
   s.service_time = summarize(service_time, service_time_max);
   s.total = summarize(total, total_max);
+  s.tenants.reserve(tenants.size());
+  for (auto& [name, m] : tenants) {
+    m.out.name = name;
+    m.out.service_time = summarize(m.service_time, m.service_max_us);
+    s.tenants.push_back(std::move(m.out));
+  }
   return s;
 }
 

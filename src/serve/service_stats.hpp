@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "serve/request.hpp"
 #include "stats/histogram.hpp"
@@ -27,6 +29,16 @@ inline stats::Histogram make_latency_histogram() {
   return stats::Histogram(kLatencyLoUs, kLatencyHiUs, kLatencyBins);
 }
 
+// Per-tenant histograms are 10x coarser (100 us resolution over the same
+// range): every worker keeps one per named tenant, so the service-wide
+// geometry (~200 KB a histogram) would turn "thousands of tenants" into
+// gigabytes of bins. 100 us still resolves serving-scale quantiles.
+inline constexpr int kTenantLatencyBins = 2500;
+
+inline stats::Histogram make_tenant_latency_histogram() {
+  return stats::Histogram(kLatencyLoUs, kLatencyHiUs, kTenantLatencyBins);
+}
+
 /// Quantile summary of one latency distribution, in microseconds.
 struct LatencySummary {
   std::uint64_t count = 0;
@@ -37,6 +49,24 @@ struct LatencySummary {
 };
 
 LatencySummary summarize(const stats::Histogram& h, double exact_max_us);
+
+/// Counters and latency quantiles for one named registry tenant (requests
+/// carrying an empty tenant name count only in the service-wide totals).
+/// Merged across workers by stats(), sorted by name.
+struct TenantStats {
+  std::string name;
+  std::uint64_t requests = 0;   ///< processed = completed + errors
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;         ///< result-cache hits
+  std::uint64_t table_cache_hits = 0;   ///< scaled-table LRU hits
+  std::uint64_t table_cache_misses = 0;
+  std::uint64_t ctx_huffman_builds = 0;
+  std::uint64_t ctx_reciprocal_builds = 0;
+  std::uint64_t ctx_quality_table_builds = 0;
+  std::uint64_t ctx_decoder_builds = 0;
+  LatencySummary service_time;  ///< coarse geometry (kTenantLatencyBins)
+};
 
 /// Point-in-time snapshot of a service's counters and latency quantiles.
 /// Responses' payloads are deterministic; this snapshot is the one place
@@ -51,10 +81,15 @@ struct ServiceStats {
   std::uint64_t refused_shutdown = 0;  ///< kShutdown (submitted too late)
   std::uint64_t per_kind[kNumRequestKinds] = {};  ///< processed, by RequestKind
 
-  // Result cache.
+  // Result cache. cache_bytes is the recorded payload total;
+  // cache_quota_evictions count entries a tenant pushed out of its OWN
+  // allotment (the fairness mechanism, disjoint from cache_evictions).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_quota_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+  // Scaled-table LRUs (per worker since digest-affinity sharding; summed).
   std::uint64_t table_cache_hits = 0;
   std::uint64_t table_cache_misses = 0;
 
@@ -63,9 +98,13 @@ struct ServiceStats {
   std::uint64_t batched_requests = 0;  ///< requests that shared a batch (size > 1)
   std::uint64_t max_batch = 0;         ///< largest batch observed
 
-  // Queue pressure.
+  // Queue pressure + digest-affinity sharding. queue_capacity is the
+  // total across shards; steals count pops a worker served from a foreign
+  // shard (stealing enabled, home shard empty).
   std::uint64_t queue_capacity = 0;
   std::uint64_t queue_high_water = 0;  ///< never exceeds queue_capacity
+  std::uint64_t shard_count = 0;
+  std::uint64_t steals = 0;
 
   // Context warmth (jpeg::pipeline::CodecContext::ReuseCounters deltas,
   // summed over workers): rebuilds of cached per-context state. Fewer
@@ -79,6 +118,9 @@ struct ServiceStats {
   LatencySummary queue_wait;    ///< submission -> worker pickup
   LatencySummary service_time;  ///< worker pickup -> completion
   LatencySummary total;         ///< submission -> completion
+
+  // Per-tenant breakdown (named registry tenants only), sorted by name.
+  std::vector<TenantStats> tenants;
 };
 
 }  // namespace dnj::serve

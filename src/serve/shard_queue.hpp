@@ -1,0 +1,189 @@
+// Digest-affinity sharded submission queue — the scheduling primitive that
+// keeps a tenant's requests on workers whose caches are already hot.
+//
+// N bounded FIFO sub-queues ("shards") behind one mutex. Producers push to
+// the shard the service's consistent-hash ring picked for the request's
+// config digest; each consumer (worker pump) names a home shard and pops
+// from it first. A consumer whose home shard is empty may *steal* the head
+// of the fullest foreign shard (when stealing is enabled) — correctness is
+// untouched because every request is an independent pure computation; only
+// cache warmth is traded for utilization.
+//
+// Same design vocabulary as runtime::MpmcQueue, deliberately:
+//  * One mutex + two condition variables for all shards. Items are whole
+//    requests costing milliseconds of codec work; a sharded-lock scheme
+//    would optimize the one cost that does not matter here while making
+//    the steal path (which must see every shard) racy to reason about.
+//  * Strict FIFO per shard. pop_while drains compatible followers from the
+//    shard the batch head came from, so micro-batches stay digest-pure.
+//  * Explicit close() lifecycle: pushes fail, consumers drain then exit.
+//    With stealing a consumer exits only when EVERY shard is empty; without
+//    it, when its home shard is empty (each shard's home worker drains its
+//    own backlog).
+//  * Bounded by construction: per-shard capacity = ceil(capacity / shards),
+//    so total occupancy never exceeds capacity() and a single hot shard
+//    cannot absorb the whole admission budget of every other tenant.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dnj::serve {
+
+template <typename T>
+class ShardedQueue {
+ public:
+  /// `shards` and the per-shard split of `capacity` are clamped to >= 1.
+  ShardedQueue(std::size_t shards, std::size_t capacity)
+      : per_shard_(std::max<std::size_t>(1, (std::max<std::size_t>(1, capacity) +
+                                             std::max<std::size_t>(1, shards) - 1) /
+                                                std::max<std::size_t>(1, shards))),
+        shards_(std::max<std::size_t>(1, shards)) {}
+
+  ShardedQueue(const ShardedQueue&) = delete;
+  ShardedQueue& operator=(const ShardedQueue&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Total capacity across shards (what admission is bounded by).
+  std::size_t capacity() const { return per_shard_ * shards_.size(); }
+
+  /// Blocking push into `shard`: waits for space in that shard. Returns
+  /// true when `item` was moved in; false (item untouched) when the queue
+  /// is closed — including when it closes mid-wait.
+  bool push(T& item, std::size_t shard) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::deque<T>& q = shards_[shard % shards_.size()];
+    not_full_.wait(lock, [&] { return closed_ || q.size() < per_shard_; });
+    if (closed_) return false;
+    enqueue_locked(q, item);
+    lock.unlock();
+    // notify_all, not _one: consumers wait on different predicates (home
+    // vs steal), so the one woken by _one might not be able to take this
+    // item. Wakeups are trivially cheap next to the codec work per item.
+    not_empty_.notify_all();
+    return true;
+  }
+
+  /// Non-blocking push: false (item untouched) when the target shard is
+  /// full or the queue is closed — the reject admission policy.
+  bool try_push(T& item, std::size_t shard) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::deque<T>& q = shards_[shard % shards_.size()];
+      if (closed_ || q.size() >= per_shard_) return false;
+      enqueue_locked(q, item);
+    }
+    not_empty_.notify_all();
+    return true;
+  }
+
+  /// Blocking pop with affinity: takes from `home` when it has work;
+  /// otherwise, when `steal` is set, takes the head of the fullest
+  /// non-empty foreign shard. `*from_shard` reports where the item came
+  /// from so the caller can micro-batch out of the same shard. Returns
+  /// false only when the queue is closed AND drained (all shards with
+  /// stealing, the home shard without).
+  bool pop(std::size_t home, bool steal, T& out, std::size_t* from_shard) {
+    home %= shards_.size();
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] {
+      return closed_ || !shards_[home].empty() || (steal && size_ > 0);
+    });
+    std::size_t victim = home;
+    if (shards_[home].empty()) {
+      if (!steal || size_ == 0) return false;  // closed_, by the predicate
+      std::size_t fullest = 0;
+      for (std::size_t s = 0; s < shards_.size(); ++s)
+        if (shards_[s].size() > fullest) { fullest = shards_[s].size(); victim = s; }
+      ++steals_;
+    }
+    std::deque<T>& q = shards_[victim];
+    out = std::move(q.front());
+    q.pop_front();
+    --size_;
+    if (from_shard != nullptr) *from_shard = victim;
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Non-blocking conditional drain of one shard: moves that shard's heads
+  /// into `out` while the head satisfies `pred` and fewer than `max` items
+  /// have been taken. FIFO within the shard is preserved — items are never
+  /// skipped over. The micro-batching primitive, per shard.
+  template <typename Pred>
+  std::size_t pop_while(std::size_t shard, Pred pred, std::size_t max, std::vector<T>& out) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::deque<T>& q = shards_[shard % shards_.size()];
+      while (taken < max && !q.empty() && pred(q.front())) {
+        out.push_back(std::move(q.front()));
+        q.pop_front();
+        --size_;
+        ++taken;
+      }
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked pushers wake and
+  /// fail, consumers drain their remainder then fail. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Total occupancy across shards.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  /// Maximum total occupancy ever observed — never exceeds capacity().
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+  /// Pops served from a foreign shard (stealing enabled, home was empty).
+  std::uint64_t steals() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return steals_;
+  }
+
+ private:
+  void enqueue_locked(std::deque<T>& q, T& item) {
+    q.push_back(std::move(item));
+    if (++size_ > high_water_) high_water_ = size_;
+  }
+
+  const std::size_t per_shard_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::deque<T>> shards_;
+  std::size_t size_ = 0;        ///< total occupancy, all shards
+  std::size_t high_water_ = 0;
+  std::uint64_t steals_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dnj::serve

@@ -490,5 +490,186 @@ TEST(ApiCAbi, DesignerMatchesCppDesigner) {
   dnj_designer_free(designer);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant registry: CRUD, the determinism reference, served identity.
+// ---------------------------------------------------------------------------
+
+TEST(ApiRegistry, CrudValidationAndSharing) {
+  api::Registry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_TRUE(registry.names().empty());
+  EXPECT_EQ(registry.put("", {}).status().code(), api::StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.get("nope").status().code(), api::StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.remove("nope").code(), api::StatusCode::kInvalidArgument);
+
+  const api::Result<std::uint64_t> v1 =
+      registry.put("alpha", api::EncodeOptions().quality(85), /*quota_bytes=*/4096);
+  ASSERT_TRUE(v1.ok()) << v1.status().message();
+  const api::Result<std::uint64_t> v2 = registry.put("beta", {});
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(v2.value(), v1.value()) << "versions are registry-global monotonic";
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"alpha", "beta"}));
+
+  // get() reports the NORMALIZED snapshot: custom tables materialized
+  // (Annex K when none were given), quality pinned to 50.
+  const api::Result<api::TenantInfo> info = registry.get("alpha");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "alpha");
+  EXPECT_EQ(info->version, v1.value());
+  EXPECT_EQ(info->quota_bytes, 4096u);
+  EXPECT_TRUE(info->options.uses_custom_tables());
+  EXPECT_EQ(info->options.quality(), 50);
+
+  // Re-registration replaces the entry under a fresh (higher) version.
+  const api::Result<std::uint64_t> v3 = registry.put("alpha", {});
+  ASSERT_TRUE(v3.ok());
+  EXPECT_GT(v3.value(), v2.value());
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Copies share the underlying registry (shared-handle semantics).
+  api::Registry shared = registry;
+  ASSERT_TRUE(shared.remove("beta").ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"alpha"}));
+}
+
+TEST(ApiRegistry, EncodeOptionsForIsTheDeterminismReference) {
+  api::Registry registry;
+  const jpeg::QuantTable luma = jpeg::QuantTable::annex_k_luma().scaled(30);
+  const jpeg::QuantTable chroma = jpeg::QuantTable::annex_k_chroma().scaled(30);
+  ASSERT_TRUE(registry
+                  .put("vision", api::EncodeOptions()
+                                     .custom_tables(luma.natural(), chroma.natural())
+                                     .chroma_420(false))
+                  .ok());
+
+  // Validation at the lookup boundary.
+  EXPECT_EQ(registry.encode_options_for("ghost", 50).status().code(),
+            api::StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.encode_options_for("vision", 0).status().code(),
+            api::StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.encode_options_for("vision", 101).status().code(),
+            api::StatusCode::kInvalidArgument);
+
+  // Quality 50 reproduces the base tables verbatim; any other quality is
+  // the IJG scaling of the base pair.
+  const api::Result<api::EncodeOptions> at50 = registry.encode_options_for("vision", 50);
+  ASSERT_TRUE(at50.ok());
+  EXPECT_EQ(at50->digest(), registry.get("vision")->options.digest());
+  const api::Result<api::EncodeOptions> at80 = registry.encode_options_for("vision", 80);
+  ASSERT_TRUE(at80.ok());
+  // (quality stays at the normalized 50 — it plays no part in a
+  // custom-table encode but does participate in the digest.)
+  EXPECT_EQ(at80->digest(), api::EncodeOptions()
+                                .quality(50)
+                                .custom_tables(luma.scaled(80).natural(),
+                                               chroma.scaled(80).natural())
+                                .chroma_420(false)
+                                .digest());
+
+  // The reference holds end to end: Service::deepn_encode payloads are
+  // bit-identical to Codec::encode under encode_options_for.
+  api::Session session;
+  const image::Image img = rgb_image();
+  api::Service service(api::ServiceOptions().workers(2).registry(registry));
+  api::ServiceReply served = service.deepn_encode(img.view(), "vision", 80).get();
+  ASSERT_TRUE(served.status.ok()) << served.status.message();
+  EXPECT_EQ(served.bytes, session.codec().encode(img.view(), at80.value()).value());
+
+  // Typed refusals through the async path.
+  EXPECT_EQ(service.deepn_encode(img.view(), "", 50).get().status.code(),
+            api::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.deepn_encode(img.view(), "vision", 0).get().status.code(),
+            api::StatusCode::kInvalidArgument);
+  api::ServiceReply ghost = service.deepn_encode(img.view(), "ghost", 50).get();
+  EXPECT_EQ(ghost.status.code(), api::StatusCode::kInternal);
+  EXPECT_NE(ghost.status.message().find("unknown tenant"), std::string::npos);
+}
+
+TEST(ApiRegistry, ServiceRegistryIsLiveAndMetricsAttributeTenants) {
+  const image::Image img = gray_image();
+  api::Service service(api::ServiceOptions().workers(2).result_cache(32));
+
+  // No registry passed: the service created a private one, and the handle
+  // Service::registry() returns is live — tenants registered through it
+  // are visible to requests submitted afterwards.
+  api::Registry live = service.registry();
+  ASSERT_TRUE(live.put("edge", {}).ok());
+  api::ServiceReply first = service.deepn_encode(img.view(), "edge", 75).get();
+  ASSERT_TRUE(first.status.ok()) << first.status.message();
+  api::ServiceReply again = service.deepn_encode(img.view(), "edge", 75).get();
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.bytes, first.bytes);
+
+  const api::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.shard_count, 2u) << "digest sharding defaults on: one shard per worker";
+  ASSERT_EQ(m.tenants.size(), 1u);
+  EXPECT_EQ(m.tenants[0].name, "edge");
+  EXPECT_EQ(m.tenants[0].requests, 2u);
+  EXPECT_EQ(m.tenants[0].completed, 2u);
+  EXPECT_EQ(m.tenants[0].errors, 0u);
+  EXPECT_GE(m.tenants[0].cache_hits, 1u) << "identical repeat must hit the result cache";
+  EXPECT_GT(m.cache_bytes, 0u);
+
+  // Unsharded opt-out is honored and reported.
+  api::Service flat(api::ServiceOptions().workers(2).shard_by_digest(false));
+  EXPECT_EQ(flat.metrics().shard_count, 1u);
+}
+
+TEST(ApiCAbi, RegistryLifecycleAndServedIdentity) {
+  EXPECT_GE(DNJ_ABI_VERSION_MINOR, 2) << "registry entry points are ABI 1.2";
+
+  dnj_registry_t* reg = dnj_registry_new();
+  ASSERT_NE(reg, nullptr);
+  EXPECT_STREQ(dnj_registry_last_error(reg), "");
+  EXPECT_EQ(dnj_registry_count(reg), 0u);
+
+  // NULL options = defaults (Annex K pair materialized).
+  std::uint64_t version = 0;
+  ASSERT_EQ(dnj_registry_put(reg, "mobile", nullptr, 2048, &version), DNJ_OK);
+  EXPECT_GT(version, 0u);
+  EXPECT_EQ(dnj_registry_count(reg), 1u);
+  std::uint64_t got_version = 0;
+  std::size_t got_quota = 0;
+  EXPECT_EQ(dnj_registry_get(reg, "mobile", &got_version, &got_quota), DNJ_OK);
+  EXPECT_EQ(got_version, version);
+  EXPECT_EQ(got_quota, 2048u);
+
+  // encode_options agrees with the C++ determinism reference.
+  api::Registry cpp;
+  ASSERT_TRUE(cpp.put("mobile", {}).ok());
+  dnj_options_t* out = dnj_options_new();
+  ASSERT_EQ(dnj_registry_encode_options(reg, "mobile", 65, out), DNJ_OK);
+  EXPECT_EQ(dnj_options_digest(out), cpp.encode_options_for("mobile", 65)->digest());
+
+  // Documented error paths, all firewalled.
+  EXPECT_EQ(dnj_registry_put(reg, nullptr, nullptr, 0, nullptr), DNJ_INVALID_ARGUMENT);
+  EXPECT_EQ(dnj_registry_put(reg, "", nullptr, 0, nullptr), DNJ_INVALID_ARGUMENT);
+  EXPECT_EQ(dnj_registry_get(reg, "ghost", nullptr, nullptr), DNJ_INVALID_ARGUMENT);
+  EXPECT_STRNE(dnj_registry_last_error(reg), "");
+  EXPECT_EQ(dnj_registry_remove(reg, "ghost"), DNJ_INVALID_ARGUMENT);
+  EXPECT_EQ(dnj_registry_encode_options(reg, "mobile", 0, out), DNJ_INVALID_ARGUMENT);
+  EXPECT_EQ(dnj_registry_encode_options(reg, "mobile", 50, nullptr), DNJ_INVALID_ARGUMENT);
+  EXPECT_EQ(dnj_registry_remove(reg, "mobile"), DNJ_OK);
+  EXPECT_EQ(dnj_registry_count(reg), 0u);
+
+  // NULL handles are inert.
+  EXPECT_EQ(dnj_registry_put(nullptr, "x", nullptr, 0, nullptr), DNJ_INVALID_ARGUMENT);
+  EXPECT_EQ(dnj_registry_count(nullptr), 0u);
+  EXPECT_STREQ(dnj_registry_last_error(nullptr), "");
+  dnj_registry_free(nullptr);
+
+  // A server built over the registry shares it live (handle freed first —
+  // the underlying registry must outlive through the server).
+  ASSERT_EQ(dnj_registry_put(reg, "mobile", nullptr, 0, nullptr), DNJ_OK);
+  dnj_server_t* server = dnj_server_new_with_registry(1, 8, 1, reg);
+  ASSERT_NE(server, nullptr);
+  dnj_registry_free(reg);
+  dnj_server_free(server);
+
+  dnj_options_free(out);
+}
+
 }  // namespace
 }  // namespace dnj

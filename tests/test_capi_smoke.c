@@ -139,6 +139,50 @@ int main(void) {
         "null server is DNJ_INVALID_ARGUMENT");
   CHECK(dnj_server_port(NULL) == -1, "null server has no port");
 
+  /* Multi-tenant registry (ABI 1.2): lifecycle from pure C. */
+  dnj_registry_t* registry = dnj_registry_new();
+  CHECK(registry != NULL, "registry_new");
+  CHECK(strcmp(dnj_registry_last_error(registry), "") == 0, "fresh registry has no error");
+  CHECK(dnj_registry_count(registry) == 0, "fresh registry is empty");
+  uint64_t version = 0;
+  CHECK(dnj_registry_put(registry, "edge-cam", options, 4096, &version) == DNJ_OK,
+        "registry_put");
+  CHECK(version > 0, "put published a version");
+  CHECK(dnj_registry_count(registry) == 1, "registry counts one tenant");
+  uint64_t got_version = 0;
+  size_t got_quota = 0;
+  CHECK(dnj_registry_get(registry, "edge-cam", &got_version, &got_quota) == DNJ_OK,
+        "registry_get");
+  CHECK(got_version == version && got_quota == 4096, "get reports version and quota");
+  dnj_options_t* tenant_options = dnj_options_new();
+  CHECK(dnj_registry_encode_options(registry, "edge-cam", 70, tenant_options) == DNJ_OK,
+        "registry_encode_options");
+  dnj_buffer_t tenant_jpeg = {NULL, 0};
+  CHECK(dnj_encode(session, pixels, W, H, 1, tenant_options, &tenant_jpeg) == DNJ_OK,
+        "encode under tenant options");
+  CHECK(tenant_jpeg.size > 0, "tenant-options encode produced bytes");
+  CHECK(dnj_registry_get(registry, "ghost", NULL, NULL) == DNJ_INVALID_ARGUMENT,
+        "unknown tenant is DNJ_INVALID_ARGUMENT");
+  CHECK(strlen(dnj_registry_last_error(registry)) > 0, "registry error recorded");
+  CHECK(dnj_registry_put(registry, NULL, NULL, 0, NULL) == DNJ_INVALID_ARGUMENT,
+        "null name is DNJ_INVALID_ARGUMENT");
+  CHECK(dnj_registry_put(NULL, "x", NULL, 0, NULL) == DNJ_INVALID_ARGUMENT,
+        "null registry is DNJ_INVALID_ARGUMENT");
+  CHECK(dnj_registry_count(NULL) == 0, "null registry counts zero");
+
+  /* A server over the registry; the handle may be freed first (the
+   * underlying registry is shared with the server). */
+  dnj_server_t* tenant_server = dnj_server_new_with_registry(1, 8, 1, registry);
+  CHECK(tenant_server != NULL, "server_new_with_registry");
+  CHECK(dnj_registry_remove(registry, "edge-cam") == DNJ_OK, "registry_remove");
+  CHECK(dnj_registry_remove(registry, "edge-cam") == DNJ_INVALID_ARGUMENT,
+        "double remove is DNJ_INVALID_ARGUMENT");
+  dnj_registry_free(registry);
+  dnj_server_free(tenant_server);
+  dnj_buffer_free(&tenant_jpeg);
+  dnj_options_free(tenant_options);
+  dnj_registry_free(NULL);
+
   /* Free everything (including NULLs, which must be inert). */
   dnj_buffer_free(&deepn);
   dnj_options_free(designed);

@@ -456,5 +456,217 @@ TEST(TranscodeService, ExecuteMatchesSubmit) {
   EXPECT_EQ(sync.bytes, async.bytes);
 }
 
+TEST(TranscodeService, ShardingAndStealingAreByteInvariant) {
+  // Digest-affinity sharding is pure scheduling: the full scheduling
+  // matrix — sharding on/off x worker counts x stealing on/off — must
+  // produce payloads bit-identical to the direct synchronous calls.
+  const jpeg::QuantTable deepn_luma = jpeg::QuantTable::annex_k_luma();
+  const jpeg::QuantTable deepn_chroma = jpeg::QuantTable::uniform(24);
+  const std::vector<Expected> workload =
+      mixed_workload(nullptr, deepn_luma, deepn_chroma);
+
+  for (bool shard : {false, true}) {
+    for (int workers : {1, 2, 8}) {
+      for (bool steal : {false, true}) {
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.shard_by_digest = shard;
+        cfg.steal = steal;
+        cfg.queue_capacity = 64;
+        cfg.cache_capacity = 32;
+        cfg.deepn_luma = deepn_luma;
+        cfg.deepn_chroma = deepn_chroma;
+        TranscodeService service(cfg);
+
+        std::vector<std::future<Response>> futures;
+        for (const Expected& e : workload) futures.push_back(service.submit(e.request));
+        for (std::size_t f = 0; f < futures.size(); ++f)
+          expect_payload_equal(futures[f].get(), workload[f].want, f);
+
+        const ServiceStats st = service.stats();
+        EXPECT_EQ(st.shard_count, shard ? static_cast<std::uint64_t>(workers) : 1u);
+        EXPECT_EQ(st.completed, workload.size());
+        EXPECT_EQ(st.errors, 0u);
+        if (!steal || !shard) {
+          EXPECT_EQ(st.steals, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(TranscodeService, IdleWorkerStealsFromForeignShard) {
+  // One configuration = one shard = one home worker; the other worker can
+  // only ever contribute by stealing. With a slow head request occupying
+  // whichever worker grabs it, the remaining stream guarantees at least
+  // one steal however the race resolves.
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.shard_by_digest = true;
+  cfg.steal = true;
+  cfg.max_batch = 1;
+  cfg.cache_capacity = 0;
+  cfg.queue_capacity = 64;
+  TranscodeService service(cfg);
+
+  std::vector<std::future<Response>> futures;
+  futures.push_back(service.submit(encode_request(big_image(), config_a())));
+  const image::Image tiny = gray_corpus(1).samples[0].image;
+  for (int i = 0; i < 30; ++i)
+    futures.push_back(service.submit(encode_request(tiny, config_a())));
+  for (std::future<Response>& f : futures) ASSERT_EQ(f.get().status, Status::kOk);
+
+  EXPECT_GE(service.stats().steals, 1u);
+}
+
+jpeg::EncoderConfig tenant_base(int step) {
+  jpeg::EncoderConfig cfg;
+  cfg.use_custom_tables = true;
+  cfg.luma_table = jpeg::QuantTable::uniform(static_cast<std::uint16_t>(step));
+  cfg.chroma_table = jpeg::QuantTable::uniform(static_cast<std::uint16_t>(step + 4));
+  cfg.subsampling = jpeg::Subsampling::k444;
+  return cfg;
+}
+
+Request tenant_request(const image::Image& img, std::string tenant, int quality) {
+  Request req;
+  req.kind = RequestKind::kDeepnEncode;
+  req.image = img;
+  req.quality = quality;
+  req.tenant = std::move(tenant);
+  return req;
+}
+
+std::vector<std::uint8_t> tenant_expected(const image::Image& img,
+                                          const jpeg::EncoderConfig& base, int quality) {
+  jpeg::EncoderConfig cfg = base;
+  cfg.luma_table = base.luma_table.scaled(quality);
+  cfg.chroma_table = base.chroma_table.scaled(quality);
+  return jpeg::encode(img, cfg);
+}
+
+TEST(TranscodeService, TenantRequestsEncodeUnderRegisteredTables) {
+  auto registry = std::make_shared<TableRegistry>();
+  registry->put("alpha", tenant_base(20));
+  registry->put("beta", tenant_base(36));
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.cache_capacity = 32;
+  cfg.registry = registry;
+  TranscodeService service(cfg);
+
+  const image::Image img = gray_corpus(1).samples[0].image;
+  const Response a = service.submit(tenant_request(img, "alpha", 40)).get();
+  const Response b = service.submit(tenant_request(img, "beta", 40)).get();
+  const Response base50 = service.submit(tenant_request(img, "alpha", 50)).get();
+  ASSERT_EQ(a.status, Status::kOk) << a.error;
+  ASSERT_EQ(b.status, Status::kOk) << b.error;
+  ASSERT_EQ(base50.status, Status::kOk) << base50.error;
+  EXPECT_EQ(a.bytes, tenant_expected(img, tenant_base(20), 40));
+  EXPECT_EQ(b.bytes, tenant_expected(img, tenant_base(36), 40));
+  // Quality 50 = the registered tables verbatim.
+  EXPECT_EQ(base50.bytes, jpeg::encode(img, tenant_base(20)));
+  EXPECT_NE(a.bytes, b.bytes);
+
+  // execute() resolves the same registry — the determinism reference
+  // covers tenants too.
+  EXPECT_EQ(service.execute(tenant_request(img, "alpha", 40)).bytes, a.bytes);
+}
+
+TEST(TranscodeService, UnknownTenantIsATypedSubmissionError) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  TranscodeService service(cfg);
+
+  const image::Image img = gray_corpus(1).samples[0].image;
+  const Response r = service.submit(tenant_request(img, "nobody", 50)).get();
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("unknown tenant"), std::string::npos) << r.error;
+  EXPECT_EQ(service.execute(tenant_request(img, "nobody", 50)).status, Status::kError);
+
+  // The refusal keeps the stats invariants: counted as an error, attributed
+  // to its kind.
+  ASSERT_EQ(service.submit(encode_request(img, config_a())).get().status, Status::kOk);
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.errors, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  std::uint64_t kind_sum = 0;
+  for (std::uint64_t c : st.per_kind) kind_sum += c;
+  EXPECT_EQ(kind_sum, st.completed + st.errors);
+}
+
+TEST(TranscodeService, TenantSnapshotIsPinnedAtSubmission) {
+  auto registry = std::make_shared<TableRegistry>();
+  const std::uint64_t v1 = registry->put("pinned", tenant_base(24));
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_capacity = 0;
+  cfg.registry = registry;
+  TranscodeService service(cfg);
+
+  const image::Image img = gray_corpus(1).samples[0].image;
+  std::future<Response> pinned = service.submit(tenant_request(img, "pinned", 60));
+  // Re-register AFTER submission: the in-flight request must keep v1's
+  // tables whatever the scheduling; only later submissions see v2.
+  const std::uint64_t v2 = registry->put("pinned", tenant_base(48));
+  EXPECT_GT(v2, v1);
+  EXPECT_EQ(pinned.get().bytes, tenant_expected(img, tenant_base(24), 60));
+  EXPECT_EQ(service.submit(tenant_request(img, "pinned", 60)).get().bytes,
+            tenant_expected(img, tenant_base(48), 60));
+
+  // remove() keeps pinned snapshots working the same way.
+  std::future<Response> last = service.submit(tenant_request(img, "pinned", 70));
+  ASSERT_TRUE(registry->remove("pinned"));
+  EXPECT_FALSE(registry->remove("pinned"));
+  EXPECT_EQ(last.get().status, Status::kOk);
+  EXPECT_EQ(service.submit(tenant_request(img, "pinned", 70)).get().status,
+            Status::kError);
+}
+
+TEST(TranscodeService, PerTenantStatsAreAttributed) {
+  auto registry = std::make_shared<TableRegistry>();
+  registry->put("alpha", tenant_base(20));
+  registry->put("beta", tenant_base(36));
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.cache_capacity = 32;
+  cfg.table_cache_capacity = 8;
+  cfg.registry = registry;
+  TranscodeService service(cfg);
+
+  const image::Image img = gray_corpus(1).samples[0].image;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(service.submit(tenant_request(img, "alpha", 40)));
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(service.submit(tenant_request(img, "beta", 40)));
+  // A tenantless deepn encode must NOT appear in the per-tenant table.
+  Request plain;
+  plain.kind = RequestKind::kDeepnEncode;
+  plain.image = img;
+  plain.quality = 40;
+  futures.push_back(service.submit(plain));
+  for (std::future<Response>& f : futures) ASSERT_EQ(f.get().status, Status::kOk);
+
+  const ServiceStats st = service.stats();
+  ASSERT_EQ(st.tenants.size(), 2u);
+  EXPECT_EQ(st.tenants[0].name, "alpha");  // sorted by name
+  EXPECT_EQ(st.tenants[1].name, "beta");
+  EXPECT_EQ(st.tenants[0].requests, 6u);
+  EXPECT_EQ(st.tenants[1].requests, 3u);
+  EXPECT_EQ(st.tenants[0].completed, 6u);
+  EXPECT_EQ(st.tenants[1].completed, 3u);
+  EXPECT_EQ(st.tenants[0].errors, 0u);
+  // 6 identical cacheable requests: at least one hit somewhere (result
+  // cache after the first completes, or the table LRU on a cache miss).
+  EXPECT_GE(st.tenants[0].cache_hits + st.tenants[0].table_cache_hits, 1u);
+  EXPECT_EQ(st.tenants[0].service_time.count, 6u);
+  EXPECT_EQ(st.tenants[1].service_time.count, 3u);
+  EXPECT_GT(st.cache_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace dnj::serve

@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Advisory entropy-stage perf regression check.
+"""Advisory perf regression check for the BENCH_*.json baseline files.
 
-Compares a fresh BENCH_codec_pipeline.json against the committed baseline
-(bench/baselines/BENCH_codec_pipeline.json) and warns when an entropy row
-regressed by more than the threshold. Advisory by design: shared CI
-runners are noisy enough that a hard gate would cry wolf — the CI step
-runs with continue-on-error, and a *trend* of warnings across PRs is the
-actionable signal.
+Compares a fresh bench result against the committed baseline under
+bench/baselines/ and warns when a tracked throughput number regressed by
+more than the threshold. The bench family is read from the result's own
+"bench" field (results without one are the entropy-stage pipeline bench,
+which predates the field), so one script serves every baseline:
 
-Exit status: 0 = no regression, 1 = at least one row regressed,
-2 = inputs unusable (missing file, malformed JSON, gate field false).
+  codec_pipeline — entropy encode/decode stage throughput (Mblocks/s)
+  serve          — per-scenario served requests/s
+  multitenant    — per-scenario served requests/s
+
+Advisory by design: shared CI runners are noisy enough that a hard gate
+would cry wolf — the CI step runs with continue-on-error, and a *trend*
+of warnings across PRs is the actionable signal. The determinism gates
+(streams_identical / all_identical / ...) are the exception: those are
+hard requirements, and a false gate is an error, not an advisory.
+
+Exit status: 0 = no regression, 1 = at least one metric regressed,
+2 = inputs unusable (missing file, malformed JSON, gate field false,
+unknown bench family).
 
 Usage:
     tools/check_bench_regression.py <fresh.json> [<baseline.json>] [--threshold 0.20]
@@ -20,23 +30,44 @@ import json
 import os
 import sys
 
-DEFAULT_BASELINE = os.path.join(
+BASELINE_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "bench", "baselines", "BENCH_codec_pipeline.json")
-
-# (human label, path to the throughput value). Higher is better for all.
-TRACKED = [
-    ("encode entropy", ("stages", "entropy", "mblocks_per_s")),
-    ("decode huffman", ("decode_stages", "huffman_decode", "mblocks_per_s")),
-]
+    "bench", "baselines")
 
 
-def stage_value(doc, spec):
-    array_key, stage_name, field = spec
-    for row in doc.get(array_key, []):
-        if row.get("stage") == stage_name:
-            return row.get(field)
-    return None
+def pipeline_metrics(doc):
+    """Entropy-stage throughput rows (Mblocks/s, higher is better)."""
+    tracked = [
+        ("encode entropy", "stages", "entropy", "mblocks_per_s"),
+        ("decode huffman", "decode_stages", "huffman_decode", "mblocks_per_s"),
+    ]
+    out = []
+    for label, array_key, stage_name, field in tracked:
+        for row in doc.get(array_key, []):
+            if row.get("stage") == stage_name and row.get(field):
+                out.append((label, float(row[field]), "Mblocks/s"))
+    return out
+
+
+def scenario_rps_metrics(doc):
+    """One requests/s metric per scenario row (higher is better)."""
+    out = []
+    for row in doc.get("rows", []):
+        name, rps = row.get("scenario"), row.get("rps")
+        if name and rps:
+            out.append((f"{name} throughput", float(rps), "req/s"))
+    return out
+
+
+# bench-field value -> (baseline filename, hard gate fields, metric extractor)
+FAMILIES = {
+    "codec_pipeline": ("BENCH_codec_pipeline.json",
+                       ("streams_identical", "restart_identical"),
+                       pipeline_metrics),
+    "serve": ("BENCH_serve.json", ("all_identical",), scenario_rps_metrics),
+    "multitenant": ("BENCH_multitenant.json", ("all_identical",),
+                    scenario_rps_metrics),
+}
 
 
 def warn(msg):
@@ -46,8 +77,10 @@ def warn(msg):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("fresh", help="freshly generated BENCH_codec_pipeline.json")
-    ap.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE)
+    ap.add_argument("fresh", help="freshly generated BENCH_*.json")
+    ap.add_argument("baseline", nargs="?", default=None,
+                    help="baseline JSON (default: the bench/baselines/ file "
+                         "for the fresh result's bench family)")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="fractional slowdown that counts as a regression")
     args = ap.parse_args()
@@ -55,29 +88,45 @@ def main():
     try:
         with open(args.fresh) as f:
             fresh = json.load(f)
-        with open(args.baseline) as f:
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read fresh result: {e}", file=sys.stderr)
+        return 2
+
+    family = fresh.get("bench", "codec_pipeline")
+    if family not in FAMILIES:
+        print(f"check_bench_regression: unknown bench family {family!r}", file=sys.stderr)
+        return 2
+    baseline_name, gates, extract = FAMILIES[family]
+
+    baseline_path = args.baseline or os.path.join(BASELINE_DIR, baseline_name)
+    try:
+        with open(baseline_path) as f:
             base = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"check_bench_regression: cannot read inputs: {e}", file=sys.stderr)
+        print(f"check_bench_regression: cannot read baseline: {e}", file=sys.stderr)
         return 2
 
     # The determinism gates are hard requirements, not perf advisories.
-    for gate in ("streams_identical", "restart_identical"):
+    for gate in gates:
         if fresh.get(gate) is False:
             print(f"check_bench_regression: {gate} is false — determinism "
                   "violation, not a perf question", file=sys.stderr)
             return 2
 
+    base_values = {label: (value, unit) for label, value, unit in extract(base)}
+    fresh_metrics = extract(fresh)
+    if not fresh_metrics:
+        warn(f"{family}: no tracked metrics in fresh JSON, nothing checked")
+        return 0
+
     regressed = False
-    for label, spec in TRACKED:
-        fresh_v = stage_value(fresh, spec)
-        base_v = stage_value(base, spec)
-        if not fresh_v or not base_v:
-            warn(f"{label}: row missing from fresh or baseline JSON, skipped")
+    for label, fresh_v, unit in fresh_metrics:
+        if label not in base_values:
+            warn(f"{label}: missing from baseline JSON, skipped")
             continue
+        base_v, _ = base_values[label]
         ratio = fresh_v / base_v
-        line = (f"{label}: {fresh_v:.2f} vs baseline {base_v:.2f} Mblocks/s "
-                f"({ratio:.2f}x)")
+        line = f"{label}: {fresh_v:.2f} vs baseline {base_v:.2f} {unit} ({ratio:.2f}x)"
         if ratio < 1.0 - args.threshold:
             warn(f"perf regression, {line}")
             regressed = True
