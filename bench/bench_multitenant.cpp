@@ -45,6 +45,7 @@
 #include "bench_common.hpp"
 #include "data/synthetic.hpp"
 #include "jpeg/encoder.hpp"
+#include "obs/trace.hpp"
 #include "serve/digest.hpp"
 #include "serve/registry.hpp"
 #include "serve/service.hpp"
@@ -261,6 +262,16 @@ int main(int argc, char** argv) {
     serve::ServiceConfig cfg = base_cfg;
     cfg.workers = 1;
     results.push_back(run_scenario("single-thread", cfg, forms, schedule, per_client));
+  }
+  {
+    // Observability overhead on the default (sharded) configuration with
+    // every request traced — the tenant-skewed load is the worst case for
+    // tracing because per-job spans ride every batch. The identity gate
+    // applies to this row like any other: tracing must not move a byte.
+    obs::Tracer::instance().set_sample_every(1);
+    results.push_back(run_scenario("sharded-obs-full", base_cfg, forms, schedule,
+                                   per_client));
+    obs::Tracer::instance().set_sample_every(0);
   }
 
   bool all_identical = true;

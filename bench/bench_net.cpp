@@ -38,6 +38,7 @@
 #include "bench_common.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/digest.hpp"
 #include "serve/service.hpp"
 
@@ -88,7 +89,7 @@ std::vector<Form> make_forms(int count) {
   return forms;
 }
 
-double quantile(std::vector<double>& v, double q) {
+double quantile(std::vector<double> v, double q) {
   if (v.empty()) return 0.0;
   std::sort(v.begin(), v.end());
   const std::size_t i = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
@@ -294,6 +295,7 @@ int main(int argc, char** argv) {
   } kLevels[] = {{"underload-0.5x", 0.5}, {"nearload-0.9x", 0.9}, {"overload-5x", 5.0}};
 
   bench::JsonWriter json("BENCH_net");
+  json.field("bench", "net");
   json.field("connections", connections);
   json.field("requests_per_level", requests_per_level);
   json.field("capacity_rps", capacity);
@@ -303,18 +305,12 @@ int main(int argc, char** argv) {
   std::size_t total_mismatches = 0;
   bool overload_rejected = false;
   json.begin_array("levels");
-  for (const auto& level : kLevels) {
-    const double offered = capacity * level.factor;
-    LevelResult r = run_level(port, forms, level.name, offered, connections,
-                              requests_per_level);
-    total_mismatches += r.mismatches;
-    if (level.factor > 1.0 && r.rejected > 0) overload_rejected = true;
-
+  const auto emit_level = [&](const LevelResult& r) {
     const double goodput = r.elapsed_s > 0 ? r.ok / r.elapsed_s : 0.0;
     std::printf(
         "bench_net: %-14s offered %7.0f rps  ok %5zu  rejected %5zu  errors %3zu  "
         "goodput %7.0f rps  p99 %.2f ms\n",
-        r.name.c_str(), offered, r.ok, r.rejected, r.errors, goodput,
+        r.name.c_str(), r.offered_rps, r.ok, r.rejected, r.errors, goodput,
         quantile(r.total_ms, 0.99));
 
     json.begin_object();
@@ -337,10 +333,45 @@ int main(int argc, char** argv) {
     json.field("service_p95_ms", quantile(r.service_ms, 0.95));
     json.field("service_p99_ms", quantile(r.service_ms, 0.99));
     json.end_object();
+  };
+  for (const auto& level : kLevels) {
+    const LevelResult r = run_level(port, forms, level.name, capacity * level.factor,
+                                    connections, requests_per_level);
+    total_mismatches += r.mismatches;
+    if (level.factor > 1.0 && r.rejected > 0) overload_rejected = true;
+    emit_level(r);
+  }
+  {
+    // Observability overhead at a fixed underload point: the 0.5x level
+    // again with every request traced end to end (net read -> root ->
+    // net write plus the serve/codec spans). Rides in the same levels
+    // array so the trajectory tracks goodput with tracing on vs off, and
+    // its completions feed the same determinism gate.
+    obs::Tracer::instance().set_sample_every(1);
+    const LevelResult r = run_level(port, forms, "obs-full-0.5x", capacity * 0.5,
+                                    connections, requests_per_level);
+    obs::Tracer::instance().set_sample_every(0);
+    total_mismatches += r.mismatches;
+    emit_level(r);
   }
   json.end_array();
   json.field("overload_rejected", overload_rejected);
   json.field("payload_mismatches", total_mismatches);
+
+  // kStats smoke: one Prometheus scrape over the wire must surface the
+  // serve-layer submission counter through the unified registry.
+  bool scrape_ok = false;
+  {
+    net::Client scraper;
+    std::string text, scrape_err;
+    if (scraper.connect("127.0.0.1", port, &scrape_err) &&
+        scraper.scrape(net::StatsFormat::kPrometheus, &text, &scrape_err))
+      scrape_ok = text.find("serve_requests_submitted_total") != std::string::npos;
+    if (!scrape_ok)
+      std::fprintf(stderr, "bench_net: stats scrape failed: %s\n", scrape_err.c_str());
+  }
+  json.field("scrape_ok", scrape_ok);
+  json.field("all_identical", total_mismatches == 0);
 
   server.stop();
   service.shutdown();
@@ -350,6 +381,11 @@ int main(int argc, char** argv) {
                  "bench_net: DETERMINISM GATE FAILED: %zu payload mismatch(es) vs the "
                  "synchronous public API\n",
                  total_mismatches);
+    return 1;
+  }
+  if (!scrape_ok) {
+    std::fprintf(stderr,
+                 "bench_net: stats scrape did not return the expected metrics\n");
     return 1;
   }
   if (!overload_rejected)

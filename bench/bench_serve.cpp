@@ -36,6 +36,7 @@
 #include "bench_common.hpp"
 #include "data/synthetic.hpp"
 #include "jpeg/codec.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/digest.hpp"
 #include "serve/service.hpp"
@@ -285,6 +286,22 @@ int main(int argc, char** argv) {
     cfg.queue_capacity = 16;
     results.push_back(
         run_scenario("open-burst-reject", cfg, encode_forms, clients, per_client, false));
+  }
+  {
+    // Observability overhead: the encode-closed load with the span tracer
+    // off / sampled 1-in-16 / recording every request. The identity gate
+    // runs in all three modes — tracing must never touch payload bytes —
+    // and the obs-off row pins that a disabled tracer costs (near) nothing.
+    const struct {
+      const char* name;
+      std::uint32_t sample;
+    } modes[] = {{"obs-off", 0}, {"obs-sampled", 16}, {"obs-full", 1}};
+    for (const auto& mode : modes) {
+      obs::Tracer::instance().set_sample_every(mode.sample);
+      results.push_back(
+          run_scenario(mode.name, base_cfg, encode_forms, clients, per_client, true));
+    }
+    obs::Tracer::instance().set_sample_every(0);
   }
 
   bool all_identical = true;

@@ -72,6 +72,17 @@ dnj_status_t oom(dnj_session_t* session) {
   return record(session, {api::StatusCode::kInternal, "out of memory"});
 }
 
+/// Copies a rendered text document into a malloc-backed buffer.
+dnj_status_t text_to_buffer(dnj_server_t* server, const std::string& text,
+                            dnj_buffer_t* out) {
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  if (!fill_buffer(bytes, out)) {
+    server->last_error = "out of memory";
+    return DNJ_INTERNAL;
+  }
+  return DNJ_OK;
+}
+
 /// Runs `fn` under the boundary firewall; any escape becomes DNJ_INTERNAL.
 template <typename F>
 dnj_status_t firewalled(dnj_session_t* session, F&& fn) {
@@ -431,6 +442,32 @@ void dnj_server_stop(dnj_server_t* server) {
   try {
     server->service.stop_listening();
   } catch (...) {
+  }
+}
+
+dnj_status_t dnj_server_metrics_text(dnj_server_t* server, dnj_buffer_t* out) {
+  if (server == nullptr || out == nullptr) return DNJ_INVALID_ARGUMENT;
+  try {
+    return text_to_buffer(server, server->service.metrics_text(), out);
+  } catch (const std::exception& e) {
+    server->last_error = e.what();
+    return DNJ_INTERNAL;
+  } catch (...) {
+    server->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
+dnj_status_t dnj_server_trace_dump(dnj_server_t* server, dnj_buffer_t* out) {
+  if (server == nullptr || out == nullptr) return DNJ_INVALID_ARGUMENT;
+  try {
+    return text_to_buffer(server, server->service.dump_trace(), out);
+  } catch (const std::exception& e) {
+    server->last_error = e.what();
+    return DNJ_INTERNAL;
+  } catch (...) {
+    server->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
   }
 }
 

@@ -49,7 +49,7 @@ extern "C" {
 /* ------------------------------------------------------------- version */
 
 #define DNJ_ABI_VERSION_MAJOR 1
-#define DNJ_ABI_VERSION_MINOR 2
+#define DNJ_ABI_VERSION_MINOR 3
 #define DNJ_ABI_VERSION ((uint32_t)((DNJ_ABI_VERSION_MAJOR << 16) | DNJ_ABI_VERSION_MINOR))
 
 /* ABI version of the linked library: (major << 16) | minor. */
@@ -227,6 +227,18 @@ int32_t dnj_server_port(const dnj_server_t* server);
 /* Graceful stop: stop accepting, drain in-flight requests, flush
  * responses, close. Idempotent; implied by dnj_server_free. */
 void dnj_server_stop(dnj_server_t* server);
+
+/* Renders the server's unified metrics plane (service + network front
+ * end) as Prometheus text exposition into *out (UTF-8, released with
+ * dnj_buffer_free). Works whether or not the server is listening — the
+ * same document a wire kStats request returns. Added in ABI 1.3. */
+dnj_status_t dnj_server_metrics_text(dnj_server_t* server, dnj_buffer_t* out);
+
+/* Dumps the recorded request spans as a JSON document into *out
+ * (tools/trace2chrome.py converts it for chrome://tracing). Spans are
+ * recorded only while tracing is sampled — set DNJ_TRACE_SAMPLE, see
+ * docs/OPERATIONS.md "Observability". Added in ABI 1.3. */
+dnj_status_t dnj_server_trace_dump(dnj_server_t* server, dnj_buffer_t* out);
 
 /* ------------------------------------------------------------ designer */
 

@@ -9,6 +9,7 @@
 
 #include "api/convert.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 
 namespace dnj::api {
@@ -217,6 +218,14 @@ ServiceMetrics Service::metrics() const {
     m.tenants.push_back(std::move(tm));
   }
   return m;
+}
+
+std::string Service::metrics_text() const {
+  return impl_->service.metrics_registry()->render_prometheus();
+}
+
+std::string Service::dump_trace() const {
+  return obs::Tracer::instance().dump_json();
 }
 
 Status Service::listen(const ListenOptions& options) {

@@ -259,6 +259,17 @@ class Service {
 
   ServiceMetrics metrics() const;
 
+  /// The unified metrics plane rendered as Prometheus text exposition —
+  /// every counter ServiceMetrics exposes (and the net front end's, when
+  /// listening), one scrape. The same document a kStats wire request
+  /// returns (docs/PROTOCOL.md).
+  std::string metrics_text() const;
+
+  /// The span-tracer ring contents as a JSON document
+  /// (tools/trace2chrome.py converts it for chrome://tracing). Tracing is
+  /// off unless DNJ_TRACE_SAMPLE is set; see docs/OPERATIONS.md.
+  std::string dump_trace() const;
+
   /// Starts the TCP front end (src/net, wire format in docs/PROTOCOL.md)
   /// over this service. Network responses are byte-identical to the
   /// in-process calls above — the determinism contract crosses the wire.

@@ -42,7 +42,7 @@ class TableDesigner;
 /// Version of the C++ façade surface, bumped on incompatible change.
 /// (The C ABI is versioned separately: dnj_c.h / dnj_abi_version().)
 inline constexpr std::uint32_t kApiVersionMajor = 1;
-inline constexpr std::uint32_t kApiVersionMinor = 2;  ///< 1.1: Service::listen + dnj_server_*
+inline constexpr std::uint32_t kApiVersionMinor = 3;  ///< 1.3: metrics_text + trace dump
                                                       ///  1.2: Registry + deepn_encode + dnj_registry_*
 
 /// (major << 16) | minor of the built library — compare against the

@@ -14,6 +14,7 @@
 #include "jpeg/huffman.hpp"
 #include "jpeg/markers.hpp"
 #include "jpeg/zigzag.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace dnj::jpeg {
@@ -416,8 +417,12 @@ class Parser {
 
 image::Image decode(ByteSpan bytes, pipeline::CodecContext& ctx, int num_threads) {
   Parser parser(bytes.data, bytes.size, ctx);
-  if (!parser.parse_headers()) fail("stream contains no scan");
-  parser.decode_scan(num_threads);
+  {
+    obs::Span span(obs::Stage::kDecodeEntropy, bytes.size);
+    if (!parser.parse_headers()) fail("stream contains no scan");
+    parser.decode_scan(num_threads);
+  }
+  obs::Span span(obs::Stage::kDecodePixels);
   return parser.reconstruct();
 }
 

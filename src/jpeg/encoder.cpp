@@ -14,6 +14,7 @@
 #include "jpeg/huffman.hpp"
 #include "jpeg/markers.hpp"
 #include "jpeg/zigzag.hpp"
+#include "obs/trace.hpp"
 
 namespace dnj::jpeg {
 
@@ -173,10 +174,16 @@ Component finish_pipeline_component(CodecContext& ctx, int ci, int id, int h, in
                                     int tq, const QuantTable& table) {
   pipeline::CoeffPlane& coeff = ctx.coeff[static_cast<std::size_t>(ci)];
   pipeline::QuantPlane& quant = ctx.quant[static_cast<std::size_t>(ci)];
-  fdct_batch(coeff.data(), coeff.block_count());
+  {
+    obs::Span span(obs::Stage::kEncodeDct, coeff.block_count());
+    fdct_batch(coeff.data(), coeff.block_count());
+  }
   quant.reshape(coeff.blocks_x(), coeff.blocks_y());
-  quantize_zigzag_batch(coeff.data(), coeff.block_count(), ctx.reciprocal_for(table, tq),
-                        quant.data());
+  {
+    obs::Span span(obs::Stage::kEncodeQuant, coeff.block_count());
+    quantize_zigzag_batch(coeff.data(), coeff.block_count(),
+                          ctx.reciprocal_for(table, tq), quant.data());
+  }
   Component comp;
   comp.id = id;
   comp.h = h;
@@ -193,7 +200,11 @@ Component finish_pipeline_component(CodecContext& ctx, int ci, int id, int h, in
 Component make_pipeline_component(CodecContext& ctx, int ci, const PlaneF& plane, int id,
                                   int h, int v, int tq, int grid_bx, int grid_by,
                                   const QuantTable& table) {
-  ctx.coeff[static_cast<std::size_t>(ci)].tile_from(plane, grid_bx, grid_by, -128.0f);
+  {
+    obs::Span span(obs::Stage::kEncodeTile,
+                   static_cast<std::uint64_t>(grid_bx) * grid_by);
+    ctx.coeff[static_cast<std::size_t>(ci)].tile_from(plane, grid_bx, grid_by, -128.0f);
+  }
   return finish_pipeline_component(ctx, ci, id, h, v, tq, table);
 }
 
@@ -279,7 +290,12 @@ std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config,
     mcus_x = ceil_div(img.width, kBlockDim);
     mcus_y = ceil_div(img.height, kBlockDim);
     ctx.coeff[0].reshape(mcus_x, mcus_y);
-    image::tile_image_blocks_into(img, 0, mcus_x, mcus_y, ctx.coeff[0].data(), -128.0f);
+    {
+      obs::Span span(obs::Stage::kEncodeTile,
+                     static_cast<std::uint64_t>(mcus_x) * mcus_y);
+      image::tile_image_blocks_into(img, 0, mcus_x, mcus_y, ctx.coeff[0].data(),
+                                    -128.0f);
+    }
     comps[n_comps++] = finish_pipeline_component(ctx, 0, 1, 1, 1, 0, luma_q);
   } else if (!sub420) {
     image::to_ycbcr_into(img, ctx.ycc);
@@ -380,6 +396,7 @@ std::vector<std::uint8_t> encode(PixelView img, const EncoderConfig& config,
   if (config.restart_interval > 0) write_dri(out, config.restart_interval);
   write_sos_header(out, comps.data(), n_comps);
 
+  obs::Span entropy_span(obs::Stage::kEncodeEntropy, total_blocks);
   BitWriter bw(out);
   std::array<int, kMaxComponents> dc_pred{};
   if (n_comps == 1 && config.restart_interval == 0) {

@@ -84,6 +84,19 @@ bool Client::call(const serve::Request& req, WireReply* out, std::string* error)
   return true;
 }
 
+bool Client::scrape(StatsFormat format, std::string* text, std::string* error) {
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(make_stats_request(id, format), error)) return false;
+  WireReply reply;
+  if (!recv_reply(&reply, error)) return false;
+  if (reply.request_id != id || reply.status != WireStatus::kOk) {
+    if (error) *error = reply.error.empty() ? "unexpected scrape reply" : reply.error;
+    return false;
+  }
+  if (text) text->assign(reply.bytes.begin(), reply.bytes.end());
+  return true;
+}
+
 bool Client::ping(std::string* error) {
   const std::uint32_t id = send_ping(error);
   if (id == 0) return false;

@@ -56,6 +56,10 @@ class Client {
   /// Round-trips a ping. False when the server is unreachable/draining.
   bool ping(std::string* error);
 
+  /// Round-trips a kStats admin scrape (protocol v2) and fills *text with
+  /// the rendered document (Prometheus text, metrics JSON, or trace JSON).
+  bool scrape(StatsFormat format, std::string* text, std::string* error);
+
  private:
   ScopedFd fd_;
   FrameParser parser_;

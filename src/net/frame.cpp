@@ -106,7 +106,10 @@ ParseResult FrameParser::next(Frame* out) {
   const std::size_t payload_size = read_u32(h + 20);
   // Version is checked before the rest of the header so a future-version
   // frame with a layout we can't judge yields kBadVersion, not kBadHeader.
-  if (version != kProtocolVersion) return error_ = ParseResult::kBadVersion;
+  // Every version since kMinProtocolVersion shares this header layout
+  // (v2 only added an op code), so the whole supported range parses here.
+  if (version < kMinProtocolVersion || version > kProtocolVersion)
+    return error_ = ParseResult::kBadVersion;
   if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
       type != static_cast<std::uint8_t>(FrameType::kResponse))
     return error_ = ParseResult::kBadHeader;

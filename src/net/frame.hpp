@@ -6,7 +6,7 @@
 //
 //   offset size field
 //   0      4    magic          0x314A4E44 ("DNJ1" on the wire)
-//   4      1    version        kProtocolVersion (currently 1)
+//   4      1    version        kProtocolVersion (currently 2)
 //   5      1    type           1 = request, 2 = response
 //   6      1    op             operation code (Op); responses echo it
 //   7      1    status         request: 0; response: WireStatus
@@ -36,7 +36,13 @@
 namespace dnj::net {
 
 inline constexpr std::uint32_t kMagic = 0x314A4E44u;  ///< "DNJ1" little-endian
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Current protocol version. Version 2 added the kStats admin op; the
+/// change is additive, so the parser accepts any version in
+/// [kMinProtocolVersion, kProtocolVersion] and the server echoes the
+/// request's version in its responses — a v1 client keeps working
+/// unchanged against a v2 server.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 28;
 
 /// Hard ceiling on a payload; a header announcing more is malformed. Large
@@ -58,6 +64,7 @@ enum class Op : std::uint8_t {
   kTranscode = 3,    ///< options + JFIF bytes -> re-encoded JFIF bytes
   kDeepnEncode = 4,  ///< quality + image -> bytes under the server's DeepN pair
   kInfer = 5,        ///< JFIF bytes -> class probabilities
+  kStats = 6,        ///< admin scrape (v2): 1-byte format -> UTF-8 text
 };
 
 /// Wire status byte of a response frame. 0..5 mirror dnj::api::StatusCode
@@ -112,7 +119,7 @@ enum class ParseResult {
   kNeedMore,    ///< no complete frame buffered yet
   kFrame,       ///< one frame extracted into *out
   kBadMagic,    ///< stream does not start with kMagic — not our protocol
-  kBadVersion,  ///< version byte != kProtocolVersion
+  kBadVersion,  ///< version byte outside [kMinProtocolVersion, kProtocolVersion]
   kBadHeader,   ///< type out of range or payload_size > max_payload
   kBadCrc,      ///< payload CRC mismatch
 };

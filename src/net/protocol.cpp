@@ -233,6 +233,25 @@ Frame make_ping(std::uint32_t request_id) {
   return f;
 }
 
+Frame make_stats_request(std::uint32_t request_id, StatsFormat format) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.op = Op::kStats;
+  f.request_id = request_id;
+  append_u8(f.payload, static_cast<std::uint8_t>(format));
+  return f;
+}
+
+Frame make_stats_response(std::uint32_t request_id, const std::string& text) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = Op::kStats;
+  f.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  f.request_id = request_id;
+  f.payload.assign(text.begin(), text.end());
+  return f;
+}
+
 WireStatus parse_request(const Frame& frame, serve::Request* out) {
   if (frame.type != FrameType::kRequest) return WireStatus::kMalformed;
   Cursor c{frame.payload.data(), frame.payload.size()};
@@ -242,6 +261,15 @@ WireStatus parse_request(const Frame& frame, serve::Request* out) {
       if (c.left != 0) return WireStatus::kMalformed;
       if (frame.config_digest != 0) return WireStatus::kMalformed;
       return WireStatus::kOk;
+    case Op::kStats: {
+      // Admin scrape: exactly one format byte, no options -> digest 0.
+      if (frame.config_digest != 0) return WireStatus::kMalformed;
+      std::uint8_t format = 0;
+      if (!c.u8(&format) || c.left != 0) return WireStatus::kMalformed;
+      if (format > static_cast<std::uint8_t>(StatsFormat::kTraceJson))
+        return WireStatus::kInvalidArgument;
+      return WireStatus::kOk;
+    }
     case Op::kEncode:
     case Op::kTranscode: {
       req.kind = frame.op == Op::kEncode ? serve::RequestKind::kEncode
@@ -332,6 +360,7 @@ Frame make_response(std::uint32_t request_id, Op op, std::uint64_t config_digest
       break;
     }
     case Op::kPing:
+    case Op::kStats:  // built by make_stats_response; never via the service
       break;
   }
   return f;
@@ -360,7 +389,9 @@ bool parse_response(const Frame& frame, WireReply* out) {
     return true;
   }
   Cursor c{frame.payload.data(), frame.payload.size()};
-  if (frame.op != Op::kPing) {
+  // Ping has no payload and a stats response is bare text — neither
+  // carries the observability block.
+  if (frame.op != Op::kPing && frame.op != Op::kStats) {
     const std::uint8_t* obs;
     if (!c.take(kObservabilitySize, &obs)) return false;
     r.cache_hit = obs[0] != 0;
@@ -375,6 +406,7 @@ bool parse_response(const Frame& frame, WireReply* out) {
     case Op::kEncode:
     case Op::kTranscode:
     case Op::kDeepnEncode:
+    case Op::kStats:  // rendered UTF-8 text rides in `bytes`
       r.bytes.assign(c.p, c.p + c.left);
       break;
     case Op::kDecode:

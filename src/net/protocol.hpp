@@ -39,6 +39,21 @@ Frame make_request(std::uint32_t request_id, const serve::Request& req);
 /// without touching the service queue).
 Frame make_ping(std::uint32_t request_id);
 
+/// Requested rendering of a kStats scrape (the one-byte request payload).
+enum class StatsFormat : std::uint8_t {
+  kPrometheus = 0,  ///< metrics as Prometheus text exposition
+  kJson = 1,        ///< metrics as a JSON document
+  kTraceJson = 2,   ///< span-trace dump as JSON (tools/trace2chrome.py input)
+};
+
+/// An admin metrics/trace scrape (protocol v2). Like ping, it is answered
+/// by the server's event loop directly — no service queue. The OK response
+/// payload is the rendered UTF-8 text with NO observability block.
+Frame make_stats_request(std::uint32_t request_id, StatsFormat format);
+
+/// The response to a kStats request: `text` as the whole payload.
+Frame make_stats_response(std::uint32_t request_id, const std::string& text);
+
 /// Parses a request frame into a serve request. Returns kOk and fills
 /// *out, or the typed failure the server should answer with:
 ///   kMalformed       — truncated/over-long blocks, unknown op, or a
@@ -46,8 +61,9 @@ Frame make_ping(std::uint32_t request_id);
 ///                      payload's options section
 ///   kInvalidArgument — structurally sound but semantically out of range
 ///                      (dimensions, channels, quality, restart interval,
-///                      empty stream)
-/// kPing parses with *out untouched — the caller answers it directly.
+///                      empty stream, unknown stats format)
+/// kPing and kStats parse with *out untouched — the caller answers them
+/// directly (for kStats, re-read the format byte from frame.payload[0]).
 WireStatus parse_request(const Frame& frame, serve::Request* out);
 
 // -------------------------------------------------------------- responses

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "net/protocol.hpp"
+#include "obs/trace.hpp"
 
 namespace dnj::net {
 
@@ -46,6 +47,11 @@ struct Server::Conn {
   bool want_write = false;     ///< current poller write interest
   bool stop_reading = false;   ///< poller read interest dropped
   bool closing = false;        ///< close as soon as `out` flushes dry
+
+  // Observability only: endpoints of the read burst that completed the
+  // current frame(s), stamped only while tracing is enabled.
+  std::uint64_t read_start_ns = 0;
+  std::uint64_t read_end_ns = 0;
 };
 
 Server::Server(serve::TranscodeService& service, ServerConfig config)
@@ -53,9 +59,46 @@ Server::Server(serve::TranscodeService& service, ServerConfig config)
   if (config_.max_connections < 1) config_.max_connections = 1;
   if (config_.backlog < 1) config_.backlog = 1;
   if (config_.max_payload > kMaxPayloadBytes) config_.max_payload = kMaxPayloadBytes;
+
+  // Publish into the service's registry so one kStats scrape answers for
+  // both layers. The collector snapshots the loop/stats atomics — safe
+  // from any thread, no registry re-entry.
+  metrics_ = service_.metrics_registry();
+  response_bytes_ =
+      &metrics_->histogram("net_response_bytes", {}, 0.0, 262144.0, 128);
+  metrics_collector_ = metrics_->add_collector([this](std::vector<obs::Sample>& out) {
+    const ServerStats s = stats();
+    auto counter = [&out](const char* name, std::uint64_t v) {
+      obs::Sample smp;
+      smp.name = name;
+      smp.value = static_cast<double>(v);
+      smp.kind = obs::SampleKind::kCounter;
+      out.push_back(std::move(smp));
+    };
+    counter("net_connections_accepted_total", s.connections_accepted);
+    counter("net_connections_rejected_total", s.connections_rejected);
+    counter("net_connections_idle_closed_total", s.connections_idle_closed);
+    counter("net_frames_in_total", s.frames_in);
+    counter("net_frames_out_total", s.frames_out);
+    counter("net_pings_total", s.pings);
+    counter("net_requests_submitted_total", s.requests_submitted);
+    counter("net_protocol_errors_total", s.protocol_errors);
+    counter("net_responses_dropped_total", s.responses_dropped);
+    counter("net_stats_scrapes_total", s.stats_scrapes);
+    obs::Sample active;
+    active.name = "net_connections_active";
+    active.value = static_cast<double>(s.connections_active);
+    active.kind = obs::SampleKind::kGauge;
+    out.push_back(std::move(active));
+  });
 }
 
-Server::~Server() { stop(); }
+Server::~Server() {
+  stop();
+  // Blocks until any in-flight gather() is done with the lambda above, so
+  // the captured `this` cannot be used past this line.
+  metrics_->remove_collector(metrics_collector_);
+}
 
 bool Server::start(std::string* error) {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
@@ -144,6 +187,7 @@ ServerStats Server::stats() const {
   s.requests_submitted = submitted_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  s.stats_scrapes = stats_scrapes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -328,18 +372,34 @@ void Server::drain_completions() {
   }
   for (Done& d : local) {
     if (inflight_total_ > 0) --inflight_total_;
+    const std::size_t resp_size = d.bytes.size();
+    response_bytes_->observe(static_cast<double>(resp_size));
     auto it = conns_.find(d.conn_id);
     if (it == conns_.end()) {
       responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+      // Close the root anyway — the work happened even if nobody is
+      // listening for the answer.
+      obs::record_span_as(d.trace_id, d.trace_root, 0, obs::Stage::kRequest,
+                          d.trace_start_ns, obs::now_ns());
       continue;
     }
     Conn* conn = it->second.get();
     if (conn->inflight > 0) --conn->inflight;
+    const std::uint64_t write_start = d.trace_id ? obs::now_ns() : 0;
     queue_bytes(conn, std::move(d.bytes));
+    if (d.trace_id != 0) {
+      const std::uint64_t write_end = obs::now_ns();
+      obs::record_span(d.trace_id, d.trace_root, obs::Stage::kNetWrite,
+                       write_start, write_end, resp_size);
+      obs::record_span_as(d.trace_id, d.trace_root, 0, obs::Stage::kRequest,
+                          d.trace_start_ns, write_end);
+    }
   }
 }
 
 bool Server::handle_readable(Conn* conn) {
+  const bool tracing = obs::Tracer::instance().enabled();
+  if (tracing) conn->read_start_ns = obs::now_ns();
   char buf[64 * 1024];
   for (;;) {
     const long got = ::recv(conn->fd.get(), buf, sizeof buf, 0);
@@ -357,6 +417,7 @@ bool Server::handle_readable(Conn* conn) {
     conn->parser.feed(buf, static_cast<std::size_t>(got));
     if (static_cast<std::size_t>(got) < sizeof buf) break;
   }
+  if (tracing) conn->read_end_ns = obs::now_ns();
 
   Frame frame;
   for (;;) {
@@ -385,26 +446,62 @@ bool Server::handle_readable(Conn* conn) {
 }
 
 bool Server::handle_frame(Conn* conn, Frame&& frame) {
+  // Responses echo the request's version so a v1 client keeps decoding a
+  // v2 server (the protocol grows additively, see frame.hpp).
   if (frame.type != FrameType::kRequest) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     conn->stop_reading = true;
     conn->closing = true;
     poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
-    return queue_frame(conn, make_error(frame.request_id, frame.op, WireStatus::kMalformed,
-                                        "expected a request frame"));
+    Frame err = make_error(frame.request_id, frame.op, WireStatus::kMalformed,
+                           "expected a request frame");
+    err.version = frame.version;
+    return queue_frame(conn, err);
   }
 
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = tracer.enabled();
+  const std::uint64_t parse_start = tracing ? obs::now_ns() : 0;
   serve::Request req;
   const WireStatus parsed = parse_request(frame, &req);
+  const std::uint64_t parse_end = tracing ? obs::now_ns() : 0;
 
   if (parsed == WireStatus::kOk && frame.op == Op::kPing) {
     pings_.fetch_add(1, std::memory_order_relaxed);
     Frame pong;
+    pong.version = frame.version;
     pong.type = FrameType::kResponse;
     pong.op = Op::kPing;
     pong.status = static_cast<std::uint8_t>(WireStatus::kOk);
     pong.request_id = frame.request_id;
     return queue_frame(conn, pong);
+  }
+
+  if (parsed == WireStatus::kOk && frame.op == Op::kStats) {
+    if (frame.version < 2) {
+      // Op 6 does not exist in v1 — inside that version the frame is
+      // malformed, and a malformed frame poisons the stream (§3/§10).
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn->stop_reading = true;
+      conn->closing = true;
+      poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+      Frame err = make_error(frame.request_id, frame.op, WireStatus::kMalformed,
+                             "op 6 (stats) requires protocol version 2");
+      err.version = frame.version;
+      return queue_frame(conn, err);
+    }
+    // Admin scrape: rendered by the loop thread, never queued behind
+    // service work (the whole point is visibility under overload).
+    stats_scrapes_.fetch_add(1, std::memory_order_relaxed);
+    std::string text;
+    switch (static_cast<StatsFormat>(frame.payload[0])) {
+      case StatsFormat::kPrometheus: text = metrics_->render_prometheus(); break;
+      case StatsFormat::kJson: text = metrics_->render_json(); break;
+      case StatsFormat::kTraceJson: text = tracer.dump_json(); break;
+    }
+    Frame resp = make_stats_response(frame.request_id, text);
+    resp.version = frame.version;
+    return queue_frame(conn, resp);
   }
 
   if (parsed != WireStatus::kOk) {
@@ -416,7 +513,28 @@ bool Server::handle_frame(Conn* conn, Frame&& frame) {
       poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
     }
     const char* why = fatal ? "malformed request payload" : "request argument out of range";
-    return queue_frame(conn, make_error(frame.request_id, frame.op, parsed, why));
+    Frame err = make_error(frame.request_id, frame.op, parsed, why);
+    err.version = frame.version;
+    return queue_frame(conn, err);
+  }
+
+  // Observability: maybe open a sampled trace for this request. The ids
+  // ride on the Request (never digested, never serialized) so queue-wait,
+  // batch and codec spans nest under this root; drain_completions records
+  // net_write and closes the root when the bytes are handed to the socket.
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_root = 0;
+  std::uint64_t trace_start = 0;
+  if (tracing && (trace_id = tracer.start_trace()) != 0) {
+    trace_root = tracer.next_span_id();
+    trace_start = conn->read_start_ns;
+    obs::record_span(trace_id, trace_root, obs::Stage::kNetRead,
+                     conn->read_start_ns, conn->read_end_ns,
+                     frame.payload.size());
+    obs::record_span(trace_id, trace_root, obs::Stage::kNetParse, parse_start,
+                     parse_end);
+    req.trace_id = trace_id;
+    req.trace_parent = trace_root;
   }
 
   // Hand the request to the service. The callback runs on a worker pump
@@ -426,6 +544,7 @@ bool Server::handle_frame(Conn* conn, Frame&& frame) {
   const std::uint32_t request_id = frame.request_id;
   const Op op = frame.op;
   const std::uint64_t digest = frame.config_digest;
+  const std::uint8_t version = frame.version;
 
   ++conn->inflight;
   ++inflight_total_;
@@ -434,12 +553,14 @@ bool Server::handle_frame(Conn* conn, Frame&& frame) {
     std::lock_guard<std::mutex> cb_lock(cb_mutex_);
     ++callbacks_outstanding_;
   }
-  service_.submit(std::move(req), [this, conn_id, request_id, op, digest](serve::Response resp) {
-    std::vector<std::uint8_t> bytes =
-        serialize_frame(make_response(request_id, op, digest, resp));
+  service_.submit(std::move(req), [this, conn_id, request_id, op, digest, version, trace_id,
+                                   trace_root, trace_start](serve::Response resp) {
+    Frame f = make_response(request_id, op, digest, resp);
+    f.version = version;
+    std::vector<std::uint8_t> bytes = serialize_frame(f);
     {
       std::lock_guard<std::mutex> lock(done_mutex_);
-      done_.push_back(Done{conn_id, std::move(bytes)});
+      done_.push_back(Done{conn_id, std::move(bytes), trace_id, trace_root, trace_start});
     }
     wake();
     {

@@ -51,6 +51,7 @@
 #include "net/frame.hpp"
 #include "net/poller.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "serve/service.hpp"
 
 namespace dnj::net {
@@ -94,6 +95,7 @@ struct ServerStats {
   std::uint64_t requests_submitted = 0;  ///< handed to the service
   std::uint64_t protocol_errors = 0;     ///< malformed/version-skew frames
   std::uint64_t responses_dropped = 0;   ///< connection gone before write-back
+  std::uint64_t stats_scrapes = 0;       ///< kStats admin ops answered
 };
 
 class Server {
@@ -128,6 +130,12 @@ class Server {
   struct Done {
     std::uint64_t conn_id;
     std::vector<std::uint8_t> bytes;
+    // Observability only: the sampled trace this response belongs to (0 =
+    // unsampled), its root span, and when the root opened — the loop
+    // records net_write and closes the root when it hands the bytes off.
+    std::uint64_t trace_id = 0;
+    std::uint32_t trace_root = 0;
+    std::uint64_t trace_start_ns = 0;
   };
 
   // The handler chain returns false when the connection died along the way
@@ -185,6 +193,15 @@ class Server {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> responses_dropped_{0};
+  std::atomic<std::uint64_t> stats_scrapes_{0};
+
+  // Metrics plane: the server publishes into the service's registry — one
+  // scrape answers for both layers. The collector snapshots the atomics
+  // above; the histogram tracks response frame sizes. Removed/owned so the
+  // captured `this` can never dangle past the destructor.
+  std::shared_ptr<obs::Registry> metrics_;
+  obs::HistogramHandle* response_bytes_ = nullptr;
+  std::uint64_t metrics_collector_ = 0;
 };
 
 }  // namespace dnj::net

@@ -46,6 +46,13 @@ struct Request {
   /// table pair replaces the service-wide deepn pair. Empty = use the
   /// service-wide pair. An unknown name fails with a typed kError.
   std::string tenant;
+
+  // Observability only — never digested, never serialized, never part of
+  // the determinism contract. A front end (src/net) that already opened a
+  // trace sets these so serve/codec spans attach under its root span;
+  // when trace_id is 0 the service opens (and owns) its own trace.
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_parent = 0;
 };
 
 enum class Status : int {

@@ -11,6 +11,7 @@
 #include "jpeg/codec.hpp"
 #include "jpeg/decoder.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 
 namespace dnj::serve {
 
@@ -20,6 +21,14 @@ using Clock = std::chrono::steady_clock;
 
 double us_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Steady-clock time point -> the tracer's nanosecond timeline (both are
+/// steady_clock, so span timestamps and latency math share one clock).
+std::uint64_t to_trace_ns(Clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch())
+          .count());
 }
 
 /// Virtual nodes per shard on the consistent-hash ring. 16 points per
@@ -57,6 +66,14 @@ struct TranscodeService::Job {
   std::shared_ptr<const TenantEntry> tenant;
   std::uint64_t tenant_hash = 0;  ///< fnv1a(tenant name); 0 = tenantless
   Clock::time_point enqueue;
+
+  // Observability only — which trace this job records spans into (0 =
+  // unsampled), the root span its children attach to, and whether the
+  // service opened the trace itself (then it also records the root; a net
+  // front end that opened the trace records its own root instead).
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_parent = 0;
+  bool trace_owned = false;
 };
 
 /// Per-worker accounting. Each worker mutates only its own instance, under
@@ -104,6 +121,14 @@ TranscodeService::TranscodeService(ServiceConfig config)
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
   config_.max_batch = std::max(1, config_.max_batch);
   if (!config_.registry) config_.registry = std::make_shared<TableRegistry>();
+  if (!config_.metrics) config_.metrics = std::make_shared<obs::Registry>();
+  // The submission counters ARE registry instruments (stats() reads them
+  // back), so the exporters and ServiceStats share one source of truth.
+  submitted_ = &config_.metrics->counter("serve_requests_submitted_total");
+  rejected_ = &config_.metrics->counter("serve_requests_rejected_total");
+  refused_shutdown_ =
+      &config_.metrics->counter("serve_requests_refused_shutdown_total");
+  submit_errors_ = &config_.metrics->counter("serve_submit_errors_total");
   deepn_tables_digest_ =
       digest_table(config_.deepn_chroma, digest_table(config_.deepn_luma));
 
@@ -139,9 +164,19 @@ TranscodeService::TranscodeService(ServiceConfig config)
   workers_ = std::make_unique<runtime::ThreadPool>(static_cast<unsigned>(config_.workers));
   for (int w = 0; w < config_.workers; ++w)
     workers_->submit([this, w] { pump(w); });
+
+  // Registered last: the collector snapshots stats(), which needs every
+  // member above. remove_collector in the destructor blocks until any
+  // in-flight gather() returns, so the captured `this` can never dangle
+  // even when the registry shared_ptr outlives this service.
+  metrics_collector_ = config_.metrics->add_collector(
+      [this](std::vector<obs::Sample>& out) { collect_metrics(out); });
 }
 
-TranscodeService::~TranscodeService() { shutdown(); }
+TranscodeService::~TranscodeService() {
+  config_.metrics->remove_collector(metrics_collector_);
+  shutdown();
+}
 
 void TranscodeService::shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
@@ -174,7 +209,22 @@ std::size_t TranscodeService::shard_of(std::uint64_t config_digest) const {
 }
 
 void TranscodeService::submit_job(Job job) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_->inc();
+  // Adopt the front end's trace, or open one here for in-process callers.
+  // Pure observability: the sampling decision never feeds into admission,
+  // sharding, or batching.
+  job.trace_id = job.req.trace_id;
+  job.trace_parent = job.req.trace_parent;
+  if (job.trace_id == 0) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      job.trace_id = tracer.start_trace();
+      if (job.trace_id != 0) {
+        job.trace_parent = tracer.next_span_id();
+        job.trace_owned = true;
+      }
+    }
+  }
   job.cacheable = cacheable(job.req.kind) && result_cache_.enabled();
   // Only the config half of the key here: admission, sharding and batching
   // never read the input half, and hashing the payload on the submission
@@ -189,7 +239,7 @@ void TranscodeService::submit_job(Job job) {
     if (!job.req.tenant.empty()) {
       job.tenant = config_.registry->find(job.req.tenant);
       if (!job.tenant) {
-        submit_errors_.fetch_add(1, std::memory_order_relaxed);
+        submit_errors_->inc();
         refuse(std::move(job), Status::kError,
                "unknown tenant: " + job.req.tenant);
         return;
@@ -211,10 +261,10 @@ void TranscodeService::submit_job(Job job) {
     // try_push fails on full or closed; push only on closed. Closed wins
     // the tie-break so shutdown refusals are always typed kShutdown.
     if (queue_->closed()) {
-      refused_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      refused_shutdown_->inc();
       refuse(std::move(job), Status::kShutdown, "service is shut down");
     } else {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->inc();
       refuse(std::move(job), Status::kRejected, "submission queue full");
     }
   }
@@ -291,17 +341,39 @@ void TranscodeService::process_batch(std::vector<Job>& batch, WorkerStats& ws,
 
   for (Job& job : batch) {
     const Clock::time_point picked = Clock::now();
-    if (job.cacheable) job.key.input = request_input_digest(job.req);
+    // Install the job's trace for this thread: codec-internal spans attach
+    // under it without any id plumbing through run(). The queue-wait span
+    // started on the submitting thread, so it is recorded with explicit
+    // endpoints rather than RAII.
+    obs::TraceScope trace(job.trace_id, job.trace_parent);
+    obs::record_span(job.trace_id, job.trace_parent, obs::Stage::kQueueWait,
+                     to_trace_ns(job.enqueue), to_trace_ns(picked));
     Response resp;
     RunInfo info;
-    if (job.cacheable && result_cache_.get(job.key, &resp.bytes)) {
-      resp.cache_hit = true;
-    } else {
-      resp = run(job.req, job.tenant.get(), worker_id, &info);
-      if (job.cacheable && resp.status == Status::kOk)
-        result_cache_.put(job.key, resp.bytes, resp.bytes.size(), job.tenant_hash);
+    {
+      obs::Span batch_span(obs::Stage::kBatch,
+                           static_cast<std::uint64_t>(batch.size()));
+      bool hit = false;
+      if (job.cacheable) {
+        obs::Span probe(obs::Stage::kCacheProbe);
+        job.key.input = request_input_digest(job.req);
+        hit = result_cache_.get(job.key, &resp.bytes);
+      }
+      if (hit) {
+        resp.cache_hit = true;
+      } else {
+        resp = run(job.req, job.tenant.get(), worker_id, &info);
+        if (job.cacheable && resp.status == Status::kOk)
+          result_cache_.put(job.key, resp.bytes, resp.bytes.size(), job.tenant_hash);
+      }
     }
     const Clock::time_point done = Clock::now();
+    // In-process submissions have no front end to close the root span;
+    // the service owns the trace and records the root here.
+    if (job.trace_owned)
+      obs::record_span_as(job.trace_id, job.trace_parent, 0, obs::Stage::kRequest,
+                          to_trace_ns(job.enqueue), to_trace_ns(done),
+                          static_cast<std::uint64_t>(job.req.kind));
     resp.batch_size = static_cast<int>(batch.size());
     resp.queue_us = us_between(job.enqueue, picked);
     resp.service_us = us_between(picked, done);
@@ -428,6 +500,7 @@ Response TranscodeService::run(const Request& req, const TenantEntry* tenant,
         // serialized; the output is a pure function of (weights, image),
         // which keeps the determinism contract intact.
         std::lock_guard<std::mutex> lock(model_mutex_);
+        obs::Span span(obs::Stage::kInfer);
         r.probs = nn::predict_probs(*config_.model, img);
         break;
       }
@@ -512,9 +585,9 @@ Response TranscodeService::execute(const Request& req) {
 
 ServiceStats TranscodeService::stats() const {
   ServiceStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.refused_shutdown = refused_shutdown_.load(std::memory_order_relaxed);
+  s.submitted = submitted_->value();
+  s.rejected = rejected_->value();
+  s.refused_shutdown = refused_shutdown_->value();
   s.queue_capacity = queue_->capacity();
   s.queue_high_water = queue_->high_water();
   s.shard_count = queue_->shard_count();
@@ -532,7 +605,7 @@ ServiceStats TranscodeService::stats() const {
   // Unknown-tenant refusals error at submission — no worker ever sees
   // them. Folding them into both errors and the kind tally preserves the
   // invariant sum(per_kind) == completed + errors.
-  const std::uint64_t submit_errors = submit_errors_.load(std::memory_order_relaxed);
+  const std::uint64_t submit_errors = submit_errors_->value();
   s.errors += submit_errors;
   s.per_kind[static_cast<int>(RequestKind::kDeepnEncode)] += submit_errors;
 
@@ -591,6 +664,77 @@ ServiceStats TranscodeService::stats() const {
     s.tenants.push_back(std::move(m.out));
   }
   return s;
+}
+
+void TranscodeService::collect_metrics(std::vector<obs::Sample>& out) const {
+  // One snapshot per gather(): everything ServiceStats knows, as samples.
+  // The submission counters are owned registry instruments and are NOT
+  // re-emitted here. stats() touches worker mutexes and cache counters
+  // only — never this registry — so running under the registry mutex
+  // cannot deadlock.
+  const ServiceStats s = stats();
+  auto counter = [&out](const char* name, std::uint64_t v, obs::Labels labels = {}) {
+    out.push_back({name, std::move(labels), static_cast<double>(v),
+                   obs::SampleKind::kCounter});
+  };
+  auto gauge = [&out](const char* name, double v, obs::Labels labels = {}) {
+    out.push_back({name, std::move(labels), v, obs::SampleKind::kGauge});
+  };
+  auto latency = [&](const std::string& prefix, const LatencySummary& l,
+                     obs::Labels labels = obs::Labels{}) {
+    auto with = [&labels](const char* key, const char* value) {
+      obs::Labels ls = labels;
+      ls.emplace_back(key, value);
+      return ls;
+    };
+    counter((prefix + "_count").c_str(), l.count, labels);
+    gauge((prefix + "_us").c_str(), l.p50_us, with("quantile", "0.5"));
+    gauge((prefix + "_us").c_str(), l.p95_us, with("quantile", "0.95"));
+    gauge((prefix + "_us").c_str(), l.p99_us, with("quantile", "0.99"));
+    gauge((prefix + "_us_max").c_str(), l.max_us, labels);
+  };
+
+  counter("serve_requests_completed_total", s.completed);
+  counter("serve_requests_errors_total", s.errors);
+  for (int k = 0; k < kNumRequestKinds; ++k)
+    counter("serve_requests_by_kind_total", s.per_kind[k],
+            {{"kind", kind_name(static_cast<RequestKind>(k))}});
+  counter("serve_result_cache_hits_total", s.cache_hits);
+  counter("serve_result_cache_misses_total", s.cache_misses);
+  counter("serve_result_cache_evictions_total", s.cache_evictions);
+  counter("serve_result_cache_quota_evictions_total", s.cache_quota_evictions);
+  gauge("serve_result_cache_bytes", static_cast<double>(s.cache_bytes));
+  counter("serve_table_cache_hits_total", s.table_cache_hits);
+  counter("serve_table_cache_misses_total", s.table_cache_misses);
+  counter("serve_batches_total", s.batches);
+  counter("serve_batched_requests_total", s.batched_requests);
+  gauge("serve_max_batch", static_cast<double>(s.max_batch));
+  gauge("serve_queue_capacity", static_cast<double>(s.queue_capacity));
+  gauge("serve_queue_high_water", static_cast<double>(s.queue_high_water));
+  gauge("serve_shard_count", static_cast<double>(s.shard_count));
+  counter("serve_steals_total", s.steals);
+  counter("serve_ctx_huffman_builds_total", s.ctx_huffman_builds);
+  counter("serve_ctx_reciprocal_builds_total", s.ctx_reciprocal_builds);
+  counter("serve_ctx_quality_table_builds_total", s.ctx_quality_table_builds);
+  counter("serve_ctx_decoder_builds_total", s.ctx_decoder_builds);
+  latency("serve_queue_wait", s.queue_wait);
+  latency("serve_service_time", s.service_time);
+  latency("serve_total", s.total);
+  for (const TenantStats& t : s.tenants) {
+    const obs::Labels tl = {{"tenant", t.name}};
+    counter("serve_tenant_requests_total", t.requests, tl);
+    counter("serve_tenant_completed_total", t.completed, tl);
+    counter("serve_tenant_errors_total", t.errors, tl);
+    counter("serve_tenant_cache_hits_total", t.cache_hits, tl);
+    counter("serve_tenant_table_cache_hits_total", t.table_cache_hits, tl);
+    counter("serve_tenant_table_cache_misses_total", t.table_cache_misses, tl);
+    counter("serve_tenant_ctx_huffman_builds_total", t.ctx_huffman_builds, tl);
+    counter("serve_tenant_ctx_reciprocal_builds_total", t.ctx_reciprocal_builds, tl);
+    counter("serve_tenant_ctx_quality_table_builds_total",
+            t.ctx_quality_table_builds, tl);
+    counter("serve_tenant_ctx_decoder_builds_total", t.ctx_decoder_builds, tl);
+    latency("serve_tenant_service_time", t.service_time, tl);
+  }
 }
 
 }  // namespace dnj::serve

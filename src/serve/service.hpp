@@ -63,6 +63,7 @@
 
 #include "jpeg/quant.hpp"
 #include "nn/layer.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/digest.hpp"
 #include "serve/lru_cache.hpp"
@@ -141,6 +142,14 @@ struct ServiceConfig {
   /// Layer::forward is stateful, so the service serializes inference
   /// through an internal mutex. Null = kInfer requests fail with kError.
   nn::Layer* model = nullptr;
+
+  /// Metrics registry this service publishes into. Null = the service
+  /// creates a private one (reachable via metrics_registry()). Share one
+  /// registry across services/servers to scrape one unified plane. The
+  /// submission counters live *in* the registry (stats() reads them back),
+  /// and a collector snapshot of everything else is registered here — so
+  /// metrics_text() and ServiceStats can never disagree.
+  std::shared_ptr<obs::Registry> metrics;
 };
 
 class TranscodeService {
@@ -193,6 +202,12 @@ class TranscodeService {
   /// ServiceConfig, or the service-private one when none was given.
   const std::shared_ptr<TableRegistry>& registry() const { return config_.registry; }
 
+  /// The metrics registry this service publishes into — the one from
+  /// ServiceConfig, or the service-private one when none was given.
+  const std::shared_ptr<obs::Registry>& metrics_registry() const {
+    return config_.metrics;
+  }
+
  private:
   struct Job;
   struct WorkerStats;
@@ -209,6 +224,7 @@ class TranscodeService {
   jpeg::EncoderConfig deepn_config(int quality, const TenantEntry* tenant,
                                    int worker_id, RunInfo* info);
   std::size_t shard_of(std::uint64_t config_digest) const;
+  void collect_metrics(std::vector<obs::Sample>& out) const;
   void submit_job(Job job);
   static void fulfill(Job&& job, Response&& resp);
   void refuse(Job&& job, Status status, std::string why);
@@ -241,10 +257,15 @@ class TranscodeService {
   std::mutex model_mutex_;
 
   // Submission-side counters (completion-side ones live in WorkerStats).
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> refused_shutdown_{0};
-  std::atomic<std::uint64_t> submit_errors_{0};  ///< unknown-tenant refusals
+  // They are obs::Registry instruments — the registry is the single source
+  // of truth; stats() reads the same counters the exporters render.
+  // Stable addresses for the registry's lifetime, cached here so the hot
+  // path is one relaxed fetch_add with no registry lookups.
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* refused_shutdown_ = nullptr;
+  obs::Counter* submit_errors_ = nullptr;  ///< unknown-tenant refusals
+  std::uint64_t metrics_collector_ = 0;    ///< removed before members die
 };
 
 }  // namespace dnj::serve

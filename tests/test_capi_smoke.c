@@ -18,6 +18,15 @@
 
 static int g_failures = 0;
 
+/* Portable byte-haystack search (memmem is not ISO C). */
+static int buf_contains(const dnj_buffer_t* b, const char* needle) {
+  const size_t n = strlen(needle);
+  if (b->data == NULL || b->size < n) return 0;
+  for (size_t i = 0; i + n <= b->size; ++i)
+    if (memcmp(b->data + i, needle, n) == 0) return 1;
+  return 0;
+}
+
 #define CHECK(cond, what)                                        \
   do {                                                           \
     if (!(cond)) {                                               \
@@ -130,6 +139,27 @@ int main(void) {
   CHECK(dnj_server_listen(server, NULL, 0, NULL) == DNJ_INTERNAL,
         "second listen is refused");
   CHECK(strlen(dnj_server_last_error(server)) > 0, "listen failure recorded");
+  /* Observability exporters (ABI 1.3): a Prometheus scrape and a trace
+   * dump from pure C. The server has served nothing, but the metric
+   * names must already be registered and rendered. */
+  dnj_buffer_t metrics = {NULL, 0};
+  CHECK(dnj_server_metrics_text(server, &metrics) == DNJ_OK, "server_metrics_text");
+  CHECK(metrics.data != NULL && metrics.size > 0, "metrics text non-empty");
+  CHECK(buf_contains(&metrics, "serve_requests_submitted_total"),
+        "metrics text names the serve counters");
+  CHECK(buf_contains(&metrics, "net_frames_in_total"),
+        "metrics text names the net counters");
+  dnj_buffer_free(&metrics);
+  dnj_buffer_t trace = {NULL, 0};
+  CHECK(dnj_server_trace_dump(server, &trace) == DNJ_OK, "server_trace_dump");
+  CHECK(trace.size > 0 && trace.data[0] == '{', "trace dump is a JSON object");
+  CHECK(buf_contains(&trace, "\"spans\":["), "trace dump has a spans array");
+  dnj_buffer_free(&trace);
+  CHECK(dnj_server_metrics_text(NULL, &metrics) == DNJ_INVALID_ARGUMENT,
+        "null server metrics is DNJ_INVALID_ARGUMENT");
+  CHECK(dnj_server_trace_dump(server, NULL) == DNJ_INVALID_ARGUMENT,
+        "null trace out is DNJ_INVALID_ARGUMENT");
+
   dnj_server_stop(server);
   CHECK(dnj_server_port(server) == -1, "stopped server has no port again");
   dnj_server_stop(server); /* idempotent */

@@ -25,10 +25,19 @@
 #include "api/dnj.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 
 namespace dnj::net {
 namespace {
+
+// The whole suite runs with tracing forced on: observability must never
+// influence payload bytes, so the byte-identity contract is exercised in
+// its strongest form — every request traced end to end.
+const bool force_tracing = [] {
+  obs::Tracer::instance().set_sample_every(1);
+  return true;
+}();
 
 image::Image test_image(int w = 48, int h = 32, int ch = 1) {
   image::Image img(w, h, ch);
@@ -259,6 +268,23 @@ TEST(NetServer, VersionSkewGetsTypedErrorThenClose) {
   EXPECT_FALSE(client.recv_reply(&reply, &error));
 }
 
+TEST(NetServer, StatsOpInsideVersionOneIsMalformed) {
+  // The accepted-version range lets a v1 frame in, but op 6 does not
+  // exist in v1: the spec says unknown op == kMalformed, stream closes.
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+
+  std::vector<std::uint8_t> bytes =
+      serialize_frame(make_stats_request(9, StatsFormat::kPrometheus));
+  bytes[4] = 1;  // a v1 client could never mean "stats" by op 6
+  ASSERT_TRUE(client.send_raw(bytes.data(), bytes.size(), &error));
+  WireReply reply;
+  ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, WireStatus::kMalformed);
+  EXPECT_FALSE(client.recv_reply(&reply, &error));
+}
+
 TEST(NetServer, OversizedFrameGetsTypedErrorThenClose) {
   ServerConfig cfg;
   cfg.max_payload = 4096;  // small ceiling, no giant allocations needed
@@ -429,6 +455,122 @@ TEST(NetServer, StopIsIdempotentAndRestartWorks) {
   EXPECT_TRUE(client.ping(&error)) << error;
   // Double-start while running is refused.
   EXPECT_FALSE(ts.server.start(&error));
+}
+
+TEST(NetServer, StatsScrapeExposesBothLayersOverTheWire) {
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+
+  // Put at least one request through so the counters are non-trivial.
+  WireReply reply;
+  ASSERT_TRUE(client.call(encode_request(test_image(), 80), &reply, &error)) << error;
+  ASSERT_EQ(reply.status, WireStatus::kOk);
+
+  // Prometheus text: service counters and net counters answer one scrape.
+  std::string text;
+  ASSERT_TRUE(client.scrape(StatsFormat::kPrometheus, &text, &error)) << error;
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.find("serve_requests_submitted_total 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve_requests_completed_total"), std::string::npos);
+  EXPECT_NE(text.find("net_frames_in_total"), std::string::npos);
+  EXPECT_NE(text.find("net_connections_active 1"), std::string::npos);
+  EXPECT_NE(text.find("net_response_bytes"), std::string::npos);
+
+  // JSON rendering of the same registry.
+  std::string json_text;
+  ASSERT_TRUE(client.scrape(StatsFormat::kJson, &json_text, &error)) << error;
+  EXPECT_EQ(json_text.rfind("{\"metrics\":[", 0), 0u) << json_text.substr(0, 40);
+  EXPECT_NE(json_text.find("\"name\":\"serve_requests_submitted_total\""),
+            std::string::npos);
+
+  // Trace dump over the wire.
+  std::string trace_text;
+  ASSERT_TRUE(client.scrape(StatsFormat::kTraceJson, &trace_text, &error)) << error;
+  EXPECT_NE(trace_text.find("\"clock\":\"steady_ns\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"spans\":["), std::string::npos);
+
+  // The scrapes themselves are counted (and answered on the loop thread,
+  // so they are already visible by the time the reply arrived).
+  EXPECT_GE(ts.server.stats().stats_scrapes, 3u);
+  std::string again;
+  ASSERT_TRUE(client.scrape(StatsFormat::kPrometheus, &again, &error)) << error;
+  EXPECT_NE(again.find("net_stats_scrapes_total"), std::string::npos);
+}
+
+TEST(NetServer, TracedRequestYieldsNestedSpansAcrossAllLayers) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+
+  TestServer ts;
+  Client client = ts.connect();
+  std::string error;
+  WireReply reply;
+  ASSERT_TRUE(client.call(encode_request(test_image(), 80), &reply, &error)) << error;
+  ASSERT_EQ(reply.status, WireStatus::kOk);
+
+  // The root record lands on the loop thread just after the response bytes
+  // hit the socket, so it can trail the client's receive by a moment.
+  std::uint64_t trace = 0;
+  for (int i = 0; i < 400 && trace == 0; ++i) {
+    for (const auto& rec : tracer.dump())
+      if (rec.stage == obs::Stage::kRequest && rec.parent_id == 0) trace = rec.trace_id;
+    if (trace == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(trace, 0u) << "no completed request trace was recorded";
+
+  std::map<obs::Stage, int> stages;
+  std::uint64_t root_span = 0, root_start = 0, root_end = 0;
+  std::vector<obs::SpanRecord> spans;
+  for (const auto& rec : tracer.dump()) {
+    if (rec.trace_id != trace) continue;
+    spans.push_back(rec);
+    ++stages[rec.stage];
+    if (rec.stage == obs::Stage::kRequest) {
+      root_span = rec.span_id;
+      root_start = rec.start_ns;
+      root_end = rec.end_ns;
+    }
+  }
+
+  // One wire request must produce the full nested picture: net read,
+  // parse, queue wait, batch, at least two codec stages, net write, and
+  // the request root — at least seven spans in all.
+  EXPECT_GE(spans.size(), 7u);
+  EXPECT_EQ(stages[obs::Stage::kRequest], 1);
+  EXPECT_GE(stages[obs::Stage::kNetRead], 1);
+  EXPECT_GE(stages[obs::Stage::kNetParse], 1);
+  EXPECT_GE(stages[obs::Stage::kQueueWait], 1);
+  EXPECT_GE(stages[obs::Stage::kBatch], 1);
+  EXPECT_GE(stages[obs::Stage::kNetWrite], 1);
+  const int codec_stages = stages[obs::Stage::kEncodeTile] +
+                           stages[obs::Stage::kEncodeDct] +
+                           stages[obs::Stage::kEncodeQuant] +
+                           stages[obs::Stage::kEncodeEntropy];
+  EXPECT_GE(codec_stages, 2);
+
+  // Nesting: every span belongs to the root's tree, and the direct
+  // children of the root sit inside its time window.
+  ASSERT_NE(root_span, 0u);
+  std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+  for (const auto& rec : spans) by_id[rec.span_id] = &rec;
+  for (const auto& rec : spans) {
+    if (rec.span_id == root_span) continue;
+    // Walk parents up to the root (cycle-safe via the span count bound).
+    std::uint64_t cur = rec.parent_id;
+    std::size_t hops = 0;
+    while (cur != root_span && hops++ < spans.size()) {
+      auto it = by_id.find(cur);
+      ASSERT_NE(it, by_id.end()) << "span " << rec.span_id << " parents to unknown id "
+                                 << cur << " (stage " << obs::stage_name(rec.stage) << ")";
+      cur = it->second->parent_id;
+    }
+    EXPECT_EQ(cur, root_span);
+    if (rec.parent_id == root_span && rec.stage != obs::Stage::kNetRead) {
+      EXPECT_GE(rec.start_ns, root_start) << obs::stage_name(rec.stage);
+      EXPECT_LE(rec.end_ns, root_end) << obs::stage_name(rec.stage);
+    }
+  }
 }
 
 TEST(NetApi, ServiceListenServesTheProtocol) {

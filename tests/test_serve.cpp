@@ -17,10 +17,19 @@
 #include "jpeg/codec.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 
 namespace dnj::serve {
 namespace {
+
+// The determinism suite runs with tracing forced on: observability must
+// never influence payload bytes, so every request here is traced end to
+// end while the byte-identity assertions do their work.
+const bool force_tracing = [] {
+  obs::Tracer::instance().set_sample_every(1);
+  return true;
+}();
 
 data::Dataset gray_corpus(int per_class = 2) {
   data::GeneratorConfig cfg;

@@ -10,6 +10,7 @@ which predates the field), so one script serves every baseline:
   codec_pipeline — entropy encode/decode stage throughput (Mblocks/s)
   serve          — per-scenario served requests/s
   multitenant    — per-scenario served requests/s
+  net            — per-level goodput requests/s over the wire
 
 Advisory by design: shared CI runners are noisy enough that a hard gate
 would cry wolf — the CI step runs with continue-on-error, and a *trend*
@@ -59,6 +60,16 @@ def scenario_rps_metrics(doc):
     return out
 
 
+def level_goodput_metrics(doc):
+    """One goodput metric per offered-load level (higher is better)."""
+    out = []
+    for row in doc.get("levels", []):
+        name, goodput = row.get("name"), row.get("goodput_rps")
+        if name and goodput:
+            out.append((f"{name} goodput", float(goodput), "req/s"))
+    return out
+
+
 # bench-field value -> (baseline filename, hard gate fields, metric extractor)
 FAMILIES = {
     "codec_pipeline": ("BENCH_codec_pipeline.json",
@@ -67,6 +78,8 @@ FAMILIES = {
     "serve": ("BENCH_serve.json", ("all_identical",), scenario_rps_metrics),
     "multitenant": ("BENCH_multitenant.json", ("all_identical",),
                     scenario_rps_metrics),
+    "net": ("BENCH_net.json", ("all_identical", "scrape_ok"),
+            level_goodput_metrics),
 }
 
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Collect bench results into the repo-root BENCH_<family>.json trajectory.
+
+The bench binaries write bench_results/BENCH_*.json under the working
+directory; CI uploads that directory as an artifact but nothing promoted
+the numbers into the repository tree, so the committed perf trajectory
+sat empty. This script copies each expected result to the repository
+root (where check_bench_regression baselines and readers expect it),
+validating along the way that the file parses and self-identifies with
+the right "bench" family field.
+
+Exit status: 0 = every expected family collected, 1 = at least one
+missing/invalid (each is listed on stderr).
+
+Usage:
+    tools/collect_bench.py                      # after running the benches
+    tools/collect_bench.py --expect serve,net   # subset for a quick run
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_FAMILIES = "codec_pipeline,serve,multitenant,net"
+
+
+def collect(family, results_dir, dest_dir):
+    name = f"BENCH_{family}.json"
+    src = os.path.join(results_dir, name)
+    try:
+        with open(src) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return f"{name}: cannot read result: {e}"
+    tagged = doc.get("bench")
+    if tagged != family:
+        return (f"{name}: \"bench\" field is {tagged!r}, expected "
+                f"{family!r} — wrong or mislabeled result")
+    os.makedirs(dest_dir, exist_ok=True)
+    dest = os.path.join(dest_dir, name)
+    shutil.copyfile(src, dest)
+    print(f"collected {src} -> {dest}")
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results-dir", default="bench_results",
+                    help="directory the bench binaries wrote into")
+    ap.add_argument("--dest", default=REPO_ROOT,
+                    help="destination directory (default: repository root)")
+    ap.add_argument("--expect", default=DEFAULT_FAMILIES,
+                    help="comma-separated bench families that must be present")
+    args = ap.parse_args()
+
+    failures = []
+    for family in [f for f in args.expect.split(",") if f]:
+        err = collect(family, args.results_dir, args.dest)
+        if err:
+            failures.append(err)
+
+    for err in failures:
+        print(f"collect_bench: {err}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scrape a running DNJ network server's metrics over the wire.
+
+A minimal foreign client for the kStats admin op (protocol v2, see
+docs/PROTOCOL.md): connect, send one stats request, print the UTF-8 text
+the server returns. Pure standard library — socket + struct + zlib — so
+it runs anywhere CI can run Python, and doubles as executable
+documentation of the byte layout a non-C++ client needs.
+
+Usage:
+    tools/scrape_stats.py [--host 127.0.0.1] --port 9090 [--format prometheus]
+
+Formats: prometheus (default), json, trace (the span dump).
+Exit status: 0 on a kOk response, 1 on any protocol or socket failure.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+import zlib
+
+MAGIC = 0x314A4E44  # "DNJ1" little-endian
+VERSION = 2         # kStats was added in v2
+TYPE_REQUEST = 1
+TYPE_RESPONSE = 2
+OP_STATS = 6
+HEADER = struct.Struct("<IBBBBIQII")  # magic ver type op status req_id digest size crc
+
+FORMATS = {"prometheus": 0, "json": 1, "trace": 2}
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("server closed the connection mid-frame")
+        buf += chunk
+    return buf
+
+
+def scrape(host, port, fmt, timeout):
+    payload = bytes([FORMATS[fmt]])
+    header = HEADER.pack(MAGIC, VERSION, TYPE_REQUEST, OP_STATS, 0, 1, 0,
+                         len(payload), zlib.crc32(payload))
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(header + payload)
+        magic, ver, ftype, op, status, req_id, digest, size, crc = HEADER.unpack(
+            recv_exact(sock, HEADER.size))
+        if magic != MAGIC or ftype != TYPE_RESPONSE or op != OP_STATS or req_id != 1:
+            raise ValueError(f"unexpected response header: magic={magic:#x} "
+                             f"type={ftype} op={op} request_id={req_id}")
+        body = recv_exact(sock, size)
+        if zlib.crc32(body) != crc:
+            raise ValueError("response payload CRC mismatch")
+        if status != 0:
+            raise ValueError(f"server answered wire status {status}: "
+                             f"{body.decode('utf-8', 'replace')}")
+        return body.decode("utf-8")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--format", choices=sorted(FORMATS), default="prometheus")
+    ap.add_argument("--timeout", type=float, default=5.0)
+    args = ap.parse_args()
+    try:
+        sys.stdout.write(scrape(args.host, args.port, args.format, args.timeout))
+    except (OSError, ValueError, ConnectionError) as e:
+        print(f"scrape_stats: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
