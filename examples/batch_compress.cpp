@@ -68,7 +68,14 @@ int main(int argc, char** argv) {
   if (budget_bpp > 0.0) {
     std::printf("mode: JPEG rate control at %.2f bpp per image\n", budget_bpp);
     for (const data::Sample& s : folder.dataset.samples) {
-      const jpeg::RateSearchResult res = jpeg::encode_for_bpp(s.image, budget_bpp);
+      jpeg::RateSearchResult res;
+      try {
+        res = jpeg::encode_for_bpp(s.image, budget_bpp);
+      } catch (const std::invalid_argument& e) {
+        // An unreachable budget is a typed error now, not a silent clamp.
+        std::fprintf(stderr, "budget unreachable: %s\n", e.what());
+        return 1;
+      }
       const fs::path dir = fs::path(out_dir) / folder.classes[static_cast<std::size_t>(s.label)].name;
       fs::create_directories(dir);
       char name[32];

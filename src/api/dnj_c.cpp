@@ -39,7 +39,16 @@ struct dnj_options_t {
 
 struct dnj_designer_t {
   api::TableDesigner designer;
+  std::string last_error;
 };
+
+// The C job-state enum is the API enum, value for value.
+static_assert(DNJ_JOB_QUEUED == static_cast<int>(api::DesignJobState::kQueued));
+static_assert(DNJ_JOB_RUNNING == static_cast<int>(api::DesignJobState::kRunning));
+static_assert(DNJ_JOB_PAUSED == static_cast<int>(api::DesignJobState::kPaused));
+static_assert(DNJ_JOB_COMPLETED == static_cast<int>(api::DesignJobState::kCompleted));
+static_assert(DNJ_JOB_FAILED == static_cast<int>(api::DesignJobState::kFailed));
+static_assert(DNJ_JOB_CANCELLED == static_cast<int>(api::DesignJobState::kCancelled));
 
 struct dnj_server_t {
   explicit dnj_server_t(const api::ServiceOptions& options) : service(options) {}
@@ -93,6 +102,38 @@ dnj_status_t firewalled(dnj_session_t* session, F&& fn) {
   } catch (...) {
     return record(session, {api::StatusCode::kInternal, "non-standard exception"});
   }
+}
+
+dnj_status_t record_designer(dnj_designer_t* designer, const api::Status& status) {
+  if (!status.ok()) designer->last_error = status.message();
+  return static_cast<dnj_status_t>(status.code());
+}
+
+/// Boundary firewall with the designer's last_error as the sink.
+template <typename F>
+dnj_status_t designer_firewalled(dnj_designer_t* designer, F&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    designer->last_error = e.what();
+    return DNJ_INTERNAL;
+  } catch (...) {
+    designer->last_error = "non-standard exception";
+    return DNJ_INTERNAL;
+  }
+}
+
+void fill_job_status(const api::DesignJobStatus& s, dnj_job_status_t* out) {
+  out->id = s.id;
+  out->state = static_cast<int32_t>(s.state);
+  out->progress = s.progress;
+  out->sa_iteration = s.sa_iteration;
+  out->sa_total = s.sa_total;
+  out->target_bytes = s.target_bytes;
+  out->achieved_bytes = s.achieved_bytes;
+  out->rate_error = s.rate_error;
+  out->checkpoints = s.checkpoints;
+  out->rungs = s.rungs;
 }
 
 }  // namespace
@@ -284,6 +325,85 @@ dnj_status_t dnj_designer_design_options(dnj_designer_t* designer,
     api::Result<api::TableDesign> result = designer->designer.design();
     if (!result.ok()) return static_cast<dnj_status_t>(result.status().code());
     options->options = result.value().encode_options();
+    return DNJ_OK;
+  });
+}
+
+const char* dnj_designer_last_error(const dnj_designer_t* designer) {
+  return designer != nullptr ? designer->last_error.c_str() : "";
+}
+
+const char* dnj_job_state_name(dnj_job_state_t state) {
+  if (state < DNJ_JOB_QUEUED || state > DNJ_JOB_CANCELLED) return "unknown";
+  return api::design_job_state_name(static_cast<api::DesignJobState>(state));
+}
+
+dnj_status_t dnj_job_submit(dnj_designer_t* designer, const char* tenant,
+                            double target_bytes_per_image, int32_t sa_iterations,
+                            int32_t anneal_limit, const uint8_t* checkpoint,
+                            size_t checkpoint_size, uint64_t* out_job_id) {
+  if (designer == nullptr || out_job_id == nullptr) return DNJ_INVALID_ARGUMENT;
+  if (checkpoint == nullptr && checkpoint_size != 0) return DNJ_INVALID_ARGUMENT;
+  return designer_firewalled(designer, [&] {
+    api::DesignJobOptions options;
+    if (tenant != nullptr) options.tenant(tenant);
+    options.target_bytes_per_image(target_bytes_per_image);
+    if (sa_iterations > 0) options.sa_iterations(sa_iterations);
+    if (anneal_limit > 0) options.anneal_limit(anneal_limit);
+    if (checkpoint_size > 0)
+      options.resume_from(
+          std::vector<std::uint8_t>(checkpoint, checkpoint + checkpoint_size));
+    api::Result<std::uint64_t> result = designer->designer.submit(options);
+    if (!result.ok()) return record_designer(designer, result.status());
+    *out_job_id = result.value();
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_job_status(dnj_designer_t* designer, uint64_t job_id,
+                            dnj_job_status_t* out) {
+  if (designer == nullptr || out == nullptr) return DNJ_INVALID_ARGUMENT;
+  return designer_firewalled(designer, [&] {
+    api::Result<api::DesignJobStatus> result = designer->designer.poll(job_id);
+    if (!result.ok()) return record_designer(designer, result.status());
+    fill_job_status(result.value(), out);
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_job_wait(dnj_designer_t* designer, uint64_t job_id,
+                          dnj_job_status_t* out) {
+  if (designer == nullptr) return DNJ_INVALID_ARGUMENT;
+  return designer_firewalled(designer, [&] {
+    api::Result<api::DesignJobStatus> result = designer->designer.wait(job_id);
+    if (!result.ok()) return record_designer(designer, result.status());
+    if (out != nullptr) fill_job_status(result.value(), out);
+    return DNJ_OK;
+  });
+}
+
+dnj_status_t dnj_job_cancel(dnj_designer_t* designer, uint64_t job_id) {
+  if (designer == nullptr) return DNJ_INVALID_ARGUMENT;
+  return designer_firewalled(
+      designer, [&] { return record_designer(designer, designer->designer.cancel(job_id)); });
+}
+
+dnj_status_t dnj_job_result(dnj_designer_t* designer, uint64_t job_id,
+                            uint16_t out_table[64], int32_t* out_quality,
+                            double* out_achieved_bytes, dnj_buffer_t* out_checkpoint) {
+  if (designer == nullptr) return DNJ_INVALID_ARGUMENT;
+  return designer_firewalled(designer, [&] {
+    api::Result<api::DesignJobResult> result = designer->designer.fetch(job_id);
+    if (!result.ok()) return record_designer(designer, result.status());
+    const api::DesignJobResult& r = result.value();
+    if (out_table != nullptr)
+      std::memcpy(out_table, r.table.data(), 64 * sizeof(uint16_t));
+    if (out_quality != nullptr) *out_quality = r.quality;
+    if (out_achieved_bytes != nullptr) *out_achieved_bytes = r.achieved_bytes;
+    if (out_checkpoint != nullptr && !fill_buffer(r.checkpoint, out_checkpoint)) {
+      designer->last_error = "out of memory";
+      return DNJ_INTERNAL;
+    }
     return DNJ_OK;
   });
 }

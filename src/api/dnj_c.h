@@ -49,7 +49,7 @@ extern "C" {
 /* ------------------------------------------------------------- version */
 
 #define DNJ_ABI_VERSION_MAJOR 1
-#define DNJ_ABI_VERSION_MINOR 3
+#define DNJ_ABI_VERSION_MINOR 4
 #define DNJ_ABI_VERSION ((uint32_t)((DNJ_ABI_VERSION_MAJOR << 16) | DNJ_ABI_VERSION_MINOR))
 
 /* ABI version of the linked library: (major << 16) | minor. */
@@ -264,6 +264,85 @@ dnj_status_t dnj_designer_design(dnj_designer_t* designer, uint16_t out_table[64
  * configuration). */
 dnj_status_t dnj_designer_design_options(dnj_designer_t* designer,
                                          dnj_options_t* options);
+
+/* Message of the most recent failing call on this designer ("" if none).
+ * Added in ABI 1.4. */
+const char* dnj_designer_last_error(const dnj_designer_t* designer);
+
+/* -------------------------------------------------- design jobs (1.4) */
+
+/* Async, rate-controlled design jobs over the designer's accumulated
+ * sample: frequency analysis, simulated-annealing refinement with
+ * periodic checkpoints, then a binary search for the quality meeting a
+ * mean bytes-per-image target. Jobs run on the designer's private worker
+ * thread; submit returns immediately and the designer stays usable
+ * (including adding more images for a later job). Job ids are local to
+ * the designer handle. Added in ABI 1.4. */
+
+/* Mirrors dnj::api::DesignJobState value-for-value (pinned by
+ * static_asserts in the implementation). Terminal states are COMPLETED /
+ * FAILED / CANCELLED; PAUSED is resumable via the result checkpoint. */
+typedef enum dnj_job_state_t {
+  DNJ_JOB_QUEUED = 0,
+  DNJ_JOB_RUNNING = 1,
+  DNJ_JOB_PAUSED = 2,
+  DNJ_JOB_COMPLETED = 3,
+  DNJ_JOB_FAILED = 4,
+  DNJ_JOB_CANCELLED = 5
+} dnj_job_state_t;
+
+/* Stable lowercase identifier ("queued", "running", ...); never NULL. */
+const char* dnj_job_state_name(dnj_job_state_t state);
+
+/* Plain value snapshot of a job — no allocation, nothing to free. */
+typedef struct dnj_job_status_t {
+  uint64_t id;
+  int32_t state;          /* dnj_job_state_t */
+  double progress;        /* coarse fraction in [0, 1] */
+  uint32_t sa_iteration;  /* SA iterations completed */
+  uint32_t sa_total;
+  double target_bytes;    /* requested mean bytes/image (0 = uncontrolled) */
+  double achieved_bytes;  /* measured mean bytes/image at the chosen quality */
+  double rate_error;      /* |achieved - target| / target (0 when no target) */
+  uint32_t checkpoints;   /* optimizer snapshots taken so far */
+  uint32_t rungs;         /* quality-ladder entries registered so far */
+} dnj_job_status_t;
+
+/* Submits a design job. `tenant` NULL = "designer" (the name designed
+ * tables would be registered under when the designer is wired to a
+ * registry). `target_bytes_per_image` 0 disables rate control.
+ * `sa_iterations` <= 0 picks the library default (400). `anneal_limit`
+ * > 0 parks the job in DNJ_JOB_PAUSED at exactly that SA iteration.
+ * `checkpoint`/`checkpoint_size` resume a prior job's state (NULL/0 =
+ * fresh run). *out_job_id receives the id. A full job queue returns
+ * DNJ_REJECTED. */
+dnj_status_t dnj_job_submit(dnj_designer_t* designer, const char* tenant,
+                            double target_bytes_per_image, int32_t sa_iterations,
+                            int32_t anneal_limit, const uint8_t* checkpoint,
+                            size_t checkpoint_size, uint64_t* out_job_id);
+
+/* Snapshot of a job (safe while it runs). Unknown ids return
+ * DNJ_INVALID_ARGUMENT. */
+dnj_status_t dnj_job_status(dnj_designer_t* designer, uint64_t job_id,
+                            dnj_job_status_t* out);
+
+/* Blocks until the job leaves QUEUED/RUNNING, then fills *out (optional). */
+dnj_status_t dnj_job_wait(dnj_designer_t* designer, uint64_t job_id,
+                          dnj_job_status_t* out);
+
+/* Requests cancellation (idempotent; running jobs stop at the next
+ * checkpoint boundary, keeping their latest checkpoint). */
+dnj_status_t dnj_job_cancel(dnj_designer_t* designer, uint64_t job_id);
+
+/* Result of a COMPLETED or PAUSED job: the 64 natural-order steps of the
+ * annealed table into out_table, the rate-search quality into
+ * *out_quality, the achieved mean bytes/image into *out_achieved_bytes,
+ * and the resume checkpoint into *out_checkpoint (released with
+ * dnj_buffer_free). Every output is optional (NULL = skip). Returns
+ * DNJ_REJECTED while the job is still queued/running. */
+dnj_status_t dnj_job_result(dnj_designer_t* designer, uint64_t job_id,
+                            uint16_t out_table[64], int32_t* out_quality,
+                            double* out_achieved_bytes, dnj_buffer_t* out_checkpoint);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "api/convert.hpp"
+#include "jobs/job_manager.hpp"
 #include "net/server.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -83,8 +84,10 @@ ServiceReply Pending::get() {
 struct Service::Impl {
   explicit Impl(serve::ServiceConfig cfg) : service(std::move(cfg)) {}
   serve::TranscodeService service;
-  // Declared after `service` so destruction stops the listener before the
-  // service it feeds.
+  // Design-job manager behind the wire's v3 job ops. Declared after
+  // `service` (it publishes into the service's registry and metrics plane)
+  // and before `server` so teardown order is server -> jobs -> service.
+  std::unique_ptr<jobs::JobManager> jobs;
   std::unique_ptr<net::Server> server;
 };
 
@@ -104,6 +107,18 @@ Service::Service(const ServiceOptions& options) {
   if (options.registry().has_value())
     cfg.registry = detail::RegistryAccess::impl(*options.registry());
   impl_ = std::make_unique<Impl>(std::move(cfg));
+  if (options.design_workers() > 0) {
+    jobs::JobManagerConfig job_cfg;
+    job_cfg.workers = options.design_workers();
+    job_cfg.queue_capacity = options.design_queue();
+    job_cfg.checkpoint_interval = options.design_checkpoint_interval();
+    // Share the serving registry (designed tenants become servable
+    // immediately) and the metrics plane (one scrape answers for all
+    // layers: serve_*, net_*, jobs_*).
+    job_cfg.registry = impl_->service.registry();
+    job_cfg.metrics = impl_->service.metrics_registry();
+    impl_->jobs = std::make_unique<jobs::JobManager>(std::move(job_cfg));
+  }
 }
 
 Service::~Service() = default;
@@ -237,6 +252,7 @@ Status Service::listen(const ListenOptions& options) {
   cfg.port = options.port();
   cfg.max_connections = options.max_connections();
   cfg.idle_timeout_ms = options.idle_timeout_ms();
+  cfg.jobs = impl_->jobs.get();
   auto server = std::make_unique<net::Server>(impl_->service, std::move(cfg));
   std::string error;
   if (!server->start(&error)) {
@@ -259,6 +275,7 @@ void Service::stop_listening() {
 
 void Service::shutdown() {
   stop_listening();
+  if (impl_->jobs) impl_->jobs->shutdown();
   impl_->service.shutdown();
 }
 

@@ -94,6 +94,25 @@ class ServiceOptions {
     registry_ = std::move(r);
     return *this;
   }
+  /// Design-job workers: threads dedicated to the long-running design jobs
+  /// behind the wire's v3 job ops, so a 400-iteration anneal never starves
+  /// transcode latency. 0 disables the job subsystem (job ops answer with
+  /// a typed kInternal error).
+  ServiceOptions& design_workers(int n) {
+    design_workers_ = n;
+    return *this;
+  }
+  /// Max queued + running design jobs; beyond it submissions are refused
+  /// with a typed kRejected.
+  ServiceOptions& design_queue(std::size_t n) {
+    design_queue_ = n;
+    return *this;
+  }
+  /// SA iterations between automatic design-job checkpoints.
+  ServiceOptions& design_checkpoint_interval(int n) {
+    design_checkpoint_interval_ = n;
+    return *this;
+  }
 
   int workers() const { return workers_; }
   std::size_t queue_capacity() const { return queue_capacity_; }
@@ -106,6 +125,9 @@ class ServiceOptions {
   bool shard_by_digest() const { return shard_by_digest_; }
   bool steal() const { return steal_; }
   const std::optional<Registry>& registry() const { return registry_; }
+  int design_workers() const { return design_workers_; }
+  std::size_t design_queue() const { return design_queue_; }
+  int design_checkpoint_interval() const { return design_checkpoint_interval_; }
 
  private:
   int workers_ = 2;
@@ -119,6 +141,9 @@ class ServiceOptions {
   bool shard_by_digest_ = true;
   bool steal_ = true;
   std::optional<Registry> registry_;
+  int design_workers_ = 1;
+  std::size_t design_queue_ = 8;
+  int design_checkpoint_interval_ = 64;
 };
 
 /// Builder-style configuration for the TCP front end (src/net). Tuning

@@ -12,6 +12,7 @@
 #include "api/convert.hpp"
 #include "core/deepnjpeg.hpp"
 #include "core/transcode.hpp"
+#include "jobs/job_manager.hpp"
 #include "jpeg/decoder.hpp"
 #include "jpeg/encoder.hpp"
 #include "serve/digest.hpp"
@@ -93,6 +94,91 @@ Status map_exception(StatusCode runtime_code) {
 }
 
 }  // namespace detail
+
+// The public job-state enum mirrors the job layer's value-for-value, so
+// the conversion below is a cast, never a table.
+static_assert(static_cast<int>(DesignJobState::kQueued) ==
+              static_cast<int>(jobs::JobState::kQueued));
+static_assert(static_cast<int>(DesignJobState::kRunning) ==
+              static_cast<int>(jobs::JobState::kRunning));
+static_assert(static_cast<int>(DesignJobState::kPaused) ==
+              static_cast<int>(jobs::JobState::kPaused));
+static_assert(static_cast<int>(DesignJobState::kCompleted) ==
+              static_cast<int>(jobs::JobState::kCompleted));
+static_assert(static_cast<int>(DesignJobState::kFailed) ==
+              static_cast<int>(jobs::JobState::kFailed));
+static_assert(static_cast<int>(DesignJobState::kCancelled) ==
+              static_cast<int>(jobs::JobState::kCancelled));
+
+const char* design_job_state_name(DesignJobState state) {
+  return jobs::job_state_name(static_cast<jobs::JobState>(state));
+}
+
+namespace {
+
+/// JobRc -> the API taxonomy (the mapping documented in job_manager.hpp).
+Status status_from_job_rc(jobs::JobRc rc, std::uint64_t job_id) {
+  const std::string id = std::to_string(job_id);
+  switch (rc) {
+    case jobs::JobRc::kOk: return Status::success();
+    case jobs::JobRc::kNotFound:
+      return {StatusCode::kInvalidArgument, "unknown job id " + id};
+    case jobs::JobRc::kDuplicate:
+      return {StatusCode::kInvalidArgument, "job id " + id + " already exists"};
+    case jobs::JobRc::kInvalid:
+      return {StatusCode::kInvalidArgument, "invalid job spec"};
+    case jobs::JobRc::kQueueFull: return {StatusCode::kRejected, "job queue full"};
+    case jobs::JobRc::kNotFinished:
+      return {StatusCode::kRejected, "job " + id + " not finished"};
+    case jobs::JobRc::kShutdown:
+      return {StatusCode::kShutdown, "job manager draining"};
+  }
+  return {StatusCode::kInternal, "unexpected job return code"};
+}
+
+DesignJobStatus to_api_status(const jobs::JobStatus& s) {
+  DesignJobStatus out;
+  out.id = s.id;
+  out.state = static_cast<DesignJobState>(s.state);
+  out.phase = jobs::job_phase_name(s.phase);
+  out.progress = s.progress;
+  out.sa_iteration = s.sa_iteration;
+  out.sa_total = s.sa_total;
+  out.target_bytes = s.target_bytes;
+  out.achieved_bytes = s.achieved_bytes;
+  out.rate_error = s.rate_error;
+  out.checkpoints = s.checkpoints;
+  out.rungs = s.rungs;
+  out.error = s.error;
+  return out;
+}
+
+DesignJobResult to_api_result(jobs::JobResult&& r) {
+  DesignJobResult out;
+  out.id = r.id;
+  out.table = r.table.natural();
+  out.quality = r.quality;
+  out.target_bytes = r.target_bytes;
+  out.achieved_bytes = r.achieved_bytes;
+  out.initial_cost = r.initial_cost;
+  out.best_cost = r.best_cost;
+  out.accepted_moves = r.accepted_moves;
+  out.sa_iterations = r.sa_iterations;
+  out.rungs.reserve(r.rungs.size());
+  for (jobs::LadderRung& rung : r.rungs) {
+    DesignLadderRung api_rung;
+    api_rung.name = std::move(rung.name);
+    api_rung.version = rung.version;
+    api_rung.quality = rung.quality;
+    api_rung.target_bytes = rung.target_bytes;
+    api_rung.achieved_bytes = rung.achieved_bytes;
+    out.rungs.push_back(std::move(api_rung));
+  }
+  out.checkpoint = std::move(r.checkpoint);
+  return out;
+}
+
+}  // namespace
 
 const char* status_code_name(StatusCode code) {
   switch (code) {
@@ -190,6 +276,18 @@ Result<StreamInfo> Codec::inspect(ByteSpan stream) const {
 struct TableDesigner::Impl {
   data::Dataset dataset;
   int max_label = -1;
+  /// Private job manager behind the async entry points; created lazily at
+  /// the first submit() so purely synchronous designers stay thread-free.
+  std::unique_ptr<jobs::JobManager> jobs;
+
+  jobs::JobManager& manager() {
+    if (!jobs) {
+      jobs::JobManagerConfig cfg;
+      cfg.workers = 1;
+      jobs = std::make_unique<jobs::JobManager>(std::move(cfg));
+    }
+    return *jobs;
+  }
 };
 
 TableDesigner::TableDesigner() : impl_(std::make_unique<Impl>()) {}
@@ -236,6 +334,68 @@ Result<TableDesign> TableDesigner::design(const DesignOptions& options) const {
   } catch (...) {
     return Result<TableDesign>(detail::map_exception(StatusCode::kInternal));
   }
+}
+
+Result<std::uint64_t> TableDesigner::submit(const DesignJobOptions& options) {
+  if (impl_->dataset.empty())
+    return Status{StatusCode::kInvalidArgument, "no images added to the designer"};
+  if (options.tenant().empty())
+    return Status{StatusCode::kInvalidArgument, "tenant name must not be empty"};
+  if (options.sa_iterations() < 1)
+    return Status{StatusCode::kInvalidArgument, "sa_iterations must be >= 1"};
+  if (options.sample_interval() < 1)
+    return Status{StatusCode::kInvalidArgument, "sample interval must be >= 1"};
+  try {
+    jobs::DesignJobSpec spec;
+    spec.dataset = impl_->dataset;  // snapshot: later add()s affect later jobs
+    spec.tenant = options.tenant();
+    spec.target_bytes_per_image = options.target_bytes_per_image();
+    spec.ladder = options.ladder();
+    spec.sa.iterations = options.sa_iterations();
+    spec.sa.seed = options.sa_seed();
+    spec.sample_interval = options.sample_interval();
+    spec.anneal_limit = options.anneal_limit();
+    spec.checkpoint = options.checkpoint();
+    std::uint64_t id = 0;
+    const jobs::JobRc rc = impl_->manager().submit(std::move(spec), 0, &id);
+    if (rc != jobs::JobRc::kOk) return status_from_job_rc(rc, 0);
+    return id;
+  } catch (...) {
+    return Result<std::uint64_t>(detail::map_exception(StatusCode::kInternal));
+  }
+}
+
+Result<DesignJobStatus> TableDesigner::poll(std::uint64_t job_id) const {
+  if (!impl_->jobs)
+    return Status{StatusCode::kInvalidArgument, "unknown job id " + std::to_string(job_id)};
+  jobs::JobStatus status;
+  const jobs::JobRc rc = impl_->jobs->status(job_id, &status);
+  if (rc != jobs::JobRc::kOk) return status_from_job_rc(rc, job_id);
+  return to_api_status(status);
+}
+
+Status TableDesigner::cancel(std::uint64_t job_id) {
+  if (!impl_->jobs)
+    return {StatusCode::kInvalidArgument, "unknown job id " + std::to_string(job_id)};
+  return status_from_job_rc(impl_->jobs->cancel(job_id), job_id);
+}
+
+Result<DesignJobResult> TableDesigner::fetch(std::uint64_t job_id) const {
+  if (!impl_->jobs)
+    return Status{StatusCode::kInvalidArgument, "unknown job id " + std::to_string(job_id)};
+  jobs::JobResult result;
+  const jobs::JobRc rc = impl_->jobs->result(job_id, &result);
+  if (rc != jobs::JobRc::kOk) return status_from_job_rc(rc, job_id);
+  return to_api_result(std::move(result));
+}
+
+Result<DesignJobStatus> TableDesigner::wait(std::uint64_t job_id) const {
+  if (!impl_->jobs)
+    return Status{StatusCode::kInvalidArgument, "unknown job id " + std::to_string(job_id)};
+  jobs::JobStatus status;
+  const jobs::JobRc rc = impl_->jobs->wait(job_id, &status);
+  if (rc != jobs::JobRc::kOk) return status_from_job_rc(rc, job_id);
+  return to_api_status(status);
 }
 
 }  // namespace dnj::api

@@ -42,7 +42,8 @@ class TableDesigner;
 /// Version of the C++ façade surface, bumped on incompatible change.
 /// (The C ABI is versioned separately: dnj_c.h / dnj_abi_version().)
 inline constexpr std::uint32_t kApiVersionMajor = 1;
-inline constexpr std::uint32_t kApiVersionMinor = 3;  ///< 1.3: metrics_text + trace dump
+inline constexpr std::uint32_t kApiVersionMinor = 4;  ///< 1.4: async design jobs (submit/poll/cancel)
+                                                      ///  1.3: metrics_text + trace dump
                                                       ///  1.2: Registry + deepn_encode + dnj_registry_*
 
 /// (major << 16) | minor of the built library — compare against the
@@ -118,6 +119,30 @@ class TableDesigner {
 
   /// Runs the design flow over everything added so far.
   Result<TableDesign> design(const DesignOptions& options = {}) const;
+
+  // Async design jobs (1.4). submit() snapshots the accumulated sample
+  // into a rate-controlled, checkpointable job on the designer's private
+  // single-worker job manager — design() stays available, and more images
+  // may be added for a later submit. Job ids are designer-local. A full
+  // queue refuses with kRejected; unknown ids are typed kInvalidArgument.
+
+  /// Queues a design job over the images added so far; returns its id.
+  Result<std::uint64_t> submit(const DesignJobOptions& options = {});
+
+  /// Snapshot of a job's state/progress (safe while it runs).
+  Result<DesignJobStatus> poll(std::uint64_t job_id) const;
+
+  /// Requests cancellation (idempotent; running jobs stop at the next
+  /// checkpoint boundary and keep their latest checkpoint).
+  Status cancel(std::uint64_t job_id);
+
+  /// Result of a completed or paused job: the annealed table, the
+  /// rate-search answer, the registered ladder, and the resume checkpoint.
+  /// kRejected while the job is still queued/running.
+  Result<DesignJobResult> fetch(std::uint64_t job_id) const;
+
+  /// Blocks until the job leaves kQueued/kRunning, then returns its status.
+  Result<DesignJobStatus> wait(std::uint64_t job_id) const;
 
  private:
   friend class Session;

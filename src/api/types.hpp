@@ -157,6 +157,128 @@ class DesignOptions {
   bool optimize_huffman_ = false;
 };
 
+/// Lifecycle of an async design job (TableDesigner::submit). kPaused is
+/// resumable: fetch() yields a checkpoint to resume from.
+enum class DesignJobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kPaused = 2,
+  kCompleted = 3,
+  kFailed = 4,
+  kCancelled = 5,
+};
+const char* design_job_state_name(DesignJobState state);
+
+/// Builder-style options for an async, rate-controlled design job. The
+/// accumulated designer sample becomes the job's dataset; on top of the
+/// synchronous design flow the job anneals the table (SA), binary-searches
+/// the quality that meets `target_bytes_per_image`, and registers the
+/// result (plus any ladder rate points) as servable tenants.
+class DesignJobOptions {
+ public:
+  /// Registry name the designed config is published under (ladder points
+  /// as "<tenant>:r<i>"). Default "designer".
+  DesignJobOptions& tenant(std::string name) {
+    tenant_ = std::move(name);
+    return *this;
+  }
+  /// Rate target: mean entropy-coded scan bytes per image. 0 = no rate
+  /// control (register the designed table at its midpoint, quality 50).
+  DesignJobOptions& target_bytes_per_image(double bytes) {
+    target_bytes_ = bytes;
+    return *this;
+  }
+  /// Additional rate points, each searched and registered separately.
+  DesignJobOptions& ladder(std::vector<double> targets) {
+    ladder_ = std::move(targets);
+    return *this;
+  }
+  /// Simulated-annealing iterations refining the analyzed table.
+  DesignJobOptions& sa_iterations(int n) {
+    sa_iterations_ = n;
+    return *this;
+  }
+  DesignJobOptions& sa_seed(std::uint64_t seed) {
+    sa_seed_ = seed;
+    return *this;
+  }
+  /// Deterministic pause point: > 0 parks the job in kPaused once the SA
+  /// iteration counter reaches this value (checkpoint retrievable).
+  DesignJobOptions& anneal_limit(int iterations) {
+    anneal_limit_ = iterations;
+    return *this;
+  }
+  /// Resume/refine from a checkpoint a previous job's fetch() returned.
+  DesignJobOptions& resume_from(std::vector<std::uint8_t> checkpoint) {
+    checkpoint_ = std::move(checkpoint);
+    return *this;
+  }
+  /// Algorithm 1 sampling interval k (every k-th image per class).
+  DesignJobOptions& sample_interval(int k) {
+    sample_interval_ = k;
+    return *this;
+  }
+
+  const std::string& tenant() const { return tenant_; }
+  double target_bytes_per_image() const { return target_bytes_; }
+  const std::vector<double>& ladder() const { return ladder_; }
+  int sa_iterations() const { return sa_iterations_; }
+  std::uint64_t sa_seed() const { return sa_seed_; }
+  int anneal_limit() const { return anneal_limit_; }
+  const std::vector<std::uint8_t>& checkpoint() const { return checkpoint_; }
+  int sample_interval() const { return sample_interval_; }
+
+ private:
+  std::string tenant_ = "designer";
+  double target_bytes_ = 0.0;
+  std::vector<double> ladder_;
+  int sa_iterations_ = 400;
+  std::uint64_t sa_seed_ = 0x5A5A;
+  int anneal_limit_ = 0;
+  std::vector<std::uint8_t> checkpoint_;
+  int sample_interval_ = 1;
+};
+
+/// One registered rate point of a job's quality ladder.
+struct DesignLadderRung {
+  std::string name;             ///< registry tenant name
+  std::uint64_t version = 0;    ///< registry publication stamp
+  int quality = 50;             ///< IJG scaling applied to the designed pair
+  double target_bytes = 0.0;
+  double achieved_bytes = 0.0;  ///< measured mean bytes/image
+};
+
+/// Poll snapshot of an async design job.
+struct DesignJobStatus {
+  std::uint64_t id = 0;
+  DesignJobState state = DesignJobState::kQueued;
+  std::string phase;         ///< pipeline position (analyze/anneal/...)
+  double progress = 0.0;     ///< coarse fraction in [0, 1]
+  std::uint32_t sa_iteration = 0;
+  std::uint32_t sa_total = 0;
+  double target_bytes = 0.0;
+  double achieved_bytes = 0.0;
+  double rate_error = 0.0;   ///< |achieved - target| / target (0 when no target)
+  std::uint32_t checkpoints = 0;
+  std::uint32_t rungs = 0;
+  std::string error;         ///< non-empty iff state == kFailed
+};
+
+/// Result of a completed (or paused — best-so-far) design job.
+struct DesignJobResult {
+  std::uint64_t id = 0;
+  QuantTableValues table{};      ///< the annealed table, natural order
+  int quality = 50;              ///< rate-search answer for the primary target
+  double target_bytes = 0.0;
+  double achieved_bytes = 0.0;
+  double initial_cost = 0.0;
+  double best_cost = 0.0;
+  int accepted_moves = 0;
+  std::uint32_t sa_iterations = 0;
+  std::vector<DesignLadderRung> rungs;
+  std::vector<std::uint8_t> checkpoint;  ///< resume/refine seed
+};
+
 /// Everything the design flow produces that a deployment needs to keep:
 /// the table itself plus the design provenance.
 struct TableDesign {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <random>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/transcode.hpp"
@@ -122,63 +124,251 @@ class CostModel {
   mutable std::vector<std::array<double, 64>> per_block_scratch_;
 };
 
-}  // namespace
+// --- checkpoint wire helpers (little-endian, like src/net framing) -------
 
-SaResult anneal_table(const data::Dataset& ds, const FrequencyProfile& profile,
-                      const jpeg::QuantTable& init, const SaConfig& config) {
+constexpr std::uint32_t kCheckpointMagic = 0x53414A44;  // "DJAS"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reader; throws on truncation so a corrupt
+/// checkpoint surfaces as kInvalidArgument, never as UB.
+struct CheckpointReader {
+  const std::vector<std::uint8_t>& buf;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > buf.size())
+      throw std::invalid_argument("SA checkpoint: truncated");
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(buf[pos] | (buf[pos + 1] << 8));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(i)]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+void validate_config(const data::Dataset& ds, const SaConfig& config) {
   if (ds.empty()) throw std::invalid_argument("anneal_table: empty dataset");
   if (config.iterations < 1 || config.t_start <= config.t_end || config.t_end <= 0.0)
     throw std::invalid_argument("anneal_table: bad schedule");
+}
 
-  const CostModel model(ds, profile, config);
-  std::mt19937_64 rng(config.seed);
+}  // namespace
 
-  std::array<std::uint16_t, 64> current = init.natural();
-  double current_cost = model.cost(jpeg::QuantTable(current));
+struct SaStepper::Impl {
+  Impl(const data::Dataset& ds, const FrequencyProfile& profile, const SaConfig& cfg)
+      : config(cfg), model(ds, profile, cfg), rng(cfg.seed) {}
 
-  SaResult result;
-  result.initial_cost = current_cost;
-  result.table = jpeg::QuantTable(current);
-  result.best_cost = current_cost;
-  result.cost_history.reserve(static_cast<std::size_t>(config.iterations));
+  SaConfig config;
+  CostModel model;
+  std::mt19937_64 rng;
 
-  const double cooling =
-      std::pow(config.t_end / config.t_start, 1.0 / std::max(config.iterations - 1, 1));
-  double temperature = config.t_start;
+  int iteration = 0;
+  int accepted_moves = 0;
+  double initial_cost = 0.0;
+  double current_cost = 0.0;
+  double best_cost_v = 0.0;
+  double temperature = 0.0;
+  std::array<std::uint16_t, 64> current{};
+  std::array<std::uint16_t, 64> best{};
+  std::vector<double> cost_history;
 
+  double cooling() const {
+    return std::pow(config.t_end / config.t_start, 1.0 / std::max(config.iterations - 1, 1));
+  }
+};
+
+SaStepper::SaStepper(const data::Dataset& ds, const FrequencyProfile& profile,
+                     const jpeg::QuantTable& init, const SaConfig& config) {
+  validate_config(ds, config);
+  impl_ = std::make_unique<Impl>(ds, profile, config);
+  impl_->current = init.natural();
+  impl_->best = impl_->current;
+  impl_->current_cost = impl_->model.cost(jpeg::QuantTable(impl_->current));
+  impl_->initial_cost = impl_->current_cost;
+  impl_->best_cost_v = impl_->current_cost;
+  impl_->temperature = config.t_start;
+  impl_->cost_history.reserve(static_cast<std::size_t>(config.iterations));
+}
+
+SaStepper::SaStepper(const data::Dataset& ds, const FrequencyProfile& profile,
+                     const SaConfig& config, const std::vector<std::uint8_t>& checkpoint) {
+  validate_config(ds, config);
+
+  CheckpointReader r{checkpoint};
+  if (r.u32() != kCheckpointMagic) throw std::invalid_argument("SA checkpoint: bad magic");
+  if (r.u32() != kCheckpointVersion) throw std::invalid_argument("SA checkpoint: version skew");
+
+  impl_ = std::make_unique<Impl>(ds, profile, config);
+  impl_->iteration = static_cast<int>(r.u32());
+  impl_->accepted_moves = static_cast<int>(r.u32());
+  impl_->initial_cost = r.f64();
+  const double saved_current_cost = r.f64();
+  const double saved_best_cost = r.f64();
+  impl_->temperature = r.f64();
+  for (auto& s : impl_->current) s = r.u16();
+  for (auto& s : impl_->best) s = r.u16();
+  const std::uint32_t history = r.u32();
+  if (history > checkpoint.size())  // cheap sanity bound before resizing
+    throw std::invalid_argument("SA checkpoint: corrupt history length");
+  impl_->cost_history.reserve(static_cast<std::size_t>(config.iterations));
+  for (std::uint32_t i = 0; i < history; ++i) impl_->cost_history.push_back(r.f64());
+  const std::uint32_t rng_len = r.u32();
+  r.need(rng_len);
+  std::istringstream rng_in(std::string(reinterpret_cast<const char*>(checkpoint.data()) + r.pos,
+                                        rng_len));
+  rng_in >> impl_->rng;
+  if (!rng_in) throw std::invalid_argument("SA checkpoint: corrupt RNG state");
+  r.pos += rng_len;
+
+  if (impl_->iteration < 0 || impl_->iteration > config.iterations ||
+      impl_->cost_history.size() != static_cast<std::size_t>(impl_->iteration))
+    throw std::invalid_argument("SA checkpoint: inconsistent iteration count");
+
+  // Re-evaluate the carried tables on THIS stepper's cost surface. Over
+  // the identical dataset the model is deterministic, so these equal the
+  // serialized values bit-for-bit and the resumed trajectory matches the
+  // uninterrupted run; over an extended dataset (refine mode) they rebase
+  // the Metropolis comparisons onto the new surface instead of mixing
+  // costs from two different models.
+  impl_->current_cost = impl_->model.cost(jpeg::QuantTable(impl_->current));
+  impl_->best_cost_v = impl_->model.cost(jpeg::QuantTable(impl_->best));
+  (void)saved_current_cost;
+  (void)saved_best_cost;
+}
+
+SaStepper::~SaStepper() = default;
+SaStepper::SaStepper(SaStepper&&) noexcept = default;
+SaStepper& SaStepper::operator=(SaStepper&&) noexcept = default;
+
+int SaStepper::step(int n) {
+  Impl& s = *impl_;
+  const double cooling = s.cooling();
   std::uniform_int_distribution<int> pick_band(0, 63);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
 
-  for (int it = 0; it < config.iterations; ++it) {
-    // Proposal: multiply or nudge one band's step.
-    std::array<std::uint16_t, 64> candidate = current;
-    const int k = pick_band(rng);
-    const double r = unit(rng);
+  int ran = 0;
+  while (ran < n && s.iteration < s.config.iterations) {
+    // Proposal: multiply or nudge one band's step. This body is the
+    // one-shot annealer's loop verbatim — the checkpoint/resume identity
+    // gate depends on the RNG draw order staying exactly this.
+    std::array<std::uint16_t, 64> candidate = s.current;
+    const int k = pick_band(s.rng);
+    const double r = unit(s.rng);
     int step = candidate[static_cast<std::size_t>(k)];
     if (r < 0.4)
-      step = static_cast<int>(std::lround(step * (0.5 + unit(rng))));  // scale 0.5x..1.5x
+      step = static_cast<int>(std::lround(step * (0.5 + unit(s.rng))));  // scale 0.5x..1.5x
     else if (r < 0.7)
-      step += 1 + static_cast<int>(rng() % 8);
+      step += 1 + static_cast<int>(s.rng() % 8);
     else
-      step -= 1 + static_cast<int>(rng() % 8);
+      step -= 1 + static_cast<int>(s.rng() % 8);
     candidate[static_cast<std::size_t>(k)] =
-        static_cast<std::uint16_t>(std::clamp(step, 1, config.max_step));
+        static_cast<std::uint16_t>(std::clamp(step, 1, s.config.max_step));
 
-    const double cand_cost = model.cost(jpeg::QuantTable(candidate));
-    const double delta = cand_cost - current_cost;
-    if (delta <= 0.0 || unit(rng) < std::exp(-delta / temperature)) {
-      current = candidate;
-      current_cost = cand_cost;
-      ++result.accepted_moves;
-      if (cand_cost < result.best_cost) {
-        result.best_cost = cand_cost;
-        result.table = jpeg::QuantTable(candidate);
+    const double cand_cost = s.model.cost(jpeg::QuantTable(candidate));
+    const double delta = cand_cost - s.current_cost;
+    if (delta <= 0.0 || unit(s.rng) < std::exp(-delta / s.temperature)) {
+      s.current = candidate;
+      s.current_cost = cand_cost;
+      ++s.accepted_moves;
+      if (cand_cost < s.best_cost_v) {
+        s.best_cost_v = cand_cost;
+        s.best = candidate;
       }
     }
-    result.cost_history.push_back(current_cost);
-    temperature *= cooling;
+    s.cost_history.push_back(s.current_cost);
+    s.temperature *= cooling;
+    ++s.iteration;
+    ++ran;
   }
+  return ran;
+}
+
+bool SaStepper::done() const { return impl_->iteration >= impl_->config.iterations; }
+int SaStepper::iteration() const { return impl_->iteration; }
+int SaStepper::total_iterations() const { return impl_->config.iterations; }
+double SaStepper::current_cost() const { return impl_->current_cost; }
+double SaStepper::best_cost() const { return impl_->best_cost_v; }
+
+SaResult SaStepper::result() const {
+  SaResult result;
+  result.table = jpeg::QuantTable(impl_->best);
+  result.best_cost = impl_->best_cost_v;
+  result.initial_cost = impl_->initial_cost;
+  result.cost_history = impl_->cost_history;
+  result.accepted_moves = impl_->accepted_moves;
   return result;
+}
+
+std::vector<std::uint8_t> SaStepper::serialize() const {
+  const Impl& s = *impl_;
+  std::ostringstream rng_out;
+  rng_out << s.rng;
+  const std::string rng_state = rng_out.str();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + 256 + s.cost_history.size() * 8 + rng_state.size());
+  put_u32(out, kCheckpointMagic);
+  put_u32(out, kCheckpointVersion);
+  put_u32(out, static_cast<std::uint32_t>(s.iteration));
+  put_u32(out, static_cast<std::uint32_t>(s.accepted_moves));
+  put_f64(out, s.initial_cost);
+  put_f64(out, s.current_cost);
+  put_f64(out, s.best_cost_v);
+  put_f64(out, s.temperature);
+  for (std::uint16_t v : s.current) put_u16(out, v);
+  for (std::uint16_t v : s.best) put_u16(out, v);
+  put_u32(out, static_cast<std::uint32_t>(s.cost_history.size()));
+  for (double c : s.cost_history) put_f64(out, c);
+  put_u32(out, static_cast<std::uint32_t>(rng_state.size()));
+  out.insert(out.end(), rng_state.begin(), rng_state.end());
+  return out;
+}
+
+SaResult anneal_table(const data::Dataset& ds, const FrequencyProfile& profile,
+                      const jpeg::QuantTable& init, const SaConfig& config) {
+  SaStepper stepper(ds, profile, init, config);
+  stepper.step(config.iterations);
+  return stepper.result();
 }
 
 }  // namespace dnj::core

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/frequency_analysis.hpp"
@@ -44,7 +45,55 @@ struct SaResult {
   int accepted_moves = 0;
 };
 
-/// Anneals a quantization table for `ds`, starting from `init`.
+/// Incremental simulated annealing with checkpointable optimizer state —
+/// the engine behind both the one-shot `anneal_table` wrapper and the job
+/// layer's pausable design jobs. The annealing trajectory is a pure
+/// function of (dataset, profile, init, config): stepping N iterations in
+/// any number of `step` calls, or serializing mid-run and restoring into a
+/// fresh stepper over the same inputs, produces bit-identical tables and
+/// cost histories. Restoring over an *extended* dataset is also supported
+/// (the cost surface changes but the carried RNG/temperature state makes
+/// the refinement deterministic) — that is the "refine as new sample
+/// images stream in" mode.
+class SaStepper {
+ public:
+  /// Fresh run from `init`. Throws std::invalid_argument on an empty
+  /// dataset, a degenerate profile, or a bad schedule.
+  SaStepper(const data::Dataset& ds, const FrequencyProfile& profile,
+            const jpeg::QuantTable& init, const SaConfig& config);
+  /// Resume from a `serialize()` checkpoint. The dataset/profile/config
+  /// must describe the same cost surface for byte-identity with the
+  /// uninterrupted run. Throws std::invalid_argument on a corrupt or
+  /// version-skewed checkpoint.
+  SaStepper(const data::Dataset& ds, const FrequencyProfile& profile, const SaConfig& config,
+            const std::vector<std::uint8_t>& checkpoint);
+  ~SaStepper();
+  SaStepper(SaStepper&&) noexcept;
+  SaStepper& operator=(SaStepper&&) noexcept;
+
+  /// Runs up to `n` more iterations (stops at config.iterations); returns
+  /// the number actually run.
+  int step(int n);
+  bool done() const;
+  int iteration() const;        ///< iterations completed so far
+  int total_iterations() const; ///< config.iterations
+  double current_cost() const;
+  double best_cost() const;
+
+  /// Snapshot of the run so far; `result().table` is the best table seen.
+  SaResult result() const;
+
+  /// Byte-exact optimizer state (tables, costs, temperature, RNG stream,
+  /// cost history) in a little-endian tagged format.
+  std::vector<std::uint8_t> serialize() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Anneals a quantization table for `ds`, starting from `init`. One-shot
+/// wrapper over SaStepper — identical output by construction.
 SaResult anneal_table(const data::Dataset& ds, const FrequencyProfile& profile,
                       const jpeg::QuantTable& init, const SaConfig& config = {});
 

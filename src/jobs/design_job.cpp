@@ -1,0 +1,29 @@
+#include "jobs/design_job.hpp"
+
+namespace dnj::jobs {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPaused: return "paused";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+const char* job_phase_name(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kPending: return "pending";
+    case JobPhase::kAnalyze: return "analyze";
+    case JobPhase::kAnneal: return "anneal";
+    case JobPhase::kRateSearch: return "rate_search";
+    case JobPhase::kLadder: return "ladder";
+    case JobPhase::kDone: return "done";
+  }
+  return "unknown";
+}
+
+}  // namespace dnj::jobs

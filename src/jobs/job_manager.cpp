@@ -1,0 +1,497 @@
+#include "jobs/job_manager.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/deepnjpeg.hpp"
+#include "core/transcode.hpp"
+#include "jpeg/decoder.hpp"
+#include "jpeg/rate_control.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dnj::jobs {
+
+const char* job_rc_name(JobRc rc) {
+  switch (rc) {
+    case JobRc::kOk: return "ok";
+    case JobRc::kNotFound: return "not_found";
+    case JobRc::kDuplicate: return "duplicate";
+    case JobRc::kInvalid: return "invalid";
+    case JobRc::kQueueFull: return "queue_full";
+    case JobRc::kNotFinished: return "not_finished";
+    case JobRc::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_terminal(JobState state) {
+  return state == JobState::kCompleted || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+bool is_active(JobState state) {
+  return state == JobState::kQueued || state == JobState::kRunning;
+}
+
+bool spec_valid(const DesignJobSpec& spec) {
+  if (spec.dataset.empty() || spec.tenant.empty()) return false;
+  if (spec.sa.iterations < 1 || spec.sa.t_start <= spec.sa.t_end || spec.sa.t_end <= 0.0)
+    return false;
+  if (spec.sa.sample_images < 1 || spec.sa.max_step < 1) return false;
+  if (spec.sample_interval < 1 || spec.anneal_limit < 0) return false;
+  if (spec.target_bytes_per_image < 0.0) return false;
+  for (double t : spec.ladder)
+    if (t <= 0.0) return false;
+  return true;
+}
+
+}  // namespace
+
+struct JobManager::Job {
+  std::uint64_t id = 0;
+  DesignJobSpec spec;
+  std::atomic<bool> cancel{false};
+
+  // Everything below is guarded by JobManager::mutex_.
+  JobState state = JobState::kQueued;
+  JobPhase phase = JobPhase::kPending;
+  double progress = 0.0;
+  std::uint32_t sa_iteration = 0;
+  double achieved_bytes = 0.0;
+  std::uint32_t checkpoints = 0;
+  std::string error;
+  JobResult result;  ///< filled progressively; valid once kPaused/kCompleted
+};
+
+JobManager::JobManager(JobManagerConfig config) : config_(std::move(config)) {
+  config_.workers = std::max(config_.workers, 1);
+  config_.queue_capacity = std::max<std::size_t>(config_.queue_capacity, 1);
+  config_.checkpoint_interval = std::max(config_.checkpoint_interval, 1);
+
+  registry_ = config_.registry ? config_.registry : std::make_shared<serve::TableRegistry>();
+  metrics_ = config_.metrics ? config_.metrics : std::make_shared<obs::Registry>();
+
+  submitted_ = &metrics_->counter("jobs_submitted_total");
+  completed_ = &metrics_->counter("jobs_completed_total");
+  failed_ = &metrics_->counter("jobs_failed_total");
+  cancelled_ = &metrics_->counter("jobs_cancelled_total");
+  rejected_ = &metrics_->counter("jobs_rejected_total");
+  checkpoints_ = &metrics_->counter("jobs_checkpoints_total");
+  ladder_rungs_ = &metrics_->counter("jobs_ladder_rungs_total");
+  lookup_errors_ = &metrics_->counter("jobs_lookup_errors_total");
+  static const char* kOpNames[4] = {"submit", "status", "cancel", "result"};
+  for (int op = 0; op < 4; ++op)
+    lookup_by_op_[static_cast<std::size_t>(op)] =
+        &metrics_->counter("jobs_lookup_errors", {{"op", kOpNames[op]}});
+  active_gauge_ = &metrics_->gauge("jobs_active");
+  queued_gauge_ = &metrics_->gauge("jobs_queued");
+
+  pool_ = std::make_unique<runtime::ThreadPool>(static_cast<unsigned>(config_.workers));
+}
+
+JobManager::~JobManager() { shutdown(); }
+
+void JobManager::update_gauges() {
+  active_gauge_->set(static_cast<double>(running_));
+  queued_gauge_->set(static_cast<double>(queued_));
+}
+
+void JobManager::record_lookup_error(int op) const {
+  lookup_errors_->inc();
+  lookup_by_op_[static_cast<std::size_t>(op)]->inc();
+}
+
+JobRc JobManager::submit(DesignJobSpec spec, std::uint64_t requested_id,
+                         std::uint64_t* id_out) {
+  if (!spec_valid(spec)) return JobRc::kInvalid;
+
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return JobRc::kShutdown;
+    if (queued_ + running_ >= config_.queue_capacity) {
+      rejected_->inc();
+      return JobRc::kQueueFull;
+    }
+    std::uint64_t id = requested_id;
+    if (id == 0) {
+      while (jobs_.count(next_id_) != 0) ++next_id_;
+      id = next_id_++;
+    } else if (jobs_.count(id) != 0) {
+      record_lookup_error(0);
+      return JobRc::kDuplicate;
+    }
+    job = std::make_shared<Job>();
+    job->id = id;
+    job->spec = std::move(spec);
+    jobs_.emplace(id, job);
+    ++queued_;
+    submitted_->inc();
+    update_gauges();
+    if (id_out) *id_out = id;
+  }
+  pool_->submit([this, job] { run_job(job); });
+  return JobRc::kOk;
+}
+
+void JobManager::run_job(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    if (job->cancel.load(std::memory_order_relaxed)) {
+      --queued_;
+      job->state = JobState::kCancelled;
+      cancelled_->inc();
+      update_gauges();
+      cv_.notify_all();
+      return;
+    }
+    --queued_;
+    ++running_;
+    job->state = JobState::kRunning;
+    update_gauges();
+  }
+
+  // One trace per job; phase spans attach under this root like request
+  // spans attach under the serve root.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::uint64_t trace_id = tracer.start_trace();
+  const std::uint32_t root = trace_id != 0 ? tracer.next_span_id() : 0;
+  const std::uint64_t start_ns = obs::now_ns();
+  {
+    obs::TraceScope scope(trace_id, root);
+    try {
+      execute(job);
+    } catch (const std::exception& e) {
+      finish(job, JobState::kFailed, e.what());
+    } catch (...) {
+      finish(job, JobState::kFailed, "unknown error");
+    }
+  }
+  obs::record_span_as(trace_id, root, 0, obs::Stage::kRequest, start_ns, obs::now_ns(),
+                      job->id);
+}
+
+void JobManager::execute(const std::shared_ptr<Job>& job) {
+  const DesignJobSpec& spec = job->spec;
+  auto set_phase = [&](JobPhase phase, double progress) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->phase = phase;
+    job->progress = progress;
+  };
+  auto is_cancelled = [&] { return job->cancel.load(std::memory_order_relaxed); };
+
+  // --- Analyze: Algorithm 1 profile + PLM init table (Fig. 4 flow). A
+  // resumed job repeats this — the stepper needs the cost surface — but
+  // the optimizer state continues from the checkpoint.
+  set_phase(JobPhase::kAnalyze, 0.0);
+  core::DesignConfig design_cfg;
+  design_cfg.analysis.sample_interval = spec.sample_interval;
+  std::optional<core::DesignResult> design;
+  {
+    obs::Span span(obs::Stage::kJobAnalyze, spec.dataset.size());
+    design.emplace(core::DeepNJpeg::design(spec.dataset, design_cfg));
+  }
+  if (is_cancelled()) {
+    finish(job, JobState::kCancelled, "");
+    return;
+  }
+
+  // --- Anneal in checkpoint_interval segments; cancel and pause are only
+  // observed at segment boundaries, so the trajectory stays deterministic.
+  set_phase(JobPhase::kAnneal, 0.05);
+  std::unique_ptr<core::SaStepper> stepper;
+  if (spec.checkpoint.empty())
+    stepper = std::make_unique<core::SaStepper>(spec.dataset, design->profile, design->table,
+                                                spec.sa);
+  else
+    stepper = std::make_unique<core::SaStepper>(spec.dataset, design->profile, spec.sa,
+                                                spec.checkpoint);
+
+  const int limit = spec.anneal_limit;
+  bool paused = false;
+  while (!stepper->done()) {
+    if (is_cancelled()) break;
+    if (limit > 0 && stepper->iteration() >= limit) {
+      paused = true;
+      break;
+    }
+    int segment = config_.checkpoint_interval;
+    if (limit > 0) segment = std::min(segment, limit - stepper->iteration());
+    int ran = 0;
+    {
+      obs::Span span(obs::Stage::kJobAnneal);
+      ran = stepper->step(segment);
+      span.set_tag(static_cast<std::uint64_t>(ran));
+    }
+    std::vector<std::uint8_t> checkpoint = stepper->serialize();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->sa_iteration = static_cast<std::uint32_t>(stepper->iteration());
+      job->progress =
+          0.05 + 0.80 * static_cast<double>(stepper->iteration()) /
+                     static_cast<double>(std::max(stepper->total_iterations(), 1));
+      job->result.checkpoint = std::move(checkpoint);
+      ++job->checkpoints;
+    }
+    checkpoints_->inc();
+  }
+  if (limit > 0 && !stepper->done() && stepper->iteration() >= limit) paused = true;
+
+  const core::SaResult sa = stepper->result();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->sa_iteration = static_cast<std::uint32_t>(stepper->iteration());
+    job->result.table = sa.table;
+    job->result.initial_cost = sa.initial_cost;
+    job->result.best_cost = sa.best_cost;
+    job->result.accepted_moves = sa.accepted_moves;
+    job->result.sa_iterations = static_cast<std::uint32_t>(stepper->iteration());
+    job->result.checkpoint = stepper->serialize();
+  }
+  if (is_cancelled()) {
+    finish(job, JobState::kCancelled, "");
+    return;
+  }
+  if (paused) {
+    finish(job, JobState::kPaused, "");
+    return;
+  }
+
+  // --- Rate search: the quality scaling that brings the dataset's mean
+  // scan payload under the target. Unreachable targets throw -> kFailed
+  // with the typed message (never a silent clamp).
+  set_phase(JobPhase::kRateSearch, 0.85);
+  std::vector<const image::Image*> images;
+  images.reserve(spec.dataset.size());
+  for (const data::Sample& s : spec.dataset.samples) images.push_back(&s.image);
+  const jpeg::EncoderConfig base = core::custom_table_config(sa.table);
+  int quality = 50;
+  double achieved = 0.0;
+  {
+    obs::Span span(obs::Stage::kJobRateSearch);
+    if (spec.target_bytes_per_image > 0.0) {
+      const jpeg::DatasetRateResult rate =
+          jpeg::search_dataset_quality(images, spec.target_bytes_per_image, base);
+      quality = rate.quality;
+      achieved = rate.mean_scan_bytes;
+      span.set_tag(static_cast<std::uint64_t>(rate.encode_calls));
+    } else {
+      // No target: report the rate at the designed midpoint.
+      double total = 0.0;
+      for (const image::Image* img : images)
+        total += static_cast<double>(jpeg::scan_byte_count(jpeg::encode(*img, base)));
+      achieved = total / static_cast<double>(images.size());
+      span.set_tag(images.size());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->result.quality = quality;
+    job->result.target_bytes = spec.target_bytes_per_image;
+    job->result.achieved_bytes = achieved;
+    job->achieved_bytes = achieved;
+  }
+  if (is_cancelled()) {
+    finish(job, JobState::kCancelled, "");
+    return;
+  }
+
+  // --- Ladder: publish the primary rate point plus every extra rung as
+  // versioned tenants. Rung i keeps the designed band structure — the
+  // tables are IJG-scaled to the searched quality, never redesigned.
+  set_phase(JobPhase::kLadder, 0.95);
+  {
+    obs::Span span(obs::Stage::kJobLadder);
+    LadderRung primary;
+    primary.name = spec.tenant;
+    primary.quality = quality;
+    primary.target_bytes = spec.target_bytes_per_image;
+    primary.achieved_bytes = achieved;
+    primary.version =
+        registry_->put(spec.tenant, jpeg::config_at_quality(base, quality), spec.quota_bytes);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->result.rungs.push_back(primary);
+    }
+    ladder_rungs_->inc();
+    for (std::size_t i = 0; i < spec.ladder.size(); ++i) {
+      const jpeg::DatasetRateResult rate =
+          jpeg::search_dataset_quality(images, spec.ladder[i], base);
+      LadderRung rung;
+      rung.name = spec.tenant + ":r" + std::to_string(i + 1);
+      rung.quality = rate.quality;
+      rung.target_bytes = spec.ladder[i];
+      rung.achieved_bytes = rate.mean_scan_bytes;
+      rung.version = registry_->put(rung.name, jpeg::config_at_quality(base, rate.quality),
+                                    spec.quota_bytes);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->result.rungs.push_back(rung);
+      }
+      ladder_rungs_->inc();
+    }
+    span.set_tag(spec.ladder.size() + 1);
+  }
+
+  finish(job, JobState::kCompleted, "");
+}
+
+void JobManager::finish(const std::shared_ptr<Job>& job, JobState state,
+                        const std::string& error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+    job->state = state;
+    job->error = error;
+    if (state == JobState::kCompleted) {
+      job->phase = JobPhase::kDone;
+      job->progress = 1.0;
+    }
+    if (state == JobState::kPaused) ++paused_count_;
+    update_gauges();
+  }
+  switch (state) {
+    case JobState::kCompleted: completed_->inc(); break;
+    case JobState::kFailed: failed_->inc(); break;
+    case JobState::kCancelled: cancelled_->inc(); break;
+    default: break;
+  }
+  cv_.notify_all();
+}
+
+JobRc JobManager::status(std::uint64_t id, JobStatus* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    record_lookup_error(1);
+    return JobRc::kNotFound;
+  }
+  if (out) {
+    const Job& job = *it->second;
+    out->id = job.id;
+    out->state = job.state;
+    out->phase = job.phase;
+    out->progress = job.progress;
+    out->sa_iteration = job.sa_iteration;
+    out->sa_total = static_cast<std::uint32_t>(job.spec.sa.iterations);
+    out->target_bytes = job.spec.target_bytes_per_image;
+    out->achieved_bytes = job.achieved_bytes;
+    out->rate_error = job.spec.target_bytes_per_image > 0.0 && job.achieved_bytes > 0.0
+                          ? std::abs(job.achieved_bytes - job.spec.target_bytes_per_image) /
+                                job.spec.target_bytes_per_image
+                          : 0.0;
+    out->checkpoints = job.checkpoints;
+    out->rungs = static_cast<std::uint32_t>(job.result.rungs.size());
+    out->error = job.error;
+  }
+  return JobRc::kOk;
+}
+
+JobRc JobManager::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    record_lookup_error(2);
+    return JobRc::kNotFound;
+  }
+  Job& job = *it->second;
+  if (is_terminal(job.state)) return JobRc::kOk;  // idempotent
+  job.cancel.store(true, std::memory_order_relaxed);
+  if (job.state == JobState::kQueued) {
+    --queued_;
+    job.state = JobState::kCancelled;
+    cancelled_->inc();
+    update_gauges();
+    cv_.notify_all();
+  } else if (job.state == JobState::kPaused) {
+    // A paused job has no worker to observe the flag; retire it here. Its
+    // checkpoint stays retrievable through result().
+    job.state = JobState::kCancelled;
+    cancelled_->inc();
+    cv_.notify_all();
+  }
+  // kRunning: the worker observes the flag at the next segment boundary.
+  return JobRc::kOk;
+}
+
+JobRc JobManager::result(std::uint64_t id, JobResult* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    record_lookup_error(3);
+    return JobRc::kNotFound;
+  }
+  const Job& job = *it->second;
+  const bool has_result = job.state == JobState::kCompleted || job.state == JobState::kPaused ||
+                          (job.state == JobState::kCancelled && !job.result.checkpoint.empty());
+  if (!has_result) return JobRc::kNotFinished;
+  if (out) {
+    *out = job.result;
+    out->id = job.id;
+  }
+  return JobRc::kOk;
+}
+
+JobRc JobManager::wait(std::uint64_t id, JobStatus* out) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      record_lookup_error(1);
+      return JobRc::kNotFound;
+    }
+    const std::shared_ptr<Job> job = it->second;
+    cv_.wait(lock, [&] { return !is_active(job->state); });
+  }
+  return status(id, out);
+}
+
+void JobManager::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      for (auto& [id, job] : jobs_) {
+        if (is_terminal(job->state) || job->state == JobState::kPaused) continue;
+        job->cancel.store(true, std::memory_order_relaxed);
+        if (job->state == JobState::kQueued) {
+          --queued_;
+          job->state = JobState::kCancelled;
+          cancelled_->inc();
+        }
+      }
+      update_gauges();
+      cv_.notify_all();
+    }
+    cv_.wait(lock, [&] { return running_ == 0; });
+  }
+  pool_.reset();  // drains the (now no-op) backlog and joins
+}
+
+JobManagerStats JobManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobManagerStats s;
+  s.submitted = submitted_->value();
+  s.completed = completed_->value();
+  s.failed = failed_->value();
+  s.cancelled = cancelled_->value();
+  s.paused = paused_count_;
+  s.rejected = rejected_->value();
+  s.checkpoints = checkpoints_->value();
+  s.ladder_rungs = ladder_rungs_->value();
+  s.lookup_errors = lookup_errors_->value();
+  for (std::size_t op = 0; op < 4; ++op)
+    s.lookup_errors_by_op[op] = lookup_by_op_[op]->value();
+  s.active = running_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace dnj::jobs

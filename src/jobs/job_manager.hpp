@@ -1,0 +1,167 @@
+// Long-running-job subsystem: a JobManager owns a private bounded worker
+// pool that executes design jobs (jobs/design_job.hpp) without ever
+// touching the transcode service's workers — a tenant onboarding with a
+// 400-iteration SA run can never starve request latency.
+//
+// Lifecycle: submit() validates the spec, assigns (or honours) a job id
+// and queues the job; workers move it kQueued -> kRunning -> terminal.
+// status()/cancel()/result() are map lookups safe from any thread — the
+// net server answers the corresponding wire ops on its loop thread.
+// Unknown and duplicate job ids are typed refusals (JobRc), counted into
+// the per-op lookup-error stats whose sum equals the total (the kind-sum
+// invariant, pinned in test_jobs).
+//
+// Checkpointing: every checkpoint_interval SA iterations the worker
+// serializes the optimizer state into the job record; spec.anneal_limit
+// parks the job in kPaused at a deterministic iteration. Resume =
+// submit a new spec carrying the checkpoint; over the same dataset the
+// resumed job anneals the byte-identical table (gated in test_jobs and
+// bench_design).
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "jobs/design_job.hpp"
+#include "obs/metrics.hpp"
+#include "serve/registry.hpp"
+
+namespace dnj::runtime {
+class ThreadPool;
+}
+
+namespace dnj::jobs {
+
+/// Typed outcome of a JobManager call. Maps 1:1 onto api::StatusCode at
+/// the boundary: kNotFound/kDuplicate/kInvalid -> kInvalidArgument,
+/// kQueueFull -> kRejected, kShutdown -> kShutdown, kNotFinished ->
+/// kRejected (retry later).
+enum class JobRc : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,     ///< no job with that id
+  kDuplicate = 2,    ///< submit() with an id that already exists
+  kInvalid = 3,      ///< spec fails validation
+  kQueueFull = 4,    ///< queued + running at capacity
+  kNotFinished = 5,  ///< result() before the job reached kPaused/terminal
+  kShutdown = 6,     ///< manager is shutting down
+};
+const char* job_rc_name(JobRc rc);
+
+struct JobManagerConfig {
+  /// Design workers (threads dedicated to jobs). Clamped to >= 1.
+  int workers = 1;
+  /// Max queued + running jobs; submissions beyond it are refused with
+  /// kQueueFull (counted as jobs_rejected_total). Clamped to >= 1.
+  std::size_t queue_capacity = 8;
+  /// SA iterations per segment between automatic checkpoints (and cancel
+  /// checks). Clamped to >= 1.
+  int checkpoint_interval = 64;
+  /// Registry the ladder publishes into. Null = the manager creates a
+  /// private one (reachable via registry()). Share the serving registry
+  /// so designed tenants become servable immediately.
+  std::shared_ptr<serve::TableRegistry> registry;
+  /// Metrics registry for the jobs_* instruments. Null = private.
+  std::shared_ptr<obs::Registry> metrics;
+};
+
+/// Point-in-time counters; per-op lookup errors sum to lookup_errors.
+struct JobManagerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t paused = 0;
+  std::uint64_t rejected = 0;      ///< queue-full refusals
+  std::uint64_t checkpoints = 0;   ///< optimizer snapshots taken
+  std::uint64_t ladder_rungs = 0;  ///< registry entries published by jobs
+  std::uint64_t lookup_errors = 0;
+  /// Indexed by op: 0 = submit (duplicate id), 1 = status, 2 = cancel,
+  /// 3 = result (unknown id).
+  std::array<std::uint64_t, 4> lookup_errors_by_op{};
+  std::uint64_t active = 0;  ///< currently running
+  std::uint64_t queued = 0;  ///< accepted, not yet picked up
+};
+
+class JobManager {
+ public:
+  explicit JobManager(JobManagerConfig config = {});
+  ~JobManager();  ///< cancels outstanding jobs and joins the pool
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Queues a design job. `requested_id` 0 = assign the next free id;
+  /// nonzero = use exactly that id (the resume/refine idiom keeps an
+  /// external name), refused with kDuplicate if it already exists. On
+  /// kOk, *id_out (if non-null) receives the job id.
+  JobRc submit(DesignJobSpec spec, std::uint64_t requested_id, std::uint64_t* id_out);
+
+  JobRc status(std::uint64_t id, JobStatus* out) const;
+
+  /// Requests cancellation. Queued jobs cancel immediately; running jobs
+  /// stop at the next segment boundary (their latest checkpoint is kept).
+  /// Terminal jobs: no-op, kOk (idempotent).
+  JobRc cancel(std::uint64_t id);
+
+  /// Result of a kCompleted or kPaused job (a paused result carries the
+  /// resume checkpoint and the best-so-far table). kNotFinished while
+  /// queued/running; kNotFound for unknown ids.
+  JobRc result(std::uint64_t id, JobResult* out) const;
+
+  /// Blocks until the job leaves the active states (kQueued/kRunning) and
+  /// fills *out (if non-null) with its status then. kNotFound for unknown
+  /// ids.
+  JobRc wait(std::uint64_t id, JobStatus* out = nullptr);
+
+  /// Stops accepting submissions, cancels queued + running jobs, and
+  /// joins the workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  std::shared_ptr<serve::TableRegistry> registry() const { return registry_; }
+  std::shared_ptr<obs::Registry> metrics_registry() const { return metrics_; }
+  JobManagerStats stats() const;
+
+ private:
+  struct Job;
+
+  void run_job(const std::shared_ptr<Job>& job);
+  void execute(const std::shared_ptr<Job>& job);
+  void finish(const std::shared_ptr<Job>& job, JobState state, const std::string& error);
+  void record_lookup_error(int op) const;
+  void update_gauges();  ///< callers hold mutex_
+
+  JobManagerConfig config_;
+  std::shared_ptr<serve::TableRegistry> registry_;
+  std::shared_ptr<obs::Registry> metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t queued_ = 0;
+  std::uint64_t running_ = 0;
+  std::uint64_t paused_count_ = 0;
+  bool shutdown_ = false;
+
+  // jobs_* instruments (owned by metrics_, stable addresses).
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* ladder_rungs_ = nullptr;
+  obs::Counter* lookup_errors_ = nullptr;
+  std::array<obs::Counter*, 4> lookup_by_op_{};
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* queued_gauge_ = nullptr;
+
+  /// Private pool; declared last so its destructor (drain + join) runs
+  /// before the members its tasks touch are torn down.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+};
+
+}  // namespace dnj::jobs

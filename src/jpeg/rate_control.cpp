@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "jpeg/decoder.hpp"
 
 namespace dnj::jpeg {
 
@@ -23,11 +26,14 @@ RateSearchResult encode_for_size(const image::Image& img, std::size_t target_byt
     return encode(img, cfg);
   };
 
-  // The floor is the fallback if the budget is unreachable.
   int lo = min_quality, hi = max_quality;
   result.quality = min_quality;
   result.bytes = encode_at(min_quality);
-  if (result.bytes.size() > target_bytes) return result;
+  if (result.bytes.size() > target_bytes)
+    throw std::invalid_argument("encode_for_size: target of " + std::to_string(target_bytes) +
+                                " bytes is unreachable (quality " +
+                                std::to_string(min_quality) + " needs " +
+                                std::to_string(result.bytes.size()) + " bytes)");
 
   // Invariant: quality `lo` fits the budget; search the highest that fits.
   while (lo < hi) {
@@ -49,6 +55,63 @@ RateSearchResult encode_for_bpp(const image::Image& img, double target_bpp,
   if (target_bpp <= 0.0) throw std::invalid_argument("encode_for_bpp: bpp must be positive");
   const double bytes = target_bpp * static_cast<double>(img.pixel_count()) / 8.0;
   return encode_for_size(img, static_cast<std::size_t>(std::floor(bytes)), base_config);
+}
+
+EncoderConfig config_at_quality(const EncoderConfig& base_config, int quality) {
+  EncoderConfig cfg = base_config;
+  if (cfg.use_custom_tables) {
+    cfg.luma_table = base_config.luma_table.scaled(quality);
+    cfg.chroma_table = base_config.chroma_table.scaled(quality);
+  } else {
+    cfg.quality = quality;
+  }
+  return cfg;
+}
+
+DatasetRateResult search_dataset_quality(const std::vector<const image::Image*>& images,
+                                         double target_mean_bytes,
+                                         const EncoderConfig& base_config, int min_quality,
+                                         int max_quality) {
+  if (images.empty())
+    throw std::invalid_argument("search_dataset_quality: empty image set");
+  if (target_mean_bytes <= 0.0)
+    throw std::invalid_argument("search_dataset_quality: target must be positive");
+  if (min_quality < 1 || max_quality > 100 || min_quality > max_quality)
+    throw std::invalid_argument("search_dataset_quality: bad quality bounds");
+
+  DatasetRateResult result;
+  auto mean_at = [&](int q) {
+    const EncoderConfig cfg = config_at_quality(base_config, q);
+    double total = 0.0;
+    for (const image::Image* img : images) {
+      total += static_cast<double>(scan_byte_count(encode(*img, cfg)));
+      ++result.encode_calls;
+    }
+    return total / static_cast<double>(images.size());
+  };
+
+  int lo = min_quality, hi = max_quality;
+  result.quality = min_quality;
+  result.mean_scan_bytes = mean_at(min_quality);
+  if (result.mean_scan_bytes > target_mean_bytes)
+    throw std::invalid_argument(
+        "search_dataset_quality: target of " + std::to_string(target_mean_bytes) +
+        " mean bytes/image is unreachable (quality " + std::to_string(min_quality) +
+        " yields " + std::to_string(result.mean_scan_bytes) + ")");
+
+  // Invariant: quality `lo` fits the budget; search the highest that fits.
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    const double mean = mean_at(mid);
+    if (mean <= target_mean_bytes) {
+      lo = mid;
+      result.quality = mid;
+      result.mean_scan_bytes = mean;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return result;
 }
 
 }  // namespace dnj::jpeg

@@ -15,8 +15,10 @@ struct RateSearchResult {
 
 /// Finds the highest quality in [min_quality, max_quality] whose encoded
 /// size is <= target_bytes (binary search over the monotone size/quality
-/// curve). If even min_quality exceeds the budget, returns min_quality and
-/// its (oversized) stream so the caller can decide.
+/// curve). Throws std::invalid_argument (kInvalidArgument at the API
+/// boundary) when even min_quality exceeds the budget — an unreachable
+/// target is a caller error, never silently clamped to an oversized
+/// stream.
 RateSearchResult encode_for_size(const image::Image& img, std::size_t target_bytes,
                                  const EncoderConfig& base_config = {}, int min_quality = 1,
                                  int max_quality = 100);
@@ -24,5 +26,35 @@ RateSearchResult encode_for_size(const image::Image& img, std::size_t target_byt
 /// Convenience: target expressed in bits per pixel.
 RateSearchResult encode_for_bpp(const image::Image& img, double target_bpp,
                                 const EncoderConfig& base_config = {});
+
+/// Dataset-level rate point: the quality scaling that brings the *mean*
+/// entropy-coded scan payload of an image set under a byte budget.
+struct DatasetRateResult {
+  /// IJG scaling quality applied. For standard configs this is the QF; for
+  /// custom-table configs the designed tables are IJG-scaled by this value
+  /// (50 = tables verbatim, 100 = all ones) — the same scaling rule the
+  /// serving layer applies per request.
+  int quality = 1;
+  double mean_scan_bytes = 0.0;  ///< achieved mean scan payload at `quality`
+  int encode_calls = 0;          ///< total encodes spent by the search
+};
+
+/// Finds the highest quality in [min_quality, max_quality] whose mean
+/// entropy-coded scan size over `images` is <= target_mean_bytes. Unlike
+/// the single-image searches this one drives custom-table configs too: the
+/// table pair is scaled around its designed midpoint (quality 50) instead
+/// of replacing it, so the rate point preserves the DeepN band structure.
+/// Byte accounting uses jpeg::scan_byte_count — headers/tables ship once
+/// per deployment. Throws std::invalid_argument on an empty image set or
+/// when even min_quality overshoots the budget.
+DatasetRateResult search_dataset_quality(const std::vector<const image::Image*>& images,
+                                         double target_mean_bytes,
+                                         const EncoderConfig& base_config = {},
+                                         int min_quality = 1, int max_quality = 100);
+
+/// The config `search_dataset_quality` encodes with at a given quality:
+/// standard configs get quality = q; custom-table configs get both tables
+/// IJG-scaled by q (50 = verbatim).
+EncoderConfig config_at_quality(const EncoderConfig& base_config, int quality);
 
 }  // namespace dnj::jpeg

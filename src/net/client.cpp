@@ -97,6 +97,35 @@ bool Client::scrape(StatsFormat format, std::string* text, std::string* error) {
   return true;
 }
 
+bool Client::round_trip(Frame frame, WireReply* out, std::string* error) {
+  const std::uint32_t id = next_id_++;
+  frame.request_id = id;
+  if (!send_frame(frame, error)) return false;
+  if (!recv_reply(out, error)) return false;
+  if (out->request_id != id) {
+    if (error) *error = "response id does not match request id";
+    return false;
+  }
+  return true;
+}
+
+bool Client::job_submit(const jobs::DesignJobSpec& spec, std::uint64_t requested_id,
+                        WireReply* out, std::string* error) {
+  return round_trip(make_job_submit(0, requested_id, spec), out, error);
+}
+
+bool Client::job_status(std::uint64_t job_id, WireReply* out, std::string* error) {
+  return round_trip(make_job_id_request(0, Op::kJobStatus, job_id), out, error);
+}
+
+bool Client::job_cancel(std::uint64_t job_id, WireReply* out, std::string* error) {
+  return round_trip(make_job_id_request(0, Op::kJobCancel, job_id), out, error);
+}
+
+bool Client::job_result(std::uint64_t job_id, WireReply* out, std::string* error) {
+  return round_trip(make_job_id_request(0, Op::kJobResult, job_id), out, error);
+}
+
 bool Client::ping(std::string* error) {
   const std::uint32_t id = send_ping(error);
   if (id == 0) return false;

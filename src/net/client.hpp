@@ -60,7 +60,19 @@ class Client {
   /// the rendered document (Prometheus text, metrics JSON, or trace JSON).
   bool scrape(StatsFormat format, std::string* text, std::string* error);
 
+  // Design-job round trips (protocol v3). Like call(), these return true
+  // whenever a structurally valid reply paired up — a typed refusal lands
+  // in out->status/out->error, not in the return value.
+  bool job_submit(const jobs::DesignJobSpec& spec, std::uint64_t requested_id,
+                  WireReply* out, std::string* error);
+  bool job_status(std::uint64_t job_id, WireReply* out, std::string* error);
+  bool job_cancel(std::uint64_t job_id, WireReply* out, std::string* error);
+  bool job_result(std::uint64_t job_id, WireReply* out, std::string* error);
+
  private:
+  /// Sends `frame` (stamping the next request id) and pairs up the reply.
+  bool round_trip(Frame frame, WireReply* out, std::string* error);
+
   ScopedFd fd_;
   FrameParser parser_;
   std::uint32_t next_id_ = 1;

@@ -36,12 +36,13 @@
 namespace dnj::net {
 
 inline constexpr std::uint32_t kMagic = 0x314A4E44u;  ///< "DNJ1" little-endian
-/// Current protocol version. Version 2 added the kStats admin op; the
-/// change is additive, so the parser accepts any version in
+/// Current protocol version. Version 2 added the kStats admin op;
+/// version 3 adds the design-job ops (kJobSubmit..kJobResult). Both
+/// changes are additive, so the parser accepts any version in
 /// [kMinProtocolVersion, kProtocolVersion] and the server echoes the
-/// request's version in its responses — a v1 client keeps working
-/// unchanged against a v2 server.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// request's version in its responses — v1/v2 clients keep working
+/// unchanged against a v3 server.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 28;
 
@@ -65,7 +66,19 @@ enum class Op : std::uint8_t {
   kDeepnEncode = 4,  ///< quality + image -> bytes under the server's DeepN pair
   kInfer = 5,        ///< JFIF bytes -> class probabilities
   kStats = 6,        ///< admin scrape (v2): 1-byte format -> UTF-8 text
+  kJobSubmit = 7,    ///< design-job submit (v3): spec + dataset -> job id
+  kJobStatus = 8,    ///< design-job poll (v3): job id -> progress/state
+  kJobCancel = 9,    ///< design-job cancel (v3): job id -> empty payload
+  kJobResult = 10,   ///< design-job result (v3): job id -> table + ladder
 };
+
+/// True for the v3 design-job ops — answered on the server's loop thread
+/// (JobManager lookups are O(1)), carry no observability block, and
+/// require a version-3 frame.
+inline constexpr bool op_is_job(Op op) {
+  return op == Op::kJobSubmit || op == Op::kJobStatus || op == Op::kJobCancel ||
+         op == Op::kJobResult;
+}
 
 /// Wire status byte of a response frame. 0..5 mirror dnj::api::StatusCode
 /// value-for-value (pinned by static_asserts in protocol.cpp); 6 and 7 are

@@ -51,6 +51,13 @@ struct Cursor {
     *v = read_u32(q);
     return true;
   }
+  bool u64(std::uint64_t* v) {
+    const std::uint8_t* q;
+    if (!take(8, &q)) return false;
+    *v = read_u64(q);
+    return true;
+  }
+  bool f64(double* v);  // defined after read_f64
 };
 
 void append_f64(std::vector<std::uint8_t>& out, double v) {
@@ -65,6 +72,34 @@ double read_f64(const std::uint8_t* p) {
   std::memcpy(&v, &bits, sizeof(v));
   return v;
 }
+
+bool Cursor::f64(double* v) {
+  const std::uint8_t* q;
+  if (!take(8, &q)) return false;
+  *v = read_f64(q);
+  return true;
+}
+
+void append_table(std::vector<std::uint8_t>& out, const jpeg::QuantTable& table) {
+  for (int i = 0; i < 64; ++i) append_u16(out, table.step(i));
+}
+
+bool parse_table(Cursor& c, jpeg::QuantTable* out) {
+  const std::uint8_t* steps;
+  if (!c.take(128, &steps)) return false;
+  std::array<std::uint16_t, 64> natural;
+  for (int i = 0; i < 64; ++i)
+    natural[static_cast<std::size_t>(i)] = read_u16(steps + 2 * i);
+  *out = jpeg::QuantTable(natural);
+  return true;
+}
+
+// Wire-level sanity caps for job-submit counts. Semantic validation (the
+// schedule, the rate targets) belongs to JobManager::submit; these only
+// keep a hostile count field from dominating the parse.
+constexpr std::uint32_t kMaxTenantLen = 1024;
+constexpr std::uint32_t kMaxLadderRungs = 64;
+constexpr std::uint32_t kMaxJobClasses = 4096;
 
 void append_image(const image::Image& img, std::vector<std::uint8_t>& out) {
   append_u32(out, static_cast<std::uint32_t>(img.width()));
@@ -270,6 +305,13 @@ WireStatus parse_request(const Frame& frame, serve::Request* out) {
         return WireStatus::kInvalidArgument;
       return WireStatus::kOk;
     }
+    case Op::kJobSubmit:
+    case Op::kJobStatus:
+    case Op::kJobCancel:
+    case Op::kJobResult:
+      // Answered on the loop thread; parse_job_submit/parse_job_id_request
+      // do the payload validation there.
+      return WireStatus::kOk;
     case Op::kEncode:
     case Op::kTranscode: {
       req.kind = frame.op == Op::kEncode ? serve::RequestKind::kEncode
@@ -360,7 +402,11 @@ Frame make_response(std::uint32_t request_id, Op op, std::uint64_t config_digest
       break;
     }
     case Op::kPing:
-    case Op::kStats:  // built by make_stats_response; never via the service
+    case Op::kStats:       // built by make_stats_response; never via the service
+    case Op::kJobSubmit:   // job responses are built by make_job_*_response;
+    case Op::kJobStatus:   // they never travel through the service queue
+    case Op::kJobCancel:
+    case Op::kJobResult:
       break;
   }
   return f;
@@ -389,9 +435,9 @@ bool parse_response(const Frame& frame, WireReply* out) {
     return true;
   }
   Cursor c{frame.payload.data(), frame.payload.size()};
-  // Ping has no payload and a stats response is bare text — neither
-  // carries the observability block.
-  if (frame.op != Op::kPing && frame.op != Op::kStats) {
+  // Ping has no payload, a stats response is bare text, and job responses
+  // never touch the service queue — none carry the observability block.
+  if (frame.op != Op::kPing && frame.op != Op::kStats && !op_is_job(frame.op)) {
     const std::uint8_t* obs;
     if (!c.take(kObservabilitySize, &obs)) return false;
     r.cache_hit = obs[0] != 0;
@@ -425,11 +471,260 @@ bool parse_response(const Frame& frame, WireReply* out) {
       }
       break;
     }
+    case Op::kJobSubmit:
+      if (!c.u64(&r.job_id) || c.left != 0) return false;
+      break;
+    case Op::kJobCancel:
+      if (c.left != 0) return false;
+      break;
+    case Op::kJobStatus: {
+      jobs::JobStatus& js = r.job_status;
+      std::uint8_t state = 0, phase = 0;
+      const std::uint8_t* reserved;
+      std::uint32_t error_len = 0;
+      if (!c.u64(&js.id) || !c.u8(&state) || !c.u8(&phase) || !c.take(2, &reserved) ||
+          !c.u32(&js.sa_iteration) || !c.u32(&js.sa_total) || !c.u32(&js.checkpoints) ||
+          !c.u32(&js.rungs) || !c.f64(&js.progress) || !c.f64(&js.target_bytes) ||
+          !c.f64(&js.achieved_bytes) || !c.f64(&js.rate_error) || !c.u32(&error_len))
+        return false;
+      if (state >= jobs::kNumJobStates ||
+          phase > static_cast<std::uint8_t>(jobs::JobPhase::kDone))
+        return false;
+      js.state = static_cast<jobs::JobState>(state);
+      js.phase = static_cast<jobs::JobPhase>(phase);
+      const std::uint8_t* msg;
+      if (!c.take(error_len, &msg) || c.left != 0) return false;
+      js.error.assign(reinterpret_cast<const char*>(msg), error_len);
+      break;
+    }
+    case Op::kJobResult: {
+      jobs::JobResult& jr = r.job_result;
+      std::uint32_t quality = 0, iterations = 0, accepted = 0, reserved = 0;
+      std::uint32_t rung_count = 0, checkpoint_len = 0;
+      if (!c.u64(&jr.id) || !c.u32(&quality) || !c.u32(&iterations) ||
+          !c.u32(&accepted) || !c.u32(&reserved) || !c.f64(&jr.target_bytes) ||
+          !c.f64(&jr.achieved_bytes) || !c.f64(&jr.initial_cost) ||
+          !c.f64(&jr.best_cost) || !parse_table(c, &jr.table) || !c.u32(&rung_count))
+        return false;
+      jr.quality = static_cast<int>(quality);
+      jr.sa_iterations = iterations;
+      jr.accepted_moves = static_cast<int>(accepted);
+      jr.rungs.clear();
+      jr.rungs.reserve(rung_count > 256 ? 0 : rung_count);
+      for (std::uint32_t i = 0; i < rung_count; ++i) {
+        jobs::LadderRung rung;
+        std::uint32_t name_len = 0, rung_quality = 0;
+        const std::uint8_t* name;
+        if (!c.u32(&name_len) || !c.take(name_len, &name) || !c.u64(&rung.version) ||
+            !c.u32(&rung_quality) || !c.f64(&rung.target_bytes) ||
+            !c.f64(&rung.achieved_bytes))
+          return false;
+        rung.name.assign(reinterpret_cast<const char*>(name), name_len);
+        rung.quality = static_cast<int>(rung_quality);
+        jr.rungs.push_back(std::move(rung));
+      }
+      const std::uint8_t* ckpt;
+      if (!c.u32(&checkpoint_len) || !c.take(checkpoint_len, &ckpt) || c.left != 0)
+        return false;
+      jr.checkpoint.assign(ckpt, ckpt + checkpoint_len);
+      break;
+    }
     default:
       return false;
   }
   *out = std::move(r);
   return true;
+}
+
+// ----------------------------------------------------------- job ops (v3)
+
+Frame make_job_submit(std::uint32_t request_id, std::uint64_t requested_job_id,
+                      const jobs::DesignJobSpec& spec) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.op = Op::kJobSubmit;
+  f.request_id = request_id;
+  std::vector<std::uint8_t>& p = f.payload;
+  append_u64(p, requested_job_id);
+  append_u32(p, static_cast<std::uint32_t>(spec.tenant.size()));
+  p.insert(p.end(), spec.tenant.begin(), spec.tenant.end());
+  append_f64(p, spec.target_bytes_per_image);
+  append_u32(p, static_cast<std::uint32_t>(spec.ladder.size()));
+  for (double target : spec.ladder) append_f64(p, target);
+  append_u32(p, static_cast<std::uint32_t>(spec.sa.iterations));
+  append_f64(p, spec.sa.t_start);
+  append_f64(p, spec.sa.t_end);
+  append_f64(p, spec.sa.lambda);
+  append_u32(p, static_cast<std::uint32_t>(spec.sa.max_step));
+  append_u32(p, static_cast<std::uint32_t>(spec.sa.sample_images));
+  append_u64(p, spec.sa.seed);
+  append_u32(p, static_cast<std::uint32_t>(spec.sample_interval));
+  append_u32(p, static_cast<std::uint32_t>(spec.anneal_limit));
+  append_u64(p, static_cast<std::uint64_t>(spec.quota_bytes));
+  append_u32(p, static_cast<std::uint32_t>(spec.checkpoint.size()));
+  p.insert(p.end(), spec.checkpoint.begin(), spec.checkpoint.end());
+  append_u32(p, static_cast<std::uint32_t>(spec.dataset.num_classes));
+  append_u32(p, static_cast<std::uint32_t>(spec.dataset.size()));
+  for (const data::Sample& s : spec.dataset.samples) {
+    append_u32(p, static_cast<std::uint32_t>(s.label));
+    append_image(s.image, p);
+  }
+  return f;
+}
+
+WireStatus parse_job_submit(const Frame& frame, std::uint64_t* requested_job_id,
+                            jobs::DesignJobSpec* spec) {
+  if (frame.type != FrameType::kRequest || frame.op != Op::kJobSubmit)
+    return WireStatus::kMalformed;
+  if (frame.config_digest != 0) return WireStatus::kMalformed;
+  Cursor c{frame.payload.data(), frame.payload.size()};
+  jobs::DesignJobSpec out;
+  std::uint64_t id = 0;
+  std::uint32_t tenant_len = 0;
+  if (!c.u64(&id) || !c.u32(&tenant_len)) return WireStatus::kMalformed;
+  const std::uint8_t* tenant;
+  if (!c.take(tenant_len, &tenant)) return WireStatus::kMalformed;
+  if (tenant_len == 0 || tenant_len > kMaxTenantLen) return WireStatus::kInvalidArgument;
+  out.tenant.assign(reinterpret_cast<const char*>(tenant), tenant_len);
+  std::uint32_t ladder_count = 0;
+  if (!c.f64(&out.target_bytes_per_image) || !c.u32(&ladder_count))
+    return WireStatus::kMalformed;
+  if (ladder_count > kMaxLadderRungs) return WireStatus::kInvalidArgument;
+  out.ladder.resize(ladder_count);
+  for (std::uint32_t i = 0; i < ladder_count; ++i)
+    if (!c.f64(&out.ladder[i])) return WireStatus::kMalformed;
+  std::uint32_t iterations = 0, max_step = 0, sample_images = 0;
+  std::uint32_t sample_interval = 0, anneal_limit = 0, checkpoint_len = 0;
+  std::uint64_t quota = 0;
+  if (!c.u32(&iterations) || !c.f64(&out.sa.t_start) || !c.f64(&out.sa.t_end) ||
+      !c.f64(&out.sa.lambda) || !c.u32(&max_step) || !c.u32(&sample_images) ||
+      !c.u64(&out.sa.seed) || !c.u32(&sample_interval) || !c.u32(&anneal_limit) ||
+      !c.u64(&quota) || !c.u32(&checkpoint_len))
+    return WireStatus::kMalformed;
+  out.sa.iterations = static_cast<int>(iterations);
+  out.sa.max_step = static_cast<int>(max_step);
+  out.sa.sample_images = static_cast<int>(sample_images);
+  out.sample_interval = static_cast<int>(sample_interval);
+  out.anneal_limit = static_cast<int>(anneal_limit);
+  out.quota_bytes = static_cast<std::size_t>(quota);
+  const std::uint8_t* ckpt;
+  if (!c.take(checkpoint_len, &ckpt)) return WireStatus::kMalformed;
+  out.checkpoint.assign(ckpt, ckpt + checkpoint_len);
+  std::uint32_t num_classes = 0, image_count = 0;
+  if (!c.u32(&num_classes) || !c.u32(&image_count)) return WireStatus::kMalformed;
+  if (num_classes < 1 || num_classes > kMaxJobClasses) return WireStatus::kInvalidArgument;
+  if (image_count < 1) return WireStatus::kInvalidArgument;
+  out.dataset.num_classes = static_cast<int>(num_classes);
+  out.dataset.samples.reserve(image_count);
+  for (std::uint32_t i = 0; i < image_count; ++i) {
+    data::Sample s;
+    std::uint32_t label = 0;
+    if (!c.u32(&label)) return WireStatus::kMalformed;
+    const bool last = i + 1 == image_count;
+    if (WireStatus st = parse_image(c, /*must_consume_all=*/last, &s.image);
+        st != WireStatus::kOk)
+      return st;
+    if (label >= num_classes) return WireStatus::kInvalidArgument;
+    s.label = static_cast<int>(label);
+    out.dataset.samples.push_back(std::move(s));
+  }
+  *requested_job_id = id;
+  *spec = std::move(out);
+  return WireStatus::kOk;
+}
+
+Frame make_job_id_request(std::uint32_t request_id, Op op, std::uint64_t job_id) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.op = op;
+  f.request_id = request_id;
+  append_u64(f.payload, job_id);
+  return f;
+}
+
+WireStatus parse_job_id_request(const Frame& frame, std::uint64_t* job_id) {
+  if (frame.type != FrameType::kRequest) return WireStatus::kMalformed;
+  if (frame.op != Op::kJobStatus && frame.op != Op::kJobCancel &&
+      frame.op != Op::kJobResult)
+    return WireStatus::kMalformed;
+  if (frame.config_digest != 0) return WireStatus::kMalformed;
+  Cursor c{frame.payload.data(), frame.payload.size()};
+  if (!c.u64(job_id) || c.left != 0) return WireStatus::kMalformed;
+  return WireStatus::kOk;
+}
+
+Frame make_job_submit_response(std::uint32_t request_id, std::uint64_t job_id) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = Op::kJobSubmit;
+  f.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  f.request_id = request_id;
+  append_u64(f.payload, job_id);
+  return f;
+}
+
+Frame make_job_status_response(std::uint32_t request_id, const jobs::JobStatus& status) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = Op::kJobStatus;
+  f.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  f.request_id = request_id;
+  std::vector<std::uint8_t>& p = f.payload;
+  append_u64(p, status.id);
+  append_u8(p, static_cast<std::uint8_t>(status.state));
+  append_u8(p, static_cast<std::uint8_t>(status.phase));
+  append_u16(p, 0);  // reserved
+  append_u32(p, status.sa_iteration);
+  append_u32(p, status.sa_total);
+  append_u32(p, status.checkpoints);
+  append_u32(p, status.rungs);
+  append_f64(p, status.progress);
+  append_f64(p, status.target_bytes);
+  append_f64(p, status.achieved_bytes);
+  append_f64(p, status.rate_error);
+  append_u32(p, static_cast<std::uint32_t>(status.error.size()));
+  p.insert(p.end(), status.error.begin(), status.error.end());
+  return f;
+}
+
+Frame make_job_cancel_response(std::uint32_t request_id) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = Op::kJobCancel;
+  f.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  f.request_id = request_id;
+  return f;
+}
+
+Frame make_job_result_response(std::uint32_t request_id, const jobs::JobResult& result) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.op = Op::kJobResult;
+  f.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  f.request_id = request_id;
+  std::vector<std::uint8_t>& p = f.payload;
+  append_u64(p, result.id);
+  append_u32(p, static_cast<std::uint32_t>(result.quality));
+  append_u32(p, result.sa_iterations);
+  append_u32(p, static_cast<std::uint32_t>(result.accepted_moves));
+  append_u32(p, 0);  // reserved
+  append_f64(p, result.target_bytes);
+  append_f64(p, result.achieved_bytes);
+  append_f64(p, result.initial_cost);
+  append_f64(p, result.best_cost);
+  append_table(p, result.table);
+  append_u32(p, static_cast<std::uint32_t>(result.rungs.size()));
+  for (const jobs::LadderRung& rung : result.rungs) {
+    append_u32(p, static_cast<std::uint32_t>(rung.name.size()));
+    p.insert(p.end(), rung.name.begin(), rung.name.end());
+    append_u64(p, rung.version);
+    append_u32(p, static_cast<std::uint32_t>(rung.quality));
+    append_f64(p, rung.target_bytes);
+    append_f64(p, rung.achieved_bytes);
+  }
+  append_u32(p, static_cast<std::uint32_t>(result.checkpoint.size()));
+  p.insert(p.end(), result.checkpoint.begin(), result.checkpoint.end());
+  return f;
 }
 
 }  // namespace dnj::net

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "jobs/design_job.hpp"
 #include "net/frame.hpp"
 #include "serve/request.hpp"
 
@@ -64,6 +65,9 @@ Frame make_stats_response(std::uint32_t request_id, const std::string& text);
 ///                      empty stream, unknown stats format)
 /// kPing and kStats parse with *out untouched — the caller answers them
 /// directly (for kStats, re-read the format byte from frame.payload[0]).
+/// Job ops (op_is_job) also return kOk with *out untouched: the server
+/// answers them on its loop thread via parse_job_submit /
+/// parse_job_id_request, which do the real payload validation.
 WireStatus parse_request(const Frame& frame, serve::Request* out);
 
 // -------------------------------------------------------------- responses
@@ -96,6 +100,10 @@ struct WireReply {
   image::Image image;               ///< decode result
   std::vector<float> probs;         ///< infer result
 
+  std::uint64_t job_id = 0;         ///< job-submit result
+  jobs::JobStatus job_status;       ///< job-status result
+  jobs::JobResult job_result;       ///< job-result result
+
   bool cache_hit = false;
   std::uint32_t batch_size = 0;
   double queue_us = 0.0;
@@ -106,6 +114,39 @@ struct WireReply {
 /// structurally valid response (wrong type, truncated blocks) — a typed
 /// error response parses fine and lands in out->status/out->error.
 bool parse_response(const Frame& frame, WireReply* out);
+
+// ---------------------------------------------------------- job ops (v3)
+//
+// The design-job ops are protocol v3. Like kPing/kStats they are answered
+// on the server's loop thread (JobManager calls are O(1) map lookups;
+// execution happens on the manager's own worker pool), their header
+// config_digest is 0, and their OK responses carry NO observability
+// block. Byte layouts are in docs/PROTOCOL.md.
+
+/// Builds a kJobSubmit request: the spec (tenant, rate targets, SA
+/// schedule, optional resume checkpoint) plus the labelled sample images.
+/// `requested_job_id` 0 lets the server assign the id.
+Frame make_job_submit(std::uint32_t request_id, std::uint64_t requested_job_id,
+                      const jobs::DesignJobSpec& spec);
+
+/// Parses a kJobSubmit payload. kOk fills both outputs; kMalformed for
+/// truncated/over-long blocks, kInvalidArgument for out-of-range fields
+/// (zero images, oversized counts, bad dimensions).
+WireStatus parse_job_submit(const Frame& frame, std::uint64_t* requested_job_id,
+                            jobs::DesignJobSpec* spec);
+
+/// Builds a kJobStatus / kJobCancel / kJobResult request — all three share
+/// the same 8-byte payload (the job id, LE u64).
+Frame make_job_id_request(std::uint32_t request_id, Op op, std::uint64_t job_id);
+
+/// Parses the shared job-id payload of kJobStatus/kJobCancel/kJobResult.
+WireStatus parse_job_id_request(const Frame& frame, std::uint64_t* job_id);
+
+// OK responses for each job op (errors use make_error as everywhere else).
+Frame make_job_submit_response(std::uint32_t request_id, std::uint64_t job_id);
+Frame make_job_status_response(std::uint32_t request_id, const jobs::JobStatus& status);
+Frame make_job_cancel_response(std::uint32_t request_id);
+Frame make_job_result_response(std::uint32_t request_id, const jobs::JobResult& result);
 
 // ------------------------------------------------------------------ blocks
 

@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "jobs/job_manager.hpp"
 #include "net/protocol.hpp"
 #include "obs/trace.hpp"
 
@@ -30,6 +31,36 @@ PollerBackend resolve_backend(PollerBackend configured) {
     if (std::strcmp(env, "poll") == 0) return PollerBackend::kPoll;
   }
   return PollerBackend::kAuto;
+}
+
+// JobRc -> wire status, matching the mapping documented in job_manager.hpp.
+// All of these are non-fatal to the connection: the frame was well-formed,
+// the refusal is about the job, not the stream.
+WireStatus wire_status_from_job_rc(jobs::JobRc rc) {
+  switch (rc) {
+    case jobs::JobRc::kOk: return WireStatus::kOk;
+    case jobs::JobRc::kNotFound:
+    case jobs::JobRc::kDuplicate:
+    case jobs::JobRc::kInvalid: return WireStatus::kInvalidArgument;
+    case jobs::JobRc::kQueueFull:
+    case jobs::JobRc::kNotFinished: return WireStatus::kRejected;
+    case jobs::JobRc::kShutdown: return WireStatus::kShutdown;
+  }
+  return WireStatus::kInternal;
+}
+
+std::string job_rc_message(jobs::JobRc rc, std::uint64_t job_id) {
+  const std::string id = std::to_string(job_id);
+  switch (rc) {
+    case jobs::JobRc::kNotFound: return "unknown job id " + id;
+    case jobs::JobRc::kDuplicate: return "job id " + id + " already exists";
+    case jobs::JobRc::kInvalid: return "invalid job spec";
+    case jobs::JobRc::kQueueFull: return "job queue full";
+    case jobs::JobRc::kNotFinished: return "job " + id + " not finished";
+    case jobs::JobRc::kShutdown: return "job manager draining";
+    case jobs::JobRc::kOk: break;
+  }
+  return "";
 }
 
 }  // namespace
@@ -85,6 +116,7 @@ Server::Server(serve::TranscodeService& service, ServerConfig config)
     counter("net_protocol_errors_total", s.protocol_errors);
     counter("net_responses_dropped_total", s.responses_dropped);
     counter("net_stats_scrapes_total", s.stats_scrapes);
+    counter("net_job_ops_total", s.job_ops);
     obs::Sample active;
     active.name = "net_connections_active";
     active.value = static_cast<double>(s.connections_active);
@@ -188,6 +220,7 @@ ServerStats Server::stats() const {
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
   s.stats_scrapes = stats_scrapes_.load(std::memory_order_relaxed);
+  s.job_ops = job_ops_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -500,6 +533,92 @@ bool Server::handle_frame(Conn* conn, Frame&& frame) {
       case StatsFormat::kTraceJson: text = tracer.dump_json(); break;
     }
     Frame resp = make_stats_response(frame.request_id, text);
+    resp.version = frame.version;
+    return queue_frame(conn, resp);
+  }
+
+  if (parsed == WireStatus::kOk && op_is_job(frame.op)) {
+    if (frame.version < 3) {
+      // Ops 7..10 do not exist before v3 — inside those versions the frame
+      // is malformed, and a malformed frame poisons the stream.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn->stop_reading = true;
+      conn->closing = true;
+      poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+      Frame err = make_error(frame.request_id, frame.op, WireStatus::kMalformed,
+                             "op " + std::to_string(static_cast<int>(frame.op)) +
+                                 " (job) requires protocol version 3");
+      err.version = frame.version;
+      return queue_frame(conn, err);
+    }
+    job_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (!config_.jobs) {
+      Frame err = make_error(frame.request_id, frame.op, WireStatus::kInternal,
+                             "job subsystem not enabled");
+      err.version = frame.version;
+      return queue_frame(conn, err);
+    }
+    jobs::JobManager& manager = *config_.jobs;
+
+    // Job ops are answered right here on the loop thread: submit queues
+    // onto the manager's own pool, the rest are O(1) map lookups — none
+    // ever waits on design work or the transcode queue.
+    Frame resp;
+    if (frame.op == Op::kJobSubmit) {
+      std::uint64_t requested_id = 0;
+      jobs::DesignJobSpec spec;
+      const WireStatus ps = parse_job_submit(frame, &requested_id, &spec);
+      if (ps != WireStatus::kOk) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        const bool fatal = ps == WireStatus::kMalformed;
+        if (fatal) {
+          conn->stop_reading = true;
+          conn->closing = true;
+          poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+        }
+        const char* why =
+            fatal ? "malformed job-submit payload" : "job-submit argument out of range";
+        Frame err = make_error(frame.request_id, frame.op, ps, why);
+        err.version = frame.version;
+        return queue_frame(conn, err);
+      }
+      std::uint64_t job_id = 0;
+      const jobs::JobRc rc = manager.submit(std::move(spec), requested_id, &job_id);
+      resp = rc == jobs::JobRc::kOk
+                 ? make_job_submit_response(frame.request_id, job_id)
+                 : make_error(frame.request_id, frame.op, wire_status_from_job_rc(rc),
+                              job_rc_message(rc, requested_id));
+    } else {
+      std::uint64_t job_id = 0;
+      if (parse_job_id_request(frame, &job_id) != WireStatus::kOk) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn->stop_reading = true;
+        conn->closing = true;
+        poller_->update(conn->fd.get(), /*want_read=*/false, conn->want_write);
+        Frame err = make_error(frame.request_id, frame.op, WireStatus::kMalformed,
+                               "malformed job-id payload");
+        err.version = frame.version;
+        return queue_frame(conn, err);
+      }
+      jobs::JobRc rc = jobs::JobRc::kOk;
+      if (frame.op == Op::kJobStatus) {
+        jobs::JobStatus status;
+        rc = manager.status(job_id, &status);
+        if (rc == jobs::JobRc::kOk)
+          resp = make_job_status_response(frame.request_id, status);
+      } else if (frame.op == Op::kJobCancel) {
+        rc = manager.cancel(job_id);
+        if (rc == jobs::JobRc::kOk) resp = make_job_cancel_response(frame.request_id);
+      } else {  // kJobResult
+        jobs::JobResult result;
+        rc = manager.result(job_id, &result);
+        if (rc == jobs::JobRc::kOk)
+          resp = make_job_result_response(frame.request_id, result);
+      }
+      if (rc != jobs::JobRc::kOk)
+        resp = make_error(frame.request_id, frame.op, wire_status_from_job_rc(rc),
+                          job_rc_message(rc, job_id));
+    }
     resp.version = frame.version;
     return queue_frame(conn, resp);
   }

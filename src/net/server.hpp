@@ -54,6 +54,10 @@
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
 
+namespace dnj::jobs {
+class JobManager;
+}
+
 namespace dnj::net {
 
 struct ServerConfig {
@@ -81,6 +85,11 @@ struct ServerConfig {
   /// the DNJ_NET_BACKEND environment variable (epoll|poll) overrides kAuto
   /// only, so programmatic choices stay authoritative.
   PollerBackend backend = PollerBackend::kAuto;
+
+  /// Design-job manager answering the v3 job ops (must outlive the
+  /// server). Null = job ops are refused with a typed kInternal error;
+  /// everything else works unchanged.
+  jobs::JobManager* jobs = nullptr;
 };
 
 /// Point-in-time counters (all monotonic except connections_active).
@@ -96,6 +105,7 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;     ///< malformed/version-skew frames
   std::uint64_t responses_dropped = 0;   ///< connection gone before write-back
   std::uint64_t stats_scrapes = 0;       ///< kStats admin ops answered
+  std::uint64_t job_ops = 0;             ///< v3 job ops answered (any status)
 };
 
 class Server {
@@ -194,6 +204,7 @@ class Server {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> responses_dropped_{0};
   std::atomic<std::uint64_t> stats_scrapes_{0};
+  std::atomic<std::uint64_t> job_ops_{0};
 
   // Metrics plane: the server publishes into the service's registry — one
   // scrape answers for both layers. The collector snapshots the atomics

@@ -47,6 +47,10 @@ const char* stage_name(Stage stage) {
     case Stage::kDecodeEntropy: return "decode_entropy";
     case Stage::kDecodePixels: return "decode_pixels";
     case Stage::kInfer: return "infer";
+    case Stage::kJobAnalyze: return "job_analyze";
+    case Stage::kJobAnneal: return "job_anneal";
+    case Stage::kJobRateSearch: return "job_rate_search";
+    case Stage::kJobLadder: return "job_ladder";
   }
   return "unknown";
 }

@@ -43,8 +43,12 @@ enum class Stage : std::uint8_t {
   kDecodeEntropy,      // header parse + Huffman decode (tag = scan bytes)
   kDecodePixels,       // dequantize + IDCT + untile + color
   kInfer,              // NN forward pass
+  kJobAnalyze,         // design job: frequency analysis (tag = images)
+  kJobAnneal,          // design job: SA segment (tag = iterations run)
+  kJobRateSearch,      // design job: rate search (tag = encode calls)
+  kJobLadder,          // design job: ladder registration (tag = rungs)
 };
-inline constexpr int kNumStages = 14;
+inline constexpr int kNumStages = 18;
 
 const char* stage_name(Stage stage);
 

@@ -1,0 +1,648 @@
+// The design-job subsystem end to end: JobManager lifecycle (submit/
+// poll/cancel, typed refusals, the lookup-error kind-sum invariant),
+// checkpoint-resume byte-identity (the determinism gate bench_design
+// re-checks), rate control against a bytes-per-image target, the quality
+// ladder publishing into the registry, concurrent jobs (the TSan leg
+// runs this binary), the wire marshalling round trip, and the v3 job ops
+// over a real loopback server — including the acceptance criterion that
+// a wire-submitted rate-controlled job lands within 5% of its target.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dnj.hpp"
+#include "data/synthetic.hpp"
+#include "jobs/job_manager.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+
+namespace dnj::jobs {
+namespace {
+
+/// Small deterministic design sample: 4 classes x 2 images, 32x32 gray.
+data::Dataset job_dataset(std::uint64_t seed = 9001) {
+  data::GeneratorConfig cfg;
+  cfg.num_classes = 4;
+  cfg.seed = seed;
+  return data::SyntheticDatasetGenerator(cfg).generate(2);
+}
+
+/// Schedule small enough that a full job is test-speed.
+core::SaConfig quick_sa() {
+  core::SaConfig sa;
+  sa.iterations = 60;
+  sa.sample_images = 8;
+  return sa;
+}
+
+DesignJobSpec quick_spec(const std::string& tenant, std::uint64_t seed = 9001) {
+  DesignJobSpec spec;
+  spec.dataset = job_dataset(seed);
+  spec.tenant = tenant;
+  spec.sa = quick_sa();
+  return spec;
+}
+
+/// Runs an uncontrolled job and returns its achieved mean scan bytes at
+/// the designed midpoint — the probe every rate-target test derives a
+/// reachable target from.
+double probe_midpoint_bytes(const std::string& tenant) {
+  JobManager manager;
+  std::uint64_t id = 0;
+  EXPECT_EQ(manager.submit(quick_spec(tenant), 0, &id), JobRc::kOk);
+  JobStatus status;
+  EXPECT_EQ(manager.wait(id, &status), JobRc::kOk);
+  EXPECT_EQ(status.state, JobState::kCompleted) << status.error;
+  EXPECT_GT(status.achieved_bytes, 0.0);
+  return status.achieved_bytes;
+}
+
+TEST(JobManager, SubmitCompletesAndPublishesTenant) {
+  JobManager manager;
+  std::uint64_t id = 0;
+  ASSERT_EQ(manager.submit(quick_spec("design-a"), 0, &id), JobRc::kOk);
+  EXPECT_NE(id, 0u);
+
+  JobStatus status;
+  ASSERT_EQ(manager.wait(id, &status), JobRc::kOk);
+  ASSERT_EQ(status.state, JobState::kCompleted) << status.error;
+  EXPECT_EQ(status.phase, JobPhase::kDone);
+  EXPECT_DOUBLE_EQ(status.progress, 1.0);
+  EXPECT_EQ(status.sa_iteration, 60u);
+  EXPECT_GE(status.checkpoints, 1u);
+  EXPECT_EQ(status.rungs, 1u);
+
+  JobResult result;
+  ASSERT_EQ(manager.result(id, &result), JobRc::kOk);
+  EXPECT_EQ(result.id, id);
+  EXPECT_LE(result.best_cost, result.initial_cost);
+  EXPECT_FALSE(result.checkpoint.empty());
+  ASSERT_EQ(result.rungs.size(), 1u);
+  EXPECT_EQ(result.rungs[0].name, "design-a");
+
+  // The designed tenant is servable: it landed in the manager's registry.
+  const std::vector<std::string> names = manager.registry()->names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "design-a"), names.end());
+}
+
+TEST(JobManager, RateControlledJobLandsWithinFivePercent) {
+  const double midpoint = probe_midpoint_bytes("probe");
+
+  JobManager manager;
+  DesignJobSpec spec = quick_spec("rate-a");
+  spec.target_bytes_per_image = midpoint * 1.02;
+  std::uint64_t id = 0;
+  ASSERT_EQ(manager.submit(std::move(spec), 0, &id), JobRc::kOk);
+  JobStatus status;
+  ASSERT_EQ(manager.wait(id, &status), JobRc::kOk);
+  ASSERT_EQ(status.state, JobState::kCompleted) << status.error;
+  EXPECT_LE(status.achieved_bytes, status.target_bytes);
+  EXPECT_LE(status.rate_error, 0.05);
+
+  JobResult result;
+  ASSERT_EQ(manager.result(id, &result), JobRc::kOk);
+  EXPECT_EQ(result.achieved_bytes, status.achieved_bytes);
+  EXPECT_GE(result.quality, 50);  // target sits above the midpoint rate
+}
+
+TEST(JobManager, UnreachableTargetFailsTyped) {
+  // One byte per image is below the floor-quality rate: the job must land
+  // in kFailed with the rate controller's typed message — never complete
+  // with a silently clamped oversized rate point.
+  JobManager manager;
+  DesignJobSpec spec = quick_spec("rate-bad");
+  spec.target_bytes_per_image = 1.0;
+  std::uint64_t id = 0;
+  ASSERT_EQ(manager.submit(std::move(spec), 0, &id), JobRc::kOk);
+  JobStatus status;
+  ASSERT_EQ(manager.wait(id, &status), JobRc::kOk);
+  EXPECT_EQ(status.state, JobState::kFailed);
+  EXPECT_FALSE(status.error.empty());
+  EXPECT_EQ(manager.stats().failed, 1u);
+}
+
+TEST(JobManager, LadderPublishesVersionedRungs) {
+  const double midpoint = probe_midpoint_bytes("probe-ladder");
+
+  JobManager manager;
+  DesignJobSpec spec = quick_spec("ladder-a");
+  spec.target_bytes_per_image = midpoint * 1.05;
+  spec.ladder = {midpoint * 1.5, midpoint * 2.0};
+  std::uint64_t id = 0;
+  ASSERT_EQ(manager.submit(std::move(spec), 0, &id), JobRc::kOk);
+  JobStatus status;
+  ASSERT_EQ(manager.wait(id, &status), JobRc::kOk);
+  ASSERT_EQ(status.state, JobState::kCompleted) << status.error;
+  EXPECT_EQ(status.rungs, 3u);
+
+  JobResult result;
+  ASSERT_EQ(manager.result(id, &result), JobRc::kOk);
+  ASSERT_EQ(result.rungs.size(), 3u);
+  EXPECT_EQ(result.rungs[0].name, "ladder-a");
+  EXPECT_EQ(result.rungs[1].name, "ladder-a:r1");
+  EXPECT_EQ(result.rungs[2].name, "ladder-a:r2");
+  for (const LadderRung& rung : result.rungs) {
+    EXPECT_GT(rung.version, 0u);
+    if (rung.target_bytes > 0.0) {
+      EXPECT_LE(rung.achieved_bytes, rung.target_bytes);
+    }
+  }
+  const std::vector<std::string> names = manager.registry()->names();
+  for (const char* name : {"ladder-a", "ladder-a:r1", "ladder-a:r2"})
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+  EXPECT_EQ(manager.stats().ladder_rungs, 3u);
+}
+
+TEST(JobManager, CheckpointResumeIsByteIdentical) {
+  // The determinism gate: pause mid-anneal, resume from the checkpoint,
+  // and the resumed job must anneal the byte-identical table (and costs)
+  // of an uninterrupted run over the same dataset.
+  JobManagerConfig cfg;
+  cfg.checkpoint_interval = 16;
+  JobManager manager(cfg);
+
+  DesignJobSpec paused_spec = quick_spec("resume-a");
+  paused_spec.anneal_limit = 30;
+  std::uint64_t paused_id = 0;
+  ASSERT_EQ(manager.submit(std::move(paused_spec), 0, &paused_id), JobRc::kOk);
+  JobStatus paused_status;
+  ASSERT_EQ(manager.wait(paused_id, &paused_status), JobRc::kOk);
+  ASSERT_EQ(paused_status.state, JobState::kPaused) << paused_status.error;
+  EXPECT_EQ(paused_status.sa_iteration, 30u);
+  EXPECT_EQ(manager.stats().paused, 1u);
+
+  JobResult paused_result;
+  ASSERT_EQ(manager.result(paused_id, &paused_result), JobRc::kOk);
+  ASSERT_FALSE(paused_result.checkpoint.empty());
+
+  DesignJobSpec resume_spec = quick_spec("resume-b");
+  resume_spec.checkpoint = paused_result.checkpoint;
+  std::uint64_t resumed_id = 0;
+  ASSERT_EQ(manager.submit(std::move(resume_spec), 0, &resumed_id), JobRc::kOk);
+  JobStatus resumed_status;
+  ASSERT_EQ(manager.wait(resumed_id, &resumed_status), JobRc::kOk);
+  ASSERT_EQ(resumed_status.state, JobState::kCompleted) << resumed_status.error;
+  EXPECT_EQ(resumed_status.sa_iteration, 60u);
+
+  std::uint64_t straight_id = 0;
+  ASSERT_EQ(manager.submit(quick_spec("resume-c"), 0, &straight_id), JobRc::kOk);
+  JobStatus straight_status;
+  ASSERT_EQ(manager.wait(straight_id, &straight_status), JobRc::kOk);
+  ASSERT_EQ(straight_status.state, JobState::kCompleted) << straight_status.error;
+
+  JobResult resumed, straight;
+  ASSERT_EQ(manager.result(resumed_id, &resumed), JobRc::kOk);
+  ASSERT_EQ(manager.result(straight_id, &straight), JobRc::kOk);
+  EXPECT_EQ(resumed.table, straight.table);
+  EXPECT_DOUBLE_EQ(resumed.best_cost, straight.best_cost);
+  EXPECT_EQ(resumed.accepted_moves, straight.accepted_moves);
+  EXPECT_EQ(resumed.checkpoint, straight.checkpoint);
+}
+
+TEST(JobManager, CancelQueuedAndRunningJobs) {
+  JobManagerConfig cfg;
+  cfg.workers = 1;
+  cfg.checkpoint_interval = 8;  // cancel lands within one short segment
+  JobManager manager(cfg);
+
+  // A long-running job occupies the single worker...
+  DesignJobSpec long_spec = quick_spec("cancel-running");
+  long_spec.sa.iterations = 100000;
+  std::uint64_t running_id = 0;
+  ASSERT_EQ(manager.submit(std::move(long_spec), 0, &running_id), JobRc::kOk);
+  // ...so this one sits queued and cancels immediately.
+  std::uint64_t queued_id = 0;
+  ASSERT_EQ(manager.submit(quick_spec("cancel-queued"), 0, &queued_id), JobRc::kOk);
+  ASSERT_EQ(manager.cancel(queued_id), JobRc::kOk);
+  JobStatus queued_status;
+  ASSERT_EQ(manager.status(queued_id, &queued_status), JobRc::kOk);
+  EXPECT_EQ(queued_status.state, JobState::kCancelled);
+
+  // The running job stops at its next segment boundary.
+  ASSERT_EQ(manager.cancel(running_id), JobRc::kOk);
+  JobStatus running_status;
+  ASSERT_EQ(manager.wait(running_id, &running_status), JobRc::kOk);
+  EXPECT_EQ(running_status.state, JobState::kCancelled);
+  // Cancel of a terminal job is an idempotent kOk.
+  EXPECT_EQ(manager.cancel(running_id), JobRc::kOk);
+  EXPECT_EQ(manager.stats().cancelled, 2u);
+}
+
+TEST(JobManager, TypedRefusalsAndKindSumInvariant) {
+  JobManager manager;
+
+  // Unknown ids: one typed refusal per op kind.
+  EXPECT_EQ(manager.status(404, nullptr), JobRc::kNotFound);
+  EXPECT_EQ(manager.cancel(404), JobRc::kNotFound);
+  JobResult result;
+  EXPECT_EQ(manager.result(404, &result), JobRc::kNotFound);
+  EXPECT_EQ(manager.wait(404), JobRc::kNotFound);
+
+  // Duplicate requested id.
+  std::uint64_t id = 0;
+  ASSERT_EQ(manager.submit(quick_spec("dup-a"), 77, &id), JobRc::kOk);
+  EXPECT_EQ(id, 77u);
+  EXPECT_EQ(manager.submit(quick_spec("dup-b"), 77, nullptr), JobRc::kDuplicate);
+
+  // Invalid specs are refused before touching the queue.
+  EXPECT_EQ(manager.submit(DesignJobSpec{}, 0, nullptr), JobRc::kInvalid);
+  DesignJobSpec no_tenant = quick_spec("");
+  EXPECT_EQ(manager.submit(std::move(no_tenant), 0, nullptr), JobRc::kInvalid);
+  DesignJobSpec bad_iters = quick_spec("bad-iters");
+  bad_iters.sa.iterations = 0;
+  EXPECT_EQ(manager.submit(std::move(bad_iters), 0, nullptr), JobRc::kInvalid);
+
+  // result() before the job finished is kNotFinished, not a lookup error.
+  JobStatus status;
+  ASSERT_EQ(manager.status(77, &status), JobRc::kOk);
+  if (status.state == JobState::kQueued || status.state == JobState::kRunning) {
+    const JobRc rc = manager.result(77, &result);
+    EXPECT_TRUE(rc == JobRc::kNotFinished || rc == JobRc::kOk);
+  }
+
+  // The kind-sum invariant: per-op lookup errors account for the total.
+  const JobManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.lookup_errors_by_op[0], 1u);  // duplicate submit
+  EXPECT_EQ(stats.lookup_errors_by_op[1], 2u);  // status + wait
+  EXPECT_EQ(stats.lookup_errors_by_op[2], 1u);  // cancel
+  EXPECT_EQ(stats.lookup_errors_by_op[3], 1u);  // result
+  EXPECT_EQ(stats.lookup_errors, stats.lookup_errors_by_op[0] + stats.lookup_errors_by_op[1] +
+                                     stats.lookup_errors_by_op[2] + stats.lookup_errors_by_op[3]);
+  manager.cancel(77);
+}
+
+TEST(JobManager, FullQueueRejectsTyped) {
+  JobManagerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  JobManager manager(cfg);
+
+  DesignJobSpec long_spec = quick_spec("queue-full");
+  long_spec.sa.iterations = 100000;
+  std::uint64_t id = 0;
+  ASSERT_EQ(manager.submit(std::move(long_spec), 0, &id), JobRc::kOk);
+  EXPECT_EQ(manager.submit(quick_spec("overflow"), 0, nullptr), JobRc::kQueueFull);
+  EXPECT_EQ(manager.stats().rejected, 1u);
+  manager.cancel(id);
+}
+
+TEST(JobManager, SubmitAfterShutdownIsTyped) {
+  JobManager manager;
+  manager.shutdown();
+  EXPECT_EQ(manager.submit(quick_spec("late"), 0, nullptr), JobRc::kShutdown);
+}
+
+TEST(JobManager, ConcurrentJobsComplete) {
+  // Two workers, four jobs, poll-while-running: the TSan leg runs this.
+  JobManagerConfig cfg;
+  cfg.workers = 2;
+  JobManager manager(cfg);
+
+  std::vector<std::uint64_t> ids(4);
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < 4; ++i) {
+    submitters.emplace_back([&manager, &ids, i] {
+      DesignJobSpec spec = quick_spec("conc-" + std::to_string(i),
+                                      /*seed=*/9001 + static_cast<std::uint64_t>(i));
+      EXPECT_EQ(manager.submit(std::move(spec), 0, &ids[static_cast<std::size_t>(i)]),
+                JobRc::kOk);
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  // Concurrent status polling while workers are annealing.
+  std::thread poller([&manager, &ids] {
+    for (int round = 0; round < 50; ++round) {
+      for (std::uint64_t id : ids) {
+        JobStatus s;
+        EXPECT_EQ(manager.status(id, &s), JobRc::kOk);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::uint64_t id : ids) {
+    JobStatus status;
+    ASSERT_EQ(manager.wait(id, &status), JobRc::kOk);
+    EXPECT_EQ(status.state, JobState::kCompleted) << status.error;
+  }
+  poller.join();
+  EXPECT_EQ(manager.stats().completed, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire marshalling: spec and status/result survive the frame round trip.
+
+TEST(JobWire, SubmitSpecRoundTrips) {
+  DesignJobSpec spec = quick_spec("wire-tenant");
+  spec.target_bytes_per_image = 321.5;
+  spec.ladder = {400.0, 650.25};
+  spec.sa.iterations = 123;
+  spec.sa.seed = 0xFEEDFACE;
+  spec.sample_interval = 3;
+  spec.anneal_limit = 40;
+  spec.quota_bytes = 1 << 20;
+  spec.checkpoint = {1, 2, 3, 4, 5};
+
+  const net::Frame frame = net::make_job_submit(42, 7, spec);
+  EXPECT_EQ(frame.op, net::Op::kJobSubmit);
+  std::uint64_t requested = 0;
+  DesignJobSpec parsed;
+  ASSERT_EQ(net::parse_job_submit(frame, &requested, &parsed), net::WireStatus::kOk);
+  EXPECT_EQ(requested, 7u);
+  EXPECT_EQ(parsed.tenant, spec.tenant);
+  EXPECT_DOUBLE_EQ(parsed.target_bytes_per_image, spec.target_bytes_per_image);
+  EXPECT_EQ(parsed.ladder, spec.ladder);
+  EXPECT_EQ(parsed.sa.iterations, spec.sa.iterations);
+  EXPECT_DOUBLE_EQ(parsed.sa.t_start, spec.sa.t_start);
+  EXPECT_DOUBLE_EQ(parsed.sa.lambda, spec.sa.lambda);
+  EXPECT_EQ(parsed.sa.seed, spec.sa.seed);
+  EXPECT_EQ(parsed.sample_interval, spec.sample_interval);
+  EXPECT_EQ(parsed.anneal_limit, spec.anneal_limit);
+  EXPECT_EQ(parsed.quota_bytes, spec.quota_bytes);
+  EXPECT_EQ(parsed.checkpoint, spec.checkpoint);
+  ASSERT_EQ(parsed.dataset.size(), spec.dataset.size());
+  EXPECT_EQ(parsed.dataset.num_classes, spec.dataset.num_classes);
+  for (std::size_t i = 0; i < spec.dataset.size(); ++i) {
+    EXPECT_EQ(parsed.dataset.samples[i].label, spec.dataset.samples[i].label);
+    EXPECT_EQ(parsed.dataset.samples[i].image.data(), spec.dataset.samples[i].image.data());
+  }
+}
+
+TEST(JobWire, StatusAndResultResponsesRoundTrip) {
+  JobStatus status;
+  status.id = 9;
+  status.state = JobState::kRunning;
+  status.phase = JobPhase::kAnneal;
+  status.progress = 0.375;
+  status.sa_iteration = 48;
+  status.sa_total = 400;
+  status.target_bytes = 512.0;
+  status.achieved_bytes = 500.5;
+  status.rate_error = 0.0225;
+  status.checkpoints = 3;
+  status.rungs = 0;
+  net::WireReply reply;
+  ASSERT_TRUE(net::parse_response(net::make_job_status_response(5, status), &reply));
+  EXPECT_EQ(reply.status, net::WireStatus::kOk);
+  EXPECT_EQ(reply.job_status.id, 9u);
+  EXPECT_EQ(reply.job_status.state, JobState::kRunning);
+  EXPECT_EQ(reply.job_status.phase, JobPhase::kAnneal);
+  EXPECT_DOUBLE_EQ(reply.job_status.progress, 0.375);
+  EXPECT_EQ(reply.job_status.sa_iteration, 48u);
+  EXPECT_EQ(reply.job_status.sa_total, 400u);
+  EXPECT_DOUBLE_EQ(reply.job_status.achieved_bytes, 500.5);
+  EXPECT_EQ(reply.job_status.checkpoints, 3u);
+
+  JobResult result;
+  result.id = 9;
+  for (int i = 0; i < 64; ++i)
+    result.table.step(i) = static_cast<std::uint16_t>(i + 1);
+  result.quality = 62;
+  result.target_bytes = 512.0;
+  result.achieved_bytes = 500.5;
+  result.initial_cost = 10.25;
+  result.best_cost = 7.5;
+  result.accepted_moves = 33;
+  result.sa_iterations = 400;
+  LadderRung rung;
+  rung.name = "t:r1";
+  rung.version = 4;
+  rung.quality = 70;
+  rung.target_bytes = 800.0;
+  rung.achieved_bytes = 790.0;
+  result.rungs.push_back(rung);
+  result.checkpoint = {9, 8, 7};
+  net::WireReply result_reply;
+  ASSERT_TRUE(net::parse_response(net::make_job_result_response(6, result), &result_reply));
+  EXPECT_EQ(result_reply.status, net::WireStatus::kOk);
+  EXPECT_EQ(result_reply.job_result.id, 9u);
+  EXPECT_EQ(result_reply.job_result.table, result.table);
+  EXPECT_EQ(result_reply.job_result.quality, 62);
+  EXPECT_DOUBLE_EQ(result_reply.job_result.best_cost, 7.5);
+  EXPECT_EQ(result_reply.job_result.accepted_moves, 33);
+  EXPECT_EQ(result_reply.job_result.sa_iterations, 400u);
+  ASSERT_EQ(result_reply.job_result.rungs.size(), 1u);
+  EXPECT_EQ(result_reply.job_result.rungs[0].name, "t:r1");
+  EXPECT_EQ(result_reply.job_result.rungs[0].version, 4u);
+  EXPECT_EQ(result_reply.job_result.rungs[0].quality, 70);
+  EXPECT_EQ(result_reply.job_result.checkpoint, result.checkpoint);
+}
+
+TEST(JobWire, MalformedAndOutOfRangeSubmitsRefused) {
+  DesignJobSpec spec = quick_spec("caps");
+  // Oversize tenant trips the parse-side cap.
+  spec.tenant.assign(2048, 'x');
+  const net::Frame oversize = net::make_job_submit(1, 0, spec);
+  std::uint64_t requested = 0;
+  DesignJobSpec parsed;
+  EXPECT_EQ(net::parse_job_submit(oversize, &requested, &parsed),
+            net::WireStatus::kInvalidArgument);
+
+  // Truncation anywhere in the payload is kMalformed.
+  net::Frame truncated = net::make_job_submit(1, 0, quick_spec("trunc"));
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_EQ(net::parse_job_submit(truncated, &requested, &parsed), net::WireStatus::kMalformed);
+}
+
+// ---------------------------------------------------------------------------
+// The v3 job ops over a real loopback server.
+
+/// api::Service with the job subsystem enabled, listening on an ephemeral
+/// loopback port, plus a connected v3 client.
+struct JobServer {
+  JobServer() {
+    api::Status s = service.listen(api::ListenOptions());
+    EXPECT_TRUE(s.ok()) << s.message();
+  }
+
+  net::Client connect() {
+    net::Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", static_cast<std::uint16_t>(service.listen_port()),
+                               &error))
+        << error;
+    return client;
+  }
+
+  api::Service service{api::ServiceOptions().workers(1).design_workers(1)};
+};
+
+/// Polls job-status over the wire until the job leaves kQueued/kRunning.
+jobs::JobStatus wait_over_wire(net::Client& client, std::uint64_t job_id) {
+  std::string error;
+  for (;;) {
+    net::WireReply reply;
+    EXPECT_TRUE(client.job_status(job_id, &reply, &error)) << error;
+    EXPECT_EQ(reply.status, net::WireStatus::kOk) << reply.error;
+    if (reply.job_status.state != JobState::kQueued &&
+        reply.job_status.state != JobState::kRunning)
+      return reply.job_status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(JobWire, EndToEndRateControlledJob) {
+  // Probe a reachable target first (same dataset seed -> same rate curve).
+  const double midpoint = probe_midpoint_bytes("wire-probe");
+
+  JobServer ts;
+  net::Client client = ts.connect();
+  std::string error;
+
+  DesignJobSpec spec = quick_spec("wire-a");
+  spec.target_bytes_per_image = midpoint * 1.02;
+  net::WireReply submit_reply;
+  ASSERT_TRUE(client.job_submit(spec, 0, &submit_reply, &error)) << error;
+  ASSERT_EQ(submit_reply.status, net::WireStatus::kOk) << submit_reply.error;
+  const std::uint64_t job_id = submit_reply.job_id;
+  EXPECT_NE(job_id, 0u);
+
+  const JobStatus status = wait_over_wire(client, job_id);
+  ASSERT_EQ(status.state, JobState::kCompleted) << status.error;
+  EXPECT_EQ(status.phase, JobPhase::kDone);
+  // The acceptance criterion: a wire-submitted rate-controlled job lands
+  // within 5% of its bytes-per-image target.
+  EXPECT_LE(status.achieved_bytes, status.target_bytes);
+  EXPECT_LE(status.rate_error, 0.05);
+
+  net::WireReply result_reply;
+  ASSERT_TRUE(client.job_result(job_id, &result_reply, &error)) << error;
+  ASSERT_EQ(result_reply.status, net::WireStatus::kOk) << result_reply.error;
+  EXPECT_EQ(result_reply.job_result.id, job_id);
+  EXPECT_FALSE(result_reply.job_result.checkpoint.empty());
+  ASSERT_EQ(result_reply.job_result.rungs.size(), 1u);
+  EXPECT_EQ(result_reply.job_result.rungs[0].name, "wire-a");
+
+  // The designed tenant is immediately servable through the shared
+  // registry (deepn_encode resolves it).
+  const std::vector<std::string> names = ts.service.registry().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "wire-a"), names.end());
+}
+
+TEST(JobWire, UnknownAndDuplicateIdsAreTypedOverTheWire) {
+  JobServer ts;
+  net::Client client = ts.connect();
+  std::string error;
+
+  net::WireReply reply;
+  ASSERT_TRUE(client.job_status(404, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kInvalidArgument);
+  EXPECT_NE(reply.error.find("unknown job id"), std::string::npos) << reply.error;
+
+  ASSERT_TRUE(client.job_cancel(404, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kInvalidArgument);
+
+  // Typed refusals keep the connection alive.
+  ASSERT_TRUE(client.ping(&error)) << error;
+
+  DesignJobSpec long_spec = quick_spec("wire-dup");
+  long_spec.sa.iterations = 100000;
+  ASSERT_TRUE(client.job_submit(long_spec, 55, &reply, &error)) << error;
+  ASSERT_EQ(reply.status, net::WireStatus::kOk) << reply.error;
+  EXPECT_EQ(reply.job_id, 55u);
+  ASSERT_TRUE(client.job_submit(quick_spec("wire-dup2"), 55, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kInvalidArgument);
+  EXPECT_NE(reply.error.find("already exists"), std::string::npos) << reply.error;
+
+  // result() on the still-running job: typed kRejected (retry later).
+  ASSERT_TRUE(client.job_result(55, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kRejected);
+
+  ASSERT_TRUE(client.job_cancel(55, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kOk) << reply.error;
+}
+
+TEST(JobWire, JobOpInsideVersionTwoIsMalformed) {
+  // The accepted-version range lets a v2 frame in, but op 7 does not
+  // exist in v2: unknown op == kMalformed, stream closes (the same rule
+  // that pins op 6 against v1).
+  JobServer ts;
+  net::Client client = ts.connect();
+  std::string error;
+
+  std::vector<std::uint8_t> bytes =
+      net::serialize_frame(net::make_job_id_request(3, net::Op::kJobStatus, 1));
+  bytes[4] = 2;  // version byte
+  ASSERT_TRUE(client.send_raw(bytes.data(), bytes.size(), &error));
+  net::WireReply reply;
+  ASSERT_TRUE(client.recv_reply(&reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kMalformed);
+  EXPECT_FALSE(client.recv_reply(&reply, &error));
+}
+
+TEST(JobWire, JobOpsWithoutManagerAreTypedInternal) {
+  // A bare net::Server with no JobManager wired in: job ops answer with a
+  // typed kInternal, connection stays usable.
+  serve::TranscodeService service{serve::ServiceConfig{}};
+  net::Server server(service, net::ServerConfig{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", static_cast<std::uint16_t>(server.port()), &error))
+      << error;
+
+  net::WireReply reply;
+  ASSERT_TRUE(client.job_status(1, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, net::WireStatus::kInternal);
+  EXPECT_NE(reply.error.find("not enabled"), std::string::npos) << reply.error;
+  EXPECT_TRUE(client.ping(&error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// The api::TableDesigner async surface over its private manager.
+
+TEST(ApiDesignJobs, SubmitWaitFetch) {
+  api::Session session;
+  api::TableDesigner designer = session.designer();
+  const data::Dataset ds = job_dataset();
+  for (const data::Sample& s : ds.samples) {
+    api::ImageView view{s.image.data().data(), s.image.width(), s.image.height(),
+                        s.image.channels()};
+    ASSERT_TRUE(designer.add(view, s.label).ok());
+  }
+
+  const auto submitted =
+      designer.submit(api::DesignJobOptions().tenant("api-a").sa_iterations(60));
+  ASSERT_TRUE(submitted.ok()) << submitted.status().message();
+  const std::uint64_t id = submitted.value();
+
+  const auto waited = designer.wait(id);
+  ASSERT_TRUE(waited.ok()) << waited.status().message();
+  EXPECT_EQ(waited.value().state, api::DesignJobState::kCompleted) << waited.value().error;
+  EXPECT_EQ(waited.value().phase, "done");
+
+  const auto fetched = designer.fetch(id);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().message();
+  EXPECT_EQ(fetched.value().id, id);
+  EXPECT_FALSE(fetched.value().checkpoint.empty());
+  ASSERT_EQ(fetched.value().rungs.size(), 1u);
+  EXPECT_EQ(fetched.value().rungs[0].name, "api-a");
+
+  // Unknown ids are typed kInvalidArgument through the façade too.
+  const auto unknown = designer.poll(id + 100);
+  EXPECT_EQ(unknown.status().code(), api::StatusCode::kInvalidArgument);
+  EXPECT_EQ(designer.cancel(id + 100).code(), api::StatusCode::kInvalidArgument);
+}
+
+TEST(ApiDesignJobs, SubmitWithoutImagesIsTyped) {
+  api::Session session;
+  api::TableDesigner designer = session.designer();
+  const auto submitted = designer.submit(api::DesignJobOptions().tenant("empty"));
+  EXPECT_EQ(submitted.status().code(), api::StatusCode::kInvalidArgument);
+}
+
+TEST(ApiDesignJobs, StateNamesMatchJobVocabulary) {
+  EXPECT_STREQ(api::design_job_state_name(api::DesignJobState::kQueued), "queued");
+  EXPECT_STREQ(api::design_job_state_name(api::DesignJobState::kPaused), "paused");
+  EXPECT_STREQ(api::design_job_state_name(api::DesignJobState::kCompleted), "completed");
+  EXPECT_STREQ(api::design_job_state_name(api::DesignJobState::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace dnj::jobs

@@ -47,11 +47,13 @@ TEST(RateControl, PicksHighestQualityThatFits) {
   }
 }
 
-TEST(RateControl, UnreachableBudgetReturnsFloor) {
+TEST(RateControl, UnreachableBudgetThrows) {
+  // An unreachable byte target is a caller error: the search must refuse
+  // with a typed error (kInvalidArgument at the API boundary), never
+  // silently hand back an oversized floor-quality stream.
   const image::Image img = busy_image();
-  const RateSearchResult res = encode_for_size(img, 10, {});
-  EXPECT_EQ(res.quality, 1);
-  EXPECT_GT(res.bytes.size(), 10u);
+  EXPECT_THROW(encode_for_size(img, 10, {}), std::invalid_argument);
+  EXPECT_THROW(encode_for_bpp(img, 1e-6, {}), std::invalid_argument);
 }
 
 TEST(RateControl, HugeBudgetReturnsMaxQuality) {
@@ -79,6 +81,96 @@ TEST(RateControl, BppVariantMatchesByteBudget) {
   const double bpp = 1.5;
   const RateSearchResult res = encode_for_bpp(img, bpp, {});
   EXPECT_LE(bits_per_pixel(res.bytes.size(), img.width(), img.height()), bpp + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset-level rate search (the design-job rate controller).
+
+std::vector<image::Image> small_dataset(int channels) {
+  data::GeneratorConfig cfg;
+  cfg.width = 48;
+  cfg.height = 48;
+  cfg.channels = channels;
+  cfg.seed = 777;
+  data::SyntheticDatasetGenerator gen(cfg);
+  std::vector<image::Image> images;
+  for (int i = 0; i < 4; ++i)
+    images.push_back(gen.render(data::ClassKind::kBandNoise, i));
+  return images;
+}
+
+std::vector<const image::Image*> views_of(const std::vector<image::Image>& images) {
+  std::vector<const image::Image*> views;
+  for (const image::Image& img : images) views.push_back(&img);
+  return views;
+}
+
+double mean_scan_bytes_at(const std::vector<image::Image>& images,
+                          const EncoderConfig& base, int quality) {
+  const EncoderConfig cfg = config_at_quality(base, quality);
+  double total = 0.0;
+  for (const image::Image& img : images)
+    total += static_cast<double>(scan_byte_count(encode(img, cfg)));
+  return total / static_cast<double>(images.size());
+}
+
+// The contract the design job's rate controller leans on: the achieved
+// mean is under target, and the next quality up would overshoot (the
+// search picked the *highest* fitting rate point, not just any).
+void check_dataset_search(const std::vector<image::Image>& images,
+                          const EncoderConfig& base) {
+  const double floor_mean = mean_scan_bytes_at(images, base, 1);
+  const double ceil_mean = mean_scan_bytes_at(images, base, 100);
+  const double target = (floor_mean + ceil_mean) / 2.0;
+  const DatasetRateResult res = search_dataset_quality(views_of(images), target, base);
+  EXPECT_LE(res.mean_scan_bytes, target);
+  EXPECT_NEAR(res.mean_scan_bytes, mean_scan_bytes_at(images, base, res.quality), 1e-9);
+  if (res.quality < 100) {
+    EXPECT_GT(mean_scan_bytes_at(images, base, res.quality + 1), target);
+  }
+}
+
+TEST(DatasetRateSearch, AchievedUnderTargetGray) {
+  check_dataset_search(small_dataset(1), {});
+}
+
+TEST(DatasetRateSearch, AchievedUnderTargetColor420) {
+  EncoderConfig base;
+  base.subsampling = Subsampling::k420;
+  check_dataset_search(small_dataset(3), base);
+}
+
+TEST(DatasetRateSearch, AchievedUnderTargetColor444) {
+  EncoderConfig base;
+  base.subsampling = Subsampling::k444;
+  check_dataset_search(small_dataset(3), base);
+}
+
+TEST(DatasetRateSearch, DrivesCustomTables) {
+  // Custom-table configs are scaled around their designed midpoint
+  // (quality 50 = tables verbatim) instead of being replaced — the rate
+  // point keeps the DeepN band structure.
+  QuantTable table;
+  for (int i = 0; i < 64; ++i) table.step(i) = static_cast<std::uint16_t>(8 + 2 * i);
+  EncoderConfig base;
+  base.use_custom_tables = true;
+  base.luma_table = table;
+  base.chroma_table = table;
+  check_dataset_search(small_dataset(1), base);
+  const EncoderConfig mid = config_at_quality(base, 50);
+  EXPECT_TRUE(mid.use_custom_tables);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(mid.luma_table.step(i), table.step(i));
+}
+
+TEST(DatasetRateSearch, Errors) {
+  const std::vector<image::Image> images = small_dataset(1);
+  EXPECT_THROW(search_dataset_quality({}, 1000.0, {}), std::invalid_argument);
+  // Unreachable mean: even quality 1 overshoots one byte per image.
+  EXPECT_THROW(search_dataset_quality(views_of(images), 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(search_dataset_quality(views_of(images), 1000.0, {}, 0, 100),
+               std::invalid_argument);
+  EXPECT_THROW(search_dataset_quality(views_of(images), 1000.0, {}, 60, 50),
+               std::invalid_argument);
 }
 
 TEST(RateControl, Errors) {

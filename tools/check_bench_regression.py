@@ -11,6 +11,7 @@ which predates the field), so one script serves every baseline:
   serve          — per-scenario served requests/s
   multitenant    — per-scenario served requests/s
   net            — per-level goodput requests/s over the wire
+  design         — table-design job throughput (SA iterations/s)
 
 Advisory by design: shared CI runners are noisy enough that a hard gate
 would cry wolf — the CI step runs with continue-on-error, and a *trend*
@@ -70,6 +71,14 @@ def level_goodput_metrics(doc):
     return out
 
 
+def design_metrics(doc):
+    """Design-job throughput (SA iterations/s, higher is better)."""
+    out = []
+    if doc.get("sa_iters_per_s"):
+        out.append(("design throughput", float(doc["sa_iters_per_s"]), "SA iters/s"))
+    return out
+
+
 # bench-field value -> (baseline filename, hard gate fields, metric extractor)
 FAMILIES = {
     "codec_pipeline": ("BENCH_codec_pipeline.json",
@@ -80,6 +89,8 @@ FAMILIES = {
                     scenario_rps_metrics),
     "net": ("BENCH_net.json", ("all_identical", "scrape_ok"),
             level_goodput_metrics),
+    "design": ("BENCH_design.json", ("resume_identical", "rate_ok"),
+               design_metrics),
 }
 
 

@@ -24,7 +24,7 @@ import shutil
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_FAMILIES = "codec_pipeline,serve,multitenant,net"
+DEFAULT_FAMILIES = "codec_pipeline,serve,multitenant,net,design"
 
 
 def collect(family, results_dir, dest_dir):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Scrape a running DNJ network server's metrics over the wire.
 
-A minimal foreign client for the kStats admin op (protocol v2, see
+A minimal foreign client for the kStats admin op (protocol v3, see
 docs/PROTOCOL.md): connect, send one stats request, print the UTF-8 text
 the server returns. Pure standard library — socket + struct + zlib — so
 it runs anywhere CI can run Python, and doubles as executable
@@ -21,7 +21,7 @@ import sys
 import zlib
 
 MAGIC = 0x314A4E44  # "DNJ1" little-endian
-VERSION = 2         # kStats was added in v2
+VERSION = 3         # v3 adds the job ops; kStats itself dates to v2
 TYPE_REQUEST = 1
 TYPE_RESPONSE = 2
 OP_STATS = 6
